@@ -1,0 +1,45 @@
+# Artifact-style entry points, mirroring the GPM artifact's Makefile.
+CARGO ?= cargo
+RUN := $(CARGO) run --release -p gpm-bench --bin
+
+.PHONY: all test bench figure_1 figure_3 figure_9 figure_10 figure_11a figure_11b figure_12 \
+        table_4 table_5 checkpoint_frequency recovery_stress sensitivity ycsb future_platforms
+
+all: figure_1 figure_3 figure_9 figure_10 figure_11a figure_11b figure_12 table_4 table_5 \
+     checkpoint_frequency recovery_stress
+
+test:
+	$(CARGO) test --workspace
+
+bench:
+	$(CARGO) bench --workspace
+
+figure_1:
+	$(RUN) fig1a
+	$(RUN) fig1b
+figure_3:
+	$(RUN) fig3
+figure_9:
+	$(RUN) fig9
+figure_10:
+	$(RUN) fig10
+figure_11a:
+	$(RUN) fig11a
+figure_11b:
+	$(RUN) fig11b
+figure_12:
+	$(RUN) fig12
+table_4:
+	$(RUN) table4
+table_5:
+	$(RUN) table5
+checkpoint_frequency:
+	$(RUN) checkpoint_frequency
+recovery_stress:
+	$(RUN) recovery_stress
+sensitivity:
+	$(RUN) sensitivity
+ycsb:
+	$(RUN) ycsb
+future_platforms:
+	$(RUN) future_platforms

@@ -1,0 +1,80 @@
+//! Criterion bench: checkpointing under each persistence system, plus the
+//! double-buffering publish cost ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_core::{
+    gpmcp_checkpoint, gpmcp_checkpoint_incremental, gpmcp_checkpoint_tracked, gpmcp_create,
+    gpmcp_fill_working, gpmcp_register,
+};
+use gpm_sim::{Addr, Machine};
+use gpm_workloads::{checkpoint_latency, CfdParams, CfdWorkload, Mode};
+
+fn bench_checkpoint_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_modes");
+    g.sample_size(10);
+    for mode in [Mode::Gpm, Mode::GpmNdp, Mode::CapFs, Mode::CapMm, Mode::Gpufs] {
+        g.bench_with_input(BenchmarkId::new("cfd", format!("{mode:?}")), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut m = Machine::default();
+                let mut app = CfdWorkload::new(CfdParams::quick());
+                checkpoint_latency(&mut m, &mut app, mode, 16).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_double_buffering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_publish");
+    g.sample_size(10);
+    // Full checkpoint (copy + persist + atomic publish) vs copy-only:
+    // quantifies what the crash-consistent flip costs.
+    g.bench_function("copy_persist_publish", |b| {
+        b.iter(|| {
+            let mut m = Machine::default();
+            let h = m.alloc_hbm(1 << 20).unwrap();
+            let mut cp = gpmcp_create(&mut m, "/pm/bcp", 1 << 20, 1, 1).unwrap();
+            gpmcp_register(&mut cp, Addr::hbm(h), 1 << 20, 0).unwrap();
+            gpmcp_checkpoint(&mut m, &cp, 0).unwrap()
+        })
+    });
+    g.bench_function("copy_only_unfenced", |b| {
+        b.iter(|| {
+            let mut m = Machine::default();
+            let h = m.alloc_hbm(1 << 20).unwrap();
+            let mut cp = gpmcp_create(&mut m, "/pm/bcp", 1 << 20, 1, 1).unwrap();
+            gpmcp_register(&mut cp, Addr::hbm(h), 1 << 20, 0).unwrap();
+            gpmcp_fill_working(&mut m, &cp, 0, false).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_incremental");
+    g.sample_size(10);
+    let len: u64 = 4 << 20;
+    let chunks = (len / 4096) as usize;
+    for dirty_pct in [100usize, 20, 5] {
+        g.bench_with_input(
+            BenchmarkId::new("dirty_pct", dirty_pct),
+            &dirty_pct,
+            |b, &pct| {
+                b.iter(|| {
+                    let mut m = Machine::default();
+                    let h = m.alloc_hbm(len).unwrap();
+                    let mut cp = gpmcp_create(&mut m, "/pm/bcpi", len, 1, 1).unwrap();
+                    gpmcp_register(&mut cp, gpm_sim::Addr::hbm(h), len, 0).unwrap();
+                    gpmcp_checkpoint_tracked(&mut m, &mut cp, 0).unwrap();
+                    let dirty: Vec<bool> =
+                        (0..chunks).map(|i| i % 100 < pct).collect();
+                    gpmcp_checkpoint_incremental(&mut m, &mut cp, 0, &dirty, 4096).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_modes, bench_double_buffering, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: gpKVS throughput under each persistence system, plus
+//! the CPU KVS baselines (Figure 1a / Figure 9 ablations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_pmkv::{matrixkv_params, rocksdb_params, run_set_batch, LsmKv, PmemKvCmap};
+use gpm_sim::Machine;
+use gpm_workloads::{KvsParams, KvsWorkload, Mode};
+
+fn bench_gpu_kvs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpkvs");
+    g.sample_size(10);
+    for mode in [Mode::Gpm, Mode::GpmNdp, Mode::CapFs, Mode::CapMm] {
+        g.bench_with_input(BenchmarkId::new("mode", format!("{mode:?}")), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut m = Machine::default();
+                KvsWorkload::new(KvsParams::quick()).run(&mut m, mode).unwrap()
+            })
+        });
+    }
+    // Ablation: key skew (YCSB-style Zipf vs uniform).
+    g.bench_function("zipf_0.99", |b| {
+        b.iter(|| {
+            let mut m = Machine::default();
+            let p = KvsParams { key_skew: Some(0.99), ..KvsParams::quick() };
+            KvsWorkload::new(p).run(&mut m, Mode::Gpm).unwrap()
+        })
+    });
+    // Ablation: HCL vs conventional logging inside gpKVS (Figure 11a).
+    g.bench_function("log_conventional", |b| {
+        b.iter(|| {
+            let mut m = Machine::default();
+            let p = KvsParams { conventional_log_partitions: Some(64), ..KvsParams::quick() };
+            KvsWorkload::new(p).run(&mut m, Mode::Gpm).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_cpu_kvs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_kvs");
+    g.sample_size(10);
+    let pairs: Vec<(u64, u64)> = (0..4_000u64).map(|i| (gpm_pmkv::hash64(i) | 1, i)).collect();
+    g.bench_function("pmemkv", |b| {
+        b.iter(|| {
+            let mut m = Machine::default();
+            let mut kv = PmemKvCmap::create(&mut m, 16_384).unwrap();
+            run_set_batch(&mut kv, &mut m, &pairs, 64).unwrap()
+        })
+    });
+    g.bench_function("rocksdb", |b| {
+        b.iter(|| {
+            let mut m = Machine::default();
+            let mut kv = LsmKv::create(&mut m, rocksdb_params()).unwrap();
+            run_set_batch(&mut kv, &mut m, &pairs, 64).unwrap()
+        })
+    });
+    g.bench_function("matrixkv", |b| {
+        b.iter(|| {
+            let mut m = Machine::default();
+            let mut kv = LsmKv::create(&mut m, matrixkv_params()).unwrap();
+            run_set_batch(&mut kv, &mut m, &pairs, 64).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gpu_kvs, bench_cpu_kvs);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion bench: HCL vs conventional logging (Figure 11 ablation),
+//! including the striping and partition-count design choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_bench::microbench::{logging_microbench, logging_microbench_backend, LogBackend};
+
+fn bench_logging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logging");
+    g.sample_size(10);
+    for &threads in &[2_048u64, 8_192, 32_768] {
+        g.bench_with_input(BenchmarkId::new("hcl", threads), &threads, |b, &t| {
+            b.iter(|| logging_microbench(true, t, 16_384, 64).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("conventional", threads), &threads, |b, &t| {
+            b.iter(|| logging_microbench(false, t, 16_384, 64).unwrap())
+        });
+    }
+    // Ablation: HCL's striping (hardware coalescing) on/off.
+    g.bench_function("hcl_unstriped", |b| {
+        b.iter(|| {
+            logging_microbench_backend(LogBackend::HclUnstriped, 8_192, 16_384, 64).unwrap()
+        })
+    });
+    // Ablation: partition count for conventional logging.
+    for &parts in &[4u32, 16, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("conv_partitions", parts), &parts, |b, &p| {
+            b.iter(|| logging_microbench(false, 8_192, 16_384, p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_redo_vs_undo(c: &mut Criterion) {
+    use gpm_core::{gpm_persist_begin, gpm_persist_end, gpmlog_create_hcl, redo_create, GpmThreadExt};
+    use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+    use gpm_sim::{Addr, Machine};
+
+    let mut g = c.benchmark_group("redo_vs_undo");
+    g.sample_size(10);
+    const THREADS: u64 = 8_192;
+    // Undo: log old value (persist), update in place (persist) — 3 fence
+    // points per update.
+    g.bench_function("undo", |b| {
+        b.iter(|| {
+            let mut m = Machine::default();
+            let data = m.alloc_pm(THREADS * 64).unwrap();
+            let cfg = LaunchConfig::for_elements(THREADS, 256);
+            let log = gpmlog_create_hcl(&mut m, "/pm/u", THREADS * 16, cfg.grid, cfg.block)
+                .unwrap();
+            let dev = log.dev();
+            gpm_persist_begin(&mut m);
+            let r = launch(
+                &mut m,
+                cfg,
+                &FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                    let i = ctx.global_id();
+                    let old = ctx.ld_u64(Addr::pm(data + i * 64))?;
+                    dev.insert(ctx, &old.to_le_bytes())?;
+                    ctx.st_u64(Addr::pm(data + i * 64), i)?;
+                    ctx.gpm_persist()
+                }),
+            )
+            .unwrap();
+            gpm_persist_end(&mut m);
+            r.elapsed
+        })
+    });
+    // Redo: log new value (persist), update unfenced — 2 fence points.
+    g.bench_function("redo", |b| {
+        b.iter(|| {
+            let mut m = Machine::default();
+            let data = m.alloc_pm(THREADS * 64).unwrap();
+            let cfg = LaunchConfig::for_elements(THREADS, 256);
+            let log = redo_create(&mut m, "/pm/r", cfg.grid, cfg.block, 8, 2).unwrap();
+            let dev = log.dev();
+            log.begin(&mut m, 1).unwrap();
+            gpm_persist_begin(&mut m);
+            let r = launch(
+                &mut m,
+                cfg,
+                &FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                    let i = ctx.global_id();
+                    dev.record_and_apply(ctx, data + i * 64, &i.to_le_bytes())
+                }),
+            )
+            .unwrap();
+            gpm_persist_end(&mut m);
+            log.commit(&mut m).unwrap();
+            r.elapsed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_logging, bench_redo_vs_undo);
+criterion_main!(benches);

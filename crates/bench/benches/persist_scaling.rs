@@ -1,0 +1,25 @@
+//! Criterion bench: the §3.2 persist-scaling microbenchmark (Figure 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_bench::microbench::{persist_cap_mm, persist_gpm};
+
+const BYTES: u64 = 4 << 20;
+
+fn bench_persist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("persist_scaling");
+    g.sample_size(10);
+    for &threads in &[1u32, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("cap_mm", threads), &threads, |b, &t| {
+            b.iter(|| persist_cap_mm(BYTES, t).unwrap())
+        });
+    }
+    for &threads in &[32u64, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("gpm", threads), &threads, |b, &t| {
+            b.iter(|| persist_gpm(BYTES, t).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_persist);
+criterion_main!(benches);

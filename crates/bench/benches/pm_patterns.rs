@@ -1,0 +1,23 @@
+//! Criterion bench: the §3.2/§6.1 PM access-pattern microbenchmark
+//! (12.5 / 3.13 / 0.72 GB/s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_bench::microbench::{pm_bandwidth, PatternKind};
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pm_patterns");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("seq_aligned", PatternKind::SeqAligned),
+        ("seq_unaligned", PatternKind::SeqUnaligned),
+        ("random", PatternKind::Random),
+    ] {
+        g.bench_with_input(BenchmarkId::new("write", name), &kind, |b, &k| {
+            b.iter(|| pm_bandwidth(k, 4 << 20).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

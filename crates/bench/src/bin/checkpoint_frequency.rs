@@ -1,0 +1,6 @@
+//! Regenerates the §6.1 checkpoint-frequency analysis. Pass --quick for
+//! small inputs.
+fn main() {
+    let scale = gpm_bench::scale_from_args();
+    gpm_bench::emit(&gpm_bench::figures::checkpoint_frequency(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates fig3 of the paper. Pass --quick for small inputs.
+fn main() {
+    let scale = gpm_bench::scale_from_args();
+    gpm_bench::emit(&gpm_bench::figures::fig3(scale));
+}

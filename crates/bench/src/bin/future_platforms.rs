@@ -1,0 +1,61 @@
+//! Future-platform projection (beyond the paper, extending its §3.3
+//! discussion): how GPM's advantage over CAP-fs evolves with PCIe 4.0,
+//! second-generation Optane, and eADR — separately and combined.
+//!
+//! Pass `--quick` for small inputs.
+
+use gpm_bench::report::Report;
+use gpm_sim::{Machine, MachineConfig};
+use gpm_workloads::{suite, Mode};
+
+fn platforms() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("today (ADR, PCIe3, Gen1)", MachineConfig::default()),
+        ("PCIe 4.0", MachineConfig::default().with_pcie4()),
+        ("Gen2 Optane", MachineConfig::default().with_gen2_optane()),
+        ("eADR", MachineConfig::default().with_eadr()),
+        (
+            "all three",
+            MachineConfig::default().with_pcie4().with_gen2_optane().with_eadr(),
+        ),
+    ]
+}
+
+fn main() {
+    let scale = gpm_bench::scale_from_args();
+    let mut report = Report::new(
+        "out_future_platforms",
+        "Future platforms: GPM speedup over CAP-fs (same-platform baseline)",
+        &["workload", "today", "PCIe4", "Gen2-Optane", "eADR", "all"],
+    );
+    // Representative workloads from each class.
+    for target in ["gpKVS", "CFD", "BFS"] {
+        let mut row = vec![target.to_string()];
+        for (_, cfg) in platforms() {
+            let mut workloads = suite(scale);
+            let w = workloads
+                .iter_mut()
+                .find(|w| w.name() == target)
+                .expect("workload in suite");
+            let mut m1 = Machine::new(cfg.clone());
+            let gpm = match w.persist_phase(&mut m1, Mode::Gpm) {
+                Ok(Some(t)) => t,
+                _ => {
+                    let mut m = Machine::new(cfg.clone());
+                    w.run(&mut m, Mode::Gpm).expect("gpm").elapsed
+                }
+            };
+            let mut m2 = Machine::new(cfg.clone());
+            let cap = match w.persist_phase(&mut m2, Mode::CapFs) {
+                Ok(Some(t)) => t,
+                _ => {
+                    let mut m = Machine::new(cfg.clone());
+                    w.run(&mut m, Mode::CapFs).expect("capfs").elapsed
+                }
+            };
+            row.push(format!("{:.2}", cap / gpm));
+        }
+        report.row(&row);
+    }
+    gpm_bench::emit(&report);
+}

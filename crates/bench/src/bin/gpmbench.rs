@@ -1,0 +1,157 @@
+//! `gpmbench` — run any GPMbench workload under any persistence system from
+//! the command line.
+//!
+//! ```console
+//! $ cargo run --release -p gpm-bench --bin gpmbench -- --list
+//! $ cargo run --release -p gpm-bench --bin gpmbench -- --workload BFS --mode gpm
+//! $ cargo run --release -p gpm-bench --bin gpmbench -- --workload gpKVS --mode cap-mm --quick
+//! $ cargo run --release -p gpm-bench --bin gpmbench -- --all --mode gpm --eadr
+//! ```
+
+use gpm_sim::{Machine, MachineConfig};
+use gpm_workloads::{suite, Mode, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gpmbench (--list | --all | --workload <name>) [--mode <m>] [--quick] [--eadr] [--recover] [--inspect]\n\
+         modes: gpm (default), cap-fs, cap-mm, gpm-ndp, gpufs, cpu-pm"
+    );
+    std::process::exit(2);
+}
+
+fn inspect(m: &Machine) {
+    println!("-- machine introspection --");
+    println!("PM files:");
+    for (name, f) in m.fs_list() {
+        println!("  {:30} PM+{:#010x}  {:>10} bytes", name, f.offset, f.len);
+    }
+    use gpm_sim::pattern::AccessPattern;
+    let p = &m.gpu_pm_pattern;
+    println!(
+        "GPU->PM write pattern: {:.2} MB seq-aligned, {:.2} MB seq-unaligned, {:.2} MB random",
+        p.bytes_in(AccessPattern::SeqAligned) as f64 / 1e6,
+        p.bytes_in(AccessPattern::SeqUnaligned) as f64 / 1e6,
+        p.bytes_in(AccessPattern::Random) as f64 / 1e6,
+    );
+    println!(
+        "NVM endurance: {} block programs ({:.2} MB programmed)",
+        m.stats.pm_block_programs,
+        m.stats.pm_block_programs as f64 * 256.0 / 1e6
+    );
+    println!(
+        "counters: {} kernel launches, {} system fences, {} PCIe write txns, {} DMA MB",
+        m.stats.kernel_launches,
+        m.stats.system_fences,
+        m.stats.pcie_write_txns,
+        m.stats.dma_bytes / (1 << 20)
+    );
+}
+
+fn parse_mode(s: &str) -> Mode {
+    match s.to_ascii_lowercase().as_str() {
+        "gpm" => Mode::Gpm,
+        "cap-fs" | "capfs" => Mode::CapFs,
+        "cap-mm" | "capmm" => Mode::CapMm,
+        "gpm-ndp" | "ndp" => Mode::GpmNdp,
+        "gpufs" => Mode::Gpufs,
+        "cpu-pm" | "cpu" => Mode::CpuPm,
+        other => {
+            eprintln!("unknown mode {other:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let scale = if has("--quick") { Scale::Quick } else { Scale::Full };
+    let mut workloads = suite(scale);
+
+    if has("--list") {
+        for w in &workloads {
+            let modes: Vec<&str> =
+                Mode::ALL.iter().filter(|&&m| w.supports(m)).map(|m| m.label()).collect();
+            println!("{:12} [{}] modes: {}", w.name(), w.category().label(), modes.join(", "));
+        }
+        return;
+    }
+
+    let mode = value_of("--mode").map_or(Mode::Gpm, |s| parse_mode(&s));
+    let selected = value_of("--workload");
+    if selected.is_none() && !has("--all") {
+        usage();
+    }
+
+    let machine = || {
+        if has("--eadr") {
+            Machine::new(MachineConfig::default().with_eadr())
+        } else {
+            Machine::default()
+        }
+    };
+
+    let mut any = false;
+    for w in workloads.iter_mut() {
+        if let Some(name) = &selected {
+            if !w.name().eq_ignore_ascii_case(name) {
+                continue;
+            }
+        }
+        any = true;
+        if !w.supports(mode) {
+            println!("{:12} {:8} unsupported (*)", w.name(), mode.label());
+            continue;
+        }
+        let mut m = machine();
+        if has("--recover") {
+            match w.run_with_recovery(&mut m) {
+                Ok(Some(r)) => println!(
+                    "{:12} {:8} op {:>12}  restore {:>12} ({:.2}%)  verified {}",
+                    w.name(),
+                    mode.label(),
+                    format!("{}", r.elapsed),
+                    format!("{}", r.recovery.unwrap_or(gpm_sim::Ns::ZERO)),
+                    r.recovery.map_or(0.0, |rl| rl / r.elapsed * 100.0),
+                    r.verified
+                ),
+                Ok(None) => println!(
+                    "{:12} {:8} recovery is embedded in the kernels (native persistence)",
+                    w.name(),
+                    mode.label()
+                ),
+                Err(e) => println!("{:12} {:8} error: {e}", w.name(), mode.label()),
+            }
+            continue;
+        }
+        match w.run(&mut m, mode) {
+            Ok(r) => {
+                println!(
+                    "{:12} {:8} elapsed {:>12}  PM writes {:>9.3} MB  bw {:>6.2} GB/s  fences {:>7}  verified {}",
+                    w.name(),
+                    mode.label(),
+                    format!("{}", r.elapsed),
+                    r.pm_write_bytes_total() as f64 / 1e6,
+                    r.pcie_write_bw(),
+                    r.system_fences,
+                    r.verified
+                );
+                if has("--inspect") {
+                    inspect(&m);
+                }
+            }
+            Err(e) => println!("{:12} {:8} error: {e}", w.name(), mode.label()),
+        }
+    }
+    if !any {
+        eprintln!("no workload matched; try --list");
+        std::process::exit(1);
+    }
+}

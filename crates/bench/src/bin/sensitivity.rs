@@ -1,0 +1,83 @@
+//! Sensitivity analysis (beyond the paper): how GPM's advantage over CAP-fs
+//! moves with the platform parameters the design depends on — system-fence
+//! latency, PCIe bandwidth, and Optane's random-write bandwidth.
+//!
+//! The paper argues GPM's wins come from hiding fence latency with
+//! parallelism and avoiding write amplification; this sweep makes the
+//! dependence explicit. Pass `--quick` for small inputs.
+
+use gpm_bench::report::Report;
+use gpm_sim::{Machine, MachineConfig, Ns};
+use gpm_workloads::{BfsParams, BfsWorkload, KvsParams, KvsWorkload, Mode, Scale};
+
+fn gpkvs_speedup(cfg: &MachineConfig, scale: Scale) -> f64 {
+    let p = if scale == Scale::Quick { KvsParams::quick() } else { KvsParams::default() };
+    let w = KvsWorkload::new(p);
+    let mut m1 = Machine::new(cfg.clone());
+    let gpm = w.run(&mut m1, Mode::Gpm).expect("gpm");
+    let mut m2 = Machine::new(cfg.clone());
+    let cap = w.run(&mut m2, Mode::CapFs).expect("capfs");
+    assert!(gpm.verified && cap.verified);
+    cap.elapsed / gpm.elapsed
+}
+
+fn bfs_speedup(cfg: &MachineConfig, scale: Scale) -> f64 {
+    let p = if scale == Scale::Quick {
+        BfsParams { width: 96, height: 96, ..BfsParams::default() }
+    } else {
+        BfsParams::default()
+    };
+    let w = BfsWorkload::new(p);
+    let mut m1 = Machine::new(cfg.clone());
+    let gpm = w.run(&mut m1, Mode::Gpm).expect("gpm");
+    let mut m2 = Machine::new(cfg.clone());
+    let cap = w.run(&mut m2, Mode::CapFs).expect("capfs");
+    cap.elapsed / gpm.elapsed
+}
+
+fn main() {
+    let scale = gpm_bench::scale_from_args();
+    let mut report = Report::new(
+        "out_sensitivity",
+        "Sensitivity: GPM speedup over CAP-fs vs platform parameters",
+        &["parameter", "value", "gpKVS_speedup", "BFS_speedup"],
+    );
+
+    // System-fence latency: the cost GPM's parallelism must hide.
+    for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let cfg = MachineConfig {
+            system_fence_latency: Ns(MachineConfig::default().system_fence_latency.0 * factor),
+            ..MachineConfig::default()
+        };
+        report.row(&[
+            "fence_latency".into(),
+            format!("{:.0}ns", cfg.system_fence_latency.0),
+            format!("{:.2}", gpkvs_speedup(&cfg, scale)),
+            format!("{:.2}", bfs_speedup(&cfg, scale)),
+        ]);
+    }
+
+    // PCIe bandwidth: both sides transfer over it, but CAP moves far more.
+    for bw in [6.3, 12.6, 25.2, 50.4] {
+        let cfg = MachineConfig { pcie_bw: bw, ..MachineConfig::default() };
+        report.row(&[
+            "pcie_bw".into(),
+            format!("{bw:.1}GB/s"),
+            format!("{:.2}", gpkvs_speedup(&cfg, scale)),
+            format!("{:.2}", bfs_speedup(&cfg, scale)),
+        ]);
+    }
+
+    // Random-write bandwidth: GPM's fine-grained persists live here.
+    for bw in [0.36, 0.72, 1.44, 2.88] {
+        let cfg = MachineConfig { pm_bw_random: bw, ..MachineConfig::default() };
+        report.row(&[
+            "pm_random_bw".into(),
+            format!("{bw:.2}GB/s"),
+            format!("{:.2}", gpkvs_speedup(&cfg, scale)),
+            format!("{:.2}", bfs_speedup(&cfg, scale)),
+        ]);
+    }
+
+    gpm_bench::emit(&report);
+}

@@ -1,0 +1,107 @@
+//! YCSB-style comparison (beyond the paper's SET-only Figure 1a): GPM-KVS
+//! against the CPU persistent stores under the standard workload mixes —
+//! A (50% reads), B (95% reads), C (read-only) — with Zipfian key skew.
+//!
+//! Pass `--quick` for small inputs.
+
+use gpm_bench::report::Report;
+use gpm_pmkv::{matrixkv_params, rocksdb_params, run_mixed_batch, LsmKv, PmKv, PmemKvCmap};
+use gpm_sim::Machine;
+use gpm_workloads::datagen::Zipf;
+use gpm_workloads::{KvsParams, KvsWorkload, Mode, Scale};
+
+const THETA: f64 = 0.99; // YCSB's default Zipfian skew
+
+#[derive(Clone, Copy)]
+struct Mix {
+    name: &'static str,
+    get_permille: u32,
+}
+
+const MIXES: [Mix; 3] = [
+    Mix { name: "A (50r/50w)", get_permille: 500 },
+    Mix { name: "B (95r/5w)", get_permille: 950 },
+    Mix { name: "C (100r)", get_permille: 1000 },
+];
+
+fn cpu_ops(mix: Mix, n: u64, universe: u64) -> Vec<(u64, u64, bool)> {
+    let zipf = Zipf::new(universe, THETA);
+    (0..n)
+        .map(|i| {
+            let key = gpm_pmkv::hash64(zipf.sample(i).wrapping_mul(0x9E37)) | 1;
+            let is_get = gpm_pmkv::hash64(i ^ 0xCAFE) % 1000 < mix.get_permille as u64;
+            (key, i, is_get)
+        })
+        .collect()
+}
+
+fn cpu_mops(
+    make: impl FnOnce(&mut Machine) -> Box<dyn PmKv>,
+    mix: Mix,
+    n: u64,
+    universe: u64,
+) -> f64 {
+    let mut m = Machine::default();
+    let mut store = make(&mut m);
+    let ops = cpu_ops(mix, n, universe);
+    // Preload half the universe so reads hit (untimed setup: rewind the
+    // clock afterwards is unnecessary — mops is computed from the batch's
+    // own elapsed time).
+    for r in 0..universe / 2 {
+        let key = gpm_pmkv::hash64(r.wrapping_mul(0x9E37)) | 1;
+        store.set(&mut m, key, r).expect("preload");
+    }
+    let (report, _hits) = run_mixed_batch(store.as_mut(), &mut m, &ops, 64).expect("mixed batch");
+    report.mops()
+}
+
+fn gpm_mops(mix: Mix, scale: Scale) -> f64 {
+    let mut p = if scale == Scale::Quick { KvsParams::quick() } else { KvsParams::default() };
+    p.get_permille = mix.get_permille;
+    p.key_skew = Some(THETA);
+    let total = p.ops_per_batch * p.batches as u64;
+    let mut m = Machine::default();
+    let r = KvsWorkload::new(p).run(&mut m, Mode::Gpm).expect("gpm kvs");
+    assert!(r.verified);
+    total as f64 / r.elapsed.0 * 1e3
+}
+
+fn main() {
+    let scale = gpm_bench::scale_from_args();
+    let (n, universe): (u64, u64) =
+        if scale == Scale::Quick { (4_000, 8_192) } else { (40_000, 131_072) };
+    let mut report = Report::new(
+        "out_ycsb",
+        "YCSB mixes (Zipf 0.99): throughput in Mops/s",
+        &["mix", "pmemKV", "RocksDB-pmem", "MatrixKV", "GPM-KVS"],
+    );
+    for mix in MIXES {
+        let pmemkv = cpu_mops(
+            |m| Box::new(PmemKvCmap::create(m, universe * 2).expect("pmemkv")),
+            mix,
+            n,
+            universe,
+        );
+        let rocks = cpu_mops(
+            |m| Box::new(LsmKv::create(m, rocksdb_params()).expect("rocks")),
+            mix,
+            n,
+            universe,
+        );
+        let matrix = cpu_mops(
+            |m| Box::new(LsmKv::create(m, matrixkv_params()).expect("matrix")),
+            mix,
+            n,
+            universe,
+        );
+        let gpm = gpm_mops(mix, scale);
+        report.row(&[
+            mix.name.to_string(),
+            format!("{pmemkv:.3}"),
+            format!("{rocks:.3}"),
+            format!("{matrix:.3}"),
+            format!("{gpm:.3}"),
+        ]);
+    }
+    gpm_bench::emit(&report);
+}

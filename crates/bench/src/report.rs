@@ -1,0 +1,144 @@
+//! Tab-separated reports, mirroring the artifact's `reports/` outputs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A tabular experiment result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// File stem, e.g. `out_figure9`.
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report with the given column header.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        header: &[&str],
+    ) -> Report {
+        Report {
+            name: name.into(),
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The report as a tab-separated string (header + rows).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.header.join("\t"));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.join("\t"));
+        }
+        out
+    }
+
+    /// Pretty-prints with aligned columns.
+    pub fn to_pretty(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r, &widths));
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.txt` as TSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.txt", self.name)), self.to_tsv())
+    }
+}
+
+/// Formats a speedup cell (`"3.42"`) or the paper's `*` for unsupported.
+pub fn speedup_cell(s: Option<f64>) -> String {
+    match s {
+        Some(v) => format!("{v:.2}"),
+        None => "*".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_and_pretty_roundtrip() {
+        let mut r = Report::new("out_test", "Test", &["name", "value"]);
+        r.row(&["a".into(), "1.00".into()]);
+        r.row(&["bb".into(), "2.50".into()]);
+        assert_eq!(r.len(), 2);
+        let tsv = r.to_tsv();
+        assert!(tsv.contains("a\t1.00"));
+        assert!(tsv.starts_with("# Test"));
+        let pretty = r.to_pretty();
+        assert!(pretty.contains("2.50"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_enforced() {
+        let mut r = Report::new("x", "X", &["a", "b"]);
+        r.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("gpm_report_test");
+        let mut r = Report::new("out_save", "S", &["c"]);
+        r.row(&["v".into()]);
+        r.save(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("out_save.txt")).unwrap();
+        assert!(content.contains('v'));
+    }
+
+    #[test]
+    fn speedup_cells() {
+        assert_eq!(speedup_cell(Some(3.456)), "3.46");
+        assert_eq!(speedup_cell(None), "*");
+    }
+}

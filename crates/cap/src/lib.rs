@@ -1,0 +1,372 @@
+//! # gpm-cap — CPU-Assisted Persistence baselines
+//!
+//! The alternatives GPM is evaluated against (§3, §6.1). All of them compute
+//! on the GPU but rely on the CPU (and possibly the OS) to persist results:
+//!
+//! 1. the GPU driver DMAs results from device memory to host DRAM;
+//! 2. the CPU moves them to PM — through the filesystem ([`cap_fs_persist`],
+//!    "CAP-fs") or a memory-mapped file ([`cap_mm_persist`], "CAP-mm");
+//! 3. the CPU guarantees durability — `fsync` or CLFLUSHOPT+SFENCE.
+//!
+//! [`gpufs_persist`] models GPUfs: in-kernel file syscalls serviced by the
+//! CPU via RPC, with its 2 GB file-size limit. [`flush_from_cpu`] models the
+//! GPM-NDP configuration (GPU stores directly to PM, CPU guarantees
+//! persistence).
+//!
+//! Under eADR ([`gpm_sim::PersistMode::Eadr`]) the flush step disappears but
+//! the transfers remain — which is why eADR helps CAP only modestly (§6.1).
+
+#![warn(missing_docs)]
+
+use gpm_sim::{Addr, Machine, MemSpace, Ns, PersistMode, SimError, SimResult};
+
+/// DMA a region between GPU memory and host DRAM. Returns elapsed time and
+/// advances the machine clock.
+///
+/// # Errors
+///
+/// Propagates out-of-bounds errors.
+///
+/// # Panics
+///
+/// Panics unless exactly one endpoint is in HBM (see
+/// [`Machine::dma_copy`]).
+pub fn dma_transfer(machine: &mut Machine, src: Addr, dst: Addr, len: u64) -> SimResult<Ns> {
+    machine.dma_copy(src, dst, len)?;
+    let t = machine.cfg.dma_init_overhead + Ns(len as f64 / machine.cfg.pcie_bw);
+    machine.clock.advance(t);
+    Ok(t)
+}
+
+/// Chunk size of `write()` calls in the CAP-fs path.
+const FS_CHUNK: u64 = 4 << 20;
+
+/// CAP-fs: the CPU `write()`s a DRAM buffer into a PM-resident file and
+/// `fsync`s it. Functionally durable on return. Returns elapsed time.
+///
+/// # Errors
+///
+/// Propagates out-of-bounds errors.
+pub fn cap_fs_persist(
+    machine: &mut Machine,
+    src_dram: u64,
+    dst_pm: u64,
+    len: u64,
+) -> SimResult<Ns> {
+    copy_dram_to_pm_durable(machine, src_dram, dst_pm, len)?;
+    let syscalls = len.div_ceil(FS_CHUNK).max(1);
+    let t = Ns(syscalls as f64 * machine.cfg.syscall_overhead.0)
+        + Ns(len as f64 / machine.cfg.fs_write_bw)
+        + machine.cfg.fsync_overhead;
+    machine.clock.advance(t);
+    machine.stats.bytes_persisted += len;
+    Ok(t)
+}
+
+/// CAP-mm: the CPU copies a DRAM buffer into a memory-mapped PM file, then
+/// `threads` worker threads flush and drain their partitions. Functionally
+/// durable on return. Returns elapsed time.
+///
+/// Thread scaling follows the measured saturation of Figure 3(a)
+/// ([`gpm_sim::MachineConfig::cpu_persist_scaling`]). Note CAP-mm cannot use
+/// non-temporal stores: the data arrives in the LLC from the GPU (§3).
+///
+/// Under eADR, the flush component vanishes (CAP-eADR).
+///
+/// # Errors
+///
+/// Propagates out-of-bounds errors.
+pub fn cap_mm_persist(
+    machine: &mut Machine,
+    src_dram: u64,
+    dst_pm: u64,
+    len: u64,
+    threads: u32,
+) -> SimResult<Ns> {
+    copy_dram_to_pm_durable(machine, src_dram, dst_pm, len)?;
+    let cfg = &machine.cfg;
+    let copy = Ns(len as f64 / cfg.cpu_copy_bw);
+    let flush = match cfg.persist_mode {
+        PersistMode::Adr => Ns(len as f64 / cfg.cpu_flush_bw) + cfg.cpu_flush_drain_latency,
+        PersistMode::Eadr => Ns::ZERO,
+    };
+    let t = (copy + flush) / cfg.cpu_persist_scaling(threads);
+    machine.clock.advance(t);
+    machine.stats.bytes_persisted += len;
+    Ok(t)
+}
+
+/// GPM-NDP's persist step: the GPU already stored to PM addresses (with
+/// DDIO caching them in the LLC); `threads` CPU threads flush the region.
+/// Returns elapsed time.
+pub fn flush_from_cpu(machine: &mut Machine, pm_offset: u64, len: u64, threads: u32) -> Ns {
+    let dirty_lines = machine.cpu_persist_range(pm_offset, len);
+    let cfg = &machine.cfg;
+    // CLFLUSHOPT must be *issued* over the whole region (the CPU cannot know
+    // which lines the GPU dirtied), but only dirty lines write back.
+    let dirty_bytes = dirty_lines * gpm_sim::CPU_LINE;
+    let flush = match cfg.persist_mode {
+        PersistMode::Adr => {
+            Ns(len as f64 / cfg.cpu_clflush_issue_bw)
+                + Ns(dirty_bytes as f64 / cfg.cpu_flush_bw)
+                + cfg.cpu_flush_drain_latency
+        }
+        PersistMode::Eadr => Ns::ZERO,
+    };
+    let t = flush / cfg.cpu_persist_scaling(threads);
+    machine.clock.advance(t);
+    machine.stats.pm_write_bytes_cpu += dirty_bytes;
+    t
+}
+
+/// GPUfs: GPU threadblocks `gwrite()` a region to a PM-backed file via RPC
+/// to the CPU, which persists through the filesystem. `calls` is the number
+/// of in-kernel syscalls issued (one per threadblock per write in GPUfs'
+/// model). Returns elapsed time.
+///
+/// # Errors
+///
+/// Returns [`SimError::FileTooLarge`] at or beyond GPUfs' 2 GB file limit
+/// (matching the paper's BLK/HS failures), and propagates bounds errors.
+pub fn gpufs_persist(
+    machine: &mut Machine,
+    src_hbm: u64,
+    staging_dram: u64,
+    dst_pm: u64,
+    len: u64,
+    calls: u64,
+) -> SimResult<Ns> {
+    if len >= machine.cfg.gpufs_file_limit {
+        return Err(SimError::FileTooLarge {
+            path: "<gpufs>".to_owned(),
+            size: len,
+            limit: machine.cfg.gpufs_file_limit,
+        });
+    }
+    machine.dma_copy(Addr::hbm(src_hbm), Addr::dram(staging_dram), len)?;
+    copy_dram_to_pm_durable(machine, staging_dram, dst_pm, len)?;
+    let cfg = &machine.cfg;
+    let t = Ns(calls as f64 * cfg.gpufs_call_overhead.0)
+        + Ns(len as f64 / cfg.pcie_bw)
+        + Ns(len as f64 / cfg.fs_write_bw)
+        + cfg.fsync_overhead;
+    machine.clock.advance(t);
+    machine.stats.bytes_persisted += len;
+    Ok(t)
+}
+
+/// CAP's end-to-end persist of a GPU-resident region: DMA to a DRAM staging
+/// buffer, then the chosen CPU persist path. Returns elapsed time.
+///
+/// # Errors
+///
+/// Propagates out-of-bounds errors.
+pub fn cap_persist_region(
+    machine: &mut Machine,
+    flavor: CapFlavor,
+    src_hbm: u64,
+    staging_dram: u64,
+    dst_pm: u64,
+    len: u64,
+) -> SimResult<Ns> {
+    let mut t = dma_transfer(machine, Addr::hbm(src_hbm), Addr::dram(staging_dram), len)?;
+    t += match flavor {
+        CapFlavor::Fs => cap_fs_persist(machine, staging_dram, dst_pm, len)?,
+        CapFlavor::Mm { threads } => cap_mm_persist(machine, staging_dram, dst_pm, len, threads)?,
+    };
+    Ok(t)
+}
+
+/// Fine-grained CAP: transfers the region in `chunk` pieces, each with its
+/// own DMA initiation — the §3.2 alternative "smaller granularities of
+/// transfer can moderate extraneous data movement in a few applications,
+/// \[but\] the overhead of initiating fine-grain transfers from the CPU
+/// remains high enough to nullify any scope for improvement". With small
+/// chunks, per-transfer setup dominates; the test below quantifies it.
+///
+/// # Errors
+///
+/// Propagates out-of-bounds errors.
+pub fn cap_persist_region_chunked(
+    machine: &mut Machine,
+    flavor: CapFlavor,
+    src_hbm: u64,
+    staging_dram: u64,
+    dst_pm: u64,
+    len: u64,
+    chunk: u64,
+) -> SimResult<Ns> {
+    let chunk = chunk.max(1);
+    let mut t = Ns::ZERO;
+    let mut off = 0;
+    while off < len {
+        let n = chunk.min(len - off);
+        t += cap_persist_region(
+            machine,
+            flavor,
+            src_hbm + off,
+            staging_dram,
+            dst_pm + off,
+            n,
+        )?;
+        off += n;
+    }
+    Ok(t)
+}
+
+/// Which CPU persist path CAP uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapFlavor {
+    /// Filesystem (`write` + `fsync` on ext4-DAX).
+    Fs,
+    /// Memory-mapped file with `threads` flushing CPU threads.
+    Mm {
+        /// Number of persisting CPU threads.
+        threads: u32,
+    },
+}
+
+fn copy_dram_to_pm_durable(
+    machine: &mut Machine,
+    src_dram: u64,
+    dst_pm: u64,
+    len: u64,
+) -> SimResult<()> {
+    let mut buf = vec![0u8; len as usize];
+    machine.read(Addr { space: MemSpace::Dram, offset: src_dram }, &mut buf)?;
+    machine.cpu_store_pm_persisted(dst_pm, &buf)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_sim::MachineConfig;
+
+    fn staged_machine(len: u64) -> (Machine, u64, u64, u64) {
+        let mut m = Machine::default();
+        let hbm = m.alloc_hbm(len).unwrap();
+        let dram = m.alloc_dram(len).unwrap();
+        let pm = m.alloc_pm(len).unwrap();
+        let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+        m.host_write(Addr::hbm(hbm), &data).unwrap();
+        (m, hbm, dram, pm)
+    }
+
+    #[test]
+    fn cap_fs_is_durable() {
+        let (mut m, hbm, dram, pm) = staged_machine(4096);
+        cap_persist_region(&mut m, CapFlavor::Fs, hbm, dram, pm, 4096).unwrap();
+        m.crash();
+        let mut b = [0u8; 16];
+        m.read(Addr::pm(pm), &mut b).unwrap();
+        assert_eq!(b[15], 15);
+    }
+
+    #[test]
+    fn cap_mm_is_durable_and_faster_than_fs() {
+        let len = 16 << 20;
+        let (mut m, hbm, dram, pm) = staged_machine(len);
+        let t_fs = cap_persist_region(&mut m, CapFlavor::Fs, hbm, dram, pm, len).unwrap();
+        let t_mm =
+            cap_persist_region(&mut m, CapFlavor::Mm { threads: 32 }, hbm, dram, pm, len).unwrap();
+        assert!(t_fs > t_mm, "CAP-mm avoids OS overheads: fs={t_fs} mm={t_mm}");
+        assert!(t_fs < t_mm * 4.0, "but not by an order of magnitude");
+        m.crash();
+        let mut b = [0u8; 1];
+        m.read(Addr::pm(pm + 100), &mut b).unwrap();
+        assert_eq!(b[0], 100);
+    }
+
+    #[test]
+    fn cap_mm_thread_scaling_matches_fig3a() {
+        let len = 64 << 20;
+        let t_of = |threads: u32| {
+            let (mut m, hbm, dram, pm) = staged_machine(len);
+            cap_persist_region(&mut m, CapFlavor::Mm { threads }, hbm, dram, pm, len).unwrap()
+        };
+        let t1 = t_of(1);
+        let speedups: Vec<f64> = [2u32, 4, 16, 64].iter().map(|&n| t1 / t_of(n)).collect();
+        // Figure 3(a): 1.20, 1.34, 1.46, 1.46 — sublinear, plateauing < 1.5.
+        assert!((speedups[0] - 1.20).abs() < 0.1, "{speedups:?}");
+        assert!((speedups[1] - 1.34).abs() < 0.1, "{speedups:?}");
+        assert!(speedups[3] < 1.5 && speedups[3] > 1.35, "{speedups:?}");
+    }
+
+    #[test]
+    fn eadr_removes_the_flush_component() {
+        let len = 16 << 20;
+        let (mut m, hbm, dram, pm) = staged_machine(len);
+        let t_adr =
+            cap_persist_region(&mut m, CapFlavor::Mm { threads: 32 }, hbm, dram, pm, len).unwrap();
+        let mut m2 = Machine::new(MachineConfig::default().with_eadr());
+        let hbm2 = m2.alloc_hbm(len).unwrap();
+        let dram2 = m2.alloc_dram(len).unwrap();
+        let pm2 = m2.alloc_pm(len).unwrap();
+        m2.host_write(Addr::hbm(hbm2), &vec![3u8; len as usize]).unwrap();
+        let t_eadr =
+            cap_persist_region(&mut m2, CapFlavor::Mm { threads: 32 }, hbm2, dram2, pm2, len)
+                .unwrap();
+        assert!(t_eadr < t_adr);
+        // But the transfer still dominates: the gain is modest (§6.1).
+        assert!(t_adr / t_eadr < 2.5, "adr={t_adr} eadr={t_eadr}");
+    }
+
+    #[test]
+    fn gpufs_enforces_file_limit() {
+        let mut m = Machine::default();
+        let err = gpufs_persist(&mut m, 0, 0, 0, 3 << 30, 10).unwrap_err();
+        assert!(matches!(err, SimError::FileTooLarge { .. }));
+    }
+
+    #[test]
+    fn gpufs_syscall_overhead_hurts() {
+        let len = 1 << 20;
+        let (mut m, hbm, dram, pm) = staged_machine(len);
+        let t_few = gpufs_persist(&mut m, hbm, dram, pm, len, 8).unwrap();
+        let t_many = gpufs_persist(&mut m, hbm, dram, pm, len, 4096).unwrap();
+        assert!(t_many > t_few * 2.0, "per-call RPC cost dominates: {t_few} vs {t_many}");
+    }
+
+    #[test]
+    fn ndp_flush_is_slower_than_nothing_but_persists() {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(1 << 20).unwrap();
+        // GPU writes with DDIO on: pending in LLC.
+        m.gpu_store_pm(1, pm, &[7u8; 4096]).unwrap();
+        assert!(m.pm().is_pending(pm, 4096));
+        let t = flush_from_cpu(&mut m, pm, 4096, 16);
+        assert!(t.0 > 0.0);
+        assert!(!m.pm().is_pending(pm, 4096));
+    }
+
+    #[test]
+    fn fine_grained_cap_loses_to_coarse() {
+        // §3.2: per-transfer initiation overheads nullify fine-grained CAP.
+        let len = 4 << 20;
+        let (mut m, hbm, dram, pm) = staged_machine(len);
+        let coarse =
+            cap_persist_region(&mut m, CapFlavor::Mm { threads: 16 }, hbm, dram, pm, len).unwrap();
+        let fine = cap_persist_region_chunked(
+            &mut m,
+            CapFlavor::Mm { threads: 16 },
+            hbm,
+            dram,
+            pm,
+            len,
+            4 << 10,
+        )
+        .unwrap();
+        assert!(fine > coarse * 2.0, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn dma_advances_clock_and_counts() {
+        let (mut m, hbm, dram, _) = staged_machine(8192);
+        let t0 = m.clock.now();
+        let t = dma_transfer(&mut m, Addr::hbm(hbm), Addr::dram(dram), 8192).unwrap();
+        assert!(t >= m.cfg.dma_init_overhead);
+        assert_eq!(m.clock.now(), t0 + t);
+        assert_eq!(m.stats.dma_bytes, 8192);
+    }
+}

@@ -1,0 +1,147 @@
+//! Persistence auditing: find writes that never reached the persistence
+//! domain.
+//!
+//! The hardest PM bugs are *missing persists* — a store the programmer
+//! believed durable that was still sitting in a volatile cache at crash
+//! time. AGAMOTTO (cited by the paper for fence costs) hunts these on CPUs;
+//! the simulated platform makes the check trivial: any PM line still
+//! *pending* when a persistence window closes is exactly such a bug.
+//! [`persist_audit`] reports them as coalesced ranges.
+
+use gpm_sim::{Machine, CPU_LINE};
+
+/// A contiguous run of PM bytes that is visible but not durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnpersistedRange {
+    /// Start offset in PM.
+    pub offset: u64,
+    /// Length in bytes (line-granular).
+    pub len: u64,
+}
+
+/// Scans `[offset, offset+len)` for visible-but-not-durable lines and
+/// returns them as coalesced ranges. Run it after `gpm_persist_end` (or any
+/// point where the program believes its PM state durable): a non-empty
+/// result is a missing `gpm_persist`.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::Machine;
+/// use gpm_core::audit::persist_audit;
+///
+/// let mut m = Machine::default();
+/// let region = m.alloc_pm(4096)?;
+/// m.set_ddio(false);
+/// m.gpu_store_pm(0, region, &[1; 64])?;       // store ...
+/// m.gpu_store_pm(1, region + 256, &[2; 8])?;  // ... two threads
+/// m.gpu_system_fence(0);                      // only thread 0 fences!
+/// let leaks = persist_audit(&m, region, 4096);
+/// assert_eq!(leaks.len(), 1);
+/// assert_eq!(leaks[0].offset, region + 256);
+/// # Ok::<(), gpm_sim::SimError>(())
+/// ```
+pub fn persist_audit(machine: &Machine, offset: u64, len: u64) -> Vec<UnpersistedRange> {
+    let mut out: Vec<UnpersistedRange> = Vec::new();
+    let start_line = offset / CPU_LINE;
+    let end_line = (offset + len).div_ceil(CPU_LINE);
+    for line in start_line..end_line {
+        if machine.pm().is_pending(line * CPU_LINE, CPU_LINE) {
+            let line_off = line * CPU_LINE;
+            match out.last_mut() {
+                Some(last) if last.offset + last.len == line_off => last.len += CPU_LINE,
+                _ => out.push(UnpersistedRange { offset: line_off, len: CPU_LINE }),
+            }
+        }
+    }
+    out
+}
+
+/// Convenience assertion for tests and debug builds: panics with the leaked
+/// ranges when the region is not fully durable.
+///
+/// # Panics
+///
+/// Panics if any byte of the region is visible but not durable.
+pub fn assert_all_persisted(machine: &Machine, offset: u64, len: u64) {
+    let leaks = persist_audit(machine, offset, len);
+    assert!(
+        leaks.is_empty(),
+        "persistence audit failed: {} unpersisted range(s), first at PM+{:#x} ({} bytes)",
+        leaks.len(),
+        leaks[0].offset,
+        leaks[0].len
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gpm_persist_begin, gpm_persist_end, GpmThreadExt};
+    use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+
+    #[test]
+    fn clean_region_audits_clean() {
+        let mut m = Machine::default();
+        let r = m.alloc_pm(4096).unwrap();
+        gpm_persist_begin(&mut m);
+        launch(
+            &mut m,
+            LaunchConfig::new(1, 32),
+            &FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                ctx.st_u64(gpm_sim::Addr::pm(r + ctx.global_id() * 8), 1)?;
+                ctx.gpm_persist()
+            }),
+        )
+        .unwrap();
+        gpm_persist_end(&mut m);
+        assert!(persist_audit(&m, r, 4096).is_empty());
+        assert_all_persisted(&m, r, 4096);
+    }
+
+    #[test]
+    fn missing_persist_is_caught() {
+        // The classic bug: one code path forgets its gpm_persist.
+        let mut m = Machine::default();
+        let r = m.alloc_pm(1 << 16).unwrap();
+        gpm_persist_begin(&mut m);
+        launch(
+            &mut m,
+            LaunchConfig::new(1, 64),
+            &FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                let i = ctx.global_id();
+                ctx.st_u64(gpm_sim::Addr::pm(r + i * 256), i)?;
+                if i.is_multiple_of(2) {
+                    ctx.gpm_persist()?; // odd threads forget
+                }
+                Ok(())
+            }),
+        )
+        .unwrap();
+        gpm_persist_end(&mut m);
+        let leaks = persist_audit(&m, r, 1 << 16);
+        assert_eq!(leaks.len(), 32, "every odd thread leaked one line");
+        for l in &leaks {
+            assert_eq!((l.offset - r) / 256 % 2, 1);
+        }
+    }
+
+    #[test]
+    fn adjacent_leaks_coalesce() {
+        let mut m = Machine::default();
+        let r = m.alloc_pm(4096).unwrap();
+        m.gpu_store_pm(0, r, &[7u8; 256]).unwrap(); // DDIO on: all pending
+        let leaks = persist_audit(&m, r, 4096);
+        assert_eq!(leaks.len(), 1);
+        assert_eq!(leaks[0], UnpersistedRange { offset: r, len: 256 });
+    }
+
+    #[test]
+    #[should_panic(expected = "persistence audit failed")]
+    fn assertion_fires() {
+        let mut m = Machine::default();
+        let r = m.alloc_pm(4096).unwrap();
+        m.gpu_store_pm(0, r, &[7u8; 8]).unwrap();
+        assert_all_persisted(&m, r, 4096);
+    }
+}

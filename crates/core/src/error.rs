@@ -1,0 +1,78 @@
+//! Error type for libGPM host-side operations.
+
+use std::error::Error;
+use std::fmt;
+
+use gpm_sim::SimError;
+
+/// Errors from libGPM's host API (create/open/register/...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An underlying platform error.
+    Sim(SimError),
+    /// Log or checkpoint geometry is unusable.
+    BadGeometry(&'static str),
+    /// A file did not contain the expected structure.
+    Corrupt(&'static str),
+    /// A checkpoint group index was out of range.
+    NoSuchGroup(u32),
+    /// Registered data exceeds the checkpoint's per-group capacity.
+    GroupFull {
+        /// The offending group.
+        group: u32,
+        /// Bytes already registered plus the new registration.
+        needed: u64,
+        /// Per-group capacity in bytes.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "{e}"),
+            CoreError::BadGeometry(why) => write!(f, "bad geometry: {why}"),
+            CoreError::Corrupt(what) => write!(f, "corrupt structure: {what}"),
+            CoreError::NoSuchGroup(g) => write!(f, "no checkpoint group {g}"),
+            CoreError::GroupFull { group, needed, capacity } => write!(
+                f,
+                "group {group} capacity exceeded: {needed} bytes registered, {capacity} available"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> CoreError {
+        CoreError::Sim(e)
+    }
+}
+
+/// Result alias for libGPM host operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(SimError::Crashed);
+        assert!(e.to_string().contains("crash"));
+        assert!(Error::source(&e).is_some());
+        assert!(CoreError::BadGeometry("x").to_string().contains("x"));
+        assert!(CoreError::NoSuchGroup(3).to_string().contains('3'));
+        let gf = CoreError::GroupFull { group: 1, needed: 10, capacity: 5 };
+        assert!(gf.to_string().contains("exceeded"));
+        assert!(Error::source(&gf).is_none());
+    }
+}

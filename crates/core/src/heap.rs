@@ -1,0 +1,304 @@
+//! A crash-consistent persistent slab heap.
+//!
+//! `gpm_map` provides whole files; real applications also want *objects*.
+//! Following the paper's model that "memory needed for GPU kernels is
+//! statically allocated or deallocated on the CPU, before and after a
+//! kernel launch" (§5.1), [`PmHeap`] is a host-managed slab allocator over
+//! a PM file whose allocation bitmap is itself persistent and updated
+//! crash-consistently (in the NV-heaps tradition the paper cites):
+//!
+//! * **allocate**: optionally initialize the slot durably *first*, then
+//!   persist its bitmap flag — a crash in between leaks nothing visible;
+//! * **free**: persist the cleared flag; the slot is reusable after any
+//!   crash.
+//!
+//! Kernels receive slot addresses and use them like any other PM memory.
+
+use gpm_sim::cpu::CpuCtx;
+use gpm_sim::{Addr, Machine, Ns, SimError, SimResult, HOST_WRITER};
+
+use crate::error::{CoreError, CoreResult};
+use crate::map::{gpm_map, GpmRegion};
+
+const MAGIC: u32 = 0x4850_5047; // "GPHP"
+const HEADER: u64 = 256;
+
+/// A persistent slab heap of fixed-size slots.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::Machine;
+/// use gpm_core::heap::PmHeap;
+///
+/// let mut m = Machine::default();
+/// let mut heap = PmHeap::create(&mut m, "/pm/heap", 64, 16)?;
+/// let a = heap.alloc_with(&mut m, &42u64.to_le_bytes())?;
+/// m.crash();
+/// // Reopen: the allocation (and its contents) survived.
+/// let heap = PmHeap::open(&m, "/pm/heap")?;
+/// assert_eq!(heap.live_slots(), 1);
+/// assert_eq!(m.read_u64(a)?, 42);
+/// # Ok::<(), gpm_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct PmHeap {
+    region: GpmRegion,
+    slot_size: u64,
+    slots: u64,
+    /// Host cache of the persistent bitmap (authoritative copy on PM).
+    bitmap: Vec<bool>,
+}
+
+impl PmHeap {
+    fn bitmap_base(&self) -> u64 {
+        self.region.offset + HEADER
+    }
+
+    fn data_base(&self) -> u64 {
+        gpm_sim::addr::align_up(self.bitmap_base() + self.slots, 256)
+    }
+
+    /// Creates a heap of `slots` slots of `slot_size` bytes each.
+    ///
+    /// # Errors
+    ///
+    /// Fails on zero geometry or PM exhaustion.
+    pub fn create(
+        machine: &mut Machine,
+        path: &str,
+        slot_size: u64,
+        slots: u64,
+    ) -> CoreResult<PmHeap> {
+        if slot_size == 0 || slots == 0 {
+            return Err(CoreError::BadGeometry("heap needs slots and a slot size"));
+        }
+        let slot_size = gpm_sim::addr::align_up(slot_size, 8);
+        let total = HEADER + slots + 256 + slots * slot_size;
+        let region = gpm_map(machine, path, total, true)?;
+        let mut h = [0u8; 24];
+        h[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        h[4..12].copy_from_slice(&slot_size.to_le_bytes());
+        h[12..20].copy_from_slice(&slots.to_le_bytes());
+        machine.host_write(Addr::pm(region.offset), &h)?;
+        Ok(PmHeap { region, slot_size, slots, bitmap: vec![false; slots as usize] })
+    }
+
+    /// Reopens a heap after a crash, reading the persistent bitmap.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file is missing or corrupt.
+    pub fn open(machine: &Machine, path: &str) -> CoreResult<PmHeap> {
+        let file = machine.fs_open(path)?;
+        let base = file.offset;
+        if machine.read_u32(Addr::pm(base))? != MAGIC {
+            return Err(CoreError::Corrupt("heap header magic mismatch"));
+        }
+        let slot_size = machine.read_u64(Addr::pm(base + 4))?;
+        let slots = machine.read_u64(Addr::pm(base + 12))?;
+        let mut flags = vec![0u8; slots as usize];
+        machine.read(Addr::pm(base + HEADER), &mut flags)?;
+        Ok(PmHeap {
+            region: GpmRegion { path: path.to_owned(), offset: base, len: file.len },
+            slot_size,
+            slots,
+            bitmap: flags.iter().map(|&f| f != 0).collect(),
+        })
+    }
+
+    /// Slot capacity in bytes.
+    pub fn slot_size(&self) -> u64 {
+        self.slot_size
+    }
+
+    /// Number of currently allocated slots.
+    pub fn live_slots(&self) -> u64 {
+        self.bitmap.iter().filter(|&&b| b).count() as u64
+    }
+
+    /// Address of slot `i` (allocated or not — for tests/tooling).
+    ///
+    /// # Errors
+    ///
+    /// Fails past the end of the heap.
+    pub fn slot_addr(&self, i: u64) -> SimResult<Addr> {
+        if i >= self.slots {
+            return Err(SimError::Invalid("heap slot out of range"));
+        }
+        Ok(Addr::pm(self.data_base() + i * self.slot_size))
+    }
+
+    fn persist_flag(&self, machine: &mut Machine, slot: u64, value: u8) -> SimResult<Ns> {
+        let addr = self.bitmap_base() + slot;
+        let mut cpu = CpuCtx::new(machine, HOST_WRITER);
+        cpu.store(Addr::pm(addr), &[value])?;
+        cpu.persist(addr, 1);
+        let t = cpu.elapsed();
+        machine.clock.advance(t);
+        Ok(t)
+    }
+
+    /// Allocates an uninitialized slot: the flag is persisted before the
+    /// address is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadGeometry`] when the heap is full.
+    pub fn alloc(&mut self, machine: &mut Machine) -> CoreResult<Addr> {
+        let slot = self
+            .bitmap
+            .iter()
+            .position(|&b| !b)
+            .ok_or(CoreError::BadGeometry("heap exhausted"))? as u64;
+        self.persist_flag(machine, slot, 1)?;
+        self.bitmap[slot as usize] = true;
+        Ok(self.slot_addr(slot)?)
+    }
+
+    /// Allocates a slot and durably initializes it with `data` *before*
+    /// publishing the allocation — the crash-consistent allocation path.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the heap is full or `data` exceeds the slot size.
+    pub fn alloc_with(&mut self, machine: &mut Machine, data: &[u8]) -> CoreResult<Addr> {
+        if data.len() as u64 > self.slot_size {
+            return Err(CoreError::BadGeometry("object larger than the slot size"));
+        }
+        let slot = self
+            .bitmap
+            .iter()
+            .position(|&b| !b)
+            .ok_or(CoreError::BadGeometry("heap exhausted"))? as u64;
+        let addr = self.slot_addr(slot)?;
+        // 1. Initialize the slot durably (CPU store + flush).
+        machine.cpu_store_pm_persisted(addr.offset, data)?;
+        machine
+            .clock
+            .advance(Ns(data.len() as f64 / machine.cfg.cpu_copy_bw) + machine.cfg.cpu_flush_drain_latency);
+        // 2. Publish: persist the bitmap flag. A crash before this point
+        //    leaves the slot unallocated (the write is invisible garbage).
+        self.persist_flag(machine, slot, 1)?;
+        self.bitmap[slot as usize] = true;
+        Ok(addr)
+    }
+
+    /// Frees a previously allocated slot (persisted immediately).
+    ///
+    /// # Errors
+    ///
+    /// Detects double frees and wild addresses.
+    pub fn free(&mut self, machine: &mut Machine, addr: Addr) -> CoreResult<()> {
+        let base = self.data_base();
+        if addr.offset < base
+            || !(addr.offset - base).is_multiple_of(self.slot_size)
+            || (addr.offset - base) / self.slot_size >= self.slots
+        {
+            return Err(CoreError::Corrupt("free of a non-heap address"));
+        }
+        let slot = (addr.offset - base) / self.slot_size;
+        if !self.bitmap[slot as usize] {
+            return Err(CoreError::Corrupt("double free"));
+        }
+        self.persist_flag(machine, slot, 0)?;
+        self.bitmap[slot as usize] = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_reuse() {
+        let mut m = Machine::default();
+        let mut h = PmHeap::create(&mut m, "/pm/h", 32, 4).unwrap();
+        let a = h.alloc(&mut m).unwrap();
+        let b = h.alloc(&mut m).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(h.live_slots(), 2);
+        h.free(&mut m, a).unwrap();
+        let c = h.alloc(&mut m).unwrap();
+        assert_eq!(a, c, "freed slot is reused");
+    }
+
+    #[test]
+    fn exhaustion_and_double_free_detected() {
+        let mut m = Machine::default();
+        let mut h = PmHeap::create(&mut m, "/pm/h", 16, 2).unwrap();
+        let a = h.alloc(&mut m).unwrap();
+        let _b = h.alloc(&mut m).unwrap();
+        assert!(matches!(h.alloc(&mut m), Err(CoreError::BadGeometry(_))));
+        h.free(&mut m, a).unwrap();
+        assert!(matches!(h.free(&mut m, a), Err(CoreError::Corrupt(_))));
+        assert!(h.free(&mut m, Addr::pm(3)).is_err(), "wild address");
+    }
+
+    #[test]
+    fn allocations_survive_crash_and_reopen() {
+        let mut m = Machine::default();
+        let kept;
+        {
+            let mut h = PmHeap::create(&mut m, "/pm/h", 64, 8).unwrap();
+            kept = h.alloc_with(&mut m, &0xDEAD_BEEFu64.to_le_bytes()).unwrap();
+            let tmp = h.alloc(&mut m).unwrap();
+            h.free(&mut m, tmp).unwrap();
+        }
+        m.crash();
+        let h = PmHeap::open(&m, "/pm/h").unwrap();
+        assert_eq!(h.live_slots(), 1, "the freed slot stays free, the kept one stays live");
+        assert_eq!(m.read_u64(kept).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn alloc_with_initializes_before_publishing() {
+        // The invariant: a slot flagged allocated always holds its data.
+        let mut m = Machine::default();
+        let mut h = PmHeap::create(&mut m, "/pm/h", 16, 8).unwrap();
+        for i in 0..5u64 {
+            h.alloc_with(&mut m, &(i * 11).to_le_bytes()).unwrap();
+        }
+        m.crash();
+        let h = PmHeap::open(&m, "/pm/h").unwrap();
+        for i in 0..h.live_slots() {
+            let v = m.read_u64(h.slot_addr(i).unwrap()).unwrap();
+            assert_eq!(v, i * 11);
+        }
+    }
+
+    #[test]
+    fn kernels_use_heap_slots_like_any_pm() {
+        use crate::{gpm_persist_begin, gpm_persist_end, GpmThreadExt};
+        use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+        let mut m = Machine::default();
+        let mut h = PmHeap::create(&mut m, "/pm/h", 256, 4).unwrap();
+        let obj = h.alloc(&mut m).unwrap();
+        gpm_persist_begin(&mut m);
+        launch(
+            &mut m,
+            LaunchConfig::new(1, 32),
+            &FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                ctx.st_u64(obj.add(ctx.global_id() * 8), ctx.global_id())?;
+                ctx.gpm_persist()
+            }),
+        )
+        .unwrap();
+        gpm_persist_end(&mut m);
+        m.crash();
+        assert_eq!(m.read_u64(obj.add(8)).unwrap(), 1);
+    }
+
+    #[test]
+    fn geometry_validated() {
+        let mut m = Machine::default();
+        assert!(PmHeap::create(&mut m, "/pm/z", 0, 4).is_err());
+        assert!(PmHeap::create(&mut m, "/pm/z", 8, 0).is_err());
+        let mut h = PmHeap::create(&mut m, "/pm/z", 8, 1).unwrap();
+        assert!(matches!(
+            h.alloc_with(&mut m, &[0; 64]),
+            Err(CoreError::BadGeometry(_))
+        ));
+    }
+}

@@ -1,0 +1,274 @@
+//! Address arithmetic for the two log formats.
+//!
+//! **HCL** (Hierarchical Coalesced Logging, §5.2) mirrors the GPU's
+//! execution hierarchy in the log's layout: each threadblock owns a region,
+//! each warp a cache-line-aligned sub-region, and each thread a fixed lane
+//! slot, so every thread computes a unique insertion offset with no locking.
+//! Entries larger than 4 bytes are *striped*: the k-th 4-byte chunk of every
+//! lane's entry lands in the k-th 128-byte stripe of the warp's region
+//! (Figure 5), so a warp's SIMD store of chunk k coalesces into a single
+//! 128-byte PCIe transaction.
+//!
+//! **Conventional** distributed logging keeps `P` lock-protected partitions
+//! appended sequentially (the prior-work baseline HCL is compared against in
+//! Figure 11).
+
+use gpm_sim::GPU_LINE;
+
+use crate::error::CoreError;
+
+/// Size of one log chunk: the 4-byte unit each lane writes per SIMD store.
+pub const CHUNK: u64 = 4;
+
+/// Lanes per warp (fixed by the hardware).
+pub const LANES: u64 = 32;
+
+/// Reserved header bytes at the start of every log file.
+pub const HEADER: u64 = 256;
+
+/// Geometry of an HCL log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HclLayout {
+    /// Threadblocks the log was created for.
+    pub blocks: u32,
+    /// Threads per block (multiple of 32).
+    pub threads_per_block: u32,
+    /// Per-thread capacity in 4-byte chunks.
+    pub capacity_chunks: u32,
+    /// Whether entries are striped across lanes (Figure 5). Disabling
+    /// striping keeps the hierarchy (lock-freedom) but lays each thread's
+    /// entry contiguously, defeating the hardware coalescer — the ablation
+    /// isolating HCL's second optimization.
+    pub striped: bool,
+}
+
+impl HclLayout {
+    /// Computes a layout for `blocks × threads_per_block` threads sharing
+    /// `size` bytes of log data.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero geometry, a block size that is not a whole number of
+    /// warps, or a size too small for one chunk per thread.
+    pub fn new(size: u64, blocks: u32, threads_per_block: u32) -> Result<HclLayout, CoreError> {
+        Self::with_striping(size, blocks, threads_per_block, true)
+    }
+
+    /// Like [`HclLayout::new`] with explicit striping (the coalescing
+    /// ablation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HclLayout::new`].
+    pub fn with_striping(
+        size: u64,
+        blocks: u32,
+        threads_per_block: u32,
+        striped: bool,
+    ) -> Result<HclLayout, CoreError> {
+        if blocks == 0 || threads_per_block == 0 {
+            return Err(CoreError::BadGeometry("log geometry must be non-zero"));
+        }
+        if !threads_per_block.is_multiple_of(LANES as u32) {
+            return Err(CoreError::BadGeometry("threads per block must be a multiple of 32"));
+        }
+        let total_threads = blocks as u64 * threads_per_block as u64;
+        let capacity_chunks = size / (total_threads * CHUNK);
+        if capacity_chunks == 0 {
+            return Err(CoreError::BadGeometry("log too small for one chunk per thread"));
+        }
+        Ok(HclLayout {
+            blocks,
+            threads_per_block,
+            capacity_chunks: capacity_chunks.min(u32::MAX as u64) as u32,
+            striped,
+        })
+    }
+
+    /// Total threads the log serves.
+    pub fn total_threads(&self) -> u64 {
+        self.blocks as u64 * self.threads_per_block as u64
+    }
+
+    /// Total warps the log serves.
+    pub fn total_warps(&self) -> u64 {
+        self.total_threads() / LANES
+    }
+
+    /// Bytes of the tail-index area: one 128-byte line per warp, holding the
+    /// 32 lanes' 4-byte tail counters — so a warp's tail updates coalesce.
+    pub fn tails_bytes(&self) -> u64 {
+        self.total_warps() * GPU_LINE
+    }
+
+    /// Bytes of one warp's data region: 32 lanes × per-thread capacity.
+    pub fn warp_region_bytes(&self) -> u64 {
+        LANES * self.capacity_chunks as u64 * CHUNK
+    }
+
+    /// Total file bytes needed (header + tails + data).
+    pub fn file_bytes(&self) -> u64 {
+        HEADER + self.tails_bytes() + self.total_warps() * self.warp_region_bytes()
+    }
+
+    /// Offset (within the file) of thread `tid`'s tail counter.
+    pub fn tail_offset(&self, tid: u64) -> u64 {
+        let warp = tid / LANES;
+        let lane = tid % LANES;
+        HEADER + warp * GPU_LINE + lane * CHUNK
+    }
+
+    /// Offset (within the file) of chunk index `k` of thread `tid`'s log.
+    /// When striped, chunk k of lane l sits in stripe k of the thread's
+    /// warp region: `stripe_base + l·4` (Figure 5). Unstriped, each
+    /// thread's chunks are contiguous.
+    pub fn chunk_offset(&self, tid: u64, k: u64) -> u64 {
+        debug_assert!(k < self.capacity_chunks as u64);
+        let warp = tid / LANES;
+        let lane = tid % LANES;
+        let data_base = HEADER + self.tails_bytes();
+        let warp_base = data_base + warp * self.warp_region_bytes();
+        if self.striped {
+            warp_base + k * GPU_LINE + lane * CHUNK
+        } else {
+            warp_base + lane * self.capacity_chunks as u64 * CHUNK + k * CHUNK
+        }
+    }
+}
+
+/// Geometry of a conventional distributed log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvLayout {
+    /// Number of lock-protected partitions.
+    pub partitions: u32,
+    /// Data bytes per partition.
+    pub partition_capacity: u64,
+}
+
+impl ConvLayout {
+    /// Computes a layout for `partitions` partitions sharing `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero partitions or capacities too small for one entry.
+    pub fn new(size: u64, partitions: u32) -> Result<ConvLayout, CoreError> {
+        if partitions == 0 {
+            return Err(CoreError::BadGeometry("need at least one partition"));
+        }
+        let partition_capacity = size / partitions as u64;
+        if partition_capacity < 16 {
+            return Err(CoreError::BadGeometry("partitions too small"));
+        }
+        Ok(ConvLayout { partitions, partition_capacity })
+    }
+
+    /// Total file bytes needed (header + per-partition tail lines + data).
+    pub fn file_bytes(&self) -> u64 {
+        HEADER + self.partitions as u64 * 256 + self.partitions as u64 * self.partition_capacity
+    }
+
+    /// Offset of partition `p`'s tail counter (each on its own 256-byte
+    /// block to avoid device-buffer sharing).
+    pub fn tail_offset(&self, p: u32) -> u64 {
+        HEADER + p as u64 * 256
+    }
+
+    /// Offset of byte `off` within partition `p`'s data.
+    pub fn data_offset(&self, p: u32, off: u64) -> u64 {
+        debug_assert!(off < self.partition_capacity);
+        HEADER + self.partitions as u64 * 256 + p as u64 * self.partition_capacity + off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hcl_sizes_add_up() {
+        let l = HclLayout::new(1 << 20, 4, 128).unwrap();
+        assert_eq!(l.total_threads(), 512);
+        assert_eq!(l.total_warps(), 16);
+        assert_eq!(l.capacity_chunks, (1 << 20) / (512 * 4));
+        assert_eq!(l.tails_bytes(), 16 * 128);
+        assert!(l.file_bytes() >= HEADER + l.tails_bytes() + (1 << 20));
+    }
+
+    #[test]
+    fn hcl_rejects_bad_geometry() {
+        assert!(HclLayout::new(1 << 20, 0, 32).is_err());
+        assert!(HclLayout::new(1 << 20, 1, 33).is_err());
+        assert!(HclLayout::new(16, 4, 128).is_err());
+    }
+
+    #[test]
+    fn warp_tails_share_a_line() {
+        let l = HclLayout::new(1 << 20, 2, 64).unwrap();
+        // Lanes 0..32 of warp 0: consecutive 4-byte slots in one 128 B line.
+        for lane in 0..32u64 {
+            assert_eq!(l.tail_offset(lane), HEADER + lane * 4);
+        }
+        // Warp 1 starts on the next line.
+        assert_eq!(l.tail_offset(32), HEADER + 128);
+    }
+
+    #[test]
+    fn chunks_stripe_across_lanes() {
+        let l = HclLayout::new(1 << 20, 1, 32).unwrap();
+        let base = HEADER + l.tails_bytes();
+        // Chunk 0 of all lanes fills stripe 0 contiguously.
+        for lane in 0..32u64 {
+            assert_eq!(l.chunk_offset(lane, 0), base + lane * 4);
+        }
+        // Chunk 1 of lane 0 begins stripe 1, 128 bytes later.
+        assert_eq!(l.chunk_offset(0, 1), base + 128);
+    }
+
+    #[test]
+    fn warp_regions_are_disjoint() {
+        let l = HclLayout::new(1 << 20, 2, 64).unwrap();
+        let top_w0 = l.chunk_offset(31, l.capacity_chunks as u64 - 1);
+        let bottom_w1 = l.chunk_offset(32, 0);
+        assert!(top_w0 < bottom_w1);
+    }
+
+    #[test]
+    fn distinct_threads_distinct_offsets() {
+        for striped in [true, false] {
+            let l = HclLayout::with_striping(1 << 16, 2, 64, striped).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for tid in 0..l.total_threads() {
+                for k in 0..l.capacity_chunks as u64 {
+                    assert!(
+                        seen.insert(l.chunk_offset(tid, k)),
+                        "overlap at tid={tid} k={k} striped={striped}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unstriped_entries_are_contiguous_per_thread() {
+        let l = HclLayout::with_striping(1 << 16, 1, 32, false).unwrap();
+        for tid in 0..32 {
+            for k in 1..4 {
+                assert_eq!(l.chunk_offset(tid, k), l.chunk_offset(tid, k - 1) + 4);
+            }
+        }
+        // But lanes of a warp do NOT share a 128-byte line at chunk 0:
+        // capacity ≥ 32 chunks apart.
+        assert!(l.chunk_offset(1, 0) - l.chunk_offset(0, 0) >= 128);
+    }
+
+    #[test]
+    fn conv_layout() {
+        let l = ConvLayout::new(1 << 16, 8).unwrap();
+        assert_eq!(l.partition_capacity, (1 << 16) / 8);
+        assert!(l.tail_offset(1) > l.tail_offset(0));
+        assert_eq!(l.data_offset(0, 0), HEADER + 8 * 256);
+        assert!(l.data_offset(1, 0) - l.data_offset(0, 0) == l.partition_capacity);
+        assert!(ConvLayout::new(1 << 16, 0).is_err());
+        assert!(ConvLayout::new(64, 8).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Persistency primitives: `gpm_map`/`gpm_unmap` and the DDIO window
+//! (`gpm_persist_begin`/`gpm_persist_end`).
+//!
+//! `gpm_map` memory-maps a PM-resident file (via PMDK's libpmem on the real
+//! system) and exposes it to the GPU's address space through UVA (§5.1).
+//! Here it creates or opens a named extent on the simulated PM device and
+//! returns a [`GpmRegion`] whose addresses kernels can load/store directly.
+
+use gpm_sim::{Addr, Machine, SimError, SimResult};
+
+/// A PM-resident file mapped into the GPU's (and CPU's) address space.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::Machine;
+/// use gpm_core::{gpm_map, gpm_unmap};
+/// let mut m = Machine::default();
+/// let region = gpm_map(&mut m, "/pm/data", 4096, true)?;
+/// assert!(region.len >= 4096);
+/// let again = gpm_map(&mut m, "/pm/data", 4096, false)?; // reopen
+/// assert_eq!(again.offset, region.offset);
+/// gpm_unmap(&mut m, &again)?;
+/// # Ok::<(), gpm_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpmRegion {
+    /// The file path backing this mapping.
+    pub path: String,
+    /// Byte offset of the extent within PM.
+    pub offset: u64,
+    /// Extent length in bytes.
+    pub len: u64,
+}
+
+impl GpmRegion {
+    /// Address of byte `off` within the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is outside the region (a wild pointer).
+    pub fn addr(&self, off: u64) -> Addr {
+        assert!(off < self.len, "offset {off} outside region of {} bytes", self.len);
+        Addr::pm(self.offset + off)
+    }
+
+    /// Address of the start of the region.
+    pub fn base(&self) -> Addr {
+        Addr::pm(self.offset)
+    }
+}
+
+/// Maps a PM-resident file of at least `size` bytes, creating it when
+/// `create` is set and it does not exist yet.
+///
+/// # Errors
+///
+/// Returns [`SimError::FileNotFound`] when `create` is false and the file
+/// does not exist, or an allocation failure when PM is exhausted.
+pub fn gpm_map(machine: &mut Machine, path: &str, size: u64, create: bool) -> SimResult<GpmRegion> {
+    let file = if machine.fs_exists(path) {
+        machine.fs_open(path)?
+    } else if create {
+        machine.fs_create(path, size)?
+    } else {
+        return Err(SimError::FileNotFound(path.to_owned()));
+    };
+    Ok(GpmRegion { path: path.to_owned(), offset: file.offset, len: file.len })
+}
+
+/// Unmaps a region previously returned by [`gpm_map`]. The file itself
+/// stays on PM.
+///
+/// # Errors
+///
+/// Returns [`SimError::FileNotFound`] if the backing file vanished.
+pub fn gpm_unmap(machine: &mut Machine, region: &GpmRegion) -> SimResult<()> {
+    machine.fs_open(&region.path).map(|_| ())
+}
+
+/// Disables DDIO for the GPU so that system-scope fences guarantee
+/// persistence (§5.1). Call before launching kernels that `gpm_persist`.
+/// Accounts the I/O-register write cost.
+pub fn gpm_persist_begin(machine: &mut Machine) {
+    let cost = machine.cfg.ddio_toggle_overhead;
+    machine.set_ddio(false);
+    machine.clock.advance(cost);
+}
+
+/// Re-enables DDIO after a persistence window.
+pub fn gpm_persist_end(machine: &mut Machine) {
+    let cost = machine.cfg.ddio_toggle_overhead;
+    machine.set_ddio(true);
+    machine.clock.advance(cost);
+}
+
+/// Runs `f` inside a `gpm_persist_begin`/`gpm_persist_end` window.
+///
+/// # Errors
+///
+/// Propagates `f`'s error; DDIO is restored either way.
+pub fn with_persist_window<T, E>(
+    machine: &mut Machine,
+    f: impl FnOnce(&mut Machine) -> Result<T, E>,
+) -> Result<T, E> {
+    gpm_persist_begin(machine);
+    let out = f(machine);
+    gpm_persist_end(machine);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_creates_and_reopens() {
+        let mut m = Machine::default();
+        let r = gpm_map(&mut m, "/pm/a", 1000, true).unwrap();
+        let r2 = gpm_map(&mut m, "/pm/a", 1000, true).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn map_without_create_fails_for_missing() {
+        let mut m = Machine::default();
+        assert!(matches!(gpm_map(&mut m, "/pm/x", 10, false), Err(SimError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn region_addressing() {
+        let mut m = Machine::default();
+        let r = gpm_map(&mut m, "/pm/b", 512, true).unwrap();
+        assert_eq!(r.addr(0), r.base());
+        assert_eq!(r.addr(10).offset, r.offset + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn out_of_region_addr_panics() {
+        let mut m = Machine::default();
+        let r = gpm_map(&mut m, "/pm/c", 256, true).unwrap();
+        let _ = r.addr(r.len);
+    }
+
+    #[test]
+    fn persist_window_toggles_ddio_and_costs_time() {
+        let mut m = Machine::default();
+        assert!(m.ddio_enabled());
+        let t0 = m.clock.now();
+        gpm_persist_begin(&mut m);
+        assert!(!m.ddio_enabled());
+        gpm_persist_end(&mut m);
+        assert!(m.ddio_enabled());
+        assert!(m.clock.now() > t0);
+    }
+
+    #[test]
+    fn with_persist_window_restores_on_error() {
+        let mut m = Machine::default();
+        let r: Result<(), &str> = with_persist_window(&mut m, |_| Err("boom"));
+        assert!(r.is_err());
+        assert!(m.ddio_enabled());
+    }
+
+    #[test]
+    fn unmap_checks_backing_file() {
+        let mut m = Machine::default();
+        let r = gpm_map(&mut m, "/pm/d", 64, true).unwrap();
+        gpm_unmap(&mut m, &r).unwrap();
+        m.fs_remove("/pm/d").unwrap();
+        assert!(gpm_unmap(&mut m, &r).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! The in-kernel persist operation.
+
+use gpm_gpu::ThreadCtx;
+use gpm_sim::{SimError, SimResult};
+
+/// Extends [`ThreadCtx`] with libGPM's `gpm_persist()` (§5.1): prior writes
+/// by this thread are guaranteed durable once the call returns.
+pub trait GpmThreadExt {
+    /// Ensures prior writes by this GPU thread are persistent. Implemented
+    /// as a system-scope fence; valid only inside a
+    /// [`gpm_persist_begin`]/[`gpm_persist_end`] window (or under eADR),
+    /// because with DDIO enabled the fence completes at the volatile LLC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PersistenceUnavailable`] when called outside a
+    /// persistence window on a non-eADR platform — the bug GPM's DDIO
+    /// toggling exists to prevent.
+    ///
+    /// [`gpm_persist_begin`]: crate::gpm_persist_begin
+    /// [`gpm_persist_end`]: crate::gpm_persist_end
+    fn gpm_persist(&mut self) -> SimResult<()>;
+}
+
+impl GpmThreadExt for ThreadCtx<'_> {
+    fn gpm_persist(&mut self) -> SimResult<()> {
+        if !self.persist_guaranteed() {
+            return Err(SimError::PersistenceUnavailable(
+                "gpm_persist outside a gpm_persist_begin/end window (DDIO enabled, no eADR)",
+            ));
+        }
+        self.threadfence_system()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{gpm_persist_begin, gpm_persist_end};
+    use gpm_gpu::{launch, FnKernel, LaunchConfig};
+    use gpm_sim::{Addr, Machine, MachineConfig};
+
+    #[test]
+    fn persist_survives_crash() {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(4096).unwrap();
+        gpm_persist_begin(&mut m);
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(pm + i * 8), i + 1)?;
+            ctx.gpm_persist()
+        });
+        launch(&mut m, LaunchConfig::new(1, 64), &k).unwrap();
+        gpm_persist_end(&mut m);
+        m.crash();
+        for i in 0..64 {
+            assert_eq!(m.read_u64(Addr::pm(pm + i * 8)).unwrap(), i + 1);
+        }
+    }
+
+    #[test]
+    fn persist_outside_window_is_rejected() {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(64).unwrap();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            ctx.st_u64(Addr::pm(pm), 1)?;
+            ctx.gpm_persist()
+        });
+        let err = launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap_err();
+        assert!(matches!(err, SimError::PersistenceUnavailable(_)));
+    }
+
+    #[test]
+    fn eadr_needs_no_window() {
+        let mut m = Machine::new(MachineConfig::default().with_eadr());
+        let pm = m.alloc_pm(4096).unwrap();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(pm + i * 8), 42)?;
+            ctx.gpm_persist()
+        });
+        launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
+        m.crash();
+        assert_eq!(m.read_u64(Addr::pm(pm)).unwrap(), 42);
+    }
+}

@@ -1,0 +1,154 @@
+//! The transaction-active flag protocol (§5.2).
+//!
+//! "Before the kernel begins execution, a flag is set and persisted to
+//! indicate that a transaction on the GPU is active." Recovery consults the
+//! flag: if it is clear, the crash did not interrupt a transaction and the
+//! logs can simply be truncated; if set, the undo logs must be replayed.
+//! gpKVS and gpDB both use this protocol; [`TxnFlag`] factors it out.
+
+use gpm_sim::cpu::CpuCtx;
+use gpm_sim::{Addr, Machine, Ns, SimResult, HOST_WRITER};
+
+use crate::map::{gpm_map, GpmRegion};
+
+/// A persistent transaction-active flag.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::Machine;
+/// use gpm_core::txn::TxnFlag;
+///
+/// let mut m = Machine::default();
+/// let flag = TxnFlag::create(&mut m, "/pm/txn")?;
+/// flag.begin(&mut m, 7)?;            // batch 7 is in flight
+/// assert_eq!(flag.active(&m)?, 7);
+/// m.crash();
+/// assert_eq!(flag.active(&m)?, 7);   // survives: recovery must undo
+/// flag.commit(&mut m)?;
+/// assert_eq!(flag.active(&m)?, 0);
+/// # Ok::<(), gpm_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxnFlag {
+    region: GpmRegion,
+}
+
+impl TxnFlag {
+    /// Creates (or reopens) the flag's backing PM file.
+    ///
+    /// # Errors
+    ///
+    /// Fails when PM is exhausted.
+    pub fn create(machine: &mut Machine, path: &str) -> SimResult<TxnFlag> {
+        let region = gpm_map(machine, path, 256, true)?;
+        Ok(TxnFlag { region })
+    }
+
+    fn addr(&self) -> Addr {
+        self.region.base()
+    }
+
+    /// Marks transaction `id` active (non-zero) and persists the mark.
+    /// Returns the CPU time spent (the machine clock advances by it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors; `id` must be non-zero.
+    pub fn begin(&self, machine: &mut Machine, id: u64) -> SimResult<Ns> {
+        assert!(id != 0, "transaction ids are non-zero (zero means idle)");
+        self.write(machine, id)
+    }
+
+    /// Clears the flag after the transaction's effects (and log truncation)
+    /// are durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn commit(&self, machine: &mut Machine) -> SimResult<Ns> {
+        self.write(machine, 0)
+    }
+
+    /// Reads the active transaction id (0 = none). What recovery consults
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn active(&self, machine: &Machine) -> SimResult<u64> {
+        machine.read_u64(self.addr())
+    }
+
+    fn write(&self, machine: &mut Machine, value: u64) -> SimResult<Ns> {
+        let mut cpu = CpuCtx::new(machine, HOST_WRITER);
+        cpu.store(self.addr(), &value.to_le_bytes())?;
+        cpu.persist(self.addr().offset, 8);
+        let t = cpu.elapsed();
+        machine.clock.advance(t);
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_commit_cycle() {
+        let mut m = Machine::default();
+        let f = TxnFlag::create(&mut m, "/pm/t").unwrap();
+        assert_eq!(f.active(&m).unwrap(), 0);
+        f.begin(&mut m, 3).unwrap();
+        assert_eq!(f.active(&m).unwrap(), 3);
+        f.commit(&mut m).unwrap();
+        assert_eq!(f.active(&m).unwrap(), 0);
+    }
+
+    #[test]
+    fn flag_survives_crash_mid_transaction() {
+        let mut m = Machine::default();
+        let f = TxnFlag::create(&mut m, "/pm/t").unwrap();
+        f.begin(&mut m, 42).unwrap();
+        m.crash();
+        assert_eq!(f.active(&m).unwrap(), 42, "recovery must see the in-flight txn");
+    }
+
+    #[test]
+    fn committed_flag_stays_clear_after_crash() {
+        let mut m = Machine::default();
+        let f = TxnFlag::create(&mut m, "/pm/t").unwrap();
+        f.begin(&mut m, 1).unwrap();
+        f.commit(&mut m).unwrap();
+        m.crash();
+        assert_eq!(f.active(&m).unwrap(), 0);
+    }
+
+    #[test]
+    fn reopen_sees_persisted_state() {
+        let mut m = Machine::default();
+        {
+            let f = TxnFlag::create(&mut m, "/pm/t").unwrap();
+            f.begin(&mut m, 9).unwrap();
+        }
+        let f2 = TxnFlag::create(&mut m, "/pm/t").unwrap();
+        assert_eq!(f2.active(&m).unwrap(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_id_rejected() {
+        let mut m = Machine::default();
+        let f = TxnFlag::create(&mut m, "/pm/t").unwrap();
+        let _ = f.begin(&mut m, 0);
+    }
+
+    #[test]
+    fn begin_costs_time() {
+        let mut m = Machine::default();
+        let f = TxnFlag::create(&mut m, "/pm/t").unwrap();
+        let t0 = m.clock.now();
+        f.begin(&mut m, 1).unwrap();
+        assert!(m.clock.now() > t0);
+    }
+}

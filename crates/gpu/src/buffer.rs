@@ -1,0 +1,274 @@
+//! Typed array views over simulated memory.
+//!
+//! Workload code indexes arrays of scalars far more often than raw bytes;
+//! [`Buf<T>`] wraps a `(space, offset, len)` triple with element-typed
+//! accessors for both kernels ([`Buf::ld`]/[`Buf::st`]) and the host
+//! ([`Buf::read_host`]/[`Buf::write_host`]), with bounds checked at the
+//! simulated-memory layer.
+
+use std::marker::PhantomData;
+
+use gpm_sim::{Addr, Machine, MemSpace, SimError, SimResult};
+
+use crate::exec::ThreadCtx;
+
+/// A scalar storable in simulated memory. Sealed: implemented for the
+/// fixed-width primitives the engine's context supports.
+pub trait Scalar: Copy + private::Sealed {
+    /// Size in bytes.
+    const BYTES: u64;
+    /// Reads the scalar through a thread context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    fn ld(ctx: &mut ThreadCtx<'_>, addr: Addr) -> SimResult<Self>;
+    /// Writes the scalar through a thread context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    fn st(ctx: &mut ThreadCtx<'_>, addr: Addr, v: Self) -> SimResult<()>;
+    /// Encodes to little-endian bytes (host paths).
+    fn to_le(self) -> Vec<u8>;
+    /// Decodes from little-endian bytes.
+    fn from_le(b: &[u8]) -> Self;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+macro_rules! scalar {
+    ($t:ty, $bytes:expr, $ld:ident, $st:ident) => {
+        impl Scalar for $t {
+            const BYTES: u64 = $bytes;
+            fn ld(ctx: &mut ThreadCtx<'_>, addr: Addr) -> SimResult<Self> {
+                ctx.$ld(addr)
+            }
+            fn st(ctx: &mut ThreadCtx<'_>, addr: Addr, v: Self) -> SimResult<()> {
+                ctx.$st(addr, v)
+            }
+            fn to_le(self) -> Vec<u8> {
+                self.to_le_bytes().to_vec()
+            }
+            fn from_le(b: &[u8]) -> Self {
+                <$t>::from_le_bytes(b.try_into().expect("scalar width"))
+            }
+        }
+    };
+}
+
+scalar!(u32, 4, ld_u32, st_u32);
+scalar!(u64, 8, ld_u64, st_u64);
+scalar!(f32, 4, ld_f32, st_f32);
+scalar!(f64, 8, ld_f64, st_f64);
+
+/// A typed array in one memory space.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_gpu::{launch, Buf, FnKernel, LaunchConfig, ThreadCtx};
+/// use gpm_sim::{Machine, MemSpace};
+///
+/// let mut m = Machine::default();
+/// let xs: Buf<u64> = Buf::alloc(&mut m, MemSpace::Pm, 256)?;
+/// launch(&mut m, LaunchConfig::new(1, 256), &FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+///     let i = ctx.global_id();
+///     xs.st(ctx, i, i * i)
+/// }))?;
+/// assert_eq!(xs.read_host(&m, 9)?, 81);
+/// # Ok::<(), gpm_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Buf<T> {
+    base: Addr,
+    len: u64,
+    _elem: PhantomData<T>,
+}
+
+// `derive(Clone, Copy)` would needlessly bound `T`.
+impl<T> Clone for Buf<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Buf<T> {}
+
+impl<T: Scalar> Buf<T> {
+    /// Allocates an array of `len` elements in `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] when the space is exhausted.
+    pub fn alloc(machine: &mut Machine, space: MemSpace, len: u64) -> SimResult<Buf<T>> {
+        let bytes = len * T::BYTES;
+        let offset = match space {
+            MemSpace::Pm => machine.alloc_pm(bytes)?,
+            MemSpace::Dram => machine.alloc_dram(bytes)?,
+            MemSpace::Hbm => machine.alloc_hbm(bytes)?,
+        };
+        Ok(Buf { base: Addr { space, offset }, len, _elem: PhantomData })
+    }
+
+    /// Wraps an existing region (e.g. a `gpm_map`ped file).
+    pub fn from_raw(base: Addr, len: u64) -> Buf<T> {
+        Buf { base, len, _elem: PhantomData }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] past the end.
+    pub fn addr(&self, i: u64) -> SimResult<Addr> {
+        if i >= self.len {
+            return Err(SimError::Invalid("buffer index out of range"));
+        }
+        Ok(self.base.add(i * T::BYTES))
+    }
+
+    /// Kernel-side load of element `i`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range indices and platform errors.
+    pub fn ld(&self, ctx: &mut ThreadCtx<'_>, i: u64) -> SimResult<T> {
+        T::ld(ctx, self.addr(i)?)
+    }
+
+    /// Kernel-side store of element `i`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range indices and platform errors.
+    pub fn st(&self, ctx: &mut ThreadCtx<'_>, i: u64, v: T) -> SimResult<()> {
+        T::st(ctx, self.addr(i)?, v)
+    }
+
+    /// Host-side read of element `i` (coherent, untimed).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range indices and platform errors.
+    pub fn read_host(&self, machine: &Machine, i: u64) -> SimResult<T> {
+        let mut b = vec![0u8; T::BYTES as usize];
+        machine.read(self.addr(i)?, &mut b)?;
+        Ok(T::from_le(&b))
+    }
+
+    /// Host-side initialization of element `i` (durable for PM, untimed).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range indices and platform errors.
+    pub fn write_host(&self, machine: &mut Machine, i: u64, v: T) -> SimResult<()> {
+        machine.host_write(self.addr(i)?, &v.to_le())
+    }
+
+    /// Host-side bulk initialization from a slice (durable for PM, untimed).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the slice exceeds the buffer, or on platform errors.
+    pub fn fill_host(&self, machine: &mut Machine, values: &[T]) -> SimResult<()> {
+        if values.len() as u64 > self.len {
+            return Err(SimError::Invalid("slice longer than buffer"));
+        }
+        let mut bytes = Vec::with_capacity(values.len() * T::BYTES as usize);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le());
+        }
+        machine.host_write(self.base, &bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{launch, FnKernel, LaunchConfig};
+
+    #[test]
+    fn typed_roundtrip_all_scalars() {
+        let mut m = Machine::default();
+        let a: Buf<u32> = Buf::alloc(&mut m, MemSpace::Hbm, 8).unwrap();
+        let b: Buf<u64> = Buf::alloc(&mut m, MemSpace::Pm, 8).unwrap();
+        let c: Buf<f32> = Buf::alloc(&mut m, MemSpace::Dram, 8).unwrap();
+        let d: Buf<f64> = Buf::alloc(&mut m, MemSpace::Hbm, 8).unwrap();
+        a.write_host(&mut m, 3, 7).unwrap();
+        b.write_host(&mut m, 3, 1 << 40).unwrap();
+        c.write_host(&mut m, 3, 2.5).unwrap();
+        d.write_host(&mut m, 3, -9.25).unwrap();
+        assert_eq!(a.read_host(&m, 3).unwrap(), 7);
+        assert_eq!(b.read_host(&m, 3).unwrap(), 1 << 40);
+        assert_eq!(c.read_host(&m, 3).unwrap(), 2.5);
+        assert_eq!(d.read_host(&m, 3).unwrap(), -9.25);
+    }
+
+    #[test]
+    fn kernel_access_through_buf() {
+        let mut m = Machine::default();
+        let xs: Buf<f32> = Buf::alloc(&mut m, MemSpace::Hbm, 64).unwrap();
+        launch(
+            &mut m,
+            LaunchConfig::new(1, 64),
+            &FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                let i = ctx.global_id();
+                xs.st(ctx, i, i as f32 * 0.5)
+            }),
+        )
+        .unwrap();
+        assert_eq!(xs.read_host(&m, 10).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut m = Machine::default();
+        let xs: Buf<u64> = Buf::alloc(&mut m, MemSpace::Hbm, 4).unwrap();
+        assert!(xs.addr(4).is_err());
+        assert!(xs.read_host(&m, 100).is_err());
+        assert!(xs.fill_host(&mut m, &[0; 5]).is_err());
+        assert_eq!(xs.len(), 4);
+        assert!(!xs.is_empty());
+    }
+
+    #[test]
+    fn fill_host_bulk() {
+        let mut m = Machine::default();
+        let xs: Buf<u32> = Buf::alloc(&mut m, MemSpace::Pm, 16).unwrap();
+        xs.fill_host(&mut m, &(0..16).map(|i| i * 3).collect::<Vec<_>>()).unwrap();
+        assert_eq!(xs.read_host(&m, 5).unwrap(), 15);
+        // PM-backed: survives a crash (host writes are durable setup).
+        m.crash();
+        assert_eq!(xs.read_host(&m, 15).unwrap(), 45);
+    }
+
+    #[test]
+    fn from_raw_wraps_regions() {
+        let mut m = Machine::default();
+        let off = m.alloc_pm(64).unwrap();
+        let xs: Buf<u64> = Buf::from_raw(Addr::pm(off), 8);
+        xs.write_host(&mut m, 0, 42).unwrap();
+        assert_eq!(m.read_u64(Addr::pm(off)).unwrap(), 42);
+    }
+}

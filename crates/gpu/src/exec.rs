@@ -1,0 +1,668 @@
+//! The kernel launcher: phase-by-phase, warp-by-warp execution with
+//! hardware coalescing, scoped fences, and crash injection.
+//!
+//! Execution is deterministic and sequential in simulation, but models the
+//! GPU's concurrency: threads of a warp execute in lockstep, so their
+//! same-program-point accesses to one 128-byte line coalesce into a single
+//! PCIe transaction (§2), and a warp's simultaneous fences form one fence
+//! event. Phase boundaries implement `__syncthreads()`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gpm_sim::pattern::PatternTracker;
+use gpm_sim::{Addr, CrashReport, Machine, MemSpace, Ns, SimError, SimResult, WriterId, GPU_LINE};
+
+use crate::dim::{LaunchConfig, ThreadId, WARP_SIZE};
+use crate::kernel::Kernel;
+use crate::timing::KernelCosts;
+
+/// Result of a completed kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Simulated elapsed time of the launch (also added to the machine
+    /// clock).
+    pub elapsed: Ns,
+    /// Resource usage that produced `elapsed`.
+    pub costs: KernelCosts,
+}
+
+/// Why a launch did not complete.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// A functional error (out-of-bounds access, etc.).
+    Sim(SimError),
+    /// The injected crash fuel ran out: the machine has crashed (volatile
+    /// state wiped, pending PM lines partially applied).
+    Crashed(CrashReport),
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::Sim(e) => write!(f, "kernel fault: {e}"),
+            LaunchError::Crashed(r) => write!(
+                f,
+                "machine crashed mid-kernel ({} pending lines reached media, {} lost)",
+                r.lines_applied, r.lines_dropped
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<SimError> for LaunchError {
+    fn from(e: SimError) -> LaunchError {
+        LaunchError::Sim(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    PmWrite { offset: u64, len: u32 },
+    PmRead { offset: u64, len: u32 },
+    SysFence,
+    DevFence,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    seq: u32,
+    kind: EventKind,
+}
+
+/// Execution context handed to each thread, wrapping the machine with the
+/// thread's identity and the warp's coalescing buffer.
+pub struct ThreadCtx<'a> {
+    machine: &'a mut Machine,
+    costs: &'a mut KernelCosts,
+    events: &'a mut Vec<Event>,
+    fuel: &'a mut Option<u64>,
+    launch: LaunchConfig,
+    id: ThreadId,
+    writer: WriterId,
+    op_seq: u32,
+}
+
+impl fmt::Debug for ThreadCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("id", &self.id)
+            .field("op_seq", &self.op_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadCtx<'_> {
+    fn burn(&mut self) -> SimResult<()> {
+        if let Some(fuel) = self.fuel {
+            if *fuel == 0 {
+                return Err(SimError::Crashed);
+            }
+            *fuel -= 1;
+        }
+        self.op_seq += 1;
+        Ok(())
+    }
+
+    // ---- identity -----------------------------------------------------------
+
+    /// Globally unique linear thread index (`blockIdx.x * blockDim.x +
+    /// threadIdx.x`).
+    pub fn global_id(&self) -> u64 {
+        self.id.global(&self.launch)
+    }
+
+    /// Block index within the grid.
+    pub fn block_id(&self) -> u32 {
+        self.id.block
+    }
+
+    /// Thread index within the block.
+    pub fn thread_in_block(&self) -> u32 {
+        self.id.thread
+    }
+
+    /// Lane within the warp (0..32).
+    pub fn lane(&self) -> u32 {
+        self.id.lane()
+    }
+
+    /// Threads per block of this launch.
+    pub fn block_dim(&self) -> u32 {
+        self.launch.block
+    }
+
+    /// Blocks in this launch's grid.
+    pub fn grid_dim(&self) -> u32 {
+        self.launch.grid
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.launch.total_threads()
+    }
+
+    // ---- memory operations ---------------------------------------------------
+
+    /// Stores raw bytes. PM stores travel over PCIe and coalesce per warp;
+    /// they require a [`ThreadCtx::threadfence_system`] (with persistence
+    /// available) to become durable.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses and injected crashes surface as errors.
+    pub fn st_bytes(&mut self, addr: Addr, bytes: &[u8]) -> SimResult<()> {
+        self.burn()?;
+        match addr.space {
+            MemSpace::Pm => {
+                self.machine.gpu_store_pm(self.writer, addr.offset, bytes)?;
+                self.costs.pm_write_bytes += bytes.len() as u64;
+                self.events.push(Event {
+                    seq: self.op_seq,
+                    kind: EventKind::PmWrite { offset: addr.offset, len: bytes.len() as u32 },
+                });
+            }
+            MemSpace::Hbm => {
+                self.machine.host_write(addr, bytes)?;
+                self.costs.hbm_bytes += bytes.len() as u64;
+            }
+            MemSpace::Dram => {
+                self.machine.host_write(addr, bytes)?;
+                self.costs.dram_bytes += bytes.len() as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads raw bytes with coherent visibility.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses and injected crashes surface as errors.
+    pub fn ld_bytes(&mut self, addr: Addr, buf: &mut [u8]) -> SimResult<()> {
+        self.burn()?;
+        match addr.space {
+            MemSpace::Pm => {
+                self.machine.gpu_load_pm(addr.offset, buf)?;
+                self.costs.pm_read_bytes += buf.len() as u64;
+                self.events.push(Event {
+                    seq: self.op_seq,
+                    kind: EventKind::PmRead { offset: addr.offset, len: buf.len() as u32 },
+                });
+            }
+            MemSpace::Hbm => {
+                self.machine.read(addr, buf)?;
+                self.costs.hbm_bytes += buf.len() as u64;
+            }
+            MemSpace::Dram => {
+                self.machine.read(addr, buf)?;
+                self.costs.dram_bytes += buf.len() as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadCtx::st_bytes`].
+    pub fn st_u32(&mut self, addr: Addr, v: u32) -> SimResult<()> {
+        self.st_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Loads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadCtx::ld_bytes`].
+    pub fn ld_u32(&mut self, addr: Addr) -> SimResult<u32> {
+        let mut b = [0u8; 4];
+        self.ld_bytes(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Stores a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadCtx::st_bytes`].
+    pub fn st_u64(&mut self, addr: Addr, v: u64) -> SimResult<()> {
+        self.st_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Loads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadCtx::ld_bytes`].
+    pub fn ld_u64(&mut self, addr: Addr) -> SimResult<u64> {
+        let mut b = [0u8; 8];
+        self.ld_bytes(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Stores a little-endian `f32`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadCtx::st_bytes`].
+    pub fn st_f32(&mut self, addr: Addr, v: f32) -> SimResult<()> {
+        self.st_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Loads a little-endian `f32`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadCtx::ld_bytes`].
+    pub fn ld_f32(&mut self, addr: Addr) -> SimResult<f32> {
+        let mut b = [0u8; 4];
+        self.ld_bytes(addr, &mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+
+    /// Stores a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadCtx::st_bytes`].
+    pub fn st_f64(&mut self, addr: Addr, v: f64) -> SimResult<()> {
+        self.st_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Loads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadCtx::ld_bytes`].
+    pub fn ld_f64(&mut self, addr: Addr) -> SimResult<f64> {
+        let mut b = [0u8; 8];
+        self.ld_bytes(addr, &mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+
+    /// Atomic fetch-add on a `u32` (e.g. frontier queue tails). Returns the
+    /// previous value.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadCtx::ld_bytes`].
+    pub fn atomic_add_u32(&mut self, addr: Addr, v: u32) -> SimResult<u32> {
+        let old = self.ld_u32(addr)?;
+        self.st_u32(addr, old.wrapping_add(v))?;
+        Ok(old)
+    }
+
+    // ---- fences & modelling hooks ---------------------------------------------
+
+    /// `__threadfence_system()`: orders prior writes with respect to the
+    /// whole system. Under GPM's DDIO-disabled window (or eADR) this is the
+    /// persist operation; with DDIO enabled it provides visibility only.
+    ///
+    /// # Errors
+    ///
+    /// Injected crashes surface as [`SimError::Crashed`].
+    pub fn threadfence_system(&mut self) -> SimResult<()> {
+        self.burn()?;
+        self.machine.gpu_system_fence(self.writer);
+        self.events.push(Event { seq: self.op_seq, kind: EventKind::SysFence });
+        Ok(())
+    }
+
+    /// `__threadfence()`: device-scope ordering (visibility to other blocks).
+    ///
+    /// # Errors
+    ///
+    /// Injected crashes surface as [`SimError::Crashed`].
+    pub fn threadfence(&mut self) -> SimResult<()> {
+        self.burn()?;
+        self.events.push(Event { seq: self.op_seq, kind: EventKind::DevFence });
+        Ok(())
+    }
+
+    /// Declares `ns` of pure compute by this thread (hidden by parallelism).
+    pub fn compute(&mut self, ns: Ns) {
+        self.costs.compute += ns;
+    }
+
+    /// Declares serialized work behind contention key `key` (e.g. a lock on
+    /// a log partition): chains on the same key cannot overlap.
+    pub fn serialize(&mut self, key: u64, t: Ns) {
+        self.costs.add_serial(key, t);
+    }
+
+    /// Whether a system fence currently guarantees durability (DDIO disabled
+    /// or eADR) — what `gpm_persist` relies on.
+    pub fn persist_guaranteed(&self) -> bool {
+        self.machine.gpu_persist_guaranteed()
+    }
+
+    /// Read-only access to platform configuration.
+    pub fn config(&self) -> &gpm_sim::MachineConfig {
+        &self.machine.cfg
+    }
+}
+
+fn drain_warp_events(machine: &mut Machine, costs: &mut KernelCosts, events: &mut Vec<Event>) {
+    if events.is_empty() {
+        return;
+    }
+    let mut groups: BTreeMap<u32, Vec<Event>> = BTreeMap::new();
+    for e in events.drain(..) {
+        groups.entry(e.seq).or_default().push(e);
+    }
+    for (_, group) in groups {
+        // Coalesce writes within 128-byte GPU lines.
+        let mut write_lines: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let mut read_lines: BTreeMap<u64, ()> = BTreeMap::new();
+        let mut sys_fence = false;
+        let mut dev_fence = false;
+        for e in &group {
+            match e.kind {
+                EventKind::PmWrite { offset, len } => {
+                    let mut cur = offset;
+                    let end = offset + len as u64;
+                    while cur < end {
+                        let line = cur / GPU_LINE;
+                        let line_end = (line + 1) * GPU_LINE;
+                        let ext_end = end.min(line_end);
+                        let entry = write_lines.entry(line).or_insert((cur, ext_end));
+                        entry.0 = entry.0.min(cur);
+                        entry.1 = entry.1.max(ext_end);
+                        cur = ext_end;
+                    }
+                }
+                EventKind::PmRead { offset, len } => {
+                    let mut cur = offset;
+                    let end = offset + len as u64;
+                    while cur < end {
+                        read_lines.insert(cur / GPU_LINE, ());
+                        cur = ((cur / GPU_LINE) + 1) * GPU_LINE;
+                    }
+                }
+                EventKind::SysFence => sys_fence = true,
+                EventKind::DevFence => dev_fence = true,
+            }
+        }
+        for (_, (start, end)) in write_lines {
+            costs.pcie_write_txns += 1;
+            machine.stats.pcie_write_txns += 1;
+            machine.gpu_pm_pattern.record(start, end - start);
+            machine.note_gpu_pm_txn(start, end - start);
+        }
+        costs.pcie_read_txns += read_lines.len() as u64;
+        if sys_fence {
+            costs.system_fence_events += 1;
+            machine.gpu_pm_pattern.barrier();
+        }
+        if dev_fence {
+            costs.device_fence_events += 1;
+        }
+    }
+}
+
+/// Launches `kernel` over `cfg`, returning its report. The machine clock
+/// advances by the kernel's elapsed time.
+///
+/// # Errors
+///
+/// Returns any functional error a thread hit (e.g. out-of-bounds).
+pub fn launch<K: Kernel>(
+    machine: &mut Machine,
+    cfg: LaunchConfig,
+    kernel: &K,
+) -> SimResult<KernelReport> {
+    match launch_inner(machine, cfg, kernel, &mut None) {
+        Ok(r) => Ok(r),
+        Err(LaunchError::Sim(e)) => Err(e),
+        Err(LaunchError::Crashed(_)) => unreachable!("no fuel, no crash"),
+    }
+}
+
+/// Launches `kernel` with crash injection: after `fuel` context operations
+/// across all threads, the machine crashes (volatile state wiped, pending PM
+/// lines partially applied) and [`LaunchError::Crashed`] is returned.
+///
+/// # Errors
+///
+/// [`LaunchError::Crashed`] on fuel exhaustion; [`LaunchError::Sim`] on
+/// functional errors.
+pub fn launch_with_fuel<K: Kernel>(
+    machine: &mut Machine,
+    cfg: LaunchConfig,
+    kernel: &K,
+    fuel: u64,
+) -> Result<KernelReport, LaunchError> {
+    launch_inner(machine, cfg, kernel, &mut Some(fuel))
+}
+
+/// Like [`launch_with_fuel`], but draws from (and writes back to) a shared
+/// fuel budget, so a sequence of launches can share one crash point.
+/// `None` fuel means unlimited.
+///
+/// # Errors
+///
+/// Same as [`launch_with_fuel`].
+pub fn launch_with_fuel_budget<K: Kernel>(
+    machine: &mut Machine,
+    cfg: LaunchConfig,
+    kernel: &K,
+    fuel: &mut Option<u64>,
+) -> Result<KernelReport, LaunchError> {
+    launch_inner(machine, cfg, kernel, fuel)
+}
+
+fn launch_inner<K: Kernel>(
+    machine: &mut Machine,
+    cfg: LaunchConfig,
+    kernel: &K,
+    fuel: &mut Option<u64>,
+) -> Result<KernelReport, LaunchError> {
+    machine.stats.kernel_launches += 1;
+    let pattern_before = machine.gpu_pm_pattern.clone();
+    let mut costs = KernelCosts::default();
+    let mut events: Vec<Event> = Vec::new();
+    let phases = kernel.phases();
+
+    for block in 0..cfg.grid {
+        let mut shared = K::Shared::default();
+        let mut states: Vec<K::State> =
+            (0..cfg.block).map(|_| K::State::default()).collect();
+        for phase in 0..phases {
+            for warp in 0..cfg.warps_per_block() {
+                for lane in 0..WARP_SIZE {
+                    let thread = warp * WARP_SIZE + lane;
+                    if thread >= cfg.block {
+                        break;
+                    }
+                    let id = ThreadId { block, thread };
+                    let writer = id.global(&cfg) as WriterId;
+                    let mut ctx = ThreadCtx {
+                        machine,
+                        costs: &mut costs,
+                        events: &mut events,
+                        fuel,
+                        launch: cfg,
+                        id,
+                        writer,
+                        op_seq: 0,
+                    };
+                    match kernel.run(phase, &mut ctx, &mut states[thread as usize], &mut shared) {
+                        Ok(()) => {}
+                        Err(SimError::Crashed) => {
+                            let report = machine.crash();
+                            return Err(LaunchError::Crashed(report));
+                        }
+                        Err(e) => return Err(LaunchError::Sim(e)),
+                    }
+                }
+                drain_warp_events(machine, &mut costs, &mut events);
+            }
+        }
+    }
+
+    let pattern_delta: PatternTracker = machine.gpu_pm_pattern.delta(&pattern_before);
+    let elapsed = costs.elapsed(&machine.cfg, &cfg, &pattern_delta);
+    machine.clock.advance(elapsed);
+    Ok(KernelReport { elapsed, costs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::FnKernel;
+
+    #[test]
+    fn coalesced_warp_writes_are_one_transaction() {
+        // 32 lanes write 4 consecutive bytes each: one 128-byte line.
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(4096).unwrap();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u32(Addr::pm(pm + i * 4), i as u32)
+        });
+        let r = launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
+        assert_eq!(r.costs.pcie_write_txns, 1, "hardware coalescing merged the warp's stores");
+        assert_eq!(r.costs.pm_write_bytes, 128);
+    }
+
+    #[test]
+    fn scattered_warp_writes_do_not_coalesce() {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(1 << 20).unwrap();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u32(Addr::pm(pm + i * 4096), i as u32)
+        });
+        let r = launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
+        assert_eq!(r.costs.pcie_write_txns, 32);
+    }
+
+    #[test]
+    fn warp_fences_coalesce_to_one_event() {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(4096).unwrap();
+        m.set_ddio(false);
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u32(Addr::pm(pm + i * 4), 7)?;
+            ctx.threadfence_system()
+        });
+        let r = launch(&mut m, LaunchConfig::new(1, 64), &k).unwrap();
+        assert_eq!(r.costs.system_fence_events, 2, "one per warp");
+        assert!(!m.pm().is_pending(pm, 256));
+    }
+
+    #[test]
+    fn clock_advances_by_elapsed() {
+        let mut m = Machine::default();
+        let t0 = m.clock.now();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            ctx.compute(Ns::from_micros(10.0));
+            Ok(())
+        });
+        let r = launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
+        assert_eq!(m.clock.now(), t0 + r.elapsed);
+        assert!(r.elapsed >= m.cfg.kernel_launch_overhead);
+    }
+
+    #[test]
+    fn fuel_exhaustion_crashes_machine() {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(1 << 16).unwrap();
+        let hbm = m.alloc_hbm(64).unwrap();
+        m.host_write(Addr::hbm(hbm), &[9; 8]).unwrap();
+        m.set_ddio(false);
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(pm + i * 8), i)?;
+            ctx.threadfence_system()
+        });
+        let err = launch_with_fuel(&mut m, LaunchConfig::new(4, 64), &k, 100).unwrap_err();
+        match err {
+            LaunchError::Crashed(_) => {}
+            other => panic!("expected crash, got {other}"),
+        }
+        assert_eq!(m.stats.crashes, 1);
+        assert_eq!(m.read_u64(Addr::hbm(hbm)).unwrap(), 0, "volatile state wiped");
+        // Threads that fenced before the crash have durable data.
+        assert_eq!(m.read_u64(Addr::pm(pm)).unwrap(), 0); // thread 0 wrote value 0
+        assert_eq!(m.read_u64(Addr::pm(pm + 8)).unwrap(), 1);
+    }
+
+    #[test]
+    fn generous_fuel_completes() {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(4096).unwrap();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| ctx.st_u32(Addr::pm(pm), 1));
+        let r = launch_with_fuel(&mut m, LaunchConfig::new(1, 32), &k, 1_000_000).unwrap();
+        assert!(r.elapsed.0 > 0.0);
+        assert_eq!(m.stats.crashes, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut m = Machine::default();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            ctx.st_u32(Addr::pm(m_capacity_plus()), 1)
+        });
+        fn m_capacity_plus() -> u64 {
+            u64::MAX - 16
+        }
+        let err = launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn atomic_add_accumulates_across_threads() {
+        let mut m = Machine::default();
+        let ctr = m.alloc_hbm(4).unwrap();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            ctx.atomic_add_u32(Addr::hbm(ctr), 1).map(|_| ())
+        });
+        launch(&mut m, LaunchConfig::new(4, 64), &k).unwrap();
+        assert_eq!(m.read_u32(Addr::hbm(ctr)).unwrap(), 256);
+    }
+
+    #[test]
+    fn hbm_traffic_counts_bytes_not_txns() {
+        let mut m = Machine::default();
+        let hbm = m.alloc_hbm(1 << 16).unwrap();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::hbm(hbm + i * 8), i)
+        });
+        let r = launch(&mut m, LaunchConfig::new(1, 128), &k).unwrap();
+        assert_eq!(r.costs.hbm_bytes, 128 * 8);
+        assert_eq!(r.costs.pcie_write_txns, 0);
+    }
+
+    #[test]
+    fn more_parallelism_hides_fence_latency() {
+        // The §3.2 scaling experiment in miniature: same total persists,
+        // more threads, shorter elapsed time — up to the in-flight limit.
+        let total: u64 = 1 << 12;
+        let mut times = Vec::new();
+        for threads in [32u32, 128, 512] {
+            let mut m = Machine::default();
+            let pm = m.alloc_pm(1 << 20).unwrap();
+            m.set_ddio(false);
+            let per = total / threads as u64;
+            let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                let i = ctx.global_id();
+                for j in 0..per {
+                    ctx.st_u64(Addr::pm(pm + (i * per + j) * 8), j)?;
+                    ctx.threadfence_system()?;
+                }
+                Ok(())
+            });
+            let r = launch(&mut m, LaunchConfig::for_elements(threads as u64, 32), &k).unwrap();
+            times.push(r.elapsed);
+        }
+        assert!(times[0] > times[1] * 2.0, "{:?}", times);
+        assert!(times[1] > times[2], "{:?}", times);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the execution engine's conservation laws:
+//! coalescing may merge accesses but never lose bytes, and the timing model
+//! is monotone in work.
+
+use proptest::prelude::*;
+
+use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_sim::{Addr, Machine, Ns};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bytes are conserved: the kernel's PM-write byte count equals the sum
+    /// of the stores the threads issued, whatever the coalescer did to the
+    /// transaction count.
+    #[test]
+    fn coalescing_conserves_bytes(
+        threads in 1u64..300,
+        stride in prop::sample::select(vec![4u64, 8, 16, 64, 128, 256, 4096]),
+        width in prop::sample::select(vec![4usize, 8, 12, 32]),
+    ) {
+        prop_assume!(stride >= width as u64, "disjoint per-thread regions");
+        let mut m = Machine::default();
+        let span = threads * stride + width as u64;
+        let pm = m.alloc_pm(span.max(4096)).unwrap();
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            if i >= threads {
+                return Ok(());
+            }
+            ctx.st_bytes(Addr::pm(pm + i * stride), &vec![0xCD; width])
+        });
+        let r = launch(&mut m, LaunchConfig::for_elements(threads, 128), &k).unwrap();
+        prop_assert_eq!(r.costs.pm_write_bytes, threads * width as u64);
+        // Transactions never exceed stores (coalescing only merges) and
+        // cover at least bytes/128.
+        let min_txns = (threads * width as u64).div_ceil(128);
+        prop_assert!(r.costs.pcie_write_txns >= min_txns.min(threads));
+        prop_assert!(r.costs.pcie_write_txns <= threads * width.div_ceil(4) as u64);
+    }
+
+    /// Dense warp writes coalesce maximally: 32 lanes × 4 bytes contiguous
+    /// is exactly one transaction per warp.
+    #[test]
+    fn dense_warp_writes_fully_coalesce(warps in 1u32..20) {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(warps as u64 * 128 + 256).unwrap();
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u32(Addr::pm(pm + i * 4), i as u32)
+        });
+        let r = launch(&mut m, LaunchConfig::new(warps, 32), &k).unwrap();
+        prop_assert_eq!(r.costs.pcie_write_txns, warps as u64);
+    }
+
+    /// The written data is readable back exactly (functional correctness of
+    /// the coalescing path).
+    #[test]
+    fn stores_round_trip(threads in 1u64..200, seed in any::<u64>()) {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(threads * 8 + 64).unwrap();
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            if i >= threads {
+                return Ok(());
+            }
+            ctx.st_u64(Addr::pm(pm + i * 8), seed ^ i)
+        });
+        launch(&mut m, LaunchConfig::for_elements(threads, 64), &k).unwrap();
+        for i in 0..threads {
+            prop_assert_eq!(m.read_u64(Addr::pm(pm + i * 8)).unwrap(), seed ^ i);
+        }
+    }
+
+    /// Elapsed time is monotone in compute work.
+    #[test]
+    fn timing_monotone_in_compute(base_us in 1u64..50, extra_us in 1u64..200) {
+        let run = |us: u64| -> Ns {
+            let mut m = Machine::default();
+            let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                ctx.compute(Ns::from_micros(us as f64));
+                Ok(())
+            });
+            launch(&mut m, LaunchConfig::new(4, 128), &k).unwrap().elapsed
+        };
+        let t1 = run(base_us);
+        let t2 = run(base_us + extra_us);
+        prop_assert!(t2 > t1, "{t1} !< {t2}");
+    }
+
+    /// Elapsed time is monotone in PM traffic.
+    #[test]
+    fn timing_monotone_in_pm_traffic(kb in 1u64..64) {
+        let run = |bytes: u64| -> Ns {
+            let mut m = Machine::default();
+            let pm = m.alloc_pm(bytes * 2 + 4096).unwrap();
+            let n = bytes / 8;
+            let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                let i = ctx.global_id();
+                if i >= n {
+                    return Ok(());
+                }
+                ctx.st_u64(Addr::pm(pm + i * 8), i)
+            });
+            launch(&mut m, LaunchConfig::for_elements(n.max(1), 128), &k).unwrap().elapsed
+        };
+        let t1 = run(kb * 1024);
+        let t2 = run(kb * 4096);
+        prop_assert!(t2 >= t1);
+    }
+
+    /// The machine allocator returns non-overlapping, 256-byte-aligned
+    /// regions.
+    #[test]
+    fn allocator_regions_disjoint(sizes in prop::collection::vec(1u64..5000, 1..40)) {
+        let mut m = Machine::default();
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for &s in &sizes {
+            let off = m.alloc_pm(s).unwrap();
+            prop_assert_eq!(off % 256, 0);
+            for &(o, l) in &regions {
+                prop_assert!(off >= o + l || off + s <= o, "overlap");
+            }
+            regions.push((off, s));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Shared interface and driver for the CPU persistent key-value stores.
+
+use gpm_sim::{Machine, Ns, SimResult};
+
+/// A CPU-side persistent key-value store over the simulated PM.
+///
+/// Each operation performs its real memory traffic against the machine and
+/// returns the CPU time it took; the [`run_set_batch`] driver aggregates
+/// per-op costs into a multi-threaded elapsed time.
+pub trait PmKv {
+    /// Human-readable store name, as labelled in Figure 1(a).
+    fn name(&self) -> &'static str;
+
+    /// Inserts or updates a pair durably.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors (e.g. PM exhaustion).
+    fn set(&mut self, machine: &mut Machine, key: u64, value: u64) -> SimResult<Ns>;
+
+    /// Looks up a key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    fn get(&mut self, machine: &mut Machine, key: u64) -> SimResult<(Option<u64>, Ns)>;
+
+    /// Deletes a key durably. Returns the time taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    fn del(&mut self, machine: &mut Machine, key: u64) -> SimResult<Ns>;
+
+    /// Drops volatile state (what a crash would destroy) and rebuilds it
+    /// from PM — WAL replay, manifest scan, etc.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    fn recover(&mut self, machine: &mut Machine) -> SimResult<Ns>;
+}
+
+/// Outcome of a batched run.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchReport {
+    /// Elapsed simulated time for the batch across `threads` CPU threads.
+    pub elapsed: Ns,
+    /// Operations performed.
+    pub ops: u64,
+}
+
+impl BatchReport {
+    /// Throughput in million operations per second.
+    pub fn mops(&self) -> f64 {
+        self.ops as f64 / self.elapsed.0 * 1e3
+    }
+}
+
+/// Executes a batch of SETs on `threads` CPU threads. Per-op work is
+/// performed (and costed) sequentially, then scaled by the measured
+/// saturation of PM-bound CPU persisting
+/// ([`gpm_sim::MachineConfig::cpu_persist_scaling`]): these stores are
+/// persist-dominated, so they scale like Figure 3(a), not linearly.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn run_set_batch<S: PmKv + ?Sized>(
+    store: &mut S,
+    machine: &mut Machine,
+    pairs: &[(u64, u64)],
+    threads: u32,
+) -> SimResult<BatchReport> {
+    let mut serial = Ns::ZERO;
+    for &(k, v) in pairs {
+        serial += store.set(machine, k, v)?;
+    }
+    let elapsed = serial / machine.cfg.cpu_persist_scaling(threads);
+    machine.clock.advance(elapsed);
+    Ok(BatchReport { elapsed, ops: pairs.len() as u64 })
+}
+
+/// Executes a YCSB-style mixed batch: `ops` entries of `(key, value,
+/// is_get)`. GETs read; SETs insert durably. Scaled like
+/// [`run_set_batch`]. Returns the report plus the number of GET hits.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn run_mixed_batch<S: PmKv + ?Sized>(
+    store: &mut S,
+    machine: &mut Machine,
+    ops: &[(u64, u64, bool)],
+    threads: u32,
+) -> SimResult<(BatchReport, u64)> {
+    let mut serial = Ns::ZERO;
+    let mut hits = 0;
+    for &(k, v, is_get) in ops {
+        if is_get {
+            let (found, t) = store.get(machine, k)?;
+            serial += t;
+            hits += u64::from(found.is_some());
+        } else {
+            serial += store.set(machine, k, v)?;
+        }
+    }
+    let elapsed = serial / machine.cfg.cpu_persist_scaling(threads);
+    machine.clock.advance(elapsed);
+    Ok((BatchReport { elapsed, ops: ops.len() as u64 }, hits))
+}
+
+/// 64-bit mix hash (SplitMix64 finalizer).
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_spreads() {
+        let mut buckets = [0u32; 16];
+        for i in 0..16_000u64 {
+            buckets[(hash64(i) % 16) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "skewed bucket: {b}");
+        }
+    }
+
+    #[test]
+    fn mixed_batch_counts_hits() {
+        use crate::pmemkv::PmemKvCmap;
+        let mut m = Machine::default();
+        let mut kv = PmemKvCmap::create(&mut m, 1024).unwrap();
+        let ops = vec![
+            (11u64, 1u64, false), // set
+            (11, 0, true),        // hit
+            (12, 0, true),        // miss
+            (13, 2, false),
+            (13, 0, true), // hit
+        ];
+        let (report, hits) = run_mixed_batch(&mut kv, &mut m, &ops, 8).unwrap();
+        assert_eq!(report.ops, 5);
+        assert_eq!(hits, 2);
+        assert!(report.elapsed.0 > 0.0);
+    }
+
+    #[test]
+    fn batch_report_mops() {
+        let r = BatchReport { elapsed: Ns::from_millis(1.0), ops: 1000 };
+        assert!((r.mops() - 1.0).abs() < 1e-9);
+    }
+}

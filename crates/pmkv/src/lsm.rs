@@ -1,0 +1,483 @@
+//! LSM-tree key-value stores on PM: RocksDB-pmem and MatrixKV models.
+//!
+//! Both follow the classic LSM write path — persist a WAL record, insert
+//! into a volatile memtable, flush sorted runs to PM, compact — and differ
+//! in the parameters the MatrixKV paper targets: MatrixKV's PM-resident
+//! *matrix container* absorbs L0 flushes at fine (column) granularity,
+//! reducing write stalls and compaction work, which is why it outruns
+//! RocksDB in Figure 1(a).
+
+use std::collections::BTreeMap;
+
+use gpm_sim::cpu::CpuCtx;
+use gpm_sim::{Addr, Machine, Ns, SimResult};
+
+use crate::common::PmKv;
+
+/// Bytes per WAL record / per run entry: key u64 + value u64.
+const ENTRY: u64 = 16;
+
+/// Deletion tombstone (values of `u64::MAX` are reserved).
+const TOMBSTONE: u64 = u64::MAX;
+
+/// Tuning profile distinguishing the two LSM stores.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmParams {
+    /// Display name.
+    pub name: &'static str,
+    /// Memtable capacity in entries before a flush.
+    pub memtable_entries: usize,
+    /// Fraction of flush time that stalls foreground writes (RocksDB
+    /// write-stalls; MatrixKV's matrix container largely hides them).
+    pub flush_stall: f64,
+    /// Number of L0 runs that triggers a compaction.
+    pub compaction_trigger: usize,
+    /// Relative cost of compaction I/O (MatrixKV compacts at column
+    /// granularity: cheaper).
+    pub compaction_cost: f64,
+    /// Per-op engine overhead (indexing, versioning, allocator); calibrated
+    /// to the stores' measured Figure 1a throughputs.
+    pub engine_overhead: Ns,
+    /// Bandwidth of bulk run writes to PM (GB/s).
+    pub bulk_bw: f64,
+}
+
+/// RocksDB with its WAL and SSTs on PM (the paper's "RocksDB-pmem").
+pub fn rocksdb_params() -> LsmParams {
+    LsmParams {
+        name: "RocksDB-pmem",
+        memtable_entries: 4096,
+        flush_stall: 1.0,
+        compaction_trigger: 4,
+        compaction_cost: 1.0,
+        engine_overhead: Ns(1_500.0),
+        bulk_bw: 2.0,
+    }
+}
+
+/// MatrixKV: LSM with a PM-resident matrix container for L0 (reduced write
+/// stalls and write amplification).
+pub fn matrixkv_params() -> LsmParams {
+    LsmParams {
+        name: "MatrixKV",
+        memtable_entries: 4096,
+        flush_stall: 0.25,
+        compaction_trigger: 8,
+        compaction_cost: 0.4,
+        engine_overhead: Ns(1_150.0),
+        bulk_bw: 2.4,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    offset: u64,
+    entries: u64,
+}
+
+/// An LSM-tree persistent KV store (see [`rocksdb_params`],
+/// [`matrixkv_params`]).
+#[derive(Debug)]
+pub struct LsmKv {
+    params: LsmParams,
+    wal_base: u64,
+    wal_capacity: u64,
+    manifest_base: u64,
+    memtable: BTreeMap<u64, u64>,
+    runs: Vec<Run>,
+    wal_entries: u64,
+    writer: u32,
+}
+
+const MANIFEST_MAX_RUNS: u64 = 64;
+
+impl LsmKv {
+    /// Creates a store; `wal_capacity_entries` bounds un-flushed writes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when PM is exhausted.
+    pub fn create(machine: &mut Machine, params: LsmParams) -> SimResult<LsmKv> {
+        let wal_capacity = 2 * params.memtable_entries as u64;
+        let wal_base = machine.alloc_pm(64 + wal_capacity * ENTRY)?;
+        let manifest_base = machine.alloc_pm(64 + MANIFEST_MAX_RUNS * 16)?;
+        Ok(LsmKv {
+            params,
+            wal_base,
+            wal_capacity,
+            manifest_base,
+            memtable: BTreeMap::new(),
+            runs: Vec::new(),
+            wal_entries: 0,
+            writer: 0xF000_0002,
+        })
+    }
+
+    fn persist_manifest(&self, machine: &mut Machine) -> SimResult<Ns> {
+        let mut buf = Vec::with_capacity(8 + self.runs.len() * 16);
+        buf.extend_from_slice(&(self.runs.len() as u64).to_le_bytes());
+        for r in &self.runs {
+            buf.extend_from_slice(&r.offset.to_le_bytes());
+            buf.extend_from_slice(&r.entries.to_le_bytes());
+        }
+        let mut cpu = CpuCtx::new(machine, self.writer);
+        cpu.store(Addr::pm(self.manifest_base), &buf)?;
+        cpu.persist(self.manifest_base, buf.len() as u64);
+        Ok(cpu.elapsed())
+    }
+
+    fn flush_memtable(&mut self, machine: &mut Machine) -> SimResult<Ns> {
+        if self.memtable.is_empty() {
+            return Ok(Ns::ZERO);
+        }
+        let entries: Vec<(u64, u64)> = self.memtable.iter().map(|(&k, &v)| (k, v)).collect();
+        let bytes = entries.len() as u64 * ENTRY;
+        let run_base = machine.alloc_pm(bytes)?;
+        let mut buf = Vec::with_capacity(bytes as usize);
+        for (k, v) in &entries {
+            buf.extend_from_slice(&k.to_le_bytes());
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        machine.cpu_store_pm_persisted(run_base, &buf)?;
+        self.runs.push(Run { offset: run_base, entries: entries.len() as u64 });
+        let mut t = Ns(bytes as f64 / self.params.bulk_bw) * self.params.flush_stall;
+        t += self.persist_manifest(machine)?;
+        // Truncate the WAL: flushed entries are now in a run.
+        let mut cpu = CpuCtx::new(machine, self.writer);
+        cpu.store(Addr::pm(self.wal_base), &0u64.to_le_bytes())?;
+        cpu.persist(self.wal_base, 8);
+        t += cpu.elapsed();
+        self.wal_entries = 0;
+        self.memtable.clear();
+        if self.runs.len() >= self.params.compaction_trigger {
+            t += self.compact(machine)?;
+        }
+        Ok(t)
+    }
+
+    fn compact(&mut self, machine: &mut Machine) -> SimResult<Ns> {
+        // Merge all runs into one (newest wins).
+        let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut io_bytes = 0u64;
+        for run in &self.runs {
+            io_bytes += run.entries * ENTRY;
+            for i in 0..run.entries {
+                let a = Addr::pm(run.offset + i * ENTRY);
+                let k = machine.read_u64(a)?;
+                let v = machine.read_u64(a.add(8))?;
+                merged.insert(k, v); // runs are oldest→newest in `runs`
+            }
+        }
+        // Full merges drop tombstones (no older run can resurrect the key).
+        merged.retain(|_, &mut v| v != TOMBSTONE);
+        let bytes = merged.len() as u64 * ENTRY;
+        let out = machine.alloc_pm(bytes)?;
+        let mut buf = Vec::with_capacity(bytes as usize);
+        for (k, v) in &merged {
+            buf.extend_from_slice(&k.to_le_bytes());
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        machine.cpu_store_pm_persisted(out, &buf)?;
+        self.runs = vec![Run { offset: out, entries: merged.len() as u64 }];
+        let mut t =
+            Ns((io_bytes + bytes) as f64 / self.params.bulk_bw) * self.params.compaction_cost;
+        t += self.persist_manifest(machine)?;
+        Ok(t)
+    }
+
+    fn search_runs(&self, machine: &mut Machine, key: u64) -> SimResult<(Option<u64>, u32)> {
+        let mut probes = 0u32;
+        for run in self.runs.iter().rev() {
+            let (mut lo, mut hi) = (0i64, run.entries as i64 - 1);
+            while lo <= hi {
+                let mid = (lo + hi) / 2;
+                probes += 1;
+                let a = Addr::pm(run.offset + mid as u64 * ENTRY);
+                let k = machine.read_u64(a)?;
+                match k.cmp(&key) {
+                    std::cmp::Ordering::Equal => {
+                        return Ok((Some(machine.read_u64(a.add(8))?), probes + 1));
+                    }
+                    std::cmp::Ordering::Less => lo = mid + 1,
+                    std::cmp::Ordering::Greater => hi = mid - 1,
+                }
+            }
+        }
+        Ok((None, probes))
+    }
+
+    /// Number of persisted runs (for tests/inspection).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Range scan: all live pairs with `lo <= key < hi`, newest version
+    /// wins, tombstones skipped. Returns pairs in key order plus the CPU
+    /// time taken (run entries are PM reads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn scan(
+        &mut self,
+        machine: &mut Machine,
+        lo: u64,
+        hi: u64,
+    ) -> SimResult<(Vec<(u64, u64)>, Ns)> {
+        use std::collections::BTreeMap;
+        let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut reads = 0u64;
+        // Oldest run first, memtable last: newest version wins.
+        for run in &self.runs {
+            // Binary search the run's lower bound, then walk.
+            let (mut l, mut r) = (0i64, run.entries as i64);
+            while l < r {
+                let mid = (l + r) / 2;
+                reads += 1;
+                let k = machine.read_u64(Addr::pm(run.offset + mid as u64 * ENTRY))?;
+                if k < lo {
+                    l = mid + 1;
+                } else {
+                    r = mid;
+                }
+            }
+            let mut i = l as u64;
+            while i < run.entries {
+                let a = Addr::pm(run.offset + i * ENTRY);
+                reads += 1;
+                let k = machine.read_u64(a)?;
+                if k >= hi {
+                    break;
+                }
+                let v = machine.read_u64(a.add(8))?;
+                merged.insert(k, v);
+                i += 1;
+            }
+        }
+        for (&k, &v) in self.memtable.range(lo..hi) {
+            merged.insert(k, v);
+        }
+        merged.retain(|_, &mut v| v != TOMBSTONE);
+        let t = Ns(200.0) + machine.cfg.pm_read_latency * reads as f64;
+        machine.clock.advance(t);
+        Ok((merged.into_iter().collect(), t))
+    }
+}
+
+impl PmKv for LsmKv {
+    fn name(&self) -> &'static str {
+        self.params.name
+    }
+
+    fn set(&mut self, machine: &mut Machine, key: u64, value: u64) -> SimResult<Ns> {
+        // 1. WAL append, persisted with one drain (record + header).
+        let mut rec = [0u8; ENTRY as usize];
+        rec[0..8].copy_from_slice(&key.to_le_bytes());
+        rec[8..16].copy_from_slice(&value.to_le_bytes());
+        let rec_off = self.wal_base + 64 + self.wal_entries * ENTRY;
+        let mut cpu = CpuCtx::new(machine, self.writer);
+        cpu.compute(self.params.engine_overhead);
+        cpu.nt_store(Addr::pm(rec_off), &rec)?;
+        cpu.store(Addr::pm(self.wal_base), &(self.wal_entries + 1).to_le_bytes())?;
+        cpu.clflush(self.wal_base, 8);
+        cpu.sfence();
+        let mut t = cpu.elapsed();
+        self.wal_entries += 1;
+        // 2. Memtable insert (volatile).
+        self.memtable.insert(key, value);
+        // 3. Flush when full (or the WAL would overflow).
+        if self.memtable.len() >= self.params.memtable_entries
+            || self.wal_entries + 1 >= self.wal_capacity
+        {
+            t += self.flush_memtable(machine)?;
+        }
+        Ok(t)
+    }
+
+    fn get(&mut self, machine: &mut Machine, key: u64) -> SimResult<(Option<u64>, Ns)> {
+        if let Some(&v) = self.memtable.get(&key) {
+            let hit = if v == TOMBSTONE { None } else { Some(v) };
+            return Ok((hit, Ns(200.0)));
+        }
+        let (v, probes) = self.search_runs(machine, key)?;
+        let v = v.filter(|&x| x != TOMBSTONE);
+        Ok((v, Ns(200.0) + machine.cfg.pm_read_latency * probes as f64))
+    }
+
+    fn del(&mut self, machine: &mut Machine, key: u64) -> SimResult<Ns> {
+        // A delete is a tombstone write: same WAL + memtable path as a SET;
+        // compaction garbage-collects it.
+        self.set(machine, key, TOMBSTONE)
+    }
+
+    fn recover(&mut self, machine: &mut Machine) -> SimResult<Ns> {
+        // Volatile state is gone.
+        self.memtable.clear();
+        self.runs.clear();
+        let mut cpu_time = Ns::ZERO;
+        // Rebuild run list from the manifest.
+        let n = machine.read_u64(Addr::pm(self.manifest_base))?;
+        for i in 0..n.min(MANIFEST_MAX_RUNS) {
+            let off = machine.read_u64(Addr::pm(self.manifest_base + 8 + i * 16))?;
+            let entries = machine.read_u64(Addr::pm(self.manifest_base + 16 + i * 16))?;
+            self.runs.push(Run { offset: off, entries });
+            cpu_time += machine.cfg.pm_read_latency * 2.0;
+        }
+        // Replay the WAL into the memtable.
+        self.wal_entries = machine.read_u64(Addr::pm(self.wal_base))?;
+        for i in 0..self.wal_entries {
+            let a = Addr::pm(self.wal_base + 64 + i * ENTRY);
+            let k = machine.read_u64(a)?;
+            let v = machine.read_u64(a.add(8))?;
+            self.memtable.insert(k, v);
+            cpu_time += machine.cfg.pm_read_latency;
+        }
+        machine.clock.advance(cpu_time);
+        Ok(cpu_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_set_batch;
+
+    fn store(machine: &mut Machine) -> LsmKv {
+        LsmKv::create(machine, rocksdb_params()).unwrap()
+    }
+
+    #[test]
+    fn set_get_through_memtable_and_runs() {
+        let mut m = Machine::default();
+        let mut kv = store(&mut m);
+        for i in 0..10_000u64 {
+            kv.set(&mut m, i, i * 2).unwrap();
+        }
+        assert!(kv.run_count() >= 1, "flushes happened");
+        for i in (0..10_000u64).step_by(997) {
+            assert_eq!(kv.get(&mut m, i).unwrap().0, Some(i * 2), "key {i}");
+        }
+        assert_eq!(kv.get(&mut m, 1 << 40).unwrap().0, None);
+    }
+
+    #[test]
+    fn newest_value_wins_across_runs() {
+        let mut m = Machine::default();
+        let mut kv = store(&mut m);
+        for round in 1..=3u64 {
+            for i in 0..5_000u64 {
+                kv.set(&mut m, i, i + round * 1000).unwrap();
+            }
+        }
+        assert_eq!(kv.get(&mut m, 42).unwrap().0, Some(42 + 3000));
+    }
+
+    #[test]
+    fn wal_replay_recovers_unflushed_writes() {
+        let mut m = Machine::default();
+        let mut kv = store(&mut m);
+        for i in 0..100u64 {
+            kv.set(&mut m, i, i + 7).unwrap(); // well below memtable size
+        }
+        assert_eq!(kv.run_count(), 0, "nothing flushed yet");
+        m.crash();
+        kv.recover(&mut m).unwrap();
+        for i in 0..100u64 {
+            assert_eq!(kv.get(&mut m, i).unwrap().0, Some(i + 7), "key {i}");
+        }
+    }
+
+    #[test]
+    fn manifest_recovers_runs_after_crash() {
+        let mut m = Machine::default();
+        let mut kv = store(&mut m);
+        for i in 0..9_000u64 {
+            kv.set(&mut m, i, i).unwrap();
+        }
+        let runs_before = kv.run_count();
+        assert!(runs_before >= 1);
+        m.crash();
+        kv.recover(&mut m).unwrap();
+        assert_eq!(kv.run_count(), runs_before);
+        assert_eq!(kv.get(&mut m, 1234).unwrap().0, Some(1234));
+    }
+
+    #[test]
+    fn compaction_bounds_run_count() {
+        let mut m = Machine::default();
+        let mut kv = store(&mut m);
+        for i in 0..40_000u64 {
+            kv.set(&mut m, i % 8192, i).unwrap();
+        }
+        assert!(kv.run_count() <= rocksdb_params().compaction_trigger);
+    }
+
+    #[test]
+    fn deletes_tombstone_and_compact_away() {
+        let mut m = Machine::default();
+        let mut kv = store(&mut m);
+        for i in 0..6_000u64 {
+            kv.set(&mut m, i, i).unwrap();
+        }
+        kv.del(&mut m, 100).unwrap();
+        kv.del(&mut m, 5_999).unwrap();
+        assert_eq!(kv.get(&mut m, 100).unwrap().0, None);
+        assert_eq!(kv.get(&mut m, 5_999).unwrap().0, None);
+        assert_eq!(kv.get(&mut m, 101).unwrap().0, Some(101));
+        // Deletes survive crash via the WAL.
+        m.crash();
+        kv.recover(&mut m).unwrap();
+        assert_eq!(kv.get(&mut m, 100).unwrap().0, None);
+        // Force compaction: tombstones must not resurrect.
+        for i in 0..40_000u64 {
+            kv.set(&mut m, 10_000 + i % 8_192, i).unwrap();
+        }
+        assert_eq!(kv.get(&mut m, 100).unwrap().0, None);
+    }
+
+    #[test]
+    fn range_scan_merges_versions_and_skips_tombstones() {
+        let mut m = Machine::default();
+        let mut kv = store(&mut m);
+        for i in 0..9_000u64 {
+            kv.set(&mut m, i, i).unwrap(); // some flushed to runs
+        }
+        kv.set(&mut m, 50, 999).unwrap(); // newer version in memtable
+        kv.del(&mut m, 51).unwrap();
+        let (pairs, t) = kv.scan(&mut m, 48, 55).unwrap();
+        assert!(t.0 > 0.0);
+        assert_eq!(
+            pairs,
+            vec![(48, 48), (49, 49), (50, 999), (52, 52), (53, 53), (54, 54)]
+        );
+        let (empty, _) = kv.scan(&mut m, 1 << 40, (1 << 40) + 10).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn rocksdb_throughput_ballpark() {
+        let mut m = Machine::default();
+        let mut kv = store(&mut m);
+        let pairs: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i, i)).collect();
+        let r = run_set_batch(&mut kv, &mut m, &pairs, 64).unwrap();
+        let mops = r.mops();
+        assert!((0.4..1.2).contains(&mops), "Figure 1a: ≈0.76 Mops/s, got {mops}");
+    }
+
+    #[test]
+    fn matrixkv_outruns_rocksdb() {
+        let pairs: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i, i)).collect();
+        let mut m1 = Machine::default();
+        let mut rocks = LsmKv::create(&mut m1, rocksdb_params()).unwrap();
+        let t_rocks = run_set_batch(&mut rocks, &mut m1, &pairs, 64).unwrap();
+        let mut m2 = Machine::default();
+        let mut matrix = LsmKv::create(&mut m2, matrixkv_params()).unwrap();
+        let t_matrix = run_set_batch(&mut matrix, &mut m2, &pairs, 64).unwrap();
+        assert!(
+            t_matrix.mops() > t_rocks.mops(),
+            "MatrixKV reduces stalls: {} vs {}",
+            t_matrix.mops(),
+            t_rocks.mops()
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Address spaces and granularities of the simulated platform.
+//!
+//! The machine exposes three physical memory spaces, mirroring the paper's
+//! platform (Table 3): byte-addressable persistent memory (Optane NVDIMMs),
+//! host DRAM, and the GPU's device memory (GDDR/HBM). A plain offset
+//! addresses bytes within one space; an [`Addr`] pairs space and offset so
+//! that APIs which accept any space stay type-checked.
+
+use std::fmt;
+
+/// CPU cache-line size in bytes (x86).
+pub const CPU_LINE: u64 = 64;
+
+/// GPU cache-line / coalescing granularity in bytes (§2: "typically 128 bytes
+/// in GPU").
+pub const GPU_LINE: u64 = 128;
+
+/// Optane's internal write-combining granularity in bytes (§6.1: "it
+/// internally buffers writes at 256 bytes").
+pub const OPTANE_BLOCK: u64 = 256;
+
+/// One of the machine's three physical memory spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemSpace {
+    /// Byte-addressable persistent memory (Optane NVDIMM).
+    Pm,
+    /// Volatile host DRAM.
+    Dram,
+    /// Volatile GPU device memory (GDDR6/HBM).
+    Hbm,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Pm => write!(f, "PM"),
+            MemSpace::Dram => write!(f, "DRAM"),
+            MemSpace::Hbm => write!(f, "HBM"),
+        }
+    }
+}
+
+/// A byte address in one of the machine's memory spaces.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::{Addr, MemSpace};
+/// let a = Addr::pm(0x1000);
+/// assert_eq!(a.space, MemSpace::Pm);
+/// assert_eq!(a.add(16).offset, 0x1010);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr {
+    /// Which memory the address refers to.
+    pub space: MemSpace,
+    /// Byte offset within that memory.
+    pub offset: u64,
+}
+
+impl Addr {
+    /// An address in persistent memory.
+    pub fn pm(offset: u64) -> Addr {
+        Addr { space: MemSpace::Pm, offset }
+    }
+
+    /// An address in host DRAM.
+    pub fn dram(offset: u64) -> Addr {
+        Addr { space: MemSpace::Dram, offset }
+    }
+
+    /// An address in GPU device memory.
+    pub fn hbm(offset: u64) -> Addr {
+        Addr { space: MemSpace::Hbm, offset }
+    }
+
+    /// The address `bytes` past this one, in the same space (pointer-style
+    /// offsetting, intentionally named like `ptr::add`).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, bytes: u64) -> Addr {
+        Addr { space: self.space, offset: self.offset + bytes }
+    }
+
+    /// Whether this address points into persistent memory.
+    pub fn is_pm(self) -> bool {
+        self.space == MemSpace::Pm
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{:#x}", self.space, self.offset)
+    }
+}
+
+/// Index of the CPU cache line containing byte `offset`.
+pub fn cpu_line_of(offset: u64) -> u64 {
+    offset / CPU_LINE
+}
+
+/// Returns the half-open range of CPU cache-line indices covering
+/// `[offset, offset + len)`.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::addr::line_span;
+/// assert_eq!(line_span(0, 64), 0..1);
+/// assert_eq!(line_span(60, 8), 0..2);
+/// ```
+pub fn line_span(offset: u64, len: u64) -> std::ops::Range<u64> {
+    if len == 0 {
+        let l = cpu_line_of(offset);
+        return l..l;
+    }
+    cpu_line_of(offset)..cpu_line_of(offset + len - 1) + 1
+}
+
+/// Rounds `n` up to a multiple of `align`.
+///
+/// # Panics
+///
+/// Panics if `align` is zero.
+pub fn align_up(n: u64, align: u64) -> u64 {
+    assert!(align > 0, "alignment must be non-zero");
+    n.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_constructors() {
+        assert_eq!(Addr::pm(4).space, MemSpace::Pm);
+        assert_eq!(Addr::dram(4).space, MemSpace::Dram);
+        assert_eq!(Addr::hbm(4).space, MemSpace::Hbm);
+        assert!(Addr::pm(0).is_pm());
+        assert!(!Addr::hbm(0).is_pm());
+    }
+
+    #[test]
+    fn addr_add() {
+        let a = Addr::pm(100).add(28);
+        assert_eq!(a, Addr::pm(128));
+    }
+
+    #[test]
+    fn line_math() {
+        assert_eq!(cpu_line_of(0), 0);
+        assert_eq!(cpu_line_of(63), 0);
+        assert_eq!(cpu_line_of(64), 1);
+        assert_eq!(line_span(0, 1), 0..1);
+        assert_eq!(line_span(63, 2), 0..2);
+        assert_eq!(line_span(128, 128), 2..4);
+        assert_eq!(line_span(10, 0), 0..0);
+    }
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0, 128), 0);
+        assert_eq!(align_up(1, 128), 128);
+        assert_eq!(align_up(128, 128), 128);
+        assert_eq!(align_up(129, 128), 256);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Addr::pm(16)), "PM+0x10");
+        assert_eq!(format!("{}", MemSpace::Hbm), "HBM");
+    }
+}

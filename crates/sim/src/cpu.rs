@@ -1,0 +1,270 @@
+//! Fine-grained CPU execution context.
+//!
+//! CPU baselines (the pmemKV/RocksDB/MatrixKV-style stores, the CPU BFS/
+//! SRAD/prefix-sum implementations, and CAP's persisting threads) issue
+//! individual loads, stores, CLFLUSHOPTs and SFENCEs. [`CpuCtx`] performs
+//! them functionally against the [`Machine`] and accrues their cost, so a
+//! baseline's elapsed time falls out of the same platform constants the GPU
+//! engine uses.
+
+use crate::addr::{line_span, Addr, MemSpace, CPU_LINE};
+use crate::config::MachineConfig;
+use crate::error::SimResult;
+use crate::machine::Machine;
+use crate::pm::WriterId;
+use crate::time::Ns;
+
+/// A single CPU thread's execution context.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::{Machine, Addr};
+/// use gpm_sim::cpu::CpuCtx;
+/// let mut m = Machine::default();
+/// let buf = m.alloc_pm(64)?;
+/// let mut cpu = CpuCtx::new(&mut m, 0);
+/// cpu.store(Addr::pm(buf), &7u64.to_le_bytes())?;
+/// cpu.persist(buf, 8); // CLFLUSHOPT + SFENCE
+/// assert!(cpu.elapsed().0 > 0.0);
+/// # Ok::<(), gpm_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct CpuCtx<'m> {
+    machine: &'m mut Machine,
+    writer: WriterId,
+    elapsed: Ns,
+    flush_queue: Vec<(u64, u64)>,
+}
+
+impl<'m> CpuCtx<'m> {
+    /// Creates a context for one CPU thread identified by `writer`.
+    pub fn new(machine: &'m mut Machine, writer: WriterId) -> CpuCtx<'m> {
+        CpuCtx { machine, writer, elapsed: Ns::ZERO, flush_queue: Vec::new() }
+    }
+
+    fn cfg(&self) -> &MachineConfig {
+        &self.machine.cfg
+    }
+
+    /// Time accrued by this thread so far.
+    pub fn elapsed(&self) -> Ns {
+        self.elapsed
+    }
+
+    /// Adds explicit compute time (ALU work between memory operations).
+    pub fn compute(&mut self, ns: Ns) {
+        self.elapsed += ns;
+    }
+
+    /// Acquires an uncontended lock (contention is modelled by callers that
+    /// know their serialization structure).
+    pub fn lock(&mut self) {
+        let cost = self.cfg().cpu_lock_latency;
+        self.elapsed += cost;
+    }
+
+    /// Stores bytes. PM stores are visible but need [`CpuCtx::persist`] (or
+    /// flush+drain) to become durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address range is out of bounds.
+    pub fn store(&mut self, addr: Addr, bytes: &[u8]) -> SimResult<()> {
+        self.elapsed += self.cfg().cpu_mem_op_latency;
+        match addr.space {
+            MemSpace::Pm => self.machine.cpu_store_pm(self.writer, addr.offset, bytes),
+            _ => self.machine.host_write(addr, bytes),
+        }
+    }
+
+    /// Non-temporal store: bypasses the cache; durable at the next
+    /// [`CpuCtx::sfence`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address range is out of bounds.
+    pub fn nt_store(&mut self, addr: Addr, bytes: &[u8]) -> SimResult<()> {
+        self.elapsed += self.cfg().cpu_mem_op_latency;
+        match addr.space {
+            MemSpace::Pm => {
+                self.machine.cpu_store_pm(self.writer, addr.offset, bytes)?;
+                self.flush_queue.push((addr.offset, bytes.len() as u64));
+                Ok(())
+            }
+            _ => self.machine.host_write(addr, bytes),
+        }
+    }
+
+    /// Loads bytes, paying the addressed device's latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address range is out of bounds.
+    pub fn load(&mut self, addr: Addr, buf: &mut [u8]) -> SimResult<()> {
+        self.elapsed += match addr.space {
+            MemSpace::Pm => self.cfg().pm_read_latency,
+            MemSpace::Dram => self.cfg().dram_latency,
+            MemSpace::Hbm => self.cfg().dram_latency, // mapped BAR; rough
+        };
+        self.machine.read(addr, buf)
+    }
+
+    /// Loads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address range is out of bounds.
+    pub fn load_u64(&mut self, addr: Addr) -> SimResult<u64> {
+        let mut b = [0u8; 8];
+        self.load(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Issues CLFLUSHOPT for every line of `[offset, offset+len)` in PM.
+    /// Cheap to issue; durability requires [`CpuCtx::sfence`].
+    pub fn clflush(&mut self, offset: u64, len: u64) {
+        let lines = line_span(offset, len).count() as f64;
+        self.elapsed += self.cfg().cpu_mem_op_latency * lines;
+        self.flush_queue.push((offset, len));
+    }
+
+    /// SFENCE: waits for all outstanding flushes/nt-stores of this thread to
+    /// reach the persistence domain.
+    pub fn sfence(&mut self) {
+        if self.flush_queue.is_empty() {
+            self.elapsed += self.cfg().cpu_mem_op_latency;
+            return;
+        }
+        let mut lines = 0u64;
+        let queue = std::mem::take(&mut self.flush_queue);
+        for (off, len) in queue {
+            lines += line_span(off, len).count() as u64;
+            self.machine.cpu_persist_range(off, len);
+        }
+        // One full write-drain round trip, plus pipelined line writebacks.
+        let extra = (lines.saturating_sub(1) * CPU_LINE) as f64 / self.cfg().cpu_flush_bw;
+        let drain = self.cfg().cpu_flush_drain_latency;
+        self.elapsed += drain + Ns(extra);
+    }
+
+    /// CLFLUSHOPT + SFENCE over one range: the canonical CPU persist.
+    pub fn persist(&mut self, offset: u64, len: u64) {
+        self.clflush(offset, len);
+        self.sfence();
+    }
+
+    /// Underlying machine (for chained operations).
+    pub fn machine(&mut self) -> &mut Machine {
+        self.machine
+    }
+}
+
+/// Elapsed time for `n_threads` CPU threads that evenly split a workload
+/// whose single-threaded time is `single`, with the saturating scaling of
+/// Figure 3(a).
+pub fn parallel_time(cfg: &MachineConfig, single: Ns, n_threads: u32) -> Ns {
+    single / cfg.cpu_persist_scaling(n_threads.min(cfg.cpu_cores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_persist_is_durable() {
+        let mut m = Machine::default();
+        let off = m.alloc_pm(64).unwrap();
+        let mut cpu = CpuCtx::new(&mut m, 1);
+        cpu.store(Addr::pm(off), &[9; 8]).unwrap();
+        cpu.persist(off, 8);
+        let mut b = [0u8; 8];
+        m.pm().read_media(off, &mut b).unwrap();
+        assert_eq!(b, [9; 8]);
+    }
+
+    #[test]
+    fn store_without_persist_is_pending() {
+        let mut m = Machine::default();
+        let off = m.alloc_pm(64).unwrap();
+        let mut cpu = CpuCtx::new(&mut m, 1);
+        cpu.store(Addr::pm(off), &[9; 8]).unwrap();
+        drop(cpu);
+        assert!(m.pm().is_pending(off, 8));
+    }
+
+    #[test]
+    fn nt_store_durable_after_sfence() {
+        let mut m = Machine::default();
+        let off = m.alloc_pm(64).unwrap();
+        let mut cpu = CpuCtx::new(&mut m, 1);
+        cpu.nt_store(Addr::pm(off), &[4; 8]).unwrap();
+        cpu.sfence();
+        let mut b = [0u8; 8];
+        m.pm().read_media(off, &mut b).unwrap();
+        assert_eq!(b, [4; 8]);
+    }
+
+    #[test]
+    fn costs_accrue() {
+        let mut m = Machine::default();
+        let off = m.alloc_pm(256).unwrap();
+        let mut cpu = CpuCtx::new(&mut m, 1);
+        cpu.store(Addr::pm(off), &[1; 8]).unwrap();
+        let after_store = cpu.elapsed();
+        assert!(after_store.0 > 0.0);
+        cpu.persist(off, 8);
+        assert!(cpu.elapsed() > after_store);
+        let mut b = [0u8; 8];
+        cpu.load(Addr::pm(off), &mut b).unwrap();
+        assert!(cpu.elapsed().0 >= after_store.0 + 300.0, "PM load pays Optane latency");
+    }
+
+    #[test]
+    fn pipelined_flush_cheaper_than_serial() {
+        let cfgd = MachineConfig::default();
+        let mut m = Machine::default();
+        let off = m.alloc_pm(64 * 64).unwrap();
+        // One big flush of 64 lines.
+        let mut cpu = CpuCtx::new(&mut m, 1);
+        cpu.store(Addr::pm(off), &vec![1u8; 64 * 64]).unwrap();
+        cpu.clflush(off, 64 * 64);
+        cpu.sfence();
+        let pipelined = cpu.elapsed();
+        drop(cpu);
+        // 64 separate persist calls (drain each time).
+        let mut m2 = Machine::default();
+        let off2 = m2.alloc_pm(64 * 64).unwrap();
+        let mut cpu2 = CpuCtx::new(&mut m2, 1);
+        cpu2.store(Addr::pm(off2), &vec![1u8; 64 * 64]).unwrap();
+        for i in 0..64 {
+            cpu2.persist(off2 + i * 64, 64);
+        }
+        let serial = cpu2.elapsed();
+        assert!(
+            serial.0 > pipelined.0 + 10.0 * cfgd.cpu_flush_drain_latency.0,
+            "serial {serial} should far exceed pipelined {pipelined}"
+        );
+    }
+
+    #[test]
+    fn empty_sfence_is_cheap() {
+        let mut m = Machine::default();
+        let mut cpu = CpuCtx::new(&mut m, 1);
+        cpu.sfence();
+        assert!(cpu.elapsed() < Ns(100.0));
+    }
+
+    #[test]
+    fn parallel_time_saturates() {
+        let cfg = MachineConfig::default();
+        let single = Ns::from_millis(100.0);
+        let t1 = parallel_time(&cfg, single, 1);
+        let t32 = parallel_time(&cfg, single, 32);
+        let t64 = parallel_time(&cfg, single, 64);
+        assert_eq!(t1, single);
+        assert!(t32 < t1);
+        let speedup = t1 / t64;
+        assert!(speedup > 1.4 && speedup < 1.5, "Fig 3(a) plateau, got {speedup}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for the platform model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::Addr;
+
+/// Errors raised by the simulated machine and its devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An access fell outside an allocated memory region.
+    OutOfBounds {
+        /// The faulting address.
+        addr: Addr,
+        /// Length of the attempted access in bytes.
+        len: u64,
+        /// Capacity of the addressed space in bytes.
+        capacity: u64,
+    },
+    /// An allocation request exceeded the remaining capacity of a space.
+    OutOfMemory {
+        /// The space that ran out.
+        space: crate::addr::MemSpace,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes remaining.
+        available: u64,
+    },
+    /// A named PM region ("file") was not found.
+    FileNotFound(String),
+    /// A named PM region already exists and `create` was not forced.
+    FileExists(String),
+    /// A file operation exceeded a backend limit (e.g. GPUfs' 2 GB cap).
+    FileTooLarge {
+        /// Path of the offending file.
+        path: String,
+        /// Requested size in bytes.
+        size: u64,
+        /// Backend limit in bytes.
+        limit: u64,
+    },
+    /// An operation that requires persistence was attempted while the write
+    /// path cannot guarantee it (e.g. persist with DDIO enabled and no eADR).
+    PersistenceUnavailable(&'static str),
+    /// The simulated machine suffered an injected crash.
+    Crashed,
+    /// A higher-level library invariant was violated from device code (e.g.
+    /// inserting into a full log).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { addr, len, capacity } => write!(
+                f,
+                "access of {len} bytes at {addr} is outside the space's {capacity}-byte capacity"
+            ),
+            SimError::OutOfMemory { space, requested, available } => write!(
+                f,
+                "allocation of {requested} bytes in {space} exceeds the {available} bytes available"
+            ),
+            SimError::FileNotFound(p) => write!(f, "no PM file named {p:?}"),
+            SimError::FileExists(p) => write!(f, "PM file {p:?} already exists"),
+            SimError::FileTooLarge { path, size, limit } => {
+                write!(f, "file {path:?} of {size} bytes exceeds the backend limit of {limit} bytes")
+            }
+            SimError::PersistenceUnavailable(why) => {
+                write!(f, "persistence cannot be guaranteed: {why}")
+            }
+            SimError::Crashed => write!(f, "the machine crashed"),
+            SimError::Invalid(what) => write!(f, "invalid operation: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Convenient result alias for simulator operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MemSpace;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfBounds { addr: Addr::pm(10), len: 4, capacity: 8 };
+        let s = e.to_string();
+        assert!(s.contains("4 bytes"));
+        assert!(s.contains("8-byte"));
+
+        let e = SimError::OutOfMemory { space: MemSpace::Hbm, requested: 100, available: 10 };
+        assert!(e.to_string().contains("HBM"));
+
+        assert!(SimError::FileNotFound("x".into()).to_string().contains("x"));
+        assert!(SimError::FileExists("y".into()).to_string().contains("y"));
+        let e = SimError::FileTooLarge { path: "z".into(), size: 3, limit: 2 };
+        assert!(e.to_string().contains("limit"));
+        assert!(SimError::PersistenceUnavailable("ddio").to_string().contains("ddio"));
+        assert!(SimError::Crashed.to_string().contains("crash"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(SimError::Crashed);
+    }
+}

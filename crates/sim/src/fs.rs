@@ -1,0 +1,150 @@
+//! A minimal PM-resident "filesystem": named, extent-allocated regions.
+//!
+//! `gpm_map` in libGPM memory-maps PM-resident files created through PMDK's
+//! `libpmem` on ext4-DAX (§5.1). We model a file as a named extent inside
+//! the PM device. Directory metadata is journalled synchronously by the real
+//! filesystem, so here it is durable by construction (it survives [`crash`]
+//! unchanged); only file *contents* are subject to the pending-line hazard.
+//!
+//! [`crash`]: crate::Machine::crash
+
+use std::collections::BTreeMap;
+
+use crate::addr::{align_up, OPTANE_BLOCK};
+use crate::error::{SimError, SimResult};
+
+/// Metadata of one PM-resident file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmFile {
+    /// Byte offset of the extent within the PM device.
+    pub offset: u64,
+    /// Extent length in bytes.
+    pub len: u64,
+}
+
+/// The directory of PM-resident files.
+#[derive(Debug, Default)]
+pub struct PmFs {
+    files: BTreeMap<String, PmFile>,
+}
+
+impl PmFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> PmFs {
+        PmFs::default()
+    }
+
+    /// Registers a file backed by `[offset, offset+len)`. The extent must
+    /// already be allocated by the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FileExists`] if the name is taken.
+    pub fn create(&mut self, path: &str, offset: u64, len: u64) -> SimResult<PmFile> {
+        if self.files.contains_key(path) {
+            return Err(SimError::FileExists(path.to_owned()));
+        }
+        let f = PmFile { offset, len };
+        self.files.insert(path.to_owned(), f);
+        Ok(f)
+    }
+
+    /// Looks up a file by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FileNotFound`] if absent.
+    pub fn open(&self, path: &str) -> SimResult<PmFile> {
+        self.files
+            .get(path)
+            .copied()
+            .ok_or_else(|| SimError::FileNotFound(path.to_owned()))
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Removes a file's directory entry (the extent is not reclaimed; the
+    /// simple bump allocator does not reuse space).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FileNotFound`] if absent.
+    pub fn remove(&mut self, path: &str) -> SimResult<PmFile> {
+        self.files
+            .remove(path)
+            .ok_or_else(|| SimError::FileNotFound(path.to_owned()))
+    }
+
+    /// Iterates over `(path, file)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, PmFile)> + '_ {
+        self.files.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+/// Rounds a requested file size up to the device's natural extent granule
+/// (256-byte Optane blocks), as `gpmcp_create` aligns its structures (§5.3).
+pub fn extent_size(requested: u64) -> u64 {
+    align_up(requested.max(1), OPTANE_BLOCK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_open_remove() {
+        let mut fs = PmFs::new();
+        let f = fs.create("/pm/log", 0, 4096).unwrap();
+        assert_eq!(fs.open("/pm/log").unwrap(), f);
+        assert!(fs.exists("/pm/log"));
+        assert_eq!(fs.len(), 1);
+        fs.remove("/pm/log").unwrap();
+        assert!(!fs.exists("/pm/log"));
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut fs = PmFs::new();
+        fs.create("a", 0, 64).unwrap();
+        assert!(matches!(fs.create("a", 64, 64), Err(SimError::FileExists(_))));
+    }
+
+    #[test]
+    fn open_missing_fails() {
+        let fs = PmFs::new();
+        assert!(matches!(fs.open("nope"), Err(SimError::FileNotFound(_))));
+        let mut fs = fs;
+        assert!(fs.remove("nope").is_err());
+    }
+
+    #[test]
+    fn iteration_in_name_order() {
+        let mut fs = PmFs::new();
+        fs.create("b", 100, 10).unwrap();
+        fs.create("a", 0, 10).unwrap();
+        let names: Vec<&str> = fs.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn extent_rounding() {
+        assert_eq!(extent_size(0), 256);
+        assert_eq!(extent_size(1), 256);
+        assert_eq!(extent_size(256), 256);
+        assert_eq!(extent_size(257), 512);
+    }
+}

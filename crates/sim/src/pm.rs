@@ -1,0 +1,403 @@
+//! The persistent-memory device: durable media plus the volatile pending
+//! state that sits between a store and its persist.
+//!
+//! Writes that enter the persistence domain (the ADR-protected write-pending
+//! queue, or the whole cache hierarchy under eADR) go straight to *media*.
+//! Writes that are merely *visible* — cached in the CPU LLC by DDIO, or not
+//! yet drained — are recorded as *pending lines*: they are observable by
+//! reads, but a crash applies an arbitrary subset of them (modelling cache
+//! eviction order) and drops the rest. This is exactly the hazard the paper's
+//! recovery protocols must survive (§2, §5).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::addr::{line_span, CPU_LINE};
+use crate::error::{SimError, SimResult};
+
+/// Identifies the agent (GPU thread, CPU thread, DMA engine) that issued a
+/// write, so that a fence by that agent persists exactly its own lines.
+pub type WriterId = u32;
+
+/// Reserved writer id for host-side bulk operations (DMA, file writes).
+pub const HOST_WRITER: WriterId = u32::MAX;
+
+/// A cache line's worth of visible-but-not-durable data.
+#[derive(Debug, Clone)]
+struct PendingLine {
+    data: [u8; CPU_LINE as usize],
+    writers: Vec<WriterId>,
+}
+
+/// Outcome of a crash: how pending state was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CrashReport {
+    /// Pending lines that happened to reach media before power was lost.
+    pub lines_applied: u64,
+    /// Pending lines whose contents were lost.
+    pub lines_dropped: u64,
+}
+
+/// The simulated Optane persistent-memory device.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::pm::PmDevice;
+/// let mut pm = PmDevice::new(1 << 20);
+/// pm.write_visible(7, 0, &[1, 2, 3])?;      // visible, not durable
+/// let mut buf = [0u8; 3];
+/// pm.read(0, &mut buf)?;
+/// assert_eq!(buf, [1, 2, 3]);               // reads see pending data
+/// pm.persist_writer(7);                      // fence: now durable
+/// # Ok::<(), gpm_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct PmDevice {
+    media: Vec<u8>,
+    capacity: u64,
+    pending: HashMap<u64, PendingLine>,
+}
+
+impl PmDevice {
+    /// Creates a device with the given capacity in bytes. Media is allocated
+    /// lazily as it is touched.
+    pub fn new(capacity: u64) -> PmDevice {
+        PmDevice { media: Vec::new(), capacity, pending: HashMap::new() }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn check(&self, offset: u64, len: u64) -> SimResult<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.capacity) {
+            return Err(SimError::OutOfBounds {
+                addr: crate::addr::Addr::pm(offset),
+                len,
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    fn ensure(&mut self, end: u64) {
+        if (self.media.len() as u64) < end {
+            self.media.resize(end as usize, 0);
+        }
+    }
+
+    /// Writes bytes that are immediately durable (persistence domain:
+    /// DDIO-off ADR path after its fence, eADR, or host-initialized data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range exceeds capacity.
+    pub fn write_durable(&mut self, offset: u64, bytes: &[u8]) -> SimResult<()> {
+        self.check(offset, bytes.len() as u64)?;
+        self.ensure(offset + bytes.len() as u64);
+        self.media[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+        // Durable data supersedes any pending version of the same lines only
+        // for the bytes written; merge the pending line over media is wrong.
+        // Instead, fold the write into pending copies so reads stay coherent.
+        for line in line_span(offset, bytes.len() as u64) {
+            if let Some(p) = self.pending.get_mut(&line) {
+                let lstart = line * CPU_LINE;
+                let s = offset.max(lstart);
+                let e = (offset + bytes.len() as u64).min(lstart + CPU_LINE);
+                p.data[(s - lstart) as usize..(e - lstart) as usize]
+                    .copy_from_slice(&bytes[(s - offset) as usize..(e - offset) as usize]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes bytes that are visible to all observers but not yet durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range exceeds capacity.
+    pub fn write_visible(&mut self, writer: WriterId, offset: u64, bytes: &[u8]) -> SimResult<()> {
+        self.check(offset, bytes.len() as u64)?;
+        for line in line_span(offset, bytes.len() as u64) {
+            let lstart = line * CPU_LINE;
+            let entry = self.pending.entry(line).or_insert_with(|| {
+                let mut data = [0u8; CPU_LINE as usize];
+                let end = ((lstart + CPU_LINE) as usize).min(self.media.len());
+                if (lstart as usize) < end {
+                    data[..end - lstart as usize].copy_from_slice(&self.media[lstart as usize..end]);
+                }
+                PendingLine { data, writers: Vec::new() }
+            });
+            if !entry.writers.contains(&writer) {
+                entry.writers.push(writer);
+            }
+            let s = offset.max(lstart);
+            let e = (offset + bytes.len() as u64).min(lstart + CPU_LINE);
+            entry.data[(s - lstart) as usize..(e - lstart) as usize]
+                .copy_from_slice(&bytes[(s - offset) as usize..(e - offset) as usize]);
+        }
+        Ok(())
+    }
+
+    /// Reads bytes as any coherent observer would see them: durable media
+    /// overlaid with pending (visible) lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range exceeds capacity.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> SimResult<()> {
+        self.check(offset, buf.len() as u64)?;
+        let have = (self.media.len() as u64).saturating_sub(offset).min(buf.len() as u64);
+        if have > 0 {
+            buf[..have as usize]
+                .copy_from_slice(&self.media[offset as usize..(offset + have) as usize]);
+        }
+        buf[have as usize..].fill(0);
+        for line in line_span(offset, buf.len() as u64) {
+            if let Some(p) = self.pending.get(&line) {
+                let lstart = line * CPU_LINE;
+                let s = offset.max(lstart);
+                let e = (offset + buf.len() as u64).min(lstart + CPU_LINE);
+                buf[(s - offset) as usize..(e - offset) as usize]
+                    .copy_from_slice(&p.data[(s - lstart) as usize..(e - lstart) as usize]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains every pending line tagged with `writer` into media (the effect
+    /// of a successful persist fence by that writer). Lines shared with other
+    /// writers are drained whole — flushing is line-granular.
+    ///
+    /// Returns the number of lines made durable.
+    pub fn persist_writer(&mut self, writer: WriterId) -> u64 {
+        let lines: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.writers.contains(&writer))
+            .map(|(&l, _)| l)
+            .collect();
+        let n = lines.len() as u64;
+        for line in lines {
+            self.apply_line(line);
+        }
+        n
+    }
+
+    /// Drains every pending line intersecting `[offset, offset+len)` into
+    /// media (the effect of CLFLUSH over a range followed by SFENCE).
+    ///
+    /// Returns the number of lines made durable.
+    pub fn persist_range(&mut self, offset: u64, len: u64) -> u64 {
+        let mut n = 0;
+        for line in line_span(offset, len) {
+            if self.pending.contains_key(&line) {
+                self.apply_line(line);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Drains all pending lines (e.g. an orderly shutdown).
+    pub fn persist_all(&mut self) -> u64 {
+        let lines: Vec<u64> = self.pending.keys().copied().collect();
+        let n = lines.len() as u64;
+        for line in lines {
+            self.apply_line(line);
+        }
+        n
+    }
+
+    fn apply_line(&mut self, line: u64) {
+        if let Some(p) = self.pending.remove(&line) {
+            let lstart = line * CPU_LINE;
+            let end = (lstart + CPU_LINE).min(self.capacity);
+            self.ensure(end);
+            self.media[lstart as usize..end as usize]
+                .copy_from_slice(&p.data[..(end - lstart) as usize]);
+        }
+    }
+
+    /// Number of lines currently visible but not durable.
+    pub fn pending_line_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether any byte of `[offset, offset+len)` is pending (not durable).
+    pub fn is_pending(&self, offset: u64, len: u64) -> bool {
+        line_span(offset, len).any(|l| self.pending.contains_key(&l))
+    }
+
+    /// Power failure: each pending line independently either reached media
+    /// (natural eviction had already written it back) or is lost. The choice
+    /// is random, modelling the unconstrained order in which a cache writes
+    /// lines back.
+    pub fn crash<R: Rng>(&mut self, rng: &mut R) -> CrashReport {
+        let mut report = CrashReport::default();
+        let lines: Vec<u64> = self.pending.keys().copied().collect();
+        for line in lines {
+            if rng.gen_bool(0.5) {
+                self.apply_line(line);
+                report.lines_applied += 1;
+            } else {
+                self.pending.remove(&line);
+                report.lines_dropped += 1;
+            }
+        }
+        report
+    }
+
+    /// Reads directly from durable media, ignoring pending lines. Intended
+    /// for tests asserting what would survive an immediate crash that drops
+    /// everything pending.
+    pub fn read_media(&self, offset: u64, buf: &mut [u8]) -> SimResult<()> {
+        self.check(offset, buf.len() as u64)?;
+        let have = (self.media.len() as u64).saturating_sub(offset).min(buf.len() as u64);
+        if have > 0 {
+            buf[..have as usize]
+                .copy_from_slice(&self.media[offset as usize..(offset + have) as usize]);
+        }
+        buf[have as usize..].fill(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn durable_write_survives_crash() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_durable(100, &[9, 8, 7]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        pm.crash(&mut rng);
+        let mut buf = [0u8; 3];
+        pm.read(100, &mut buf).unwrap();
+        assert_eq!(buf, [9, 8, 7]);
+    }
+
+    #[test]
+    fn visible_write_is_readable_but_not_durable() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_visible(1, 0, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        pm.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        pm.read_media(0, &mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0, 0]);
+        assert!(pm.is_pending(0, 4));
+    }
+
+    #[test]
+    fn persist_writer_drains_only_that_writer() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_visible(1, 0, &[1]).unwrap();
+        pm.write_visible(2, 4096, &[2]).unwrap();
+        assert_eq!(pm.persist_writer(1), 1);
+        assert!(!pm.is_pending(0, 1));
+        assert!(pm.is_pending(4096, 1));
+        let mut b = [0u8];
+        pm.read_media(0, &mut b).unwrap();
+        assert_eq!(b, [1]);
+    }
+
+    #[test]
+    fn shared_line_flushes_whole() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_visible(1, 0, &[1]).unwrap();
+        pm.write_visible(2, 8, &[2]).unwrap(); // same 64 B line
+        pm.persist_writer(1);
+        let mut b = [0u8; 9];
+        pm.read_media(0, &mut b).unwrap();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[8], 2, "line-granular flush carries the co-located write");
+    }
+
+    #[test]
+    fn persist_range_flushes_intersecting_lines() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_visible(1, 60, &[7; 8]).unwrap(); // spans lines 0 and 1
+        assert_eq!(pm.persist_range(60, 1), 1);
+        assert_eq!(pm.persist_range(64, 4), 1);
+        assert!(!pm.is_pending(60, 8));
+    }
+
+    #[test]
+    fn crash_applies_random_subset() {
+        let mut pm = PmDevice::new(1 << 20);
+        for i in 0..256u64 {
+            pm.write_visible(i as WriterId, i * 64, &[i as u8; 8]).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(42);
+        let report = pm.crash(&mut rng);
+        assert_eq!(report.lines_applied + report.lines_dropped, 256);
+        assert!(report.lines_applied > 32, "with p=0.5 over 256 lines, >32 expected");
+        assert!(report.lines_dropped > 32);
+        assert_eq!(pm.pending_line_count(), 0);
+        // Applied lines are readable from media; dropped lines read as zero.
+        let mut applied = 0;
+        for i in 0..256u64 {
+            let mut b = [0u8];
+            pm.read(i * 64, &mut b).unwrap();
+            if b[0] == i as u8 && b[0] != 0 {
+                applied += 1;
+            }
+        }
+        assert!(applied > 0);
+    }
+
+    #[test]
+    fn write_spanning_lines() {
+        let mut pm = PmDevice::new(1 << 16);
+        let data: Vec<u8> = (0..200u16).map(|x| x as u8).collect();
+        pm.write_visible(3, 30, &data).unwrap();
+        let mut buf = vec![0u8; 200];
+        pm.read(30, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        pm.persist_writer(3);
+        pm.read_media(30, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn durable_write_updates_pending_copy() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_visible(1, 0, &[1, 1, 1, 1]).unwrap();
+        pm.write_durable(1, &[9, 9]).unwrap();
+        let mut b = [0u8; 4];
+        pm.read(0, &mut b).unwrap();
+        assert_eq!(b, [1, 9, 9, 1], "read must see the newest data");
+        // Even if the pending line is dropped on crash, only bytes 1..3 were
+        // guaranteed durable.
+        let mut media = [0u8; 4];
+        pm.read_media(0, &mut media).unwrap();
+        assert_eq!(media[1], 9);
+        assert_eq!(media[2], 9);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut pm = PmDevice::new(64);
+        assert!(matches!(pm.write_durable(60, &[0; 8]), Err(SimError::OutOfBounds { .. })));
+        assert!(matches!(pm.write_visible(0, 64, &[0]), Err(SimError::OutOfBounds { .. })));
+        let mut b = [0u8; 2];
+        assert!(pm.read(63, &mut b).is_err());
+        assert!(pm.read(62, &mut b).is_ok());
+    }
+
+    #[test]
+    fn persist_all_drains_everything() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_visible(1, 0, &[1]).unwrap();
+        pm.write_visible(2, 1000, &[2]).unwrap();
+        assert_eq!(pm.persist_all(), 2);
+        assert_eq!(pm.pending_line_count(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Platform-wide counters used by the evaluation harness.
+//!
+//! Write-amplification (Table 4) is derived from `bytes_persisted`; PCIe
+//! write bandwidth (Figure 12) from `pm_write_bytes_gpu` over elapsed time;
+//! fence counts feed the kernel timing model.
+
+/// Monotonic counters accumulated by the machine and execution engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Bytes written to PM by GPU kernels over PCIe.
+    pub pm_write_bytes_gpu: u64,
+    /// Bytes written to PM by CPU threads (CAP persisting, CPU baselines).
+    pub pm_write_bytes_cpu: u64,
+    /// Bytes read from PM by GPU kernels over PCIe.
+    pub pm_read_bytes_gpu: u64,
+    /// Coalesced PCIe write transactions issued by the GPU.
+    pub pcie_write_txns: u64,
+    /// Bytes moved by the DMA engine (GPU↔DRAM staging for CAP).
+    pub dma_bytes: u64,
+    /// System-scoped fences executed (warp-granular events).
+    pub system_fences: u64,
+    /// Device-scoped fences executed.
+    pub device_fences: u64,
+    /// Bytes whose durability was explicitly guaranteed (flush/fence paths);
+    /// the numerator/denominator of the paper's write-amplification table.
+    pub bytes_persisted: u64,
+    /// Kernel launches.
+    pub kernel_launches: u64,
+    /// Injected crashes survived.
+    pub crashes: u64,
+    /// Optane media program operations (256-byte internal blocks written).
+    /// The endurance metric HCL's coalescing improves (§5.2: "This also
+    /// improves NVM's endurance").
+    pub pm_block_programs: u64,
+}
+
+impl Stats {
+    /// Counter-wise difference `self - earlier`; use to meter one run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gpm_sim::Stats;
+    /// let before = Stats::default();
+    /// let mut after = Stats::default();
+    /// after.pm_write_bytes_gpu = 128;
+    /// assert_eq!(after.delta(&before).pm_write_bytes_gpu, 128);
+    /// ```
+    #[must_use]
+    pub fn delta(&self, earlier: &Stats) -> Stats {
+        Stats {
+            pm_write_bytes_gpu: self.pm_write_bytes_gpu - earlier.pm_write_bytes_gpu,
+            pm_write_bytes_cpu: self.pm_write_bytes_cpu - earlier.pm_write_bytes_cpu,
+            pm_read_bytes_gpu: self.pm_read_bytes_gpu - earlier.pm_read_bytes_gpu,
+            pcie_write_txns: self.pcie_write_txns - earlier.pcie_write_txns,
+            dma_bytes: self.dma_bytes - earlier.dma_bytes,
+            system_fences: self.system_fences - earlier.system_fences,
+            device_fences: self.device_fences - earlier.device_fences,
+            bytes_persisted: self.bytes_persisted - earlier.bytes_persisted,
+            kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            crashes: self.crashes - earlier.crashes,
+            pm_block_programs: self.pm_block_programs - earlier.pm_block_programs,
+        }
+    }
+
+    /// Total bytes written to PM from either side.
+    pub fn pm_write_bytes_total(&self) -> u64 {
+        self.pm_write_bytes_gpu + self.pm_write_bytes_cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = Stats { pm_write_bytes_gpu: 10, system_fences: 3, ..Stats::default() };
+        let mut b = a;
+        b.pm_write_bytes_gpu = 25;
+        b.system_fences = 7;
+        b.crashes = 1;
+        let d = b.delta(&a);
+        assert_eq!(d.pm_write_bytes_gpu, 15);
+        assert_eq!(d.system_fences, 4);
+        assert_eq!(d.crashes, 1);
+        assert_eq!(d.dma_bytes, 0);
+    }
+
+    #[test]
+    fn totals() {
+        let s = Stats { pm_write_bytes_gpu: 3, pm_write_bytes_cpu: 4, ..Stats::default() };
+        assert_eq!(s.pm_write_bytes_total(), 7);
+    }
+}

@@ -1,0 +1,232 @@
+//! Simulated time.
+//!
+//! Every cost in the platform model is expressed in simulated nanoseconds
+//! wrapped in the [`Ns`] newtype so that durations cannot be confused with
+//! byte counts or thread counts. The simulation is analytical — no wall-clock
+//! sleeping is involved — so `Ns` is a plain `f64` with arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration (or point in simulated time) in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::Ns;
+/// let transfer = Ns::from_micros(2.0) + Ns(500.0);
+/// assert_eq!(transfer, Ns(2_500.0));
+/// assert!(transfer.as_millis() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Ns(pub f64);
+
+impl Ns {
+    /// Zero duration.
+    pub const ZERO: Ns = Ns(0.0);
+
+    /// Creates a duration from microseconds.
+    pub fn from_micros(us: f64) -> Ns {
+        Ns(us * 1_000.0)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> Ns {
+        Ns(ms * 1_000_000.0)
+    }
+
+    /// Creates a duration from seconds.
+    pub fn from_secs(s: f64) -> Ns {
+        Ns(s * 1e9)
+    }
+
+    /// This duration in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// This duration in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1_000_000.0
+    }
+
+    /// This duration in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Elementwise maximum; useful for overlapping resource model terms.
+    pub fn max(self, other: Ns) -> Ns {
+        Ns(self.0.max(other.0))
+    }
+
+    /// Elementwise minimum.
+    pub fn min(self, other: Ns) -> Ns {
+        Ns(self.0.min(other.0))
+    }
+
+    /// Returns `true` if this duration is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e9 {
+            write!(f, "{:.3} s", self.as_secs())
+        } else if self.0 >= 1e6 {
+            write!(f, "{:.3} ms", self.as_millis())
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} us", self.as_micros())
+        } else {
+            write!(f, "{:.1} ns", self.0)
+        }
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Ns {
+    type Output = Ns;
+    fn mul(self, rhs: f64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Ns {
+    type Output = Ns;
+    fn div(self, rhs: f64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl Div<Ns> for Ns {
+    type Output = f64;
+    fn div(self, rhs: Ns) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        iter.fold(Ns::ZERO, |a, b| a + b)
+    }
+}
+
+/// A monotonically advancing simulated clock.
+///
+/// The clock is advanced explicitly by the execution engines; it never moves
+/// on its own.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::{Ns, SimClock};
+/// let mut clock = SimClock::new();
+/// clock.advance(Ns::from_micros(3.0));
+/// assert_eq!(clock.now(), Ns(3_000.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Ns,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Advances the clock by `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative (time never flows backwards).
+    pub fn advance(&mut self, dt: Ns) {
+        assert!(dt.0 >= 0.0, "cannot advance the clock by a negative duration");
+        self.now += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_arithmetic() {
+        assert_eq!(Ns(1.0) + Ns(2.0), Ns(3.0));
+        assert_eq!(Ns(5.0) - Ns(2.0), Ns(3.0));
+        assert_eq!(Ns(2.0) * 3.0, Ns(6.0));
+        assert_eq!(Ns(6.0) / 2.0, Ns(3.0));
+        assert_eq!(Ns(6.0) / Ns(2.0), 3.0);
+    }
+
+    #[test]
+    fn ns_conversions() {
+        assert_eq!(Ns::from_micros(1.0), Ns(1_000.0));
+        assert_eq!(Ns::from_millis(1.0), Ns(1_000_000.0));
+        assert_eq!(Ns::from_secs(1.0), Ns(1e9));
+        assert_eq!(Ns::from_secs(2.0).as_millis(), 2_000.0);
+        assert_eq!(Ns::from_millis(2.0).as_micros(), 2_000.0);
+    }
+
+    #[test]
+    fn ns_max_min() {
+        assert_eq!(Ns(1.0).max(Ns(2.0)), Ns(2.0));
+        assert_eq!(Ns(1.0).min(Ns(2.0)), Ns(1.0));
+    }
+
+    #[test]
+    fn ns_sum() {
+        let total: Ns = [Ns(1.0), Ns(2.0), Ns(3.0)].into_iter().sum();
+        assert_eq!(total, Ns(6.0));
+    }
+
+    #[test]
+    fn ns_display_units() {
+        assert_eq!(format!("{}", Ns(12.0)), "12.0 ns");
+        assert_eq!(format!("{}", Ns(1_500.0)), "1.500 us");
+        assert_eq!(format!("{}", Ns(2_500_000.0)), "2.500 ms");
+        assert_eq!(format!("{}", Ns::from_secs(1.25)), "1.250 s");
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut c = SimClock::new();
+        assert!(c.now().is_zero());
+        c.advance(Ns(10.0));
+        c.advance(Ns(5.0));
+        assert_eq!(c.now(), Ns(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn clock_rejects_negative() {
+        SimClock::new().advance(Ns(-1.0));
+    }
+}

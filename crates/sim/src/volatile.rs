@@ -1,0 +1,144 @@
+//! Volatile memories: host DRAM and GPU device memory (HBM/GDDR).
+//!
+//! Contents are lost wholesale on a crash.
+
+use crate::addr::{Addr, MemSpace};
+use crate::error::{SimError, SimResult};
+
+/// A flat, lazily-allocated volatile memory.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::volatile::VolatileMem;
+/// use gpm_sim::MemSpace;
+/// let mut m = VolatileMem::new(MemSpace::Hbm, 1 << 20);
+/// m.write(16, &[1, 2, 3])?;
+/// let mut buf = [0u8; 3];
+/// m.read(16, &mut buf)?;
+/// assert_eq!(buf, [1, 2, 3]);
+/// m.wipe();
+/// m.read(16, &mut buf)?;
+/// assert_eq!(buf, [0, 0, 0]);
+/// # Ok::<(), gpm_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct VolatileMem {
+    space: MemSpace,
+    data: Vec<u8>,
+    capacity: u64,
+}
+
+impl VolatileMem {
+    /// Creates a memory of the given capacity (allocated lazily).
+    pub fn new(space: MemSpace, capacity: u64) -> VolatileMem {
+        VolatileMem { space, data: Vec::new(), capacity }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Which space this memory backs.
+    pub fn space(&self) -> MemSpace {
+        self.space
+    }
+
+    fn check(&self, offset: u64, len: u64) -> SimResult<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.capacity) {
+            return Err(SimError::OutOfBounds {
+                addr: Addr { space: self.space, offset },
+                len,
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range exceeds capacity.
+    pub fn write(&mut self, offset: u64, bytes: &[u8]) -> SimResult<()> {
+        self.check(offset, bytes.len() as u64)?;
+        let end = offset as usize + bytes.len();
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        self.data[offset as usize..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads bytes at `offset`. Unwritten bytes read as zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range exceeds capacity.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> SimResult<()> {
+        self.check(offset, buf.len() as u64)?;
+        let have = (self.data.len() as u64).saturating_sub(offset).min(buf.len() as u64);
+        if have > 0 {
+            buf[..have as usize]
+                .copy_from_slice(&self.data[offset as usize..(offset + have) as usize]);
+        }
+        buf[have as usize..].fill(0);
+        Ok(())
+    }
+
+    /// Clears all contents (power loss).
+    pub fn wipe(&mut self) {
+        self.data.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_back() {
+        let mut m = VolatileMem::new(MemSpace::Dram, 1024);
+        m.write(100, &[5; 10]).unwrap();
+        let mut buf = [0u8; 10];
+        m.read(100, &mut buf).unwrap();
+        assert_eq!(buf, [5; 10]);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = VolatileMem::new(MemSpace::Dram, 1024);
+        let mut buf = [7u8; 4];
+        m.read(512, &mut buf).unwrap();
+        assert_eq!(buf, [0; 4]);
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let mut m = VolatileMem::new(MemSpace::Hbm, 16);
+        assert!(m.write(10, &[0; 8]).is_err());
+        let mut b = [0u8; 8];
+        assert!(m.read(9, &mut b).is_err());
+        assert!(m.read(8, &mut b).is_ok());
+    }
+
+    #[test]
+    fn wipe_clears() {
+        let mut m = VolatileMem::new(MemSpace::Hbm, 1024);
+        m.write(0, &[1; 16]).unwrap();
+        m.wipe();
+        let mut buf = [9u8; 16];
+        m.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0; 16]);
+    }
+
+    #[test]
+    fn partial_overlap_read() {
+        let mut m = VolatileMem::new(MemSpace::Dram, 1024);
+        m.write(0, &[1, 2]).unwrap();
+        let mut buf = [9u8; 4];
+        m.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 0, 0]);
+    }
+}

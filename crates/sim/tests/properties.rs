@@ -1,0 +1,126 @@
+//! Property-based tests of the platform model's core invariants.
+
+use proptest::prelude::*;
+
+use gpm_sim::pattern::{AccessPattern, PatternTracker};
+use gpm_sim::pm::PmDevice;
+use gpm_sim::{Machine, MachineConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pattern classifier conserves bytes and transactions, and its
+    /// effective bandwidth always lies between the extreme class speeds.
+    #[test]
+    fn pattern_tracker_conserves_and_bounds(
+        txns in prop::collection::vec((0u64..1 << 20, 1u64..512), 1..200),
+        barrier_every in 1usize..16,
+    ) {
+        let cfg = MachineConfig::default();
+        let mut t = PatternTracker::new();
+        let mut total = 0;
+        for (i, &(off, len)) in txns.iter().enumerate() {
+            t.record(off, len);
+            total += len;
+            if i % barrier_every == 0 {
+                t.barrier();
+            }
+        }
+        prop_assert_eq!(t.total_bytes(), total);
+        prop_assert_eq!(t.total_txns(), txns.len() as u64);
+        let bw = t.effective_bandwidth(&cfg);
+        prop_assert!(bw >= cfg.pm_bw_random - 1e-9);
+        prop_assert!(bw <= cfg.pm_bw_seq_aligned + 1e-9);
+        // Per-class counts sum to totals.
+        let sum: u64 = [AccessPattern::SeqAligned, AccessPattern::SeqUnaligned, AccessPattern::Random]
+            .iter()
+            .map(|&p| t.bytes_in(p))
+            .sum();
+        prop_assert_eq!(sum, total);
+    }
+
+    /// PM reads always reflect the newest visible write, before and after a
+    /// persist, for arbitrary overlapping writes by one writer.
+    #[test]
+    fn pm_read_your_writes(
+        writes in prop::collection::vec((0u64..4096, prop::collection::vec(any::<u8>(), 1..100)), 1..50),
+    ) {
+        let mut pm = PmDevice::new(8192);
+        let mut shadow = vec![0u8; 8192];
+        for (off, data) in &writes {
+            pm.write_visible(1, *off, data).unwrap();
+            shadow[*off as usize..*off as usize + data.len()].copy_from_slice(data);
+        }
+        let mut got = vec![0u8; 8192];
+        pm.read(0, &mut got).unwrap();
+        prop_assert_eq!(&got, &shadow, "visibility before persist");
+        pm.persist_writer(1);
+        pm.read_media(0, &mut got).unwrap();
+        prop_assert_eq!(&got, &shadow, "durability after persist");
+    }
+
+    /// A persist makes exactly the writer's lines durable: reading media
+    /// after persist+crash equals reading media after persist alone.
+    #[test]
+    fn crash_after_persist_changes_nothing(
+        writes in prop::collection::vec((0u64..2048, any::<u64>()), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut m = Machine::new(MachineConfig::default().with_seed(seed));
+        let base = m.alloc_pm(4096).unwrap();
+        m.set_ddio(false);
+        for &(off, v) in &writes {
+            m.gpu_store_pm(3, base + (off & !7), &v.to_le_bytes()).unwrap();
+        }
+        m.gpu_system_fence(3);
+        let mut before = vec![0u8; 4096];
+        m.pm().read_media(base, &mut before).unwrap();
+        m.crash();
+        let mut after = vec![0u8; 4096];
+        m.pm().read_media(base, &mut after).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    /// The filesystem allocates non-overlapping extents that survive crash.
+    #[test]
+    fn fs_extents_disjoint(sizes in prop::collection::vec(1u64..10_000, 1..20)) {
+        let mut m = Machine::default();
+        let mut extents: Vec<(u64, u64)> = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            let f = m.fs_create(&format!("/pm/f{i}"), s).unwrap();
+            prop_assert!(f.len >= s);
+            for &(o, l) in &extents {
+                prop_assert!(f.offset >= o + l || f.offset + f.len <= o);
+            }
+            extents.push((f.offset, f.len));
+        }
+        m.crash();
+        for (i, _) in sizes.iter().enumerate() {
+            prop_assert!(m.fs_exists(&format!("/pm/f{i}")), "directory is durable");
+        }
+    }
+
+    /// eADR and a fenced ADR run leave identical durable bytes for the same
+    /// write sequence.
+    #[test]
+    fn eadr_equals_fenced_adr(
+        writes in prop::collection::vec((0u64..1024, any::<u32>()), 1..30),
+    ) {
+        let run = |cfg: MachineConfig| -> Vec<u8> {
+            let mut m = Machine::new(cfg);
+            let base = m.alloc_pm(2048).unwrap();
+            m.set_ddio(false);
+            for &(off, v) in &writes {
+                m.gpu_store_pm(1, base + (off & !3), &v.to_le_bytes()).unwrap();
+            }
+            m.gpu_system_fence(1);
+            m.crash();
+            let mut buf = vec![0u8; 2048];
+            m.read(gpm_sim::Addr::pm(base), &mut buf).unwrap();
+            buf
+        };
+        let adr = run(MachineConfig::default());
+        let eadr = run(MachineConfig::default().with_eadr());
+        prop_assert_eq!(adr, eadr);
+    }
+}

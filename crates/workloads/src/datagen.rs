@@ -1,0 +1,127 @@
+//! Synthetic input generation: deterministic uniform and Zipfian sources.
+//!
+//! The paper's KVS batches come from YCSB-style generators; real key-value
+//! traffic is skewed, and skew changes the PM story (hot keys concentrate
+//! updates into fewer cache lines, which coalesce and write-combine better).
+//! [`Zipf`] provides a deterministic Zipfian sampler used by gpKVS's skewed
+//! configuration and the `kvs_throughput` bench.
+
+/// A Zipf(θ) sampler over ranks `0..n`, using the cumulative-table method
+/// (exact, O(n) setup, O(log n) per sample, deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use gpm_workloads::datagen::Zipf;
+/// let z = Zipf::new(1000, 0.99);
+/// let a = z.sample(1);
+/// let b = z.sample(2);
+/// assert!(a < 1000 && b < 1000);
+/// assert_eq!(z.sample(7), z.sample(7), "deterministic");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `theta` (0 = uniform;
+    /// 0.99 = YCSB's default skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "need at least one rank");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Samples a rank from a deterministic stream position `i`.
+    pub fn sample(&self, i: u64) -> u64 {
+        let u = uniform01(i);
+        // First rank whose cdf ≥ u.
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Deterministic uniform double in `[0, 1)` derived from `i` (SplitMix64).
+pub fn uniform01(i: u64) -> f64 {
+    let h = gpm_pmkv::hash64(i.wrapping_add(0x9E37_79B9));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform01_in_range_and_spread() {
+        let mut sum = 0.0;
+        for i in 0..10_000u64 {
+            let u = uniform01(i);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_theta0_is_uniform() {
+        let z = Zipf::new(100, 0.0);
+        let mut counts = vec![0u32; 100];
+        for i in 0..100_000u64 {
+            counts[z.sample(i) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "uniform spread expected: {min}..{max}");
+    }
+
+    #[test]
+    fn zipf_high_theta_concentrates() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut head = 0u64;
+        let samples = 100_000u64;
+        for i in 0..samples {
+            if z.sample(i) < 100 {
+                head += 1;
+            }
+        }
+        // With θ=0.99 the top 1% of ranks draw roughly half the mass.
+        let frac = head as f64 / samples as f64;
+        assert!(frac > 0.35, "skew too weak: head fraction {frac:.3}");
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_decrease() {
+        let z = Zipf::new(1_000, 1.2);
+        let mut counts = vec![0u32; 1000];
+        for i in 0..200_000u64 {
+            counts[z.sample(i) as usize] += 1;
+        }
+        assert!(counts[0] > counts[9]);
+        assert!(counts[9] > counts[99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

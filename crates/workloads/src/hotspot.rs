@@ -1,0 +1,235 @@
+//! Hotspot: thermal simulation with checkpointing (§4.2).
+//!
+//! Rodinia's Hotspot estimates processor temperature from power dissipation
+//! with an iterative 5-point stencil. We run the same stencil on a
+//! double-buffered grid (reads from one buffer, writes to the other, so the
+//! result is order-independent) and checkpoint the temperature matrix
+//! periodically. The paper's input is a 16K×16K grid (2 GB); scaled down
+//! here, with the paper size driving the GPUfs failure.
+
+use gpm_gpu::{launch, FnKernel, Grid2, ThreadCtx};
+use gpm_sim::{Addr, Machine, Ns, SimResult};
+
+use crate::iterative::IterativeApp;
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HotspotParams {
+    /// Grid edge length (grid is `edge × edge`).
+    pub edge: u64,
+    /// Stencil iterations (must be even so the result lands in buffer A).
+    pub iterations: u32,
+    /// Checkpoint cadence.
+    pub checkpoint_every: u32,
+}
+
+impl Default for HotspotParams {
+    fn default() -> HotspotParams {
+        HotspotParams { edge: 512, iterations: 8, checkpoint_every: 2 }
+    }
+}
+
+impl HotspotParams {
+    /// Small configuration for unit tests.
+    pub fn quick() -> HotspotParams {
+        HotspotParams { edge: 64, iterations: 4, checkpoint_every: 2 }
+    }
+}
+
+/// The Hotspot workload.
+#[derive(Debug)]
+pub struct HotspotWorkload {
+    /// Parameters of this instance.
+    pub params: HotspotParams,
+    temp_b: u64,
+    power: u64,
+}
+
+const AMBIENT: f32 = 80.0;
+const K_DIFFUSE: f32 = 0.1;
+const K_POWER: f32 = 0.02;
+
+fn init_temp(x: u64, y: u64) -> f32 {
+    AMBIENT + ((gpm_pmkv::hash64(x ^ (y << 32)) % 100) as f32) / 10.0
+}
+
+fn init_power(x: u64, y: u64) -> f32 {
+    ((gpm_pmkv::hash64(x.wrapping_mul(31) ^ (y << 20) ^ 0xBEEF) % 100) as f32) / 100.0
+}
+
+fn stencil(center: f32, up: f32, down: f32, left: f32, right: f32, power: f32) -> f32 {
+    center + K_DIFFUSE * (up + down + left + right - 4.0 * center) + K_POWER * power
+}
+
+impl HotspotWorkload {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is odd (the double buffer must end in A).
+    pub fn new(params: HotspotParams) -> HotspotWorkload {
+        assert!(params.iterations.is_multiple_of(2), "iterations must be even");
+        HotspotWorkload { params, temp_b: 0, power: 0 }
+    }
+
+    fn reference(&self, iters: u32) -> Vec<f32> {
+        let e = self.params.edge as usize;
+        let mut cur: Vec<f32> =
+            (0..e * e).map(|i| init_temp((i % e) as u64, (i / e) as u64)).collect();
+        let power: Vec<f32> =
+            (0..e * e).map(|i| init_power((i % e) as u64, (i / e) as u64)).collect();
+        let mut next = cur.clone();
+        for _ in 0..iters {
+            for y in 0..e {
+                for x in 0..e {
+                    let at = |xx: isize, yy: isize| -> f32 {
+                        if xx < 0 || yy < 0 || xx >= e as isize || yy >= e as isize {
+                            AMBIENT
+                        } else {
+                            cur[yy as usize * e + xx as usize]
+                        }
+                    };
+                    let (x, y) = (x as isize, y as isize);
+                    next[y as usize * e + x as usize] = stencil(
+                        at(x, y),
+                        at(x, y - 1),
+                        at(x, y + 1),
+                        at(x - 1, y),
+                        at(x + 1, y),
+                        power[y as usize * e + x as usize],
+                    );
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+}
+
+impl IterativeApp for HotspotWorkload {
+    fn name(&self) -> &'static str {
+        "HS"
+    }
+
+    fn setup(&mut self, machine: &mut Machine) -> SimResult<Vec<(u64, u64)>> {
+        let e = self.params.edge;
+        let bytes = e * e * 4;
+        let temp_a = machine.alloc_hbm(bytes)?;
+        self.temp_b = machine.alloc_hbm(bytes)?;
+        self.power = machine.alloc_hbm(bytes)?;
+        let mut t = Vec::with_capacity(bytes as usize);
+        let mut p = Vec::with_capacity(bytes as usize);
+        for y in 0..e {
+            for x in 0..e {
+                t.extend_from_slice(&init_temp(x, y).to_le_bytes());
+                p.extend_from_slice(&init_power(x, y).to_le_bytes());
+            }
+        }
+        machine.host_write(Addr::hbm(temp_a), &t)?;
+        machine.host_write(Addr::hbm(self.power), &p)?;
+        // Temperature and power are checkpointed together (Table 1: "16K*16K
+        // power and temp matrix").
+        Ok(vec![(temp_a, bytes), (self.power, bytes)])
+    }
+
+    fn iteration(&self, machine: &mut Machine, arrays: &[(u64, u64)], iter: u32) -> SimResult<()> {
+        let e = self.params.edge;
+        let temp_a = arrays[0].0;
+        let (src, dst) =
+            if iter.is_multiple_of(2) { (temp_a, self.temp_b) } else { (self.temp_b, temp_a) };
+        let power = self.power;
+        // Hotspot launches a 2-D grid of 16x16 tiles, as the Rodinia kernel
+        // does.
+        let grid = Grid2::new(e, e, 16, 16);
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            let (x, y) = grid.coords(ctx.global_id());
+            if !grid.in_bounds(x, y) {
+                return Ok(());
+            }
+            let i = y * e + x;
+            // Effective per-cell work of Rodinia's pyramidal multi-step
+            // kernel, calibrated to its measured iteration times.
+            ctx.compute(Ns(10_000.0));
+            let at = |ctx: &mut ThreadCtx<'_>, xx: i64, yy: i64| -> SimResult<f32> {
+                if xx < 0 || yy < 0 || xx >= e as i64 || yy >= e as i64 {
+                    Ok(AMBIENT)
+                } else {
+                    ctx.ld_f32(Addr::hbm(src + (yy as u64 * e + xx as u64) * 4))
+                }
+            };
+            let (xi, yi) = (x as i64, y as i64);
+            let c = at(ctx, xi, yi)?;
+            let up = at(ctx, xi, yi - 1)?;
+            let down = at(ctx, xi, yi + 1)?;
+            let left = at(ctx, xi - 1, yi)?;
+            let right = at(ctx, xi + 1, yi)?;
+            let pw = ctx.ld_f32(Addr::hbm(power + i * 4))?;
+            ctx.st_f32(Addr::hbm(dst + i * 4), stencil(c, up, down, left, right, pw))
+        });
+        launch(machine, grid.launch(), &k)?;
+        Ok(())
+    }
+
+    fn verify(&self, machine: &Machine, arrays: &[(u64, u64)], iters_done: u32) -> SimResult<bool> {
+        let e = self.params.edge;
+        let expect = self.reference(iters_done);
+        // Even iteration counts land in buffer A (the checkpointed one).
+        debug_assert!(iters_done.is_multiple_of(2));
+        for i in (0..e * e).step_by(241) {
+            let got = machine.read_f32(Addr::hbm(arrays[0].0 + i * 4))?;
+            if got != expect[i as usize] {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn iterations(&self) -> u32 {
+        self.params.iterations
+    }
+
+    fn checkpoint_every(&self) -> u32 {
+        self.params.checkpoint_every
+    }
+
+    fn paper_bytes(&self) -> u64 {
+        2 << 30 // the paper's 2 GB temp+power matrices: GPUfs fails (§6.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::{run_iterative, run_iterative_with_recovery};
+    use crate::metrics::Mode;
+
+    #[test]
+    fn stencil_verifies_under_gpm() {
+        let mut m = Machine::default();
+        let mut app = HotspotWorkload::new(HotspotParams::quick());
+        let r = run_iterative(&mut m, &mut app, Mode::Gpm, 16).unwrap();
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn gpufs_rejects_hs_at_paper_size() {
+        let mut m = Machine::default();
+        let mut app = HotspotWorkload::new(HotspotParams::quick());
+        let err = run_iterative(&mut m, &mut app, Mode::Gpufs, 16).unwrap_err();
+        assert!(matches!(err, gpm_sim::SimError::FileTooLarge { .. }));
+    }
+
+    #[test]
+    fn recovery_restores_checkpointed_grid() {
+        let mut m = Machine::default();
+        let mut app = HotspotWorkload::new(HotspotParams::quick());
+        let r = run_iterative_with_recovery(&mut m, &mut app).unwrap();
+        assert!(r.verified);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_iterations_rejected() {
+        HotspotWorkload::new(HotspotParams { iterations: 3, ..HotspotParams::quick() });
+    }
+}

@@ -1,0 +1,627 @@
+//! gpKVS: a GPU-accelerated persistent key-value store (§4.1, §5.2).
+//!
+//! Derived from MegaKV as the paper describes: an 8-way set-associative
+//! table, batched SET/GET operations, groups of eight threads cooperating
+//! per operation, and write-ahead undo logging (HCL) for recoverable SETs
+//! (Figure 6). The table lives on PM under GPM; a volatile HBM mirror
+//! serves GETs ("GETs are mostly served out of the GPU's fast HBM", §6.1).
+//!
+//! Under CAP the table lives only in HBM and the *entire* table is
+//! transferred and persisted by the CPU after each batch — the
+//! write-amplification of Table 4.
+
+use std::collections::HashMap;
+
+use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
+use gpm_core::{
+    gpm_map, gpm_persist_begin, gpm_persist_end, gpmlog_create_hcl, GpmLog, GpmThreadExt, TxnFlag,
+};
+use gpm_gpu::{launch, launch_with_fuel, FnKernel, LaunchConfig, LaunchError, ThreadCtx};
+use gpm_sim::{Addr, Machine, Ns, SimError, SimResult};
+
+use crate::metrics::{metered, Mode, RunMetrics};
+
+/// Ways per set (MegaKV-style set-associative layout).
+pub const WAYS: u64 = 8;
+/// Threads cooperating on one operation (`THRD_GRP_SZ` in Figure 6).
+pub const THREAD_GROUP: u64 = 8;
+/// Bytes per table entry: key u64 + value u64.
+const ENTRY: u64 = 16;
+/// Undo-log record: set u32, way u32, old key u64, old value u64.
+const LOG_ENTRY: usize = 24;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KvsParams {
+    /// Number of sets (table holds `sets × 8` pairs).
+    pub sets: u64,
+    /// SET/GET operations per batch.
+    pub ops_per_batch: u64,
+    /// Batches executed.
+    pub batches: u32,
+    /// Fraction of GETs per mille (0 = pure SETs, 950 = the 95:5 mix).
+    pub get_permille: u32,
+    /// CPU threads for CAP-mm persisting.
+    pub cap_threads: u32,
+    /// Per-request CPU pipeline cost (MegaKV's receive/index stages).
+    pub pipeline_ns: f64,
+    /// Additional CPU cost per GET response (value marshalling + send).
+    pub get_response_ns: f64,
+    /// Undo-log backend: `None` = HCL (the default), `Some(p)` =
+    /// conventional distributed logging with `p` partitions (the Figure 11
+    /// baseline).
+    pub conventional_log_partitions: Option<u32>,
+    /// Key skew: `None` = unique uniform keys per batch, `Some(theta)` =
+    /// Zipfian key popularity over a bounded key universe (YCSB-style).
+    pub key_skew: Option<f64>,
+}
+
+impl Default for KvsParams {
+    fn default() -> KvsParams {
+        KvsParams {
+            sets: 131_072,
+            ops_per_batch: 8_192,
+            batches: 4,
+            get_permille: 0,
+            cap_threads: 32,
+            pipeline_ns: 330.0,
+            get_response_ns: 400.0,
+            conventional_log_partitions: None,
+            key_skew: None,
+        }
+    }
+}
+
+impl KvsParams {
+    /// Small configuration for unit tests.
+    pub fn quick() -> KvsParams {
+        KvsParams { sets: 2_048, ops_per_batch: 512, batches: 2, ..KvsParams::default() }
+    }
+
+    /// The 95% GET / 5% SET mix of Figure 9.
+    pub fn with_get_mix(mut self) -> KvsParams {
+        self.get_permille = 950;
+        self
+    }
+
+    fn table_bytes(&self) -> u64 {
+        self.sets * WAYS * ENTRY
+    }
+}
+
+/// The gpKVS workload instance.
+#[derive(Debug)]
+pub struct KvsWorkload {
+    /// Parameters of this instance.
+    pub params: KvsParams,
+}
+
+struct KvsState {
+    pm_table: u64,
+    hbm_table: u64,
+    flag: TxnFlag,
+    staging_dram: u64,
+    cap_pm: u64,
+    batch_keys: u64,
+    batch_vals: u64,
+    batch_is_get: u64,
+    get_results: u64,
+    log: GpmLog,
+}
+
+fn hash_set(key: u64, sets: u64) -> u64 {
+    gpm_pmkv::hash64(key) % sets
+}
+
+impl KvsWorkload {
+    /// Creates the workload.
+    pub fn new(params: KvsParams) -> KvsWorkload {
+        KvsWorkload { params }
+    }
+
+    fn launch_cfg(&self) -> LaunchConfig {
+        LaunchConfig::for_elements(self.params.ops_per_batch * THREAD_GROUP, 256)
+    }
+
+    fn setup(&self, machine: &mut Machine, mode: Mode) -> SimResult<KvsState> {
+        let p = &self.params;
+        let pm_table = gpm_map(machine, "/pm/gpkvs/table", p.table_bytes(), true)?.offset;
+        let flag = TxnFlag::create(machine, "/pm/gpkvs/flag")?;
+        let hbm_table = machine.alloc_hbm(p.table_bytes())?;
+        let staging_dram = machine.alloc_dram(p.table_bytes())?;
+        let cap_pm = if matches!(mode, Mode::CapFs | Mode::CapMm) {
+            machine.alloc_pm(p.table_bytes())?
+        } else {
+            0
+        };
+        let batch_keys = machine.alloc_hbm(p.ops_per_batch * 8)?;
+        let batch_vals = machine.alloc_hbm(p.ops_per_batch * 8)?;
+        let batch_is_get = machine.alloc_hbm(p.ops_per_batch * 4)?;
+        let get_results = machine.alloc_hbm(p.ops_per_batch * 8)?;
+        let cfg = self.launch_cfg();
+        let log_size = cfg.total_threads() * LOG_ENTRY as u64 * 2;
+        let log = match p.conventional_log_partitions {
+            None => gpmlog_create_hcl(machine, "/pm/gpkvs/log", log_size, cfg.grid, cfg.block),
+            Some(parts) => {
+                gpm_core::gpmlog_create_conv(machine, "/pm/gpkvs/log", log_size * 2, parts)
+            }
+        }
+        .map_err(|_| SimError::Invalid("failed to create gpKVS log"))?;
+        Ok(KvsState {
+            pm_table,
+            hbm_table,
+            flag,
+            staging_dram,
+            cap_pm,
+            batch_keys,
+            batch_vals,
+            batch_is_get,
+            get_results,
+            log,
+        })
+    }
+
+    /// Deterministic batch generator. With no skew, keys are unique and
+    /// uniform per batch (so undo recovery is byte-exact); with
+    /// `key_skew = Some(theta)`, keys follow a Zipfian popularity over a
+    /// bounded universe (hot keys repeat within and across batches).
+    fn gen_batch(&self, batch: u32) -> Vec<(u64, u64, bool)> {
+        let p = &self.params;
+        let zipf = p.key_skew.map(|theta| crate::datagen::Zipf::new(p.sets * 2, theta));
+        (0..p.ops_per_batch)
+            .map(|i| {
+                let key = match &zipf {
+                    Some(z) => {
+                        let rank = z.sample((batch as u64) << 32 | i);
+                        gpm_pmkv::hash64(rank.wrapping_mul(0x9E37)) | 1
+                    }
+                    None => gpm_pmkv::hash64((batch as u64) << 32 | (i + 1)) | 1,
+                };
+                let val = key.wrapping_mul(2_654_435_761).wrapping_add(batch as u64);
+                let is_get = gpm_pmkv::hash64(key ^ 0xDEAD) % 1000 < p.get_permille as u64;
+                (key, val, is_get)
+            })
+            .collect()
+    }
+
+    fn upload_batch(
+        &self,
+        machine: &mut Machine,
+        st: &KvsState,
+        ops: &[(u64, u64, bool)],
+    ) -> SimResult<()> {
+        let p = &self.params;
+        let mut keys = Vec::with_capacity(ops.len() * 8);
+        let mut vals = Vec::with_capacity(ops.len() * 8);
+        let mut gets = Vec::with_capacity(ops.len() * 4);
+        for (k, v, g) in ops {
+            keys.extend_from_slice(&k.to_le_bytes());
+            vals.extend_from_slice(&v.to_le_bytes());
+            gets.extend_from_slice(&(*g as u32).to_le_bytes());
+        }
+        machine.host_write(Addr::hbm(st.batch_keys), &keys)?;
+        machine.host_write(Addr::hbm(st.batch_vals), &vals)?;
+        machine.host_write(Addr::hbm(st.batch_is_get), &gets)?;
+        // Request ingestion: MegaKV's CPU-side receive+index pipeline, plus
+        // the DMA of the request batch to the GPU, plus per-GET response
+        // marshalling (the common cost that moderates the 95:5 mix's GPM
+        // advantage, §6.1).
+        let n_gets = ops.iter().filter(|o| o.2).count() as f64;
+        let t = Ns(ops.len() as f64 * p.pipeline_ns)
+            + Ns(n_gets * p.get_response_ns)
+            + machine.cfg.dma_init_overhead
+            + Ns((keys.len() + vals.len() + gets.len()) as f64 / machine.cfg.pcie_bw);
+        machine.clock.advance(t);
+        Ok(())
+    }
+
+    /// The batched SET/GET kernel (Figure 6a). `persist=false` is the
+    /// GPM-NDP configuration; `to_pm=false` is CAP (HBM only).
+    #[allow(clippy::too_many_arguments)]
+    fn batch_kernel(
+        &self,
+        st: &KvsState,
+        to_pm: bool,
+        persist: bool,
+    ) -> impl gpm_gpu::Kernel<State = (), Shared = ()> + '_ {
+        let p = self.params;
+        let (pm_table, hbm_table) = (st.pm_table, st.hbm_table);
+        let (keys, vals, gets, results) = (st.batch_keys, st.batch_vals, st.batch_is_get, st.get_results);
+        let log = st.log.dev();
+        FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            let tid = ctx.global_id();
+            let op = tid / THREAD_GROUP;
+            if op >= p.ops_per_batch {
+                return Ok(());
+            }
+            let key = ctx.ld_u64(Addr::hbm(keys + op * 8))?;
+            let set = hash_set(key, p.sets);
+            ctx.compute(Ns(40.0)); // hash + way-probe share of the group
+            // One thread of the group is selected to perform the operation
+            // (the others assisted the cooperative probe).
+            if tid % THREAD_GROUP != key % THREAD_GROUP {
+                return Ok(());
+            }
+            let is_get = ctx.ld_u32(Addr::hbm(gets + op * 4))? != 0;
+            // Probe the 8 ways in the HBM mirror.
+            let mut way = (key >> 32) % WAYS; // eviction victim by default
+            let mut empty: Option<u64> = None;
+            for w in 0..WAYS {
+                let k = ctx.ld_u64(Addr::hbm(hbm_table + (set * WAYS + w) * ENTRY))?;
+                if k == key {
+                    way = w;
+                    empty = None;
+                    break;
+                }
+                if k == 0 && empty.is_none() {
+                    empty = Some(w);
+                }
+            }
+            if let Some(w) = empty {
+                way = w;
+            }
+            let slot = (set * WAYS + way) * ENTRY;
+            if is_get {
+                let v = ctx.ld_u64(Addr::hbm(hbm_table + slot + 8))?;
+                ctx.st_u64(Addr::hbm(results + op * 8), v)?;
+                return Ok(());
+            }
+            let value = ctx.ld_u64(Addr::hbm(vals + op * 8))?;
+            if to_pm {
+                // Undo-log the pair currently in the selected location.
+                let old_key = ctx.ld_u64(Addr::hbm(hbm_table + slot))?;
+                let old_val = ctx.ld_u64(Addr::hbm(hbm_table + slot + 8))?;
+                let mut entry = [0u8; LOG_ENTRY];
+                entry[0..4].copy_from_slice(&(set as u32).to_le_bytes());
+                entry[4..8].copy_from_slice(&(way as u32).to_le_bytes());
+                entry[8..16].copy_from_slice(&old_key.to_le_bytes());
+                entry[16..24].copy_from_slice(&old_val.to_le_bytes());
+                if persist {
+                    log.insert(ctx, &entry)?;
+                } else {
+                    // GPM-NDP: log writes go to PM but are not fenced; the
+                    // CPU flushes the region after the kernel.
+                    log.insert_unfenced(ctx, &entry)?;
+                }
+                let mut pair = [0u8; ENTRY as usize];
+                pair[0..8].copy_from_slice(&key.to_le_bytes());
+                pair[8..16].copy_from_slice(&value.to_le_bytes());
+                ctx.st_bytes(Addr::pm(pm_table + slot), &pair)?;
+                if persist {
+                    ctx.gpm_persist()?;
+                }
+            }
+            // Keep the mirror coherent.
+            ctx.st_u64(Addr::hbm(hbm_table + slot), key)?;
+            ctx.st_u64(Addr::hbm(hbm_table + slot + 8), value)?;
+            Ok(())
+        })
+    }
+
+    fn run_batches(&self, machine: &mut Machine, st: &KvsState, mode: Mode) -> SimResult<()> {
+        let p = &self.params;
+        for b in 0..p.batches {
+            let ops = self.gen_batch(b);
+            self.upload_batch(machine, st, &ops)?;
+            match mode {
+                Mode::Gpm => {
+                    st.flag.begin(machine, b as u64 + 1)?;
+                    gpm_persist_begin(machine);
+                    launch(machine, self.launch_cfg(), &self.batch_kernel(st, true, true))?;
+                    gpm_persist_end(machine);
+                    st.flag.commit(machine)?;
+                    st.log
+                        .host_clear(machine)
+                        .map_err(|_| SimError::Invalid("log clear failed"))?;
+                }
+                Mode::GpmNdp => {
+                    launch(machine, self.launch_cfg(), &self.batch_kernel(st, true, false))?;
+                    // CPU guarantees persistence for the whole table + log.
+                    flush_from_cpu(machine, st.pm_table, p.table_bytes(), p.cap_threads);
+                    flush_from_cpu(
+                        machine,
+                        st.log.region.offset,
+                        st.log.region.len,
+                        p.cap_threads,
+                    );
+                    // Batch committed: truncate the undo log.
+                    st.log
+                        .host_clear(machine)
+                        .map_err(|_| SimError::Invalid("clear"))?;
+                }
+                Mode::CapFs | Mode::CapMm => {
+                    launch(machine, self.launch_cfg(), &self.batch_kernel(st, false, false))?;
+                    let flavor = if mode == Mode::CapFs {
+                        CapFlavor::Fs
+                    } else {
+                        CapFlavor::Mm { threads: p.cap_threads }
+                    };
+                    cap_persist_region(
+                        machine,
+                        flavor,
+                        st.hbm_table,
+                        st.staging_dram,
+                        st.cap_pm,
+                        p.table_bytes(),
+                    )?;
+                }
+                Mode::Gpufs | Mode::CpuPm => {
+                    return Err(SimError::Invalid("mode unsupported for gpKVS"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference model: replays the batches in thread order.
+    fn reference_table(&self) -> HashMap<(u64, u64), (u64, u64)> {
+        let p = &self.params;
+        let mut table: HashMap<(u64, u64), (u64, u64)> = HashMap::new();
+        for b in 0..p.batches {
+            for (key, val, is_get) in self.gen_batch(b) {
+                if is_get {
+                    continue;
+                }
+                let set = hash_set(key, p.sets);
+                let mut way = (key >> 32) % WAYS;
+                let mut empty = None;
+                for w in 0..WAYS {
+                    let cur = table.get(&(set, w)).map_or(0, |e| e.0);
+                    if cur == key {
+                        way = w;
+                        empty = None;
+                        break;
+                    }
+                    if cur == 0 && empty.is_none() {
+                        empty = Some(w);
+                    }
+                }
+                if let Some(w) = empty {
+                    way = w;
+                }
+                table.insert((set, way), (key, val));
+            }
+        }
+        table
+    }
+
+    fn verify(&self, machine: &Machine, st: &KvsState, mode: Mode) -> SimResult<bool> {
+        let reference = self.reference_table();
+        let base = match mode {
+            Mode::Gpm | Mode::GpmNdp => st.pm_table,
+            Mode::CapFs | Mode::CapMm => st.cap_pm,
+            _ => return Ok(false),
+        };
+        for (&(set, way), &(k, v)) in &reference {
+            let slot = base + (set * WAYS + way) * ENTRY;
+            if machine.read_u64(Addr::pm(slot))? != k || machine.read_u64(Addr::pm(slot + 8))? != v
+            {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs the workload under `mode` on a fresh machine region.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unsupported modes or on platform errors.
+    pub fn run(&self, machine: &mut Machine, mode: Mode) -> SimResult<RunMetrics> {
+        let st = self.setup(machine, mode)?;
+        let mut metrics = metered(machine, |m| {
+            self.run_batches(m, &st, mode)?;
+            Ok::<bool, SimError>(true)
+        })?;
+        metrics.verified = self.verify(machine, &st, mode)?;
+        Ok(metrics)
+    }
+
+    /// Measures worst-case restoration latency (Table 5): runs all batches,
+    /// then simulates a crash *just before the last transaction commits*
+    /// (flag still set, log still populated) and times the undo kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn run_with_recovery(&self, machine: &mut Machine) -> SimResult<RunMetrics> {
+        assert!(
+            self.params.conventional_log_partitions.is_none(),
+            "undo recovery requires the HCL backend (per-thread entries)"
+        );
+        let st = self.setup(machine, Mode::Gpm)?;
+        let p = &self.params;
+        let mut metrics = metered(machine, |m| {
+            for b in 0..p.batches {
+                let ops = self.gen_batch(b);
+                self.upload_batch(m, &st, &ops)?;
+                st.flag.begin(m, b as u64 + 1)?;
+                gpm_persist_begin(m);
+                launch(m, self.launch_cfg(), &self.batch_kernel(&st, true, true))?;
+                gpm_persist_end(m);
+                if b + 1 < p.batches {
+                    st.flag.commit(m)?;
+                    st.log.host_clear(m).map_err(|_| SimError::Invalid("clear"))?;
+                }
+                // Final batch: crash before commit.
+            }
+            Ok::<bool, SimError>(true)
+        })?;
+        machine.crash();
+        let t0 = machine.clock.now();
+        self.recover(machine, &st)?;
+        metrics.recovery = Some(machine.clock.now() - t0);
+        // After undo, the last batch is rolled back: state matches batches-1.
+        let smaller = KvsWorkload::new(KvsParams { batches: p.batches - 1, ..*p });
+        metrics.verified = smaller.verify(machine, &st, Mode::Gpm)?;
+        Ok(metrics)
+    }
+
+    /// Crash-injected run: crashes mid-batch after `fuel` operations, then
+    /// recovers. Returns whether post-recovery verification succeeded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn run_crash_injected(&self, machine: &mut Machine, fuel: u64) -> SimResult<bool> {
+        assert!(
+            self.params.key_skew.is_none(),
+            "exact undo verification requires unique keys (no skew)"
+        );
+        let st = self.setup(machine, Mode::Gpm)?;
+        let ops = self.gen_batch(0);
+        self.upload_batch(machine, &st, &ops)?;
+        st.flag.begin(machine, 1)?;
+        gpm_persist_begin(machine);
+        match launch_with_fuel(machine, self.launch_cfg(), &self.batch_kernel(&st, true, true), fuel)
+        {
+            Ok(_) => {
+                gpm_persist_end(machine);
+                machine.crash();
+            }
+            Err(LaunchError::Crashed(_)) => {}
+            Err(LaunchError::Sim(e)) => return Err(e),
+        }
+        self.recover(machine, &st)?;
+        // All of batch 0 was undone: none of its keys may remain in the PM
+        // table.
+        for (key, _, is_get) in self.gen_batch(0) {
+            if is_get {
+                continue;
+            }
+            let set = hash_set(key, self.params.sets);
+            for w in 0..WAYS {
+                let slot = st.pm_table + (set * WAYS + w) * ENTRY;
+                if machine.read_u64(Addr::pm(slot))? == key {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// The recovery kernel (Figure 6b): undo logged insertions, newest
+    /// first, removing each entry only after the store is persisted.
+    fn recover(&self, machine: &mut Machine, st: &KvsState) -> SimResult<()> {
+        if st.flag.active(machine)? == 0 {
+            return Ok(()); // no transaction was active
+        }
+        let log = st.log.dev();
+        let pm_table = st.pm_table;
+        gpm_persist_begin(machine);
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            while log.tail(ctx)? as usize * 4 >= LOG_ENTRY {
+                let mut entry = [0u8; LOG_ENTRY];
+                log.read_top(ctx, &mut entry)?;
+                let set = u32::from_le_bytes(entry[0..4].try_into().unwrap()) as u64;
+                let way = u32::from_le_bytes(entry[4..8].try_into().unwrap()) as u64;
+                let slot = pm_table + (set * WAYS + way) * ENTRY;
+                ctx.st_bytes(Addr::pm(slot), &entry[8..24])?;
+                ctx.gpm_persist()?;
+                log.remove(ctx, LOG_ENTRY)?;
+            }
+            Ok(())
+        });
+        launch(machine, self.launch_cfg(), &k)?;
+        gpm_persist_end(machine);
+        // Recovery complete: clear the transaction flag.
+        st.flag.commit(machine)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> KvsWorkload {
+        KvsWorkload::new(KvsParams::quick())
+    }
+
+    #[test]
+    fn gpm_run_verifies() {
+        let mut m = Machine::default();
+        let r = quick().run(&mut m, Mode::Gpm).unwrap();
+        assert!(r.verified, "PM table must match the reference model");
+        assert!(r.elapsed.0 > 0.0);
+        assert!(r.pm_write_bytes_gpu > 0);
+    }
+
+    #[test]
+    fn cap_modes_verify_and_amplify_writes() {
+        let mut m1 = Machine::default();
+        let gpm = quick().run(&mut m1, Mode::Gpm).unwrap();
+        let mut m2 = Machine::default();
+        let capmm = quick().run(&mut m2, Mode::CapMm).unwrap();
+        assert!(capmm.verified);
+        let wa = capmm.pm_write_bytes_total() as f64 / gpm.pm_write_bytes_total() as f64;
+        assert!(wa > 5.0, "CAP transfers the whole table: WA = {wa:.1}");
+    }
+
+    #[test]
+    fn gpm_beats_cap_fs() {
+        let mut m1 = Machine::default();
+        let gpm = quick().run(&mut m1, Mode::Gpm).unwrap();
+        let mut m2 = Machine::default();
+        let capfs = quick().run(&mut m2, Mode::CapFs).unwrap();
+        assert!(capfs.verified);
+        assert!(
+            capfs.elapsed > gpm.elapsed,
+            "gpm={} capfs={}",
+            gpm.elapsed,
+            capfs.elapsed
+        );
+    }
+
+    #[test]
+    fn recovery_restores_pre_batch_state() {
+        let mut m = Machine::default();
+        let r = quick().run_with_recovery(&mut m).unwrap();
+        assert!(r.verified, "undo must roll the last batch back");
+        assert!(r.recovery.unwrap().0 > 0.0);
+    }
+
+    #[test]
+    fn crash_injection_recovers() {
+        for fuel in [50u64, 500, 5_000] {
+            let mut m = Machine::default();
+            let ok = quick().run_crash_injected(&mut m, fuel).unwrap();
+            assert!(ok, "fuel={fuel}: recovery must restore the empty table");
+        }
+    }
+
+    #[test]
+    fn get_mix_moderates_pm_traffic() {
+        let mut m1 = Machine::default();
+        let sets_only = quick().run(&mut m1, Mode::Gpm).unwrap();
+        let mut m2 = Machine::default();
+        let mixed = KvsWorkload::new(KvsParams::quick().with_get_mix())
+            .run(&mut m2, Mode::Gpm)
+            .unwrap();
+        assert!(mixed.pm_write_bytes_gpu < sets_only.pm_write_bytes_gpu / 4);
+    }
+
+    #[test]
+    fn skewed_keys_verify_and_reduce_pm_traffic() {
+        let mut m1 = Machine::default();
+        let uniform = quick().run(&mut m1, Mode::Gpm).unwrap();
+        let mut m2 = Machine::default();
+        let skewed = KvsWorkload::new(KvsParams { key_skew: Some(1.1), ..KvsParams::quick() })
+            .run(&mut m2, Mode::Gpm)
+            .unwrap();
+        assert!(skewed.verified, "reference model must track duplicate keys");
+        // Hot keys overwrite the same slots: fewer distinct lines persisted.
+        assert!(
+            skewed.bytes_persisted <= uniform.bytes_persisted,
+            "skew should not increase persisted lines: {} vs {}",
+            skewed.bytes_persisted,
+            uniform.bytes_persisted
+        );
+    }
+
+    #[test]
+    fn unsupported_modes_error() {
+        let mut m = Machine::default();
+        assert!(quick().run(&mut m, Mode::Gpufs).is_err());
+    }
+}

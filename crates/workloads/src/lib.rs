@@ -1,0 +1,67 @@
+//! # gpm-workloads — GPMbench
+//!
+//! The paper's nine-workload suite (Table 1), each runnable under every
+//! persistence system of the evaluation (GPM, CAP-fs, CAP-mm, GPM-NDP,
+//! GPUfs, CPU-only) with recovery paths and functional verification.
+//!
+//! ## Example
+//!
+//! Run one workload under two systems and compare:
+//!
+//! ```
+//! use gpm_sim::Machine;
+//! use gpm_workloads::{KvsParams, KvsWorkload, Mode};
+//!
+//! let w = KvsWorkload::new(KvsParams::quick());
+//! let mut m1 = Machine::default();
+//! let gpm = w.run(&mut m1, Mode::Gpm)?;
+//! let mut m2 = Machine::default();
+//! let cap = w.run(&mut m2, Mode::CapFs)?;
+//! assert!(gpm.verified && cap.verified);
+//! assert!(gpm.elapsed < cap.elapsed, "in-kernel persistence wins");
+//! # Ok::<(), gpm_sim::SimError>(())
+//! ```
+//!
+//! Or drive the whole suite uniformly:
+//!
+//! ```no_run
+//! use gpm_sim::Machine;
+//! use gpm_workloads::{suite, Mode, Scale};
+//!
+//! for w in suite(Scale::Quick).iter_mut() {
+//!     let mut m = Machine::default();
+//!     if w.supports(Mode::Gpm) {
+//!         let r = w.run(&mut m, Mode::Gpm).unwrap();
+//!         println!("{}: {}", w.name(), r.elapsed);
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod prefix_sum;
+pub mod srad;
+pub mod suite;
+pub mod blackscholes;
+pub mod cfd;
+pub mod datagen;
+pub mod db;
+pub mod dnn;
+pub mod hotspot;
+pub mod iterative;
+pub mod kvs;
+pub mod metrics;
+
+pub use bfs::{BfsParams, BfsWorkload};
+pub use prefix_sum::{PsParams, PsWorkload};
+pub use srad::{SradParams, SradWorkload};
+pub use suite::{suite, Scale, Workload};
+pub use blackscholes::{BlkParams, BlkWorkload};
+pub use cfd::{CfdParams, CfdWorkload};
+pub use db::{DbOp, DbParams, DbWorkload};
+pub use dnn::{DnnParams, DnnWorkload};
+pub use hotspot::{HotspotParams, HotspotWorkload};
+pub use iterative::{checkpoint_latency, run_iterative, run_iterative_with_recovery, IterativeApp};
+pub use kvs::{KvsParams, KvsWorkload};
+pub use metrics::{metered, Category, Mode, RunMetrics};

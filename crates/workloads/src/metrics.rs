@@ -1,0 +1,153 @@
+//! Execution modes and per-run metrics for GPMbench.
+
+use gpm_sim::{Machine, Ns, Stats};
+
+/// How a workload persists its results (the systems compared in §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// GPM: in-kernel loads/stores to PM with `gpm_persist` (DDIO window).
+    Gpm,
+    /// CAP-fs: GPU computes in HBM; CPU persists through an ext4-DAX file.
+    CapFs,
+    /// CAP-mm: GPU computes in HBM; CPU persists through a memory-mapped
+    /// file with `cpu_threads` flushing threads.
+    CapMm,
+    /// GPM-NDP: in-kernel stores to PM, but persistence guaranteed by the
+    /// CPU afterwards (DDIO stays on; no in-kernel persist).
+    GpmNdp,
+    /// GPUfs: in-kernel file syscalls, persisted by the CPU+OS.
+    Gpufs,
+    /// CPU-only: compute *and* persist on the CPU (Figure 1 baselines).
+    CpuPm,
+}
+
+impl Mode {
+    /// All modes, in the order figures present them.
+    pub const ALL: [Mode; 6] =
+        [Mode::CapFs, Mode::CapMm, Mode::Gpm, Mode::GpmNdp, Mode::Gpufs, Mode::CpuPm];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Gpm => "GPM",
+            Mode::CapFs => "CAP-fs",
+            Mode::CapMm => "CAP-mm",
+            Mode::GpmNdp => "GPM-NDP",
+            Mode::Gpufs => "GPUfs",
+            Mode::CpuPm => "CPU-PM",
+        }
+    }
+}
+
+/// Measurements from one workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunMetrics {
+    /// Operation time: kernel execution plus recurring persist work
+    /// (excludes one-time setup, as in Table 5's definition).
+    pub elapsed: Ns,
+    /// Bytes written to PM by GPU kernels (numerator of Figure 12).
+    pub pm_write_bytes_gpu: u64,
+    /// Bytes written to PM by the CPU (CAP transfers).
+    pub pm_write_bytes_cpu: u64,
+    /// Bytes whose durability was guaranteed.
+    pub bytes_persisted: u64,
+    /// Warp-level system fences issued.
+    pub system_fences: u64,
+    /// Measured restoration latency, when the run exercised recovery.
+    pub recovery: Option<Ns>,
+    /// Whether the workload's functional check passed.
+    pub verified: bool,
+}
+
+impl RunMetrics {
+    /// Bytes moved to PM by whichever side persisted (CAP's write
+    /// amplification numerator, Table 4).
+    pub fn pm_write_bytes_total(&self) -> u64 {
+        self.pm_write_bytes_gpu + self.pm_write_bytes_cpu
+    }
+
+    /// GPU→PM PCIe write bandwidth in GB/s (Figure 12).
+    pub fn pcie_write_bw(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.pm_write_bytes_gpu as f64 / self.elapsed.0
+    }
+}
+
+/// Meters a closure against the machine clock and counters, producing
+/// [`RunMetrics`] (with `verified` filled by the caller).
+///
+/// # Errors
+///
+/// Propagates the closure's error.
+pub fn metered<E>(
+    machine: &mut Machine,
+    f: impl FnOnce(&mut Machine) -> Result<bool, E>,
+) -> Result<RunMetrics, E> {
+    let t0 = machine.clock.now();
+    let s0: Stats = machine.stats;
+    let verified = f(machine)?;
+    let d = machine.stats.delta(&s0);
+    Ok(RunMetrics {
+        elapsed: machine.clock.now() - t0,
+        pm_write_bytes_gpu: d.pm_write_bytes_gpu,
+        pm_write_bytes_cpu: d.pm_write_bytes_cpu,
+        bytes_persisted: d.bytes_persisted,
+        system_fences: d.system_fences,
+        recovery: None,
+        verified,
+    })
+}
+
+/// Workload category (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Transactional updates to PM (gpKVS, gpDB).
+    Transactional,
+    /// Iterative long-running kernels that checkpoint (DNN, CFD, BLK, HS).
+    Checkpointing,
+    /// Native persistence: in-place recoverable updates (BFS, SRAD, PS).
+    Native,
+}
+
+impl Category {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Transactional => "Transactional",
+            Category::Checkpointing => "Checkpointing",
+            Category::Native => "Native",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metered_captures_clock_and_stats() {
+        let mut m = Machine::default();
+        let r: Result<RunMetrics, gpm_sim::SimError> = metered(&mut m, |m| {
+            m.clock.advance(Ns(500.0));
+            let off = m.alloc_pm(64)?;
+            m.set_ddio(false);
+            m.gpu_store_pm(1, off, &[1; 8])?;
+            m.gpu_system_fence(1);
+            Ok(true)
+        });
+        let r = r.unwrap();
+        assert_eq!(r.elapsed, Ns(500.0));
+        assert_eq!(r.pm_write_bytes_gpu, 8);
+        assert!(r.verified);
+        assert!(r.pcie_write_bw() > 0.0);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> = Mode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), Mode::ALL.len());
+        assert_eq!(Category::Transactional.label(), "Transactional");
+    }
+}

@@ -1,0 +1,624 @@
+//! Prefix sum (PS) with native persistence (§4.3, Figure 8).
+//!
+//! The input array is divided among threadblocks; each thread persists the
+//! partial (within-block inclusive prefix) sum for one element. Following
+//! the paper's recovery protocol, the *last* thread of a block persists its
+//! partial sum only after a block barrier — its value is the sentinel: if
+//! it is present after a crash, the whole block's partials are known
+//! durable and the block is skipped on resume. A second stage combines
+//! per-block totals into block offsets, and a third produces the final
+//! prefix array on PM under the same sentinel protocol.
+
+use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
+use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt};
+use gpm_gpu::{launch_with_fuel_budget, Kernel, LaunchConfig, LaunchError, ThreadCtx};
+use gpm_sim::cpu::CpuCtx;
+use gpm_sim::{Addr, Machine, Ns, SimError, SimResult, HOST_WRITER};
+
+use crate::metrics::{metered, Mode, RunMetrics};
+
+/// Threads (elements) per block.
+pub const BLOCK: u64 = 256;
+
+/// Parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PsParams {
+    /// Elements (must be a multiple of [`BLOCK`]).
+    pub n: u64,
+    /// CPU threads for CAP-mm persisting.
+    pub cap_threads: u32,
+}
+
+impl Default for PsParams {
+    fn default() -> PsParams {
+        PsParams { n: 1 << 18, cap_threads: 32 }
+    }
+}
+
+impl PsParams {
+    /// Small configuration for unit tests.
+    pub fn quick() -> PsParams {
+        PsParams { n: 4096, ..PsParams::default() }
+    }
+
+    fn blocks(&self) -> u64 {
+        self.n / BLOCK
+    }
+}
+
+/// The prefix-sum workload.
+#[derive(Debug)]
+pub struct PsWorkload {
+    /// Parameters of this instance.
+    pub params: PsParams,
+}
+
+struct PsState {
+    pm_input: u64,
+    hbm_input: u64,
+    pm_p_sums: u64,
+    hbm_p_sums: u64,
+    pm_offsets: u64, // blocks × u64 + flag word after them
+    hbm_offsets: u64,
+    pm_out: u64,
+    staging_dram: u64,
+    cap_pm: u64,
+}
+
+fn input_value(i: u64) -> u64 {
+    1 + gpm_pmkv::hash64(i ^ 0x5053) % 100
+}
+
+/// Shared (`__shared__`) state of the partial-sum kernel.
+#[derive(Debug, Default)]
+pub struct PsShared {
+    vals: Vec<u64>,
+    done: bool,
+}
+
+/// Stage-1 kernel: within-block inclusive prefix, persisted per Figure 8.
+struct PartialSumKernel {
+    input: u64,
+    pm_p_sums: u64,
+    hbm_p_sums: u64,
+    n: u64,
+    to_pm: bool,
+    persist: bool,
+}
+
+impl Kernel for PartialSumKernel {
+    type State = ();
+    type Shared = PsShared;
+
+    fn phases(&self) -> u32 {
+        4
+    }
+
+    fn run(
+        &self,
+        phase: u32,
+        ctx: &mut ThreadCtx<'_>,
+        _state: &mut (),
+        shared: &mut PsShared,
+    ) -> SimResult<()> {
+        let gid = ctx.global_id();
+        if gid >= self.n {
+            return Ok(());
+        }
+        let t = ctx.thread_in_block() as u64;
+        let last = (ctx.block_dim() - 1) as u64;
+        match phase {
+            0 => {
+                // Figure 8 line 3: if the block's sentinel partial sum is
+                // already on PM, the whole block survived a previous run.
+                if t == 0 && self.to_pm {
+                    let block_last = ctx.block_id() as u64 * BLOCK + last;
+                    shared.done = ctx.ld_u64(Addr::pm(self.pm_p_sums + block_last * 8))? != 0;
+                }
+                let v = ctx.ld_u32(Addr::hbm(self.input + gid * 4))? as u64;
+                shared.vals.push(v);
+                Ok(())
+            }
+            1 => {
+                // Block-cooperative scan (done by one lane here; the real
+                // kernel tree-reduces — the persisted values are identical).
+                if t == 0 && !shared.done {
+                    ctx.compute(Ns(2.0) * BLOCK as f64);
+                    let mut running = 0u64;
+                    for v in shared.vals.iter_mut() {
+                        running += *v;
+                        *v = running;
+                    }
+                }
+                Ok(())
+            }
+            2 => {
+                // All but the last thread persist their partial sums.
+                if shared.done || t == last {
+                    return Ok(());
+                }
+                let v = shared.vals[t as usize];
+                ctx.st_u64(Addr::hbm(self.hbm_p_sums + gid * 8), v)?;
+                if self.to_pm {
+                    ctx.st_u64(Addr::pm(self.pm_p_sums + gid * 8), v)?;
+                    if self.persist {
+                        ctx.gpm_persist()?;
+                    }
+                }
+                Ok(())
+            }
+            _ => {
+                // After the barrier, the last thread persists the sentinel.
+                if t != last {
+                    return Ok(());
+                }
+                if shared.done {
+                    // Resumed block: refresh the volatile mirror only.
+                    return Ok(());
+                }
+                let v = shared.vals[t as usize];
+                ctx.st_u64(Addr::hbm(self.hbm_p_sums + gid * 8), v)?;
+                if self.to_pm {
+                    ctx.st_u64(Addr::pm(self.pm_p_sums + gid * 8), v)?;
+                    if self.persist {
+                        ctx.gpm_persist()?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Stage-3 kernel: final prefix = block offset + partial, same protocol.
+struct FinalKernel {
+    hbm_p_sums: u64,
+    hbm_offsets: u64,
+    pm_out: u64,
+    n: u64,
+    to_pm: bool,
+    persist: bool,
+}
+
+impl Kernel for FinalKernel {
+    type State = ();
+    type Shared = PsShared;
+
+    fn phases(&self) -> u32 {
+        2
+    }
+
+    fn run(
+        &self,
+        phase: u32,
+        ctx: &mut ThreadCtx<'_>,
+        _state: &mut (),
+        shared: &mut PsShared,
+    ) -> SimResult<()> {
+        let gid = ctx.global_id();
+        if gid >= self.n {
+            return Ok(());
+        }
+        let t = ctx.thread_in_block() as u64;
+        let last = (ctx.block_dim() - 1) as u64;
+        let block = ctx.block_id() as u64;
+        if phase == 0 {
+            if t == 0 && self.to_pm {
+                let block_last = block * BLOCK + last;
+                shared.done = ctx.ld_u64(Addr::pm(self.pm_out + block_last * 8))? != 0;
+            }
+            if shared.done || t == last {
+                return Ok(());
+            }
+        } else if shared.done || t != last {
+            return Ok(());
+        }
+        let partial = ctx.ld_u64(Addr::hbm(self.hbm_p_sums + gid * 8))?;
+        let offset = ctx.ld_u64(Addr::hbm(self.hbm_offsets + block * 8))?;
+        if self.to_pm {
+            ctx.st_u64(Addr::pm(self.pm_out + gid * 8), offset + partial)?;
+            if self.persist {
+                ctx.gpm_persist()?;
+            }
+        } else {
+            ctx.st_u64(Addr::hbm(self.hbm_p_sums + gid * 8), offset + partial)?;
+        }
+        Ok(())
+    }
+}
+
+impl PsWorkload {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a multiple of [`BLOCK`].
+    pub fn new(params: PsParams) -> PsWorkload {
+        assert!(params.n.is_multiple_of(BLOCK), "n must be a multiple of the block size");
+        PsWorkload { params }
+    }
+
+    fn setup(&self, machine: &mut Machine, mode: Mode) -> SimResult<PsState> {
+        let n = self.params.n;
+        let blocks = self.params.blocks();
+        let pm_input = gpm_map(machine, "/pm/ps/input", n * 4, true)?.offset;
+        let pm_p_sums = gpm_map(machine, "/pm/ps/p_sums", n * 8, true)?.offset;
+        let pm_offsets = gpm_map(machine, "/pm/ps/offsets", blocks * 8 + 8, true)?.offset;
+        let pm_out = gpm_map(machine, "/pm/ps/out", n * 8, true)?.offset;
+        let hbm_input = machine.alloc_hbm(n * 4)?;
+        let hbm_p_sums = machine.alloc_hbm(n * 8)?;
+        let hbm_offsets = machine.alloc_hbm(blocks * 8)?;
+        let staging_dram = machine.alloc_dram(n * 8)?;
+        let cap_pm = if matches!(mode, Mode::CapFs | Mode::CapMm) {
+            machine.alloc_pm(n * 8)?
+        } else {
+            0
+        };
+        let mut input = Vec::with_capacity((n * 4) as usize);
+        for i in 0..n {
+            input.extend_from_slice(&(input_value(i) as u32).to_le_bytes());
+        }
+        machine.host_write(Addr::pm(pm_input), &input)?;
+        machine.host_write(Addr::hbm(hbm_input), &input)?;
+        machine
+            .clock
+            .advance(Ns((n * 4) as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)));
+        Ok(PsState {
+            pm_input,
+            hbm_input,
+            pm_p_sums,
+            hbm_p_sums,
+            pm_offsets,
+            hbm_offsets,
+            pm_out,
+            staging_dram,
+            cap_pm,
+        })
+    }
+
+    /// Stage 2: derive block offsets from the (persisted) per-block totals,
+    /// persist them with a trailing flag, and mirror them into HBM.
+    fn compute_offsets(&self, machine: &mut Machine, st: &PsState, to_pm: bool) -> SimResult<()> {
+        let blocks = self.params.blocks();
+        let mut cpu = CpuCtx::new(machine, HOST_WRITER);
+        if to_pm && cpu.load_u64(Addr::pm(st.pm_offsets + blocks * 8))? == 1 {
+            // Offsets already committed by a previous run.
+            let t = cpu.elapsed();
+            machine.clock.advance(t);
+            let mut buf = vec![0u8; (blocks * 8) as usize];
+            machine.read(Addr::pm(st.pm_offsets), &mut buf)?;
+            machine.host_write(Addr::hbm(st.hbm_offsets), &buf)?;
+            return Ok(());
+        }
+        let mut running = 0u64;
+        let mut flat = Vec::with_capacity((blocks * 8) as usize);
+        for b in 0..blocks {
+            flat.extend_from_slice(&running.to_le_bytes());
+            let src = if to_pm {
+                Addr::pm(st.pm_p_sums + ((b + 1) * BLOCK - 1) * 8)
+            } else {
+                Addr::hbm(st.hbm_p_sums + ((b + 1) * BLOCK - 1) * 8)
+            };
+            running += cpu.load_u64(src)?;
+        }
+        if to_pm {
+            cpu.store(Addr::pm(st.pm_offsets), &flat)?;
+            cpu.persist(st.pm_offsets, blocks * 8);
+            cpu.store(Addr::pm(st.pm_offsets + blocks * 8), &1u64.to_le_bytes())?;
+            cpu.persist(st.pm_offsets + blocks * 8, 8);
+        }
+        let t = cpu.elapsed();
+        machine.clock.advance(t);
+        machine.host_write(Addr::hbm(st.hbm_offsets), &flat)?;
+        Ok(())
+    }
+
+    fn run_pipeline(
+        &self,
+        machine: &mut Machine,
+        st: &PsState,
+        mode: Mode,
+        fuel: &mut Option<u64>,
+    ) -> Result<(), LaunchError> {
+        let p = &self.params;
+        let n = p.n;
+        let cfg = LaunchConfig::for_elements(n, BLOCK as u32);
+        let to_pm = matches!(mode, Mode::Gpm | Mode::GpmNdp);
+        let persist = mode == Mode::Gpm;
+
+        let k1 = PartialSumKernel {
+            input: st.hbm_input,
+            pm_p_sums: st.pm_p_sums,
+            hbm_p_sums: st.hbm_p_sums,
+            n,
+            to_pm,
+            persist,
+        };
+        if persist {
+            gpm_persist_begin(machine);
+        }
+        let res = launch_with_fuel_budget(machine, cfg, &k1, fuel);
+        if persist {
+            gpm_persist_end(machine);
+        }
+        let _ = res?;
+        match mode {
+            Mode::Gpm => {}
+            Mode::GpmNdp => {
+                flush_from_cpu(machine, st.pm_p_sums, n * 8, p.cap_threads);
+            }
+            Mode::CapFs | Mode::CapMm => {
+                let flavor = if mode == Mode::CapFs {
+                    CapFlavor::Fs
+                } else {
+                    CapFlavor::Mm { threads: p.cap_threads }
+                };
+                cap_persist_region(machine, flavor, st.hbm_p_sums, st.staging_dram, st.cap_pm, n * 8)
+                    .map_err(LaunchError::Sim)?;
+            }
+            _ => return Err(LaunchError::Sim(SimError::Invalid("mode handled elsewhere"))),
+        }
+
+        self.compute_offsets(machine, st, to_pm)?;
+
+        let k3 = FinalKernel {
+            hbm_p_sums: st.hbm_p_sums,
+            hbm_offsets: st.hbm_offsets,
+            pm_out: st.pm_out,
+            n,
+            to_pm,
+            persist,
+        };
+        if persist {
+            gpm_persist_begin(machine);
+        }
+        let res = launch_with_fuel_budget(machine, cfg, &k3, fuel);
+        if persist {
+            gpm_persist_end(machine);
+        }
+        let _ = res?;
+        match mode {
+            Mode::Gpm => {}
+            Mode::GpmNdp => {
+                flush_from_cpu(machine, st.pm_out, n * 8, p.cap_threads);
+            }
+            Mode::CapFs | Mode::CapMm => {
+                let flavor = if mode == Mode::CapFs {
+                    CapFlavor::Fs
+                } else {
+                    CapFlavor::Mm { threads: p.cap_threads }
+                };
+                cap_persist_region(machine, flavor, st.hbm_p_sums, st.staging_dram, st.cap_pm, n * 8)
+                    .map_err(LaunchError::Sim)?;
+            }
+            _ => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn reference(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.params.n as usize);
+        let mut running = 0u64;
+        for i in 0..self.params.n {
+            running += input_value(i);
+            out.push(running);
+        }
+        out
+    }
+
+    fn verify(&self, machine: &Machine, st: &PsState, mode: Mode) -> SimResult<bool> {
+        let reference = self.reference();
+        let base = match mode {
+            Mode::Gpm | Mode::GpmNdp => st.pm_out,
+            Mode::CapFs | Mode::CapMm => st.cap_pm,
+            _ => return Ok(false),
+        };
+        for i in (0..self.params.n).step_by(61) {
+            if machine.read_u64(Addr::pm(base + i * 8))? != reference[i as usize] {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs the workload under `mode`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unsupported modes (GPUfs deadlocks on per-thread writes)
+    /// or on platform errors.
+    pub fn run(&self, machine: &mut Machine, mode: Mode) -> SimResult<RunMetrics> {
+        if mode == Mode::CpuPm {
+            return self.run_cpu(machine);
+        }
+        if mode == Mode::Gpufs {
+            return Err(SimError::Invalid(
+                "GPUfs deadlocks on per-thread fine-grained writes (§6.1)",
+            ));
+        }
+        let st = self.setup(machine, mode)?;
+        let mut metrics = metered(machine, |m| {
+            self.run_pipeline(m, &st, mode, &mut None).map_err(|e| match e {
+                LaunchError::Sim(e) => e,
+                LaunchError::Crashed(_) => SimError::Crashed,
+            })?;
+            Ok::<bool, SimError>(true)
+        })?;
+        metrics.verified = self.verify(machine, &st, mode)?;
+        Ok(metrics)
+    }
+
+    /// CPU-with-PM baseline (Figure 1b): a scan persisting each output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn run_cpu(&self, machine: &mut Machine) -> SimResult<RunMetrics> {
+        let st = self.setup(machine, Mode::Gpm)?;
+        let reference = self.reference();
+        let mut metrics = metered(machine, |m| {
+            let mut serial = Ns::ZERO;
+            let mut running = 0u64;
+            for i in 0..self.params.n {
+                let mut cpu = CpuCtx::new(m, HOST_WRITER);
+                running += input_value(i);
+                cpu.compute(Ns(3.0));
+                cpu.store(Addr::pm(st.pm_out + i * 8), &running.to_le_bytes())?;
+                // Line-granular flushing: one CLFLUSH per 8 outputs.
+                if i % 8 == 7 || i + 1 == self.params.n {
+                    cpu.persist(st.pm_out + (i - i % 8) * 8, 64);
+                }
+                serial += cpu.elapsed();
+            }
+            let t = serial / m.cfg.cpu_persist_scaling(m.cfg.cpu_cores);
+            m.clock.advance(t);
+            Ok::<bool, SimError>(true)
+        })?;
+        metrics.verified = {
+            let mut ok = true;
+            for i in (0..self.params.n).step_by(61) {
+                if machine.read_u64(Addr::pm(st.pm_out + i * 8))? != reference[i as usize] {
+                    ok = false;
+                    break;
+                }
+            }
+            ok
+        };
+        Ok(metrics)
+    }
+
+    /// Crash-injected GPM run: aborts mid-pipeline, then resumes. Blocks
+    /// whose sentinel partial sum survived are not recomputed (Figure 8's
+    /// recovery). Returns metrics of the resumed run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn run_crash_resume(&self, machine: &mut Machine, fuel: u64) -> SimResult<RunMetrics> {
+        let st = self.setup(machine, Mode::Gpm)?;
+        match self.run_pipeline(machine, &st, Mode::Gpm, &mut Some(fuel)) {
+            Ok(()) => {}
+            Err(LaunchError::Crashed(_)) => {}
+            Err(LaunchError::Sim(e)) => return Err(e),
+        }
+        machine.crash();
+
+        // ---- resume ----
+        let t0 = machine.clock.now();
+        let n = self.params.n;
+        // Reload the input and the surviving partial sums into HBM.
+        let mut buf = vec![0u8; (n * 4) as usize];
+        machine.read(Addr::pm(st.pm_input), &mut buf)?;
+        machine.host_write(Addr::hbm(st.hbm_input), &buf)?;
+        let mut ps = vec![0u8; (n * 8) as usize];
+        machine.read(Addr::pm(st.pm_p_sums), &mut ps)?;
+        machine.host_write(Addr::hbm(st.hbm_p_sums), &ps)?;
+        machine.clock.advance(Ns(
+            (n * 12) as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw),
+        ));
+        let resume_setup = machine.clock.now() - t0;
+
+        let mut metrics = metered(machine, |m| {
+            self.run_pipeline(m, &st, Mode::Gpm, &mut None).map_err(|e| match e {
+                LaunchError::Sim(e) => e,
+                LaunchError::Crashed(_) => SimError::Crashed,
+            })?;
+            Ok::<bool, SimError>(true)
+        })?;
+        metrics.recovery = Some(resume_setup);
+        metrics.verified = self.verify(machine, &st, Mode::Gpm)?;
+        Ok(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> PsWorkload {
+        PsWorkload::new(PsParams::quick())
+    }
+
+    #[test]
+    fn prefix_sum_verifies_under_all_modes() {
+        for mode in [Mode::Gpm, Mode::GpmNdp, Mode::CapFs, Mode::CapMm, Mode::CpuPm] {
+            let mut m = Machine::default();
+            let r = quick().run(&mut m, mode).unwrap();
+            assert!(r.verified, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn gpm_beats_cap_and_cpu() {
+        let t = |mode| {
+            let mut m = Machine::default();
+            quick().run(&mut m, mode).unwrap().elapsed
+        };
+        let gpm = t(Mode::Gpm);
+        assert!(t(Mode::CapFs) > gpm);
+        assert!(t(Mode::CpuPm) > gpm);
+    }
+
+    #[test]
+    fn crash_resume_skips_completed_blocks() {
+        let mut m = Machine::default();
+        let r = quick().run_crash_resume(&mut m, 4_000).unwrap();
+        assert!(r.verified);
+
+        // A clean run writes every partial to PM; the resumed run must have
+        // written less (completed blocks were skipped).
+        let mut m2 = Machine::default();
+        let clean = quick().run(&mut m2, Mode::Gpm).unwrap();
+        assert!(
+            r.pm_write_bytes_gpu < clean.pm_write_bytes_gpu,
+            "resume rewrote everything: {} vs {}",
+            r.pm_write_bytes_gpu,
+            clean.pm_write_bytes_gpu
+        );
+    }
+
+    #[test]
+    fn sentinel_ordering_holds_under_crash() {
+        // Whenever a block's last partial is present on PM after a crash,
+        // every other partial of that block must be present too (Figure 8's
+        // invariant).
+        for fuel in [1_000u64, 5_000, 20_000] {
+            let mut m = Machine::default();
+            let w = quick();
+            let st_offsets = {
+                let st = w.setup(&mut m, Mode::Gpm).unwrap();
+                match w.run_pipeline(&mut m, &st, Mode::Gpm, &mut Some(fuel)) {
+                    Ok(()) | Err(LaunchError::Crashed(_)) => {}
+                    Err(LaunchError::Sim(e)) => panic!("{e}"),
+                }
+                m.crash();
+                st
+            };
+            let reference = w.reference();
+            for b in 0..w.params.blocks() {
+                let last = (b + 1) * BLOCK - 1;
+                let sentinel =
+                    m.read_u64(Addr::pm(st_offsets.pm_p_sums + last * 8)).unwrap();
+                if sentinel != 0 {
+                    for t in 0..BLOCK {
+                        let i = b * BLOCK + t;
+                        let v = m.read_u64(Addr::pm(st_offsets.pm_p_sums + i * 8)).unwrap();
+                        let block_base =
+                            if b == 0 { 0 } else { reference[(b * BLOCK - 1) as usize] };
+                        assert_eq!(
+                            v,
+                            reference[i as usize] - block_base,
+                            "fuel={fuel} block={b} thread={t}: sentinel present but partial missing"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn non_multiple_rejected() {
+        PsWorkload::new(PsParams { n: 1000, ..PsParams::default() });
+    }
+}

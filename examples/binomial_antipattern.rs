@@ -1,0 +1,60 @@
+//! The negative example from §4.3: binomial option pricing is a *poor* fit
+//! for GPM.
+//!
+//! Run with: `cargo run --example binomial_antipattern`
+//!
+//! In the GPU binomial pricing kernel, a whole threadblock cooperates on
+//! one option and a *single* thread writes the result. That leaves almost
+//! no parallelism for persisting — and GPM needs parallelism to hide the
+//! system-fence latency. This example measures both shapes and shows why
+//! the paper excludes binomial options from GPMbench.
+
+use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt};
+use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_sim::{Machine, Ns, SimError};
+
+const OPTIONS: u64 = 4_096;
+
+fn main() -> Result<(), SimError> {
+    // Shape 1: binomial — one block per option, one writer per block.
+    let mut machine = Machine::default();
+    let out = gpm_map(&mut machine, "/pm/binomial", OPTIONS * 8, true)?.offset;
+    gpm_persist_begin(&mut machine);
+    let binomial = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        // 256 threads cooperate on the lattice (modelled as compute)...
+        ctx.compute(Ns(400.0));
+        if ctx.thread_in_block() != 0 {
+            return Ok(());
+        }
+        // ...but only thread 0 writes and persists the option price.
+        let option = ctx.block_id() as u64;
+        ctx.st_u64(gpm_sim::Addr::pm(out + option * 8), option * 31)?;
+        ctx.gpm_persist()
+    });
+    let r1 = launch(&mut machine, LaunchConfig::new(OPTIONS as u32, 256), &binomial)?;
+    gpm_persist_end(&mut machine);
+
+    // Shape 2: the same bytes persisted data-parallel (one option per
+    // thread, as Black-Scholes does).
+    let mut machine2 = Machine::default();
+    let out2 = gpm_map(&mut machine2, "/pm/bs", OPTIONS * 8, true)?.offset;
+    gpm_persist_begin(&mut machine2);
+    let parallel = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        let option = ctx.global_id();
+        ctx.compute(Ns(400.0));
+        ctx.st_u64(gpm_sim::Addr::pm(out2 + option * 8), option * 31)?;
+        ctx.gpm_persist()
+    });
+    let r2 = launch(&mut machine2, LaunchConfig::for_elements(OPTIONS, 256), &parallel)?;
+    gpm_persist_end(&mut machine2);
+
+    println!("binomial shape (1 writer per block): {}", r1.elapsed);
+    println!("data-parallel shape (1 writer per thread): {}", r2.elapsed);
+    println!(
+        "lone writers cannot coalesce or overlap their persists: {:.1}x slower \
+         for the same persisted bytes — \"GPM needs parallelism for good performance\" (§4.3)",
+        r1.elapsed / r2.elapsed
+    );
+    assert!(r1.elapsed > r2.elapsed);
+    Ok(())
+}

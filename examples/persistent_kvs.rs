@@ -1,0 +1,55 @@
+//! A recoverable persistent key-value store on the GPU (gpKVS, §4.1/§5.2).
+//!
+//! Run with: `cargo run --example persistent_kvs`
+//!
+//! Demonstrates the full transactional path: batched SETs with HCL undo
+//! logging, a crash *just before commit*, and the Figure 6(b) recovery
+//! kernel rolling the store back — then compares against the CAP-fs and
+//! CAP-mm baselines and the CPU persistent KVS family of Figure 1(a).
+
+use gpm_pmkv::{matrixkv_params, rocksdb_params, run_set_batch, LsmKv, PmKv, PmemKvCmap};
+use gpm_sim::{Machine, SimError};
+use gpm_workloads::{KvsParams, KvsWorkload, Mode};
+
+fn main() -> Result<(), SimError> {
+    let params = KvsParams { sets: 16_384, ops_per_batch: 2_048, batches: 3, ..KvsParams::default() };
+
+    // --- GPM vs CAP -------------------------------------------------------
+    println!("== gpKVS: {} SETs/batch x {} batches ==", params.ops_per_batch, params.batches);
+    for mode in [Mode::Gpm, Mode::CapMm, Mode::CapFs] {
+        let mut machine = Machine::default();
+        let r = KvsWorkload::new(params).run(&mut machine, mode)?;
+        println!(
+            "{:8}  elapsed {:>12}  PM traffic {:>8.2} MB  verified {}",
+            format!("{mode:?}"),
+            format!("{}", r.elapsed),
+            r.pm_write_bytes_total() as f64 / 1e6,
+            r.verified
+        );
+    }
+
+    // --- crash & undo recovery --------------------------------------------
+    let mut machine = Machine::default();
+    let r = KvsWorkload::new(params).run_with_recovery(&mut machine)?;
+    println!(
+        "\ncrash before last commit: undo recovery took {} ({:.2}% of operation time), state {}",
+        r.recovery.expect("measured"),
+        r.recovery.unwrap() / r.elapsed * 100.0,
+        if r.verified { "rolled back cleanly" } else { "CORRUPT" }
+    );
+
+    // --- the Figure 1(a) CPU stores ---------------------------------------
+    println!("\n== CPU persistent KVS baselines (batched SETs, 64 threads) ==");
+    let pairs: Vec<(u64, u64)> = (0..6_000u64).map(|i| (gpm_pmkv::hash64(i) | 1, i)).collect();
+    let mut m = Machine::default();
+    let mut pmemkv = PmemKvCmap::create(&mut m, 16_384)?;
+    let rep = run_set_batch(&mut pmemkv, &mut m, &pairs, 64)?;
+    println!("{:20} {:.3} Mops/s", pmemkv.name(), rep.mops());
+    for p in [rocksdb_params(), matrixkv_params()] {
+        let mut m = Machine::default();
+        let mut kv = LsmKv::create(&mut m, p)?;
+        let rep = run_set_batch(&mut kv, &mut m, &pairs, 64)?;
+        println!("{:20} {:.3} Mops/s", kv.name(), rep.mops());
+    }
+    Ok(())
+}

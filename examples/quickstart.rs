@@ -1,0 +1,50 @@
+//! Quickstart: persist data from a GPU kernel and survive a power failure.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! The flow mirrors §5.1 of the paper: map a PM-resident file into the GPU's
+//! address space, open a persistence window (DDIO off), run a kernel that
+//! stores and `gpm_persist`s, then crash the machine and read the data back.
+
+use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt};
+use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_sim::{Addr, Machine, SimError};
+
+fn main() -> Result<(), SimError> {
+    // The simulated platform: Xeon + Optane + GPU over PCIe 3.0.
+    let mut machine = Machine::default();
+
+    // 1. gpm_map: create a PM-resident file, visible to GPU kernels via UVA.
+    let region = gpm_map(&mut machine, "/pm/quickstart", 64 * 1024, true)?;
+    let base = region.base();
+
+    // 2. gpm_persist_begin: disable DDIO so system-scope fences persist.
+    gpm_persist_begin(&mut machine);
+
+    // 3. A kernel: 4096 threads each write and persist one value.
+    let kernel = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        let i = ctx.global_id();
+        ctx.st_u64(base.add(i * 8), i * i)?;
+        ctx.gpm_persist() // __threadfence_system() with DDIO off
+    });
+    let report = launch(&mut machine, LaunchConfig::for_elements(4096, 256), &kernel)?;
+    println!(
+        "kernel persisted {} bytes in {} ({} coalesced PCIe transactions)",
+        report.costs.pm_write_bytes, report.elapsed, report.costs.pcie_write_txns
+    );
+
+    // 4. gpm_persist_end: restore DDIO.
+    gpm_persist_end(&mut machine);
+
+    // 5. Power failure! Volatile state is wiped; pending PM lines are
+    //    partially applied. Our data was persisted, so it survives.
+    machine.crash();
+
+    for i in [0u64, 1, 63, 4095] {
+        let v = machine.read_u64(Addr::pm(region.offset + i * 8))?;
+        assert_eq!(v, i * i);
+        println!("after crash: slot {i} still holds {v}");
+    }
+    println!("recoverable: every persisted value survived the crash");
+    Ok(())
+}

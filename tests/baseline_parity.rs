@@ -1,0 +1,111 @@
+//! Cross-baseline sanity: the CPU KVS stores, CAP paths and GPM must agree
+//! functionally (same final state) while ordering as the paper's
+//! performance hierarchy predicts.
+
+use gpm_pmkv::{matrixkv_params, rocksdb_params, run_set_batch, LsmKv, PmKv, PmemKvCmap};
+use gpm_sim::{Machine, Ns};
+use gpm_workloads::{KvsParams, KvsWorkload, Mode};
+
+/// All three CPU stores agree on get-after-set for the same trace,
+/// including overwrites, and survive a crash+recover cycle.
+#[test]
+fn cpu_stores_agree_on_a_mixed_trace() {
+    let trace: Vec<(u64, u64)> = (0..3_000u64)
+        .map(|i| (gpm_pmkv::hash64(i % 700) | 1, i)) // ~700 keys, overwritten
+        .collect();
+    let mut expected = std::collections::HashMap::new();
+    for &(k, v) in &trace {
+        expected.insert(k, v);
+    }
+
+    let mut stores: Vec<(Machine, Box<dyn PmKv>)> = Vec::new();
+    {
+        let mut m = Machine::default();
+        let kv = PmemKvCmap::create(&mut m, 8_192).unwrap();
+        stores.push((m, Box::new(kv)));
+    }
+    for p in [rocksdb_params(), matrixkv_params()] {
+        let mut m = Machine::default();
+        let kv = LsmKv::create(&mut m, p).unwrap();
+        stores.push((m, Box::new(kv)));
+    }
+
+    for (m, kv) in stores.iter_mut() {
+        run_set_batch(kv.as_mut(), m, &trace, 64).unwrap();
+        m.crash();
+        kv.recover(m).unwrap();
+        for (&k, &v) in expected.iter().step_by(13) {
+            let (got, _) = kv.get(m, k).unwrap();
+            assert_eq!(got, Some(v), "{}: key {k}", kv.name());
+        }
+        let (missing, _) = kv.get(m, 2).unwrap(); // even keys impossible (|1)
+        assert_eq!(missing, None, "{}", kv.name());
+    }
+}
+
+/// The paper's Figure 1(a) ordering: pmemKV < RocksDB < MatrixKV < GPM-KVS,
+/// with GPM 2.7–5.8× the CPU stores.
+#[test]
+fn figure1a_ordering_holds() {
+    let pairs: Vec<(u64, u64)> = (0..12_000u64).map(|i| (gpm_pmkv::hash64(i) | 1, i)).collect();
+    let mops = |mk: &dyn Fn(&mut Machine) -> Box<dyn PmKv>| -> f64 {
+        let mut m = Machine::default();
+        let mut kv = mk(&mut m);
+        run_set_batch(kv.as_mut(), &mut m, &pairs, 64).unwrap().mops()
+    };
+    let pmemkv = mops(&|m| Box::new(PmemKvCmap::create(m, 32_768).unwrap()));
+    let rocks = mops(&|m| Box::new(LsmKv::create(m, rocksdb_params()).unwrap()));
+    let matrix = mops(&|m| Box::new(LsmKv::create(m, matrixkv_params()).unwrap()));
+
+    let gpm = {
+        let p = KvsParams::quick();
+        let total = p.ops_per_batch * p.batches as u64;
+        let mut m = Machine::default();
+        let r = KvsWorkload::new(p).run(&mut m, Mode::Gpm).unwrap();
+        total as f64 / r.elapsed.0 * 1e3
+    };
+
+    assert!(pmemkv < rocks, "pmemKV {pmemkv:.2} vs RocksDB {rocks:.2}");
+    assert!(rocks < matrix, "RocksDB {rocks:.2} vs MatrixKV {matrix:.2}");
+    assert!(matrix < gpm, "MatrixKV {matrix:.2} vs GPM {gpm:.2}");
+    let min_speedup = gpm / matrix;
+    let max_speedup = gpm / pmemkv;
+    assert!(
+        min_speedup > 1.5 && max_speedup < 15.0,
+        "Figure 1a band (2.7–5.8×): got {min_speedup:.1}–{max_speedup:.1}"
+    );
+}
+
+/// CAP-fs < CAP-mm < GPM in throughput for the same workload, and all
+/// produce identical persistent state.
+#[test]
+fn persistence_hierarchy_is_total_ordered() {
+    let w = KvsWorkload::new(KvsParams::quick());
+    let mut times: Vec<(Mode, Ns)> = Vec::new();
+    for mode in [Mode::CapFs, Mode::CapMm, Mode::Gpm] {
+        let mut m = Machine::default();
+        let r = w.run(&mut m, mode).unwrap();
+        assert!(r.verified, "{mode:?}");
+        times.push((mode, r.elapsed));
+    }
+    assert!(times[0].1 > times[1].1, "CAP-fs slower than CAP-mm");
+    assert!(times[1].1 > times[2].1, "CAP-mm slower than GPM");
+}
+
+/// GPM-NDP sits between CAP and GPM: direct PM stores help, losing
+/// in-kernel persistence hurts.
+#[test]
+fn ndp_is_between_cap_and_gpm() {
+    let w = KvsWorkload::new(KvsParams::quick());
+    let t = |mode| {
+        let mut m = Machine::default();
+        let r = w.run(&mut m, mode).unwrap();
+        assert!(r.verified);
+        r.elapsed
+    };
+    let gpm = t(Mode::Gpm);
+    let ndp = t(Mode::GpmNdp);
+    let capfs = t(Mode::CapFs);
+    assert!(gpm < ndp, "in-kernel persistence beats CPU flushing (Figure 10)");
+    assert!(ndp < capfs, "direct PM stores beat staged transfers");
+}

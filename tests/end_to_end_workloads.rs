@@ -1,0 +1,123 @@
+//! End-to-end runs of the full GPMbench suite under every supported
+//! persistence system, with functional verification — the integration
+//! backbone behind Figures 9, 10 and 12.
+
+use gpm_sim::{Machine, MachineConfig};
+use gpm_workloads::{suite, Category, Mode, Scale};
+
+#[test]
+fn every_workload_verifies_under_every_supported_mode() {
+    for w in suite(Scale::Quick).iter_mut() {
+        for mode in Mode::ALL {
+            if !w.supports(mode) {
+                continue;
+            }
+            let mut m = Machine::default();
+            match w.run(&mut m, mode) {
+                Ok(r) => {
+                    assert!(r.verified, "{} under {mode:?}: wrong results", w.name());
+                    assert!(r.elapsed.0 > 0.0);
+                }
+                // GPUfs' 2 GB limit (BLK, HS at paper sizes) is the paper's
+                // (*): supported API, failing run.
+                Err(gpm_sim::SimError::FileTooLarge { .. }) => {
+                    assert!(matches!(w.name(), "BLK" | "HS"), "{}", w.name());
+                }
+                Err(e) => panic!("{} under {mode:?}: {e}", w.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn gpm_is_fastest_persistence_system_for_every_workload() {
+    for w in suite(Scale::Quick).iter_mut() {
+        let mut m1 = Machine::default();
+        let gpm = w.run(&mut m1, Mode::Gpm).unwrap().elapsed;
+        for mode in [Mode::CapFs, Mode::CapMm] {
+            let mut m2 = Machine::default();
+            let other = w.run(&mut m2, mode).unwrap().elapsed;
+            assert!(
+                other > gpm,
+                "{}: {mode:?} ({other}) should not beat GPM ({gpm})",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn transactional_workloads_amplify_writes_under_cap() {
+    for w in suite(Scale::Quick).iter_mut() {
+        if w.category() != Category::Transactional || w.name() == "gpDB (I)" {
+            continue; // INSERTs stream: WA ≈ 1.27 by design (Table 4)
+        }
+        let mut m1 = Machine::default();
+        let g = w.run(&mut m1, Mode::Gpm).unwrap();
+        let mut m2 = Machine::default();
+        let c = w.run(&mut m2, Mode::CapMm).unwrap();
+        let wa = c.pm_write_bytes_total() as f64 / g.pm_write_bytes_total() as f64;
+        assert!(wa > 4.0, "{}: expected heavy write amplification, got {wa:.1}", w.name());
+    }
+}
+
+#[test]
+fn checkpointing_workloads_have_unit_write_amplification() {
+    for w in suite(Scale::Quick).iter_mut() {
+        if w.category() != Category::Checkpointing {
+            continue;
+        }
+        let mut m1 = Machine::default();
+        let g = w.run(&mut m1, Mode::Gpm).unwrap();
+        let mut m2 = Machine::default();
+        let c = w.run(&mut m2, Mode::CapMm).unwrap();
+        let wa = c.pm_write_bytes_total() as f64 / g.pm_write_bytes_total() as f64;
+        assert!(
+            (0.8..1.3).contains(&wa),
+            "{}: checkpoints move the same bytes everywhere (Table 4), got WA {wa:.2}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn eadr_never_slows_gpm_down() {
+    for w in suite(Scale::Quick).iter_mut() {
+        let mut m1 = Machine::default();
+        let adr = w.run(&mut m1, Mode::Gpm).unwrap().elapsed;
+        let mut m2 = Machine::new(MachineConfig::default().with_eadr());
+        let eadr = w.run(&mut m2, Mode::Gpm).unwrap().elapsed;
+        assert!(
+            eadr <= adr * 1.01,
+            "{}: eADR regressed GPM ({adr} -> {eadr})",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_identical_machines() {
+    // Same seed, same workload: bit-identical metrics (the simulator is
+    // fully deterministic, which the calibration relies on).
+    for w in suite(Scale::Quick).iter_mut() {
+        let mut m1 = Machine::default();
+        let a = w.run(&mut m1, Mode::Gpm).unwrap();
+        let mut m2 = Machine::default();
+        let b = w.run(&mut m2, Mode::Gpm).unwrap();
+        assert_eq!(a.elapsed.0, b.elapsed.0, "{}", w.name());
+        assert_eq!(a.pm_write_bytes_gpu, b.pm_write_bytes_gpu, "{}", w.name());
+        assert_eq!(a.system_fences, b.system_fences, "{}", w.name());
+    }
+}
+
+#[test]
+fn table5_recovery_paths_verify() {
+    for w in suite(Scale::Quick).iter_mut() {
+        let mut m = Machine::default();
+        if let Some(r) = w.run_with_recovery(&mut m).unwrap() {
+            assert!(r.verified, "{} recovery verification failed", w.name());
+            let rl = r.recovery.expect("restoration latency");
+            assert!(rl.0 > 0.0 && rl < r.elapsed, "{}: RL {rl} vs op {}", w.name(), r.elapsed);
+        }
+    }
+}

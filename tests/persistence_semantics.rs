@@ -1,0 +1,204 @@
+//! Property-based tests of the platform's persistence semantics: the
+//! ADR/DDIO/eADR rules of §2–3 must hold for arbitrary write/persist/crash
+//! interleavings.
+
+use proptest::prelude::*;
+
+use gpm_core::{gpm_persist_begin, gpm_persist_end, GpmThreadExt};
+use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_sim::{Addr, Machine, MachineConfig, PersistMode};
+
+/// One scripted step of a GPU thread.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Write `value` at slot `slot`.
+    Write { slot: u8, value: u64 },
+    /// System-scope persist.
+    Persist,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u64>()).prop_map(|(slot, value)| Step::Write { slot, value }),
+        1 => Just(Step::Persist),
+    ]
+}
+
+/// Replays `steps` on a host model. For each slot, returns the set of
+/// values a crash may legally leave behind: the last persisted value, plus
+/// any value written after that slot's last persist (whose cache line may
+/// have been applied by the crash), plus zero when nothing was ever
+/// persisted.
+fn admissible_model(steps: &[Step]) -> std::collections::HashMap<u8, Vec<u64>> {
+    use std::collections::HashMap;
+    let mut durable: HashMap<u8, u64> = HashMap::new();
+    let mut staged: HashMap<u8, Vec<u64>> = HashMap::new();
+    for s in steps {
+        match s {
+            Step::Write { slot, value } => staged.entry(*slot).or_default().push(*value),
+            Step::Persist => {
+                for (slot, vals) in staged.drain() {
+                    durable.insert(slot, *vals.last().expect("nonempty"));
+                }
+            }
+        }
+    }
+    let mut admissible: HashMap<u8, Vec<u64>> = HashMap::new();
+    for (slot, v) in &durable {
+        admissible.entry(*slot).or_default().push(*v);
+    }
+    for (slot, vals) in staged {
+        let entry = admissible.entry(slot).or_default();
+        entry.extend(vals);
+        if !durable.contains_key(&slot) {
+            entry.push(0); // never persisted: may read as zero
+        }
+    }
+    admissible
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After a crash, each slot holds an *admissible* value: its last
+    /// persisted value, or a later (possibly-evicted) unpersisted write —
+    /// never anything else. In particular, a persisted slot with no later
+    /// writes must read back exactly.
+    #[test]
+    fn persisted_writes_survive_any_crash(steps in prop::collection::vec(step_strategy(), 1..40)) {
+        let mut m = Machine::default();
+        let base = m.alloc_pm(256 * 64).unwrap();
+        gpm_persist_begin(&mut m);
+        let script = steps.clone();
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            if ctx.global_id() != 0 {
+                return Ok(());
+            }
+            for s in &script {
+                match s {
+                    Step::Write { slot, value } => {
+                        ctx.st_u64(Addr::pm(base + *slot as u64 * 64), *value)?;
+                    }
+                    Step::Persist => ctx.gpm_persist()?,
+                }
+            }
+            Ok(())
+        });
+        launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
+        gpm_persist_end(&mut m);
+        m.crash();
+
+        for (slot, admissible) in admissible_model(&steps) {
+            let got = m.read_u64(Addr::pm(base + slot as u64 * 64)).unwrap();
+            prop_assert!(
+                admissible.contains(&got),
+                "slot {} holds {} which is neither its persisted value nor a later write {:?}",
+                slot, got, admissible
+            );
+        }
+    }
+
+    /// Under eADR, *visibility is durability*: every write survives even
+    /// without a single fence.
+    #[test]
+    fn eadr_makes_all_writes_durable(steps in prop::collection::vec(step_strategy(), 1..40)) {
+        let mut m = Machine::new(MachineConfig::default().with_eadr());
+        prop_assert_eq!(m.cfg.persist_mode, PersistMode::Eadr);
+        let base = m.alloc_pm(256 * 64).unwrap();
+        let script = steps.clone();
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            if ctx.global_id() != 0 {
+                return Ok(());
+            }
+            for s in &script {
+                if let Step::Write { slot, value } = s {
+                    ctx.st_u64(Addr::pm(base + *slot as u64 * 64), *value)?;
+                }
+            }
+            Ok(())
+        });
+        launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
+        m.crash();
+
+        // The last write to each slot must have survived.
+        let mut last = std::collections::HashMap::new();
+        for s in &steps {
+            if let Step::Write { slot, value } = s {
+                last.insert(*slot, *value);
+            }
+        }
+        for (slot, value) in last {
+            let got = m.read_u64(Addr::pm(base + slot as u64 * 64)).unwrap();
+            prop_assert_eq!(got, value);
+        }
+    }
+
+    /// With DDIO enabled (no persistence window), a crash may lose any
+    /// subset of lines — but reads before the crash always see the newest
+    /// data (visibility is never violated).
+    #[test]
+    fn visibility_holds_before_crash(values in prop::collection::vec(any::<u64>(), 1..32)) {
+        let mut m = Machine::default();
+        let base = m.alloc_pm(values.len() as u64 * 64).unwrap();
+        let vals = values.clone();
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            if ctx.global_id() != 0 {
+                return Ok(());
+            }
+            for (i, v) in vals.iter().enumerate() {
+                ctx.st_u64(Addr::pm(base + i as u64 * 64), *v)?;
+                // Read-your-write through the coherent LLC.
+                let got = ctx.ld_u64(Addr::pm(base + i as u64 * 64))?;
+                assert_eq!(got, *v);
+            }
+            Ok(())
+        });
+        launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(m.read_u64(Addr::pm(base + i as u64 * 64)).unwrap(), *v);
+        }
+    }
+}
+
+/// Deterministic (non-property) checks of the DDIO rules.
+#[test]
+fn ddio_gates_persistence() {
+    let mut m = Machine::default();
+    let base = m.alloc_pm(4096).unwrap();
+
+    // DDIO on: fence is visibility-only; data may be lost.
+    let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        ctx.st_u64(Addr::pm(base), 0xAAAA)?;
+        ctx.threadfence_system()
+    });
+    launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
+    assert!(m.pm().is_pending(base, 8), "DDIO caches the write in the LLC");
+
+    // The persistence window turns the same fence into a persist.
+    gpm_persist_begin(&mut m);
+    let k2 = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        ctx.st_u64(Addr::pm(base + 64), 0xBBBB)?;
+        ctx.gpm_persist()
+    });
+    launch(&mut m, LaunchConfig::new(1, 32), &k2).unwrap();
+    gpm_persist_end(&mut m);
+    assert!(!m.pm().is_pending(base + 64, 8));
+}
+
+#[test]
+fn crash_resolves_all_pending_state() {
+    let mut m = Machine::default();
+    let base = m.alloc_pm(1 << 16).unwrap();
+    for i in 0..64u64 {
+        m.gpu_store_pm(i as u32, base + i * 64, &i.to_le_bytes()).unwrap();
+    }
+    assert_eq!(m.pm().pending_line_count(), 64);
+    let report = m.crash();
+    assert_eq!(report.lines_applied + report.lines_dropped, 64);
+    assert_eq!(m.pm().pending_line_count(), 0);
+    // Every slot either has its value or zero — no torn 8-byte words.
+    for i in 0..64u64 {
+        let v = m.read_u64(Addr::pm(base + i * 64)).unwrap();
+        assert!(v == i || v == 0, "torn write at slot {i}: {v}");
+    }
+}

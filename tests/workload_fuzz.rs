@@ -1,0 +1,105 @@
+//! Parameter fuzzing: every workload's kernel must agree with its host
+//! reference model for arbitrary (small) input shapes, not just the tuned
+//! defaults.
+
+use proptest::prelude::*;
+
+use gpm_sim::{Machine, MachineConfig};
+use gpm_workloads::{
+    BfsParams, BfsWorkload, DbOp, DbParams, DbWorkload, KvsParams, KvsWorkload, Mode, PsParams,
+    PsWorkload, SradParams, SradWorkload,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn kvs_verifies_for_arbitrary_shapes(
+        sets_pow in 8u32..12,
+        ops_pow in 6u32..9,
+        batches in 1u32..4,
+        get_permille in 0u32..1000,
+        seed in any::<u64>(),
+    ) {
+        let p = KvsParams {
+            sets: 1 << sets_pow,
+            ops_per_batch: 1 << ops_pow,
+            batches,
+            get_permille,
+            ..KvsParams::default()
+        };
+        let mut m = Machine::new(MachineConfig::default().with_seed(seed));
+        let r = KvsWorkload::new(p).run(&mut m, Mode::Gpm).unwrap();
+        prop_assert!(r.verified, "{p:?}");
+    }
+
+    #[test]
+    fn db_verifies_for_arbitrary_shapes(
+        initial_pow in 9u32..12,
+        rows_pow in 6u32..9,
+        batches in 1u32..4,
+        update in any::<bool>(),
+    ) {
+        let initial_rows = 1u64 << initial_pow;
+        let rows_per_insert = 1u64 << rows_pow;
+        let p = DbParams {
+            initial_rows,
+            capacity_rows: initial_rows + 8 * rows_per_insert,
+            rows_per_insert,
+            batches,
+            op: if update { DbOp::Update } else { DbOp::Insert },
+            ..DbParams::default()
+        };
+        let mut m = Machine::default();
+        let r = DbWorkload::new(p).run(&mut m, Mode::Gpm).unwrap();
+        prop_assert!(r.verified, "{p:?}");
+    }
+
+    #[test]
+    fn bfs_verifies_for_arbitrary_grids(
+        w in 3u64..40,
+        h in 3u64..40,
+        source in 0u64..9,
+    ) {
+        let p = BfsParams { width: w, height: h, source: source % (w * h), ..BfsParams::default() };
+        let mut m = Machine::default();
+        let r = BfsWorkload::new(p).run(&mut m, Mode::Gpm).unwrap();
+        prop_assert!(r.verified, "{p:?}");
+    }
+
+    #[test]
+    fn srad_verifies_for_arbitrary_images(
+        edge in 8u64..48,
+        iterations in 1u32..5,
+    ) {
+        let p = SradParams { edge, iterations, ..SradParams::default() };
+        let mut m = Machine::default();
+        let r = SradWorkload::new(p).run(&mut m, Mode::Gpm).unwrap();
+        prop_assert!(r.verified, "{p:?}");
+    }
+
+    #[test]
+    fn prefix_sum_verifies_for_arbitrary_lengths(blocks in 1u64..24) {
+        let p = PsParams { n: blocks * 256, ..PsParams::default() };
+        let mut m = Machine::default();
+        let r = PsWorkload::new(p).run(&mut m, Mode::Gpm).unwrap();
+        prop_assert!(r.verified, "{p:?}");
+    }
+
+    #[test]
+    fn kvs_crash_recovery_for_arbitrary_shapes(
+        ops_pow in 6u32..9,
+        fuel in 50u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        let p = KvsParams {
+            sets: 4096,
+            ops_per_batch: 1 << ops_pow,
+            batches: 1,
+            ..KvsParams::default()
+        };
+        let mut m = Machine::new(MachineConfig::default().with_seed(seed));
+        let ok = KvsWorkload::new(p).run_crash_injected(&mut m, fuel).unwrap();
+        prop_assert!(ok, "ops=2^{ops_pow} fuel={fuel} seed={seed}");
+    }
+}
