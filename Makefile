@@ -2,8 +2,9 @@
 CARGO ?= cargo
 RUN := $(CARGO) run --release -p gpm-bench --bin
 
-.PHONY: all test bench figure_1 figure_3 figure_9 figure_10 figure_11a figure_11b figure_12 \
-        table_4 table_5 checkpoint_frequency recovery_stress sensitivity ycsb future_platforms
+.PHONY: all test bench bench-json figure_1 figure_3 figure_9 figure_10 figure_11a figure_11b \
+        figure_12 table_4 table_5 checkpoint_frequency recovery_stress sensitivity ycsb \
+        future_platforms
 
 all: figure_1 figure_3 figure_9 figure_10 figure_11a figure_11b figure_12 table_4 table_5 \
      checkpoint_frequency recovery_stress
@@ -11,8 +12,14 @@ all: figure_1 figure_3 figure_9 figure_10 figure_11a figure_11b figure_12 table_
 test:
 	$(CARGO) test --workspace
 
+# Statistical criterion benches; need the `criterion` dev-dependency re-added
+# (network access) — see the workspace Cargo.toml.
 bench:
-	$(CARGO) bench --workspace
+	$(CARGO) bench --workspace --features gpm-bench/criterion
+
+# Dependency-free engine perf-regression harness; writes BENCH_engine.json.
+bench-json:
+	$(RUN) enginebench
 
 figure_1:
 	$(RUN) fig1a

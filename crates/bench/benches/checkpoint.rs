@@ -12,14 +12,24 @@ use gpm_workloads::{checkpoint_latency, CfdParams, CfdWorkload, Mode};
 fn bench_checkpoint_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group("checkpoint_modes");
     g.sample_size(10);
-    for mode in [Mode::Gpm, Mode::GpmNdp, Mode::CapFs, Mode::CapMm, Mode::Gpufs] {
-        g.bench_with_input(BenchmarkId::new("cfd", format!("{mode:?}")), &mode, |b, &mode| {
-            b.iter(|| {
-                let mut m = Machine::default();
-                let mut app = CfdWorkload::new(CfdParams::quick());
-                checkpoint_latency(&mut m, &mut app, mode, 16).unwrap()
-            })
-        });
+    for mode in [
+        Mode::Gpm,
+        Mode::GpmNdp,
+        Mode::CapFs,
+        Mode::CapMm,
+        Mode::Gpufs,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("cfd", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut m = Machine::default();
+                    let mut app = CfdWorkload::new(CfdParams::quick());
+                    checkpoint_latency(&mut m, &mut app, mode, 16).unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -66,8 +76,7 @@ fn bench_incremental(c: &mut Criterion) {
                     let mut cp = gpmcp_create(&mut m, "/pm/bcpi", len, 1, 1).unwrap();
                     gpmcp_register(&mut cp, gpm_sim::Addr::hbm(h), len, 0).unwrap();
                     gpmcp_checkpoint_tracked(&mut m, &mut cp, 0).unwrap();
-                    let dirty: Vec<bool> =
-                        (0..chunks).map(|i| i % 100 < pct).collect();
+                    let dirty: Vec<bool> = (0..chunks).map(|i| i % 100 < pct).collect();
                     gpmcp_checkpoint_incremental(&mut m, &mut cp, 0, &dirty, 4096).unwrap()
                 })
             },
@@ -76,5 +85,10 @@ fn bench_incremental(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_checkpoint_modes, bench_double_buffering, bench_incremental);
+criterion_group!(
+    benches,
+    bench_checkpoint_modes,
+    bench_double_buffering,
+    bench_incremental
+);
 criterion_main!(benches);

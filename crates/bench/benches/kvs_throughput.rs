@@ -10,18 +10,27 @@ fn bench_gpu_kvs(c: &mut Criterion) {
     let mut g = c.benchmark_group("gpkvs");
     g.sample_size(10);
     for mode in [Mode::Gpm, Mode::GpmNdp, Mode::CapFs, Mode::CapMm] {
-        g.bench_with_input(BenchmarkId::new("mode", format!("{mode:?}")), &mode, |b, &mode| {
-            b.iter(|| {
-                let mut m = Machine::default();
-                KvsWorkload::new(KvsParams::quick()).run(&mut m, mode).unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("mode", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut m = Machine::default();
+                    KvsWorkload::new(KvsParams::quick())
+                        .run(&mut m, mode)
+                        .unwrap()
+                })
+            },
+        );
     }
     // Ablation: key skew (YCSB-style Zipf vs uniform).
     g.bench_function("zipf_0.99", |b| {
         b.iter(|| {
             let mut m = Machine::default();
-            let p = KvsParams { key_skew: Some(0.99), ..KvsParams::quick() };
+            let p = KvsParams {
+                key_skew: Some(0.99),
+                ..KvsParams::quick()
+            };
             KvsWorkload::new(p).run(&mut m, Mode::Gpm).unwrap()
         })
     });
@@ -29,7 +38,10 @@ fn bench_gpu_kvs(c: &mut Criterion) {
     g.bench_function("log_conventional", |b| {
         b.iter(|| {
             let mut m = Machine::default();
-            let p = KvsParams { conventional_log_partitions: Some(64), ..KvsParams::quick() };
+            let p = KvsParams {
+                conventional_log_partitions: Some(64),
+                ..KvsParams::quick()
+            };
             KvsWorkload::new(p).run(&mut m, Mode::Gpm).unwrap()
         })
     });
@@ -39,7 +51,9 @@ fn bench_gpu_kvs(c: &mut Criterion) {
 fn bench_cpu_kvs(c: &mut Criterion) {
     let mut g = c.benchmark_group("cpu_kvs");
     g.sample_size(10);
-    let pairs: Vec<(u64, u64)> = (0..4_000u64).map(|i| (gpm_pmkv::hash64(i) | 1, i)).collect();
+    let pairs: Vec<(u64, u64)> = (0..4_000u64)
+        .map(|i| (gpm_pmkv::hash64(i) | 1, i))
+        .collect();
     g.bench_function("pmemkv", |b| {
         b.iter(|| {
             let mut m = Machine::default();

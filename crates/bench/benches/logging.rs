@@ -11,27 +11,31 @@ fn bench_logging(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("hcl", threads), &threads, |b, &t| {
             b.iter(|| logging_microbench(true, t, 16_384, 64).unwrap())
         });
-        g.bench_with_input(BenchmarkId::new("conventional", threads), &threads, |b, &t| {
-            b.iter(|| logging_microbench(false, t, 16_384, 64).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("conventional", threads),
+            &threads,
+            |b, &t| b.iter(|| logging_microbench(false, t, 16_384, 64).unwrap()),
+        );
     }
     // Ablation: HCL's striping (hardware coalescing) on/off.
     g.bench_function("hcl_unstriped", |b| {
-        b.iter(|| {
-            logging_microbench_backend(LogBackend::HclUnstriped, 8_192, 16_384, 64).unwrap()
-        })
+        b.iter(|| logging_microbench_backend(LogBackend::HclUnstriped, 8_192, 16_384, 64).unwrap())
     });
     // Ablation: partition count for conventional logging.
     for &parts in &[4u32, 16, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("conv_partitions", parts), &parts, |b, &p| {
-            b.iter(|| logging_microbench(false, 8_192, 16_384, p).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("conv_partitions", parts),
+            &parts,
+            |b, &p| b.iter(|| logging_microbench(false, 8_192, 16_384, p).unwrap()),
+        );
     }
     g.finish();
 }
 
 fn bench_redo_vs_undo(c: &mut Criterion) {
-    use gpm_core::{gpm_persist_begin, gpm_persist_end, gpmlog_create_hcl, redo_create, GpmThreadExt};
+    use gpm_core::{
+        gpm_persist_begin, gpm_persist_end, gpmlog_create_hcl, redo_create, GpmThreadExt,
+    };
     use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
     use gpm_sim::{Addr, Machine};
 
@@ -45,8 +49,8 @@ fn bench_redo_vs_undo(c: &mut Criterion) {
             let mut m = Machine::default();
             let data = m.alloc_pm(THREADS * 64).unwrap();
             let cfg = LaunchConfig::for_elements(THREADS, 256);
-            let log = gpmlog_create_hcl(&mut m, "/pm/u", THREADS * 16, cfg.grid, cfg.block)
-                .unwrap();
+            let log =
+                gpmlog_create_hcl(&mut m, "/pm/u", THREADS * 16, cfg.grid, cfg.block).unwrap();
             let dev = log.dev();
             gpm_persist_begin(&mut m);
             let r = launch(

@@ -1,0 +1,166 @@
+//! Offline perf-regression harness for the simulation engine's hot paths.
+//!
+//! Unlike the `criterion`-based benches under `benches/` (which need a
+//! registry to build), this binary is dependency-free and runs in any cold
+//! sandbox: `cargo run --release -p gpm-bench --bin enginebench` (or
+//! `make bench-json`). It drives the engine's three stress shapes — a
+//! 1M-thread coalesced-store kernel, a scattered-store kernel that defeats
+//! coalescing, and a fence-per-store kernel — plus one full GPMbench
+//! workload, and reports *wall-clock* throughput in simulated thread
+//! operations per second. Results land in `BENCH_engine.json` so successive
+//! checkouts can be diffed for engine-speed regressions; the simulated
+//! counters in the output double as a coarse determinism check.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_sim::{Addr, Machine, Ns};
+use gpm_workloads::{suite, Mode, Scale};
+
+/// Timed repetitions per bench (the best wall time is reported, minimising
+/// scheduler noise); one untimed warm-up precedes them.
+const REPS: usize = 3;
+
+struct BenchResult {
+    name: &'static str,
+    threads: u64,
+    /// Simulated thread operations executed per repetition.
+    ops: u64,
+    best_wall_s: f64,
+    ops_per_sec: f64,
+    /// Simulated elapsed nanoseconds of one repetition (engine output; must
+    /// not drift across engine rewrites).
+    sim_elapsed_ns: f64,
+}
+
+/// Runs `f` REPS times after a warm-up; `f` returns (ops, simulated ns).
+fn bench(name: &'static str, threads: u64, mut f: impl FnMut() -> (u64, Ns)) -> BenchResult {
+    f(); // warm-up: page in lazily-allocated simulation state
+    let mut best = f64::INFINITY;
+    let mut ops = 0;
+    let mut sim_ns = 0.0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let (o, ns) = f();
+        let wall = t0.elapsed().as_secs_f64();
+        best = best.min(wall);
+        ops = o;
+        sim_ns = ns.0;
+    }
+    let r = BenchResult {
+        name,
+        threads,
+        ops,
+        best_wall_s: best,
+        ops_per_sec: ops as f64 / best,
+        sim_elapsed_ns: sim_ns,
+    };
+    println!(
+        "{:>24}  {:>9} threads  {:>10} ops  {:>9.3} ms  {:>12.0} ops/s",
+        r.name,
+        r.threads,
+        r.ops,
+        r.best_wall_s * 1e3,
+        r.ops_per_sec
+    );
+    r
+}
+
+/// 1M threads, each storing 8 consecutive bytes: every warp coalesces to
+/// two 128-byte PCIe transactions per line pair. This is the engine's
+/// best case and the regression gate's headline number.
+fn coalesced_store() -> BenchResult {
+    let threads: u64 = 1 << 20;
+    bench("coalesced_store_1m", threads, || {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(threads * 8).unwrap();
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(pm + i * 8), i)
+        });
+        let r = launch(&mut m, LaunchConfig::for_elements(threads, 256), &k).unwrap();
+        (threads, r.elapsed)
+    })
+}
+
+/// 256K threads striding 1 KiB apart (eight 128-byte lines): no two lanes
+/// share a line, so every store is its own transaction and the line table
+/// is touched at its sparsest.
+fn scattered_store() -> BenchResult {
+    let threads: u64 = 1 << 18;
+    bench("scattered_store_256k", threads, || {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(threads * 1024).unwrap();
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u32(Addr::pm(pm + i * 1024), i as u32)
+        });
+        let r = launch(&mut m, LaunchConfig::for_elements(threads, 256), &k).unwrap();
+        (threads, r.elapsed)
+    })
+}
+
+/// 64K threads, each issuing four store+system-fence pairs with the
+/// persistence window open: stresses fence bookkeeping and pending-line
+/// drain.
+fn fence_heavy() -> BenchResult {
+    let threads: u64 = 1 << 16;
+    const ROUNDS: u64 = 4;
+    bench("fence_heavy_64k", threads, || {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(threads * ROUNDS * 8).unwrap();
+        m.set_ddio(false);
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            for j in 0..ROUNDS {
+                ctx.st_u64(Addr::pm(pm + (i * ROUNDS + j) * 8), j)?;
+                ctx.threadfence_system()?;
+            }
+            Ok(())
+        });
+        let r = launch(&mut m, LaunchConfig::for_elements(threads, 256), &k).unwrap();
+        (threads * ROUNDS * 2, r.elapsed)
+    })
+}
+
+/// One full GPMbench workload (gpKVS at quick scale) end to end, so the
+/// harness also covers the allocator, logging, and verification layers.
+fn suite_workload() -> BenchResult {
+    bench("suite_gpkvs_quick", 0, || {
+        let mut w = suite(Scale::Quick).remove(0);
+        let mut m = Machine::default();
+        let metrics = w.run(&mut m, Mode::Gpm).unwrap();
+        assert!(metrics.verified, "gpKVS verification failed");
+        (metrics.pm_write_bytes_total() / 8, metrics.elapsed)
+    })
+}
+
+fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"gpm-enginebench-v1\",\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"ops\": {}, \"reps\": {}, \
+             \"best_wall_s\": {:.6}, \"ops_per_sec\": {:.1}, \"sim_elapsed_ns\": {:.3}}}",
+            r.name, r.threads, r.ops, REPS, r.best_wall_s, r.ops_per_sec, r.sim_elapsed_ns
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    println!("enginebench: wall-clock engine throughput ({REPS} reps, best-of)");
+    let results = [
+        coalesced_store(),
+        scattered_store(),
+        fence_heavy(),
+        suite_workload(),
+    ];
+    let json = to_json(&results);
+    let path = "BENCH_engine.json";
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

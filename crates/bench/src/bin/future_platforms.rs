@@ -16,7 +16,10 @@ fn platforms() -> Vec<(&'static str, MachineConfig)> {
         ("eADR", MachineConfig::default().with_eadr()),
         (
             "all three",
-            MachineConfig::default().with_pcie4().with_gen2_optane().with_eadr(),
+            MachineConfig::default()
+                .with_pcie4()
+                .with_gen2_optane()
+                .with_eadr(),
         ),
     ]
 }

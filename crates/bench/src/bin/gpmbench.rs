@@ -72,14 +72,26 @@ fn main() {
             .cloned()
     };
 
-    let scale = if has("--quick") { Scale::Quick } else { Scale::Full };
+    let scale = if has("--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
     let mut workloads = suite(scale);
 
     if has("--list") {
         for w in &workloads {
-            let modes: Vec<&str> =
-                Mode::ALL.iter().filter(|&&m| w.supports(m)).map(|m| m.label()).collect();
-            println!("{:12} [{}] modes: {}", w.name(), w.category().label(), modes.join(", "));
+            let modes: Vec<&str> = Mode::ALL
+                .iter()
+                .filter(|&&m| w.supports(m))
+                .map(|m| m.label())
+                .collect();
+            println!(
+                "{:12} [{}] modes: {}",
+                w.name(),
+                w.category().label(),
+                modes.join(", ")
+            );
         }
         return;
     }

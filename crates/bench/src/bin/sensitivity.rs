@@ -11,7 +11,11 @@ use gpm_sim::{Machine, MachineConfig, Ns};
 use gpm_workloads::{BfsParams, BfsWorkload, KvsParams, KvsWorkload, Mode, Scale};
 
 fn gpkvs_speedup(cfg: &MachineConfig, scale: Scale) -> f64 {
-    let p = if scale == Scale::Quick { KvsParams::quick() } else { KvsParams::default() };
+    let p = if scale == Scale::Quick {
+        KvsParams::quick()
+    } else {
+        KvsParams::default()
+    };
     let w = KvsWorkload::new(p);
     let mut m1 = Machine::new(cfg.clone());
     let gpm = w.run(&mut m1, Mode::Gpm).expect("gpm");
@@ -23,7 +27,11 @@ fn gpkvs_speedup(cfg: &MachineConfig, scale: Scale) -> f64 {
 
 fn bfs_speedup(cfg: &MachineConfig, scale: Scale) -> f64 {
     let p = if scale == Scale::Quick {
-        BfsParams { width: 96, height: 96, ..BfsParams::default() }
+        BfsParams {
+            width: 96,
+            height: 96,
+            ..BfsParams::default()
+        }
     } else {
         BfsParams::default()
     };
@@ -59,7 +67,10 @@ fn main() {
 
     // PCIe bandwidth: both sides transfer over it, but CAP moves far more.
     for bw in [6.3, 12.6, 25.2, 50.4] {
-        let cfg = MachineConfig { pcie_bw: bw, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            pcie_bw: bw,
+            ..MachineConfig::default()
+        };
         report.row(&[
             "pcie_bw".into(),
             format!("{bw:.1}GB/s"),
@@ -70,7 +81,10 @@ fn main() {
 
     // Random-write bandwidth: GPM's fine-grained persists live here.
     for bw in [0.36, 0.72, 1.44, 2.88] {
-        let cfg = MachineConfig { pm_bw_random: bw, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            pm_bw_random: bw,
+            ..MachineConfig::default()
+        };
         report.row(&[
             "pm_random_bw".into(),
             format!("{bw:.2}GB/s"),

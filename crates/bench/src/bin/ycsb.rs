@@ -19,9 +19,18 @@ struct Mix {
 }
 
 const MIXES: [Mix; 3] = [
-    Mix { name: "A (50r/50w)", get_permille: 500 },
-    Mix { name: "B (95r/5w)", get_permille: 950 },
-    Mix { name: "C (100r)", get_permille: 1000 },
+    Mix {
+        name: "A (50r/50w)",
+        get_permille: 500,
+    },
+    Mix {
+        name: "B (95r/5w)",
+        get_permille: 950,
+    },
+    Mix {
+        name: "C (100r)",
+        get_permille: 1000,
+    },
 ];
 
 fn cpu_ops(mix: Mix, n: u64, universe: u64) -> Vec<(u64, u64, bool)> {
@@ -56,7 +65,11 @@ fn cpu_mops(
 }
 
 fn gpm_mops(mix: Mix, scale: Scale) -> f64 {
-    let mut p = if scale == Scale::Quick { KvsParams::quick() } else { KvsParams::default() };
+    let mut p = if scale == Scale::Quick {
+        KvsParams::quick()
+    } else {
+        KvsParams::default()
+    };
     p.get_permille = mix.get_permille;
     p.key_skew = Some(THETA);
     let total = p.ops_per_batch * p.batches as u64;
@@ -68,8 +81,11 @@ fn gpm_mops(mix: Mix, scale: Scale) -> f64 {
 
 fn main() {
     let scale = gpm_bench::scale_from_args();
-    let (n, universe): (u64, u64) =
-        if scale == Scale::Quick { (4_000, 8_192) } else { (40_000, 131_072) };
+    let (n, universe): (u64, u64) = if scale == Scale::Quick {
+        (4_000, 8_192)
+    } else {
+        (40_000, 131_072)
+    };
     let mut report = Report::new(
         "out_ycsb",
         "YCSB mixes (Zipf 0.99): throughput in Mops/s",

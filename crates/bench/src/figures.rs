@@ -48,7 +48,11 @@ pub fn fig1a(scale: Scale) -> Report {
     }
     // GPM-KVS: MegaKV on GPM, pure SETs.
     let gpm_mops = {
-        let p = if scale == Scale::Quick { KvsParams::quick() } else { KvsParams::default() };
+        let p = if scale == Scale::Quick {
+            KvsParams::quick()
+        } else {
+            KvsParams::default()
+        };
         let total_ops = p.ops_per_batch * p.batches as u64;
         let mut m = fresh();
         let r = KvsWorkload::new(p).run(&mut m, Mode::Gpm).expect("gpm kvs");
@@ -87,21 +91,33 @@ pub fn fig1b(scale: Scale) -> Report {
         ]);
     };
     {
-        let w = BfsWorkload::new(if quick { BfsParams::quick() } else { BfsParams::default() });
+        let w = BfsWorkload::new(if quick {
+            BfsParams::quick()
+        } else {
+            BfsParams::default()
+        });
         let g = w.run(&mut fresh(), Mode::Gpm).expect("bfs gpm");
         let c = w.run(&mut fresh(), Mode::CpuPm).expect("bfs cpu");
         assert!(g.verified && c.verified);
         run("BFS", c.elapsed, g.elapsed);
     }
     {
-        let w = SradWorkload::new(if quick { SradParams::quick() } else { SradParams::default() });
+        let w = SradWorkload::new(if quick {
+            SradParams::quick()
+        } else {
+            SradParams::default()
+        });
         let g = w.run(&mut fresh(), Mode::Gpm).expect("srad gpm");
         let c = w.run(&mut fresh(), Mode::CpuPm).expect("srad cpu");
         assert!(g.verified && c.verified);
         run("SRAD", c.elapsed, g.elapsed);
     }
     {
-        let w = PsWorkload::new(if quick { PsParams::quick() } else { PsParams::default() });
+        let w = PsWorkload::new(if quick {
+            PsParams::quick()
+        } else {
+            PsParams::default()
+        });
         let g = w.run(&mut fresh(), Mode::Gpm).expect("ps gpm");
         let c = w.run(&mut fresh(), Mode::CpuPm).expect("ps cpu");
         assert!(g.verified && c.verified);
@@ -116,7 +132,11 @@ pub fn fig1b(scale: Scale) -> Report {
 ///
 /// Panics on internal simulation errors.
 pub fn fig3(scale: Scale) -> Report {
-    let bytes: u64 = if scale == Scale::Quick { 2 << 20 } else { 16 << 20 };
+    let bytes: u64 = if scale == Scale::Quick {
+        2 << 20
+    } else {
+        16 << 20
+    };
     let mut report = Report::new(
         "out_figure3",
         "Figure 3: write+persist scaling (speedup over 1-thread CAP-mm)",
@@ -148,7 +168,11 @@ fn run_mode(w: &mut dyn gpm_workloads::Workload, mode: Mode, eadr: bool) -> Opti
     if !w.supports(mode) {
         return None;
     }
-    let mut m = if eadr { microbench::eadr_machine() } else { fresh() };
+    let mut m = if eadr {
+        microbench::eadr_machine()
+    } else {
+        fresh()
+    };
     // Checkpointing workloads compare their persist phase (one checkpoint):
     // the compute between checkpoints is identical under every system.
     match w.persist_phase(&mut m, mode) {
@@ -157,10 +181,18 @@ fn run_mode(w: &mut dyn gpm_workloads::Workload, mode: Mode, eadr: bool) -> Opti
         Err(SimError::FileTooLarge { .. }) => return None,
         Err(e) => panic!("{} persist phase under {mode:?}: {e}", w.name()),
     }
-    let mut m = if eadr { microbench::eadr_machine() } else { fresh() };
+    let mut m = if eadr {
+        microbench::eadr_machine()
+    } else {
+        fresh()
+    };
     match w.run(&mut m, mode) {
         Ok(r) => {
-            assert!(r.verified, "{} under {mode:?} failed verification", w.name());
+            assert!(
+                r.verified,
+                "{} under {mode:?} failed verification",
+                w.name()
+            );
             Some(r.elapsed)
         }
         Err(SimError::FileTooLarge { .. }) => None, // the paper's (*) entries
@@ -238,7 +270,11 @@ pub fn fig11a(scale: Scale) -> Report {
     let quick = scale == Scale::Quick;
     // gpKVS.
     {
-        let base = if quick { KvsParams::quick() } else { KvsParams::default() };
+        let base = if quick {
+            KvsParams::quick()
+        } else {
+            KvsParams::default()
+        };
         let hcl = KvsWorkload::new(base)
             .run(&mut fresh(), Mode::Gpm)
             .expect("kvs hcl");
@@ -257,8 +293,15 @@ pub fn fig11a(scale: Scale) -> Report {
     }
     // gpDB (U) — INSERTs are skipped, as in the paper (only metadata logged).
     {
-        let base = if quick { DbParams::quick() } else { DbParams::default() }.updates();
-        let hcl = DbWorkload::new(base).run(&mut fresh(), Mode::Gpm).expect("db hcl");
+        let base = if quick {
+            DbParams::quick()
+        } else {
+            DbParams::default()
+        }
+        .updates();
+        let hcl = DbWorkload::new(base)
+            .run(&mut fresh(), Mode::Gpm)
+            .expect("db hcl");
         let conv = DbWorkload::new(DbParams {
             conventional_log_partitions: Some(64),
             ..base
@@ -291,7 +334,11 @@ pub fn fig11b(scale: Scale) -> Report {
     } else {
         &[1_024, 4_096, 8_192, 16_384, 32_768, 49_152]
     };
-    let total_entries: u64 = if scale == Scale::Quick { 32_768 } else { 131_072 };
+    let total_entries: u64 = if scale == Scale::Quick {
+        32_768
+    } else {
+        131_072
+    };
     for &threads in sweeps {
         let conv = microbench::logging_microbench(false, threads, total_entries, 64).expect("conv");
         let hcl = microbench::logging_microbench(true, threads, total_entries, 64).expect("hcl");
@@ -329,14 +376,26 @@ pub fn fig12(scale: Scale) -> Report {
         ]);
     }
     // The raw-pattern microbenchmark the paper explains the figure with.
-    let sz: u64 = if scale == Scale::Quick { 2 << 20 } else { 16 << 20 };
+    let sz: u64 = if scale == Scale::Quick {
+        2 << 20
+    } else {
+        16 << 20
+    };
     for (name, kind) in [
         ("ubench-seq-aligned", microbench::PatternKind::SeqAligned),
-        ("ubench-seq-unaligned", microbench::PatternKind::SeqUnaligned),
+        (
+            "ubench-seq-unaligned",
+            microbench::PatternKind::SeqUnaligned,
+        ),
         ("ubench-random", microbench::PatternKind::Random),
     ] {
         let bw = microbench::pm_bandwidth(kind, sz).expect("ubench");
-        report.row(&[name.to_string(), format!("{:.2}", sz as f64 / 1e6), "-".into(), format!("{bw:.2}")]);
+        report.row(&[
+            name.to_string(),
+            format!("{:.2}", sz as f64 / 1e6),
+            "-".into(),
+            format!("{bw:.2}"),
+        ]);
     }
     report
 }
@@ -420,15 +479,18 @@ pub fn checkpoint_frequency(scale: Scale) -> Report {
         let params = DnnParams {
             iterations: if quick { 20 } else { 40 },
             checkpoint_every: every,
-            hidden: if quick { 64 } else { DnnParams::default().hidden },
+            hidden: if quick {
+                64
+            } else {
+                DnnParams::default().hidden
+            },
             ..DnnParams::default()
         };
         let mut m1 = fresh();
-        let g = run_iterative(&mut m1, &mut DnnWorkload::new(params), Mode::Gpm, 32)
-            .expect("gpm");
+        let g = run_iterative(&mut m1, &mut DnnWorkload::new(params), Mode::Gpm, 32).expect("gpm");
         let mut m2 = fresh();
-        let c = run_iterative(&mut m2, &mut DnnWorkload::new(params), Mode::CapFs, 32)
-            .expect("capfs");
+        let c =
+            run_iterative(&mut m2, &mut DnnWorkload::new(params), Mode::CapFs, 32).expect("capfs");
         assert!(g.verified && c.verified);
         report.row(&[
             every.to_string(),
@@ -467,8 +529,14 @@ pub fn recovery_stress(scale: Scale) -> Report {
     let kvs_results: Vec<bool> = fuels
         .iter()
         .map(|&f| {
-            let p = if quick { KvsParams::quick() } else { KvsParams::default() };
-            KvsWorkload::new(p).run_crash_injected(&mut fresh(), f).expect("kvs crash")
+            let p = if quick {
+                KvsParams::quick()
+            } else {
+                KvsParams::default()
+            };
+            KvsWorkload::new(p)
+                .run_crash_injected(&mut fresh(), f)
+                .expect("kvs crash")
         })
         .collect();
     tally("gpKVS", kvs_results);
@@ -476,7 +544,11 @@ pub fn recovery_stress(scale: Scale) -> Report {
     let bfs_results: Vec<bool> = fuels
         .iter()
         .map(|&f| {
-            let p = if quick { BfsParams::quick() } else { BfsParams::default() };
+            let p = if quick {
+                BfsParams::quick()
+            } else {
+                BfsParams::default()
+            };
             BfsWorkload::new(p)
                 .run_crash_resume(&mut fresh(), f)
                 .expect("bfs crash")
@@ -488,7 +560,11 @@ pub fn recovery_stress(scale: Scale) -> Report {
     let srad_results: Vec<bool> = fuels
         .iter()
         .map(|&f| {
-            let p = if quick { SradParams::quick() } else { SradParams::default() };
+            let p = if quick {
+                SradParams::quick()
+            } else {
+                SradParams::default()
+            };
             SradWorkload::new(p)
                 .run_crash_resume(&mut fresh(), f)
                 .expect("srad crash")
@@ -500,7 +576,11 @@ pub fn recovery_stress(scale: Scale) -> Report {
     let ps_results: Vec<bool> = fuels
         .iter()
         .map(|&f| {
-            let p = if quick { PsParams::quick() } else { PsParams::default() };
+            let p = if quick {
+                PsParams::quick()
+            } else {
+                PsParams::default()
+            };
             PsWorkload::new(p)
                 .run_crash_resume(&mut fresh(), f)
                 .expect("ps crash")
@@ -522,7 +602,9 @@ mod tests {
         assert_eq!(r.len(), 11);
         let tsv = r.to_tsv();
         // GPUfs columns are starred for the fine-grained workloads.
-        assert!(tsv.lines().any(|l| l.starts_with("gpKVS\t") && l.ends_with("*")));
+        assert!(tsv
+            .lines()
+            .any(|l| l.starts_with("gpKVS\t") && l.ends_with("*")));
     }
 
     #[test]

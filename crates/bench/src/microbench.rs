@@ -60,7 +60,11 @@ pub fn persist_gpm(bytes: u64, gpu_threads: u64) -> SimResult<Ns> {
         }
         Ok(())
     });
-    let r = launch(&mut m, LaunchConfig::for_elements(gpu_threads, 256.min(gpu_threads as u32)), &k)?;
+    let r = launch(
+        &mut m,
+        LaunchConfig::for_elements(gpu_threads, 256.min(gpu_threads as u32)),
+        &k,
+    )?;
     gpm_persist_end(&mut m);
     Ok(r.elapsed)
 }
@@ -82,7 +86,11 @@ pub fn logging_microbench(
     total_entries: u64,
     partitions: u32,
 ) -> SimResult<Ns> {
-    let backend = if hcl { LogBackend::Hcl } else { LogBackend::Conventional };
+    let backend = if hcl {
+        LogBackend::Hcl
+    } else {
+        LogBackend::Conventional
+    };
     logging_microbench_backend(backend, threads, total_entries, partitions)
 }
 
@@ -119,9 +127,12 @@ pub fn logging_microbench_backend(
         LogBackend::HclUnstriped => {
             gpmlog_create_hcl_unstriped(&mut m, "/pm/ubench_log", size, cfg.grid, cfg.block)
         }
-        LogBackend::Conventional => {
-            gpmlog_create_conv(&mut m, "/pm/ubench_log", size.max(total_entries * 64), partitions)
-        }
+        LogBackend::Conventional => gpmlog_create_conv(
+            &mut m,
+            "/pm/ubench_log",
+            size.max(total_entries * 64),
+            partitions,
+        ),
     }
     .map_err(|_| gpm_sim::SimError::Invalid("log creation failed"))?;
     let dev = log.dev();
@@ -152,7 +163,11 @@ pub fn pm_bandwidth(pattern: PatternKind, bytes: u64) -> SimResult<f64> {
     gpm_persist_begin(&mut m);
     // Sequential writers stream 256-byte chunks; random writers scatter
     // cache-line-sized accesses (no two land adjacently).
-    let chunk: u64 = if pattern == PatternKind::Random { 64 } else { 256 };
+    let chunk: u64 = if pattern == PatternKind::Random {
+        64
+    } else {
+        256
+    };
     let n = bytes / chunk;
     let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
         let i = ctx.global_id();
@@ -215,10 +230,16 @@ mod tests {
         let cap1 = persist_cap_mm(bytes, 1).unwrap();
         let gpm32 = persist_gpm(bytes, 32).unwrap();
         let gpm1024 = persist_gpm(bytes, 1024).unwrap();
-        assert!(gpm32 > cap1, "few GPU threads lose to one CPU thread (Fig 3b)");
+        assert!(
+            gpm32 > cap1,
+            "few GPU threads lose to one CPU thread (Fig 3b)"
+        );
         assert!(gpm1024 < cap1, "many GPU threads win (Fig 3b)");
         let plateau = cap1 / gpm1024;
-        assert!(plateau > 2.0 && plateau < 6.5, "Fig 3b plateau ≈ 4, got {plateau:.2}");
+        assert!(
+            plateau > 2.0 && plateau < 6.5,
+            "Fig 3b plateau ≈ 4, got {plateau:.2}"
+        );
     }
 
     #[test]
@@ -239,9 +260,18 @@ mod tests {
         let hcl_big = logging_microbench(true, 16_384, total, 64).unwrap();
         let conv_growth = conv_big / conv_small;
         let hcl_growth = hcl_big / hcl_small;
-        assert!(conv_growth > 1.5, "conventional latency jumps: {conv_growth:.2}");
-        assert!(hcl_growth < 1.5, "HCL latency stays near-stable: {hcl_growth:.2}");
-        assert!(conv_big / hcl_big > 3.0, "HCL wins at scale (paper: ≈3.6× avg)");
+        assert!(
+            conv_growth > 1.5,
+            "conventional latency jumps: {conv_growth:.2}"
+        );
+        assert!(
+            hcl_growth < 1.5,
+            "HCL latency stays near-stable: {hcl_growth:.2}"
+        );
+        assert!(
+            conv_big / hcl_big > 3.0,
+            "HCL wins at scale (paper: ≈3.6× avg)"
+        );
     }
 
     #[test]
@@ -249,7 +279,6 @@ mod tests {
         // §5.2: coalesced log writes also improve NVM endurance — fewer
         // 256-byte block programs for the same logged bytes.
         let programs = |backend| {
-            
             let mut m = Machine::default();
             // Inline variant of logging_microbench that keeps the machine.
             let cfg = LaunchConfig::for_elements(4_096, 256);
@@ -265,9 +294,7 @@ mod tests {
                     cfg.grid,
                     cfg.block,
                 ),
-                LogBackend::Conventional => {
-                    gpmlog_create_conv(&mut m, "/pm/e", 4_096 * 64 * 4, 64)
-                }
+                LogBackend::Conventional => gpmlog_create_conv(&mut m, "/pm/e", 4_096 * 64 * 4, 64),
             }
             .unwrap();
             let dev = log.dev();
@@ -304,7 +331,10 @@ mod tests {
         let unaligned = pm_bandwidth(PatternKind::SeqUnaligned, 8 << 20).unwrap();
         let random = pm_bandwidth(PatternKind::Random, 4 << 20).unwrap();
         assert!(aligned > 10.0, "≈12.5 GB/s, got {aligned:.2}");
-        assert!(unaligned > 2.0 && unaligned < 5.0, "≈3.13 GB/s, got {unaligned:.2}");
+        assert!(
+            unaligned > 2.0 && unaligned < 5.0,
+            "≈3.13 GB/s, got {unaligned:.2}"
+        );
         assert!(random < 1.2, "≈0.72 GB/s, got {random:.2}");
         assert!(aligned > unaligned && unaligned > random);
     }

@@ -18,11 +18,7 @@ pub struct Report {
 
 impl Report {
     /// Creates an empty report with the given column header.
-    pub fn new(
-        name: impl Into<String>,
-        title: impl Into<String>,
-        header: &[&str],
-    ) -> Report {
+    pub fn new(name: impl Into<String>, title: impl Into<String>, header: &[&str]) -> Report {
         Report {
             name: name.into(),
             title: title.into(),

@@ -233,7 +233,13 @@ fn copy_dram_to_pm_durable(
     len: u64,
 ) -> SimResult<()> {
     let mut buf = vec![0u8; len as usize];
-    machine.read(Addr { space: MemSpace::Dram, offset: src_dram }, &mut buf)?;
+    machine.read(
+        Addr {
+            space: MemSpace::Dram,
+            offset: src_dram,
+        },
+        &mut buf,
+    )?;
     machine.cpu_store_pm_persisted(dst_pm, &buf)?;
     Ok(())
 }
@@ -270,7 +276,10 @@ mod tests {
         let t_fs = cap_persist_region(&mut m, CapFlavor::Fs, hbm, dram, pm, len).unwrap();
         let t_mm =
             cap_persist_region(&mut m, CapFlavor::Mm { threads: 32 }, hbm, dram, pm, len).unwrap();
-        assert!(t_fs > t_mm, "CAP-mm avoids OS overheads: fs={t_fs} mm={t_mm}");
+        assert!(
+            t_fs > t_mm,
+            "CAP-mm avoids OS overheads: fs={t_fs} mm={t_mm}"
+        );
         assert!(t_fs < t_mm * 4.0, "but not by an order of magnitude");
         m.crash();
         let mut b = [0u8; 1];
@@ -303,10 +312,17 @@ mod tests {
         let hbm2 = m2.alloc_hbm(len).unwrap();
         let dram2 = m2.alloc_dram(len).unwrap();
         let pm2 = m2.alloc_pm(len).unwrap();
-        m2.host_write(Addr::hbm(hbm2), &vec![3u8; len as usize]).unwrap();
-        let t_eadr =
-            cap_persist_region(&mut m2, CapFlavor::Mm { threads: 32 }, hbm2, dram2, pm2, len)
-                .unwrap();
+        m2.host_write(Addr::hbm(hbm2), &vec![3u8; len as usize])
+            .unwrap();
+        let t_eadr = cap_persist_region(
+            &mut m2,
+            CapFlavor::Mm { threads: 32 },
+            hbm2,
+            dram2,
+            pm2,
+            len,
+        )
+        .unwrap();
         assert!(t_eadr < t_adr);
         // But the transfer still dominates: the gain is modest (§6.1).
         assert!(t_adr / t_eadr < 2.5, "adr={t_adr} eadr={t_eadr}");
@@ -325,7 +341,10 @@ mod tests {
         let (mut m, hbm, dram, pm) = staged_machine(len);
         let t_few = gpufs_persist(&mut m, hbm, dram, pm, len, 8).unwrap();
         let t_many = gpufs_persist(&mut m, hbm, dram, pm, len, 4096).unwrap();
-        assert!(t_many > t_few * 2.0, "per-call RPC cost dominates: {t_few} vs {t_many}");
+        assert!(
+            t_many > t_few * 2.0,
+            "per-call RPC cost dominates: {t_few} vs {t_many}"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub fn persist_audit(machine: &Machine, offset: u64, len: u64) -> Vec<Unpersiste
             let line_off = line * CPU_LINE;
             match out.last_mut() {
                 Some(last) if last.offset + last.len == line_off => last.len += CPU_LINE,
-                _ => out.push(UnpersistedRange { offset: line_off, len: CPU_LINE }),
+                _ => out.push(UnpersistedRange {
+                    offset: line_off,
+                    len: CPU_LINE,
+                }),
             }
         }
     }
@@ -133,7 +136,13 @@ mod tests {
         m.gpu_store_pm(0, r, &[7u8; 256]).unwrap(); // DDIO on: all pending
         let leaks = persist_audit(&m, r, 4096);
         assert_eq!(leaks.len(), 1);
-        assert_eq!(leaks[0], UnpersistedRange { offset: r, len: 256 });
+        assert_eq!(
+            leaks[0],
+            UnpersistedRange {
+                offset: r,
+                len: 256
+            }
+        );
     }
 
     #[test]

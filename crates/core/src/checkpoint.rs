@@ -96,7 +96,9 @@ impl GpmCheckpoint {
 
     /// Bytes registered so far in `group`.
     pub fn registered_bytes(&self, group: u32) -> u64 {
-        self.regs.get(group as usize).map_or(0, |v| v.iter().map(|r| r.size).sum())
+        self.regs
+            .get(group as usize)
+            .map_or(0, |v| v.iter().map(|r| r.size).sum())
     }
 
     /// Registered entries of `group` in registration order.
@@ -119,7 +121,9 @@ pub fn gpmcp_create(
     groups: u32,
 ) -> CoreResult<GpmCheckpoint> {
     if groups == 0 || elements == 0 || size == 0 {
-        return Err(CoreError::BadGeometry("checkpoint needs groups, elements and size"));
+        return Err(CoreError::BadGeometry(
+            "checkpoint needs groups, elements and size",
+        ));
     }
     let total = HEADER + groups as u64 * FLAG_BLOCK + groups as u64 * 2 * cap_aligned(size);
     let region = gpm_map(machine, path, total, true)?;
@@ -157,7 +161,11 @@ pub fn gpmcp_open(machine: &Machine, path: &str) -> CoreResult<GpmCheckpoint> {
     let capacity = machine.read_u64(Addr::pm(base + 8))?;
     let elements = machine.read_u32(Addr::pm(base + 16))?;
     Ok(GpmCheckpoint {
-        region: GpmRegion { path: path.to_owned(), offset: base, len: file.len },
+        region: GpmRegion {
+            path: path.to_owned(),
+            offset: base,
+            len: file.len,
+        },
         groups,
         capacity,
         elements,
@@ -185,18 +193,17 @@ pub fn gpmcp_close(machine: &Machine, cp: &GpmCheckpoint) -> CoreResult<()> {
 /// Fails when the group does not exist, has all its element slots taken, or
 /// would exceed its byte capacity. Pointer-based structures cannot be
 /// checkpointed (§5.3) — only flat ranges are accepted by construction.
-pub fn gpmcp_register(
-    cp: &mut GpmCheckpoint,
-    addr: Addr,
-    size: u64,
-    group: u32,
-) -> CoreResult<()> {
+pub fn gpmcp_register(cp: &mut GpmCheckpoint, addr: Addr, size: u64, group: u32) -> CoreResult<()> {
     if group >= cp.groups {
         return Err(CoreError::NoSuchGroup(group));
     }
     let used: u64 = cp.registered_bytes(group);
     if used + size > cp.capacity {
-        return Err(CoreError::GroupFull { group, needed: used + size, capacity: cp.capacity });
+        return Err(CoreError::GroupFull {
+            group,
+            needed: used + size,
+            capacity: cp.capacity,
+        });
     }
     if cp.regs[group as usize].len() as u32 >= cp.elements {
         return Err(CoreError::BadGeometry("group has no free element slots"));
@@ -334,7 +341,9 @@ pub fn gpmcp_checkpoint_incremental(
     }
     let total = cp.registered_bytes(group);
     if (dirty.len() as u64) * chunk_bytes < total {
-        return Err(CoreError::BadGeometry("dirty bitmap does not cover the registered data"));
+        return Err(CoreError::BadGeometry(
+            "dirty bitmap does not cover the registered data",
+        ));
     }
     // Chunks to write: dirty now, or written by the previous checkpoint
     // (those blocks are stale in this buffer), or everything when history
@@ -406,8 +415,8 @@ fn sparse_copy_kernel(
         ctx.st_bytes(dst.add(off), &buf)?;
         ctx.gpm_persist()
     });
-    let r = launch(machine, LaunchConfig::for_elements(threads, 256), &k)
-        .map_err(CoreError::Sim)?;
+    let r =
+        launch(machine, LaunchConfig::for_elements(threads, 256), &k).map_err(CoreError::Sim)?;
     Ok(r.elapsed)
 }
 
@@ -538,7 +547,10 @@ mod tests {
         let mut buf = vec![0u8; 256];
         m.read(Addr::hbm(b), &mut buf).unwrap();
         assert_eq!(buf, vec![0xAB; 256]);
-        assert_eq!(m.read_u32(Addr::hbm(a + 4)).unwrap() & 0xFF, (4u32 * 5) & 0xFF);
+        assert_eq!(
+            m.read_u32(Addr::hbm(a + 4)).unwrap() & 0xFF,
+            (4u32 * 5) & 0xFF
+        );
     }
 
     #[test]
@@ -551,7 +563,10 @@ mod tests {
             Err(CoreError::GroupFull { .. })
         ));
         gpmcp_register(&mut cp, Addr::hbm(h), 50, 0).unwrap();
-        assert!(gpmcp_register(&mut cp, Addr::hbm(h), 10, 0).is_err(), "element slots");
+        assert!(
+            gpmcp_register(&mut cp, Addr::hbm(h), 10, 0).is_err(),
+            "element slots"
+        );
         assert!(matches!(
             gpmcp_register(&mut cp, Addr::hbm(h), 10, 9),
             Err(CoreError::NoSuchGroup(9))
@@ -564,7 +579,10 @@ mod tests {
         assert!(gpmcp_create(&mut m, "/pm/z", 0, 1, 1).is_err());
         assert!(gpmcp_create(&mut m, "/pm/z", 10, 0, 1).is_err());
         m.fs_create("/pm/garbage", 1024).unwrap();
-        assert!(matches!(gpmcp_open(&m, "/pm/garbage"), Err(CoreError::Corrupt(_))));
+        assert!(matches!(
+            gpmcp_open(&m, "/pm/garbage"),
+            Err(CoreError::Corrupt(_))
+        ));
         let cp = gpmcp_create(&mut m, "/pm/ok", 64, 1, 1).unwrap();
         gpmcp_close(&m, &cp).unwrap();
     }
@@ -627,7 +645,8 @@ mod tests {
         dirty[1] = true;
         gpmcp_checkpoint_incremental(&mut m, &mut cp, 0, &dirty, 4096).unwrap();
         // Epoch B: chunk 5 dirty.
-        m.host_write(Addr::hbm(hbm + 5 * 4096), &[0xBB; 4096]).unwrap();
+        m.host_write(Addr::hbm(hbm + 5 * 4096), &[0xBB; 4096])
+            .unwrap();
         let mut dirty = vec![false; chunks];
         dirty[5] = true;
         gpmcp_checkpoint_incremental(&mut m, &mut cp, 0, &dirty, 4096).unwrap();
@@ -636,7 +655,10 @@ mod tests {
         gpmcp_restore(&mut m, &cp, 0).unwrap();
         let mut b = vec![0u8; 4096];
         m.read(Addr::hbm(hbm + 4096), &mut b).unwrap();
-        assert!(b.iter().all(|&x| x == 0xAA), "epoch-A chunk survived epoch B");
+        assert!(
+            b.iter().all(|&x| x == 0xAA),
+            "epoch-A chunk survived epoch B"
+        );
         m.read(Addr::hbm(hbm + 5 * 4096), &mut b).unwrap();
         assert!(b.iter().all(|&x| x == 0xBB));
     }

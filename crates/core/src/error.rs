@@ -34,7 +34,11 @@ impl fmt::Display for CoreError {
             CoreError::BadGeometry(why) => write!(f, "bad geometry: {why}"),
             CoreError::Corrupt(what) => write!(f, "corrupt structure: {what}"),
             CoreError::NoSuchGroup(g) => write!(f, "no checkpoint group {g}"),
-            CoreError::GroupFull { group, needed, capacity } => write!(
+            CoreError::GroupFull {
+                group,
+                needed,
+                capacity,
+            } => write!(
                 f,
                 "group {group} capacity exceeded: {needed} bytes registered, {capacity} available"
             ),
@@ -71,7 +75,11 @@ mod tests {
         assert!(Error::source(&e).is_some());
         assert!(CoreError::BadGeometry("x").to_string().contains("x"));
         assert!(CoreError::NoSuchGroup(3).to_string().contains('3'));
-        let gf = CoreError::GroupFull { group: 1, needed: 10, capacity: 5 };
+        let gf = CoreError::GroupFull {
+            group: 1,
+            needed: 10,
+            capacity: 5,
+        };
         assert!(gf.to_string().contains("exceeded"));
         assert!(Error::source(&gf).is_none());
     }

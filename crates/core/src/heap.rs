@@ -81,7 +81,12 @@ impl PmHeap {
         h[4..12].copy_from_slice(&slot_size.to_le_bytes());
         h[12..20].copy_from_slice(&slots.to_le_bytes());
         machine.host_write(Addr::pm(region.offset), &h)?;
-        Ok(PmHeap { region, slot_size, slots, bitmap: vec![false; slots as usize] })
+        Ok(PmHeap {
+            region,
+            slot_size,
+            slots,
+            bitmap: vec![false; slots as usize],
+        })
     }
 
     /// Reopens a heap after a crash, reading the persistent bitmap.
@@ -100,7 +105,11 @@ impl PmHeap {
         let mut flags = vec![0u8; slots as usize];
         machine.read(Addr::pm(base + HEADER), &mut flags)?;
         Ok(PmHeap {
-            region: GpmRegion { path: path.to_owned(), offset: base, len: file.len },
+            region: GpmRegion {
+                path: path.to_owned(),
+                offset: base,
+                len: file.len,
+            },
             slot_size,
             slots,
             bitmap: flags.iter().map(|&f| f != 0).collect(),
@@ -174,9 +183,9 @@ impl PmHeap {
         let addr = self.slot_addr(slot)?;
         // 1. Initialize the slot durably (CPU store + flush).
         machine.cpu_store_pm_persisted(addr.offset, data)?;
-        machine
-            .clock
-            .advance(Ns(data.len() as f64 / machine.cfg.cpu_copy_bw) + machine.cfg.cpu_flush_drain_latency);
+        machine.clock.advance(
+            Ns(data.len() as f64 / machine.cfg.cpu_copy_bw) + machine.cfg.cpu_flush_drain_latency,
+        );
         // 2. Publish: persist the bitmap flag. A crash before this point
         //    leaves the slot unallocated (the write is invisible garbage).
         self.persist_flag(machine, slot, 1)?;
@@ -248,7 +257,11 @@ mod tests {
         }
         m.crash();
         let h = PmHeap::open(&m, "/pm/h").unwrap();
-        assert_eq!(h.live_slots(), 1, "the freed slot stays free, the kept one stays live");
+        assert_eq!(
+            h.live_slots(),
+            1,
+            "the freed slot stays free, the kept one stays live"
+        );
         assert_eq!(m.read_u64(kept).unwrap(), 0xDEAD_BEEF);
     }
 

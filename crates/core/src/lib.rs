@@ -61,12 +61,12 @@ pub mod mem;
 pub mod persist;
 pub mod txn;
 
+pub use audit::{assert_all_persisted, persist_audit, UnpersistedRange};
 pub use checkpoint::{
     gpmcp_checkpoint, gpmcp_checkpoint_incremental, gpmcp_checkpoint_tracked, gpmcp_close,
     gpmcp_create, gpmcp_fill_working, gpmcp_open, gpmcp_publish, gpmcp_register, gpmcp_restore,
     GpmCheckpoint, Registration,
 };
-pub use audit::{assert_all_persisted, persist_audit, UnpersistedRange};
 pub use error::{CoreError, CoreResult};
 pub use heap::PmHeap;
 pub use log::redo::{redo_create, RedoLog, RedoLogDev};
@@ -74,9 +74,9 @@ pub use log::{
     gpmlog_close, gpmlog_create_conv, gpmlog_create_hcl, gpmlog_create_hcl_unstriped, gpmlog_open,
     GpmLog, GpmLogDev, LogKind,
 };
-pub use mem::{gpm_memcpy, gpm_memset};
-pub use txn::TxnFlag;
 pub use map::{
     gpm_map, gpm_persist_begin, gpm_persist_end, gpm_unmap, with_persist_window, GpmRegion,
 };
+pub use mem::{gpm_memcpy, gpm_memset};
 pub use persist::GpmThreadExt;
+pub use txn::TxnFlag;

@@ -70,12 +70,16 @@ impl HclLayout {
             return Err(CoreError::BadGeometry("log geometry must be non-zero"));
         }
         if !threads_per_block.is_multiple_of(LANES as u32) {
-            return Err(CoreError::BadGeometry("threads per block must be a multiple of 32"));
+            return Err(CoreError::BadGeometry(
+                "threads per block must be a multiple of 32",
+            ));
         }
         let total_threads = blocks as u64 * threads_per_block as u64;
         let capacity_chunks = size / (total_threads * CHUNK);
         if capacity_chunks == 0 {
-            return Err(CoreError::BadGeometry("log too small for one chunk per thread"));
+            return Err(CoreError::BadGeometry(
+                "log too small for one chunk per thread",
+            ));
         }
         Ok(HclLayout {
             blocks,
@@ -159,7 +163,10 @@ impl ConvLayout {
         if partition_capacity < 16 {
             return Err(CoreError::BadGeometry("partitions too small"));
         }
-        Ok(ConvLayout { partitions, partition_capacity })
+        Ok(ConvLayout {
+            partitions,
+            partition_capacity,
+        })
     }
 
     /// Total file bytes needed (header + per-partition tail lines + data).

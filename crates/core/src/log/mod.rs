@@ -82,7 +82,12 @@ impl GpmLogDev {
     ///
     /// Fails on HCL logs, bad partitions, full partitions, or when
     /// persistence is unavailable.
-    pub fn insert_to(&self, ctx: &mut ThreadCtx<'_>, entry: &[u8], partition: u32) -> SimResult<()> {
+    pub fn insert_to(
+        &self,
+        ctx: &mut ThreadCtx<'_>,
+        entry: &[u8],
+        partition: u32,
+    ) -> SimResult<()> {
         let LogKind::Conventional(l) = self.kind else {
             return Err(SimError::Invalid("partitioned insert on an HCL log"));
         };
@@ -107,11 +112,9 @@ impl GpmLogDev {
         // the scaling collapse Figure 11(b) shows.
         let cfg = ctx.config();
         let contenders = (ctx.total_threads() / l.partitions.max(1) as u64).max(1) as f64;
-        let serial = Ns(
-            cfg.cpu_lock_latency.0 * (1.0 + contenders / 2.0)
-                + 2.0 * cfg.effective_system_fence_latency().0
-                + needed as f64 / cfg.pm_bw_random,
-        );
+        let serial = Ns(cfg.cpu_lock_latency.0 * (1.0 + contenders / 2.0)
+            + 2.0 * cfg.effective_system_fence_latency().0
+            + needed as f64 / cfg.pm_bw_random);
         ctx.serialize(self.base + partition as u64, serial);
         Ok(())
     }
@@ -150,7 +153,9 @@ impl GpmLogDev {
     }
 
     fn hcl_insert(&self, ctx: &mut ThreadCtx<'_>, entry: &[u8]) -> SimResult<()> {
-        let LogKind::Hcl(l) = self.kind else { unreachable!() };
+        let LogKind::Hcl(l) = self.kind else {
+            unreachable!()
+        };
         let tid = ctx.global_id();
         if tid >= l.total_threads() {
             return Err(SimError::Invalid("thread outside the log's geometry"));
@@ -370,7 +375,14 @@ impl GpmLog {
     }
 }
 
-fn write_header(machine: &mut Machine, base: u64, kind: u32, a: u32, b: u32, c: u32) -> SimResult<()> {
+fn write_header(
+    machine: &mut Machine,
+    base: u64,
+    kind: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+) -> SimResult<()> {
     let mut h = [0u8; 24];
     h[0..4].copy_from_slice(&MAGIC.to_le_bytes());
     h[4..8].copy_from_slice(&kind.to_le_bytes());
@@ -395,8 +407,21 @@ pub fn gpmlog_create_hcl(
 ) -> CoreResult<GpmLog> {
     let l = HclLayout::new(size, blocks, threads_per_block)?;
     let region = gpm_map(machine, path, l.file_bytes(), true)?;
-    write_header(machine, region.offset, KIND_HCL, blocks, threads_per_block, l.capacity_chunks)?;
-    Ok(GpmLog { dev: GpmLogDev { base: region.offset, kind: LogKind::Hcl(l) }, region })
+    write_header(
+        machine,
+        region.offset,
+        KIND_HCL,
+        blocks,
+        threads_per_block,
+        l.capacity_chunks,
+    )?;
+    Ok(GpmLog {
+        dev: GpmLogDev {
+            base: region.offset,
+            kind: LogKind::Hcl(l),
+        },
+        region,
+    })
 }
 
 /// Creates an HCL log *without* entry striping: same hierarchy and
@@ -424,7 +449,13 @@ pub fn gpmlog_create_hcl_unstriped(
         threads_per_block,
         l.capacity_chunks,
     )?;
-    Ok(GpmLog { dev: GpmLogDev { base: region.offset, kind: LogKind::Hcl(l) }, region })
+    Ok(GpmLog {
+        dev: GpmLogDev {
+            base: region.offset,
+            kind: LogKind::Hcl(l),
+        },
+        region,
+    })
 }
 
 /// Creates a conventional distributed log with `partitions` partitions
@@ -449,7 +480,13 @@ pub fn gpmlog_create_conv(
         0,
         l.partition_capacity.min(u32::MAX as u64) as u32,
     )?;
-    Ok(GpmLog { dev: GpmLogDev { base: region.offset, kind: LogKind::Conventional(l) }, region })
+    Ok(GpmLog {
+        dev: GpmLogDev {
+            base: region.offset,
+            kind: LogKind::Conventional(l),
+        },
+        region,
+    })
 }
 
 /// Opens an existing log by path, e.g. during recovery (`gpmlog_open`).
@@ -482,7 +519,11 @@ pub fn gpmlog_open(machine: &Machine, path: &str) -> CoreResult<GpmLog> {
         _ => return Err(CoreError::Corrupt("unknown log kind")),
     };
     Ok(GpmLog {
-        region: GpmRegion { path: path.to_owned(), offset: base, len: file.len },
+        region: GpmRegion {
+            path: path.to_owned(),
+            offset: base,
+            len: file.len,
+        },
         dev: GpmLogDev { base, kind },
     })
 }
@@ -541,7 +582,11 @@ mod tests {
         m.crash();
         let log = gpmlog_open(&m, "/pm/log").unwrap();
         for tid in 0..32 {
-            assert_eq!(log.host_tail(&m, tid).unwrap(), 1, "tail sentinel persisted");
+            assert_eq!(
+                log.host_tail(&m, tid).unwrap(),
+                1,
+                "tail sentinel persisted"
+            );
         }
         let dev = log.dev();
         gpm_persist_begin(&mut m);
@@ -560,9 +605,7 @@ mod tests {
         // entries must be invisible after the crash (tail == 0).
         let (mut m, log) = hcl_setup(1 << 16, 4, 64);
         let dev = log.dev();
-        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
-            dev.insert(ctx, &[0xEE; 16])
-        });
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| dev.insert(ctx, &[0xEE; 16]));
         let err = launch_with_fuel(&mut m, LaunchConfig::new(4, 64), &k, 333).unwrap_err();
         assert!(matches!(err, gpm_gpu::LaunchError::Crashed(_)));
         let log = gpmlog_open(&m, "/pm/log").unwrap();
@@ -592,7 +635,10 @@ mod tests {
             "expected coalesced stripes, got {} txns",
             r.costs.pcie_write_txns
         );
-        assert_eq!(r.costs.system_fence_events, 2, "entry persist + tail persist");
+        assert_eq!(
+            r.costs.system_fence_events, 2,
+            "entry persist + tail persist"
+        );
     }
 
     #[test]
@@ -691,7 +737,10 @@ mod tests {
     fn open_rejects_garbage() {
         let mut m = Machine::default();
         m.fs_create("/pm/junk", 4096).unwrap();
-        assert!(matches!(gpmlog_open(&m, "/pm/junk"), Err(CoreError::Corrupt(_))));
+        assert!(matches!(
+            gpmlog_open(&m, "/pm/junk"),
+            Err(CoreError::Corrupt(_))
+        ));
         assert!(gpmlog_open(&m, "/pm/missing").is_err());
     }
 
@@ -728,7 +777,9 @@ mod tests {
     #[test]
     fn pm_region_untouched_by_unrelated_addresses() {
         let (mut m, log) = hcl_setup(1 << 12, 1, 32);
-        let before = m.read_u64(Addr::pm(log.region.offset + log.region.len - 8)).unwrap();
+        let before = m
+            .read_u64(Addr::pm(log.region.offset + log.region.len - 8))
+            .unwrap();
         let dev = log.dev();
         launch(
             &mut m,
@@ -736,7 +787,9 @@ mod tests {
             &FnKernel(move |ctx: &mut ThreadCtx<'_>| dev.insert(ctx, &[1u8; 4])),
         )
         .unwrap();
-        let after = m.read_u64(Addr::pm(log.region.offset + log.region.len - 8)).unwrap();
+        let after = m
+            .read_u64(Addr::pm(log.region.offset + log.region.len - 8))
+            .unwrap();
         assert_eq!(before, after);
     }
 }

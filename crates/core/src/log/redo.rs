@@ -67,8 +67,8 @@ impl RedoLogDev {
         rec.extend_from_slice(&dst.to_le_bytes());
         rec.extend_from_slice(data);
         self.log.insert(ctx, &rec)?; // persists record + tail sentinel
-        // In-place update: visible immediately, durable lazily (or via
-        // replay).
+                                     // In-place update: visible immediately, durable lazily (or via
+                                     // replay).
         ctx.st_bytes(gpm_sim::Addr::pm(dst), data)
     }
 }
@@ -89,7 +89,9 @@ pub fn redo_create(
     records_per_thread: u32,
 ) -> CoreResult<RedoLog> {
     if payload == 0 || !payload.is_multiple_of(4) {
-        return Err(CoreError::BadGeometry("redo payload must be a non-zero multiple of 4"));
+        return Err(CoreError::BadGeometry(
+            "redo payload must be a non-zero multiple of 4",
+        ));
     }
     let total_threads = blocks as u64 * threads_per_block as u64;
     let size = total_threads * (8 + payload as u64) * (records_per_thread as u64 + 1);
@@ -101,7 +103,10 @@ pub fn redo_create(
 impl RedoLog {
     /// Device handle for kernels.
     pub fn dev(&self) -> RedoLogDev {
-        RedoLogDev { log: self.log.dev(), payload: self.payload }
+        RedoLogDev {
+            log: self.log.dev(),
+            payload: self.payload,
+        }
     }
 
     /// Marks a transaction active (`id` non-zero). Persisted before the
@@ -211,10 +216,7 @@ mod tests {
         (m, log, data, LaunchConfig::new(1, 64))
     }
 
-    fn update_kernel(
-        dev: RedoLogDev,
-        data: u64,
-    ) -> impl gpm_gpu::Kernel<State = (), Shared = ()> {
+    fn update_kernel(dev: RedoLogDev, data: u64) -> impl gpm_gpu::Kernel<State = (), Shared = ()> {
         FnKernel(move |ctx: &mut ThreadCtx<'_>| {
             let i = ctx.global_id();
             dev.record_and_apply(ctx, data + i * 64, &(i * 7 + 1).to_le_bytes())
@@ -235,7 +237,11 @@ mod tests {
         // ...but recovery replays the committed records.
         log.recover(&mut m, cfg).unwrap();
         for i in 0..64u64 {
-            assert_eq!(m.read_u64(Addr::pm(data + i * 64)).unwrap(), i * 7 + 1, "slot {i}");
+            assert_eq!(
+                m.read_u64(Addr::pm(data + i * 64)).unwrap(),
+                i * 7 + 1,
+                "slot {i}"
+            );
         }
         // And a second crash now changes nothing (updates persisted).
         m.crash();
@@ -305,7 +311,10 @@ mod tests {
         });
         let err = launch(&mut m, cfg, &k).unwrap_err();
         assert!(matches!(err, SimError::Invalid(msg) if msg.contains("payload")));
-        assert!(redo_create(&mut m, "/pm/redo2", 1, 32, 7, 1).is_err(), "odd payload");
+        assert!(
+            redo_create(&mut m, "/pm/redo2", 1, 32, 7, 1).is_err(),
+            "odd payload"
+        );
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl GpmRegion {
     ///
     /// Panics if `off` is outside the region (a wild pointer).
     pub fn addr(&self, off: u64) -> Addr {
-        assert!(off < self.len, "offset {off} outside region of {} bytes", self.len);
+        assert!(
+            off < self.len,
+            "offset {off} outside region of {} bytes",
+            self.len
+        );
         Addr::pm(self.offset + off)
     }
 
@@ -65,7 +69,11 @@ pub fn gpm_map(machine: &mut Machine, path: &str, size: u64, create: bool) -> Si
     } else {
         return Err(SimError::FileNotFound(path.to_owned()));
     };
-    Ok(GpmRegion { path: path.to_owned(), offset: file.offset, len: file.len })
+    Ok(GpmRegion {
+        path: path.to_owned(),
+        offset: file.offset,
+        len: file.len,
+    })
 }
 
 /// Unmaps a region previously returned by [`gpm_map`]. The file itself
@@ -124,7 +132,10 @@ mod tests {
     #[test]
     fn map_without_create_fails_for_missing() {
         let mut m = Machine::default();
-        assert!(matches!(gpm_map(&mut m, "/pm/x", 10, false), Err(SimError::FileNotFound(_))));
+        assert!(matches!(
+            gpm_map(&mut m, "/pm/x", 10, false),
+            Err(SimError::FileNotFound(_))
+        ));
     }
 
     #[test]

@@ -51,12 +51,7 @@ fn bulk_kernel(
 /// # Errors
 ///
 /// Propagates out-of-bounds errors.
-pub fn gpm_memcpy(
-    machine: &mut Machine,
-    dst: Addr,
-    src: Addr,
-    len: u64,
-) -> SimResult<Ns> {
+pub fn gpm_memcpy(machine: &mut Machine, dst: Addr, src: Addr, len: u64) -> SimResult<Ns> {
     if len == 0 {
         return Ok(Ns::ZERO);
     }
@@ -128,7 +123,10 @@ mod tests {
         let hbm = m.alloc_hbm(4_096).unwrap();
         m.host_write(Addr::pm(pm), &[7u8; 4096]).unwrap();
         gpm_memcpy(&mut m, Addr::hbm(hbm), Addr::pm(pm), 4_096).unwrap();
-        assert_eq!(m.read_u64(Addr::hbm(hbm + 8)).unwrap(), u64::from_le_bytes([7; 8]));
+        assert_eq!(
+            m.read_u64(Addr::hbm(hbm + 8)).unwrap(),
+            u64::from_le_bytes([7; 8])
+        );
     }
 
     #[test]
@@ -160,7 +158,10 @@ mod tests {
         let dst = m.alloc_pm(1 << 20).unwrap();
         let t = gpm_memcpy(&mut m, Addr::pm(dst), Addr::hbm(src), 1 << 20).unwrap();
         let gbps = (1 << 20) as f64 / t.0;
-        assert!(gbps > 0.7 * m.cfg.pm_bw_seq_aligned, "streaming copy too slow: {gbps:.1} GB/s");
+        assert!(
+            gbps > 0.7 * m.cfg.pm_bw_seq_aligned,
+            "streaming copy too slow: {gbps:.1} GB/s"
+        );
     }
 
     #[test]

@@ -111,7 +111,11 @@ mod tests {
         let f = TxnFlag::create(&mut m, "/pm/t").unwrap();
         f.begin(&mut m, 42).unwrap();
         m.crash();
-        assert_eq!(f.active(&m).unwrap(), 42, "recovery must see the in-flight txn");
+        assert_eq!(
+            f.active(&m).unwrap(),
+            42,
+            "recovery must see the in-flight txn"
+        );
     }
 
     #[test]

@@ -113,12 +113,20 @@ impl<T: Scalar> Buf<T> {
             MemSpace::Dram => machine.alloc_dram(bytes)?,
             MemSpace::Hbm => machine.alloc_hbm(bytes)?,
         };
-        Ok(Buf { base: Addr { space, offset }, len, _elem: PhantomData })
+        Ok(Buf {
+            base: Addr { space, offset },
+            len,
+            _elem: PhantomData,
+        })
     }
 
     /// Wraps an existing region (e.g. a `gpm_map`ped file).
     pub fn from_raw(base: Addr, len: u64) -> Buf<T> {
-        Buf { base, len, _elem: PhantomData }
+        Buf {
+            base,
+            len,
+            _elem: PhantomData,
+        }
     }
 
     /// Element count.
@@ -256,7 +264,8 @@ mod tests {
     fn fill_host_bulk() {
         let mut m = Machine::default();
         let xs: Buf<u32> = Buf::alloc(&mut m, MemSpace::Pm, 16).unwrap();
-        xs.fill_host(&mut m, &(0..16).map(|i| i * 3).collect::<Vec<_>>()).unwrap();
+        xs.fill_host(&mut m, &(0..16).map(|i| i * 3).collect::<Vec<_>>())
+            .unwrap();
         assert_eq!(xs.read_host(&m, 5).unwrap(), 15);
         // PM-backed: survives a crash (host writes are durable setup).
         m.crash();

@@ -133,9 +133,17 @@ impl Grid2 {
     /// Panics if any dimension is zero or the block exceeds 1024 threads.
     pub fn new(width: u64, height: u64, block_x: u32, block_y: u32) -> Grid2 {
         assert!(width > 0 && height > 0, "grid dimensions must be non-zero");
-        assert!(block_x > 0 && block_y > 0, "block dimensions must be non-zero");
+        assert!(
+            block_x > 0 && block_y > 0,
+            "block dimensions must be non-zero"
+        );
         assert!(block_x * block_y <= 1024, "at most 1024 threads per block");
-        Grid2 { width, height, block_x, block_y }
+        Grid2 {
+            width,
+            height,
+            block_x,
+            block_y,
+        }
     }
 
     /// Blocks along x.
@@ -204,7 +212,10 @@ mod tests {
     #[test]
     fn thread_identity() {
         let cfg = LaunchConfig::new(4, 128);
-        let t = ThreadId { block: 2, thread: 70 };
+        let t = ThreadId {
+            block: 2,
+            thread: 70,
+        };
         assert_eq!(t.global(&cfg), 2 * 128 + 70);
         assert_eq!(t.lane(), 6);
         assert_eq!(t.warp_in_block(), 2);

@@ -6,8 +6,22 @@
 //! same-program-point accesses to one 128-byte line coalesce into a single
 //! PCIe transaction (§2), and a warp's simultaneous fences form one fence
 //! event. Phase boundaries implement `__syncthreads()`.
+//!
+//! ## Hot-path design
+//!
+//! Coalescing is the engine's innermost loop: every PM access of every
+//! simulated thread flows through it. Instead of buffering an `Event` per
+//! operation and grouping events into freshly-allocated `BTreeMap`s at warp
+//! drain (one heap allocation per warp, a tree probe per event), the engine
+//! merges accesses *as they are issued* into a [`WarpScratch`]: a reusable
+//! table of per-program-point groups, indexed directly by the thread's dense
+//! operation sequence number. Each group keeps its coalesced line extents in
+//! a small sorted array. All storage is reused across warps, blocks, and
+//! launches, so steady-state execution allocates nothing per warp and the
+//! drain is a linear sweep. The observable outcome — transaction counts,
+//! pattern-tracker order, fence events, simulated time — is identical to the
+//! event-buffer design, as the golden-counter tests pin down.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use gpm_sim::pattern::PatternTracker;
@@ -58,18 +72,132 @@ impl From<SimError> for LaunchError {
     }
 }
 
+/// A coalesced write extent within one 128-byte GPU line.
 #[derive(Debug, Clone, Copy)]
-enum EventKind {
-    PmWrite { offset: u64, len: u32 },
-    PmRead { offset: u64, len: u32 },
-    SysFence,
-    DevFence,
+struct WriteExtent {
+    line: u64,
+    start: u64,
+    end: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    seq: u32,
-    kind: EventKind,
+/// Accesses issued by the warp's lanes at one program point (one operation
+/// sequence number). Lockstep lanes hit the same group, so their line-sharing
+/// accesses merge here — this *is* the hardware coalescer.
+#[derive(Debug, Default)]
+struct SeqGroup {
+    /// Write extents, kept sorted by line index (matches the former
+    /// `BTreeMap` emission order bit for bit).
+    write_lines: Vec<WriteExtent>,
+    /// Distinct lines read at this program point.
+    read_lines: Vec<u64>,
+    sys_fence: bool,
+    dev_fence: bool,
+}
+
+impl SeqGroup {
+    fn clear(&mut self) {
+        self.write_lines.clear();
+        self.read_lines.clear();
+        self.sys_fence = false;
+        self.dev_fence = false;
+    }
+
+    fn record_write(&mut self, offset: u64, len: u64) {
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            let line = cur / GPU_LINE;
+            let ext_end = end.min((line + 1) * GPU_LINE);
+            match self.write_lines.binary_search_by_key(&line, |e| e.line) {
+                Ok(i) => {
+                    let e = &mut self.write_lines[i];
+                    e.start = e.start.min(cur);
+                    e.end = e.end.max(ext_end);
+                }
+                Err(i) => {
+                    self.write_lines.insert(
+                        i,
+                        WriteExtent {
+                            line,
+                            start: cur,
+                            end: ext_end,
+                        },
+                    );
+                }
+            }
+            cur = ext_end;
+        }
+    }
+
+    fn record_read(&mut self, offset: u64, len: u64) {
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            let line = cur / GPU_LINE;
+            if !self.read_lines.contains(&line) {
+                self.read_lines.push(line);
+            }
+            cur = (line + 1) * GPU_LINE;
+        }
+    }
+}
+
+/// Retained-group cap: a pathological warp (one thread issuing millions of
+/// ops) can grow the group table arbitrarily; anything beyond this is
+/// released at drain so the scratch footprint stays bounded.
+const MAX_RETAINED_GROUPS: usize = 1 << 14;
+
+/// Reusable per-warp coalescing state. Groups are dense in the operation
+/// sequence number, so lookup is an array index, and a drained group's
+/// buffers are kept (cleared) for the next warp — zero allocation per warp
+/// in steady state.
+#[derive(Debug, Default)]
+struct WarpScratch {
+    groups: Vec<SeqGroup>,
+    used: usize,
+}
+
+impl WarpScratch {
+    /// The group for operation sequence number `seq` (1-based: the first
+    /// `burn` of a thread yields seq 1).
+    fn group(&mut self, seq: u32) -> &mut SeqGroup {
+        let idx = (seq - 1) as usize;
+        if idx >= self.used {
+            if self.groups.len() <= idx {
+                self.groups.resize_with(idx + 1, SeqGroup::default);
+            }
+            self.used = idx + 1;
+        }
+        &mut self.groups[idx]
+    }
+
+    /// Emits the warp's coalesced transactions and fence events, then resets
+    /// for the next warp. Groups are visited in program order and lines in
+    /// ascending order, mirroring the former sorted-map drain exactly.
+    fn drain(&mut self, machine: &mut Machine, costs: &mut KernelCosts) {
+        for g in &mut self.groups[..self.used] {
+            for e in &g.write_lines {
+                costs.pcie_write_txns += 1;
+                machine.stats.pcie_write_txns += 1;
+                machine.gpu_pm_pattern.record(e.start, e.end - e.start);
+                machine.note_gpu_pm_txn(e.start, e.end - e.start);
+            }
+            costs.pcie_read_txns += g.read_lines.len() as u64;
+            if g.sys_fence {
+                costs.system_fence_events += 1;
+                machine.gpu_pm_pattern.barrier();
+            }
+            if g.dev_fence {
+                costs.device_fence_events += 1;
+            }
+            g.clear();
+        }
+        self.used = 0;
+        if self.groups.len() > MAX_RETAINED_GROUPS {
+            self.groups.truncate(MAX_RETAINED_GROUPS);
+            self.groups.shrink_to_fit();
+        }
+    }
 }
 
 /// Execution context handed to each thread, wrapping the machine with the
@@ -77,7 +205,7 @@ struct Event {
 pub struct ThreadCtx<'a> {
     machine: &'a mut Machine,
     costs: &'a mut KernelCosts,
-    events: &'a mut Vec<Event>,
+    scratch: &'a mut WarpScratch,
     fuel: &'a mut Option<u64>,
     launch: LaunchConfig,
     id: ThreadId,
@@ -159,10 +287,9 @@ impl ThreadCtx<'_> {
             MemSpace::Pm => {
                 self.machine.gpu_store_pm(self.writer, addr.offset, bytes)?;
                 self.costs.pm_write_bytes += bytes.len() as u64;
-                self.events.push(Event {
-                    seq: self.op_seq,
-                    kind: EventKind::PmWrite { offset: addr.offset, len: bytes.len() as u32 },
-                });
+                self.scratch
+                    .group(self.op_seq)
+                    .record_write(addr.offset, bytes.len() as u64);
             }
             MemSpace::Hbm => {
                 self.machine.host_write(addr, bytes)?;
@@ -187,10 +314,9 @@ impl ThreadCtx<'_> {
             MemSpace::Pm => {
                 self.machine.gpu_load_pm(addr.offset, buf)?;
                 self.costs.pm_read_bytes += buf.len() as u64;
-                self.events.push(Event {
-                    seq: self.op_seq,
-                    kind: EventKind::PmRead { offset: addr.offset, len: buf.len() as u32 },
-                });
+                self.scratch
+                    .group(self.op_seq)
+                    .record_read(addr.offset, buf.len() as u64);
             }
             MemSpace::Hbm => {
                 self.machine.read(addr, buf)?;
@@ -287,12 +413,35 @@ impl ThreadCtx<'_> {
     /// Atomic fetch-add on a `u32` (e.g. frontier queue tails). Returns the
     /// previous value.
     ///
+    /// The whole read-modify-write is one fused operation: one unit of crash
+    /// fuel, and — for PM-resident targets — one non-posted PCIe transaction,
+    /// not a separate load plus store that would double-count PCIe traffic
+    /// (the old value returns in the same completion the RMW request elicits).
+    ///
     /// # Errors
     ///
-    /// See [`ThreadCtx::ld_bytes`].
+    /// Out-of-bounds accesses and injected crashes surface as errors.
     pub fn atomic_add_u32(&mut self, addr: Addr, v: u32) -> SimResult<u32> {
-        let old = self.ld_u32(addr)?;
-        self.st_u32(addr, old.wrapping_add(v))?;
+        self.burn()?;
+        let mut b = [0u8; 4];
+        self.machine.read(addr, &mut b)?;
+        let old = u32::from_le_bytes(b);
+        let new = old.wrapping_add(v).to_le_bytes();
+        match addr.space {
+            MemSpace::Pm => {
+                self.machine.gpu_store_pm(self.writer, addr.offset, &new)?;
+                self.costs.pm_write_bytes += 4;
+                self.scratch.group(self.op_seq).record_write(addr.offset, 4);
+            }
+            MemSpace::Hbm => {
+                self.machine.host_write(addr, &new)?;
+                self.costs.hbm_bytes += 8;
+            }
+            MemSpace::Dram => {
+                self.machine.host_write(addr, &new)?;
+                self.costs.dram_bytes += 8;
+            }
+        }
         Ok(old)
     }
 
@@ -308,7 +457,7 @@ impl ThreadCtx<'_> {
     pub fn threadfence_system(&mut self) -> SimResult<()> {
         self.burn()?;
         self.machine.gpu_system_fence(self.writer);
-        self.events.push(Event { seq: self.op_seq, kind: EventKind::SysFence });
+        self.scratch.group(self.op_seq).sys_fence = true;
         Ok(())
     }
 
@@ -319,7 +468,7 @@ impl ThreadCtx<'_> {
     /// Injected crashes surface as [`SimError::Crashed`].
     pub fn threadfence(&mut self) -> SimResult<()> {
         self.burn()?;
-        self.events.push(Event { seq: self.op_seq, kind: EventKind::DevFence });
+        self.scratch.group(self.op_seq).dev_fence = true;
         Ok(())
     }
 
@@ -343,64 +492,6 @@ impl ThreadCtx<'_> {
     /// Read-only access to platform configuration.
     pub fn config(&self) -> &gpm_sim::MachineConfig {
         &self.machine.cfg
-    }
-}
-
-fn drain_warp_events(machine: &mut Machine, costs: &mut KernelCosts, events: &mut Vec<Event>) {
-    if events.is_empty() {
-        return;
-    }
-    let mut groups: BTreeMap<u32, Vec<Event>> = BTreeMap::new();
-    for e in events.drain(..) {
-        groups.entry(e.seq).or_default().push(e);
-    }
-    for (_, group) in groups {
-        // Coalesce writes within 128-byte GPU lines.
-        let mut write_lines: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
-        let mut read_lines: BTreeMap<u64, ()> = BTreeMap::new();
-        let mut sys_fence = false;
-        let mut dev_fence = false;
-        for e in &group {
-            match e.kind {
-                EventKind::PmWrite { offset, len } => {
-                    let mut cur = offset;
-                    let end = offset + len as u64;
-                    while cur < end {
-                        let line = cur / GPU_LINE;
-                        let line_end = (line + 1) * GPU_LINE;
-                        let ext_end = end.min(line_end);
-                        let entry = write_lines.entry(line).or_insert((cur, ext_end));
-                        entry.0 = entry.0.min(cur);
-                        entry.1 = entry.1.max(ext_end);
-                        cur = ext_end;
-                    }
-                }
-                EventKind::PmRead { offset, len } => {
-                    let mut cur = offset;
-                    let end = offset + len as u64;
-                    while cur < end {
-                        read_lines.insert(cur / GPU_LINE, ());
-                        cur = ((cur / GPU_LINE) + 1) * GPU_LINE;
-                    }
-                }
-                EventKind::SysFence => sys_fence = true,
-                EventKind::DevFence => dev_fence = true,
-            }
-        }
-        for (_, (start, end)) in write_lines {
-            costs.pcie_write_txns += 1;
-            machine.stats.pcie_write_txns += 1;
-            machine.gpu_pm_pattern.record(start, end - start);
-            machine.note_gpu_pm_txn(start, end - start);
-        }
-        costs.pcie_read_txns += read_lines.len() as u64;
-        if sys_fence {
-            costs.system_fence_events += 1;
-            machine.gpu_pm_pattern.barrier();
-        }
-        if dev_fence {
-            costs.device_fence_events += 1;
-        }
     }
 }
 
@@ -464,13 +555,14 @@ fn launch_inner<K: Kernel>(
     machine.stats.kernel_launches += 1;
     let pattern_before = machine.gpu_pm_pattern.clone();
     let mut costs = KernelCosts::default();
-    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = WarpScratch::default();
+    let mut states: Vec<K::State> = Vec::new();
     let phases = kernel.phases();
 
     for block in 0..cfg.grid {
         let mut shared = K::Shared::default();
-        let mut states: Vec<K::State> =
-            (0..cfg.block).map(|_| K::State::default()).collect();
+        states.clear();
+        states.resize_with(cfg.block as usize, K::State::default);
         for phase in 0..phases {
             for warp in 0..cfg.warps_per_block() {
                 for lane in 0..WARP_SIZE {
@@ -483,7 +575,7 @@ fn launch_inner<K: Kernel>(
                     let mut ctx = ThreadCtx {
                         machine,
                         costs: &mut costs,
-                        events: &mut events,
+                        scratch: &mut scratch,
                         fuel,
                         launch: cfg,
                         id,
@@ -499,7 +591,7 @@ fn launch_inner<K: Kernel>(
                         Err(e) => return Err(LaunchError::Sim(e)),
                     }
                 }
-                drain_warp_events(machine, &mut costs, &mut events);
+                scratch.drain(machine, &mut costs);
             }
         }
     }
@@ -525,7 +617,10 @@ mod tests {
             ctx.st_u32(Addr::pm(pm + i * 4), i as u32)
         });
         let r = launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
-        assert_eq!(r.costs.pcie_write_txns, 1, "hardware coalescing merged the warp's stores");
+        assert_eq!(
+            r.costs.pcie_write_txns, 1,
+            "hardware coalescing merged the warp's stores"
+        );
         assert_eq!(r.costs.pm_write_bytes, 128);
     }
 
@@ -587,7 +682,11 @@ mod tests {
             other => panic!("expected crash, got {other}"),
         }
         assert_eq!(m.stats.crashes, 1);
-        assert_eq!(m.read_u64(Addr::hbm(hbm)).unwrap(), 0, "volatile state wiped");
+        assert_eq!(
+            m.read_u64(Addr::hbm(hbm)).unwrap(),
+            0,
+            "volatile state wiped"
+        );
         // Threads that fenced before the crash have durable data.
         assert_eq!(m.read_u64(Addr::pm(pm)).unwrap(), 0); // thread 0 wrote value 0
         assert_eq!(m.read_u64(Addr::pm(pm + 8)).unwrap(), 1);
@@ -606,9 +705,7 @@ mod tests {
     #[test]
     fn out_of_bounds_is_reported() {
         let mut m = Machine::default();
-        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
-            ctx.st_u32(Addr::pm(m_capacity_plus()), 1)
-        });
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| ctx.st_u32(Addr::pm(m_capacity_plus()), 1));
         fn m_capacity_plus() -> u64 {
             u64::MAX - 16
         }
@@ -620,11 +717,43 @@ mod tests {
     fn atomic_add_accumulates_across_threads() {
         let mut m = Machine::default();
         let ctr = m.alloc_hbm(4).unwrap();
-        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
-            ctx.atomic_add_u32(Addr::hbm(ctr), 1).map(|_| ())
-        });
+        let k =
+            FnKernel(|ctx: &mut ThreadCtx<'_>| ctx.atomic_add_u32(Addr::hbm(ctr), 1).map(|_| ()));
         launch(&mut m, LaunchConfig::new(4, 64), &k).unwrap();
         assert_eq!(m.read_u32(Addr::hbm(ctr)).unwrap(), 256);
+    }
+
+    #[test]
+    fn pm_atomic_is_one_fused_transaction() {
+        let mut m = Machine::default();
+        let ctr = m.alloc_pm(4).unwrap();
+        let k =
+            FnKernel(|ctx: &mut ThreadCtx<'_>| ctx.atomic_add_u32(Addr::pm(ctr), 1).map(|_| ()));
+        let r = launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
+        assert_eq!(m.read_u32(Addr::pm(ctr)).unwrap(), 32);
+        // One warp, same program point, same line: one RMW transaction — and
+        // in particular no separate read transactions doubling the traffic.
+        assert_eq!(r.costs.pcie_write_txns, 1);
+        assert_eq!(r.costs.pcie_read_txns, 0);
+        assert_eq!(r.costs.pm_write_bytes, 32 * 4);
+        assert_eq!(r.costs.pm_read_bytes, 0);
+    }
+
+    #[test]
+    fn pm_atomic_consumes_one_fuel_unit() {
+        let mut m = Machine::default();
+        let ctr = m.alloc_pm(4).unwrap();
+        let k =
+            FnKernel(|ctx: &mut ThreadCtx<'_>| ctx.atomic_add_u32(Addr::pm(ctr), 1).map(|_| ()));
+        // 32 lanes, one fused op each: exactly 32 fuel completes the launch.
+        launch_with_fuel(&mut m, LaunchConfig::new(1, 32), &k, 32).unwrap();
+        let mut m2 = Machine::default();
+        let ctr2 = m2.alloc_pm(4).unwrap();
+        let k2 = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            ctx.atomic_add_u32(Addr::pm(ctr2), 1).map(|_| ())
+        });
+        let err = launch_with_fuel(&mut m2, LaunchConfig::new(1, 32), &k2, 31).unwrap_err();
+        assert!(matches!(err, LaunchError::Crashed(_)));
     }
 
     #[test]
@@ -664,5 +793,23 @@ mod tests {
         }
         assert!(times[0] > times[1] * 2.0, "{:?}", times);
         assert!(times[1] > times[2], "{:?}", times);
+    }
+
+    #[test]
+    fn interleaved_reads_and_writes_group_by_program_point() {
+        // Lanes read one line and write another at alternating program
+        // points; groups must keep reads and writes separate per seq.
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(1 << 16).unwrap();
+        m.host_write(Addr::pm(pm + 8192), &[3; 128]).unwrap();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            let v = ctx.ld_u32(Addr::pm(pm + 8192 + i * 4))?;
+            ctx.st_u32(Addr::pm(pm + i * 4), v + 1)
+        });
+        let r = launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
+        assert_eq!(r.costs.pcie_read_txns, 1, "one coalesced read line");
+        assert_eq!(r.costs.pcie_write_txns, 1, "one coalesced write line");
+        assert_eq!(m.read_u32(Addr::pm(pm)).unwrap(), 0x03030304);
     }
 }

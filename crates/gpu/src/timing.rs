@@ -62,7 +62,10 @@ impl KernelCosts {
         pattern: &PatternTracker,
     ) -> Ns {
         let cores = launch.total_threads().min(cfg.total_cuda_cores() as u64) as f64;
-        let warps_overlap = launch.total_warps().min(cfg.pcie_max_inflight as u64).max(1) as f64;
+        let warps_overlap = launch
+            .total_warps()
+            .min(cfg.pcie_max_inflight as u64)
+            .max(1) as f64;
 
         let compute_time = self.compute / cores.max(1.0);
         let hbm_time = Ns(self.hbm_bytes as f64 / cfg.hbm_bw);
@@ -75,22 +78,18 @@ impl KernelCosts {
             pm_write_bw = pm_write_bw.max(cfg.pm_bw_seq_unaligned).min(cfg.pcie_bw);
         }
         let pm_read_bw = cfg.pm_read_bw.min(cfg.pcie_bw);
-        let pcie_bytes_time = Ns(
-            self.pm_write_bytes as f64 / pm_write_bw
-                + self.pm_read_bytes as f64 / pm_read_bw
-                + self.dram_bytes as f64 / cfg.pcie_bw,
-        );
+        let pcie_bytes_time = Ns(self.pm_write_bytes as f64 / pm_write_bw
+            + self.pm_read_bytes as f64 / pm_read_bw
+            + self.dram_bytes as f64 / cfg.pcie_bw);
 
         let txn_cost = self.pcie_write_txns as f64 * cfg.pcie_txn_overhead.0
             + self.pcie_read_txns as f64 * (cfg.pcie_txn_overhead.0 + cfg.pm_read_latency.0);
         let txn_time = Ns(txn_cost / warps_overlap);
 
         let sys_lat = cfg.effective_system_fence_latency();
-        let fence_time = Ns(
-            self.system_fence_events as f64 * sys_lat.0 / warps_overlap
-                + self.device_fence_events as f64 * cfg.device_fence_latency.0
-                    / (launch.total_warps().max(1) as f64),
-        );
+        let fence_time = Ns(self.system_fence_events as f64 * sys_lat.0 / warps_overlap
+            + self.device_fence_events as f64 * cfg.device_fence_latency.0
+                / (launch.total_warps().max(1) as f64));
 
         let overlapped = compute_time
             .max(hbm_time)
@@ -106,7 +105,11 @@ mod tests {
     use super::*;
 
     fn base() -> (MachineConfig, LaunchConfig, PatternTracker) {
-        (MachineConfig::default(), LaunchConfig::new(64, 256), PatternTracker::new())
+        (
+            MachineConfig::default(),
+            LaunchConfig::new(64, 256),
+            PatternTracker::new(),
+        )
     }
 
     #[test]
@@ -119,7 +122,10 @@ mod tests {
     #[test]
     fn compute_scales_with_parallelism() {
         let (cfg, _, pat) = base();
-        let c = KernelCosts { compute: Ns::from_millis(1000.0), ..KernelCosts::default() };
+        let c = KernelCosts {
+            compute: Ns::from_millis(1000.0),
+            ..KernelCosts::default()
+        };
         let small = LaunchConfig::new(1, 32);
         let big = LaunchConfig::new(1024, 256);
         assert!(c.elapsed(&cfg, &small, &pat) > c.elapsed(&cfg, &big, &pat) * 100.0);
@@ -128,7 +134,10 @@ mod tests {
     #[test]
     fn fence_time_saturates_at_inflight_limit() {
         let (cfg, _, pat) = base();
-        let c = KernelCosts { system_fence_events: 100_000, ..KernelCosts::default() };
+        let c = KernelCosts {
+            system_fence_events: 100_000,
+            ..KernelCosts::default()
+        };
         let one_warp = LaunchConfig::new(1, 32);
         let sixteen = LaunchConfig::new(16, 32);
         let many = LaunchConfig::new(1024, 32);
@@ -137,14 +146,20 @@ mod tests {
         let tmany = c.elapsed(&cfg, &many, &pat);
         assert!(t1 > t16 * 10.0);
         let ratio = t16 / tmany;
-        assert!(ratio < 1.05, "beyond the in-flight limit, no further scaling: {ratio}");
+        assert!(
+            ratio < 1.05,
+            "beyond the in-flight limit, no further scaling: {ratio}"
+        );
     }
 
     #[test]
     fn eadr_shrinks_fence_time() {
         let (cfg, launch, pat) = base();
         let eadr = cfg.clone().with_eadr();
-        let c = KernelCosts { system_fence_events: 1_000_000, ..KernelCosts::default() };
+        let c = KernelCosts {
+            system_fence_events: 1_000_000,
+            ..KernelCosts::default()
+        };
         assert!(c.elapsed(&cfg, &launch, &pat) > c.elapsed(&eadr, &launch, &pat) * 5.0);
     }
 
@@ -158,7 +173,10 @@ mod tests {
             rnd.record((i * 7919 * 64) % (1 << 30), 8);
             rnd.barrier();
         }
-        let c = KernelCosts { pm_write_bytes: 1 << 26, ..KernelCosts::default() };
+        let c = KernelCosts {
+            pm_write_bytes: 1 << 26,
+            ..KernelCosts::default()
+        };
         let t_seq = c.elapsed(&cfg, &launch, &seq);
         let t_rnd = c.elapsed(&cfg, &launch, &rnd);
         assert!(t_rnd > t_seq * 10.0, "random pattern must throttle writes");
@@ -179,7 +197,10 @@ mod tests {
     #[test]
     fn overlapping_resources_take_max_not_sum() {
         let (cfg, launch, pat) = base();
-        let mut c = KernelCosts { hbm_bytes: 1 << 30, ..KernelCosts::default() };
+        let mut c = KernelCosts {
+            hbm_bytes: 1 << 30,
+            ..KernelCosts::default()
+        };
         let hbm_only = c.elapsed(&cfg, &launch, &pat);
         c.compute = Ns::from_micros(1.0); // negligible compute
         let both = c.elapsed(&cfg, &launch, &pat);

@@ -1,6 +1,12 @@
 //! Property-based tests of the execution engine's conservation laws:
 //! coalescing may merge accesses but never lose bytes, and the timing model
 //! is monotone in work.
+//!
+//! Compiled only with `--features slow-tests`, which requires the `proptest`
+//! dev-dependency (and therefore network access); the default build stays
+//! dependency-free.
+
+#![cfg(feature = "slow-tests")]
 
 use proptest::prelude::*;
 

@@ -78,7 +78,10 @@ pub fn run_set_batch<S: PmKv + ?Sized>(
     }
     let elapsed = serial / machine.cfg.cpu_persist_scaling(threads);
     machine.clock.advance(elapsed);
-    Ok(BatchReport { elapsed, ops: pairs.len() as u64 })
+    Ok(BatchReport {
+        elapsed,
+        ops: pairs.len() as u64,
+    })
 }
 
 /// Executes a YCSB-style mixed batch: `ops` entries of `(key, value,
@@ -107,7 +110,13 @@ pub fn run_mixed_batch<S: PmKv + ?Sized>(
     }
     let elapsed = serial / machine.cfg.cpu_persist_scaling(threads);
     machine.clock.advance(elapsed);
-    Ok((BatchReport { elapsed, ops: ops.len() as u64 }, hits))
+    Ok((
+        BatchReport {
+            elapsed,
+            ops: ops.len() as u64,
+        },
+        hits,
+    ))
 }
 
 /// 64-bit mix hash (SplitMix64 finalizer).
@@ -153,7 +162,10 @@ mod tests {
 
     #[test]
     fn batch_report_mops() {
-        let r = BatchReport { elapsed: Ns::from_millis(1.0), ops: 1000 };
+        let r = BatchReport {
+            elapsed: Ns::from_millis(1.0),
+            ops: 1000,
+        };
         assert!((r.mops() - 1.0).abs() < 1e-9);
     }
 }

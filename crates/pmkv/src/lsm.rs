@@ -139,7 +139,10 @@ impl LsmKv {
             buf.extend_from_slice(&v.to_le_bytes());
         }
         machine.cpu_store_pm_persisted(run_base, &buf)?;
-        self.runs.push(Run { offset: run_base, entries: entries.len() as u64 });
+        self.runs.push(Run {
+            offset: run_base,
+            entries: entries.len() as u64,
+        });
         let mut t = Ns(bytes as f64 / self.params.bulk_bw) * self.params.flush_stall;
         t += self.persist_manifest(machine)?;
         // Truncate the WAL: flushed entries are now in a run.
@@ -178,7 +181,10 @@ impl LsmKv {
             buf.extend_from_slice(&v.to_le_bytes());
         }
         machine.cpu_store_pm_persisted(out, &buf)?;
-        self.runs = vec![Run { offset: out, entries: merged.len() as u64 }];
+        self.runs = vec![Run {
+            offset: out,
+            entries: merged.len() as u64,
+        }];
         let mut t =
             Ns((io_bytes + bytes) as f64 / self.params.bulk_bw) * self.params.compaction_cost;
         t += self.persist_manifest(machine)?;
@@ -278,7 +284,10 @@ impl PmKv for LsmKv {
         let mut cpu = CpuCtx::new(machine, self.writer);
         cpu.compute(self.params.engine_overhead);
         cpu.nt_store(Addr::pm(rec_off), &rec)?;
-        cpu.store(Addr::pm(self.wal_base), &(self.wal_entries + 1).to_le_bytes())?;
+        cpu.store(
+            Addr::pm(self.wal_base),
+            &(self.wal_entries + 1).to_le_bytes(),
+        )?;
         cpu.clflush(self.wal_base, 8);
         cpu.sfence();
         let mut t = cpu.elapsed();
@@ -320,7 +329,10 @@ impl PmKv for LsmKv {
         for i in 0..n.min(MANIFEST_MAX_RUNS) {
             let off = machine.read_u64(Addr::pm(self.manifest_base + 8 + i * 16))?;
             let entries = machine.read_u64(Addr::pm(self.manifest_base + 16 + i * 16))?;
-            self.runs.push(Run { offset: off, entries });
+            self.runs.push(Run {
+                offset: off,
+                entries,
+            });
             cpu_time += machine.cfg.pm_read_latency * 2.0;
         }
         // Replay the WAL into the memtable.
@@ -461,7 +473,10 @@ mod tests {
         let pairs: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i, i)).collect();
         let r = run_set_batch(&mut kv, &mut m, &pairs, 64).unwrap();
         let mops = r.mops();
-        assert!((0.4..1.2).contains(&mops), "Figure 1a: ≈0.76 Mops/s, got {mops}");
+        assert!(
+            (0.4..1.2).contains(&mops),
+            "Figure 1a: ≈0.76 Mops/s, got {mops}"
+        );
     }
 
     #[test]

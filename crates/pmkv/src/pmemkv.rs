@@ -44,7 +44,11 @@ impl PmemKvCmap {
     pub fn create(machine: &mut Machine, capacity: u64) -> SimResult<PmemKvCmap> {
         let buckets = (capacity / SLOTS).next_power_of_two().max(16);
         let base = machine.alloc_pm(buckets * SLOTS * SLOT_BYTES)?;
-        Ok(PmemKvCmap { base, buckets, writer: 0xF000_0001 })
+        Ok(PmemKvCmap {
+            base,
+            buckets,
+            writer: 0xF000_0001,
+        })
     }
 
     fn slot_addr(&self, bucket: u64, slot: u64) -> Addr {
@@ -235,6 +239,9 @@ mod tests {
         let pairs: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i, i)).collect();
         let r = run_set_batch(&mut kv, &mut m, &pairs, 64).unwrap();
         let mops = r.mops();
-        assert!((0.2..0.8).contains(&mops), "Figure 1a: ≈0.4 Mops/s, got {mops}");
+        assert!(
+            (0.2..0.8).contains(&mops),
+            "Figure 1a: ≈0.4 Mops/s, got {mops}"
+        );
     }
 }

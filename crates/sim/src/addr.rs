@@ -61,17 +61,26 @@ pub struct Addr {
 impl Addr {
     /// An address in persistent memory.
     pub fn pm(offset: u64) -> Addr {
-        Addr { space: MemSpace::Pm, offset }
+        Addr {
+            space: MemSpace::Pm,
+            offset,
+        }
     }
 
     /// An address in host DRAM.
     pub fn dram(offset: u64) -> Addr {
-        Addr { space: MemSpace::Dram, offset }
+        Addr {
+            space: MemSpace::Dram,
+            offset,
+        }
     }
 
     /// An address in GPU device memory.
     pub fn hbm(offset: u64) -> Addr {
-        Addr { space: MemSpace::Hbm, offset }
+        Addr {
+            space: MemSpace::Hbm,
+            offset,
+        }
     }
 
     /// The address `bytes` past this one, in the same space (pointer-style
@@ -79,7 +88,10 @@ impl Addr {
     #[must_use]
     #[allow(clippy::should_implement_trait)]
     pub fn add(self, bytes: u64) -> Addr {
-        Addr { space: self.space, offset: self.offset + bytes }
+        Addr {
+            space: self.space,
+            offset: self.offset + bytes,
+        }
     }
 
     /// Whether this address points into persistent memory.

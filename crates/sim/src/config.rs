@@ -279,7 +279,10 @@ mod tests {
     fn default_is_adr() {
         let cfg = MachineConfig::default();
         assert_eq!(cfg.persist_mode, PersistMode::Adr);
-        assert_eq!(cfg.effective_system_fence_latency(), cfg.system_fence_latency);
+        assert_eq!(
+            cfg.effective_system_fence_latency(),
+            cfg.system_fence_latency
+        );
     }
 
     #[test]
@@ -294,10 +297,21 @@ mod tests {
         // Figure 3(a): 1.00, 1.20, 1.34, 1.42, 1.46, 1.47, 1.46 for
         // 1, 2, 4, 6, 16, 32, 64 threads.
         let cfg = MachineConfig::default();
-        let expect = [(1, 1.00), (2, 1.20), (4, 1.32), (6, 1.37), (16, 1.43), (32, 1.45), (64, 1.46)];
+        let expect = [
+            (1, 1.00),
+            (2, 1.20),
+            (4, 1.32),
+            (6, 1.37),
+            (16, 1.43),
+            (32, 1.45),
+            (64, 1.46),
+        ];
         for (n, e) in expect {
             let got = cfg.cpu_persist_scaling(n);
-            assert!((got - e).abs() < 0.08, "scaling({n}) = {got}, expected ≈ {e}");
+            assert!(
+                (got - e).abs() < 0.08,
+                "scaling({n}) = {got}, expected ≈ {e}"
+            );
         }
     }
 
@@ -344,7 +358,10 @@ mod tests {
         assert!(g2.pm_bw_random > base.pm_bw_random);
         assert!(g2.pm_bw_seq_aligned > base.pm_bw_seq_aligned);
         // Presets compose.
-        let all = MachineConfig::default().with_pcie4().with_gen2_optane().with_eadr();
+        let all = MachineConfig::default()
+            .with_pcie4()
+            .with_gen2_optane()
+            .with_eadr();
         assert_eq!(all.persist_mode, PersistMode::Eadr);
         assert!(all.pcie_bw > base.pcie_bw && all.pm_bw_random > base.pm_bw_random);
     }

@@ -40,7 +40,12 @@ pub struct CpuCtx<'m> {
 impl<'m> CpuCtx<'m> {
     /// Creates a context for one CPU thread identified by `writer`.
     pub fn new(machine: &'m mut Machine, writer: WriterId) -> CpuCtx<'m> {
-        CpuCtx { machine, writer, elapsed: Ns::ZERO, flush_queue: Vec::new() }
+        CpuCtx {
+            machine,
+            writer,
+            elapsed: Ns::ZERO,
+            flush_queue: Vec::new(),
+        }
     }
 
     fn cfg(&self) -> &MachineConfig {
@@ -217,7 +222,10 @@ mod tests {
         assert!(cpu.elapsed() > after_store);
         let mut b = [0u8; 8];
         cpu.load(Addr::pm(off), &mut b).unwrap();
-        assert!(cpu.elapsed().0 >= after_store.0 + 300.0, "PM load pays Optane latency");
+        assert!(
+            cpu.elapsed().0 >= after_store.0 + 300.0,
+            "PM load pays Optane latency"
+        );
     }
 
     #[test]
@@ -265,6 +273,9 @@ mod tests {
         assert_eq!(t1, single);
         assert!(t32 < t1);
         let speedup = t1 / t64;
-        assert!(speedup > 1.4 && speedup < 1.5, "Fig 3(a) plateau, got {speedup}");
+        assert!(
+            speedup > 1.4 && speedup < 1.5,
+            "Fig 3(a) plateau, got {speedup}"
+        );
     }
 }

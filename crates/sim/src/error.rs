@@ -52,18 +52,29 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfBounds { addr, len, capacity } => write!(
+            SimError::OutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "access of {len} bytes at {addr} is outside the space's {capacity}-byte capacity"
             ),
-            SimError::OutOfMemory { space, requested, available } => write!(
+            SimError::OutOfMemory {
+                space,
+                requested,
+                available,
+            } => write!(
                 f,
                 "allocation of {requested} bytes in {space} exceeds the {available} bytes available"
             ),
             SimError::FileNotFound(p) => write!(f, "no PM file named {p:?}"),
             SimError::FileExists(p) => write!(f, "PM file {p:?} already exists"),
             SimError::FileTooLarge { path, size, limit } => {
-                write!(f, "file {path:?} of {size} bytes exceeds the backend limit of {limit} bytes")
+                write!(
+                    f,
+                    "file {path:?} of {size} bytes exceeds the backend limit of {limit} bytes"
+                )
             }
             SimError::PersistenceUnavailable(why) => {
                 write!(f, "persistence cannot be guaranteed: {why}")
@@ -86,19 +97,33 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::OutOfBounds { addr: Addr::pm(10), len: 4, capacity: 8 };
+        let e = SimError::OutOfBounds {
+            addr: Addr::pm(10),
+            len: 4,
+            capacity: 8,
+        };
         let s = e.to_string();
         assert!(s.contains("4 bytes"));
         assert!(s.contains("8-byte"));
 
-        let e = SimError::OutOfMemory { space: MemSpace::Hbm, requested: 100, available: 10 };
+        let e = SimError::OutOfMemory {
+            space: MemSpace::Hbm,
+            requested: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("HBM"));
 
         assert!(SimError::FileNotFound("x".into()).to_string().contains("x"));
         assert!(SimError::FileExists("y".into()).to_string().contains("y"));
-        let e = SimError::FileTooLarge { path: "z".into(), size: 3, limit: 2 };
+        let e = SimError::FileTooLarge {
+            path: "z".into(),
+            size: 3,
+            limit: 2,
+        };
         assert!(e.to_string().contains("limit"));
-        assert!(SimError::PersistenceUnavailable("ddio").to_string().contains("ddio"));
+        assert!(SimError::PersistenceUnavailable("ddio")
+            .to_string()
+            .contains("ddio"));
         assert!(SimError::Crashed.to_string().contains("crash"));
     }
 

@@ -120,7 +120,10 @@ mod tests {
     fn duplicate_create_fails() {
         let mut fs = PmFs::new();
         fs.create("a", 0, 64).unwrap();
-        assert!(matches!(fs.create("a", 64, 64), Err(SimError::FileExists(_))));
+        assert!(matches!(
+            fs.create("a", 64, 64),
+            Err(SimError::FileExists(_))
+        ));
     }
 
     #[test]

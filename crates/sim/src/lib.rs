@@ -47,8 +47,10 @@ pub mod cpu;
 pub mod error;
 pub mod fs;
 pub mod machine;
+pub mod paged;
 pub mod pattern;
 pub mod pm;
+pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod volatile;
@@ -58,5 +60,6 @@ pub use config::{MachineConfig, PersistMode};
 pub use error::{SimError, SimResult};
 pub use machine::Machine;
 pub use pm::{CrashReport, WriterId, HOST_WRITER};
+pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::Stats;
 pub use time::{Ns, SimClock};

@@ -5,15 +5,13 @@
 //! execution engines (`gpm-gpu` kernels, [`crate::cpu`] contexts, the CAP
 //! baselines) using the constants in [`MachineConfig`].
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use crate::addr::{align_up, Addr, MemSpace, OPTANE_BLOCK};
 use crate::config::{MachineConfig, PersistMode};
 use crate::error::{SimError, SimResult};
 use crate::fs::{extent_size, PmFile, PmFs};
 use crate::pattern::PatternTracker;
 use crate::pm::{CrashReport, PmDevice, WriterId, HOST_WRITER};
+use crate::rng::Xoshiro256StarStar;
 use crate::stats::Stats;
 use crate::time::SimClock;
 use crate::volatile::VolatileMem;
@@ -53,7 +51,7 @@ pub struct Machine {
     dram: VolatileMem,
     hbm: VolatileMem,
     fs: PmFs,
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
     ddio_enabled: bool,
     pm_cursor: u64,
     dram_cursor: u64,
@@ -69,7 +67,7 @@ impl Default for Machine {
 impl Machine {
     /// Builds a machine from a configuration.
     pub fn new(cfg: MachineConfig) -> Machine {
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
         Machine {
             pm: PmDevice::new(cfg.pm_capacity),
             dram: VolatileMem::new(MemSpace::Dram, cfg.dram_capacity),
@@ -109,7 +107,12 @@ impl Machine {
     ///
     /// Returns [`SimError::OutOfMemory`] when the space is exhausted.
     pub fn alloc_pm(&mut self, size: u64) -> SimResult<u64> {
-        Self::bump(&mut self.pm_cursor, self.cfg.pm_capacity, size, MemSpace::Pm)
+        Self::bump(
+            &mut self.pm_cursor,
+            self.cfg.pm_capacity,
+            size,
+            MemSpace::Pm,
+        )
     }
 
     /// Allocates `size` bytes of DRAM. Returns the offset.
@@ -118,7 +121,12 @@ impl Machine {
     ///
     /// Returns [`SimError::OutOfMemory`] when the space is exhausted.
     pub fn alloc_dram(&mut self, size: u64) -> SimResult<u64> {
-        Self::bump(&mut self.dram_cursor, self.cfg.dram_capacity, size, MemSpace::Dram)
+        Self::bump(
+            &mut self.dram_cursor,
+            self.cfg.dram_capacity,
+            size,
+            MemSpace::Dram,
+        )
     }
 
     /// Allocates `size` bytes of GPU device memory. Returns the offset.
@@ -127,7 +135,12 @@ impl Machine {
     ///
     /// Returns [`SimError::OutOfMemory`] when the space is exhausted.
     pub fn alloc_hbm(&mut self, size: u64) -> SimResult<u64> {
-        Self::bump(&mut self.hbm_cursor, self.cfg.hbm_capacity, size, MemSpace::Hbm)
+        Self::bump(
+            &mut self.hbm_cursor,
+            self.cfg.hbm_capacity,
+            size,
+            MemSpace::Hbm,
+        )
     }
 
     // ---- PM files ----------------------------------------------------------
@@ -430,9 +443,15 @@ mod tests {
         assert_eq!(b % OPTANE_BLOCK, 0);
         assert!(b >= a + 100);
 
-        let mut small = Machine::new(MachineConfig { pm_capacity: 512, ..MachineConfig::default() });
+        let mut small = Machine::new(MachineConfig {
+            pm_capacity: 512,
+            ..MachineConfig::default()
+        });
         small.alloc_pm(512).unwrap();
-        assert!(matches!(small.alloc_pm(1), Err(SimError::OutOfMemory { .. })));
+        assert!(matches!(
+            small.alloc_pm(1),
+            Err(SimError::OutOfMemory { .. })
+        ));
     }
 
     #[test]
@@ -455,7 +474,10 @@ mod tests {
         assert!(!m.gpu_persist_guaranteed());
         m.gpu_store_pm(1, off, &[5; 8]).unwrap();
         assert_eq!(m.gpu_system_fence(1), 0);
-        assert!(m.pm().is_pending(off, 8), "DDIO caches the write in the LLC");
+        assert!(
+            m.pm().is_pending(off, 8),
+            "DDIO caches the write in the LLC"
+        );
     }
 
     #[test]
@@ -526,7 +548,10 @@ mod tests {
         assert!(m.fs_exists("/pm/x"));
         m.fs_remove("/pm/x").unwrap();
         assert!(!m.fs_exists("/pm/x"));
-        assert!(m.fs_create("/pm/x", 10).is_ok(), "name reusable after removal");
+        assert!(
+            m.fs_create("/pm/x", 10).is_ok(),
+            "name reusable after removal"
+        );
     }
 
     #[test]
@@ -534,7 +559,8 @@ mod tests {
         let mut m = Machine::default();
         let p = m.alloc_pm(64).unwrap();
         m.host_write(Addr::pm(p), &123u32.to_le_bytes()).unwrap();
-        m.host_write(Addr::pm(p + 8), &9.5f32.to_le_bytes()).unwrap();
+        m.host_write(Addr::pm(p + 8), &9.5f32.to_le_bytes())
+            .unwrap();
         assert_eq!(m.read_u32(Addr::pm(p)).unwrap(), 123);
         assert_eq!(m.read_f32(Addr::pm(p + 8)).unwrap(), 9.5);
     }

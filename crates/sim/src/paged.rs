@@ -1,0 +1,170 @@
+//! A paged sparse byte store.
+//!
+//! The simulated memories (PM media, DRAM, HBM) used to back their contents
+//! with one flat `Vec<u8>` grown by `resize`. That design puts a full-vector
+//! reallocate-and-rezero on the write path every time a workload touches a
+//! new high-water mark — a dominant cost for multi-megabyte kernels — and a
+//! bounds check inside every copy. [`PagedBytes`] replaces it with fixed-size
+//! 64 KiB pages behind a page directory: a write allocates (and zeroes) at
+//! most the pages it touches, established pages are never moved or re-zeroed,
+//! and the per-access bounds question reduces to one directory lookup.
+//!
+//! Absent pages read as zero, preserving the lazily-allocated semantics of
+//! the flat vector.
+
+use std::fmt;
+
+/// Log2 of the page size.
+pub const PAGE_SHIFT: u32 = 16;
+
+/// Bytes per page (64 KiB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// A sparse byte array backed by lazily-allocated fixed-size pages.
+///
+/// Bounds are the caller's concern: the device wrappers validate offsets
+/// against their configured capacity once, then index pages unchecked.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::paged::PagedBytes;
+/// let mut m = PagedBytes::new();
+/// m.write(1 << 20, &[1, 2, 3]);
+/// let mut buf = [0u8; 4];
+/// m.read((1 << 20) - 1, &mut buf);
+/// assert_eq!(buf, [0, 1, 2, 3]);
+/// ```
+#[derive(Clone, Default)]
+pub struct PagedBytes {
+    pages: Vec<Option<Box<[u8]>>>,
+}
+
+impl fmt::Debug for PagedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PagedBytes")
+            .field("directory_len", &self.pages.len())
+            .field("resident_pages", &self.resident_pages())
+            .finish()
+    }
+}
+
+impl PagedBytes {
+    /// Creates an empty store (no pages resident).
+    pub fn new() -> PagedBytes {
+        PagedBytes::default()
+    }
+
+    /// Number of pages currently allocated.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    fn page_mut(&mut self, page: usize) -> &mut [u8] {
+        if page >= self.pages.len() {
+            self.pages.resize_with(page + 1, || None);
+        }
+        self.pages[page].get_or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Writes `bytes` at `offset`, allocating pages as needed.
+    pub fn write(&mut self, offset: u64, bytes: &[u8]) {
+        let mut src = bytes;
+        let mut off = offset;
+        while !src.is_empty() {
+            let page = (off >> PAGE_SHIFT) as usize;
+            let in_page = (off & (PAGE_SIZE - 1)) as usize;
+            let n = src.len().min(PAGE_SIZE as usize - in_page);
+            self.page_mut(page)[in_page..in_page + n].copy_from_slice(&src[..n]);
+            src = &src[n..];
+            off += n as u64;
+        }
+    }
+
+    /// Reads into `buf` from `offset`; bytes in absent pages read as zero.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        let mut dst = &mut buf[..];
+        let mut off = offset;
+        while !dst.is_empty() {
+            let page = (off >> PAGE_SHIFT) as usize;
+            let in_page = (off & (PAGE_SIZE - 1)) as usize;
+            let n = dst.len().min(PAGE_SIZE as usize - in_page);
+            match self.pages.get(page).and_then(|p| p.as_deref()) {
+                Some(data) => dst[..n].copy_from_slice(&data[in_page..in_page + n]),
+                None => dst[..n].fill(0),
+            }
+            dst = &mut dst[n..];
+            off += n as u64;
+        }
+    }
+
+    /// Drops every page (all bytes read as zero again).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_within_one_page() {
+        let mut m = PagedBytes::new();
+        m.write(100, &[5; 10]);
+        let mut buf = [0u8; 10];
+        m.read(100, &mut buf);
+        assert_eq!(buf, [5; 10]);
+    }
+
+    #[test]
+    fn write_spanning_pages() {
+        let mut m = PagedBytes::new();
+        let data: Vec<u8> = (0..300u32).map(|x| x as u8).collect();
+        let start = PAGE_SIZE - 100;
+        m.write(start, &data);
+        let mut buf = vec![0u8; 300];
+        m.read(start, &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn absent_pages_read_zero() {
+        let m = PagedBytes::new();
+        let mut buf = [7u8; 32];
+        m.read(10 * PAGE_SIZE, &mut buf);
+        assert_eq!(buf, [0; 32]);
+    }
+
+    #[test]
+    fn sparse_writes_allocate_only_touched_pages() {
+        let mut m = PagedBytes::new();
+        m.write(0, &[1]);
+        m.write(100 * PAGE_SIZE, &[2]);
+        assert_eq!(m.resident_pages(), 2);
+        let mut b = [0u8];
+        m.read(50 * PAGE_SIZE, &mut b);
+        assert_eq!(b, [0]);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut m = PagedBytes::new();
+        m.write(123, &[9; 8]);
+        m.clear();
+        let mut buf = [1u8; 8];
+        m.read(123, &mut buf);
+        assert_eq!(buf, [0; 8]);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn empty_ops_are_noops() {
+        let mut m = PagedBytes::new();
+        m.write(5, &[]);
+        let mut empty: [u8; 0] = [];
+        m.read(5, &mut empty);
+        assert_eq!(m.resident_pages(), 0);
+    }
+}

@@ -101,7 +101,11 @@ impl PatternTracker {
         if self.streams.len() == STREAM_WINDOW {
             self.streams.remove(0);
         }
-        self.streams.push(Stream { end: offset + len, run_start: offset, run_len: len });
+        self.streams.push(Stream {
+            end: offset + len,
+            run_start: offset,
+            run_len: len,
+        });
         if offset.is_multiple_of(OPTANE_BLOCK) && len >= OPTANE_BLOCK {
             AccessPattern::SeqAligned
         } else {
@@ -148,8 +152,17 @@ impl PatternTracker {
         if total == 0 {
             return cfg.pm_bw_seq_aligned;
         }
-        let bws = [cfg.pm_bw_seq_aligned, cfg.pm_bw_seq_unaligned, cfg.pm_bw_random];
-        let time: f64 = self.bytes.iter().zip(bws).map(|(&b, bw)| b as f64 / bw).sum();
+        let bws = [
+            cfg.pm_bw_seq_aligned,
+            cfg.pm_bw_seq_unaligned,
+            cfg.pm_bw_random,
+        ];
+        let time: f64 = self
+            .bytes
+            .iter()
+            .zip(bws)
+            .map(|(&b, bw)| b as f64 / bw)
+            .sum();
         total as f64 / time
     }
 
@@ -253,7 +266,10 @@ mod tests {
         let total = t.total_bytes();
         assert!(t.bytes_in(AccessPattern::Random) as f64 > 0.9 * total as f64);
         let bw = t.effective_bandwidth(&cfg());
-        assert!(bw < 1.0, "random-dominated mix should be near 0.72 GB/s, got {bw}");
+        assert!(
+            bw < 1.0,
+            "random-dominated mix should be near 0.72 GB/s, got {bw}"
+        );
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! In-tree deterministic pseudo-random number generation.
+//!
+//! The simulator needs randomness in exactly one place — selecting the
+//! arbitrary subset of pending cache lines a power failure applies
+//! ([`crate::pm::PmDevice::crash`]) — and that randomness must be seeded,
+//! reproducible, and available in a sandbox with no network access. Rather
+//! than depend on the external `rand` crate, the platform ships the two
+//! classic generators it would have used anyway:
+//!
+//! * [`SplitMix64`]: a one-cell mixer, used to expand a 64-bit seed into a
+//!   full generator state (the standard xoshiro seeding procedure).
+//! * [`Xoshiro256StarStar`]: Blackman & Vigna's xoshiro256**, a fast,
+//!   high-quality general-purpose generator.
+//!
+//! Both are tiny, allocation-free, and bit-for-bit reproducible across
+//! platforms, which is what the golden-counter determinism tests rely on.
+
+/// SplitMix64: Steele, Lea & Flood's 64-bit mixer. Primarily a seed
+/// expander, but a perfectly serviceable generator in its own right.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::rng::SplitMix64;
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the simulator's general-purpose seeded generator.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::rng::Xoshiro256StarStar;
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+/// let x = rng.next_u64();
+/// let mut again = Xoshiro256StarStar::seed_from_u64(42);
+/// assert_eq!(again.next_u64(), x);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator whose state is expanded from `seed` with
+    /// [`SplitMix64`], as the xoshiro authors recommend.
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256StarStar {
+        let mut mix = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+            ],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 random bits (upper half of [`Self::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform integer in `[0, n)` via Lemire's multiply-shift reduction
+    /// (deterministic, unbiased for the `n` sizes the simulator uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn gen_range_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n || n.is_power_of_two() {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn gen_range_usize(&mut self, n: usize) -> usize {
+        self.gen_range_u64(n as u64) as usize
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference output for seed 0 (Vigna's splitmix64.c).
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(g.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(g.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_is_reproducible_and_varies() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(123);
+        let mut b = Xoshiro256StarStar::seed_from_u64(123);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        let mut c = Xoshiro256StarStar::seed_from_u64(124);
+        assert_ne!(c.next_u64(), xs[0]);
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "{heads}");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_range_u64(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

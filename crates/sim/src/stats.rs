@@ -75,7 +75,11 @@ mod tests {
 
     #[test]
     fn delta_subtracts_fieldwise() {
-        let a = Stats { pm_write_bytes_gpu: 10, system_fences: 3, ..Stats::default() };
+        let a = Stats {
+            pm_write_bytes_gpu: 10,
+            system_fences: 3,
+            ..Stats::default()
+        };
         let mut b = a;
         b.pm_write_bytes_gpu = 25;
         b.system_fences = 7;
@@ -89,7 +93,11 @@ mod tests {
 
     #[test]
     fn totals() {
-        let s = Stats { pm_write_bytes_gpu: 3, pm_write_bytes_cpu: 4, ..Stats::default() };
+        let s = Stats {
+            pm_write_bytes_gpu: 3,
+            pm_write_bytes_cpu: 4,
+            ..Stats::default()
+        };
         assert_eq!(s.pm_write_bytes_total(), 7);
     }
 }

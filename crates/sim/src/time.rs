@@ -168,7 +168,10 @@ impl SimClock {
     ///
     /// Panics if `dt` is negative (time never flows backwards).
     pub fn advance(&mut self, dt: Ns) {
-        assert!(dt.0 >= 0.0, "cannot advance the clock by a negative duration");
+        assert!(
+            dt.0 >= 0.0,
+            "cannot advance the clock by a negative duration"
+        );
         self.now += dt;
     }
 }

@@ -1,11 +1,14 @@
 //! Volatile memories: host DRAM and GPU device memory (HBM/GDDR).
 //!
-//! Contents are lost wholesale on a crash.
+//! Contents are lost wholesale on a crash. Backing storage is paged
+//! ([`crate::paged::PagedBytes`]), so growth allocates only the touched
+//! 64 KiB pages and never re-zeroes established data.
 
 use crate::addr::{Addr, MemSpace};
 use crate::error::{SimError, SimResult};
+use crate::paged::PagedBytes;
 
-/// A flat, lazily-allocated volatile memory.
+/// A paged, lazily-allocated volatile memory.
 ///
 /// # Examples
 ///
@@ -25,14 +28,18 @@ use crate::error::{SimError, SimResult};
 #[derive(Debug)]
 pub struct VolatileMem {
     space: MemSpace,
-    data: Vec<u8>,
+    data: PagedBytes,
     capacity: u64,
 }
 
 impl VolatileMem {
     /// Creates a memory of the given capacity (allocated lazily).
     pub fn new(space: MemSpace, capacity: u64) -> VolatileMem {
-        VolatileMem { space, data: Vec::new(), capacity }
+        VolatileMem {
+            space,
+            data: PagedBytes::new(),
+            capacity,
+        }
     }
 
     /// Capacity in bytes.
@@ -46,9 +53,15 @@ impl VolatileMem {
     }
 
     fn check(&self, offset: u64, len: u64) -> SimResult<()> {
-        if offset.checked_add(len).is_none_or(|end| end > self.capacity) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.capacity)
+        {
             return Err(SimError::OutOfBounds {
-                addr: Addr { space: self.space, offset },
+                addr: Addr {
+                    space: self.space,
+                    offset,
+                },
                 len,
                 capacity: self.capacity,
             });
@@ -63,11 +76,7 @@ impl VolatileMem {
     /// Returns [`SimError::OutOfBounds`] if the range exceeds capacity.
     pub fn write(&mut self, offset: u64, bytes: &[u8]) -> SimResult<()> {
         self.check(offset, bytes.len() as u64)?;
-        let end = offset as usize + bytes.len();
-        if self.data.len() < end {
-            self.data.resize(end, 0);
-        }
-        self.data[offset as usize..end].copy_from_slice(bytes);
+        self.data.write(offset, bytes);
         Ok(())
     }
 
@@ -78,12 +87,7 @@ impl VolatileMem {
     /// Returns [`SimError::OutOfBounds`] if the range exceeds capacity.
     pub fn read(&self, offset: u64, buf: &mut [u8]) -> SimResult<()> {
         self.check(offset, buf.len() as u64)?;
-        let have = (self.data.len() as u64).saturating_sub(offset).min(buf.len() as u64);
-        if have > 0 {
-            buf[..have as usize]
-                .copy_from_slice(&self.data[offset as usize..(offset + have) as usize]);
-        }
-        buf[have as usize..].fill(0);
+        self.data.read(offset, buf);
         Ok(())
     }
 

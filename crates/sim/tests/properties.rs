@@ -1,4 +1,10 @@
 //! Property-based tests of the platform model's core invariants.
+//!
+//! Compiled only with `--features slow-tests`, which requires the `proptest`
+//! dev-dependency (and therefore network access); the default build stays
+//! dependency-free.
+
+#![cfg(feature = "slow-tests")]
 
 use proptest::prelude::*;
 

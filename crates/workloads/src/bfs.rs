@@ -38,14 +38,23 @@ pub struct BfsParams {
 
 impl Default for BfsParams {
     fn default() -> BfsParams {
-        BfsParams { width: 384, height: 384, source: 0, cap_threads: 32 }
+        BfsParams {
+            width: 384,
+            height: 384,
+            source: 0,
+            cap_threads: 32,
+        }
     }
 }
 
 impl BfsParams {
     /// Small configuration for unit tests.
     pub fn quick() -> BfsParams {
-        BfsParams { width: 32, height: 32, ..BfsParams::default() }
+        BfsParams {
+            width: 32,
+            height: 32,
+            ..BfsParams::default()
+        }
     }
 
     fn nodes(&self) -> u64 {
@@ -132,9 +141,9 @@ impl BfsWorkload {
         machine.read(Addr::pm(pm_graph), &mut buf)?;
         machine.host_write(Addr::hbm(row_ptr), &buf[..(n as usize + 1) * 4])?;
         machine.host_write(Addr::hbm(cols), &buf[(n as usize + 1) * 4..])?;
-        machine
-            .clock
-            .advance(Ns(graph_bytes as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)));
+        machine.clock.advance(Ns(
+            graph_bytes as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)
+        ));
 
         let hbm_cost = machine.alloc_hbm(n * 4)?;
         let queue_a = machine.alloc_hbm(n * 4)?;
@@ -186,7 +195,8 @@ impl BfsWorkload {
         to_pm: bool,
         persist: bool,
     ) -> impl gpm_gpu::Kernel<State = (), Shared = ()> {
-        let (row_ptr, cols, hbm_cost, next_count) = (st.row_ptr, st.cols, st.hbm_cost, st.next_count);
+        let (row_ptr, cols, hbm_cost, next_count) =
+            (st.row_ptr, st.cols, st.hbm_cost, st.next_count);
         let (pm_cost, visit_seq) = (st.pm_cost, st.visit_seq);
         FnKernel(move |ctx: &mut ThreadCtx<'_>| {
             let t = ctx.global_id();
@@ -218,7 +228,13 @@ impl BfsWorkload {
         })
     }
 
-    fn persist_meta(&self, machine: &mut Machine, st: &BfsState, level: u32, seq: u32) -> SimResult<()> {
+    fn persist_meta(
+        &self,
+        machine: &mut Machine,
+        st: &BfsState,
+        level: u32,
+        seq: u32,
+    ) -> SimResult<()> {
         let mut cpu = CpuCtx::new(machine, HOST_WRITER);
         let mut b = [0u8; 8];
         b[0..4].copy_from_slice(&level.to_le_bytes());
@@ -276,7 +292,9 @@ impl BfsWorkload {
                     let flavor = if mode == Mode::CapFs {
                         CapFlavor::Fs
                     } else {
-                        CapFlavor::Mm { threads: p.cap_threads }
+                        CapFlavor::Mm {
+                            threads: p.cap_threads,
+                        }
                     };
                     // The cost array (and queue) must round-trip through the
                     // CPU every iteration (§6.1: BFS's 85× CAP overhead).
@@ -374,10 +392,11 @@ impl BfsWorkload {
         let st = self.setup(machine, mode)?;
         let mut metrics = metered(machine, |m| {
             self.start(m, &st, mode)?;
-            self.traverse(m, &st, mode, 0, 1, 0, &mut None).map_err(|e| match e {
-                LaunchError::Sim(e) => e,
-                LaunchError::Crashed(_) => SimError::Crashed,
-            })?;
+            self.traverse(m, &st, mode, 0, 1, 0, &mut None)
+                .map_err(|e| match e {
+                    LaunchError::Sim(e) => e,
+                    LaunchError::Crashed(_) => SimError::Crashed,
+                })?;
             Ok::<bool, SimError>(true)
         })?;
         metrics.verified = self.verify(machine, &st, mode)?;
@@ -400,7 +419,10 @@ impl BfsWorkload {
             cost[self.params.source as usize] = 0;
             {
                 let mut cpu = CpuCtx::new(m, HOST_WRITER);
-                cpu.store(Addr::pm(st.pm_cost + self.params.source * 4), &0u32.to_le_bytes())?;
+                cpu.store(
+                    Addr::pm(st.pm_cost + self.params.source * 4),
+                    &0u32.to_le_bytes(),
+                )?;
                 cpu.persist(st.pm_cost + self.params.source * 4, 4);
                 serial += cpu.elapsed();
             }
@@ -469,19 +491,22 @@ impl BfsWorkload {
         let n = self.params.nodes();
         let mut graph = vec![0u8; st.graph_bytes as usize];
         machine.read(Addr::pm(st.pm_graph), &mut graph)?;
-        machine.host_write(Addr::hbm(st.row_ptr), &graph[..(st.n_rows as usize + 1) * 4])?;
+        machine.host_write(
+            Addr::hbm(st.row_ptr),
+            &graph[..(st.n_rows as usize + 1) * 4],
+        )?;
         machine.host_write(Addr::hbm(st.cols), &graph[(st.n_rows as usize + 1) * 4..])?;
         machine.clock.advance(Ns(
-            st.graph_bytes as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw),
+            st.graph_bytes as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)
         ));
         let level = machine.read_u32(Addr::pm(st.level_meta))?;
         let seq_len = machine.read_u32(Addr::pm(st.level_meta + 4))? as u64;
         // Rebuild the HBM cost mirror from the persisted costs (bulk read).
         let mut cost_img = vec![0u8; (n * 4) as usize];
         machine.read(Addr::pm(st.pm_cost), &mut cost_img)?;
-        machine
-            .clock
-            .advance(Ns((n * 4) as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)));
+        machine.clock.advance(Ns(
+            (n * 4) as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)
+        ));
         // Roll back partially-persisted discoveries of the in-flight level:
         // any cost greater than the last *committed* level belongs to an
         // uncommitted kernel and must be re-discovered, or its subtree would
@@ -506,7 +531,11 @@ impl BfsWorkload {
         // partially-persisted sequence tail.)
         let mut frontier = Vec::new();
         for i in 0..n {
-            let c = u32::from_le_bytes(cost_img[(i * 4) as usize..(i * 4 + 4) as usize].try_into().unwrap());
+            let c = u32::from_le_bytes(
+                cost_img[(i * 4) as usize..(i * 4 + 4) as usize]
+                    .try_into()
+                    .unwrap(),
+            );
             if c == level {
                 frontier.push(i as u32);
             }
@@ -517,15 +546,28 @@ impl BfsWorkload {
         }
         machine.host_write(Addr::hbm(st.queue_a), &q)?;
         #[cfg(feature = "bfs-debug")]
-        eprintln!("resume: level={} frontier={} seq_len={}", level, frontier.len(), seq_len);
+        eprintln!(
+            "resume: level={} frontier={} seq_len={}",
+            level,
+            frontier.len(),
+            seq_len
+        );
         let resume_setup = machine.clock.now() - t0;
 
         let mut metrics = metered(machine, |m| {
-            self.traverse(m, &st, Mode::Gpm, level, frontier.len() as u64, seq_len, &mut None)
-                .map_err(|e| match e {
-                    LaunchError::Sim(e) => e,
-                    LaunchError::Crashed(_) => SimError::Crashed,
-                })?;
+            self.traverse(
+                m,
+                &st,
+                Mode::Gpm,
+                level,
+                frontier.len() as u64,
+                seq_len,
+                &mut None,
+            )
+            .map_err(|e| match e {
+                LaunchError::Sim(e) => e,
+                LaunchError::Crashed(_) => SimError::Crashed,
+            })?;
             Ok::<bool, SimError>(true)
         })?;
         metrics.recovery = Some(resume_setup);
@@ -558,7 +600,12 @@ mod tests {
         let c = quick().run(&mut m2, Mode::CapFs).unwrap();
         assert!(c.verified);
         // Per-iteration DMA + CPU persist of the whole cost array dominates.
-        assert!(c.elapsed / g.elapsed > 3.0, "gpm={} capfs={}", g.elapsed, c.elapsed);
+        assert!(
+            c.elapsed / g.elapsed > 3.0,
+            "gpm={} capfs={}",
+            g.elapsed,
+            c.elapsed
+        );
     }
 
     #[test]
@@ -566,7 +613,11 @@ mod tests {
         // At tiny grids kernel-launch overhead dominates GPM (few hundred
         // tiny frontiers), so use a mid-size graph for a robust comparison
         // (Figure 1b runs the full size).
-        let params = BfsParams { width: 192, height: 192, ..BfsParams::default() };
+        let params = BfsParams {
+            width: 192,
+            height: 192,
+            ..BfsParams::default()
+        };
         let w = BfsWorkload::new(params);
         let mut m1 = Machine::default();
         let g = w.run(&mut m1, Mode::Gpm).unwrap();

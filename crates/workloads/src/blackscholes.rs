@@ -26,14 +26,23 @@ pub struct BlkParams {
 
 impl Default for BlkParams {
     fn default() -> BlkParams {
-        BlkParams { options: 1 << 17, iterations: 4, checkpoint_every: 1, rate: 0.02 }
+        BlkParams {
+            options: 1 << 17,
+            iterations: 4,
+            checkpoint_every: 1,
+            rate: 0.02,
+        }
     }
 }
 
 impl BlkParams {
     /// Small configuration for unit tests.
     pub fn quick() -> BlkParams {
-        BlkParams { options: 1 << 11, iterations: 2, ..BlkParams::default() }
+        BlkParams {
+            options: 1 << 11,
+            iterations: 2,
+            ..BlkParams::default()
+        }
     }
 }
 

@@ -25,14 +25,22 @@ pub struct CfdParams {
 
 impl Default for CfdParams {
     fn default() -> CfdParams {
-        CfdParams { cells: 1 << 18, iterations: 8, checkpoint_every: 2 }
+        CfdParams {
+            cells: 1 << 18,
+            iterations: 8,
+            checkpoint_every: 2,
+        }
     }
 }
 
 impl CfdParams {
     /// Small configuration for unit tests.
     pub fn quick() -> CfdParams {
-        CfdParams { cells: 1 << 12, iterations: 4, checkpoint_every: 2 }
+        CfdParams {
+            cells: 1 << 12,
+            iterations: 4,
+            checkpoint_every: 2,
+        }
     }
 }
 

@@ -149,7 +149,13 @@ impl DbWorkload {
         let cfg = self.update_launch_cfg();
         let row_log_size = cfg.total_threads() * (ROW_BYTES + 16);
         let row_log = match p.conventional_log_partitions {
-            None => gpmlog_create_hcl(machine, "/pm/gpdb/row_log", row_log_size, cfg.grid, cfg.block),
+            None => gpmlog_create_hcl(
+                machine,
+                "/pm/gpdb/row_log",
+                row_log_size,
+                cfg.grid,
+                cfg.block,
+            ),
             Some(parts) => {
                 gpm_core::gpmlog_create_conv(machine, "/pm/gpdb/row_log", row_log_size * 2, parts)
             }
@@ -301,21 +307,27 @@ impl DbWorkload {
                             self.persist_count(machine, st, count)?;
                         }
                         Mode::CapFs | Mode::CapMm => {
-                            launch(machine, cfg, &self.insert_kernel(st, b, count, false, false))?;
+                            launch(
+                                machine,
+                                cfg,
+                                &self.insert_kernel(st, b, count, false, false),
+                            )?;
                             // Transfer the appended region at chunk granularity
                             // plus the metadata page: slight over-transfer
                             // (WA ≈ 1.27, Table 4).
                             let begin = count * ROW_STRIDE;
                             let end = (count + p.rows_per_insert) * ROW_STRIDE;
                             let start = begin / CAP_INSERT_CHUNK * CAP_INSERT_CHUNK;
-                            let aligned_end =
-                                (end.div_ceil(CAP_INSERT_CHUNK) * CAP_INSERT_CHUNK + 4096)
-                                    .min(p.table_bytes());
+                            let aligned_end = (end.div_ceil(CAP_INSERT_CHUNK) * CAP_INSERT_CHUNK
+                                + 4096)
+                                .min(p.table_bytes());
                             let len = aligned_end - start;
                             let flavor = if mode == Mode::CapFs {
                                 CapFlavor::Fs
                             } else {
-                                CapFlavor::Mm { threads: p.cap_threads }
+                                CapFlavor::Mm {
+                                    threads: p.cap_threads,
+                                }
                             };
                             cap_persist_region(
                                 machine,
@@ -358,11 +370,17 @@ impl DbWorkload {
                                 .map_err(|_| SimError::Invalid("clear"))?;
                         }
                         Mode::CapFs | Mode::CapMm => {
-                            launch(machine, cfg, &self.update_kernel(st, b, count, false, false))?;
+                            launch(
+                                machine,
+                                cfg,
+                                &self.update_kernel(st, b, count, false, false),
+                            )?;
                             let flavor = if mode == Mode::CapFs {
                                 CapFlavor::Fs
                             } else {
-                                CapFlavor::Mm { threads: p.cap_threads }
+                                CapFlavor::Mm {
+                                    threads: p.cap_threads,
+                                }
                             };
                             cap_persist_region(
                                 machine,
@@ -598,7 +616,9 @@ impl DbWorkload {
                         count += p.rows_per_insert;
                         if b + 1 < p.batches {
                             self.persist_count(m, &st, count)?;
-                            st.meta_log.host_clear(m).map_err(|_| SimError::Invalid("clear"))?;
+                            st.meta_log
+                                .host_clear(m)
+                                .map_err(|_| SimError::Invalid("clear"))?;
                         }
                     }
                     DbOp::Update => {
@@ -607,7 +627,9 @@ impl DbWorkload {
                         launch(m, cfg, &self.update_kernel(&st, b, count, true, true))?;
                         gpm_persist_end(m);
                         if b + 1 < p.batches {
-                            st.row_log.host_clear(m).map_err(|_| SimError::Invalid("clear"))?;
+                            st.row_log
+                                .host_clear(m)
+                                .map_err(|_| SimError::Invalid("clear"))?;
                         }
                     }
                 }
@@ -626,7 +648,10 @@ impl DbWorkload {
             }
             // UPDATE rollback: column 3 is back at the batches-1 state.
             DbOp::Update => {
-                let smaller = DbWorkload::new(DbParams { batches: p.batches - 1, ..p });
+                let smaller = DbWorkload::new(DbParams {
+                    batches: p.batches - 1,
+                    ..p
+                });
                 smaller.verify(machine, &st, Mode::Gpm)?
             }
         };
@@ -648,7 +673,9 @@ impl DbWorkload {
                     let data_off = off + 256 + 256; // header + partition tail line
                     let old = machine.read_u64(Addr::pm(data_off + 4))?;
                     self.persist_count(machine, st, old)?;
-                    st.meta_log.host_clear(machine).map_err(|_| SimError::Invalid("clear"))?;
+                    st.meta_log
+                        .host_clear(machine)
+                        .map_err(|_| SimError::Invalid("clear"))?;
                 }
                 Ok(())
             }
@@ -696,9 +723,19 @@ mod tests {
     #[test]
     fn updates_verify_under_gpm_and_cap() {
         let mut m1 = Machine::default();
-        assert!(quick(DbOp::Update).run(&mut m1, Mode::Gpm).unwrap().verified);
+        assert!(
+            quick(DbOp::Update)
+                .run(&mut m1, Mode::Gpm)
+                .unwrap()
+                .verified
+        );
         let mut m2 = Machine::default();
-        assert!(quick(DbOp::Update).run(&mut m2, Mode::CapMm).unwrap().verified);
+        assert!(
+            quick(DbOp::Update)
+                .run(&mut m2, Mode::CapMm)
+                .unwrap()
+                .verified
+        );
     }
 
     #[test]
@@ -716,9 +753,18 @@ mod tests {
         // At this tiny test scale the 128 KiB DMA chunking inflates the
         // INSERT WA (the appended region is only 28 KiB); the full-scale
         // values — ≈1.2 and ≈14 — are produced by the Table 4 harness.
-        assert!(wa_insert < 8.0, "INSERT WA bounded by chunking, got {wa_insert:.2}");
-        assert!(wa_update > 5.0, "Table 4: UPDATE WA ≈ 20, got {wa_update:.2}");
-        assert!(wa_update > wa_insert, "insert WA {wa_insert:.2} vs update WA {wa_update:.2}");
+        assert!(
+            wa_insert < 8.0,
+            "INSERT WA bounded by chunking, got {wa_insert:.2}"
+        );
+        assert!(
+            wa_update > 5.0,
+            "Table 4: UPDATE WA ≈ 20, got {wa_update:.2}"
+        );
+        assert!(
+            wa_update > wa_insert,
+            "insert WA {wa_insert:.2} vs update WA {wa_update:.2}"
+        );
     }
 
     #[test]
@@ -728,7 +774,12 @@ mod tests {
             let g = quick(op).run(&mut m1, Mode::Gpm).unwrap();
             let mut m2 = Machine::default();
             let c = quick(op).run(&mut m2, Mode::CapFs).unwrap();
-            assert!(c.elapsed > g.elapsed, "{op:?}: cap={} gpm={}", c.elapsed, g.elapsed);
+            assert!(
+                c.elapsed > g.elapsed,
+                "{op:?}: cap={} gpm={}",
+                c.elapsed,
+                g.elapsed
+            );
         }
     }
 
@@ -738,7 +789,12 @@ mod tests {
         let g = quick(DbOp::Update).run(&mut m1, Mode::Gpm).unwrap();
         let mut m2 = Machine::default();
         let c = quick(DbOp::Update).run_cpu(&mut m2).unwrap();
-        assert!(c.elapsed > g.elapsed * 1.5, "gpm={} cpu={}", g.elapsed, c.elapsed);
+        assert!(
+            c.elapsed > g.elapsed * 1.5,
+            "gpm={} cpu={}",
+            g.elapsed,
+            c.elapsed
+        );
     }
 
     #[test]

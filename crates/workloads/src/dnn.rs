@@ -137,7 +137,9 @@ impl HostModel {
         let mut loss = 0.0f32;
         for bi in 0..p.batch {
             let s = (iter as u64 * p.batch + bi) % p.samples;
-            let x: Vec<f32> = (0..p.input).map(|d| pixel(s, d, p.input, p.output)).collect();
+            let x: Vec<f32> = (0..p.input)
+                .map(|d| pixel(s, d, p.input, p.output))
+                .collect();
             let y = label(s, p.output);
             // Forward: h = relu(W1ᵀx + b1); z = W2ᵀh + b2; softmax.
             let mut h = vec![0.0f32; nh];
@@ -208,7 +210,10 @@ impl HostModel {
 impl DnnWorkload {
     /// Creates the workload.
     pub fn new(params: DnnParams) -> DnnWorkload {
-        DnnWorkload { params, grads_hbm: 0 }
+        DnnWorkload {
+            params,
+            grads_hbm: 0,
+        }
     }
 
     /// Host-reference weights after `iters` passes (deterministic replay).
@@ -229,7 +234,12 @@ impl DnnWorkload {
 
     fn sizes(&self) -> [u64; 4] {
         let p = &self.params;
-        [p.input * p.hidden * 4, p.hidden * 4, p.hidden * p.output * 4, p.output * 4]
+        [
+            p.input * p.hidden * 4,
+            p.hidden * 4,
+            p.hidden * p.output * 4,
+            p.output * 4,
+        ]
     }
 }
 
@@ -384,7 +394,10 @@ mod tests {
         let mut m = Machine::default();
         let mut app = DnnWorkload::new(DnnParams::quick());
         let r = run_iterative_with_recovery(&mut m, &mut app).unwrap();
-        assert!(r.verified, "restored weights must equal the last checkpoint");
+        assert!(
+            r.verified,
+            "restored weights must equal the last checkpoint"
+        );
         assert!(r.recovery.unwrap().0 > 0.0);
     }
 
@@ -402,7 +415,10 @@ mod tests {
         });
         let r = run_iterative_with_recovery(&mut m, &mut app).unwrap();
         let total_ms = r.elapsed.as_millis();
-        assert!((6.0..14.0).contains(&total_ms), "10 passes ≈ 8.26 ms, got {total_ms:.2}");
+        assert!(
+            (6.0..14.0).contains(&total_ms),
+            "10 passes ≈ 8.26 ms, got {total_ms:.2}"
+        );
         let restore_ms = r.recovery.unwrap().as_millis();
         assert!(restore_ms < 1.5, "restore ≈ 0.342 ms, got {restore_ms:.3}");
     }

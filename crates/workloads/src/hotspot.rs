@@ -25,14 +25,22 @@ pub struct HotspotParams {
 
 impl Default for HotspotParams {
     fn default() -> HotspotParams {
-        HotspotParams { edge: 512, iterations: 8, checkpoint_every: 2 }
+        HotspotParams {
+            edge: 512,
+            iterations: 8,
+            checkpoint_every: 2,
+        }
     }
 }
 
 impl HotspotParams {
     /// Small configuration for unit tests.
     pub fn quick() -> HotspotParams {
-        HotspotParams { edge: 64, iterations: 4, checkpoint_every: 2 }
+        HotspotParams {
+            edge: 64,
+            iterations: 4,
+            checkpoint_every: 2,
+        }
     }
 }
 
@@ -68,16 +76,25 @@ impl HotspotWorkload {
     ///
     /// Panics if `iterations` is odd (the double buffer must end in A).
     pub fn new(params: HotspotParams) -> HotspotWorkload {
-        assert!(params.iterations.is_multiple_of(2), "iterations must be even");
-        HotspotWorkload { params, temp_b: 0, power: 0 }
+        assert!(
+            params.iterations.is_multiple_of(2),
+            "iterations must be even"
+        );
+        HotspotWorkload {
+            params,
+            temp_b: 0,
+            power: 0,
+        }
     }
 
     fn reference(&self, iters: u32) -> Vec<f32> {
         let e = self.params.edge as usize;
-        let mut cur: Vec<f32> =
-            (0..e * e).map(|i| init_temp((i % e) as u64, (i / e) as u64)).collect();
-        let power: Vec<f32> =
-            (0..e * e).map(|i| init_power((i % e) as u64, (i / e) as u64)).collect();
+        let mut cur: Vec<f32> = (0..e * e)
+            .map(|i| init_temp((i % e) as u64, (i / e) as u64))
+            .collect();
+        let power: Vec<f32> = (0..e * e)
+            .map(|i| init_power((i % e) as u64, (i / e) as u64))
+            .collect();
         let mut next = cur.clone();
         for _ in 0..iters {
             for y in 0..e {
@@ -135,8 +152,11 @@ impl IterativeApp for HotspotWorkload {
     fn iteration(&self, machine: &mut Machine, arrays: &[(u64, u64)], iter: u32) -> SimResult<()> {
         let e = self.params.edge;
         let temp_a = arrays[0].0;
-        let (src, dst) =
-            if iter.is_multiple_of(2) { (temp_a, self.temp_b) } else { (self.temp_b, temp_a) };
+        let (src, dst) = if iter.is_multiple_of(2) {
+            (temp_a, self.temp_b)
+        } else {
+            (self.temp_b, temp_a)
+        };
         let power = self.power;
         // Hotspot launches a 2-D grid of 16x16 tiles, as the Rodinia kernel
         // does.
@@ -164,7 +184,10 @@ impl IterativeApp for HotspotWorkload {
             let left = at(ctx, xi - 1, yi)?;
             let right = at(ctx, xi + 1, yi)?;
             let pw = ctx.ld_f32(Addr::hbm(power + i * 4))?;
-            ctx.st_f32(Addr::hbm(dst + i * 4), stencil(c, up, down, left, right, pw))
+            ctx.st_f32(
+                Addr::hbm(dst + i * 4),
+                stencil(c, up, down, left, right, pw),
+            )
         });
         launch(machine, grid.launch(), &k)?;
         Ok(())
@@ -230,6 +253,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "even")]
     fn odd_iterations_rejected() {
-        HotspotWorkload::new(HotspotParams { iterations: 3, ..HotspotParams::quick() });
+        HotspotWorkload::new(HotspotParams {
+            iterations: 3,
+            ..HotspotParams::quick()
+        });
     }
 }

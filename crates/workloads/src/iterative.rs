@@ -73,34 +73,26 @@ fn checkpoint_once(
 ) -> SimResult<Ns> {
     let total: u64 = arrays.iter().map(|a| a.1).sum();
     match mode {
-        Mode::Gpm => {
-            gpmcp_checkpoint(machine, cp, 0).map_err(|_| SimError::Invalid("checkpoint"))
-        }
+        Mode::Gpm => gpmcp_checkpoint(machine, cp, 0).map_err(|_| SimError::Invalid("checkpoint")),
         Mode::GpmNdp => {
             let (base, len, t_copy) = gpmcp_fill_working(machine, cp, 0, false)
                 .map_err(|_| SimError::Invalid("checkpoint"))?;
             let t_flush = flush_from_cpu(machine, base.offset, len, cap_threads);
-            let t_pub =
-                gpmcp_publish(machine, cp, 0).map_err(|_| SimError::Invalid("publish"))?;
+            let t_pub = gpmcp_publish(machine, cp, 0).map_err(|_| SimError::Invalid("publish"))?;
             Ok(t_copy + t_flush + t_pub)
         }
         Mode::CapFs | Mode::CapMm => {
             let flavor = if mode == Mode::CapFs {
                 CapFlavor::Fs
             } else {
-                CapFlavor::Mm { threads: cap_threads }
+                CapFlavor::Mm {
+                    threads: cap_threads,
+                }
             };
             let mut t = Ns::ZERO;
             let mut off = 0;
             for &(hbm, len) in arrays {
-                t += cap_persist_region(
-                    machine,
-                    flavor,
-                    hbm,
-                    scratch.dram,
-                    scratch.pm + off,
-                    len,
-                )?;
+                t += cap_persist_region(machine, flavor, hbm, scratch.dram, scratch.pm + off, len)?;
                 off += len;
             }
             Ok(t)
@@ -166,12 +158,23 @@ pub fn run_iterative(
     let arrays = app.setup(machine)?;
     let cp = build_checkpoint(machine, app, &arrays)?;
     let total: u64 = arrays.iter().map(|a| a.1).sum();
-    let scratch = Scratch { dram: machine.alloc_dram(total)?, pm: machine.alloc_pm(total)? };
+    let scratch = Scratch {
+        dram: machine.alloc_dram(total)?,
+        pm: machine.alloc_pm(total)?,
+    };
     let mut metrics = metered(machine, |m| {
         for iter in 0..app.iterations() {
             app.iteration(m, &arrays, iter)?;
             if (iter + 1) % app.checkpoint_every() == 0 {
-                checkpoint_once(m, mode, &cp, &arrays, &scratch, cap_threads, app.paper_bytes())?;
+                checkpoint_once(
+                    m,
+                    mode,
+                    &cp,
+                    &arrays,
+                    &scratch,
+                    cap_threads,
+                    app.paper_bytes(),
+                )?;
             }
         }
         Ok::<bool, SimError>(true)
@@ -195,8 +198,19 @@ pub fn checkpoint_latency(
     let arrays = app.setup(machine)?;
     let cp = build_checkpoint(machine, app, &arrays)?;
     let total: u64 = arrays.iter().map(|a| a.1).sum();
-    let scratch = Scratch { dram: machine.alloc_dram(total)?, pm: machine.alloc_pm(total)? };
-    checkpoint_once(machine, mode, &cp, &arrays, &scratch, cap_threads, app.paper_bytes())
+    let scratch = Scratch {
+        dram: machine.alloc_dram(total)?,
+        pm: machine.alloc_pm(total)?,
+    };
+    checkpoint_once(
+        machine,
+        mode,
+        &cp,
+        &arrays,
+        &scratch,
+        cap_threads,
+        app.paper_bytes(),
+    )
 }
 
 /// GPM run that crashes after the last checkpoint and measures restoration
@@ -299,7 +313,13 @@ mod tests {
 
     #[test]
     fn all_modes_complete_and_verify() {
-        for mode in [Mode::Gpm, Mode::GpmNdp, Mode::CapFs, Mode::CapMm, Mode::Gpufs] {
+        for mode in [
+            Mode::Gpm,
+            Mode::GpmNdp,
+            Mode::CapFs,
+            Mode::CapMm,
+            Mode::Gpufs,
+        ] {
             let mut m = Machine::default();
             let r = run_iterative(&mut m, &mut Counters { n: 4096 }, mode, 16).unwrap();
             assert!(r.verified, "{mode:?}");
@@ -319,7 +339,11 @@ mod tests {
         assert!(gpm < ndp, "NDP adds a CPU flush: {gpm} vs {ndp}");
         assert!(gpm < mm, "CAP adds DMA + CPU persist: {gpm} vs {mm}");
         assert!(mm < fs, "the fs path is slowest: {mm} vs {fs}");
-        assert!(fs / gpm > 5.0, "Figure 9: checkpointing gains are large ({})", fs / gpm);
+        assert!(
+            fs / gpm > 5.0,
+            "Figure 9: checkpointing gains are large ({})",
+            fs / gpm
+        );
     }
 
     #[test]

@@ -75,7 +75,12 @@ impl Default for KvsParams {
 impl KvsParams {
     /// Small configuration for unit tests.
     pub fn quick() -> KvsParams {
-        KvsParams { sets: 2_048, ops_per_batch: 512, batches: 2, ..KvsParams::default() }
+        KvsParams {
+            sets: 2_048,
+            ops_per_batch: 512,
+            batches: 2,
+            ..KvsParams::default()
+        }
     }
 
     /// The 95% GET / 5% SET mix of Figure 9.
@@ -167,7 +172,9 @@ impl KvsWorkload {
     /// bounded universe (hot keys repeat within and across batches).
     fn gen_batch(&self, batch: u32) -> Vec<(u64, u64, bool)> {
         let p = &self.params;
-        let zipf = p.key_skew.map(|theta| crate::datagen::Zipf::new(p.sets * 2, theta));
+        let zipf = p
+            .key_skew
+            .map(|theta| crate::datagen::Zipf::new(p.sets * 2, theta));
         (0..p.ops_per_batch)
             .map(|i| {
                 let key = match &zipf {
@@ -226,7 +233,12 @@ impl KvsWorkload {
     ) -> impl gpm_gpu::Kernel<State = (), Shared = ()> + '_ {
         let p = self.params;
         let (pm_table, hbm_table) = (st.pm_table, st.hbm_table);
-        let (keys, vals, gets, results) = (st.batch_keys, st.batch_vals, st.batch_is_get, st.get_results);
+        let (keys, vals, gets, results) = (
+            st.batch_keys,
+            st.batch_vals,
+            st.batch_is_get,
+            st.get_results,
+        );
         let log = st.log.dev();
         FnKernel(move |ctx: &mut ThreadCtx<'_>| {
             let tid = ctx.global_id();
@@ -237,8 +249,8 @@ impl KvsWorkload {
             let key = ctx.ld_u64(Addr::hbm(keys + op * 8))?;
             let set = hash_set(key, p.sets);
             ctx.compute(Ns(40.0)); // hash + way-probe share of the group
-            // One thread of the group is selected to perform the operation
-            // (the others assisted the cooperative probe).
+                                   // One thread of the group is selected to perform the operation
+                                   // (the others assisted the cooperative probe).
             if tid % THREAD_GROUP != key % THREAD_GROUP {
                 return Ok(());
             }
@@ -307,7 +319,11 @@ impl KvsWorkload {
                 Mode::Gpm => {
                     st.flag.begin(machine, b as u64 + 1)?;
                     gpm_persist_begin(machine);
-                    launch(machine, self.launch_cfg(), &self.batch_kernel(st, true, true))?;
+                    launch(
+                        machine,
+                        self.launch_cfg(),
+                        &self.batch_kernel(st, true, true),
+                    )?;
                     gpm_persist_end(machine);
                     st.flag.commit(machine)?;
                     st.log
@@ -315,7 +331,11 @@ impl KvsWorkload {
                         .map_err(|_| SimError::Invalid("log clear failed"))?;
                 }
                 Mode::GpmNdp => {
-                    launch(machine, self.launch_cfg(), &self.batch_kernel(st, true, false))?;
+                    launch(
+                        machine,
+                        self.launch_cfg(),
+                        &self.batch_kernel(st, true, false),
+                    )?;
                     // CPU guarantees persistence for the whole table + log.
                     flush_from_cpu(machine, st.pm_table, p.table_bytes(), p.cap_threads);
                     flush_from_cpu(
@@ -330,11 +350,17 @@ impl KvsWorkload {
                         .map_err(|_| SimError::Invalid("clear"))?;
                 }
                 Mode::CapFs | Mode::CapMm => {
-                    launch(machine, self.launch_cfg(), &self.batch_kernel(st, false, false))?;
+                    launch(
+                        machine,
+                        self.launch_cfg(),
+                        &self.batch_kernel(st, false, false),
+                    )?;
                     let flavor = if mode == Mode::CapFs {
                         CapFlavor::Fs
                     } else {
-                        CapFlavor::Mm { threads: p.cap_threads }
+                        CapFlavor::Mm {
+                            threads: p.cap_threads,
+                        }
                     };
                     cap_persist_region(
                         machine,
@@ -441,7 +467,9 @@ impl KvsWorkload {
                 gpm_persist_end(m);
                 if b + 1 < p.batches {
                     st.flag.commit(m)?;
-                    st.log.host_clear(m).map_err(|_| SimError::Invalid("clear"))?;
+                    st.log
+                        .host_clear(m)
+                        .map_err(|_| SimError::Invalid("clear"))?;
                 }
                 // Final batch: crash before commit.
             }
@@ -452,7 +480,10 @@ impl KvsWorkload {
         self.recover(machine, &st)?;
         metrics.recovery = Some(machine.clock.now() - t0);
         // After undo, the last batch is rolled back: state matches batches-1.
-        let smaller = KvsWorkload::new(KvsParams { batches: p.batches - 1, ..*p });
+        let smaller = KvsWorkload::new(KvsParams {
+            batches: p.batches - 1,
+            ..*p
+        });
         metrics.verified = smaller.verify(machine, &st, Mode::Gpm)?;
         Ok(metrics)
     }
@@ -473,8 +504,12 @@ impl KvsWorkload {
         self.upload_batch(machine, &st, &ops)?;
         st.flag.begin(machine, 1)?;
         gpm_persist_begin(machine);
-        match launch_with_fuel(machine, self.launch_cfg(), &self.batch_kernel(&st, true, true), fuel)
-        {
+        match launch_with_fuel(
+            machine,
+            self.launch_cfg(),
+            &self.batch_kernel(&st, true, true),
+            fuel,
+        ) {
             Ok(_) => {
                 gpm_persist_end(machine);
                 machine.crash();
@@ -606,9 +641,12 @@ mod tests {
         let mut m1 = Machine::default();
         let uniform = quick().run(&mut m1, Mode::Gpm).unwrap();
         let mut m2 = Machine::default();
-        let skewed = KvsWorkload::new(KvsParams { key_skew: Some(1.1), ..KvsParams::quick() })
-            .run(&mut m2, Mode::Gpm)
-            .unwrap();
+        let skewed = KvsWorkload::new(KvsParams {
+            key_skew: Some(1.1),
+            ..KvsParams::quick()
+        })
+        .run(&mut m2, Mode::Gpm)
+        .unwrap();
         assert!(skewed.verified, "reference model must track duplicate keys");
         // Hot keys overwrite the same slots: fewer distinct lines persisted.
         assert!(

@@ -40,9 +40,6 @@
 #![warn(missing_docs)]
 
 pub mod bfs;
-pub mod prefix_sum;
-pub mod srad;
-pub mod suite;
 pub mod blackscholes;
 pub mod cfd;
 pub mod datagen;
@@ -52,11 +49,11 @@ pub mod hotspot;
 pub mod iterative;
 pub mod kvs;
 pub mod metrics;
+pub mod prefix_sum;
+pub mod srad;
+pub mod suite;
 
 pub use bfs::{BfsParams, BfsWorkload};
-pub use prefix_sum::{PsParams, PsWorkload};
-pub use srad::{SradParams, SradWorkload};
-pub use suite::{suite, Scale, Workload};
 pub use blackscholes::{BlkParams, BlkWorkload};
 pub use cfd::{CfdParams, CfdWorkload};
 pub use db::{DbOp, DbParams, DbWorkload};
@@ -65,3 +62,6 @@ pub use hotspot::{HotspotParams, HotspotWorkload};
 pub use iterative::{checkpoint_latency, run_iterative, run_iterative_with_recovery, IterativeApp};
 pub use kvs::{KvsParams, KvsWorkload};
 pub use metrics::{metered, Category, Mode, RunMetrics};
+pub use prefix_sum::{PsParams, PsWorkload};
+pub use srad::{SradParams, SradWorkload};
+pub use suite::{suite, Scale, Workload};

@@ -23,8 +23,14 @@ pub enum Mode {
 
 impl Mode {
     /// All modes, in the order figures present them.
-    pub const ALL: [Mode; 6] =
-        [Mode::CapFs, Mode::CapMm, Mode::Gpm, Mode::GpmNdp, Mode::Gpufs, Mode::CpuPm];
+    pub const ALL: [Mode; 6] = [
+        Mode::CapFs,
+        Mode::CapMm,
+        Mode::Gpm,
+        Mode::GpmNdp,
+        Mode::Gpufs,
+        Mode::CpuPm,
+    ];
 
     /// Short label used in reports.
     pub fn label(&self) -> &'static str {

@@ -31,14 +31,20 @@ pub struct PsParams {
 
 impl Default for PsParams {
     fn default() -> PsParams {
-        PsParams { n: 1 << 18, cap_threads: 32 }
+        PsParams {
+            n: 1 << 18,
+            cap_threads: 32,
+        }
     }
 }
 
 impl PsParams {
     /// Small configuration for unit tests.
     pub fn quick() -> PsParams {
-        PsParams { n: 4096, ..PsParams::default() }
+        PsParams {
+            n: 4096,
+            ..PsParams::default()
+        }
     }
 
     fn blocks(&self) -> u64 {
@@ -234,7 +240,10 @@ impl PsWorkload {
     ///
     /// Panics if `n` is not a multiple of [`BLOCK`].
     pub fn new(params: PsParams) -> PsWorkload {
-        assert!(params.n.is_multiple_of(BLOCK), "n must be a multiple of the block size");
+        assert!(
+            params.n.is_multiple_of(BLOCK),
+            "n must be a multiple of the block size"
+        );
         PsWorkload { params }
     }
 
@@ -260,9 +269,9 @@ impl PsWorkload {
         }
         machine.host_write(Addr::pm(pm_input), &input)?;
         machine.host_write(Addr::hbm(hbm_input), &input)?;
-        machine
-            .clock
-            .advance(Ns((n * 4) as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)));
+        machine.clock.advance(Ns(
+            (n * 4) as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)
+        ));
         Ok(PsState {
             pm_input,
             hbm_input,
@@ -351,12 +360,25 @@ impl PsWorkload {
                 let flavor = if mode == Mode::CapFs {
                     CapFlavor::Fs
                 } else {
-                    CapFlavor::Mm { threads: p.cap_threads }
+                    CapFlavor::Mm {
+                        threads: p.cap_threads,
+                    }
                 };
-                cap_persist_region(machine, flavor, st.hbm_p_sums, st.staging_dram, st.cap_pm, n * 8)
-                    .map_err(LaunchError::Sim)?;
+                cap_persist_region(
+                    machine,
+                    flavor,
+                    st.hbm_p_sums,
+                    st.staging_dram,
+                    st.cap_pm,
+                    n * 8,
+                )
+                .map_err(LaunchError::Sim)?;
             }
-            _ => return Err(LaunchError::Sim(SimError::Invalid("mode handled elsewhere"))),
+            _ => {
+                return Err(LaunchError::Sim(SimError::Invalid(
+                    "mode handled elsewhere",
+                )))
+            }
         }
 
         self.compute_offsets(machine, st, to_pm)?;
@@ -386,10 +408,19 @@ impl PsWorkload {
                 let flavor = if mode == Mode::CapFs {
                     CapFlavor::Fs
                 } else {
-                    CapFlavor::Mm { threads: p.cap_threads }
+                    CapFlavor::Mm {
+                        threads: p.cap_threads,
+                    }
                 };
-                cap_persist_region(machine, flavor, st.hbm_p_sums, st.staging_dram, st.cap_pm, n * 8)
-                    .map_err(LaunchError::Sim)?;
+                cap_persist_region(
+                    machine,
+                    flavor,
+                    st.hbm_p_sums,
+                    st.staging_dram,
+                    st.cap_pm,
+                    n * 8,
+                )
+                .map_err(LaunchError::Sim)?;
             }
             _ => unreachable!(),
         }
@@ -438,10 +469,11 @@ impl PsWorkload {
         }
         let st = self.setup(machine, mode)?;
         let mut metrics = metered(machine, |m| {
-            self.run_pipeline(m, &st, mode, &mut None).map_err(|e| match e {
-                LaunchError::Sim(e) => e,
-                LaunchError::Crashed(_) => SimError::Crashed,
-            })?;
+            self.run_pipeline(m, &st, mode, &mut None)
+                .map_err(|e| match e {
+                    LaunchError::Sim(e) => e,
+                    LaunchError::Crashed(_) => SimError::Crashed,
+                })?;
             Ok::<bool, SimError>(true)
         })?;
         metrics.verified = self.verify(machine, &st, mode)?;
@@ -514,15 +546,16 @@ impl PsWorkload {
         machine.read(Addr::pm(st.pm_p_sums), &mut ps)?;
         machine.host_write(Addr::hbm(st.hbm_p_sums), &ps)?;
         machine.clock.advance(Ns(
-            (n * 12) as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw),
+            (n * 12) as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)
         ));
         let resume_setup = machine.clock.now() - t0;
 
         let mut metrics = metered(machine, |m| {
-            self.run_pipeline(m, &st, Mode::Gpm, &mut None).map_err(|e| match e {
-                LaunchError::Sim(e) => e,
-                LaunchError::Crashed(_) => SimError::Crashed,
-            })?;
+            self.run_pipeline(m, &st, Mode::Gpm, &mut None)
+                .map_err(|e| match e {
+                    LaunchError::Sim(e) => e,
+                    LaunchError::Crashed(_) => SimError::Crashed,
+                })?;
             Ok::<bool, SimError>(true)
         })?;
         metrics.recovery = Some(resume_setup);
@@ -541,7 +574,13 @@ mod tests {
 
     #[test]
     fn prefix_sum_verifies_under_all_modes() {
-        for mode in [Mode::Gpm, Mode::GpmNdp, Mode::CapFs, Mode::CapMm, Mode::CpuPm] {
+        for mode in [
+            Mode::Gpm,
+            Mode::GpmNdp,
+            Mode::CapFs,
+            Mode::CapMm,
+            Mode::CpuPm,
+        ] {
             let mut m = Machine::default();
             let r = quick().run(&mut m, mode).unwrap();
             assert!(r.verified, "{mode:?}");
@@ -597,14 +636,18 @@ mod tests {
             let reference = w.reference();
             for b in 0..w.params.blocks() {
                 let last = (b + 1) * BLOCK - 1;
-                let sentinel =
-                    m.read_u64(Addr::pm(st_offsets.pm_p_sums + last * 8)).unwrap();
+                let sentinel = m
+                    .read_u64(Addr::pm(st_offsets.pm_p_sums + last * 8))
+                    .unwrap();
                 if sentinel != 0 {
                     for t in 0..BLOCK {
                         let i = b * BLOCK + t;
                         let v = m.read_u64(Addr::pm(st_offsets.pm_p_sums + i * 8)).unwrap();
-                        let block_base =
-                            if b == 0 { 0 } else { reference[(b * BLOCK - 1) as usize] };
+                        let block_base = if b == 0 {
+                            0
+                        } else {
+                            reference[(b * BLOCK - 1) as usize]
+                        };
                         assert_eq!(
                             v,
                             reference[i as usize] - block_base,
@@ -619,6 +662,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple")]
     fn non_multiple_rejected() {
-        PsWorkload::new(PsParams { n: 1000, ..PsParams::default() });
+        PsWorkload::new(PsParams {
+            n: 1000,
+            ..PsParams::default()
+        });
     }
 }

@@ -31,14 +31,23 @@ pub struct SradParams {
 
 impl Default for SradParams {
     fn default() -> SradParams {
-        SradParams { edge: 256, iterations: 4, lambda: 0.5, cap_threads: 32 }
+        SradParams {
+            edge: 256,
+            iterations: 4,
+            lambda: 0.5,
+            cap_threads: 32,
+        }
     }
 }
 
 impl SradParams {
     /// Small configuration for unit tests.
     pub fn quick() -> SradParams {
-        SradParams { edge: 48, iterations: 3, ..SradParams::default() }
+        SradParams {
+            edge: 48,
+            iterations: 3,
+            ..SradParams::default()
+        }
     }
 
     fn pixels(&self) -> u64 {
@@ -117,7 +126,16 @@ impl SradWorkload {
         }
         machine.host_write(Addr::hbm(hbm_img_a), &init)?;
         machine.host_write(Addr::pm(pm_img[0]), &init)?;
-        Ok(SradState { hbm_img_a, hbm_img_b, hbm_coeff, pm_img, pm_coeff, pm_iter, staging_dram, cap_pm })
+        Ok(SradState {
+            hbm_img_a,
+            hbm_img_b,
+            hbm_coeff,
+            pm_img,
+            pm_coeff,
+            pm_iter,
+            staging_dram,
+            cap_pm,
+        })
     }
 
     /// One diffusion iteration (reads `src`, writes `dst`; persists image
@@ -211,7 +229,12 @@ impl SradWorkload {
             match mode {
                 Mode::Gpm => self.persist_iter(machine, st, iter + 1)?,
                 Mode::GpmNdp => {
-                    flush_from_cpu(machine, st.pm_img[((iter + 1) % 2) as usize], bytes, p.cap_threads);
+                    flush_from_cpu(
+                        machine,
+                        st.pm_img[((iter + 1) % 2) as usize],
+                        bytes,
+                        p.cap_threads,
+                    );
                     flush_from_cpu(machine, st.pm_coeff, bytes, p.cap_threads);
                     self.persist_iter(machine, st, iter + 1)?;
                 }
@@ -219,7 +242,9 @@ impl SradWorkload {
                     let flavor = if mode == Mode::CapFs {
                         CapFlavor::Fs
                     } else {
-                        CapFlavor::Mm { threads: p.cap_threads }
+                        CapFlavor::Mm {
+                            threads: p.cap_threads,
+                        }
                     };
                     // Both the output image and the diffusion-coefficient
                     // matrix are persisted (Table 1).
@@ -248,8 +273,9 @@ impl SradWorkload {
     /// Host-side reference: image after `iters` diffusion steps.
     fn reference(&self, iters: u32) -> (Vec<f32>, Vec<f32>) {
         let e = self.params.edge as usize;
-        let mut cur: Vec<f32> =
-            (0..e * e).map(|i| init_pixel((i % e) as u64, (i / e) as u64)).collect();
+        let mut cur: Vec<f32> = (0..e * e)
+            .map(|i| init_pixel((i % e) as u64, (i / e) as u64))
+            .collect();
         let mut next = cur.clone();
         let mut coeffs = vec![0.0f32; e * e];
         for _ in 0..iters {
@@ -262,8 +288,12 @@ impl SradWorkload {
                     };
                     let (xi, yi) = (x as i64, y as i64);
                     let ctr = at(xi, yi);
-                    let (up, down, left, right) =
-                        (at(xi, yi - 1), at(xi, yi + 1), at(xi - 1, yi), at(xi + 1, yi));
+                    let (up, down, left, right) = (
+                        at(xi, yi - 1),
+                        at(xi, yi + 1),
+                        at(xi - 1, yi),
+                        at(xi + 1, yi),
+                    );
                     let c = coeff(ctr, up, down, left, right);
                     coeffs[y * e + x] = c;
                     next[y * e + x] = diffuse(ctr, up, down, left, right, c, self.params.lambda);
@@ -318,10 +348,11 @@ impl SradWorkload {
         }
         let st = self.setup(machine, mode)?;
         let mut metrics = metered(machine, |m| {
-            self.run_iters(m, &st, mode, 0, &mut None).map_err(|e| match e {
-                LaunchError::Sim(e) => e,
-                LaunchError::Crashed(_) => SimError::Crashed,
-            })?;
+            self.run_iters(m, &st, mode, 0, &mut None)
+                .map_err(|e| match e {
+                    LaunchError::Sim(e) => e,
+                    LaunchError::Crashed(_) => SimError::Crashed,
+                })?;
             Ok::<bool, SimError>(true)
         })?;
         metrics.verified = self.verify(machine, &st, mode)?;
@@ -363,8 +394,9 @@ impl SradWorkload {
         let e = p.edge as usize;
         let mut metrics = metered(machine, |m| {
             let mut serial = Ns::ZERO;
-            let mut cur: Vec<f32> =
-                (0..e * e).map(|i| init_pixel((i % e) as u64, (i / e) as u64)).collect();
+            let mut cur: Vec<f32> = (0..e * e)
+                .map(|i| init_pixel((i % e) as u64, (i / e) as u64))
+                .collect();
             let mut next = cur.clone();
             for it in 0..p.iterations {
                 for y in 0..e {
@@ -378,8 +410,12 @@ impl SradWorkload {
                         };
                         let (xi, yi) = (x as i64, y as i64);
                         let ctr = at(xi, yi);
-                        let (up, down, left, right) =
-                            (at(xi, yi - 1), at(xi, yi + 1), at(xi - 1, yi), at(xi + 1, yi));
+                        let (up, down, left, right) = (
+                            at(xi, yi - 1),
+                            at(xi, yi + 1),
+                            at(xi - 1, yi),
+                            at(xi + 1, yi),
+                        );
                         let c = coeff(ctr, up, down, left, right);
                         let out = diffuse(ctr, up, down, left, right, c, p.lambda);
                         let i = (y * e + x) as u64;
@@ -441,20 +477,25 @@ impl SradWorkload {
         // buffer, so this copy is consistent. Reload it into the HBM buffer
         // iteration `done` reads from.
         let bytes = self.params.pixels() * 4;
-        let src = if done % 2 == 0 { st.hbm_img_a } else { st.hbm_img_b };
+        let src = if done % 2 == 0 {
+            st.hbm_img_a
+        } else {
+            st.hbm_img_b
+        };
         let mut buf = vec![0u8; bytes as usize];
         machine.read(Addr::pm(st.pm_img[(done % 2) as usize]), &mut buf)?;
         machine.host_write(Addr::hbm(src), &buf)?;
-        machine
-            .clock
-            .advance(Ns(bytes as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)));
+        machine.clock.advance(Ns(
+            bytes as f64 / machine.cfg.pm_read_bw.min(machine.cfg.pcie_bw)
+        ));
         let resume_setup = machine.clock.now() - t0;
 
         let mut metrics = metered(machine, |m| {
-            self.run_iters(m, &st, Mode::Gpm, done, &mut None).map_err(|e| match e {
-                LaunchError::Sim(e) => e,
-                LaunchError::Crashed(_) => SimError::Crashed,
-            })?;
+            self.run_iters(m, &st, Mode::Gpm, done, &mut None)
+                .map_err(|e| match e {
+                    LaunchError::Sim(e) => e,
+                    LaunchError::Crashed(_) => SimError::Crashed,
+                })?;
             Ok::<bool, SimError>(true)
         })?;
         metrics.recovery = Some(resume_setup);
@@ -489,7 +530,10 @@ mod tests {
         assert!(c.verified);
         // Figure 1b: SRAD speeds up ~27× over the CPU-PM version.
         let speedup = c.elapsed / g.elapsed;
-        assert!(speedup > 4.0, "expected a large GPM speedup, got {speedup:.1}");
+        assert!(
+            speedup > 4.0,
+            "expected a large GPM speedup, got {speedup:.1}"
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ pub trait Workload {
     /// total-time impact depends only on the chosen cadence (§6.1). `None`
     /// for the other classes, whose persistence is inseparable from
     /// computation.
-    fn persist_phase(&mut self, machine: &mut Machine, mode: Mode) -> SimResult<Option<gpm_sim::Ns>> {
+    fn persist_phase(
+        &mut self,
+        machine: &mut Machine,
+        mode: Mode,
+    ) -> SimResult<Option<gpm_sim::Ns>> {
         let _ = (machine, mode);
         Ok(None)
     }
@@ -143,7 +147,10 @@ impl Workload for GpDbInsert {
         Category::Transactional
     }
     fn supports(&self, mode: Mode) -> bool {
-        matches!(mode, Mode::Gpm | Mode::CapFs | Mode::CapMm | Mode::GpmNdp | Mode::CpuPm)
+        matches!(
+            mode,
+            Mode::Gpm | Mode::CapFs | Mode::CapMm | Mode::GpmNdp | Mode::CpuPm
+        )
     }
     fn run(&mut self, machine: &mut Machine, mode: Mode) -> SimResult<RunMetrics> {
         if mode == Mode::CpuPm {
@@ -165,7 +172,10 @@ impl Workload for GpDbUpdate {
         Category::Transactional
     }
     fn supports(&self, mode: Mode) -> bool {
-        matches!(mode, Mode::Gpm | Mode::CapFs | Mode::CapMm | Mode::GpmNdp | Mode::CpuPm)
+        matches!(
+            mode,
+            Mode::Gpm | Mode::CapFs | Mode::CapMm | Mode::GpmNdp | Mode::CpuPm
+        )
     }
     fn run(&mut self, machine: &mut Machine, mode: Mode) -> SimResult<RunMetrics> {
         if mode == Mode::CpuPm {
@@ -190,7 +200,11 @@ pub struct Iterative<A: IterativeApp> {
 impl<A: IterativeApp> Iterative<A> {
     /// Wraps an app; `gpufs_ok` reflects the paper's Figure 9 support.
     pub fn new(app: A, gpufs_ok: bool) -> Iterative<A> {
-        Iterative { app, cap_threads: 32, gpufs_ok }
+        Iterative {
+            app,
+            cap_threads: 32,
+            gpufs_ok,
+        }
     }
 }
 
@@ -214,7 +228,11 @@ impl<A: IterativeApp + std::fmt::Debug> Workload for Iterative<A> {
     fn run_with_recovery(&mut self, machine: &mut Machine) -> SimResult<Option<RunMetrics>> {
         run_iterative_with_recovery(machine, &mut self.app).map(Some)
     }
-    fn persist_phase(&mut self, machine: &mut Machine, mode: Mode) -> SimResult<Option<gpm_sim::Ns>> {
+    fn persist_phase(
+        &mut self,
+        machine: &mut Machine,
+        mode: Mode,
+    ) -> SimResult<Option<gpm_sim::Ns>> {
         crate::iterative::checkpoint_latency(machine, &mut self.app, mode, self.cap_threads)
             .map(Some)
     }
@@ -243,14 +261,22 @@ impl Workload for SradWorkload {
 pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
     let quick = scale == Scale::Quick;
     let kvs = |mix: bool| {
-        let mut p = if quick { KvsParams::quick() } else { KvsParams::default() };
+        let mut p = if quick {
+            KvsParams::quick()
+        } else {
+            KvsParams::default()
+        };
         if mix {
             p = p.with_get_mix();
         }
         KvsWorkload::new(p)
     };
     let db = |op: DbOp| {
-        let mut p = if quick { DbParams::quick() } else { DbParams::default() };
+        let mut p = if quick {
+            DbParams::quick()
+        } else {
+            DbParams::default()
+        };
         p.op = op;
         DbWorkload::new(p)
     };
@@ -260,15 +286,27 @@ pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
         Box::new(GpDbInsert(db(DbOp::Insert))),
         Box::new(GpDbUpdate(db(DbOp::Update))),
         Box::new(Iterative::new(
-            DnnWorkload::new(if quick { DnnParams::quick() } else { DnnParams::default() }),
+            DnnWorkload::new(if quick {
+                DnnParams::quick()
+            } else {
+                DnnParams::default()
+            }),
             true,
         )),
         Box::new(Iterative::new(
-            CfdWorkload::new(if quick { CfdParams::quick() } else { CfdParams::default() }),
+            CfdWorkload::new(if quick {
+                CfdParams::quick()
+            } else {
+                CfdParams::default()
+            }),
             true,
         )),
         Box::new(Iterative::new(
-            BlkWorkload::new(if quick { BlkParams::quick() } else { BlkParams::default() }),
+            BlkWorkload::new(if quick {
+                BlkParams::quick()
+            } else {
+                BlkParams::default()
+            }),
             true, // size gate inside the driver reproduces the failure
         )),
         Box::new(Iterative::new(
@@ -279,9 +317,21 @@ pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
             }),
             true,
         )),
-        Box::new(BfsWorkload::new(if quick { BfsParams::quick() } else { BfsParams::default() })),
-        Box::new(SradWorkload::new(if quick { SradParams::quick() } else { SradParams::default() })),
-        Box::new(PsWorkload::new(if quick { PsParams::quick() } else { PsParams::default() })),
+        Box::new(BfsWorkload::new(if quick {
+            BfsParams::quick()
+        } else {
+            BfsParams::default()
+        })),
+        Box::new(SradWorkload::new(if quick {
+            SradParams::quick()
+        } else {
+            SradParams::default()
+        })),
+        Box::new(PsWorkload::new(if quick {
+            PsParams::quick()
+        } else {
+            PsParams::default()
+        })),
     ]
 }
 

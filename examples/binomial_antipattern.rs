@@ -31,7 +31,11 @@ fn main() -> Result<(), SimError> {
         ctx.st_u64(gpm_sim::Addr::pm(out + option * 8), option * 31)?;
         ctx.gpm_persist()
     });
-    let r1 = launch(&mut machine, LaunchConfig::new(OPTIONS as u32, 256), &binomial)?;
+    let r1 = launch(
+        &mut machine,
+        LaunchConfig::new(OPTIONS as u32, 256),
+        &binomial,
+    )?;
     gpm_persist_end(&mut machine);
 
     // Shape 2: the same bytes persisted data-parallel (one option per
@@ -45,7 +49,11 @@ fn main() -> Result<(), SimError> {
         ctx.st_u64(gpm_sim::Addr::pm(out2 + option * 8), option * 31)?;
         ctx.gpm_persist()
     });
-    let r2 = launch(&mut machine2, LaunchConfig::for_elements(OPTIONS, 256), &parallel)?;
+    let r2 = launch(
+        &mut machine2,
+        LaunchConfig::for_elements(OPTIONS, 256),
+        &parallel,
+    )?;
     gpm_persist_end(&mut machine2);
 
     println!("binomial shape (1 writer per block): {}", r1.elapsed);

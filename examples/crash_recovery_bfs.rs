@@ -11,7 +11,11 @@ use gpm_sim::{Machine, SimError};
 use gpm_workloads::{BfsParams, BfsWorkload, Mode};
 
 fn main() -> Result<(), SimError> {
-    let params = BfsParams { width: 128, height: 128, ..BfsParams::default() };
+    let params = BfsParams {
+        width: 128,
+        height: 128,
+        ..BfsParams::default()
+    };
     let workload = BfsWorkload::new(params);
 
     // A clean run, for reference.
@@ -33,7 +37,10 @@ fn main() -> Result<(), SimError> {
             resumed.elapsed,
             resumed.verified
         );
-        assert!(resumed.verified, "resume must complete the traversal exactly");
+        assert!(
+            resumed.verified,
+            "resume must complete the traversal exactly"
+        );
     }
 
     // The same workload under CAP round-trips the cost array through the

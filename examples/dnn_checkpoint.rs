@@ -12,11 +12,24 @@ use gpm_workloads::iterative::{run_iterative, run_iterative_with_recovery};
 use gpm_workloads::{DnnParams, DnnWorkload, Mode};
 
 fn main() -> Result<(), SimError> {
-    let params = DnnParams { iterations: 20, checkpoint_every: 5, ..DnnParams::default() };
+    let params = DnnParams {
+        iterations: 20,
+        checkpoint_every: 5,
+        ..DnnParams::default()
+    };
 
     // Training with checkpoints under each persistence system.
-    println!("== DNN training: {} passes, checkpoint every {} ==", params.iterations, params.checkpoint_every);
-    for mode in [Mode::Gpm, Mode::GpmNdp, Mode::CapMm, Mode::CapFs, Mode::Gpufs] {
+    println!(
+        "== DNN training: {} passes, checkpoint every {} ==",
+        params.iterations, params.checkpoint_every
+    );
+    for mode in [
+        Mode::Gpm,
+        Mode::GpmNdp,
+        Mode::CapMm,
+        Mode::CapFs,
+        Mode::Gpufs,
+    ] {
         let mut machine = Machine::default();
         let mut app = DnnWorkload::new(params);
         let r = run_iterative(&mut machine, &mut app, mode, 32)?;

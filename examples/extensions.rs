@@ -27,7 +27,8 @@ fn redo_logging_demo() -> Result<(), SimError> {
         .map_err(|_| SimError::Invalid("redo_create"))?;
     let dev = log.dev();
 
-    log.begin(&mut m, 1).map_err(|_| SimError::Invalid("begin"))?;
+    log.begin(&mut m, 1)
+        .map_err(|_| SimError::Invalid("begin"))?;
     gpm_persist_begin(&mut m);
     let cfg = LaunchConfig::new(1, 256);
     let report = launch(
@@ -40,7 +41,8 @@ fn redo_logging_demo() -> Result<(), SimError> {
         }),
     )?;
     gpm_persist_end(&mut m);
-    log.commit(&mut m).map_err(|_| SimError::Invalid("commit"))?;
+    log.commit(&mut m)
+        .map_err(|_| SimError::Invalid("commit"))?;
     println!(
         "256 updates, {} warp fence events (undo logging would need {})",
         report.costs.system_fence_events,
@@ -48,7 +50,8 @@ fn redo_logging_demo() -> Result<(), SimError> {
     );
 
     m.crash(); // the unfenced in-place updates may be lost...
-    log.recover(&mut m, cfg).map_err(|_| SimError::Invalid("recover"))?;
+    log.recover(&mut m, cfg)
+        .map_err(|_| SimError::Invalid("recover"))?;
     assert_eq!(m.read_u64(Addr::pm(data + 64))?, 1001);
     println!("after crash + replay: values intact\n");
     Ok(())
@@ -61,12 +64,12 @@ fn incremental_checkpoint_demo() -> Result<(), SimError> {
     let len: u64 = 1 << 20;
     let hbm = m.alloc_hbm(len)?;
     m.host_write(Addr::hbm(hbm), &vec![1u8; len as usize])?;
-    let mut cp = gpmcp_create(&mut m, "/pm/cp_demo", len, 1, 1)
-        .map_err(|_| SimError::Invalid("create"))?;
+    let mut cp =
+        gpmcp_create(&mut m, "/pm/cp_demo", len, 1, 1).map_err(|_| SimError::Invalid("create"))?;
     gpmcp_register(&mut cp, Addr::hbm(hbm), len, 0).map_err(|_| SimError::Invalid("register"))?;
 
-    let full_t = gpmcp_checkpoint_tracked(&mut m, &mut cp, 0)
-        .map_err(|_| SimError::Invalid("full"))?;
+    let full_t =
+        gpmcp_checkpoint_tracked(&mut m, &mut cp, 0).map_err(|_| SimError::Invalid("full"))?;
     // Warm up the second buffer, then measure a 1%-dirty checkpoint.
     let chunks = (len / 4096) as usize;
     gpmcp_checkpoint_incremental(&mut m, &mut cp, 0, &vec![false; chunks], 4096)
@@ -76,7 +79,10 @@ fn incremental_checkpoint_demo() -> Result<(), SimError> {
     dirty[10] = true;
     let sparse_t = gpmcp_checkpoint_incremental(&mut m, &mut cp, 0, &dirty, 4096)
         .map_err(|_| SimError::Invalid("incremental"))?;
-    println!("full checkpoint {full_t}, 1%-dirty incremental {sparse_t} ({:.1}x faster)", full_t / sparse_t);
+    println!(
+        "full checkpoint {full_t}, 1%-dirty incremental {sparse_t} ({:.1}x faster)",
+        full_t / sparse_t
+    );
 
     m.crash();
     gpmcp_restore(&mut m, &cp, 0).map_err(|_| SimError::Invalid("restore"))?;

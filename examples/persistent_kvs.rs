@@ -12,10 +12,18 @@ use gpm_sim::{Machine, SimError};
 use gpm_workloads::{KvsParams, KvsWorkload, Mode};
 
 fn main() -> Result<(), SimError> {
-    let params = KvsParams { sets: 16_384, ops_per_batch: 2_048, batches: 3, ..KvsParams::default() };
+    let params = KvsParams {
+        sets: 16_384,
+        ops_per_batch: 2_048,
+        batches: 3,
+        ..KvsParams::default()
+    };
 
     // --- GPM vs CAP -------------------------------------------------------
-    println!("== gpKVS: {} SETs/batch x {} batches ==", params.ops_per_batch, params.batches);
+    println!(
+        "== gpKVS: {} SETs/batch x {} batches ==",
+        params.ops_per_batch, params.batches
+    );
     for mode in [Mode::Gpm, Mode::CapMm, Mode::CapFs] {
         let mut machine = Machine::default();
         let r = KvsWorkload::new(params).run(&mut machine, mode)?;
@@ -35,12 +43,18 @@ fn main() -> Result<(), SimError> {
         "\ncrash before last commit: undo recovery took {} ({:.2}% of operation time), state {}",
         r.recovery.expect("measured"),
         r.recovery.unwrap() / r.elapsed * 100.0,
-        if r.verified { "rolled back cleanly" } else { "CORRUPT" }
+        if r.verified {
+            "rolled back cleanly"
+        } else {
+            "CORRUPT"
+        }
     );
 
     // --- the Figure 1(a) CPU stores ---------------------------------------
     println!("\n== CPU persistent KVS baselines (batched SETs, 64 threads) ==");
-    let pairs: Vec<(u64, u64)> = (0..6_000u64).map(|i| (gpm_pmkv::hash64(i) | 1, i)).collect();
+    let pairs: Vec<(u64, u64)> = (0..6_000u64)
+        .map(|i| (gpm_pmkv::hash64(i) | 1, i))
+        .collect();
     let mut m = Machine::default();
     let mut pmemkv = PmemKvCmap::create(&mut m, 16_384)?;
     let rep = run_set_batch(&mut pmemkv, &mut m, &pairs, 64)?;

@@ -47,11 +47,15 @@ fn cpu_stores_agree_on_a_mixed_trace() {
 /// with GPM 2.7–5.8× the CPU stores.
 #[test]
 fn figure1a_ordering_holds() {
-    let pairs: Vec<(u64, u64)> = (0..12_000u64).map(|i| (gpm_pmkv::hash64(i) | 1, i)).collect();
+    let pairs: Vec<(u64, u64)> = (0..12_000u64)
+        .map(|i| (gpm_pmkv::hash64(i) | 1, i))
+        .collect();
     let mops = |mk: &dyn Fn(&mut Machine) -> Box<dyn PmKv>| -> f64 {
         let mut m = Machine::default();
         let mut kv = mk(&mut m);
-        run_set_batch(kv.as_mut(), &mut m, &pairs, 64).unwrap().mops()
+        run_set_batch(kv.as_mut(), &mut m, &pairs, 64)
+            .unwrap()
+            .mops()
     };
     let pmemkv = mops(&|m| Box::new(PmemKvCmap::create(m, 32_768).unwrap()));
     let rocks = mops(&|m| Box::new(LsmKv::create(m, rocksdb_params()).unwrap()));
@@ -106,6 +110,9 @@ fn ndp_is_between_cap_and_gpm() {
     let gpm = t(Mode::Gpm);
     let ndp = t(Mode::GpmNdp);
     let capfs = t(Mode::CapFs);
-    assert!(gpm < ndp, "in-kernel persistence beats CPU flushing (Figure 10)");
+    assert!(
+        gpm < ndp,
+        "in-kernel persistence beats CPU flushing (Figure 10)"
+    );
     assert!(ndp < capfs, "direct PM stores beat staged transfers");
 }

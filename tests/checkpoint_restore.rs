@@ -2,15 +2,13 @@
 //! crashes at arbitrary points, multi-group independence, reopen-and-restore
 //! flows, and property tests over sizes and cadences.
 
-use proptest::prelude::*;
-
-use gpm_core::{
-    gpmcp_checkpoint, gpmcp_create, gpmcp_open, gpmcp_register, gpmcp_restore,
-};
-use gpm_sim::{Addr, Machine, MachineConfig};
+use gpm_core::{gpmcp_checkpoint, gpmcp_create, gpmcp_open, gpmcp_register, gpmcp_restore};
+use gpm_sim::{Addr, Machine};
 
 fn fill(machine: &mut Machine, hbm: u64, len: u64, tag: u8) {
-    let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(tag).wrapping_add(tag)).collect();
+    let data: Vec<u8> = (0..len)
+        .map(|i| (i as u8).wrapping_mul(tag).wrapping_add(tag))
+        .collect();
     machine.host_write(Addr::hbm(hbm), &data).unwrap();
 }
 
@@ -39,7 +37,10 @@ fn restore_after_crash_returns_last_consistent_state() {
 
     m.crash();
     gpmcp_restore(&mut m, &cp, 0).unwrap();
-    assert!(check(&m, hbm, 50_000, 7), "restore must return the last checkpoint, not epoch 9");
+    assert!(
+        check(&m, hbm, 50_000, 7),
+        "restore must return the last checkpoint, not epoch 9"
+    );
 }
 
 #[test]
@@ -83,7 +84,19 @@ fn groups_restore_independently() {
     assert!(check(&m, b, 4_096, 6));
 }
 
-proptest! {
+/// Property tests over sizes and cadences. Compiled only with
+/// `--features slow-tests` (needs the `proptest` dev-dependency, hence
+/// network access); the deterministic tests above always run.
+#[cfg(feature = "slow-tests")]
+mod props {
+    use proptest::prelude::*;
+
+    use gpm_core::{gpmcp_checkpoint, gpmcp_create, gpmcp_register, gpmcp_restore};
+    use gpm_sim::{Addr, Machine, MachineConfig};
+
+    use super::{check, fill};
+
+    proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Any size, any number of checkpointed epochs: restoring always yields
@@ -124,5 +137,6 @@ proptest! {
             prop_assert_eq!(seq, e as u32);
             prop_assert_eq!(which, (e as u32) % 2, "buffers alternate");
         }
+    }
     }
 }

@@ -45,7 +45,10 @@ fn bfs_resumes_from_any_crash_point() {
             let r = BfsWorkload::new(BfsParams::quick())
                 .run_crash_resume(&mut m, fuel)
                 .unwrap();
-            assert!(r.verified, "BFS fuel={fuel} seed={seed}: resumed costs diverge");
+            assert!(
+                r.verified,
+                "BFS fuel={fuel} seed={seed}: resumed costs diverge"
+            );
         }
     }
 }
@@ -65,7 +68,9 @@ fn srad_resumes_from_any_crash_point() {
 fn prefix_sum_resumes_and_skips_completed_blocks() {
     for fuel in [900u64, 6_000, 30_000] {
         let mut m = machine(fuel * 3);
-        let r = PsWorkload::new(PsParams::quick()).run_crash_resume(&mut m, fuel).unwrap();
+        let r = PsWorkload::new(PsParams::quick())
+            .run_crash_resume(&mut m, fuel)
+            .unwrap();
         assert!(r.verified, "PS fuel={fuel}: resumed prefix sums wrong");
     }
 }
@@ -98,7 +103,9 @@ fn many_seeds_many_outcomes_all_recover() {
     // exercised.
     for seed in 0..12u64 {
         let mut m = machine(seed);
-        let ok = KvsWorkload::new(KvsParams::quick()).run_crash_injected(&mut m, 1_000).unwrap();
+        let ok = KvsWorkload::new(KvsParams::quick())
+            .run_crash_injected(&mut m, 1_000)
+            .unwrap();
         assert!(ok, "seed {seed}");
     }
 }

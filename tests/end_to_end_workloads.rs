@@ -57,7 +57,11 @@ fn transactional_workloads_amplify_writes_under_cap() {
         let mut m2 = Machine::default();
         let c = w.run(&mut m2, Mode::CapMm).unwrap();
         let wa = c.pm_write_bytes_total() as f64 / g.pm_write_bytes_total() as f64;
-        assert!(wa > 4.0, "{}: expected heavy write amplification, got {wa:.1}", w.name());
+        assert!(
+            wa > 4.0,
+            "{}: expected heavy write amplification, got {wa:.1}",
+            w.name()
+        );
     }
 }
 
@@ -117,7 +121,12 @@ fn table5_recovery_paths_verify() {
         if let Some(r) = w.run_with_recovery(&mut m).unwrap() {
             assert!(r.verified, "{} recovery verification failed", w.name());
             let rl = r.recovery.expect("restoration latency");
-            assert!(rl.0 > 0.0 && rl < r.elapsed, "{}: RL {rl} vs op {}", w.name(), r.elapsed);
+            assert!(
+                rl.0 > 0.0 && rl < r.elapsed,
+                "{}: RL {rl} vs op {}",
+                w.name(),
+                r.elapsed
+            );
         }
     }
 }

@@ -1,8 +1,6 @@
 //! Integration tests of HCL's failure-atomicity invariant (§5.2) under
 //! arbitrary crash points, plus property tests of the striped layout.
 
-use proptest::prelude::*;
-
 use gpm_core::{gpm_persist_begin, gpmlog_create_hcl, gpmlog_open};
 use gpm_gpu::{launch, launch_with_fuel, FnKernel, LaunchConfig, LaunchError, ThreadCtx};
 use gpm_sim::{Machine, MachineConfig};
@@ -20,7 +18,10 @@ fn crash_and_check(fuel: u64, entry_len: usize, threads: u32, seed: u64) {
         for round in 0..2u64 {
             let mut entry = vec![0u8; entry_len];
             for (j, b) in entry.iter_mut().enumerate() {
-                *b = (tid as u8).wrapping_mul(31).wrapping_add(j as u8).wrapping_add(round as u8);
+                *b = (tid as u8)
+                    .wrapping_mul(31)
+                    .wrapping_add(j as u8)
+                    .wrapping_add(round as u8);
             }
             dev.insert(ctx, &entry)?;
         }
@@ -59,7 +60,10 @@ fn crash_and_check(fuel: u64, entry_len: usize, threads: u32, seed: u64) {
             for (j, b) in buf.iter().enumerate() {
                 assert_eq!(
                     *b,
-                    (tid as u8).wrapping_mul(31).wrapping_add(j as u8).wrapping_add(round as u8),
+                    (tid as u8)
+                        .wrapping_mul(31)
+                        .wrapping_add(j as u8)
+                        .wrapping_add(round as u8),
                     "tid {tid} entry {e} byte {j} corrupt after crash"
                 );
             }
@@ -86,18 +90,26 @@ fn hcl_atomicity_across_entry_sizes() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Property tests over arbitrary crash points. Compiled only with
+/// `--features slow-tests` (needs the `proptest` dev-dependency, hence
+/// network access); the deterministic crash sweeps above always run.
+#[cfg(feature = "slow-tests")]
+mod props {
+    use proptest::prelude::*;
 
-    /// Arbitrary fuel and entry size: the tail-sentinel invariant always
-    /// holds.
-    #[test]
-    fn hcl_invariant_holds_for_arbitrary_crashes(
-        fuel in 1u64..30_000,
-        entry_words in 1usize..20,
-        seed in any::<u64>(),
-    ) {
-        crash_and_check(fuel, entry_words * 4, 32, seed);
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Arbitrary fuel and entry size: the tail-sentinel invariant always
+        /// holds.
+        #[test]
+        fn hcl_invariant_holds_for_arbitrary_crashes(
+            fuel in 1u64..30_000,
+            entry_words in 1usize..20,
+            seed in any::<u64>(),
+        ) {
+            super::crash_and_check(fuel, entry_words * 4, 32, seed);
+        }
     }
 }
 
@@ -120,7 +132,11 @@ fn conventional_log_survives_reopen() {
     .unwrap();
     m.crash();
     let log = gpmlog_open(&m, "/pm/conv_log").unwrap();
-    assert_eq!(log.host_tail(&m, 2).unwrap(), 12, "len header + 8-byte entry");
+    assert_eq!(
+        log.host_tail(&m, 2).unwrap(),
+        12,
+        "len header + 8-byte entry"
+    );
     let dev = log.dev();
     gpm_persist_begin(&mut m);
     launch(

@@ -2,62 +2,71 @@
 //! ADR/DDIO/eADR rules of §2–3 must hold for arbitrary write/persist/crash
 //! interleavings.
 
-use proptest::prelude::*;
-
 use gpm_core::{gpm_persist_begin, gpm_persist_end, GpmThreadExt};
 use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
-use gpm_sim::{Addr, Machine, MachineConfig, PersistMode};
+use gpm_sim::{Addr, Machine};
 
-/// One scripted step of a GPU thread.
-#[derive(Debug, Clone)]
-enum Step {
-    /// Write `value` at slot `slot`.
-    Write { slot: u8, value: u64 },
-    /// System-scope persist.
-    Persist,
-}
+/// Property tests over arbitrary write/persist interleavings. Compiled only
+/// with `--features slow-tests` (needs the `proptest` dev-dependency, hence
+/// network access); the deterministic checks below always run.
+#[cfg(feature = "slow-tests")]
+mod props {
+    use proptest::prelude::*;
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        3 => (any::<u8>(), any::<u64>()).prop_map(|(slot, value)| Step::Write { slot, value }),
-        1 => Just(Step::Persist),
-    ]
-}
+    use gpm_core::{gpm_persist_begin, gpm_persist_end, GpmThreadExt};
+    use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+    use gpm_sim::{Addr, Machine, MachineConfig, PersistMode};
 
-/// Replays `steps` on a host model. For each slot, returns the set of
-/// values a crash may legally leave behind: the last persisted value, plus
-/// any value written after that slot's last persist (whose cache line may
-/// have been applied by the crash), plus zero when nothing was ever
-/// persisted.
-fn admissible_model(steps: &[Step]) -> std::collections::HashMap<u8, Vec<u64>> {
-    use std::collections::HashMap;
-    let mut durable: HashMap<u8, u64> = HashMap::new();
-    let mut staged: HashMap<u8, Vec<u64>> = HashMap::new();
-    for s in steps {
-        match s {
-            Step::Write { slot, value } => staged.entry(*slot).or_default().push(*value),
-            Step::Persist => {
-                for (slot, vals) in staged.drain() {
-                    durable.insert(slot, *vals.last().expect("nonempty"));
+    /// One scripted step of a GPU thread.
+    #[derive(Debug, Clone)]
+    enum Step {
+        /// Write `value` at slot `slot`.
+        Write { slot: u8, value: u64 },
+        /// System-scope persist.
+        Persist,
+    }
+
+    fn step_strategy() -> impl Strategy<Value = Step> {
+        prop_oneof![
+            3 => (any::<u8>(), any::<u64>()).prop_map(|(slot, value)| Step::Write { slot, value }),
+            1 => Just(Step::Persist),
+        ]
+    }
+
+    /// Replays `steps` on a host model. For each slot, returns the set of
+    /// values a crash may legally leave behind: the last persisted value, plus
+    /// any value written after that slot's last persist (whose cache line may
+    /// have been applied by the crash), plus zero when nothing was ever
+    /// persisted.
+    fn admissible_model(steps: &[Step]) -> std::collections::HashMap<u8, Vec<u64>> {
+        use std::collections::HashMap;
+        let mut durable: HashMap<u8, u64> = HashMap::new();
+        let mut staged: HashMap<u8, Vec<u64>> = HashMap::new();
+        for s in steps {
+            match s {
+                Step::Write { slot, value } => staged.entry(*slot).or_default().push(*value),
+                Step::Persist => {
+                    for (slot, vals) in staged.drain() {
+                        durable.insert(slot, *vals.last().expect("nonempty"));
+                    }
                 }
             }
         }
-    }
-    let mut admissible: HashMap<u8, Vec<u64>> = HashMap::new();
-    for (slot, v) in &durable {
-        admissible.entry(*slot).or_default().push(*v);
-    }
-    for (slot, vals) in staged {
-        let entry = admissible.entry(slot).or_default();
-        entry.extend(vals);
-        if !durable.contains_key(&slot) {
-            entry.push(0); // never persisted: may read as zero
+        let mut admissible: HashMap<u8, Vec<u64>> = HashMap::new();
+        for (slot, v) in &durable {
+            admissible.entry(*slot).or_default().push(*v);
         }
+        for (slot, vals) in staged {
+            let entry = admissible.entry(slot).or_default();
+            entry.extend(vals);
+            if !durable.contains_key(&slot) {
+                entry.push(0); // never persisted: may read as zero
+            }
+        }
+        admissible
     }
-    admissible
-}
 
-proptest! {
+    proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// After a crash, each slot holds an *admissible* value: its last
@@ -158,6 +167,7 @@ proptest! {
             prop_assert_eq!(m.read_u64(Addr::pm(base + i as u64 * 64)).unwrap(), *v);
         }
     }
+    }
 }
 
 /// Deterministic (non-property) checks of the DDIO rules.
@@ -172,7 +182,10 @@ fn ddio_gates_persistence() {
         ctx.threadfence_system()
     });
     launch(&mut m, LaunchConfig::new(1, 32), &k).unwrap();
-    assert!(m.pm().is_pending(base, 8), "DDIO caches the write in the LLC");
+    assert!(
+        m.pm().is_pending(base, 8),
+        "DDIO caches the write in the LLC"
+    );
 
     // The persistence window turns the same fence into a persist.
     gpm_persist_begin(&mut m);
@@ -190,7 +203,8 @@ fn crash_resolves_all_pending_state() {
     let mut m = Machine::default();
     let base = m.alloc_pm(1 << 16).unwrap();
     for i in 0..64u64 {
-        m.gpu_store_pm(i as u32, base + i * 64, &i.to_le_bytes()).unwrap();
+        m.gpu_store_pm(i as u32, base + i * 64, &i.to_le_bytes())
+            .unwrap();
     }
     assert_eq!(m.pm().pending_line_count(), 64);
     let report = m.crash();

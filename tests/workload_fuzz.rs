@@ -1,6 +1,12 @@
 //! Parameter fuzzing: every workload's kernel must agree with its host
 //! reference model for arbitrary (small) input shapes, not just the tuned
 //! defaults.
+//!
+//! Compiled only with `--features slow-tests`, which requires the `proptest`
+//! dev-dependency (and therefore network access); the default build stays
+//! dependency-free.
+
+#![cfg(feature = "slow-tests")]
 
 use proptest::prelude::*;
 
