@@ -3,30 +3,35 @@
 //! Unlike the `criterion`-based benches under `benches/` (which need a
 //! registry to build), this binary is dependency-free and runs in any cold
 //! sandbox: `cargo run --release -p gpm-bench --bin enginebench` (or
-//! `make bench-json`). It drives the engine's three stress shapes — a
-//! 1M-thread coalesced-store kernel, a scattered-store kernel that defeats
-//! coalescing, and a fence-per-store kernel — plus one full GPMbench
-//! workload, and reports *wall-clock* throughput in simulated thread
-//! operations per second. Results land in `BENCH_engine.json` so successive
-//! checkouts can be diffed for engine-speed regressions; the simulated
-//! counters in the output double as a coarse determinism check.
+//! `make bench-json`). It drives the engine's stress shapes — a 1M-thread
+//! coalesced-store kernel, a scattered-store kernel that defeats
+//! coalescing, a fence-per-store kernel, and a block-parallel pair that
+//! runs the same grid on one and then all host threads — plus one full
+//! GPMbench workload, and reports *wall-clock* throughput in simulated
+//! thread operations per second. Results land in `BENCH_engine.json` so
+//! successive checkouts can be diffed for engine-speed regressions; the
+//! simulated counters in the output double as a coarse determinism check.
+//!
+//! Flags: `--filter <substr>` runs only benches whose name contains the
+//! substring; `--reps <n>` overrides the repetition count (default 3).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_gpu::{launch, resolved_engine_threads, FnKernel, LaunchConfig, ThreadCtx};
 use gpm_sim::{Addr, Machine, Ns};
 use gpm_workloads::{suite, Mode, Scale};
 
-/// Timed repetitions per bench (the best wall time is reported, minimising
-/// scheduler noise); one untimed warm-up precedes them.
-const REPS: usize = 3;
+/// Default timed repetitions per bench (the best wall time is reported,
+/// minimising scheduler noise); one untimed warm-up precedes them.
+const DEFAULT_REPS: usize = 3;
 
 struct BenchResult {
     name: &'static str,
     threads: u64,
     /// Simulated thread operations executed per repetition.
     ops: u64,
+    reps: usize,
     best_wall_s: f64,
     ops_per_sec: f64,
     /// Simulated elapsed nanoseconds of one repetition (engine output; must
@@ -34,13 +39,18 @@ struct BenchResult {
     sim_elapsed_ns: f64,
 }
 
-/// Runs `f` REPS times after a warm-up; `f` returns (ops, simulated ns).
-fn bench(name: &'static str, threads: u64, mut f: impl FnMut() -> (u64, Ns)) -> BenchResult {
+/// Runs `f` `reps` times after a warm-up; `f` returns (ops, simulated ns).
+fn bench(
+    name: &'static str,
+    threads: u64,
+    reps: usize,
+    mut f: impl FnMut() -> (u64, Ns),
+) -> BenchResult {
     f(); // warm-up: page in lazily-allocated simulation state
     let mut best = f64::INFINITY;
     let mut ops = 0;
     let mut sim_ns = 0.0;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let t0 = Instant::now();
         let (o, ns) = f();
         let wall = t0.elapsed().as_secs_f64();
@@ -52,6 +62,7 @@ fn bench(name: &'static str, threads: u64, mut f: impl FnMut() -> (u64, Ns)) -> 
         name,
         threads,
         ops,
+        reps,
         best_wall_s: best,
         ops_per_sec: ops as f64 / best,
         sim_elapsed_ns: sim_ns,
@@ -70,9 +81,9 @@ fn bench(name: &'static str, threads: u64, mut f: impl FnMut() -> (u64, Ns)) -> 
 /// 1M threads, each storing 8 consecutive bytes: every warp coalesces to
 /// two 128-byte PCIe transactions per line pair. This is the engine's
 /// best case and the regression gate's headline number.
-fn coalesced_store() -> BenchResult {
+fn coalesced_store(reps: usize) -> BenchResult {
     let threads: u64 = 1 << 20;
-    bench("coalesced_store_1m", threads, || {
+    bench("coalesced_store_1m", threads, reps, || {
         let mut m = Machine::default();
         let pm = m.alloc_pm(threads * 8).unwrap();
         let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
@@ -87,9 +98,9 @@ fn coalesced_store() -> BenchResult {
 /// 256K threads striding 1 KiB apart (eight 128-byte lines): no two lanes
 /// share a line, so every store is its own transaction and the line table
 /// is touched at its sparsest.
-fn scattered_store() -> BenchResult {
+fn scattered_store(reps: usize) -> BenchResult {
     let threads: u64 = 1 << 18;
-    bench("scattered_store_256k", threads, || {
+    bench("scattered_store_256k", threads, reps, || {
         let mut m = Machine::default();
         let pm = m.alloc_pm(threads * 1024).unwrap();
         let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
@@ -104,10 +115,10 @@ fn scattered_store() -> BenchResult {
 /// 64K threads, each issuing four store+system-fence pairs with the
 /// persistence window open: stresses fence bookkeeping and pending-line
 /// drain.
-fn fence_heavy() -> BenchResult {
+fn fence_heavy(reps: usize) -> BenchResult {
     let threads: u64 = 1 << 16;
     const ROUNDS: u64 = 4;
-    bench("fence_heavy_64k", threads, || {
+    bench("fence_heavy_64k", threads, reps, || {
         let mut m = Machine::default();
         let pm = m.alloc_pm(threads * ROUNDS * 8).unwrap();
         m.set_ddio(false);
@@ -124,10 +135,44 @@ fn fence_heavy() -> BenchResult {
     })
 }
 
+/// The block-parallel stress shape: 64 independent blocks, each thread
+/// storing and re-loading eight disjoint PM lines. Run with
+/// `engine_threads` pinned to `host_threads` (the `parallel_blocks` bench)
+/// and to 1 (`parallel_blocks_seq`), the pair measures the staged-commit
+/// engine's wall-clock speedup; simulated output is bit-identical in both.
+fn parallel_blocks(reps: usize, host_threads: u32, seq: bool) -> BenchResult {
+    const GRID: u32 = 64;
+    const BLOCK: u32 = 256;
+    const ROUNDS: u64 = 8;
+    let threads = GRID as u64 * BLOCK as u64;
+    let (name, engine_threads) = if seq {
+        ("parallel_blocks_seq", 1)
+    } else {
+        ("parallel_blocks", host_threads)
+    };
+    bench(name, threads, reps, move || {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(threads * ROUNDS * 128).unwrap();
+        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            let mut acc = 0u64;
+            for j in 0..ROUNDS {
+                let slot = pm + (i * ROUNDS + j) * 128;
+                ctx.st_u64(Addr::pm(slot), i ^ j)?;
+                acc = acc.wrapping_add(ctx.ld_u64(Addr::pm(slot))?);
+            }
+            ctx.st_u64(Addr::pm(pm + i * ROUNDS * 128), acc)
+        });
+        let cfg = LaunchConfig::new(GRID, BLOCK).with_engine_threads(engine_threads);
+        let r = launch(&mut m, cfg, &k).unwrap();
+        (threads * ROUNDS * 2, r.elapsed)
+    })
+}
+
 /// One full GPMbench workload (gpKVS at quick scale) end to end, so the
 /// harness also covers the allocator, logging, and verification layers.
-fn suite_workload() -> BenchResult {
-    bench("suite_gpkvs_quick", 0, || {
+fn suite_workload(reps: usize) -> BenchResult {
+    bench("suite_gpkvs_quick", 0, reps, || {
         let mut w = suite(Scale::Quick).remove(0);
         let mut m = Machine::default();
         let metrics = w.run(&mut m, Mode::Gpm).unwrap();
@@ -136,14 +181,16 @@ fn suite_workload() -> BenchResult {
     })
 }
 
-fn to_json(results: &[BenchResult]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"gpm-enginebench-v1\",\n  \"benches\": [\n");
+fn to_json(results: &[BenchResult], engine_threads: u32) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"gpm-enginebench-v2\",\n  \"engine_threads\": {engine_threads},\n  \"benches\": [\n"
+    );
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"threads\": {}, \"ops\": {}, \"reps\": {}, \
              \"best_wall_s\": {:.6}, \"ops_per_sec\": {:.1}, \"sim_elapsed_ns\": {:.3}}}",
-            r.name, r.threads, r.ops, REPS, r.best_wall_s, r.ops_per_sec, r.sim_elapsed_ns
+            r.name, r.threads, r.ops, r.reps, r.best_wall_s, r.ops_per_sec, r.sim_elapsed_ns
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
@@ -151,15 +198,68 @@ fn to_json(results: &[BenchResult]) -> String {
     out
 }
 
+struct Opts {
+    filter: Option<String>,
+    reps: usize,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        filter: None,
+        reps: DEFAULT_REPS,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--filter" => {
+                opts.filter = Some(args.next().expect("--filter needs a substring"));
+            }
+            "--reps" => {
+                opts.reps = args
+                    .next()
+                    .expect("--reps needs a count")
+                    .parse()
+                    .expect("--reps needs a positive integer");
+                assert!(opts.reps > 0, "--reps needs a positive integer");
+            }
+            other => panic!("unknown flag {other:?} (expected --filter or --reps)"),
+        }
+    }
+    opts
+}
+
 fn main() {
-    println!("enginebench: wall-clock engine throughput ({REPS} reps, best-of)");
-    let results = [
-        coalesced_store(),
-        scattered_store(),
-        fence_heavy(),
-        suite_workload(),
+    let opts = parse_args();
+    // The count an unpinned launch would resolve to (env override included):
+    // recorded in the JSON so runs on different hosts can be compared.
+    let engine_threads = resolved_engine_threads(&LaunchConfig::new(1, 32));
+    println!(
+        "enginebench: wall-clock engine throughput ({} reps, best-of, {engine_threads} engine threads)",
+        opts.reps
+    );
+    type BenchFn = fn(usize, u32) -> BenchResult;
+    let table: &[(&str, BenchFn)] = &[
+        ("coalesced_store_1m", |r, _| coalesced_store(r)),
+        ("scattered_store_256k", |r, _| scattered_store(r)),
+        ("fence_heavy_64k", |r, _| fence_heavy(r)),
+        ("parallel_blocks_seq", |r, t| parallel_blocks(r, t, true)),
+        ("parallel_blocks", |r, t| parallel_blocks(r, t, false)),
+        ("suite_gpkvs_quick", |r, _| suite_workload(r)),
     ];
-    let json = to_json(&results);
+    let results: Vec<BenchResult> = table
+        .iter()
+        .filter(|(name, _)| {
+            opts.filter
+                .as_deref()
+                .is_none_or(|needle| name.contains(needle))
+        })
+        .map(|(_, f)| f(opts.reps, engine_threads))
+        .collect();
+    if results.is_empty() {
+        eprintln!("no bench matches the filter; nothing written");
+        return;
+    }
+    let json = to_json(&results, engine_threads);
     let path = "BENCH_engine.json";
     std::fs::write(path, &json).expect("write BENCH_engine.json");
     println!("wrote {path}");

@@ -23,6 +23,12 @@ pub struct LaunchConfig {
     pub grid: u32,
     /// Threads per threadblock.
     pub block: u32,
+    /// Host worker threads for block-parallel execution. `None` defers to
+    /// the `GPM_ENGINE_THREADS` environment variable, then to the host's
+    /// available parallelism; `Some(1)` forces the sequential engine. Purely
+    /// a host-side scheduling knob: simulated results and timing are
+    /// identical at every setting.
+    pub engine_threads: Option<u32>,
 }
 
 impl LaunchConfig {
@@ -36,7 +42,21 @@ impl LaunchConfig {
         assert!(grid > 0, "grid dimension must be non-zero");
         assert!(block > 0, "block dimension must be non-zero");
         assert!(block <= 1024, "at most 1024 threads per block");
-        LaunchConfig { grid, block }
+        LaunchConfig {
+            grid,
+            block,
+            engine_threads: None,
+        }
+    }
+
+    /// Pins the host worker-thread count for this launch (overriding the
+    /// `GPM_ENGINE_THREADS` environment variable). `1` forces the sequential
+    /// engine.
+    #[must_use]
+    pub fn with_engine_threads(mut self, threads: u32) -> LaunchConfig {
+        assert!(threads > 0, "engine thread count must be non-zero");
+        self.engine_threads = Some(threads);
+        self
     }
 
     /// Smallest grid of `block`-sized blocks covering `elements` threads.

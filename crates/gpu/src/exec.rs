@@ -1,11 +1,32 @@
 //! The kernel launcher: phase-by-phase, warp-by-warp execution with
 //! hardware coalescing, scoped fences, and crash injection.
 //!
-//! Execution is deterministic and sequential in simulation, but models the
-//! GPU's concurrency: threads of a warp execute in lockstep, so their
-//! same-program-point accesses to one 128-byte line coalesce into a single
-//! PCIe transaction (§2), and a warp's simultaneous fences form one fence
-//! event. Phase boundaries implement `__syncthreads()`.
+//! Execution is deterministic, but models the GPU's concurrency: threads of
+//! a warp execute in lockstep, so their same-program-point accesses to one
+//! 128-byte line coalesce into a single PCIe transaction (§2), and a warp's
+//! simultaneous fences form one fence event. Phase boundaries implement
+//! `__syncthreads()`.
+//!
+//! ## Block-parallel execution
+//!
+//! CUDA threadblocks are independent between launch boundaries unless a
+//! kernel deliberately communicates across blocks, so the engine can run
+//! blocks on a pool of host threads without changing any observable result.
+//! Each worker executes its blocks against a [`BlockStage`] — a copy-on-
+//! write overlay over the frozen machine plus an ordered effect log — and
+//! the main thread *commits the stages serially in block-id order*, calling
+//! the very same machine operations sequential execution would, in the same
+//! order. Counters, pending-line state, the pattern tracker, and simulated
+//! time are therefore bit-identical in both modes (the golden-counter gate
+//! runs in both). Divergence is impossible rather than unlikely: the only
+//! thing a stage cannot reproduce is a *read* of a lower-numbered block's
+//! same-launch write, and every base read is checked against earlier blocks'
+//! write sets at commit — any hit abandons the stages (machine untouched)
+//! and reruns the launch sequentially. Kernels annotated
+//! [`KernelCapability::Communicating`], single-block grids, and crash-fuel
+//! launches skip the parallel path up front; thread count comes from
+//! [`LaunchConfig::engine_threads`], then `GPM_ENGINE_THREADS`, then the
+//! host's available parallelism (`1` forces the sequential engine).
 //!
 //! ## Hot-path design
 //!
@@ -22,23 +43,30 @@
 //! pattern-tracker order, fence events, simulated time — is identical to the
 //! event-buffer design, as the golden-counter tests pin down.
 
+use std::collections::HashSet;
 use std::fmt;
 
 use gpm_sim::pattern::PatternTracker;
+use gpm_sim::staged::{BlockStage, LineKey};
 use gpm_sim::{Addr, CrashReport, Machine, MemSpace, Ns, SimError, SimResult, WriterId, GPU_LINE};
 
 use crate::dim::{LaunchConfig, ThreadId, WARP_SIZE};
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, KernelCapability};
 use crate::timing::KernelCosts;
 
 /// Result of a completed kernel launch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelReport {
     /// Simulated elapsed time of the launch (also added to the machine
     /// clock).
     pub elapsed: Ns,
     /// Resource usage that produced `elapsed`.
     pub costs: KernelCosts,
+    /// Host worker threads the engine actually used: the resolved thread
+    /// count when the block-parallel path committed, `1` when the
+    /// sequential path ran (including conflict / capability fallbacks).
+    /// Purely diagnostic — simulated results never depend on it.
+    pub threads_used: u32,
 }
 
 /// Why a launch did not complete.
@@ -173,19 +201,22 @@ impl WarpScratch {
 
     /// Emits the warp's coalesced transactions and fence events, then resets
     /// for the next warp. Groups are visited in program order and lines in
-    /// ascending order, mirroring the former sorted-map drain exactly.
-    fn drain(&mut self, machine: &mut Machine, costs: &mut KernelCosts) {
+    /// ascending order, mirroring the former sorted-map drain exactly. A
+    /// warp that staged nothing (all lanes idle or pure compute) returns
+    /// without touching the group table.
+    fn drain(&mut self, mem: &mut EngineMem<'_>, costs: &mut KernelCosts) {
+        if self.used == 0 {
+            return;
+        }
         for g in &mut self.groups[..self.used] {
             for e in &g.write_lines {
                 costs.pcie_write_txns += 1;
-                machine.stats.pcie_write_txns += 1;
-                machine.gpu_pm_pattern.record(e.start, e.end - e.start);
-                machine.note_gpu_pm_txn(e.start, e.end - e.start);
+                mem.pm_txn(e.start, e.end - e.start);
             }
             costs.pcie_read_txns += g.read_lines.len() as u64;
             if g.sys_fence {
                 costs.system_fence_events += 1;
-                machine.gpu_pm_pattern.barrier();
+                mem.pattern_barrier();
             }
             if g.dev_fence {
                 costs.device_fence_events += 1;
@@ -200,10 +231,105 @@ impl WarpScratch {
     }
 }
 
+/// The memory the engine runs a block against: the live machine (sequential
+/// path) or a frozen base plus a block-local stage (parallel path). Each
+/// operation's staged branch buffers exactly what its live branch applies,
+/// so replaying a stage's effect log in block order reproduces the live
+/// sequence bit for bit.
+enum EngineMem<'a> {
+    /// Mutate the machine directly.
+    Live(&'a mut Machine),
+    /// Buffer effects in a block-local stage against the frozen `base`.
+    Staged {
+        base: &'a Machine,
+        stage: &'a mut BlockStage,
+    },
+}
+
+impl EngineMem<'_> {
+    /// The machine for read-only queries (config, persist mode).
+    fn machine(&self) -> &Machine {
+        match self {
+            EngineMem::Live(m) => m,
+            EngineMem::Staged { base, .. } => base,
+        }
+    }
+
+    /// A GPU store to PM (`Machine::gpu_store_pm`).
+    fn store_pm(&mut self, writer: WriterId, offset: u64, bytes: &[u8]) -> SimResult<()> {
+        match self {
+            EngineMem::Live(m) => m.gpu_store_pm(writer, offset, bytes),
+            EngineMem::Staged { base, stage } => stage.store_pm(base, writer, offset, bytes),
+        }
+    }
+
+    /// A store to a volatile space (`Machine::host_write`).
+    fn store_vol(&mut self, addr: Addr, bytes: &[u8]) -> SimResult<()> {
+        match self {
+            EngineMem::Live(m) => m.host_write(addr, bytes),
+            EngineMem::Staged { base, stage } => stage.store_vol(base, addr, bytes),
+        }
+    }
+
+    /// A GPU load from PM (`Machine::gpu_load_pm`, which also counts the
+    /// bytes read).
+    fn load_pm(&mut self, offset: u64, buf: &mut [u8]) -> SimResult<()> {
+        match self {
+            EngineMem::Live(m) => m.gpu_load_pm(offset, buf),
+            EngineMem::Staged { base, stage } => {
+                stage.read(base, Addr::pm(offset), buf)?;
+                stage.note_pm_read(buf.len() as u64);
+                Ok(())
+            }
+        }
+    }
+
+    /// An uncounted coherent read (`Machine::read` — volatile loads and the
+    /// read half of fused atomics).
+    fn read(&mut self, addr: Addr, buf: &mut [u8]) -> SimResult<()> {
+        match self {
+            EngineMem::Live(m) => m.read(addr, buf),
+            EngineMem::Staged { base, stage } => stage.read(base, addr, buf),
+        }
+    }
+
+    /// A system-scope fence (`Machine::gpu_system_fence`).
+    fn fence_system(&mut self, writer: WriterId) {
+        match self {
+            EngineMem::Live(m) => {
+                m.gpu_system_fence(writer);
+            }
+            EngineMem::Staged { stage, .. } => stage.fence_persist(writer),
+        }
+    }
+
+    /// One coalesced PCIe write transaction's machine-side accounting
+    /// (issued by the warp drain).
+    fn pm_txn(&mut self, offset: u64, len: u64) {
+        match self {
+            EngineMem::Live(m) => {
+                m.stats.pcie_write_txns += 1;
+                m.gpu_pm_pattern.record(offset, len);
+                m.note_gpu_pm_txn(offset, len);
+            }
+            EngineMem::Staged { stage, .. } => stage.pm_txn(offset, len),
+        }
+    }
+
+    /// A pattern-tracker barrier (issued by the warp drain for coalesced
+    /// system fences).
+    fn pattern_barrier(&mut self) {
+        match self {
+            EngineMem::Live(m) => m.gpu_pm_pattern.barrier(),
+            EngineMem::Staged { stage, .. } => stage.pattern_barrier(),
+        }
+    }
+}
+
 /// Execution context handed to each thread, wrapping the machine with the
 /// thread's identity and the warp's coalescing buffer.
 pub struct ThreadCtx<'a> {
-    machine: &'a mut Machine,
+    mem: EngineMem<'a>,
     costs: &'a mut KernelCosts,
     scratch: &'a mut WarpScratch,
     fuel: &'a mut Option<u64>,
@@ -285,18 +411,18 @@ impl ThreadCtx<'_> {
         self.burn()?;
         match addr.space {
             MemSpace::Pm => {
-                self.machine.gpu_store_pm(self.writer, addr.offset, bytes)?;
+                self.mem.store_pm(self.writer, addr.offset, bytes)?;
                 self.costs.pm_write_bytes += bytes.len() as u64;
                 self.scratch
                     .group(self.op_seq)
                     .record_write(addr.offset, bytes.len() as u64);
             }
             MemSpace::Hbm => {
-                self.machine.host_write(addr, bytes)?;
+                self.mem.store_vol(addr, bytes)?;
                 self.costs.hbm_bytes += bytes.len() as u64;
             }
             MemSpace::Dram => {
-                self.machine.host_write(addr, bytes)?;
+                self.mem.store_vol(addr, bytes)?;
                 self.costs.dram_bytes += bytes.len() as u64;
             }
         }
@@ -312,18 +438,18 @@ impl ThreadCtx<'_> {
         self.burn()?;
         match addr.space {
             MemSpace::Pm => {
-                self.machine.gpu_load_pm(addr.offset, buf)?;
+                self.mem.load_pm(addr.offset, buf)?;
                 self.costs.pm_read_bytes += buf.len() as u64;
                 self.scratch
                     .group(self.op_seq)
                     .record_read(addr.offset, buf.len() as u64);
             }
             MemSpace::Hbm => {
-                self.machine.read(addr, buf)?;
+                self.mem.read(addr, buf)?;
                 self.costs.hbm_bytes += buf.len() as u64;
             }
             MemSpace::Dram => {
-                self.machine.read(addr, buf)?;
+                self.mem.read(addr, buf)?;
                 self.costs.dram_bytes += buf.len() as u64;
             }
         }
@@ -424,21 +550,21 @@ impl ThreadCtx<'_> {
     pub fn atomic_add_u32(&mut self, addr: Addr, v: u32) -> SimResult<u32> {
         self.burn()?;
         let mut b = [0u8; 4];
-        self.machine.read(addr, &mut b)?;
+        self.mem.read(addr, &mut b)?;
         let old = u32::from_le_bytes(b);
         let new = old.wrapping_add(v).to_le_bytes();
         match addr.space {
             MemSpace::Pm => {
-                self.machine.gpu_store_pm(self.writer, addr.offset, &new)?;
+                self.mem.store_pm(self.writer, addr.offset, &new)?;
                 self.costs.pm_write_bytes += 4;
                 self.scratch.group(self.op_seq).record_write(addr.offset, 4);
             }
             MemSpace::Hbm => {
-                self.machine.host_write(addr, &new)?;
+                self.mem.store_vol(addr, &new)?;
                 self.costs.hbm_bytes += 8;
             }
             MemSpace::Dram => {
-                self.machine.host_write(addr, &new)?;
+                self.mem.store_vol(addr, &new)?;
                 self.costs.dram_bytes += 8;
             }
         }
@@ -456,7 +582,7 @@ impl ThreadCtx<'_> {
     /// Injected crashes surface as [`SimError::Crashed`].
     pub fn threadfence_system(&mut self) -> SimResult<()> {
         self.burn()?;
-        self.machine.gpu_system_fence(self.writer);
+        self.mem.fence_system(self.writer);
         self.scratch.group(self.op_seq).sys_fence = true;
         Ok(())
     }
@@ -486,12 +612,12 @@ impl ThreadCtx<'_> {
     /// Whether a system fence currently guarantees durability (DDIO disabled
     /// or eADR) — what `gpm_persist` relies on.
     pub fn persist_guaranteed(&self) -> bool {
-        self.machine.gpu_persist_guaranteed()
+        self.mem.machine().gpu_persist_guaranteed()
     }
 
     /// Read-only access to platform configuration.
     pub fn config(&self) -> &gpm_sim::MachineConfig {
-        &self.machine.cfg
+        &self.mem.machine().cfg
     }
 }
 
@@ -501,7 +627,7 @@ impl ThreadCtx<'_> {
 /// # Errors
 ///
 /// Returns any functional error a thread hit (e.g. out-of-bounds).
-pub fn launch<K: Kernel>(
+pub fn launch<K: Kernel + Sync>(
     machine: &mut Machine,
     cfg: LaunchConfig,
     kernel: &K,
@@ -521,7 +647,7 @@ pub fn launch<K: Kernel>(
 ///
 /// [`LaunchError::Crashed`] on fuel exhaustion; [`LaunchError::Sim`] on
 /// functional errors.
-pub fn launch_with_fuel<K: Kernel>(
+pub fn launch_with_fuel<K: Kernel + Sync>(
     machine: &mut Machine,
     cfg: LaunchConfig,
     kernel: &K,
@@ -537,7 +663,7 @@ pub fn launch_with_fuel<K: Kernel>(
 /// # Errors
 ///
 /// Same as [`launch_with_fuel`].
-pub fn launch_with_fuel_budget<K: Kernel>(
+pub fn launch_with_fuel_budget<K: Kernel + Sync>(
     machine: &mut Machine,
     cfg: LaunchConfig,
     kernel: &K,
@@ -546,23 +672,83 @@ pub fn launch_with_fuel_budget<K: Kernel>(
     launch_inner(machine, cfg, kernel, fuel)
 }
 
-fn launch_inner<K: Kernel>(
+/// Host worker threads for a launch: the `LaunchConfig` override, else the
+/// `GPM_ENGINE_THREADS` environment variable, else the host's available
+/// parallelism.
+fn resolve_engine_threads(cfg: &LaunchConfig) -> u32 {
+    if let Some(t) = cfg.engine_threads {
+        return t.max(1);
+    }
+    if let Some(t) = std::env::var("GPM_ENGINE_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+    {
+        if t >= 1 {
+            return t;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1)
+}
+
+/// The host worker-thread count a launch with `cfg` would use, after
+/// applying the [`LaunchConfig::engine_threads`] override, the
+/// `GPM_ENGINE_THREADS` environment variable, and the host's available
+/// parallelism — what [`KernelReport::threads_used`] reports when the
+/// block-parallel path commits. Exposed for harnesses that record the
+/// engine configuration alongside results.
+pub fn resolved_engine_threads(cfg: &LaunchConfig) -> u32 {
+    resolve_engine_threads(cfg)
+}
+
+fn launch_inner<K: Kernel + Sync>(
     machine: &mut Machine,
     cfg: LaunchConfig,
     kernel: &K,
     fuel: &mut Option<u64>,
 ) -> Result<KernelReport, LaunchError> {
     machine.stats.kernel_launches += 1;
+    let threads = resolve_engine_threads(&cfg);
+    // The parallel path needs independent blocks (capability), more than
+    // one block to spread, and no crash fuel (fuel draws from a global
+    // operation order that only sequential execution defines).
+    if threads > 1
+        && cfg.grid > 1
+        && fuel.is_none()
+        && kernel.capability() == KernelCapability::BlockParallel
+    {
+        if let Some(report) = launch_parallel(machine, cfg, kernel, threads) {
+            return Ok(report);
+        }
+        // A worker erred or a cross-block conflict surfaced: the machine is
+        // untouched, so the sequential engine reruns from the same state and
+        // produces the canonical outcome (including the canonical error).
+    }
+    launch_sequential(machine, cfg, kernel, fuel)
+}
+
+/// The legacy engine: blocks run in order against the live machine. Costs
+/// are still accumulated per block and merged in block order so
+/// floating-point sums associate exactly as the parallel path's commit does.
+fn launch_sequential<K: Kernel>(
+    machine: &mut Machine,
+    cfg: LaunchConfig,
+    kernel: &K,
+    fuel: &mut Option<u64>,
+) -> Result<KernelReport, LaunchError> {
     let pattern_before = machine.gpu_pm_pattern.clone();
-    let mut costs = KernelCosts::default();
+    let mut total = KernelCosts::default();
     let mut scratch = WarpScratch::default();
     let mut states: Vec<K::State> = Vec::new();
+    let mut shared = K::Shared::default();
     let phases = kernel.phases();
 
     for block in 0..cfg.grid {
-        let mut shared = K::Shared::default();
+        kernel.reset_shared(&mut shared);
         states.clear();
         states.resize_with(cfg.block as usize, K::State::default);
+        let mut costs = KernelCosts::default();
         for phase in 0..phases {
             for warp in 0..cfg.warps_per_block() {
                 for lane in 0..WARP_SIZE {
@@ -573,7 +759,7 @@ fn launch_inner<K: Kernel>(
                     let id = ThreadId { block, thread };
                     let writer = id.global(&cfg) as WriterId;
                     let mut ctx = ThreadCtx {
-                        machine,
+                        mem: EngineMem::Live(machine),
                         costs: &mut costs,
                         scratch: &mut scratch,
                         fuel,
@@ -591,15 +777,162 @@ fn launch_inner<K: Kernel>(
                         Err(e) => return Err(LaunchError::Sim(e)),
                     }
                 }
-                scratch.drain(machine, &mut costs);
+                scratch.drain(&mut EngineMem::Live(machine), &mut costs);
             }
         }
+        total.merge(&costs);
     }
 
     let pattern_delta: PatternTracker = machine.gpu_pm_pattern.delta(&pattern_before);
-    let elapsed = costs.elapsed(&machine.cfg, &cfg, &pattern_delta);
+    let elapsed = total.elapsed(&machine.cfg, &cfg, &pattern_delta);
     machine.clock.advance(elapsed);
-    Ok(KernelReport { elapsed, costs })
+    Ok(KernelReport {
+        elapsed,
+        costs: total,
+        threads_used: 1,
+    })
+}
+
+/// Reusable per-worker execution buffers: one allocation for the whole
+/// chunk of blocks, mirroring the sequential engine's reuse of `states`,
+/// `shared`, and the warp scratch.
+struct WorkerScratch<K: Kernel> {
+    scratch: WarpScratch,
+    states: Vec<K::State>,
+    shared: K::Shared,
+}
+
+impl<K: Kernel> WorkerScratch<K> {
+    fn new() -> WorkerScratch<K> {
+        WorkerScratch {
+            scratch: WarpScratch::default(),
+            states: Vec::new(),
+            shared: K::Shared::default(),
+        }
+    }
+}
+
+/// Runs one block against a fresh stage over the frozen machine, returning
+/// its buffered effects and costs, or `Err` on any functional error (the
+/// caller falls back to the sequential engine for the canonical outcome).
+fn run_block_staged<K: Kernel>(
+    base: &Machine,
+    cfg: LaunchConfig,
+    kernel: &K,
+    block: u32,
+    ws: &mut WorkerScratch<K>,
+) -> Result<(BlockStage, KernelCosts), ()> {
+    let mut stage = BlockStage::new();
+    let mut costs = KernelCosts::default();
+    let WorkerScratch {
+        scratch,
+        states,
+        shared,
+    } = ws;
+    kernel.reset_shared(shared);
+    states.clear();
+    states.resize_with(cfg.block as usize, K::State::default);
+    let mut fuel = None;
+
+    for phase in 0..kernel.phases() {
+        for warp in 0..cfg.warps_per_block() {
+            for lane in 0..WARP_SIZE {
+                let thread = warp * WARP_SIZE + lane;
+                if thread >= cfg.block {
+                    break;
+                }
+                let id = ThreadId { block, thread };
+                let writer = id.global(&cfg) as WriterId;
+                let mut ctx = ThreadCtx {
+                    mem: EngineMem::Staged {
+                        base,
+                        stage: &mut stage,
+                    },
+                    costs: &mut costs,
+                    scratch,
+                    fuel: &mut fuel,
+                    launch: cfg,
+                    id,
+                    writer,
+                    op_seq: 0,
+                };
+                kernel
+                    .run(phase, &mut ctx, &mut states[thread as usize], shared)
+                    .map_err(|_| ())?;
+            }
+            scratch.drain(
+                &mut EngineMem::Staged {
+                    base,
+                    stage: &mut stage,
+                },
+                &mut costs,
+            );
+        }
+    }
+    Ok((stage, costs))
+}
+
+/// The block-parallel engine: a scoped worker pool runs each block against a
+/// block-local stage over the frozen machine, then the main thread validates
+/// and commits the stages serially in block-id order. Returns `None` —
+/// machine untouched — when any worker erred or any block read a line a
+/// lower-numbered block wrote (sequential execution would have shown it
+/// newer data).
+fn launch_parallel<K: Kernel + Sync>(
+    machine: &mut Machine,
+    cfg: LaunchConfig,
+    kernel: &K,
+    threads: u32,
+) -> Option<KernelReport> {
+    let grid = cfg.grid as usize;
+    let workers = (threads as usize).min(grid);
+    let chunk = grid.div_ceil(workers);
+    let mut slots: Vec<Option<Result<(BlockStage, KernelCosts), ()>>> = Vec::new();
+    slots.resize_with(grid, || None);
+
+    {
+        let base: &Machine = machine;
+        std::thread::scope(|s| {
+            for (w, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                let first_block = (w * chunk) as u32;
+                s.spawn(move || {
+                    let mut ws = WorkerScratch::<K>::new();
+                    for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                        let block = first_block + i as u32;
+                        *slot = Some(run_block_staged(base, cfg, kernel, block, &mut ws));
+                    }
+                });
+            }
+        });
+    }
+
+    // Validate before committing anything: all-or-nothing, no rollback.
+    let mut written: HashSet<LineKey> = HashSet::new();
+    let mut stages = Vec::with_capacity(grid);
+    for slot in slots {
+        let (stage, costs) = slot.expect("worker filled its slot").ok()?;
+        if stage.reads_conflict(&written) {
+            return None;
+        }
+        stage.extend_writes(&mut written);
+        stages.push((stage, costs));
+    }
+
+    let pattern_before = machine.gpu_pm_pattern.clone();
+    let mut total = KernelCosts::default();
+    for (stage, costs) in &stages {
+        stage.commit(machine);
+        total.merge(costs);
+    }
+
+    let pattern_delta: PatternTracker = machine.gpu_pm_pattern.delta(&pattern_before);
+    let elapsed = total.elapsed(&machine.cfg, &cfg, &pattern_delta);
+    machine.clock.advance(elapsed);
+    Some(KernelReport {
+        elapsed,
+        costs: total,
+        threads_used: workers as u32,
+    })
 }
 
 #[cfg(test)]
@@ -793,6 +1126,154 @@ mod tests {
         }
         assert!(times[0] > times[1] * 2.0, "{:?}", times);
         assert!(times[1] > times[2], "{:?}", times);
+    }
+
+    /// Two machines with identical setup for comparing engine modes.
+    fn twin_machines(pm_bytes: u64) -> (Machine, Machine, u64) {
+        let mut a = Machine::default();
+        let mut b = Machine::default();
+        let pa = a.alloc_pm(pm_bytes).unwrap();
+        let pb = b.alloc_pm(pm_bytes).unwrap();
+        assert_eq!(pa, pb);
+        (a, b, pa)
+    }
+
+    #[test]
+    fn parallel_commit_matches_sequential_bit_for_bit() {
+        let (mut seq, mut par, pm) = twin_machines(1 << 20);
+        seq.set_ddio(false);
+        par.set_ddio(false);
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(pm + i * 8), i * 3)?;
+            ctx.compute(Ns(7.5));
+            ctx.threadfence_system()
+        });
+        let r1 = launch(
+            &mut seq,
+            LaunchConfig::new(8, 64).with_engine_threads(1),
+            &k,
+        )
+        .unwrap();
+        let r4 = launch(
+            &mut par,
+            LaunchConfig::new(8, 64).with_engine_threads(4),
+            &k,
+        )
+        .unwrap();
+        assert_eq!(r1.threads_used, 1);
+        assert_eq!(r4.threads_used, 4, "parallel path must have committed");
+        assert_eq!(r1.costs, r4.costs);
+        assert_eq!(r1.elapsed.0.to_bits(), r4.elapsed.0.to_bits());
+        assert_eq!(format!("{:?}", seq.stats), format!("{:?}", par.stats));
+        assert_eq!(seq.clock.now(), par.clock.now());
+        let mut ba = vec![0u8; 8 * 64 * 8];
+        let mut bb = ba.clone();
+        seq.read(Addr::pm(pm), &mut ba).unwrap();
+        par.read(Addr::pm(pm), &mut bb).unwrap();
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn cross_block_read_conflict_falls_back_to_sequential() {
+        // Block 1+ reads the line block 0 writes: the staged read would see
+        // stale data, so the conflict check must reject the commit and the
+        // sequential rerun must produce the canonical result.
+        let (mut seq, mut par, pm) = twin_machines(1 << 16);
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            if ctx.block_id() == 0 {
+                ctx.st_u64(Addr::pm(pm + i * 8), 42)
+            } else {
+                let v = ctx.ld_u64(Addr::pm(pm))?; // block 0, thread 0's slot
+                ctx.st_u64(Addr::pm(pm + i * 8), v + 1)
+            }
+        });
+        let r1 = launch(
+            &mut seq,
+            LaunchConfig::new(4, 32).with_engine_threads(1),
+            &k,
+        )
+        .unwrap();
+        let r4 = launch(
+            &mut par,
+            LaunchConfig::new(4, 32).with_engine_threads(4),
+            &k,
+        )
+        .unwrap();
+        assert_eq!(r4.threads_used, 1, "conflict must force the fallback");
+        assert_eq!(r1.costs, r4.costs);
+        assert_eq!(format!("{:?}", seq.stats), format!("{:?}", par.stats));
+        assert_eq!(par.read_u64(Addr::pm(pm + 32 * 8)).unwrap(), 43);
+    }
+
+    #[test]
+    fn cross_block_atomics_fall_back_via_conflict_check() {
+        // An unannotated kernel whose blocks all RMW one HBM counter: the
+        // atomic's read half touches a line earlier blocks wrote, so the
+        // runtime check (not the capability flag) catches it.
+        let mut m = Machine::default();
+        let ctr = m.alloc_hbm(4).unwrap();
+        let k =
+            FnKernel(|ctx: &mut ThreadCtx<'_>| ctx.atomic_add_u32(Addr::hbm(ctr), 1).map(|_| ()));
+        let r = launch(&mut m, LaunchConfig::new(4, 64).with_engine_threads(4), &k).unwrap();
+        assert_eq!(r.threads_used, 1);
+        assert_eq!(m.read_u32(Addr::hbm(ctr)).unwrap(), 256);
+    }
+
+    #[test]
+    fn communicating_capability_skips_parallel_path() {
+        use crate::kernel::Communicating;
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(1 << 16).unwrap();
+        let k = Communicating(FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(pm + i * 8), i)
+        }));
+        let r = launch(&mut m, LaunchConfig::new(4, 32).with_engine_threads(4), &k).unwrap();
+        assert_eq!(r.threads_used, 1, "capability flag must veto parallelism");
+    }
+
+    #[test]
+    fn parallel_errors_rerun_sequentially_for_canonical_outcome() {
+        // A worker hits out-of-bounds: the launch must surface the same
+        // error (and leave the same machine state) sequential execution does.
+        let (mut seq, mut par, _) = twin_machines(4096);
+        let pm = seq.space_capacity(MemSpace::Pm) - 2048;
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(pm + i * 64), i) // blocks 1+ run off the end
+        });
+        let e1 = launch(
+            &mut seq,
+            LaunchConfig::new(4, 32).with_engine_threads(1),
+            &k,
+        )
+        .unwrap_err();
+        let e4 = launch(
+            &mut par,
+            LaunchConfig::new(4, 32).with_engine_threads(4),
+            &k,
+        )
+        .unwrap_err();
+        assert_eq!(format!("{e1}"), format!("{e4}"));
+        assert_eq!(format!("{:?}", seq.stats), format!("{:?}", par.stats));
+        let mut ba = vec![0u8; 2048];
+        let mut bb = ba.clone();
+        seq.read(Addr::pm(pm), &mut ba).unwrap();
+        par.read(Addr::pm(pm), &mut bb).unwrap();
+        assert_eq!(ba, bb, "partial effects of the failed launch must match");
+    }
+
+    #[test]
+    fn env_thread_count_is_overridden_by_launch_config() {
+        // `with_engine_threads(1)` pins the sequential path regardless of
+        // the environment; grid=1 never parallelizes.
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(4096).unwrap();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| ctx.st_u32(Addr::pm(pm), 1));
+        let r = launch(&mut m, LaunchConfig::new(1, 32).with_engine_threads(8), &k).unwrap();
+        assert_eq!(r.threads_used, 1, "a single block cannot spread");
     }
 
     #[test]

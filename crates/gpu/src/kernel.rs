@@ -11,6 +11,30 @@ use gpm_sim::SimResult;
 
 use crate::exec::ThreadCtx;
 
+/// How a kernel's blocks may be scheduled relative to each other.
+///
+/// The engine runs [`KernelCapability::BlockParallel`] kernels across a host
+/// thread pool (staged execution, deterministic block-order commit) when the
+/// engine thread count allows; [`KernelCapability::Communicating`] kernels
+/// always take the sequential path. The parallel path additionally runs a
+/// line-granular runtime conflict check, so a mis-annotated `BlockParallel`
+/// kernel that *does* read another block's writes falls back to sequential
+/// execution rather than diverging — the annotation is a scheduling hint
+/// plus a guard against non-terminating cross-block waits, not a soundness
+/// obligation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelCapability {
+    /// Blocks never observe each other's writes within one launch (they may
+    /// share read-only data and may write disjoint lines). The common
+    /// GPMbench shape.
+    BlockParallel,
+    /// Blocks communicate mid-kernel — inter-block atomics used as
+    /// synchronization, shared append logs, spin-waits on another block's
+    /// store. Must run sequentially: a spin-wait against a frozen snapshot
+    /// would never terminate.
+    Communicating,
+}
+
 /// A GPU kernel executed over a grid of threadblocks.
 ///
 /// # Examples
@@ -65,6 +89,23 @@ pub trait Kernel {
         1
     }
 
+    /// Whether this kernel's blocks may execute on separate host threads.
+    /// Defaults to [`KernelCapability::BlockParallel`]; override for kernels
+    /// that communicate across blocks mid-launch (see [`Communicating`] for
+    /// wrapping closure kernels).
+    fn capability(&self) -> KernelCapability {
+        KernelCapability::BlockParallel
+    }
+
+    /// Resets block-shared state for the next block, reusing its allocation
+    /// where possible (the engine calls this instead of constructing a fresh
+    /// `Shared` per block). The result must be indistinguishable from
+    /// `Self::Shared::default()`; the default implementation simply replaces
+    /// the value. Override to keep heap capacity, e.g. `shared.vals.clear()`.
+    fn reset_shared(&self, shared: &mut Self::Shared) {
+        *shared = Self::Shared::default();
+    }
+
     /// Executes one phase for one thread.
     ///
     /// # Errors
@@ -117,5 +158,44 @@ where
         _shared: &mut (),
     ) -> SimResult<()> {
         (self.0)(ctx)
+    }
+}
+
+/// Marks the wrapped kernel as [`KernelCapability::Communicating`], forcing
+/// sequential execution. Use for closure kernels whose blocks synchronize
+/// with each other mid-launch (shared append logs, inter-block atomics):
+///
+/// ```
+/// use gpm_gpu::{Communicating, FnKernel, Kernel, KernelCapability, ThreadCtx};
+/// let k = Communicating(FnKernel(|_: &mut ThreadCtx<'_>| Ok(())));
+/// assert_eq!(k.capability(), KernelCapability::Communicating);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Communicating<K>(pub K);
+
+impl<K: Kernel> Kernel for Communicating<K> {
+    type State = K::State;
+    type Shared = K::Shared;
+
+    fn phases(&self) -> u32 {
+        self.0.phases()
+    }
+
+    fn capability(&self) -> KernelCapability {
+        KernelCapability::Communicating
+    }
+
+    fn reset_shared(&self, shared: &mut Self::Shared) {
+        self.0.reset_shared(shared);
+    }
+
+    fn run(
+        &self,
+        phase: u32,
+        ctx: &mut ThreadCtx<'_>,
+        state: &mut Self::State,
+        shared: &mut Self::Shared,
+    ) -> SimResult<()> {
+        self.0.run(phase, ctx, state, shared)
     }
 }

@@ -52,7 +52,8 @@ pub mod timing;
 pub use buffer::{Buf, Scalar};
 pub use dim::{Grid2, LaunchConfig, ThreadId, WARP_SIZE};
 pub use exec::{
-    launch, launch_with_fuel, launch_with_fuel_budget, KernelReport, LaunchError, ThreadCtx,
+    launch, launch_with_fuel, launch_with_fuel_budget, resolved_engine_threads, KernelReport,
+    LaunchError, ThreadCtx,
 };
-pub use kernel::{FnKernel, Kernel};
+pub use kernel::{Communicating, FnKernel, Kernel, KernelCapability};
 pub use timing::KernelCosts;

@@ -17,7 +17,7 @@ use gpm_sim::Ns;
 use crate::dim::LaunchConfig;
 
 /// Resource usage accumulated over one kernel launch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelCosts {
     /// Total compute time declared by threads via `ThreadCtx::compute`.
     pub compute: Ns,
@@ -46,6 +46,25 @@ impl KernelCosts {
     /// Adds serialized work attributed to contention key `key`.
     pub fn add_serial(&mut self, key: u64, t: Ns) {
         *self.serial.entry(key).or_insert(Ns::ZERO) += t;
+    }
+
+    /// Folds one block's costs into a launch total. Both engines accumulate
+    /// per block and merge in block-id order, so the floating-point sums
+    /// (`compute`, per-key `serial`) associate identically whether blocks
+    /// ran sequentially or staged on worker threads.
+    pub fn merge(&mut self, block: &KernelCosts) {
+        self.compute += block.compute;
+        self.hbm_bytes += block.hbm_bytes;
+        self.dram_bytes += block.dram_bytes;
+        self.pm_write_bytes += block.pm_write_bytes;
+        self.pm_read_bytes += block.pm_read_bytes;
+        self.pcie_write_txns += block.pcie_write_txns;
+        self.pcie_read_txns += block.pcie_read_txns;
+        self.system_fence_events += block.system_fence_events;
+        self.device_fence_events += block.device_fence_events;
+        for (&key, &t) in &block.serial {
+            self.add_serial(key, t);
+        }
     }
 
     /// The longest serialized chain.

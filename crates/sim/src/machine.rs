@@ -419,6 +419,16 @@ impl Machine {
         report
     }
 
+    /// Capacity in bytes of one memory space (what a store's bounds check
+    /// runs against).
+    pub fn space_capacity(&self, space: MemSpace) -> u64 {
+        match space {
+            MemSpace::Pm => self.pm.capacity(),
+            MemSpace::Dram => self.dram.capacity(),
+            MemSpace::Hbm => self.hbm.capacity(),
+        }
+    }
+
     /// Direct access to the PM device (tests, fine-grained inspection).
     pub fn pm(&self) -> &PmDevice {
         &self.pm

@@ -1,0 +1,447 @@
+//! Block-local staging for block-parallel kernel execution.
+//!
+//! The execution engine may run independent threadblocks on separate host
+//! threads. Workers never touch the [`Machine`]: each block executes against
+//! a [`BlockStage`] holding a copy-on-write overlay over the frozen machine
+//! (so the block observes its own stores) plus an ordered *effect log* of
+//! every machine-mutating operation the block issued. After all workers
+//! finish, the engine replays each block's log against the real machine —
+//! serially, in block-id order — through the very same `Machine` methods the
+//! sequential engine calls. Replay in block order therefore reproduces the
+//! sequential engine's effect sequence operation for operation: statistics
+//! counters, pending-line state, writer sets, and the pattern tracker end up
+//! bit-identical, which is what the golden-counter gate demands.
+//!
+//! The one way a staged block can diverge from its sequential execution is a
+//! *read*: a worker reads the frozen base, so it cannot observe a store made
+//! by a lower-numbered block in the same launch. Every base read is recorded
+//! in a cache-line-granular read set, every staged store in a write set, and
+//! the engine refuses to commit (falling back to a sequential rerun) if any
+//! block read a line some earlier block wrote. Blocks that communicate only
+//! through launch boundaries — the common GPMbench shape — never trip this.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::addr::{line_span, Addr, MemSpace, CPU_LINE};
+use crate::error::{SimError, SimResult};
+use crate::machine::Machine;
+use crate::pm::WriterId;
+
+/// A cache line (CPU_LINE granule) in one memory space — the unit of
+/// conflict detection between blocks.
+pub type LineKey = (MemSpace, u64);
+
+/// Copy-on-write overlay for one line: only bytes with their `mask` bit set
+/// have been written by this block.
+#[derive(Debug, Clone)]
+struct Patch {
+    mask: u64,
+    data: [u8; CPU_LINE as usize],
+}
+
+impl Patch {
+    fn new() -> Patch {
+        Patch {
+            mask: 0,
+            data: [0; CPU_LINE as usize],
+        }
+    }
+}
+
+/// Mask with bits `s..e` set (`e <= 64`).
+fn seg_mask(s: u64, e: u64) -> u64 {
+    debug_assert!(s < e && e <= 64);
+    if e - s == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << (e - s)) - 1) << s
+    }
+}
+
+/// One machine-mutating operation a block issued, in program order. Byte
+/// payloads live in the stage's shared arena.
+#[derive(Debug, Clone)]
+enum Effect {
+    /// A GPU store to PM (`Machine::gpu_store_pm`).
+    StorePm {
+        writer: WriterId,
+        offset: u64,
+        arena: (u32, u32),
+    },
+    /// A store to a volatile space (`Machine::host_write`).
+    StoreVol {
+        space: MemSpace,
+        offset: u64,
+        arena: (u32, u32),
+    },
+    /// A system-scope fence (`Machine::gpu_system_fence`).
+    FencePersist { writer: WriterId },
+    /// One coalesced PCIe write transaction: transaction count, pattern
+    /// tracker, and Optane block-program accounting.
+    PmTxn { offset: u64, len: u64 },
+    /// A pattern-tracker barrier (warp-coalesced system fence at drain).
+    PatternBarrier,
+}
+
+/// Everything one block did, buffered for ordered replay. Fully owned — no
+/// borrow of the machine — so stages move freely between worker threads and
+/// the committing thread.
+#[derive(Debug, Default)]
+pub struct BlockStage {
+    /// Per-space line overlays (index via [`space_idx`]).
+    overlays: [HashMap<u64, Patch>; 3],
+    effects: Vec<Effect>,
+    arena: Vec<u8>,
+    /// Lines whose *base* bytes this block observed.
+    reads: HashSet<LineKey>,
+    /// Lines this block stored to.
+    writes: HashSet<LineKey>,
+    /// Deferred `Stats::pm_read_bytes_gpu` (reads are not replayed; the
+    /// counter is additive, so a bulk add at commit is order-equivalent).
+    pm_read_bytes: u64,
+}
+
+fn space_idx(space: MemSpace) -> usize {
+    match space {
+        MemSpace::Pm => 0,
+        MemSpace::Hbm => 1,
+        MemSpace::Dram => 2,
+    }
+}
+
+impl BlockStage {
+    /// Creates an empty stage.
+    pub fn new() -> BlockStage {
+        BlockStage::default()
+    }
+
+    fn check(base: &Machine, addr: Addr, len: u64) -> SimResult<()> {
+        // Same predicate the devices apply, evaluated against the frozen
+        // base so workers surface out-of-bounds at issue time. (The payload
+        // is never user-visible: any worker error triggers a sequential
+        // rerun, which reproduces the canonical error.)
+        let capacity = base.space_capacity(addr.space);
+        if addr
+            .offset
+            .checked_add(len)
+            .is_none_or(|end| end > capacity)
+        {
+            return Err(SimError::OutOfBounds {
+                addr,
+                len,
+                capacity,
+            });
+        }
+        Ok(())
+    }
+
+    fn stash(&mut self, bytes: &[u8]) -> (u32, u32) {
+        let start = u32::try_from(self.arena.len()).expect("stage arena exceeds 4 GiB");
+        self.arena.extend_from_slice(bytes);
+        (start, bytes.len() as u32)
+    }
+
+    fn overlay_write(&mut self, space: MemSpace, offset: u64, bytes: &[u8]) {
+        let end = offset + bytes.len() as u64;
+        let overlay = &mut self.overlays[space_idx(space)];
+        for line in line_span(offset, bytes.len() as u64) {
+            let lstart = line * CPU_LINE;
+            let (s, e) = (offset.max(lstart), end.min(lstart + CPU_LINE));
+            let patch = overlay.entry(line).or_insert_with(Patch::new);
+            patch.data[(s - lstart) as usize..(e - lstart) as usize]
+                .copy_from_slice(&bytes[(s - offset) as usize..(e - offset) as usize]);
+            patch.mask |= seg_mask(s - lstart, e - lstart);
+            self.writes.insert((space, line));
+        }
+    }
+
+    /// Stages a GPU store to PM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] exactly when the live
+    /// `Machine::gpu_store_pm` would.
+    pub fn store_pm(
+        &mut self,
+        base: &Machine,
+        writer: WriterId,
+        offset: u64,
+        bytes: &[u8],
+    ) -> SimResult<()> {
+        Self::check(base, Addr::pm(offset), bytes.len() as u64)?;
+        let arena = self.stash(bytes);
+        self.effects.push(Effect::StorePm {
+            writer,
+            offset,
+            arena,
+        });
+        self.overlay_write(MemSpace::Pm, offset, bytes);
+        Ok(())
+    }
+
+    /// Stages a store to a volatile space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] exactly when the live
+    /// `Machine::host_write` would.
+    pub fn store_vol(&mut self, base: &Machine, addr: Addr, bytes: &[u8]) -> SimResult<()> {
+        debug_assert_ne!(addr.space, MemSpace::Pm, "PM stores go through store_pm");
+        Self::check(base, addr, bytes.len() as u64)?;
+        let arena = self.stash(bytes);
+        self.effects.push(Effect::StoreVol {
+            space: addr.space,
+            offset: addr.offset,
+            arena,
+        });
+        self.overlay_write(addr.space, addr.offset, bytes);
+        Ok(())
+    }
+
+    /// Reads with this block's visibility: the frozen base overlaid with the
+    /// block's own staged stores. Base lines touched (any byte not covered
+    /// by the block's own writes) enter the read set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] exactly when `Machine::read` would.
+    pub fn read(&mut self, base: &Machine, addr: Addr, buf: &mut [u8]) -> SimResult<()> {
+        base.read(addr, buf)?;
+        let (offset, end) = (addr.offset, addr.offset + buf.len() as u64);
+        let overlay = &self.overlays[space_idx(addr.space)];
+        for line in line_span(offset, buf.len() as u64) {
+            let lstart = line * CPU_LINE;
+            let (s, e) = (offset.max(lstart), end.min(lstart + CPU_LINE));
+            let m = seg_mask(s - lstart, e - lstart);
+            match overlay.get(&line) {
+                Some(patch) => {
+                    for i in s..e {
+                        if patch.mask >> (i - lstart) & 1 == 1 {
+                            buf[(i - offset) as usize] = patch.data[(i - lstart) as usize];
+                        }
+                    }
+                    if patch.mask & m != m {
+                        self.reads.insert((addr.space, line));
+                    }
+                }
+                None => {
+                    self.reads.insert((addr.space, line));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Accounts a GPU PM load's bytes toward the deferred
+    /// `pm_read_bytes_gpu` counter (the stat `Machine::gpu_load_pm` bumps).
+    pub fn note_pm_read(&mut self, len: u64) {
+        self.pm_read_bytes += len;
+    }
+
+    /// Stages a system-scope fence by `writer`.
+    pub fn fence_persist(&mut self, writer: WriterId) {
+        self.effects.push(Effect::FencePersist { writer });
+    }
+
+    /// Stages one coalesced PCIe write transaction's accounting.
+    pub fn pm_txn(&mut self, offset: u64, len: u64) {
+        self.effects.push(Effect::PmTxn { offset, len });
+    }
+
+    /// Stages a pattern-tracker barrier.
+    pub fn pattern_barrier(&mut self) {
+        self.effects.push(Effect::PatternBarrier);
+    }
+
+    /// Whether this block read a line in `written` (a union of write sets of
+    /// lower-numbered blocks): committing it would diverge from sequential
+    /// execution.
+    pub fn reads_conflict(&self, written: &HashSet<LineKey>) -> bool {
+        if self.reads.len() <= written.len() {
+            self.reads.iter().any(|k| written.contains(k))
+        } else {
+            written.iter().any(|k| self.reads.contains(k))
+        }
+    }
+
+    /// Adds this block's written lines to `written` for conflict checks
+    /// against higher-numbered blocks.
+    pub fn extend_writes(&self, written: &mut HashSet<LineKey>) {
+        written.extend(self.writes.iter().copied());
+    }
+
+    /// Replays the block's effects against the live machine, in the order
+    /// they were issued. Calling this per stage in block-id order reproduces
+    /// the sequential engine's machine-effect sequence exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a staged store fails on replay — impossible when the staged
+    /// bounds checks passed, since capacities cannot change mid-launch.
+    pub fn commit(&self, machine: &mut Machine) {
+        for effect in &self.effects {
+            match *effect {
+                Effect::StorePm {
+                    writer,
+                    offset,
+                    arena: (start, len),
+                } => {
+                    let bytes = &self.arena[start as usize..(start + len) as usize];
+                    machine
+                        .gpu_store_pm(writer, offset, bytes)
+                        .expect("staged PM store was bounds-checked at issue");
+                }
+                Effect::StoreVol {
+                    space,
+                    offset,
+                    arena: (start, len),
+                } => {
+                    let bytes = &self.arena[start as usize..(start + len) as usize];
+                    machine
+                        .host_write(Addr { space, offset }, bytes)
+                        .expect("staged volatile store was bounds-checked at issue");
+                }
+                Effect::FencePersist { writer } => {
+                    machine.gpu_system_fence(writer);
+                }
+                Effect::PmTxn { offset, len } => {
+                    machine.stats.pcie_write_txns += 1;
+                    machine.gpu_pm_pattern.record(offset, len);
+                    machine.note_gpu_pm_txn(offset, len);
+                }
+                Effect::PatternBarrier => {
+                    machine.gpu_pm_pattern.barrier();
+                }
+            }
+        }
+        machine.stats.pm_read_bytes_gpu += self.pm_read_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn machine_with_pm() -> (Machine, u64) {
+        let mut m = Machine::new(MachineConfig::default());
+        let pm = m.alloc_pm(1 << 16).unwrap();
+        (m, pm)
+    }
+
+    #[test]
+    fn staged_store_visible_to_own_reads_not_to_base() {
+        let (m, pm) = machine_with_pm();
+        let mut stage = BlockStage::new();
+        stage.store_pm(&m, 1, pm + 10, &[7, 8, 9]).unwrap();
+        let mut buf = [0u8; 3];
+        stage.read(&m, Addr::pm(pm + 10), &mut buf).unwrap();
+        assert_eq!(buf, [7, 8, 9]);
+        m.read(Addr::pm(pm + 10), &mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0], "base machine untouched until commit");
+    }
+
+    #[test]
+    fn commit_replays_through_machine_ops() {
+        let (mut m, pm) = machine_with_pm();
+        let mut stage = BlockStage::new();
+        stage.store_pm(&m, 3, pm, &[1; 8]).unwrap();
+        stage.pm_txn(pm, 8);
+        stage.fence_persist(3);
+        stage.commit(&mut m);
+        assert_eq!(m.stats.pm_write_bytes_gpu, 8);
+        assert_eq!(m.stats.pcie_write_txns, 1);
+        assert_eq!(m.stats.system_fences, 1);
+        let mut buf = [0u8; 8];
+        m.read(Addr::pm(pm), &mut buf).unwrap();
+        assert_eq!(buf, [1; 8]);
+    }
+
+    #[test]
+    fn fully_self_covered_read_is_not_a_conflict() {
+        let (m, pm) = machine_with_pm();
+        let mut stage = BlockStage::new();
+        stage.store_pm(&m, 1, pm, &[5; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        stage.read(&m, Addr::pm(pm), &mut buf).unwrap();
+        assert_eq!(buf, [5; 8]);
+        // The read was satisfied entirely by the block's own store: even if
+        // an earlier block wrote that line, sequential execution would have
+        // returned the same bytes.
+        let mut written = HashSet::new();
+        written.insert((MemSpace::Pm, pm / CPU_LINE));
+        assert!(!stage.reads_conflict(&written));
+    }
+
+    #[test]
+    fn base_read_of_earlier_written_line_conflicts() {
+        let (m, pm) = machine_with_pm();
+        let mut stage = BlockStage::new();
+        let mut buf = [0u8; 4];
+        stage.read(&m, Addr::pm(pm + 128), &mut buf).unwrap();
+        let mut written = HashSet::new();
+        written.insert((MemSpace::Pm, (pm + 128) / CPU_LINE));
+        assert!(stage.reads_conflict(&written));
+        // A different line does not conflict.
+        let mut other = HashSet::new();
+        other.insert((MemSpace::Pm, (pm + 4096) / CPU_LINE));
+        assert!(!stage.reads_conflict(&other));
+    }
+
+    #[test]
+    fn partially_covered_read_still_records_base_line() {
+        let (m, pm) = machine_with_pm();
+        let mut stage = BlockStage::new();
+        stage.store_pm(&m, 1, pm, &[9; 4]).unwrap();
+        let mut buf = [0u8; 8]; // bytes 4..8 come from base
+        stage.read(&m, Addr::pm(pm), &mut buf).unwrap();
+        assert_eq!(&buf[..4], &[9; 4]);
+        let mut written = HashSet::new();
+        written.insert((MemSpace::Pm, pm / CPU_LINE));
+        assert!(stage.reads_conflict(&written));
+    }
+
+    #[test]
+    fn out_of_bounds_store_rejected_at_issue() {
+        let (m, _) = machine_with_pm();
+        let mut stage = BlockStage::new();
+        let cap = m.space_capacity(MemSpace::Pm);
+        assert!(matches!(
+            stage.store_pm(&m, 1, cap - 2, &[0; 8]),
+            Err(SimError::OutOfBounds { .. })
+        ));
+        assert!(stage.store_pm(&m, 1, cap - 8, &[0; 8]).is_ok());
+    }
+
+    #[test]
+    fn volatile_overlay_tracks_spaces_separately() {
+        let mut m = Machine::new(MachineConfig::default());
+        let hbm = m.alloc_hbm(4096).unwrap();
+        let dram = m.alloc_dram(4096).unwrap();
+        let mut stage = BlockStage::new();
+        stage.store_vol(&m, Addr::hbm(hbm), &[1; 4]).unwrap();
+        stage.store_vol(&m, Addr::dram(dram), &[2; 4]).unwrap();
+        let mut buf = [0u8; 4];
+        stage.read(&m, Addr::hbm(hbm), &mut buf).unwrap();
+        assert_eq!(buf, [1; 4]);
+        stage.read(&m, Addr::dram(dram), &mut buf).unwrap();
+        assert_eq!(buf, [2; 4]);
+        stage.commit(&mut m);
+        m.read(Addr::hbm(hbm), &mut buf).unwrap();
+        assert_eq!(buf, [1; 4]);
+    }
+
+    #[test]
+    fn replay_order_matches_issue_order() {
+        // Two stores to the same byte: the later one must win after commit,
+        // exactly as sequential execution would order them.
+        let (mut m, pm) = machine_with_pm();
+        let mut stage = BlockStage::new();
+        stage.store_pm(&m, 1, pm, &[1]).unwrap();
+        stage.store_pm(&m, 1, pm, &[2]).unwrap();
+        stage.commit(&mut m);
+        let mut b = [0u8];
+        m.read(Addr::pm(pm), &mut b).unwrap();
+        assert_eq!(b, [2]);
+    }
+}

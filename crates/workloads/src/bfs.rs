@@ -14,7 +14,9 @@
 
 use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
 use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt};
-use gpm_gpu::{launch_with_fuel_budget, FnKernel, LaunchConfig, LaunchError, ThreadCtx};
+use gpm_gpu::{
+    launch_with_fuel_budget, Communicating, FnKernel, LaunchConfig, LaunchError, ThreadCtx,
+};
 use gpm_sim::cpu::CpuCtx;
 use gpm_sim::{Addr, Machine, Ns, SimError, SimResult, HOST_WRITER};
 
@@ -198,7 +200,10 @@ impl BfsWorkload {
         let (row_ptr, cols, hbm_cost, next_count) =
             (st.row_ptr, st.cols, st.hbm_cost, st.next_count);
         let (pm_cost, visit_seq) = (st.pm_cost, st.visit_seq);
-        FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        // Blocks share the frontier queue through `next_count`: genuine
+        // cross-block communication, so the block-parallel engine must not
+        // try this kernel.
+        Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
             let t = ctx.global_id();
             if t >= frontier_len {
                 return Ok(());
@@ -225,7 +230,7 @@ impl BfsWorkload {
                 }
             }
             Ok(())
-        })
+        }))
     }
 
     fn persist_meta(

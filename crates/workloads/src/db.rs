@@ -14,7 +14,7 @@ use gpm_core::{
     gpm_map, gpm_persist_begin, gpm_persist_end, gpmlog_create_conv, gpmlog_create_hcl, GpmLog,
     GpmThreadExt,
 };
-use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_gpu::{launch, Communicating, FnKernel, LaunchConfig, ThreadCtx};
 use gpm_sim::cpu::CpuCtx;
 use gpm_sim::{Addr, Machine, Ns, SimError, SimResult, HOST_WRITER};
 
@@ -237,7 +237,9 @@ impl DbWorkload {
     ) -> impl gpm_gpu::Kernel<State = (), Shared = ()> {
         let (pm_table, hbm_table) = (st.pm_table, st.hbm_table);
         let row_log = st.row_log.dev();
-        FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        // Matching rows across blocks append to the shared undo log:
+        // cross-block communication.
+        Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
             let i = ctx.global_id();
             if i >= row_count {
                 return Ok(());
@@ -264,7 +266,7 @@ impl DbWorkload {
             }
             ctx.st_u64(Addr::hbm(hbm_table + i * ROW_STRIDE + 8 + 3 * 8), new_val)?;
             Ok(())
-        })
+        }))
     }
 
     fn persist_count(&self, machine: &mut Machine, st: &DbState, count: u64) -> SimResult<()> {
@@ -683,7 +685,9 @@ impl DbWorkload {
                 let row_log = st.row_log.dev();
                 let pm_table = st.pm_table;
                 gpm_persist_begin(machine);
-                let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                // Blocks cooperatively drain the shared row log (see the KVS
+                // recovery kernel): never block-parallel.
+                let k = Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
                     while row_log.tail(ctx)? as u64 * 4 >= ROW_BYTES {
                         let mut old = [0u8; ROW_BYTES as usize];
                         row_log.read_top(ctx, &mut old)?;
@@ -693,7 +697,7 @@ impl DbWorkload {
                         row_log.remove(ctx, ROW_BYTES as usize)?;
                     }
                     Ok(())
-                });
+                }));
                 launch(machine, self.update_launch_cfg(), &k)?;
                 gpm_persist_end(machine);
                 Ok(())

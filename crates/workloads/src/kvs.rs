@@ -16,7 +16,9 @@ use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
 use gpm_core::{
     gpm_map, gpm_persist_begin, gpm_persist_end, gpmlog_create_hcl, GpmLog, GpmThreadExt, TxnFlag,
 };
-use gpm_gpu::{launch, launch_with_fuel, FnKernel, LaunchConfig, LaunchError, ThreadCtx};
+use gpm_gpu::{
+    launch, launch_with_fuel, Communicating, FnKernel, LaunchConfig, LaunchError, ThreadCtx,
+};
 use gpm_sim::{Addr, Machine, Ns, SimError, SimResult};
 
 use crate::metrics::{metered, Mode, RunMetrics};
@@ -240,7 +242,9 @@ impl KvsWorkload {
             st.get_results,
         );
         let log = st.log.dev();
-        FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        // Threads across blocks append to the shared undo log (atomic tail
+        // bumps on shared partitions): cross-block communication.
+        Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
             let tid = ctx.global_id();
             let op = tid / THREAD_GROUP;
             if op >= p.ops_per_batch {
@@ -307,7 +311,7 @@ impl KvsWorkload {
             ctx.st_u64(Addr::hbm(hbm_table + slot), key)?;
             ctx.st_u64(Addr::hbm(hbm_table + slot + 8), value)?;
             Ok(())
-        })
+        }))
     }
 
     fn run_batches(&self, machine: &mut Machine, st: &KvsState, mode: Mode) -> SimResult<()> {
@@ -544,7 +548,10 @@ impl KvsWorkload {
         let log = st.log.dev();
         let pm_table = st.pm_table;
         gpm_persist_begin(machine);
-        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        // Blocks cooperatively drain the shared log: each iteration's tail
+        // read must see other blocks' removals, so this kernel can never run
+        // against a frozen snapshot.
+        let k = Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
             while log.tail(ctx)? as usize * 4 >= LOG_ENTRY {
                 let mut entry = [0u8; LOG_ENTRY];
                 log.read_top(ctx, &mut entry)?;
@@ -556,7 +563,7 @@ impl KvsWorkload {
                 log.remove(ctx, LOG_ENTRY)?;
             }
             Ok(())
-        });
+        }));
         launch(machine, self.launch_cfg(), &k)?;
         gpm_persist_end(machine);
         // Recovery complete: clear the transaction flag.

@@ -100,6 +100,13 @@ impl Kernel for PartialSumKernel {
         4
     }
 
+    fn reset_shared(&self, shared: &mut PsShared) {
+        // Keep the `vals` allocation: the engine reuses one `PsShared`
+        // across every block of the launch.
+        shared.vals.clear();
+        shared.done = false;
+    }
+
     fn run(
         &self,
         phase: u32,
@@ -192,6 +199,11 @@ impl Kernel for FinalKernel {
 
     fn phases(&self) -> u32 {
         2
+    }
+
+    fn reset_shared(&self, shared: &mut PsShared) {
+        shared.vals.clear();
+        shared.done = false;
     }
 
     fn run(

@@ -1,0 +1,180 @@
+//! Block-parallel engine determinism: the staged-commit path must be
+//! *bit-identical* to the sequential engine — same `KernelReport` costs and
+//! elapsed-time bits, same stats counters, same durable PM media, same
+//! visible PM contents — across a multi-launch scenario that mixes
+//! parallel-committed kernels, conflict fallbacks, and capability
+//! fallbacks. The engine-thread count must be invisible everywhere except
+//! the diagnostic `threads_used` field.
+
+use gpm_gpu::{
+    launch, Communicating, FnKernel, KernelCosts, KernelReport, LaunchConfig, ThreadCtx,
+};
+use gpm_sim::{Addr, Machine, Ns};
+
+const PM_REGION: u64 = 1 << 20;
+
+/// FNV-1a, folded over a PM byte range.
+fn fnv(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Checksum of the durable media under `[pm, pm + PM_REGION)` — what an
+/// immediate crash would leave behind.
+fn media_checksum(m: &Machine, pm: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    let mut buf = vec![0u8; 1 << 16];
+    let mut off = pm;
+    while off < pm + PM_REGION {
+        m.pm().read_media(off, &mut buf).unwrap();
+        h = fnv(&buf, h);
+        off += buf.len() as u64;
+    }
+    h
+}
+
+/// Checksum of the coherent (pending-inclusive) view of the same range.
+fn visible_checksum(m: &Machine, pm: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    let mut buf = vec![0u8; 1 << 16];
+    let mut off = pm;
+    while off < pm + PM_REGION {
+        m.read(Addr::pm(off), &mut buf).unwrap();
+        h = fnv(&buf, h);
+        off += buf.len() as u64;
+    }
+    h
+}
+
+/// The comparable portion of a report: everything except the diagnostic
+/// `threads_used` (elapsed compared by exact f64 bits).
+fn report_key(r: &KernelReport) -> (u64, KernelCosts) {
+    (r.elapsed.0.to_bits(), r.costs.clone())
+}
+
+/// Runs a fixed multi-launch scenario with every launch pinned to
+/// `engine_threads` host threads, returning the machine and each launch's
+/// comparable report.
+fn scenario(engine_threads: u32) -> (Machine, u64, Vec<(u64, KernelCosts)>) {
+    let mut m = Machine::default();
+    let pm = m.alloc_pm(PM_REGION).unwrap();
+    let hbm = m.alloc_hbm(1 << 16).unwrap();
+    let cfg = |grid, block: u32| LaunchConfig::new(grid, block).with_engine_threads(engine_threads);
+    let mut reports = Vec::new();
+
+    // Launch 1: disjoint persisted stores — parallel-committable.
+    m.set_ddio(false);
+    let k1 = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        let i = ctx.global_id();
+        ctx.st_u64(Addr::pm(pm + i * 8), i.wrapping_mul(0x9e37_79b9))?;
+        ctx.compute(Ns(12.0));
+        ctx.threadfence_system()
+    });
+    reports.push(report_key(&launch(&mut m, cfg(16, 128), &k1).unwrap()));
+    m.set_ddio(true);
+
+    // Launch 2: block-local read-modify-write (each block re-reads only its
+    // own slots, so staging still commits) plus serialized work.
+    let k2 = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        let i = ctx.global_id();
+        let v = ctx.ld_u64(Addr::pm(pm + i * 8))?;
+        ctx.serialize(ctx.block_id() as u64 % 4, Ns(3.0));
+        ctx.st_u64(Addr::pm(pm + (1 << 18) + i * 8), v ^ 0xff)
+    });
+    reports.push(report_key(&launch(&mut m, cfg(16, 128), &k2).unwrap()));
+
+    // Launch 3: cross-block atomics on one HBM counter — the runtime
+    // conflict check must force the sequential fallback, transparently.
+    let k3 = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        let n = ctx.atomic_add_u32(Addr::hbm(hbm), 1)?;
+        ctx.st_u32(Addr::pm(pm + (1 << 19) + ctx.global_id() * 4), n)
+    });
+    reports.push(report_key(&launch(&mut m, cfg(8, 64), &k3).unwrap()));
+
+    // Launch 4: annotated cross-block kernel — capability fallback.
+    let k4 = Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        ctx.atomic_add_u32(Addr::hbm(hbm + 64), 1).map(|_| ())
+    }));
+    reports.push(report_key(&launch(&mut m, cfg(4, 32), &k4).unwrap()));
+
+    // Leave some lines pending (no fence, DDIO on) so the pending-queue
+    // state is part of what the checksums compare.
+    let k5 = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        let i = ctx.global_id();
+        ctx.st_u64(Addr::pm(pm + (1 << 19) + (1 << 18) + i * 64), !i)
+    });
+    reports.push(report_key(&launch(&mut m, cfg(4, 64), &k5).unwrap()));
+
+    (m, pm, reports)
+}
+
+#[test]
+fn one_and_four_engine_threads_are_bit_identical() {
+    let (m1, pm1, r1) = scenario(1);
+    let (m4, pm4, r4) = scenario(4);
+    assert_eq!(r1, r4, "per-launch costs and elapsed bits must match");
+    assert_eq!(
+        format!("{:?}", m1.stats),
+        format!("{:?}", m4.stats),
+        "every stats counter must match"
+    );
+    assert_eq!(m1.clock.now(), m4.clock.now(), "simulated time must match");
+    assert_eq!(
+        media_checksum(&m1, pm1),
+        media_checksum(&m4, pm4),
+        "durable PM media must be bit-identical"
+    );
+    assert_eq!(
+        visible_checksum(&m1, pm1),
+        visible_checksum(&m4, pm4),
+        "visible PM contents (incl. pending lines) must be bit-identical"
+    );
+}
+
+#[test]
+fn crash_splits_identical_after_either_engine() {
+    // Crash both machines after the scenario: the media that survives (and
+    // the split accounting) depends only on committed pending-line state,
+    // which must not differ between engines.
+    let (mut m1, pm1, _) = scenario(1);
+    let (mut m4, pm4, _) = scenario(4);
+    let c1 = m1.crash();
+    let c4 = m4.crash();
+    assert_eq!(c1.lines_applied, c4.lines_applied);
+    assert_eq!(c1.lines_dropped, c4.lines_dropped);
+    assert_eq!(media_checksum(&m1, pm1), media_checksum(&m4, pm4));
+}
+
+#[test]
+fn cross_block_atomic_kernel_falls_back_and_matches() {
+    // The unannotated cross-block kernel: parallel attempt, runtime
+    // conflict, sequential rerun — result identical, threads_used == 1.
+    let mut m1 = Machine::default();
+    let mut m4 = Machine::default();
+    let c1 = m1.alloc_hbm(4).unwrap();
+    let c4 = m4.alloc_hbm(4).unwrap();
+    assert_eq!(c1, c4);
+    let k =
+        FnKernel(move |ctx: &mut ThreadCtx<'_>| ctx.atomic_add_u32(Addr::hbm(c1), 1).map(|_| ()));
+    let r1 = launch(&mut m1, LaunchConfig::new(8, 64).with_engine_threads(1), &k).unwrap();
+    let r4 = launch(&mut m4, LaunchConfig::new(8, 64).with_engine_threads(4), &k).unwrap();
+    assert_eq!(r4.threads_used, 1, "conflict must force the fallback");
+    assert_eq!(report_key(&r1), report_key(&r4));
+    assert_eq!(m1.read_u32(Addr::hbm(c1)).unwrap(), 8 * 64);
+    assert_eq!(m4.read_u32(Addr::hbm(c4)).unwrap(), 8 * 64);
+}
+
+#[test]
+fn parallel_path_actually_engages() {
+    // Guard against the parallel path silently never being taken (which
+    // would make the equivalence tests vacuous).
+    let mut m = Machine::default();
+    let pm = m.alloc_pm(1 << 16).unwrap();
+    let k =
+        FnKernel(move |ctx: &mut ThreadCtx<'_>| ctx.st_u64(Addr::pm(pm + ctx.global_id() * 8), 1));
+    let r = launch(&mut m, LaunchConfig::new(8, 64).with_engine_threads(4), &k).unwrap();
+    assert_eq!(r.threads_used, 4, "staged commit must have run");
+}
