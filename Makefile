@@ -2,9 +2,9 @@
 CARGO ?= cargo
 RUN := $(CARGO) run --release -p gpm-bench --bin
 
-.PHONY: all test bench bench-json figure_1 figure_3 figure_9 figure_10 figure_11a figure_11b \
-        figure_12 table_4 table_5 checkpoint_frequency recovery_stress sensitivity ycsb \
-        future_platforms
+.PHONY: all test bench bench-json campaign campaign-quick figure_1 figure_3 figure_9 \
+        figure_10 figure_11a figure_11b figure_12 table_4 table_5 checkpoint_frequency \
+        recovery_stress sensitivity ycsb future_platforms
 
 all: figure_1 figure_3 figure_9 figure_10 figure_11a figure_11b figure_12 table_4 table_5 \
      checkpoint_frequency recovery_stress
@@ -20,6 +20,13 @@ bench:
 # Dependency-free engine perf-regression harness; writes BENCH_engine.json.
 bench-json:
 	$(RUN) enginebench
+
+# Crash-consistency campaign across all GPMbench workloads; writes
+# BENCH_campaign.json. `campaign-quick` bounds the crash points per workload.
+campaign:
+	$(RUN) campaign
+campaign-quick:
+	$(RUN) campaign -- --quick
 
 figure_1:
 	$(RUN) fig1a

@@ -1,0 +1,303 @@
+//! Crash-consistency campaign: systematic crash-point enumeration with
+//! recovery oracles across all GPMbench workloads (§6.2, systematized).
+//!
+//! For every workload the campaign (1) records a crash schedule — one clean
+//! run under a recording fuel gauge, noting the op count at every
+//! persist/fence/launch boundary — then (2) enumerates crash cases (each
+//! kept boundary ±1 op, crossed with deterministic pending-line subset
+//! policies) and (3) replays each case on a fresh machine, running the
+//! workload's own recovery path and judging the result with its
+//! `RecoveryOracle`. Results land in `BENCH_campaign.json` (schema
+//! `gpm-campaign-v1`); every failure prints a one-line repro command.
+//!
+//! Flags:
+//! - `--quick`             scaled-down workloads and fewer crash points
+//! - `--workload NAME`     only the named oracle (e.g. `gpKVS`, `gpDB (U)`)
+//! - `--fuel N --policy P` single-case repro mode (requires `--workload`)
+//! - `--max-points N`      crash points kept per workload (0 = all)
+//! - `--inject-bug`        self-test: run gpKVS with a deliberately broken
+//!   recovery (one undo-log entry dropped); the campaign must FAIL
+//! - `--out PATH`          JSON output path (default `BENCH_campaign.json`)
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gpm_sim::{
+    enumerate_cases, run_campaign, CampaignConfig, CampaignStats, CrashPolicy, CrashSchedule,
+    Machine,
+};
+use gpm_workloads::{oracle_suite, KvsParams, KvsWorkload, RecoveryOracle, Scale};
+
+struct Opts {
+    quick: bool,
+    workload: Option<String>,
+    fuel: Option<u64>,
+    policy: Option<CrashPolicy>,
+    max_points: Option<usize>,
+    inject_bug: bool,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        workload: None,
+        fuel: None,
+        policy: None,
+        max_points: None,
+        inject_bug: false,
+        out: "BENCH_campaign.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--inject-bug" => opts.inject_bug = true,
+            "--workload" => opts.workload = Some(args.next().expect("--workload needs a name")),
+            "--fuel" => {
+                opts.fuel = Some(
+                    args.next()
+                        .expect("--fuel needs a count")
+                        .parse()
+                        .expect("--fuel needs an op count"),
+                );
+            }
+            "--policy" => {
+                opts.policy = Some(
+                    args.next()
+                        .expect("--policy needs a value")
+                        .parse()
+                        .expect("--policy needs all | none | gray:K | random:S"),
+                );
+            }
+            "--max-points" => {
+                opts.max_points = Some(
+                    args.next()
+                        .expect("--max-points needs a count")
+                        .parse()
+                        .expect("--max-points needs an integer"),
+                );
+            }
+            "--out" => opts.out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    opts
+}
+
+/// The one-line command that reproduces a single case.
+fn repro_command(name: &str, fuel: u64, policy: CrashPolicy, opts: &Opts) -> String {
+    let mut c = String::from("cargo run --release -p gpm-bench --bin campaign --");
+    if opts.quick {
+        c.push_str(" --quick");
+    }
+    if opts.inject_bug {
+        c.push_str(" --inject-bug");
+    }
+    let _ = write!(c, " --workload '{name}' --fuel {fuel} --policy {policy}");
+    c
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    boundaries: usize,
+    total_ops: u64,
+    stats: CampaignStats,
+    wall_s: f64,
+}
+
+fn to_json(reports: &[WorkloadReport], scale: Scale, cfg: &CampaignConfig) -> String {
+    let mut out = String::from("{\n  \"schema\": \"gpm-campaign-v1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"scale\": \"{}\",",
+        if scale == Scale::Quick {
+            "quick"
+        } else {
+            "full"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  \"max_crash_points\": {},",
+        cfg.max_crash_points
+            .map_or("null".to_string(), |m| m.to_string())
+    );
+    let _ = writeln!(out, "  \"gray_steps\": {},", cfg.gray_steps);
+    let _ = writeln!(out, "  \"random_subsets\": {},", cfg.random_subsets);
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"boundaries\": {}, \"total_ops\": {}, \
+             \"crash_points\": {}, \"cases\": {}, \"passed\": {}, \"wall_s\": {:.3}, \
+             \"failures\": [",
+            json_escape(r.name),
+            r.boundaries,
+            r.total_ops,
+            r.stats.crash_points,
+            r.stats.cases,
+            r.stats.passed,
+            r.wall_s
+        );
+        for (j, f) in r.stats.failures.iter().enumerate() {
+            let msg = match &f.verdict {
+                gpm_sim::OracleVerdict::Pass => String::new(),
+                gpm_sim::OracleVerdict::Fail(m) => json_escape(m),
+            };
+            let _ = write!(
+                out,
+                "{}{{\"fuel\": {}, \"policy\": \"{}\", \"message\": \"{}\"}}",
+                if j > 0 { ", " } else { "" },
+                f.case.fuel,
+                f.case.policy,
+                msg
+            );
+        }
+        out.push_str("]}");
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    let total_cases: usize = reports.iter().map(|r| r.stats.cases).sum();
+    let total_failures: usize = reports.iter().map(|r| r.stats.failures.len()).sum();
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"total_cases\": {total_cases},");
+    let _ = writeln!(out, "  \"total_failures\": {total_failures}");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = if opts.quick {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+
+    let mut oracles: Vec<Box<dyn RecoveryOracle>> = if opts.inject_bug {
+        let params = if opts.quick {
+            KvsParams::quick()
+        } else {
+            KvsParams::default()
+        };
+        vec![Box::new(KvsWorkload::new(params).with_recovery_bug())]
+    } else {
+        oracle_suite(scale)
+    };
+    if let Some(name) = &opts.workload {
+        oracles.retain(|o| o.name().eq_ignore_ascii_case(name));
+        if oracles.is_empty() {
+            eprintln!("no oracle named {name:?}");
+            std::process::exit(2);
+        }
+    }
+
+    // Single-case repro mode.
+    if let Some(fuel) = opts.fuel {
+        let policy = opts.policy.expect("--fuel needs --policy");
+        assert!(opts.workload.is_some(), "--fuel needs --workload");
+        let mut failed = false;
+        for o in &mut oracles {
+            let mut m = Machine::default();
+            let v = o.run_case(&mut m, fuel, policy).expect("platform error");
+            println!("{}: fuel={fuel} policy={policy} -> {v:?}", o.name());
+            failed |= !v.passed();
+        }
+        std::process::exit(i32::from(failed));
+    }
+
+    let cfg = CampaignConfig {
+        max_crash_points: match opts.max_points {
+            Some(0) => None,
+            Some(m) => Some(m),
+            None => Some(if opts.quick { 4 } else { 12 }),
+        },
+        ..CampaignConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let mut reports: Vec<WorkloadReport> = Vec::new();
+    for o in &mut oracles {
+        let name = o.name();
+        let mut m = Machine::default();
+        let sched: CrashSchedule = o.record(&mut m).expect("schedule recording failed");
+        let cases = enumerate_cases(&sched, &cfg);
+        println!(
+            "{name:>10}: {} boundaries over {} ops -> {} cases",
+            sched.boundaries().len(),
+            sched.total_ops(),
+            cases.len()
+        );
+        let t = Instant::now();
+        let stats = run_campaign(&cases, |case| {
+            let mut m = Machine::default();
+            o.run_case(&mut m, case.fuel, case.policy)
+                .expect("platform error")
+        });
+        let wall_s = t.elapsed().as_secs_f64();
+        for f in &stats.failures {
+            let msg = match &f.verdict {
+                gpm_sim::OracleVerdict::Pass => "",
+                gpm_sim::OracleVerdict::Fail(m) => m.as_str(),
+            };
+            println!(
+                "  FAIL fuel={} policy={}: {msg}",
+                f.case.fuel, f.case.policy
+            );
+            println!(
+                "  repro: {}",
+                repro_command(name, f.case.fuel, f.case.policy, &opts)
+            );
+        }
+        println!(
+            "  {}/{} passed across {} crash points in {wall_s:.2}s",
+            stats.passed, stats.cases, stats.crash_points
+        );
+        reports.push(WorkloadReport {
+            name,
+            boundaries: sched.boundaries().len(),
+            total_ops: sched.total_ops(),
+            stats,
+            wall_s,
+        });
+    }
+
+    let total_cases: usize = reports.iter().map(|r| r.stats.cases).sum();
+    let total_failures: usize = reports.iter().map(|r| r.stats.failures.len()).sum();
+    println!(
+        "campaign: {total_cases} cases, {total_failures} failures, {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let json = to_json(&reports, scale, &cfg);
+    std::fs::write(&opts.out, &json).expect("write campaign JSON");
+    println!("wrote {}", opts.out);
+
+    if opts.inject_bug {
+        // Self-test: the broken recovery MUST be caught.
+        if total_failures == 0 {
+            eprintln!("inject-bug self-test FAILED: no case caught the broken recovery");
+            std::process::exit(1);
+        }
+        println!("inject-bug self-test passed: broken recovery was caught");
+    } else if total_failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -11,9 +11,11 @@
 //! Buffers are 128-byte aligned and written as long unfenced streams, which
 //! is why checkpointing reaches peak PM bandwidth in Figure 12.
 
-use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_gpu::{
+    launch, launch_with_gauge, FnKernel, FuelGauge, LaunchConfig, LaunchError, ThreadCtx,
+};
 use gpm_sim::cpu::CpuCtx;
-use gpm_sim::{Addr, Machine, Ns, SimResult, HOST_WRITER};
+use gpm_sim::{Addr, Machine, Ns, SimError, SimResult, HOST_WRITER};
 
 use crate::error::{CoreError, CoreResult};
 use crate::map::{gpm_map, with_persist_window, GpmRegion};
@@ -218,6 +220,7 @@ fn copy_kernel(
     dst: Addr,
     len: u64,
     persist: bool,
+    gauge: &mut FuelGauge,
 ) -> SimResult<Ns> {
     let threads = len.div_ceil(COPY_CHUNK);
     let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
@@ -235,7 +238,11 @@ fn copy_kernel(
         }
         Ok(())
     });
-    let r = launch(machine, LaunchConfig::for_elements(threads, 256), &k)?;
+    let r = launch_with_gauge(machine, LaunchConfig::for_elements(threads, 256), &k, gauge)
+        .map_err(|e| match e {
+            LaunchError::Sim(e) => e,
+            LaunchError::Crashed(_) => SimError::Crashed,
+        })?;
     Ok(r.elapsed)
 }
 
@@ -248,7 +255,28 @@ fn copy_kernel(
 ///
 /// Fails when the group does not exist or a copy faults.
 pub fn gpmcp_checkpoint(machine: &mut Machine, cp: &GpmCheckpoint, group: u32) -> CoreResult<Ns> {
-    let (_, _, t_copy) = gpmcp_fill_working(machine, cp, group, true)?;
+    gpmcp_checkpoint_gauged(machine, cp, group, &mut FuelGauge::Unlimited)
+}
+
+/// Like [`gpmcp_checkpoint`], but drives the copy kernels through the
+/// caller's [`FuelGauge`], so the crash-consistency campaign can record
+/// persist boundaries inside the double-buffer flip and replay crashes at
+/// them. A `Crashed` error means the machine has crashed mid-checkpoint:
+/// the working buffer is torn but the flag still names the previous
+/// consistent copy.
+///
+/// # Errors
+///
+/// Same conditions as [`gpmcp_checkpoint`], plus
+/// [`SimError::Crashed`](gpm_sim::SimError::Crashed) when the gauge's fuel
+/// runs out.
+pub fn gpmcp_checkpoint_gauged(
+    machine: &mut Machine,
+    cp: &GpmCheckpoint,
+    group: u32,
+    gauge: &mut FuelGauge,
+) -> CoreResult<Ns> {
+    let (_, _, t_copy) = fill_working_gauged(machine, cp, group, true, gauge)?;
     let t_publish = gpmcp_publish(machine, cp, group)?;
     Ok(t_copy + t_publish + machine.cfg.ddio_toggle_overhead * 2.0)
 }
@@ -286,15 +314,25 @@ pub fn gpmcp_fill_working(
     group: u32,
     persist: bool,
 ) -> CoreResult<(Addr, u64, Ns)> {
+    fill_working_gauged(machine, cp, group, persist, &mut FuelGauge::Unlimited)
+}
+
+fn fill_working_gauged(
+    machine: &mut Machine,
+    cp: &GpmCheckpoint,
+    group: u32,
+    persist: bool,
+    gauge: &mut FuelGauge,
+) -> CoreResult<(Addr, u64, Ns)> {
     let (consistent, _) = cp.consistent(machine, group)?;
     let working = 1 - consistent;
     let dst = cp.buffer_addr(group, working);
     let mut total = Ns::ZERO;
-    let copy_all = |m: &mut Machine| -> CoreResult<Ns> {
+    let mut copy_all = |m: &mut Machine| -> CoreResult<Ns> {
         let mut t = Ns::ZERO;
         let mut off = 0u64;
         for reg in cp.registrations(group) {
-            t += copy_kernel(m, reg.addr, dst.add(off), reg.size, persist)?;
+            t += copy_kernel(m, reg.addr, dst.add(off), reg.size, persist, gauge)?;
             off += reg.size;
         }
         Ok(t)
@@ -455,7 +493,14 @@ pub fn gpmcp_restore(machine: &mut Machine, cp: &GpmCheckpoint, group: u32) -> C
     let mut total = Ns::ZERO;
     let mut off = 0u64;
     for reg in cp.registrations(group) {
-        total += copy_kernel(machine, src.add(off), reg.addr, reg.size, false)?;
+        total += copy_kernel(
+            machine,
+            src.add(off),
+            reg.addr,
+            reg.size,
+            false,
+            &mut FuelGauge::Unlimited,
+        )?;
         off += reg.size;
     }
     Ok(total)

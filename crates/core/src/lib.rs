@@ -63,9 +63,9 @@ pub mod txn;
 
 pub use audit::{assert_all_persisted, persist_audit, UnpersistedRange};
 pub use checkpoint::{
-    gpmcp_checkpoint, gpmcp_checkpoint_incremental, gpmcp_checkpoint_tracked, gpmcp_close,
-    gpmcp_create, gpmcp_fill_working, gpmcp_open, gpmcp_publish, gpmcp_register, gpmcp_restore,
-    GpmCheckpoint, Registration,
+    gpmcp_checkpoint, gpmcp_checkpoint_gauged, gpmcp_checkpoint_incremental,
+    gpmcp_checkpoint_tracked, gpmcp_close, gpmcp_create, gpmcp_fill_working, gpmcp_open,
+    gpmcp_publish, gpmcp_register, gpmcp_restore, GpmCheckpoint, Registration,
 };
 pub use error::{CoreError, CoreResult};
 pub use heap::PmHeap;

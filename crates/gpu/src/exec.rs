@@ -48,7 +48,10 @@ use std::fmt;
 
 use gpm_sim::pattern::PatternTracker;
 use gpm_sim::staged::{BlockStage, LineKey};
-use gpm_sim::{Addr, CrashReport, Machine, MemSpace, Ns, SimError, SimResult, WriterId, GPU_LINE};
+use gpm_sim::{
+    Addr, CrashPolicy, CrashReport, CrashSchedule, Machine, MemSpace, Ns, SimError, SimResult,
+    WriterId, GPU_LINE,
+};
 
 use crate::dim::{LaunchConfig, ThreadId, WARP_SIZE};
 use crate::kernel::{Kernel, KernelCapability};
@@ -97,6 +100,120 @@ impl std::error::Error for LaunchError {}
 impl From<SimError> for LaunchError {
     fn from(e: SimError) -> LaunchError {
         LaunchError::Sim(e)
+    }
+}
+
+/// Crash-fuel accounting for a launch (or a sequence of launches sharing
+/// one budget). Every context operation (load, store, atomic, fence) burns
+/// one unit; the gauge decides what that means:
+///
+/// * [`FuelGauge::Unlimited`] — no counting, no crash. The only mode
+///   eligible for the block-parallel path (fuel draws from the global
+///   operation order that only sequential execution defines).
+/// * [`FuelGauge::Crash`] — after `remaining` ops the machine crashes;
+///   `policy` picks the pending-line subset ([`Machine::crash_with_policy`])
+///   or falls back to the machine RNG ([`Machine::crash`]).
+/// * [`FuelGauge::Record`] — counts ops and notes every system fence and
+///   launch completion as a [`CrashSchedule`] boundary: the discovery pass
+///   of the crash-consistency campaign.
+///
+/// A gauge threaded through *identical* launch sequences makes the recorded
+/// boundary fuels directly replayable as `Crash` budgets — the engine is
+/// deterministic, so op N of the recording run is op N of the replay.
+#[derive(Debug, Default)]
+pub enum FuelGauge {
+    /// No crash injection; ops are not counted.
+    #[default]
+    Unlimited,
+    /// Crash when the budget is exhausted.
+    Crash {
+        /// Ops left before the crash fires.
+        remaining: u64,
+        /// Pending-line subset to apply at the crash; `None` = machine RNG.
+        policy: Option<CrashPolicy>,
+    },
+    /// Count ops and record persist/launch boundaries.
+    Record(CrashSchedule),
+}
+
+impl FuelGauge {
+    /// A budget that crashes via the machine RNG (the legacy fuel path).
+    pub fn crash(fuel: u64) -> FuelGauge {
+        FuelGauge::Crash {
+            remaining: fuel,
+            policy: None,
+        }
+    }
+
+    /// A budget that crashes with a deterministic pending-line subset.
+    pub fn crash_with_policy(fuel: u64, policy: CrashPolicy) -> FuelGauge {
+        FuelGauge::Crash {
+            remaining: fuel,
+            policy: Some(policy),
+        }
+    }
+
+    /// A recording gauge with an empty schedule.
+    pub fn record() -> FuelGauge {
+        FuelGauge::Record(CrashSchedule::new())
+    }
+
+    /// Whether the gauge neither counts nor crashes (the parallel path's
+    /// eligibility requirement).
+    pub fn is_inert(&self) -> bool {
+        matches!(self, FuelGauge::Unlimited)
+    }
+
+    /// The crash policy carried by a `Crash` gauge, if any.
+    pub fn policy(&self) -> Option<CrashPolicy> {
+        match self {
+            FuelGauge::Crash { policy, .. } => *policy,
+            _ => None,
+        }
+    }
+
+    /// The recorded schedule of a `Record` gauge.
+    pub fn schedule(&self) -> Option<&CrashSchedule> {
+        match self {
+            FuelGauge::Record(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Consumes the gauge, yielding the recorded schedule if recording.
+    pub fn into_schedule(self) -> Option<CrashSchedule> {
+        match self {
+            FuelGauge::Record(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// One context operation completes (or, with an exhausted budget, the
+    /// crash fires instead).
+    #[inline]
+    fn burn(&mut self) -> SimResult<()> {
+        match self {
+            FuelGauge::Unlimited => Ok(()),
+            FuelGauge::Crash { remaining, .. } => {
+                if *remaining == 0 {
+                    return Err(SimError::Crashed);
+                }
+                *remaining -= 1;
+                Ok(())
+            }
+            FuelGauge::Record(s) => {
+                s.count_op();
+                Ok(())
+            }
+        }
+    }
+
+    /// Notes a persist/commit boundary (recording mode only).
+    #[inline]
+    fn note_boundary(&mut self) {
+        if let FuelGauge::Record(s) = self {
+            s.note_boundary();
+        }
     }
 }
 
@@ -332,7 +449,7 @@ pub struct ThreadCtx<'a> {
     mem: EngineMem<'a>,
     costs: &'a mut KernelCosts,
     scratch: &'a mut WarpScratch,
-    fuel: &'a mut Option<u64>,
+    gauge: &'a mut FuelGauge,
     launch: LaunchConfig,
     id: ThreadId,
     writer: WriterId,
@@ -350,12 +467,7 @@ impl fmt::Debug for ThreadCtx<'_> {
 
 impl ThreadCtx<'_> {
     fn burn(&mut self) -> SimResult<()> {
-        if let Some(fuel) = self.fuel {
-            if *fuel == 0 {
-                return Err(SimError::Crashed);
-            }
-            *fuel -= 1;
-        }
+        self.gauge.burn()?;
         self.op_seq += 1;
         Ok(())
     }
@@ -584,6 +696,10 @@ impl ThreadCtx<'_> {
         self.burn()?;
         self.mem.fence_system(self.writer);
         self.scratch.group(self.op_seq).sys_fence = true;
+        // A system fence is where durable state advances: the crash
+        // campaign's discovery pass notes the fuel consumed so far as an
+        // interesting crash point.
+        self.gauge.note_boundary();
         Ok(())
     }
 
@@ -632,7 +748,7 @@ pub fn launch<K: Kernel + Sync>(
     cfg: LaunchConfig,
     kernel: &K,
 ) -> SimResult<KernelReport> {
-    match launch_inner(machine, cfg, kernel, &mut None) {
+    match launch_inner(machine, cfg, kernel, &mut FuelGauge::Unlimited) {
         Ok(r) => Ok(r),
         Err(LaunchError::Sim(e)) => Err(e),
         Err(LaunchError::Crashed(_)) => unreachable!("no fuel, no crash"),
@@ -653,23 +769,23 @@ pub fn launch_with_fuel<K: Kernel + Sync>(
     kernel: &K,
     fuel: u64,
 ) -> Result<KernelReport, LaunchError> {
-    launch_inner(machine, cfg, kernel, &mut Some(fuel))
+    launch_inner(machine, cfg, kernel, &mut FuelGauge::crash(fuel))
 }
 
 /// Like [`launch_with_fuel`], but draws from (and writes back to) a shared
-/// fuel budget, so a sequence of launches can share one crash point.
-/// `None` fuel means unlimited.
+/// [`FuelGauge`], so a sequence of launches can share one crash budget —
+/// or one recording schedule. [`FuelGauge::Unlimited`] means no injection.
 ///
 /// # Errors
 ///
 /// Same as [`launch_with_fuel`].
-pub fn launch_with_fuel_budget<K: Kernel + Sync>(
+pub fn launch_with_gauge<K: Kernel + Sync>(
     machine: &mut Machine,
     cfg: LaunchConfig,
     kernel: &K,
-    fuel: &mut Option<u64>,
+    gauge: &mut FuelGauge,
 ) -> Result<KernelReport, LaunchError> {
-    launch_inner(machine, cfg, kernel, fuel)
+    launch_inner(machine, cfg, kernel, gauge)
 }
 
 /// Host worker threads for a launch: the `LaunchConfig` override, else the
@@ -706,26 +822,36 @@ fn launch_inner<K: Kernel + Sync>(
     machine: &mut Machine,
     cfg: LaunchConfig,
     kernel: &K,
-    fuel: &mut Option<u64>,
+    gauge: &mut FuelGauge,
 ) -> Result<KernelReport, LaunchError> {
     machine.stats.kernel_launches += 1;
     let threads = resolve_engine_threads(&cfg);
     // The parallel path needs independent blocks (capability), more than
-    // one block to spread, and no crash fuel (fuel draws from a global
-    // operation order that only sequential execution defines).
-    if threads > 1
+    // one block to spread, and an inert gauge (fuel and schedule recording
+    // draw from a global operation order that only sequential execution
+    // defines).
+    let report = if threads > 1
         && cfg.grid > 1
-        && fuel.is_none()
+        && gauge.is_inert()
         && kernel.capability() == KernelCapability::BlockParallel
     {
-        if let Some(report) = launch_parallel(machine, cfg, kernel, threads) {
-            return Ok(report);
+        match launch_parallel(machine, cfg, kernel, threads) {
+            Some(report) => report,
+            // A worker erred or a cross-block conflict surfaced: the machine
+            // is untouched, so the sequential engine reruns from the same
+            // state and produces the canonical outcome (including the
+            // canonical error).
+            None => launch_sequential(machine, cfg, kernel, gauge)?,
         }
-        // A worker erred or a cross-block conflict surfaced: the machine is
-        // untouched, so the sequential engine reruns from the same state and
-        // produces the canonical outcome (including the canonical error).
-    }
-    launch_sequential(machine, cfg, kernel, fuel)
+    } else {
+        launch_sequential(machine, cfg, kernel, gauge)?
+    };
+    // Launch completion is a commit boundary too: host-side work (log
+    // clears, flag flips) between launches lands right after it, and a
+    // crash budget equal to this op count fires at the *next* gauged
+    // launch's first op — i.e. after that host work took effect.
+    gauge.note_boundary();
+    Ok(report)
 }
 
 /// The legacy engine: blocks run in order against the live machine. Costs
@@ -735,7 +861,7 @@ fn launch_sequential<K: Kernel>(
     machine: &mut Machine,
     cfg: LaunchConfig,
     kernel: &K,
-    fuel: &mut Option<u64>,
+    gauge: &mut FuelGauge,
 ) -> Result<KernelReport, LaunchError> {
     let pattern_before = machine.gpu_pm_pattern.clone();
     let mut total = KernelCosts::default();
@@ -762,7 +888,7 @@ fn launch_sequential<K: Kernel>(
                         mem: EngineMem::Live(machine),
                         costs: &mut costs,
                         scratch: &mut scratch,
-                        fuel,
+                        gauge,
                         launch: cfg,
                         id,
                         writer,
@@ -771,7 +897,10 @@ fn launch_sequential<K: Kernel>(
                     match kernel.run(phase, &mut ctx, &mut states[thread as usize], &mut shared) {
                         Ok(()) => {}
                         Err(SimError::Crashed) => {
-                            let report = machine.crash();
+                            let report = match gauge.policy() {
+                                Some(p) => machine.crash_with_policy(p),
+                                None => machine.crash(),
+                            };
                             return Err(LaunchError::Crashed(report));
                         }
                         Err(e) => return Err(LaunchError::Sim(e)),
@@ -832,7 +961,7 @@ fn run_block_staged<K: Kernel>(
     kernel.reset_shared(shared);
     states.clear();
     states.resize_with(cfg.block as usize, K::State::default);
-    let mut fuel = None;
+    let mut gauge = FuelGauge::Unlimited;
 
     for phase in 0..kernel.phases() {
         for warp in 0..cfg.warps_per_block() {
@@ -850,7 +979,7 @@ fn run_block_staged<K: Kernel>(
                     },
                     costs: &mut costs,
                     scratch,
-                    fuel: &mut fuel,
+                    gauge: &mut gauge,
                     launch: cfg,
                     id,
                     writer,
@@ -1087,6 +1216,100 @@ mod tests {
         });
         let err = launch_with_fuel(&mut m2, LaunchConfig::new(1, 32), &k2, 31).unwrap_err();
         assert!(matches!(err, LaunchError::Crashed(_)));
+    }
+
+    #[test]
+    fn record_gauge_notes_fences_and_launch_end() {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(1 << 16).unwrap();
+        m.set_ddio(false);
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(pm + i * 8), i)?;
+            ctx.threadfence_system()
+        });
+        let mut gauge = FuelGauge::record();
+        launch_with_gauge(&mut m, LaunchConfig::new(1, 64), &k, &mut gauge).unwrap();
+        let schedule = gauge.into_schedule().unwrap();
+        // 64 threads × (store + fence) = 128 ops; every thread's fence is a
+        // boundary, and the launch end coincides with the last fence.
+        assert_eq!(schedule.total_ops(), 128);
+        assert_eq!(schedule.boundaries().len(), 64);
+        assert_eq!(schedule.boundaries().last(), Some(&128));
+        assert_eq!(m.stats.crashes, 0, "recording never crashes");
+    }
+
+    #[test]
+    fn recorded_boundary_replays_as_crash_budget() {
+        // The engine is deterministic: a fuel budget equal to a recorded
+        // boundary crashes exactly at that boundary — the thread that fenced
+        // there has durable data, the next one does not.
+        let run = |gauge: &mut FuelGauge| {
+            let mut m = Machine::default();
+            let pm = m.alloc_pm(1 << 16).unwrap();
+            m.set_ddio(false);
+            let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                let i = ctx.global_id();
+                ctx.st_u64(Addr::pm(pm + i * 8), i + 1)?;
+                ctx.threadfence_system()
+            });
+            let res = launch_with_gauge(&mut m, LaunchConfig::new(1, 64), &k, gauge);
+            (m, pm, res.is_err())
+        };
+        let mut rec = FuelGauge::record();
+        run(&mut rec);
+        let schedule = rec.into_schedule().unwrap();
+        let boundary = schedule.boundaries()[9]; // thread 9's fence
+        let mut crash = FuelGauge::crash_with_policy(boundary, CrashPolicy::NoneApplied);
+        let (m, pm, crashed) = run(&mut crash);
+        assert!(crashed);
+        assert_eq!(m.read_u64(Addr::pm(pm + 9 * 8)).unwrap(), 10, "fenced");
+        assert_eq!(m.read_u64(Addr::pm(pm + 10 * 8)).unwrap(), 0, "not yet");
+    }
+
+    #[test]
+    fn crash_policy_steers_pending_line_fate() {
+        let run = |policy| {
+            let mut m = Machine::default();
+            let pm = m.alloc_pm(1 << 16).unwrap();
+            // DDIO on: stores stay pending, so the crash decides everything.
+            let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                let i = ctx.global_id();
+                ctx.st_u64(Addr::pm(pm + i * 64), i + 1)
+            });
+            // 64 threads × 1 op: a 32-op budget crashes halfway with the
+            // first 32 threads' lines pending.
+            let mut gauge = FuelGauge::crash_with_policy(32, policy);
+            let err =
+                launch_with_gauge(&mut m, LaunchConfig::new(1, 64), &k, &mut gauge).unwrap_err();
+            assert!(matches!(err, LaunchError::Crashed(_)));
+            (0..32u64)
+                .filter(|&i| m.read_u64(Addr::pm(pm + i * 64)).unwrap() == i + 1)
+                .count()
+        };
+        assert_eq!(run(CrashPolicy::AllApplied), 32);
+        assert_eq!(run(CrashPolicy::NoneApplied), 0);
+        let some = run(CrashPolicy::Random(5));
+        assert!(some > 0 && some < 32, "random subset is proper: {some}");
+    }
+
+    #[test]
+    fn record_gauge_forces_sequential_engine() {
+        let mut m = Machine::default();
+        let pm = m.alloc_pm(1 << 20).unwrap();
+        let k = FnKernel(|ctx: &mut ThreadCtx<'_>| {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(pm + i * 8), i)
+        });
+        let mut gauge = FuelGauge::record();
+        let r = launch_with_gauge(
+            &mut m,
+            LaunchConfig::new(8, 64).with_engine_threads(4),
+            &k,
+            &mut gauge,
+        )
+        .unwrap();
+        assert_eq!(r.threads_used, 1, "recording needs the global op order");
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod timing;
 pub use buffer::{Buf, Scalar};
 pub use dim::{Grid2, LaunchConfig, ThreadId, WARP_SIZE};
 pub use exec::{
-    launch, launch_with_fuel, launch_with_fuel_budget, resolved_engine_threads, KernelReport,
+    launch, launch_with_fuel, launch_with_gauge, resolved_engine_threads, FuelGauge, KernelReport,
     LaunchError, ThreadCtx,
 };
 pub use kernel::{Communicating, FnKernel, Kernel, KernelCapability};

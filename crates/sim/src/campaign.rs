@@ -1,0 +1,329 @@
+//! The crash-consistency campaign engine (§6.2, systematized).
+//!
+//! The paper validates recoverability with an NVBitFI fault-injection
+//! campaign on real hardware — necessarily a *sample* of crash points and
+//! eviction orders. The simulator is deterministic, so it can *enumerate*
+//! instead:
+//!
+//! 1. **Discovery** — run a workload once under a recording fuel gauge
+//!    (`gpm-gpu`'s `FuelGauge::Record`). Every persist/fence boundary and
+//!    every kernel-launch completion notes the global fuel consumed so far
+//!    into a [`CrashSchedule`]. Those are exactly the points where the
+//!    durable/pending split changes shape — the interesting crash points.
+//! 2. **Enumeration** — [`enumerate_cases`] expands each boundary into the
+//!    fuels `{b-1, b, b+1}` (a crash right before, at, and right after the
+//!    boundary op) and crosses them with a deterministic set of
+//!    pending-line subset policies ([`CrashPolicy`]): both extremes, a
+//!    Gray-code one-line-off walk, and seeded random subsets.
+//! 3. **Verdicts** — a per-workload recovery oracle (the `RecoveryOracle`
+//!    trait in `gpm-workloads`) replays the workload crashing at each case
+//!    and reports an [`OracleVerdict`]. The campaign driver
+//!    ([`run_campaign`]) is oracle-agnostic: it only needs a closure that
+//!    maps a case to a verdict, so this crate stays at the bottom of the
+//!    dependency stack.
+//!
+//! Every case is reproducible from `(workload, machine seed, fuel, policy)`
+//! alone; a failing case is a one-line repro command, not a flaky report.
+
+use crate::pm::CrashPolicy;
+
+/// Crash points discovered by one recorded run: the global fuel (ops
+/// consumed so far) at every persist/fence/commit boundary, plus the total
+/// op count of the fueled region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// Ops consumed when each boundary was crossed, ascending and deduped.
+    boundaries: Vec<u64>,
+    /// Total ops the fueled region consumed.
+    total_ops: u64,
+}
+
+impl CrashSchedule {
+    /// An empty schedule (nothing recorded yet).
+    pub fn new() -> CrashSchedule {
+        CrashSchedule::default()
+    }
+
+    /// Called by the execution engine each time one fueled op completes.
+    #[inline]
+    pub fn count_op(&mut self) {
+        self.total_ops += 1;
+    }
+
+    /// Notes the current op count as a boundary (a system fence, a persist,
+    /// a launch completion — any point where durable state advances).
+    /// Consecutive duplicates collapse.
+    pub fn note_boundary(&mut self) {
+        if self.boundaries.last() != Some(&self.total_ops) {
+            self.boundaries.push(self.total_ops);
+        }
+    }
+
+    /// The recorded boundaries, ascending, deduped.
+    pub fn boundaries(&self) -> &[u64] {
+        &self.boundaries
+    }
+
+    /// Total ops of the recorded region.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Evenly subsamples the boundaries down to at most `max` entries,
+    /// always keeping the first and last (the earliest commit and the
+    /// end-of-run boundary bracket the whole durable history).
+    pub fn subsample(&self, max: usize) -> Vec<u64> {
+        let n = self.boundaries.len();
+        if n <= max || max == 0 {
+            return self.boundaries.clone();
+        }
+        let mut picked: Vec<u64> = (0..max)
+            .map(|i| self.boundaries[i * (n - 1) / (max - 1).max(1)])
+            .collect();
+        picked.dedup();
+        picked
+    }
+}
+
+/// How many cases to generate per crash point.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Crash points (boundaries) kept per workload; `None` = all.
+    pub max_crash_points: Option<usize>,
+    /// Gray-code walk steps per crash point (`gray:1 ..= gray:N`); the
+    /// extremes are always covered separately by `all`/`none`.
+    pub gray_steps: u64,
+    /// Seeded-random subsets per crash point.
+    pub random_subsets: u64,
+    /// Base seed for the random subsets (case seeds are derived from it).
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            max_crash_points: None,
+            gray_steps: 2,
+            random_subsets: 2,
+            seed: 0xC4A5,
+        }
+    }
+}
+
+/// One (crash point × pending-line subset) case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignCase {
+    /// Fuel budget: the crash fires when this many ops have completed.
+    pub fuel: u64,
+    /// Pending-line subset applied at the crash.
+    pub policy: CrashPolicy,
+}
+
+/// Expands a recorded schedule into the full deterministic case matrix:
+/// every kept boundary ±1 op, crossed with the policy set from `cfg`.
+pub fn enumerate_cases(schedule: &CrashSchedule, cfg: &CampaignConfig) -> Vec<CampaignCase> {
+    let kept = match cfg.max_crash_points {
+        Some(max) => schedule.subsample(max),
+        None => schedule.boundaries().to_vec(),
+    };
+    let mut fuels: Vec<u64> = Vec::with_capacity(kept.len() * 3);
+    for &b in &kept {
+        fuels.push(b.saturating_sub(1));
+        fuels.push(b);
+        fuels.push(b + 1);
+    }
+    fuels.sort_unstable();
+    fuels.dedup();
+    // Fuel 0 crashes before the first op of the fueled region — durable
+    // state is whatever setup produced, which recovery trivially preserves;
+    // it still makes a useful oracle sanity case, so it stays when present.
+    let mut cases = Vec::new();
+    for (i, &fuel) in fuels.iter().enumerate() {
+        cases.push(CampaignCase {
+            fuel,
+            policy: CrashPolicy::AllApplied,
+        });
+        cases.push(CampaignCase {
+            fuel,
+            policy: CrashPolicy::NoneApplied,
+        });
+        for k in 1..=cfg.gray_steps {
+            cases.push(CampaignCase {
+                fuel,
+                policy: CrashPolicy::GrayCode(k),
+            });
+        }
+        for r in 0..cfg.random_subsets {
+            // Derive a distinct, stable seed per (fuel index, subset index).
+            let seed = cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((i as u64) << 8)
+                .wrapping_add(r);
+            cases.push(CampaignCase {
+                fuel,
+                policy: CrashPolicy::Random(seed),
+            });
+        }
+    }
+    cases
+}
+
+/// What the recovery oracle concluded about one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// Recovery produced a state consistent with some prefix of committed
+    /// work.
+    Pass,
+    /// Recovery produced a corrupt or impossible state; the message says
+    /// what the oracle saw.
+    Fail(String),
+}
+
+impl OracleVerdict {
+    /// Whether the case passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, OracleVerdict::Pass)
+    }
+}
+
+/// One executed case with its verdict.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The case that ran.
+    pub case: CampaignCase,
+    /// What the oracle concluded.
+    pub verdict: OracleVerdict,
+}
+
+/// Aggregate result of one workload's campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    /// Distinct fuels visited.
+    pub crash_points: usize,
+    /// Cases executed.
+    pub cases: usize,
+    /// Cases that passed.
+    pub passed: usize,
+    /// The failing outcomes, in execution order.
+    pub failures: Vec<CaseOutcome>,
+}
+
+/// Runs every case through `oracle`, collecting stats. `oracle` receives
+/// each case on a caller-prepared fresh machine (the caller's closure owns
+/// machine construction, so the driver stays workload-agnostic).
+pub fn run_campaign<F>(cases: &[CampaignCase], mut oracle: F) -> CampaignStats
+where
+    F: FnMut(&CampaignCase) -> OracleVerdict,
+{
+    let mut stats = CampaignStats::default();
+    let mut fuels: Vec<u64> = cases.iter().map(|c| c.fuel).collect();
+    fuels.sort_unstable();
+    fuels.dedup();
+    stats.crash_points = fuels.len();
+    for case in cases {
+        let verdict = oracle(case);
+        stats.cases += 1;
+        if verdict.passed() {
+            stats.passed += 1;
+        } else {
+            stats.failures.push(CaseOutcome {
+                case: *case,
+                verdict,
+            });
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(boundaries: &[u64], total: u64) -> CrashSchedule {
+        let mut s = CrashSchedule::new();
+        let mut at = 0u64;
+        for &b in boundaries {
+            while at < b {
+                s.count_op();
+                at += 1;
+            }
+            s.note_boundary();
+        }
+        while at < total {
+            s.count_op();
+            at += 1;
+        }
+        s
+    }
+
+    #[test]
+    fn boundaries_dedup_and_order() {
+        let mut s = CrashSchedule::new();
+        s.count_op();
+        s.note_boundary();
+        s.note_boundary(); // duplicate collapses
+        s.count_op();
+        s.note_boundary();
+        assert_eq!(s.boundaries(), &[1, 2]);
+        assert_eq!(s.total_ops(), 2);
+    }
+
+    #[test]
+    fn subsample_keeps_endpoints() {
+        let s = schedule(&[10, 20, 30, 40, 50, 60], 70);
+        let picked = s.subsample(3);
+        assert_eq!(picked.first(), Some(&10));
+        assert_eq!(picked.last(), Some(&60));
+        assert!(picked.len() <= 3);
+        assert_eq!(s.subsample(100), s.boundaries().to_vec());
+    }
+
+    #[test]
+    fn enumeration_crosses_fuels_and_policies() {
+        let s = schedule(&[100], 120);
+        let cfg = CampaignConfig {
+            gray_steps: 2,
+            random_subsets: 1,
+            ..CampaignConfig::default()
+        };
+        let cases = enumerate_cases(&s, &cfg);
+        // 3 fuels (99, 100, 101) × 5 policies (all, none, gray:1, gray:2,
+        // random).
+        assert_eq!(cases.len(), 15);
+        assert!(cases
+            .iter()
+            .any(|c| c.fuel == 99 && c.policy == CrashPolicy::AllApplied));
+        assert!(cases
+            .iter()
+            .any(|c| c.fuel == 101 && c.policy == CrashPolicy::NoneApplied));
+        // Derived random seeds are distinct across fuels.
+        let seeds: Vec<u64> = cases
+            .iter()
+            .filter_map(|c| match c.policy {
+                CrashPolicy::Random(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seeds.len(), 3);
+        assert!(seeds[0] != seeds[1] && seeds[1] != seeds[2]);
+    }
+
+    #[test]
+    fn driver_collects_failures() {
+        let s = schedule(&[5], 10);
+        let cases = enumerate_cases(&s, &CampaignConfig::default());
+        let stats = run_campaign(&cases, |case| {
+            if case.fuel == 6 && case.policy == CrashPolicy::AllApplied {
+                OracleVerdict::Fail("stale row".into())
+            } else {
+                OracleVerdict::Pass
+            }
+        });
+        assert_eq!(stats.cases, cases.len());
+        assert_eq!(stats.passed, cases.len() - 1);
+        assert_eq!(stats.failures.len(), 1);
+        assert_eq!(stats.failures[0].case.fuel, 6);
+        assert_eq!(stats.crash_points, 3);
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod campaign;
 pub mod config;
 pub mod cpu;
 pub mod error;
@@ -57,10 +58,14 @@ pub mod time;
 pub mod volatile;
 
 pub use addr::{Addr, MemSpace, CPU_LINE, GPU_LINE, OPTANE_BLOCK};
+pub use campaign::{
+    enumerate_cases, run_campaign, CampaignCase, CampaignConfig, CampaignStats, CaseOutcome,
+    CrashSchedule, OracleVerdict,
+};
 pub use config::{MachineConfig, PersistMode};
 pub use error::{SimError, SimResult};
 pub use machine::Machine;
-pub use pm::{CrashReport, WriterId, HOST_WRITER};
+pub use pm::{CrashPolicy, CrashReport, WriterId, HOST_WRITER};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use staged::{BlockStage, LineKey};
 pub use stats::Stats;

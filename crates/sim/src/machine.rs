@@ -10,7 +10,7 @@ use crate::config::{MachineConfig, PersistMode};
 use crate::error::{SimError, SimResult};
 use crate::fs::{extent_size, PmFile, PmFs};
 use crate::pattern::PatternTracker;
-use crate::pm::{CrashReport, PmDevice, WriterId, HOST_WRITER};
+use crate::pm::{CrashPolicy, CrashReport, PmDevice, WriterId, HOST_WRITER};
 use crate::rng::Xoshiro256StarStar;
 use crate::stats::Stats;
 use crate::time::SimClock;
@@ -412,6 +412,21 @@ impl Machine {
     /// persistence domain already) or lost. DDIO returns to its boot default.
     pub fn crash(&mut self) -> CrashReport {
         let report = self.pm.crash(&mut self.rng);
+        self.dram.wipe();
+        self.hbm.wipe();
+        self.ddio_enabled = true;
+        self.stats.crashes += 1;
+        report
+    }
+
+    /// Power failure with a chosen eviction outcome (campaign replay): the
+    /// applied pending-line subset comes from `policy` instead of the
+    /// machine RNG, so the machine RNG stream — and with it every
+    /// RNG-dependent event after recovery — is identical across replays of
+    /// different policies. Volatile state is wiped exactly as in
+    /// [`Machine::crash`].
+    pub fn crash_with_policy(&mut self, policy: CrashPolicy) -> CrashReport {
+        let report = self.pm.crash_with_policy(policy);
         self.dram.wipe();
         self.hbm.wipe();
         self.ddio_enabled = true;

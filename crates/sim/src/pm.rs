@@ -149,6 +149,85 @@ pub struct CrashReport {
     pub lines_dropped: u64,
 }
 
+/// How a crash chooses the subset of pending lines that reach media.
+///
+/// [`PmDevice::crash`] draws the subset from the machine RNG — one random
+/// outcome per machine seed. A crash-consistency *campaign* instead wants to
+/// steer the subset deterministically so the same crash point can be replayed
+/// under every interesting eviction order. Every policy is a pure function of
+/// its parameters: replaying a `(fuel, policy)` pair reproduces the exact
+/// same post-crash media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPolicy {
+    /// Every pending line reaches media (the cache drained completely just
+    /// before power was lost).
+    AllApplied,
+    /// Every pending line is lost (nothing had been written back).
+    NoneApplied,
+    /// Deterministic subset walk: pending line `i` — counted in the
+    /// ascending address order [`PmDevice::crash`] visits lines in — is
+    /// applied iff bit `i % 64` of the reflected Gray code `g(k) = k ^ (k >>
+    /// 1)` is set. Adjacent indices `k` and `k + 1` differ in exactly one
+    /// mask bit, so stepping `k` walks one-line-off neighbours; `k = 0` is
+    /// the none-applied extreme and [`CrashPolicy::GRAY_ALL_ONES`] the
+    /// all-applied one.
+    GrayCode(u64),
+    /// Random subset drawn from a dedicated [`Xoshiro256StarStar`] seeded
+    /// with the given value — independent of the machine RNG, so the outcome
+    /// is reproducible from the seed alone.
+    Random(u64),
+}
+
+impl CrashPolicy {
+    /// The `GrayCode` index whose subset mask is all ones: `g(k) = !0`
+    /// exactly for the alternating-bit pattern `0b1010…`, since each Gray
+    /// bit is the XOR of two adjacent index bits.
+    pub const GRAY_ALL_ONES: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+    /// The 64-bit apply mask of a `GrayCode` policy (`None` for the other
+    /// variants, whose membership is not mask-driven).
+    pub fn gray_mask(self) -> Option<u64> {
+        match self {
+            CrashPolicy::GrayCode(k) => Some(k ^ (k >> 1)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashPolicy::AllApplied => write!(f, "all"),
+            CrashPolicy::NoneApplied => write!(f, "none"),
+            CrashPolicy::GrayCode(k) => write!(f, "gray:{k}"),
+            CrashPolicy::Random(s) => write!(f, "random:{s}"),
+        }
+    }
+}
+
+impl std::str::FromStr for CrashPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CrashPolicy, String> {
+        match s {
+            "all" => Ok(CrashPolicy::AllApplied),
+            "none" => Ok(CrashPolicy::NoneApplied),
+            _ => {
+                let parse = |v: &str| v.parse::<u64>().map_err(|e| e.to_string());
+                if let Some(k) = s.strip_prefix("gray:") {
+                    Ok(CrashPolicy::GrayCode(parse(k)?))
+                } else if let Some(seed) = s.strip_prefix("random:") {
+                    Ok(CrashPolicy::Random(parse(seed)?))
+                } else {
+                    Err(format!(
+                        "unknown crash policy {s:?} (expected all, none, gray:K, random:SEED)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
 /// The simulated Optane persistent-memory device.
 ///
 /// # Examples
@@ -522,6 +601,56 @@ impl PmDevice {
         report
     }
 
+    /// Power failure with a *chosen* eviction outcome: the subset of pending
+    /// lines that reach media is dictated by `policy` instead of the machine
+    /// RNG. Lines are visited in the same ascending address order as
+    /// [`PmDevice::crash`], so the `i`-th visited line is well defined and a
+    /// `(pending state, policy)` pair always yields the same media.
+    pub fn crash_with_policy(&mut self, policy: CrashPolicy) -> CrashReport {
+        let mut rng = match policy {
+            CrashPolicy::Random(seed) => Some(Xoshiro256StarStar::seed_from_u64(seed)),
+            _ => None,
+        };
+        let mask = policy.gray_mask().unwrap_or(0);
+        let mut report = CrashReport::default();
+        let Some(pages) = self.occupied_pages() else {
+            return report;
+        };
+        let mut visited = 0u64;
+        for ppage in pages {
+            let Some(page) = self.pending[ppage].as_deref() else {
+                continue;
+            };
+            let mut bits = page.present;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let apply = match policy {
+                    CrashPolicy::AllApplied => true,
+                    CrashPolicy::NoneApplied => false,
+                    CrashPolicy::GrayCode(_) => mask >> (visited % 64) & 1 == 1,
+                    CrashPolicy::Random(_) => rng
+                        .as_mut()
+                        .expect("random policy has an rng")
+                        .gen_bool(0.5),
+                };
+                visited += 1;
+                if apply {
+                    self.apply_line_at(ppage, slot);
+                    report.lines_applied += 1;
+                } else {
+                    let page = self.pending[ppage].as_deref_mut().expect("page resident");
+                    page.present &= !(1u64 << slot);
+                    self.free_slots.push(page.slots[slot]);
+                    self.pending_count -= 1;
+                    report.lines_dropped += 1;
+                }
+            }
+        }
+        self.settle_watermarks();
+        report
+    }
+
     /// Reads directly from durable media, ignoring pending lines. Intended
     /// for tests asserting what would survive an immediate crash that drops
     /// everything pending.
@@ -722,6 +851,117 @@ mod tests {
         pm.write_visible(2, 1000, &[2]).unwrap();
         assert_eq!(pm.persist_all(), 2);
         assert_eq!(pm.pending_line_count(), 0);
+    }
+
+    /// 40 pending lines at 64-byte stride, payload = line index + 1.
+    fn pm_with_pending_lines() -> PmDevice {
+        let mut pm = PmDevice::new(1 << 20);
+        for i in 0..40u64 {
+            pm.write_visible(i as WriterId, i * 64, &[i as u8 + 1; 8])
+                .unwrap();
+        }
+        pm
+    }
+
+    fn applied_lines(pm: &PmDevice) -> Vec<u64> {
+        (0..40u64)
+            .filter(|&i| {
+                let mut b = [0u8];
+                pm.read_media(i * 64, &mut b).unwrap();
+                b[0] == i as u8 + 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn policy_extremes_apply_everything_or_nothing() {
+        let mut pm = pm_with_pending_lines();
+        let r = pm.crash_with_policy(CrashPolicy::AllApplied);
+        assert_eq!((r.lines_applied, r.lines_dropped), (40, 0));
+        assert_eq!(applied_lines(&pm).len(), 40);
+
+        let mut pm = pm_with_pending_lines();
+        let r = pm.crash_with_policy(CrashPolicy::NoneApplied);
+        assert_eq!((r.lines_applied, r.lines_dropped), (0, 40));
+        assert_eq!(applied_lines(&pm), Vec::<u64>::new());
+        assert_eq!(pm.pending_line_count(), 0, "dropped lines are gone");
+    }
+
+    #[test]
+    fn gray_walk_visits_both_extremes() {
+        // g(0) = 0 is the none-applied mask and g(GRAY_ALL_ONES) all ones —
+        // the Gray walk's endpoints coincide with the two extreme policies.
+        let mut pm = pm_with_pending_lines();
+        let r = pm.crash_with_policy(CrashPolicy::GrayCode(0));
+        assert_eq!(r.lines_applied, 0, "gray:0 is none-applied");
+
+        let mut pm = pm_with_pending_lines();
+        let r = pm.crash_with_policy(CrashPolicy::GrayCode(CrashPolicy::GRAY_ALL_ONES));
+        assert_eq!(r.lines_applied, 40, "gray:GRAY_ALL_ONES is all-applied");
+        assert_eq!(
+            CrashPolicy::GrayCode(CrashPolicy::GRAY_ALL_ONES).gray_mask(),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn gray_neighbours_differ_in_one_line() {
+        // Stepping k toggles exactly one mask bit, so the applied sets of
+        // adjacent k differ by at most one line per 64-line window (exactly
+        // one when fewer than 64 lines are pending).
+        for k in [0u64, 1, 2, 7, 1000] {
+            let mut a = pm_with_pending_lines();
+            a.crash_with_policy(CrashPolicy::GrayCode(k));
+            let mut b = pm_with_pending_lines();
+            b.crash_with_policy(CrashPolicy::GrayCode(k + 1));
+            let sa = applied_lines(&a);
+            let sb = applied_lines(&b);
+            let diff = sa
+                .iter()
+                .filter(|l| !sb.contains(l))
+                .chain(sb.iter().filter(|l| !sa.contains(l)))
+                .count();
+            assert_eq!(diff, 1, "gray:{k} vs gray:{} must differ by 1 line", k + 1);
+        }
+    }
+
+    #[test]
+    fn every_policy_is_reproducible() {
+        for policy in [
+            CrashPolicy::AllApplied,
+            CrashPolicy::NoneApplied,
+            CrashPolicy::GrayCode(12345),
+            CrashPolicy::Random(99),
+        ] {
+            let run = || {
+                let mut pm = pm_with_pending_lines();
+                let r = pm.crash_with_policy(policy);
+                (r, applied_lines(&pm))
+            };
+            assert_eq!(run(), run(), "{policy} must be deterministic");
+        }
+        // Distinct random seeds pick distinct subsets (over 40 lines a
+        // collision is a 2^-40 event).
+        let subset = |seed| {
+            let mut pm = pm_with_pending_lines();
+            pm.crash_with_policy(CrashPolicy::Random(seed));
+            applied_lines(&pm)
+        };
+        assert_ne!(subset(1), subset(2));
+    }
+
+    #[test]
+    fn policy_round_trips_through_display() {
+        for policy in [
+            CrashPolicy::AllApplied,
+            CrashPolicy::NoneApplied,
+            CrashPolicy::GrayCode(7),
+            CrashPolicy::Random(42),
+        ] {
+            let s = policy.to_string();
+            assert_eq!(s.parse::<CrashPolicy>().unwrap(), policy, "{s}");
+        }
+        assert!("bogus".parse::<CrashPolicy>().is_err());
     }
 
     #[test]

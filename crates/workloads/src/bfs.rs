@@ -15,12 +15,15 @@
 use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
 use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt};
 use gpm_gpu::{
-    launch_with_fuel_budget, Communicating, FnKernel, LaunchConfig, LaunchError, ThreadCtx,
+    launch_with_gauge, Communicating, FnKernel, FuelGauge, LaunchConfig, LaunchError, ThreadCtx,
 };
 use gpm_sim::cpu::CpuCtx;
-use gpm_sim::{Addr, Machine, Ns, SimError, SimResult, HOST_WRITER};
+use gpm_sim::{
+    Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult, HOST_WRITER,
+};
 
 use crate::metrics::{metered, Mode, RunMetrics};
+use crate::oracle::RecoveryOracle;
 
 /// Unvisited marker in the cost array.
 pub const INF: u32 = u32::MAX;
@@ -262,7 +265,7 @@ impl BfsWorkload {
         mut level: u32,
         mut frontier_len: u64,
         mut seq_base: u64,
-        fuel: &mut Option<u64>,
+        gauge: &mut FuelGauge,
     ) -> Result<(), LaunchError> {
         let p = &self.params;
         let n = p.nodes();
@@ -278,7 +281,7 @@ impl BfsWorkload {
             if persist {
                 gpm_persist_begin(machine);
             }
-            let res = launch_with_fuel_budget(machine, cfg, &kernel, fuel);
+            let res = launch_with_gauge(machine, cfg, &kernel, gauge);
             if persist {
                 gpm_persist_end(machine);
             }
@@ -397,7 +400,7 @@ impl BfsWorkload {
         let st = self.setup(machine, mode)?;
         let mut metrics = metered(machine, |m| {
             self.start(m, &st, mode)?;
-            self.traverse(m, &st, mode, 0, 1, 0, &mut None)
+            self.traverse(m, &st, mode, 0, 1, 0, &mut FuelGauge::Unlimited)
                 .map_err(|e| match e {
                     LaunchError::Sim(e) => e,
                     LaunchError::Crashed(_) => SimError::Crashed,
@@ -482,14 +485,27 @@ impl BfsWorkload {
     pub fn run_crash_resume(&self, machine: &mut Machine, fuel: u64) -> SimResult<RunMetrics> {
         let st = self.setup(machine, Mode::Gpm)?;
         self.start(machine, &st, Mode::Gpm)?;
-        match self.traverse(machine, &st, Mode::Gpm, 0, 1, 0, &mut Some(fuel)) {
+        match self.traverse(
+            machine,
+            &st,
+            Mode::Gpm,
+            0,
+            1,
+            0,
+            &mut FuelGauge::crash(fuel),
+        ) {
             Ok(()) => {} // fuel outlasted the traversal
             Err(LaunchError::Crashed(_)) => {}
             Err(LaunchError::Sim(e)) => return Err(e),
         }
         machine.crash();
+        self.resume(machine, &st)
+    }
 
-        // ---- resume ----
+    /// Post-crash resume: reloads the graph, rolls uncommitted discoveries
+    /// back to the last committed level, rebuilds the frontier, finishes the
+    /// traversal, and verifies.
+    fn resume(&self, machine: &mut Machine, st: &BfsState) -> SimResult<RunMetrics> {
         let t0 = machine.clock.now();
         // Volatile state is gone: reload the read-only graph from its
         // PM-resident input file into device memory.
@@ -562,12 +578,12 @@ impl BfsWorkload {
         let mut metrics = metered(machine, |m| {
             self.traverse(
                 m,
-                &st,
+                st,
                 Mode::Gpm,
                 level,
                 frontier.len() as u64,
                 seq_len,
-                &mut None,
+                &mut FuelGauge::Unlimited,
             )
             .map_err(|e| match e {
                 LaunchError::Sim(e) => e,
@@ -576,8 +592,48 @@ impl BfsWorkload {
             Ok::<bool, SimError>(true)
         })?;
         metrics.recovery = Some(resume_setup);
-        metrics.verified = self.verify(machine, &st, Mode::Gpm)?;
+        metrics.verified = self.verify(machine, st, Mode::Gpm)?;
         Ok(metrics)
+    }
+}
+
+impl RecoveryOracle for BfsWorkload {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn record(&mut self, machine: &mut Machine) -> SimResult<CrashSchedule> {
+        let st = self.setup(machine, Mode::Gpm)?;
+        self.start(machine, &st, Mode::Gpm)?;
+        let mut gauge = FuelGauge::record();
+        crate::oracle::expect_clean(self.traverse(machine, &st, Mode::Gpm, 0, 1, 0, &mut gauge))?;
+        Ok(gauge.into_schedule().expect("recording gauge"))
+    }
+
+    fn run_case(
+        &mut self,
+        machine: &mut Machine,
+        fuel: u64,
+        policy: CrashPolicy,
+    ) -> SimResult<OracleVerdict> {
+        let st = self.setup(machine, Mode::Gpm)?;
+        self.start(machine, &st, Mode::Gpm)?;
+        let res = self.traverse(
+            machine,
+            &st,
+            Mode::Gpm,
+            0,
+            1,
+            0,
+            &mut FuelGauge::crash_with_policy(fuel, policy),
+        );
+        crate::oracle::settle_crash(machine, policy, res)?;
+        let metrics = self.resume(machine, &st)?;
+        Ok(if metrics.verified {
+            OracleVerdict::Pass
+        } else {
+            OracleVerdict::Fail("resumed traversal diverges from reference costs".into())
+        })
     }
 }
 

@@ -14,11 +14,17 @@ use gpm_core::{
     gpm_map, gpm_persist_begin, gpm_persist_end, gpmlog_create_conv, gpmlog_create_hcl, GpmLog,
     GpmThreadExt,
 };
-use gpm_gpu::{launch, Communicating, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_gpu::{
+    launch, launch_with_gauge, Communicating, FnKernel, FuelGauge, LaunchConfig, LaunchError,
+    ThreadCtx,
+};
 use gpm_sim::cpu::CpuCtx;
-use gpm_sim::{Addr, Machine, Ns, SimError, SimResult, HOST_WRITER};
+use gpm_sim::{
+    Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult, HOST_WRITER,
+};
 
 use crate::metrics::{metered, Mode, RunMetrics};
+use crate::oracle::RecoveryOracle;
 
 /// Valid bytes per row: id u64 + 12 columns u64.
 pub const ROW_BYTES: u64 = 104;
@@ -660,6 +666,55 @@ impl DbWorkload {
         Ok(metrics)
     }
 
+    /// Gauge-driven GPM batch loop for the campaign oracle. `committed`
+    /// tracks how many batches fully committed before the crash (if any).
+    fn run_batches_gauged(
+        &self,
+        machine: &mut Machine,
+        st: &DbState,
+        gauge: &mut FuelGauge,
+        committed: &mut u32,
+    ) -> Result<(), LaunchError> {
+        let p = &self.params;
+        let mut count = p.initial_rows;
+        for b in 0..p.batches {
+            match p.op {
+                DbOp::Insert => {
+                    let cfg = LaunchConfig::for_elements(p.rows_per_insert, 256);
+                    gpm_persist_begin(machine);
+                    launch_with_gauge(
+                        machine,
+                        cfg,
+                        &self.insert_kernel(st, b, count, true, true),
+                        gauge,
+                    )?;
+                    gpm_persist_end(machine);
+                    count += p.rows_per_insert;
+                    self.persist_count(machine, st, count)
+                        .map_err(LaunchError::Sim)?;
+                    st.meta_log
+                        .host_clear(machine)
+                        .map_err(|_| LaunchError::Sim(SimError::Invalid("clear")))?;
+                }
+                DbOp::Update => {
+                    gpm_persist_begin(machine);
+                    launch_with_gauge(
+                        machine,
+                        self.update_launch_cfg(),
+                        &self.update_kernel(st, b, count, true, true),
+                        gauge,
+                    )?;
+                    gpm_persist_end(machine);
+                    st.row_log
+                        .host_clear(machine)
+                        .map_err(|_| LaunchError::Sim(SimError::Invalid("clear")))?;
+                }
+            }
+            *committed = b + 1;
+        }
+        Ok(())
+    }
+
     fn recover(&self, machine: &mut Machine, st: &DbState) -> SimResult<()> {
         match self.params.op {
             DbOp::Insert => {
@@ -703,6 +758,92 @@ impl DbWorkload {
                 Ok(())
             }
         }
+    }
+}
+
+impl RecoveryOracle for DbWorkload {
+    fn name(&self) -> &'static str {
+        match self.params.op {
+            DbOp::Insert => "gpDB (I)",
+            DbOp::Update => "gpDB (U)",
+        }
+    }
+
+    fn record(&mut self, machine: &mut Machine) -> SimResult<CrashSchedule> {
+        let st = self.setup(machine, Mode::Gpm)?;
+        let mut gauge = FuelGauge::record();
+        let mut committed = 0;
+        crate::oracle::expect_clean(self.run_batches_gauged(
+            machine,
+            &st,
+            &mut gauge,
+            &mut committed,
+        ))?;
+        Ok(gauge.into_schedule().expect("recording gauge"))
+    }
+
+    fn run_case(
+        &mut self,
+        machine: &mut Machine,
+        fuel: u64,
+        policy: CrashPolicy,
+    ) -> SimResult<OracleVerdict> {
+        assert!(
+            self.params.conventional_log_partitions.is_none(),
+            "undo recovery requires the HCL backend (per-thread entries)"
+        );
+        let st = self.setup(machine, Mode::Gpm)?;
+        let mut committed = 0u32;
+        let res = self.run_batches_gauged(
+            machine,
+            &st,
+            &mut FuelGauge::crash_with_policy(fuel, policy),
+            &mut committed,
+        );
+        crate::oracle::settle_crash(machine, policy, res)?;
+        self.recover(machine, &st)?;
+        let p = self.params;
+        match p.op {
+            DbOp::Insert => {
+                // The in-flight batch is rolled back via the metadata log:
+                // the durable count names exactly the committed rows, and
+                // every row below it is intact.
+                let expect = p.initial_rows + committed as u64 * p.rows_per_insert;
+                let got = machine.read_u64(Addr::pm(st.row_count))?;
+                if got != expect {
+                    return Ok(OracleVerdict::Fail(format!(
+                        "row count {got} after recovery, want {expect} \
+                         ({committed} committed batches)"
+                    )));
+                }
+                for r in (0..expect).step_by(37) {
+                    if machine.read_u64(Addr::pm(st.pm_table + r * ROW_STRIDE))? != r {
+                        return Ok(OracleVerdict::Fail(format!(
+                            "row {r} id corrupt after recovery"
+                        )));
+                    }
+                }
+            }
+            DbOp::Update => {
+                // Undo must roll column 3 back to the last committed batch.
+                for r in 0..p.initial_rows {
+                    let expected = if committed > 0 && r % UPDATE_MOD == UPDATE_RESIDUE {
+                        updated_col_value(r, committed - 1)
+                    } else {
+                        row_value(r, 3, 0)
+                    };
+                    let got =
+                        machine.read_u64(Addr::pm(st.pm_table + r * ROW_STRIDE + 8 + 3 * 8))?;
+                    if got != expected {
+                        return Ok(OracleVerdict::Fail(format!(
+                            "row {r} col 3 = {got:#x} after recovery, want {expected:#x} \
+                             ({committed} committed batches)"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(OracleVerdict::Pass)
     }
 }
 

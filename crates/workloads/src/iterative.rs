@@ -14,12 +14,14 @@
 
 use gpm_cap::{cap_persist_region, flush_from_cpu, gpufs_persist, CapFlavor};
 use gpm_core::{
-    gpmcp_checkpoint, gpmcp_create, gpmcp_fill_working, gpmcp_publish, gpmcp_register,
-    gpmcp_restore, GpmCheckpoint,
+    gpmcp_checkpoint, gpmcp_checkpoint_gauged, gpmcp_create, gpmcp_fill_working, gpmcp_publish,
+    gpmcp_register, gpmcp_restore, CoreError, GpmCheckpoint,
 };
-use gpm_sim::{Machine, Ns, SimError, SimResult};
+use gpm_gpu::FuelGauge;
+use gpm_sim::{CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult};
 
 use crate::metrics::{metered, Mode, RunMetrics};
+use crate::oracle::RecoveryOracle;
 
 /// Bytes GPUfs moves per in-kernel `gwrite` call.
 const GPUFS_CALL_BYTES: u64 = 16 << 10;
@@ -245,6 +247,102 @@ pub fn run_iterative_with_recovery(
     metrics.recovery = Some(machine.clock.now() - t0);
     metrics.verified = app.verify(machine, &arrays, last_cp_iter)?;
     Ok(metrics)
+}
+
+/// Runs the iteration/checkpoint loop with the checkpoint copy kernels on
+/// the caller's gauge. Iteration kernels stay ungauged — they touch only
+/// volatile state, so the campaign's op clock advances exclusively inside
+/// the persist path, and record and replay share one clock.
+fn iterate_gauged(
+    machine: &mut Machine,
+    app: &dyn IterativeApp,
+    cp: &GpmCheckpoint,
+    arrays: &[(u64, u64)],
+    gauge: &mut FuelGauge,
+) -> SimResult<()> {
+    let every = app.checkpoint_every();
+    for iter in 0..app.iterations() {
+        app.iteration(machine, arrays, iter)?;
+        if (iter + 1) % every == 0 {
+            gpmcp_checkpoint_gauged(machine, cp, 0, gauge).map_err(|e| match e {
+                CoreError::Sim(e) => e,
+                _ => SimError::Invalid("checkpoint"),
+            })?;
+        }
+    }
+    Ok(())
+}
+
+/// Wraps an [`IterativeApp`] as a campaign [`RecoveryOracle`]: crashes land
+/// inside `gpm-core`'s double-buffer flip (the only gauged region), and the
+/// verdict checks that restoration returns exactly the state of the last
+/// *published* checkpoint.
+#[derive(Debug)]
+pub struct CheckpointOracle<A: IterativeApp> {
+    app: A,
+}
+
+/// Wraps `app` for the campaign.
+pub fn checkpoint_oracle<A: IterativeApp>(app: A) -> CheckpointOracle<A> {
+    CheckpointOracle { app }
+}
+
+impl<A: IterativeApp> RecoveryOracle for CheckpointOracle<A> {
+    fn name(&self) -> &'static str {
+        self.app.name()
+    }
+
+    fn record(&mut self, machine: &mut Machine) -> SimResult<CrashSchedule> {
+        let arrays = self.app.setup(machine)?;
+        let cp = build_checkpoint(machine, &mut self.app, &arrays)?;
+        let mut gauge = FuelGauge::record();
+        iterate_gauged(machine, &self.app, &cp, &arrays, &mut gauge)?;
+        Ok(gauge.into_schedule().expect("recording gauge"))
+    }
+
+    fn run_case(
+        &mut self,
+        machine: &mut Machine,
+        fuel: u64,
+        policy: CrashPolicy,
+    ) -> SimResult<OracleVerdict> {
+        let arrays = self.app.setup(machine)?;
+        let cp = build_checkpoint(machine, &mut self.app, &arrays)?;
+        let mut gauge = FuelGauge::crash_with_policy(fuel, policy);
+        match iterate_gauged(machine, &self.app, &cp, &arrays, &mut gauge) {
+            // Fuel outlasted the run: crash after the final checkpoint.
+            Ok(()) => {
+                machine.crash_with_policy(policy);
+            }
+            // The gauge crashed the machine mid-checkpoint already.
+            Err(SimError::Crashed) => {}
+            Err(e) => return Err(e),
+        }
+        let (_, seq) = cp
+            .consistent(machine, 0)
+            .map_err(|_| SimError::Invalid("checkpoint flag"))?;
+        let every = self.app.checkpoint_every();
+        let published = seq * every;
+        if published > self.app.iterations() {
+            return Ok(OracleVerdict::Fail(format!(
+                "flag claims {seq} checkpoints but only {} iterations exist",
+                self.app.iterations()
+            )));
+        }
+        if seq == 0 {
+            // Nothing ever published: recovery restarts from the input;
+            // there is no checkpoint state to judge.
+            return Ok(OracleVerdict::Pass);
+        }
+        gpmcp_restore(machine, &cp, 0).map_err(|_| SimError::Invalid("restore"))?;
+        Ok(if self.app.verify(machine, &arrays, published)? {
+            OracleVerdict::Pass
+        } else {
+            OracleVerdict::Fail(format!(
+                "restored state diverges from published checkpoint #{seq} ({published} iterations)"
+            ))
+        })
+    }
 }
 
 #[cfg(test)]

@@ -17,11 +17,13 @@ use gpm_core::{
     gpm_map, gpm_persist_begin, gpm_persist_end, gpmlog_create_hcl, GpmLog, GpmThreadExt, TxnFlag,
 };
 use gpm_gpu::{
-    launch, launch_with_fuel, Communicating, FnKernel, LaunchConfig, LaunchError, ThreadCtx,
+    launch, launch_with_fuel, launch_with_gauge, Communicating, FnKernel, FuelGauge, LaunchConfig,
+    LaunchError, ThreadCtx,
 };
-use gpm_sim::{Addr, Machine, Ns, SimError, SimResult};
+use gpm_sim::{Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult};
 
 use crate::metrics::{metered, Mode, RunMetrics};
+use crate::oracle::RecoveryOracle;
 
 /// Ways per set (MegaKV-style set-associative layout).
 pub const WAYS: u64 = 8;
@@ -101,6 +103,9 @@ impl KvsParams {
 pub struct KvsWorkload {
     /// Parameters of this instance.
     pub params: KvsParams,
+    /// Campaign self-test knob: recovery deliberately skips the newest
+    /// undo-log entry. The campaign oracle must catch this.
+    pub inject_recovery_bug: bool,
 }
 
 struct KvsState {
@@ -123,7 +128,16 @@ fn hash_set(key: u64, sets: u64) -> u64 {
 impl KvsWorkload {
     /// Creates the workload.
     pub fn new(params: KvsParams) -> KvsWorkload {
-        KvsWorkload { params }
+        KvsWorkload {
+            params,
+            inject_recovery_bug: false,
+        }
+    }
+
+    /// Enables the deliberate recovery bug (campaign self-test).
+    pub fn with_recovery_bug(mut self) -> KvsWorkload {
+        self.inject_recovery_bug = true;
+        self
     }
 
     fn launch_cfg(&self) -> LaunchConfig {
@@ -542,9 +556,51 @@ impl KvsWorkload {
     /// The recovery kernel (Figure 6b): undo logged insertions, newest
     /// first, removing each entry only after the store is persisted.
     fn recover(&self, machine: &mut Machine, st: &KvsState) -> SimResult<()> {
-        if st.flag.active(machine)? == 0 {
+        match self.recover_gauged(machine, st, &mut FuelGauge::Unlimited) {
+            Ok(()) => Ok(()),
+            Err(LaunchError::Crashed(_)) => unreachable!("unlimited gauge never crashes"),
+            Err(LaunchError::Sim(e)) => Err(e),
+        }
+    }
+
+    /// Gauge-driven recovery. With a crashing gauge the undo kernel itself
+    /// can run out of fuel mid-drain — the double-crash scenario. Because
+    /// each entry is removed only *after* its undo store persists, a
+    /// partial drain leaves the log replayable and a second [`recover`]
+    /// call is idempotent.
+    ///
+    /// When `inject_recovery_bug` is set, thread 0 drops the newest undo
+    /// entry without applying it — the deliberate bug the campaign's
+    /// self-test must catch.
+    ///
+    /// [`recover`]: KvsWorkload::recover
+    fn recover_gauged(
+        &self,
+        machine: &mut Machine,
+        st: &KvsState,
+        gauge: &mut FuelGauge,
+    ) -> Result<(), LaunchError> {
+        if st.flag.active(machine).map_err(LaunchError::Sim)? == 0 {
             return Ok(()); // no transaction was active
         }
+        // The deliberate bug targets the first thread whose per-thread HCL
+        // partition holds an entry: that thread drops it without applying.
+        let victim = if self.inject_recovery_bug {
+            let mut v = None;
+            for tid in 0..self.launch_cfg().total_threads() {
+                let tail = st
+                    .log
+                    .host_tail(machine, tid)
+                    .map_err(|_| LaunchError::Sim(SimError::Invalid("log tail")))?;
+                if tail as usize * 4 >= LOG_ENTRY {
+                    v = Some(tid);
+                    break;
+                }
+            }
+            v
+        } else {
+            None
+        };
         let log = st.log.dev();
         let pm_table = st.pm_table;
         gpm_persist_begin(machine);
@@ -552,6 +608,9 @@ impl KvsWorkload {
         // read must see other blocks' removals, so this kernel can never run
         // against a frozen snapshot.
         let k = Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+            if Some(ctx.global_id()) == victim && log.tail(ctx)? as usize * 4 >= LOG_ENTRY {
+                log.remove(ctx, LOG_ENTRY)?;
+            }
             while log.tail(ctx)? as usize * 4 >= LOG_ENTRY {
                 let mut entry = [0u8; LOG_ENTRY];
                 log.read_top(ctx, &mut entry)?;
@@ -564,11 +623,174 @@ impl KvsWorkload {
             }
             Ok(())
         }));
-        launch(machine, self.launch_cfg(), &k)?;
+        launch_with_gauge(machine, self.launch_cfg(), &k, gauge)?;
         gpm_persist_end(machine);
         // Recovery complete: clear the transaction flag.
-        st.flag.commit(machine)?;
+        st.flag.commit(machine).map_err(LaunchError::Sim)?;
         Ok(())
+    }
+
+    /// Gauge-driven GPM batch loop for the campaign oracle. `committed`
+    /// tracks how many batches fully committed before the crash (if any).
+    fn run_batches_gauged(
+        &self,
+        machine: &mut Machine,
+        st: &KvsState,
+        gauge: &mut FuelGauge,
+        committed: &mut u32,
+    ) -> Result<(), LaunchError> {
+        let p = &self.params;
+        for b in 0..p.batches {
+            let ops = self.gen_batch(b);
+            self.upload_batch(machine, st, &ops)
+                .map_err(LaunchError::Sim)?;
+            st.flag
+                .begin(machine, b as u64 + 1)
+                .map_err(LaunchError::Sim)?;
+            gpm_persist_begin(machine);
+            launch_with_gauge(
+                machine,
+                self.launch_cfg(),
+                &self.batch_kernel(st, true, true),
+                gauge,
+            )?;
+            gpm_persist_end(machine);
+            st.flag.commit(machine).map_err(LaunchError::Sim)?;
+            st.log
+                .host_clear(machine)
+                .map_err(|_| LaunchError::Sim(SimError::Invalid("log clear failed")))?;
+            *committed = b + 1;
+        }
+        Ok(())
+    }
+
+    /// Double-crash scenario: crash mid-batch after `fuel` ops, start the
+    /// undo kernel but crash it again after `recovery_fuel` ops, then run
+    /// recovery a second time to completion. Returns whether the in-flight
+    /// batch was fully rolled back — i.e. whether re-recovery after a crash
+    /// inside recovery is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn run_double_crash(
+        &self,
+        machine: &mut Machine,
+        fuel: u64,
+        recovery_fuel: u64,
+    ) -> SimResult<bool> {
+        assert!(
+            self.params.key_skew.is_none(),
+            "exact undo verification requires unique keys (no skew)"
+        );
+        let st = self.setup(machine, Mode::Gpm)?;
+        let ops = self.gen_batch(0);
+        self.upload_batch(machine, &st, &ops)?;
+        st.flag.begin(machine, 1)?;
+        gpm_persist_begin(machine);
+        match launch_with_fuel(
+            machine,
+            self.launch_cfg(),
+            &self.batch_kernel(&st, true, true),
+            fuel,
+        ) {
+            Ok(_) => {
+                gpm_persist_end(machine);
+                machine.crash();
+            }
+            Err(LaunchError::Crashed(_)) => {}
+            Err(LaunchError::Sim(e)) => return Err(e),
+        }
+        // First recovery attempt dies after `recovery_fuel` ops.
+        match self.recover_gauged(machine, &st, &mut FuelGauge::crash(recovery_fuel)) {
+            Ok(()) => {} // recovery finished before the fuel ran out
+            Err(LaunchError::Crashed(_)) => {}
+            Err(LaunchError::Sim(e)) => return Err(e),
+        }
+        // Second recovery must finish the drain.
+        self.recover(machine, &st)?;
+        for (key, _, is_get) in self.gen_batch(0) {
+            if is_get {
+                continue;
+            }
+            let set = hash_set(key, self.params.sets);
+            for w in 0..WAYS {
+                let slot = st.pm_table + (set * WAYS + w) * ENTRY;
+                if machine.read_u64(Addr::pm(slot))? == key {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl RecoveryOracle for KvsWorkload {
+    fn name(&self) -> &'static str {
+        "gpKVS"
+    }
+
+    fn record(&mut self, machine: &mut Machine) -> SimResult<CrashSchedule> {
+        let st = self.setup(machine, Mode::Gpm)?;
+        let mut gauge = FuelGauge::record();
+        let mut committed = 0;
+        crate::oracle::expect_clean(self.run_batches_gauged(
+            machine,
+            &st,
+            &mut gauge,
+            &mut committed,
+        ))?;
+        Ok(gauge.into_schedule().expect("recording gauge"))
+    }
+
+    fn run_case(
+        &mut self,
+        machine: &mut Machine,
+        fuel: u64,
+        policy: CrashPolicy,
+    ) -> SimResult<OracleVerdict> {
+        assert!(
+            self.params.key_skew.is_none(),
+            "exact undo verification requires unique keys (no skew)"
+        );
+        let st = self.setup(machine, Mode::Gpm)?;
+        let mut committed = 0u32;
+        let res = self.run_batches_gauged(
+            machine,
+            &st,
+            &mut FuelGauge::crash_with_policy(fuel, policy),
+            &mut committed,
+        );
+        crate::oracle::settle_crash(machine, policy, res)?;
+        self.recover(machine, &st)?;
+        // After undo, the table must hold exactly the committed batches...
+        let smaller = KvsWorkload::new(KvsParams {
+            batches: committed,
+            ..self.params
+        });
+        if !smaller.verify(machine, &st, Mode::Gpm)? {
+            return Ok(OracleVerdict::Fail(format!(
+                "table diverges from the {committed} committed batches"
+            )));
+        }
+        // ...and none of the in-flight batch's keys.
+        if committed < self.params.batches {
+            for (key, _, is_get) in self.gen_batch(committed) {
+                if is_get {
+                    continue;
+                }
+                let set = hash_set(key, self.params.sets);
+                for w in 0..WAYS {
+                    let slot = st.pm_table + (set * WAYS + w) * ENTRY;
+                    if machine.read_u64(Addr::pm(slot))? == key {
+                        return Ok(OracleVerdict::Fail(format!(
+                            "uncommitted key {key:#x} of batch {committed} survived recovery"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(OracleVerdict::Pass)
     }
 }
 

@@ -49,6 +49,7 @@ pub mod hotspot;
 pub mod iterative;
 pub mod kvs;
 pub mod metrics;
+pub mod oracle;
 pub mod prefix_sum;
 pub mod srad;
 pub mod suite;
@@ -59,9 +60,13 @@ pub use cfd::{CfdParams, CfdWorkload};
 pub use db::{DbOp, DbParams, DbWorkload};
 pub use dnn::{DnnParams, DnnWorkload};
 pub use hotspot::{HotspotParams, HotspotWorkload};
-pub use iterative::{checkpoint_latency, run_iterative, run_iterative_with_recovery, IterativeApp};
+pub use iterative::{
+    checkpoint_latency, checkpoint_oracle, run_iterative, run_iterative_with_recovery,
+    CheckpointOracle, IterativeApp,
+};
 pub use kvs::{KvsParams, KvsWorkload};
 pub use metrics::{metered, Category, Mode, RunMetrics};
+pub use oracle::{oracle_suite, RecoveryOracle};
 pub use prefix_sum::{PsParams, PsWorkload};
 pub use srad::{SradParams, SradWorkload};
 pub use suite::{suite, Scale, Workload};

@@ -1,0 +1,216 @@
+//! Recovery oracles: one judge per GPMbench workload.
+//!
+//! The campaign engine (`gpm_sim::campaign`) is workload-agnostic — it only
+//! enumerates `(fuel, policy)` cases and tallies verdicts. This module
+//! supplies the workload side: a [`RecoveryOracle`] knows how to
+//!
+//! 1. **record** the workload's crash schedule (one clean run under
+//!    `FuelGauge::Record`, noting the fuel at every persist boundary), and
+//! 2. **replay** any `(fuel, policy)` case on a fresh machine — crash
+//!    mid-run, execute the workload's own recovery path, and judge the
+//!    recovered state against a host-side reference.
+//!
+//! It replaces the previous ad-hoc trio of per-workload entry points
+//! (`run_crash_injected` / `run_crash_resume` / `run_with_recovery`) behind
+//! one interface; those remain as thin wrappers for existing tests.
+//!
+//! [`oracle_suite`] returns the full bench lineup — the same eleven
+//! configurations as Figure 9, minus the GET-mix variant (its crash
+//! behaviour is identical to gpKVS's: GETs never log).
+
+use gpm_gpu::LaunchError;
+use gpm_sim::{CrashPolicy, CrashSchedule, Machine, OracleVerdict, SimResult};
+
+use crate::bfs::{BfsParams, BfsWorkload};
+use crate::blackscholes::{BlkParams, BlkWorkload};
+use crate::cfd::{CfdParams, CfdWorkload};
+use crate::db::{DbOp, DbParams, DbWorkload};
+use crate::dnn::{DnnParams, DnnWorkload};
+use crate::hotspot::{HotspotParams, HotspotWorkload};
+use crate::iterative::checkpoint_oracle;
+use crate::kvs::{KvsParams, KvsWorkload};
+use crate::prefix_sum::{PsParams, PsWorkload};
+use crate::srad::{SradParams, SradWorkload};
+use crate::suite::Scale;
+
+/// A per-workload crash-recovery judge.
+///
+/// Implementations drive the workload's fueled region with a
+/// [`FuelGauge`](gpm_gpu::FuelGauge), so the op counts recorded by [`record`] are exactly the
+/// op counts at which [`run_case`] crashes — the schedule and the replay
+/// share one clock.
+///
+/// [`record`]: RecoveryOracle::record
+/// [`run_case`]: RecoveryOracle::run_case
+pub trait RecoveryOracle {
+    /// Display name; matches the Figure 9 configuration label.
+    fn name(&self) -> &'static str;
+
+    /// Runs the workload once on `machine` under a recording gauge and
+    /// returns the crash schedule (fuel at every persist/fence/commit
+    /// boundary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    fn record(&mut self, machine: &mut Machine) -> SimResult<CrashSchedule>;
+
+    /// Replays the workload on a fresh `machine`, crashing after `fuel`
+    /// ops with pending lines settled by `policy`, then runs the
+    /// workload's recovery path and judges the recovered state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors (an inconsistent recovered state is a
+    /// [`OracleVerdict::Fail`], not an error).
+    fn run_case(
+        &mut self,
+        machine: &mut Machine,
+        fuel: u64,
+        policy: CrashPolicy,
+    ) -> SimResult<OracleVerdict>;
+}
+
+/// Settles a fueled drive that was *supposed* to crash: if the region ran
+/// out of fuel the engine already crashed the machine with `policy`; if
+/// the fuel outlasted the region (fuels past the last boundary model a
+/// crash after the workload finishes), crash now with the same policy.
+///
+/// # Errors
+///
+/// Propagates platform errors from the drive.
+pub fn settle_crash(
+    machine: &mut Machine,
+    policy: CrashPolicy,
+    res: Result<(), LaunchError>,
+) -> SimResult<()> {
+    match res {
+        Ok(()) => {
+            machine.crash_with_policy(policy);
+            Ok(())
+        }
+        Err(LaunchError::Crashed(_)) => Ok(()),
+        Err(LaunchError::Sim(e)) => Err(e),
+    }
+}
+
+/// Unwraps a recording drive, which must never crash.
+///
+/// # Errors
+///
+/// Propagates platform errors from the drive.
+pub fn expect_clean(res: Result<(), LaunchError>) -> SimResult<()> {
+    match res {
+        Ok(()) => Ok(()),
+        Err(LaunchError::Crashed(_)) => unreachable!("recording gauge never crashes"),
+        Err(LaunchError::Sim(e)) => Err(e),
+    }
+}
+
+/// The full oracle lineup at `scale`: gpKVS, gpDB (insert and update),
+/// the four checkpointing apps (DNN, CFD, BLK, HS), and the three
+/// long-running kernels (BFS, SRAD, PS).
+pub fn oracle_suite(scale: Scale) -> Vec<Box<dyn RecoveryOracle>> {
+    let quick = scale == Scale::Quick;
+    let kvs = if quick {
+        KvsParams::quick()
+    } else {
+        KvsParams::default()
+    };
+    let db = if quick {
+        DbParams::quick()
+    } else {
+        DbParams::default()
+    };
+    let bfs = if quick {
+        BfsParams::quick()
+    } else {
+        BfsParams::default()
+    };
+    let srad = if quick {
+        SradParams::quick()
+    } else {
+        SradParams::default()
+    };
+    let ps = if quick {
+        PsParams::quick()
+    } else {
+        PsParams::default()
+    };
+    vec![
+        Box::new(KvsWorkload::new(kvs)),
+        Box::new(DbWorkload::new(DbParams {
+            op: DbOp::Insert,
+            ..db
+        })),
+        Box::new(DbWorkload::new(DbParams {
+            op: DbOp::Update,
+            ..db
+        })),
+        Box::new(checkpoint_oracle(DnnWorkload::new(if quick {
+            DnnParams::quick()
+        } else {
+            DnnParams::default()
+        }))),
+        Box::new(checkpoint_oracle(CfdWorkload::new(if quick {
+            CfdParams::quick()
+        } else {
+            CfdParams::default()
+        }))),
+        Box::new(checkpoint_oracle(BlkWorkload::new(if quick {
+            BlkParams::quick()
+        } else {
+            BlkParams::default()
+        }))),
+        Box::new(checkpoint_oracle(HotspotWorkload::new(if quick {
+            HotspotParams::quick()
+        } else {
+            HotspotParams::default()
+        }))),
+        Box::new(BfsWorkload::new(bfs)),
+        Box::new(SradWorkload::new(srad)),
+        Box::new(PsWorkload::new(ps)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every oracle records a non-empty schedule, and a mid-schedule crash
+    /// under the two extreme pending-line policies recovers cleanly.
+    #[test]
+    fn every_oracle_records_and_passes_a_midpoint_case() {
+        for mut o in oracle_suite(Scale::Quick) {
+            let mut m = Machine::default();
+            let sched = o.record(&mut m).unwrap();
+            assert!(
+                !sched.boundaries().is_empty(),
+                "{}: empty crash schedule",
+                o.name()
+            );
+            let mid = sched.boundaries()[sched.boundaries().len() / 2];
+            for policy in [CrashPolicy::AllApplied, CrashPolicy::NoneApplied] {
+                let mut m = Machine::default();
+                let v = o.run_case(&mut m, mid, policy).unwrap();
+                assert!(v.passed(), "{} fuel={mid} policy={policy}: {v:?}", o.name());
+            }
+        }
+    }
+
+    /// The deliberately buggy recovery (skip the newest undo entry) must be
+    /// caught by the gpKVS oracle at some crash point.
+    #[test]
+    fn injected_recovery_bug_is_caught() {
+        let mut w = KvsWorkload::new(KvsParams::quick()).with_recovery_bug();
+        let mut m = Machine::default();
+        let sched = w.record(&mut m).unwrap();
+        let caught = sched.boundaries().iter().any(|&fuel| {
+            let mut m = Machine::default();
+            !w.run_case(&mut m, fuel, CrashPolicy::AllApplied)
+                .unwrap()
+                .passed()
+        });
+        assert!(caught, "deliberate recovery bug went undetected");
+    }
+}

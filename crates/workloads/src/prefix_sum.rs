@@ -11,11 +11,14 @@
 
 use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
 use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt};
-use gpm_gpu::{launch_with_fuel_budget, Kernel, LaunchConfig, LaunchError, ThreadCtx};
+use gpm_gpu::{launch_with_gauge, FuelGauge, Kernel, LaunchConfig, LaunchError, ThreadCtx};
 use gpm_sim::cpu::CpuCtx;
-use gpm_sim::{Addr, Machine, Ns, SimError, SimResult, HOST_WRITER};
+use gpm_sim::{
+    Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult, HOST_WRITER,
+};
 
 use crate::metrics::{metered, Mode, RunMetrics};
+use crate::oracle::RecoveryOracle;
 
 /// Threads (elements) per block.
 pub const BLOCK: u64 = 256;
@@ -339,7 +342,7 @@ impl PsWorkload {
         machine: &mut Machine,
         st: &PsState,
         mode: Mode,
-        fuel: &mut Option<u64>,
+        gauge: &mut FuelGauge,
     ) -> Result<(), LaunchError> {
         let p = &self.params;
         let n = p.n;
@@ -358,7 +361,7 @@ impl PsWorkload {
         if persist {
             gpm_persist_begin(machine);
         }
-        let res = launch_with_fuel_budget(machine, cfg, &k1, fuel);
+        let res = launch_with_gauge(machine, cfg, &k1, gauge);
         if persist {
             gpm_persist_end(machine);
         }
@@ -406,7 +409,7 @@ impl PsWorkload {
         if persist {
             gpm_persist_begin(machine);
         }
-        let res = launch_with_fuel_budget(machine, cfg, &k3, fuel);
+        let res = launch_with_gauge(machine, cfg, &k3, gauge);
         if persist {
             gpm_persist_end(machine);
         }
@@ -481,7 +484,7 @@ impl PsWorkload {
         }
         let st = self.setup(machine, mode)?;
         let mut metrics = metered(machine, |m| {
-            self.run_pipeline(m, &st, mode, &mut None)
+            self.run_pipeline(m, &st, mode, &mut FuelGauge::Unlimited)
                 .map_err(|e| match e {
                     LaunchError::Sim(e) => e,
                     LaunchError::Crashed(_) => SimError::Crashed,
@@ -540,14 +543,18 @@ impl PsWorkload {
     /// Propagates platform errors.
     pub fn run_crash_resume(&self, machine: &mut Machine, fuel: u64) -> SimResult<RunMetrics> {
         let st = self.setup(machine, Mode::Gpm)?;
-        match self.run_pipeline(machine, &st, Mode::Gpm, &mut Some(fuel)) {
+        match self.run_pipeline(machine, &st, Mode::Gpm, &mut FuelGauge::crash(fuel)) {
             Ok(()) => {}
             Err(LaunchError::Crashed(_)) => {}
             Err(LaunchError::Sim(e)) => return Err(e),
         }
         machine.crash();
+        self.resume(machine, &st)
+    }
 
-        // ---- resume ----
+    /// Post-crash resume: reloads the input and surviving partial sums into
+    /// HBM, reruns the pipeline (completed blocks are skipped), verifies.
+    fn resume(&self, machine: &mut Machine, st: &PsState) -> SimResult<RunMetrics> {
         let t0 = machine.clock.now();
         let n = self.params.n;
         // Reload the input and the surviving partial sums into HBM.
@@ -563,7 +570,7 @@ impl PsWorkload {
         let resume_setup = machine.clock.now() - t0;
 
         let mut metrics = metered(machine, |m| {
-            self.run_pipeline(m, &st, Mode::Gpm, &mut None)
+            self.run_pipeline(m, st, Mode::Gpm, &mut FuelGauge::Unlimited)
                 .map_err(|e| match e {
                     LaunchError::Sim(e) => e,
                     LaunchError::Crashed(_) => SimError::Crashed,
@@ -571,8 +578,43 @@ impl PsWorkload {
             Ok::<bool, SimError>(true)
         })?;
         metrics.recovery = Some(resume_setup);
-        metrics.verified = self.verify(machine, &st, Mode::Gpm)?;
+        metrics.verified = self.verify(machine, st, Mode::Gpm)?;
         Ok(metrics)
+    }
+}
+
+impl RecoveryOracle for PsWorkload {
+    fn name(&self) -> &'static str {
+        "PS"
+    }
+
+    fn record(&mut self, machine: &mut Machine) -> SimResult<CrashSchedule> {
+        let st = self.setup(machine, Mode::Gpm)?;
+        let mut gauge = FuelGauge::record();
+        crate::oracle::expect_clean(self.run_pipeline(machine, &st, Mode::Gpm, &mut gauge))?;
+        Ok(gauge.into_schedule().expect("recording gauge"))
+    }
+
+    fn run_case(
+        &mut self,
+        machine: &mut Machine,
+        fuel: u64,
+        policy: CrashPolicy,
+    ) -> SimResult<OracleVerdict> {
+        let st = self.setup(machine, Mode::Gpm)?;
+        let res = self.run_pipeline(
+            machine,
+            &st,
+            Mode::Gpm,
+            &mut FuelGauge::crash_with_policy(fuel, policy),
+        );
+        crate::oracle::settle_crash(machine, policy, res)?;
+        let metrics = self.resume(machine, &st)?;
+        Ok(if metrics.verified {
+            OracleVerdict::Pass
+        } else {
+            OracleVerdict::Fail("resumed prefix sums diverge from reference".into())
+        })
     }
 }
 
@@ -638,7 +680,7 @@ mod tests {
             let w = quick();
             let st_offsets = {
                 let st = w.setup(&mut m, Mode::Gpm).unwrap();
-                match w.run_pipeline(&mut m, &st, Mode::Gpm, &mut Some(fuel)) {
+                match w.run_pipeline(&mut m, &st, Mode::Gpm, &mut FuelGauge::crash(fuel)) {
                     Ok(()) | Err(LaunchError::Crashed(_)) => {}
                     Err(LaunchError::Sim(e)) => panic!("{e}"),
                 }

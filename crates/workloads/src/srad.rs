@@ -10,11 +10,14 @@
 
 use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
 use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt};
-use gpm_gpu::{launch_with_fuel_budget, FnKernel, LaunchConfig, LaunchError, ThreadCtx};
+use gpm_gpu::{launch_with_gauge, FnKernel, FuelGauge, LaunchConfig, LaunchError, ThreadCtx};
 use gpm_sim::cpu::CpuCtx;
-use gpm_sim::{Addr, Machine, Ns, SimError, SimResult, HOST_WRITER};
+use gpm_sim::{
+    Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult, HOST_WRITER,
+};
 
 use crate::metrics::{metered, Mode, RunMetrics};
+use crate::oracle::RecoveryOracle;
 
 /// Parameters.
 #[derive(Debug, Clone, Copy)]
@@ -203,7 +206,7 @@ impl SradWorkload {
         st: &SradState,
         mode: Mode,
         start_iter: u32,
-        fuel: &mut Option<u64>,
+        gauge: &mut FuelGauge,
     ) -> Result<(), LaunchError> {
         let p = &self.params;
         let bytes = p.pixels() * 4;
@@ -221,7 +224,7 @@ impl SradWorkload {
             if persist {
                 gpm_persist_begin(machine);
             }
-            let res = launch_with_fuel_budget(machine, cfg, &kernel, fuel);
+            let res = launch_with_gauge(machine, cfg, &kernel, gauge);
             if persist {
                 gpm_persist_end(machine);
             }
@@ -348,7 +351,7 @@ impl SradWorkload {
         }
         let st = self.setup(machine, mode)?;
         let mut metrics = metered(machine, |m| {
-            self.run_iters(m, &st, mode, 0, &mut None)
+            self.run_iters(m, &st, mode, 0, &mut FuelGauge::Unlimited)
                 .map_err(|e| match e {
                     LaunchError::Sim(e) => e,
                     LaunchError::Crashed(_) => SimError::Crashed,
@@ -462,14 +465,18 @@ impl SradWorkload {
     pub fn run_crash_resume(&self, machine: &mut Machine, fuel: u64) -> SimResult<RunMetrics> {
         let st = self.setup(machine, Mode::Gpm)?;
         self.persist_iter(machine, &st, 0)?;
-        match self.run_iters(machine, &st, Mode::Gpm, 0, &mut Some(fuel)) {
+        match self.run_iters(machine, &st, Mode::Gpm, 0, &mut FuelGauge::crash(fuel)) {
             Ok(()) => {}
             Err(LaunchError::Crashed(_)) => {}
             Err(LaunchError::Sim(e)) => return Err(e),
         }
         machine.crash();
+        self.resume(machine, &st)
+    }
 
-        // ---- resume ----
+    /// Post-crash resume: reads the committed iteration counter, reloads the
+    /// consistent image buffer, finishes the diffusion, and verifies.
+    fn resume(&self, machine: &mut Machine, st: &SradState) -> SimResult<RunMetrics> {
         let t0 = machine.clock.now();
         let done = machine.read_u32(Addr::pm(st.pm_iter))?;
         // The image after `done` committed iterations lives in PM buffer
@@ -491,7 +498,7 @@ impl SradWorkload {
         let resume_setup = machine.clock.now() - t0;
 
         let mut metrics = metered(machine, |m| {
-            self.run_iters(m, &st, Mode::Gpm, done, &mut None)
+            self.run_iters(m, st, Mode::Gpm, done, &mut FuelGauge::Unlimited)
                 .map_err(|e| match e {
                     LaunchError::Sim(e) => e,
                     LaunchError::Crashed(_) => SimError::Crashed,
@@ -499,8 +506,46 @@ impl SradWorkload {
             Ok::<bool, SimError>(true)
         })?;
         metrics.recovery = Some(resume_setup);
-        metrics.verified = self.verify(machine, &st, Mode::Gpm)?;
+        metrics.verified = self.verify(machine, st, Mode::Gpm)?;
         Ok(metrics)
+    }
+}
+
+impl RecoveryOracle for SradWorkload {
+    fn name(&self) -> &'static str {
+        "SRAD"
+    }
+
+    fn record(&mut self, machine: &mut Machine) -> SimResult<CrashSchedule> {
+        let st = self.setup(machine, Mode::Gpm)?;
+        self.persist_iter(machine, &st, 0)?;
+        let mut gauge = FuelGauge::record();
+        crate::oracle::expect_clean(self.run_iters(machine, &st, Mode::Gpm, 0, &mut gauge))?;
+        Ok(gauge.into_schedule().expect("recording gauge"))
+    }
+
+    fn run_case(
+        &mut self,
+        machine: &mut Machine,
+        fuel: u64,
+        policy: CrashPolicy,
+    ) -> SimResult<OracleVerdict> {
+        let st = self.setup(machine, Mode::Gpm)?;
+        self.persist_iter(machine, &st, 0)?;
+        let res = self.run_iters(
+            machine,
+            &st,
+            Mode::Gpm,
+            0,
+            &mut FuelGauge::crash_with_policy(fuel, policy),
+        );
+        crate::oracle::settle_crash(machine, policy, res)?;
+        let metrics = self.resume(machine, &st)?;
+        Ok(if metrics.verified {
+            OracleVerdict::Pass
+        } else {
+            OracleVerdict::Fail("resumed diffusion diverges from reference image".into())
+        })
     }
 }
 

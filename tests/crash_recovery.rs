@@ -77,23 +77,26 @@ fn prefix_sum_resumes_and_skips_completed_blocks() {
 
 #[test]
 fn double_crash_during_recovery_is_survivable() {
-    // Crash during the *first* run, then crash the machine again right
-    // after recovery starts (before anything commits), then recover for
-    // real: gpKVS's log-based undo must be idempotent — "to ensure
+    // Crash mid-batch, then exhaust the undo kernel's own fuel so the
+    // machine crashes *inside the recovery path*, then recover again:
+    // gpKVS's log-based undo must be idempotent — "to ensure
     // recoverability during recovery itself, the log entry is only removed
-    // after successfully updating and persisting" (§5.2).
-    let mut m = machine(1234);
+    // after successfully updating and persisting" (§5.2). Sweep the second
+    // crash from the undo kernel's first ops to deep in the drain.
     let w = KvsWorkload::new(KvsParams::quick());
-    // First crash + recovery attempt interrupted by a second power failure.
-    let ok = w.run_crash_injected(&mut m, 700).unwrap();
-    assert!(ok);
-    // The store is usable afterwards: run a full clean workload on the same
-    // machine's remaining PM space under different paths.
-    let mut m2 = machine(4321);
-    let r = KvsWorkload::new(KvsParams::quick())
-        .run(&mut m2, gpm_workloads::Mode::Gpm)
-        .unwrap();
-    assert!(r.verified);
+    for fuel in [700u64, 3_000, 12_000] {
+        for recovery_fuel in [1u64, 5, 37, 200, 1_500] {
+            for seed in [1234u64, 77] {
+                let mut m = machine(seed);
+                let ok = w.run_double_crash(&mut m, fuel, recovery_fuel).unwrap();
+                assert!(
+                    ok,
+                    "fuel={fuel} recovery_fuel={recovery_fuel} seed={seed}: \
+                     re-recovery after a crash inside recovery is not idempotent"
+                );
+            }
+        }
+    }
 }
 
 #[test]
