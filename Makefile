@@ -2,7 +2,8 @@
 CARGO ?= cargo
 RUN := $(CARGO) run --release -p gpm-bench --bin
 
-.PHONY: all test bench bench-json campaign campaign-quick figure_1 figure_3 figure_9 \
+.PHONY: all test bench bench-json campaign campaign-quick serve serve-quick \
+        figure_1 figure_3 figure_9 \
         figure_10 figure_11a figure_11b figure_12 table_4 table_5 checkpoint_frequency \
         recovery_stress sensitivity ycsb future_platforms
 
@@ -27,6 +28,14 @@ campaign:
 	$(RUN) campaign
 campaign-quick:
 	$(RUN) campaign -- --quick
+
+# Open-loop serving sweep (gpm-serve): offered load x shard count x batch
+# policy, plus arrival-shape and fault-drill sections; writes
+# BENCH_serve.json. `serve-quick` is the CI smoke matrix (<10 s).
+serve:
+	$(RUN) serve
+serve-quick:
+	$(RUN) serve -- --quick
 
 figure_1:
 	$(RUN) fig1a

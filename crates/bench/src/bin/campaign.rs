@@ -220,6 +220,17 @@ fn main() {
             println!("{}: fuel={fuel} policy={policy} -> {v:?}", o.name());
             failed |= !v.passed();
         }
+        if opts.inject_bug {
+            // Self-test: the deliberately broken recovery MUST be caught by
+            // this case too — an unexpected pass is a failure of the
+            // campaign itself and must exit non-zero.
+            if !failed {
+                eprintln!("inject-bug self-test FAILED: case passed despite the broken recovery");
+                std::process::exit(1);
+            }
+            println!("inject-bug self-test passed: broken recovery was caught");
+            std::process::exit(0);
+        }
         std::process::exit(i32::from(failed));
     }
 

@@ -1,0 +1,373 @@
+//! Serving-stack benchmark: sweeps offered load × shard count × batch
+//! policy over the `gpm-serve` frontend and finds the knee — the highest
+//! offered load that still meets the p99 latency SLO with zero shed.
+//!
+//! Everything is simulated time and seed-deterministic: the same seed and
+//! flags produce a byte-identical `BENCH_serve.json` (schema
+//! `gpm-serve-v1`), run to run and across `GPM_ENGINE_THREADS` settings —
+//! no wall-clock field enters the JSON.
+//!
+//! Flags:
+//! - `--quick`       small sweep (completes in seconds; CI smoke)
+//! - `--seed N`      traffic seed (default 42)
+//! - `--slo-us F`    p99 SLO in microseconds (default 500)
+//! - `--out PATH`    JSON output path (default `BENCH_serve.json`)
+
+use std::fmt::Write as _;
+
+use gpm_serve::{
+    run_cluster, ArrivalShape, BackendKind, BatchPolicy, ClusterConfig, ClusterOutcome, FaultPlan,
+    TrafficConfig,
+};
+use gpm_sim::Ns;
+use gpm_workloads::{DbParams, KvsParams};
+
+struct Opts {
+    quick: bool,
+    seed: u64,
+    slo_us: f64,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        seed: 42,
+        slo_us: 500.0,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed needs an integer");
+            }
+            "--slo-us" => {
+                opts.slo_us = args
+                    .next()
+                    .expect("--slo-us needs a value")
+                    .parse()
+                    .expect("--slo-us needs a number");
+            }
+            "--out" => opts.out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    opts
+}
+
+/// A named batching policy (one sweep axis).
+struct NamedPolicy {
+    name: &'static str,
+    policy: BatchPolicy,
+}
+
+fn policies(quick: bool) -> Vec<NamedPolicy> {
+    // Quick runs shrink the queue so the 2× overload point actually
+    // overflows it within the short stream (shed-rate must go non-zero).
+    let queue_cap = if quick { 512 } else { 4_096 };
+    vec![
+        NamedPolicy {
+            name: "b256-l100",
+            policy: BatchPolicy {
+                max_batch: 256,
+                max_linger: Ns::from_micros(100.0),
+                queue_cap,
+                max_retries: 3,
+            },
+        },
+        NamedPolicy {
+            name: "b64-l20",
+            policy: BatchPolicy {
+                max_batch: 64,
+                max_linger: Ns::from_micros(20.0),
+                queue_cap,
+                max_retries: 3,
+            },
+        },
+    ]
+}
+
+/// One measured sweep point, already reduced to JSON-ready numbers.
+struct Point {
+    shards: u32,
+    policy: &'static str,
+    load_mops: f64,
+    out: ClusterOutcome,
+}
+
+fn traffic(seed: u64, load_mops: f64, n_requests: u64, shape: ArrivalShape) -> TrafficConfig {
+    TrafficConfig {
+        seed,
+        rate_ops_per_sec: load_mops * 1e6,
+        n_requests,
+        shape,
+        get_permille: 500,
+        key_space: 16_384,
+        key_skew: None,
+    }
+}
+
+fn point_json(p: &Point, slo: Ns) -> String {
+    let o = &p.out;
+    let h = &o.hist;
+    format!(
+        "{{\"shards\": {}, \"policy\": \"{}\", \"load_mops\": {:.3}, \
+         \"offered\": {}, \"completed\": {}, \"shed\": {}, \"shed_rate\": {:.6}, \
+         \"throughput_mops\": {:.4}, \"p50_us\": {:.3}, \"p95_us\": {:.3}, \
+         \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"slo_attainment\": {:.6}, \
+         \"batches\": {}, \"retries\": {}, \"makespan_ms\": {:.4}}}",
+        p.shards,
+        p.policy,
+        p.load_mops,
+        o.offered,
+        o.completed,
+        o.shed,
+        o.shed_rate(),
+        o.throughput_ops_per_sec() / 1e6,
+        h.percentile(0.50).as_micros(),
+        h.percentile(0.95).as_micros(),
+        h.percentile(0.99).as_micros(),
+        h.percentile(0.999).as_micros(),
+        o.slo_attainment(slo),
+        o.batches,
+        o.retries,
+        o.makespan.as_millis(),
+    )
+}
+
+fn main() {
+    let opts = parse_args();
+    let slo = Ns(opts.slo_us * 1_000.0);
+    let (loads, shard_counts, n_requests): (Vec<f64>, Vec<u32>, u64) = if opts.quick {
+        (vec![0.5, 1.0, 2.0, 3.0, 4.5, 6.0], vec![1, 2], 3_000)
+    } else {
+        (
+            vec![0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0],
+            vec![1, 2, 4, 8],
+            20_000,
+        )
+    };
+    println!(
+        "serve: sweeping {} loads x {} shard counts x {} policies, {} requests/point, SLO p99 <= {:.0} us",
+        loads.len(),
+        shard_counts.len(),
+        policies(opts.quick).len(),
+        n_requests,
+        opts.slo_us
+    );
+
+    // Main sweep: offered load x shard count x batch policy over gpKVS.
+    let mut points: Vec<Point> = Vec::new();
+    for &shards in &shard_counts {
+        for np in &policies(opts.quick) {
+            for &load in &loads {
+                let cfg = ClusterConfig {
+                    shards,
+                    policy: np.policy,
+                    kvs: KvsParams::quick(),
+                    ..ClusterConfig::quick()
+                };
+                let reqs = traffic(opts.seed, load, n_requests, ArrivalShape::Poisson).generate();
+                let out = run_cluster(&cfg, &reqs).expect("cluster run failed");
+                println!(
+                    "  shards={shards} policy={} load={load:.1}M -> tput={:.2}M p99={} shed={:.1}%",
+                    np.name,
+                    out.throughput_ops_per_sec() / 1e6,
+                    out.hist.percentile(0.99),
+                    out.shed_rate() * 100.0
+                );
+                points.push(Point {
+                    shards,
+                    policy: np.name,
+                    load_mops: load,
+                    out,
+                });
+            }
+        }
+    }
+
+    // Arrival-shape section: same mean load, different temporal shapes.
+    let shape_load = 1.5;
+    let shapes: Vec<(&str, ArrivalShape)> = vec![
+        ("poisson", ArrivalShape::Poisson),
+        (
+            "bursty",
+            ArrivalShape::Bursty {
+                period: Ns::from_millis(1.0),
+                duty: 0.2,
+                mult: 4.0,
+            },
+        ),
+        (
+            "diurnal",
+            ArrivalShape::Diurnal {
+                period: Ns::from_millis(4.0),
+                amplitude: 0.8,
+            },
+        ),
+    ];
+    let mut shape_points: Vec<(&str, ClusterOutcome)> = Vec::new();
+    for (name, shape) in shapes {
+        let cfg = ClusterConfig {
+            shards: 2,
+            kvs: KvsParams::quick(),
+            ..ClusterConfig::quick()
+        };
+        let reqs = traffic(opts.seed, shape_load, n_requests, shape).generate();
+        let out = run_cluster(&cfg, &reqs).expect("shape run failed");
+        println!(
+            "  shape={name} load={shape_load:.1}M -> p99={} shed={:.1}%",
+            out.hist.percentile(0.99),
+            out.shed_rate() * 100.0
+        );
+        shape_points.push((name, out));
+    }
+
+    // Fault drill: transient mid-batch crashes with recover-and-retry.
+    let fault_cfg = ClusterConfig {
+        shards: 1,
+        faults: FaultPlan {
+            crash_every: Some(5),
+            crash_fuel: 2_000,
+        },
+        kvs: KvsParams::quick(),
+        ..ClusterConfig::quick()
+    };
+    let fault_reqs =
+        traffic(opts.seed, 1.0, n_requests.min(2_000), ArrivalShape::Poisson).generate();
+    let faults = run_cluster(&fault_cfg, &fault_reqs).expect("fault run failed");
+    println!(
+        "  faults: {} retries over {} batches, p99={}",
+        faults.retries,
+        faults.batches,
+        faults.hist.percentile(0.99)
+    );
+
+    // One gpDB INSERT point (the other backend through the same stack).
+    let db_cfg = ClusterConfig {
+        shards: 1,
+        backend: BackendKind::Db,
+        db: DbParams::quick(),
+        ..ClusterConfig::quick()
+    };
+    let db_reqs = traffic(opts.seed, 0.2, 400, ArrivalShape::Poisson).generate_inserts(8);
+    let db_out = run_cluster(&db_cfg, &db_reqs).expect("db run failed");
+    println!(
+        "  gpDB inserts: {} completed, p99={}",
+        db_out.completed,
+        db_out.hist.percentile(0.99)
+    );
+
+    // Knee per (shards, policy) line: highest load meeting the SLO with
+    // zero shed, and the first overload point past it.
+    let mut knees = String::new();
+    let mut first = true;
+    for &shards in &shard_counts {
+        for np in &policies(opts.quick) {
+            let line: Vec<&Point> = points
+                .iter()
+                .filter(|p| p.shards == shards && p.policy == np.name)
+                .collect();
+            let knee = line
+                .iter()
+                .filter(|p| p.out.hist.percentile(0.99) <= slo && p.out.shed == 0)
+                .map(|p| p.load_mops)
+                .fold(None::<f64>, |acc, l| Some(acc.map_or(l, |a: f64| a.max(l))));
+            let overload = line
+                .iter()
+                .filter(|p| p.out.hist.percentile(0.99) > slo && p.out.shed > 0)
+                .map(|p| p.load_mops)
+                .fold(None::<f64>, |acc, l| Some(acc.map_or(l, |a: f64| a.min(l))));
+            let _ = write!(
+                knees,
+                "{}    {{\"shards\": {}, \"policy\": \"{}\", \"knee_load_mops\": {}, \
+                 \"first_overload_mops\": {}}}",
+                if first { "" } else { ",\n" },
+                shards,
+                np.name,
+                knee.map_or("null".to_string(), |k| format!("{k:.3}")),
+                overload.map_or("null".to_string(), |k| format!("{k:.3}")),
+            );
+            first = false;
+            println!(
+                "  knee shards={shards} policy={}: {} Mops (first overload: {})",
+                np.name,
+                knee.map_or("none".to_string(), |k| format!("{k:.1}")),
+                overload.map_or("none".to_string(), |k| format!("{k:.1}")),
+            );
+        }
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"gpm-serve-v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"scale\": \"{}\",",
+        if opts.quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"slo_us\": {:.3},", opts.slo_us);
+    let _ = writeln!(json, "  \"n_requests\": {n_requests},");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {}{}",
+            point_json(p, slo),
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"shapes\": [\n");
+    for (i, (name, out)) in shape_points.iter().enumerate() {
+        let p = Point {
+            shards: 2,
+            policy: name,
+            load_mops: shape_load,
+            out: ClusterOutcome {
+                hist: out.hist.clone(),
+                offered: out.offered,
+                completed: out.completed,
+                shed: out.shed,
+                retries: out.retries,
+                batches: out.batches,
+                makespan: out.makespan,
+                shards: Vec::new(),
+            },
+        };
+        let _ = writeln!(
+            json,
+            "    {}{}",
+            point_json(&p, slo).replacen("\"policy\"", "\"shape\"", 1),
+            if i + 1 < shape_points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"faults\": {{\"crash_every\": 5, \"crash_fuel\": 2000, \"retries\": {}, \
+         \"batches\": {}, \"completed\": {}, \"p99_us\": {:.3}}},",
+        faults.retries,
+        faults.batches,
+        faults.completed,
+        faults.hist.percentile(0.99).as_micros()
+    );
+    let _ = writeln!(
+        json,
+        "  \"db_insert\": {{\"completed\": {}, \"shed\": {}, \"p99_us\": {:.3}, \
+         \"throughput_mops\": {:.4}}},",
+        db_out.completed,
+        db_out.shed,
+        db_out.hist.percentile(0.99).as_micros(),
+        db_out.throughput_ops_per_sec() / 1e6
+    );
+    let _ = writeln!(json, "  \"knees\": [\n{knees}\n  ]");
+    json.push_str("}\n");
+
+    std::fs::write(&opts.out, &json).expect("write serve JSON");
+    println!("wrote {}", opts.out);
+}

@@ -1,0 +1,112 @@
+//! Exit-code and determinism contracts of the bench binaries.
+//!
+//! These run the real compiled binaries (`CARGO_BIN_EXE_*`), because the
+//! contracts under test are process-level: exit codes CI keys off, and
+//! byte-identical artifact files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gpm_bin_contracts");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+/// A repro case that trivially passes (fuel 0: crash before any work, so
+/// recovery has nothing to do) must exit non-zero under `--inject-bug`:
+/// the self-test's deliberately broken recovery was NOT caught, and the
+/// campaign must fail loudly rather than report success.
+#[test]
+fn campaign_inject_bug_unexpected_pass_exits_nonzero() {
+    let out = temp_path("campaign_inject_pass.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args([
+            "--quick",
+            "--inject-bug",
+            "--workload",
+            "gpKVS",
+            "--fuel",
+            "0",
+            "--policy",
+            "none",
+            "--out",
+        ])
+        .arg(&out)
+        .status()
+        .expect("run campaign");
+    assert!(
+        !status.success(),
+        "a passing case under --inject-bug must exit non-zero"
+    );
+}
+
+/// The same trivially-passing case without `--inject-bug` is a clean
+/// repro run and must exit zero.
+#[test]
+fn campaign_clean_repro_case_exits_zero() {
+    let out = temp_path("campaign_clean.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args([
+            "--quick",
+            "--workload",
+            "gpKVS",
+            "--fuel",
+            "0",
+            "--policy",
+            "none",
+            "--out",
+        ])
+        .arg(&out)
+        .status()
+        .expect("run campaign");
+    assert!(status.success(), "clean repro case must exit zero");
+}
+
+/// Same seed ⇒ byte-identical BENCH_serve.json, and the quick sweep must
+/// report a knee: some load meets the SLO, and some higher load both
+/// blows p99 past the SLO and sheds.
+#[test]
+fn serve_quick_is_byte_deterministic_and_reports_a_knee() {
+    let run = |path: &PathBuf| {
+        let status = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args(["--quick", "--out"])
+            .arg(path)
+            .status()
+            .expect("run serve");
+        assert!(status.success(), "serve --quick must exit zero");
+        std::fs::read(path).expect("read serve JSON")
+    };
+    let a = run(&temp_path("serve_a.json"));
+    let b = run(&temp_path("serve_b.json"));
+    assert_eq!(a, b, "same seed must produce byte-identical JSON");
+
+    let json = String::from_utf8(a).expect("utf-8 JSON");
+    assert!(json.contains("\"schema\": \"gpm-serve-v1\""));
+    // At least one sweep line found a finite knee and a first-overload
+    // point (both are numbers, not null).
+    let knees = json.split("\"knees\"").nth(1).expect("knees section");
+    let has_number_after = |key: &str| {
+        knees.split(key).nth(1).is_some_and(|rest| {
+            rest.trim_start_matches([':', ' '])
+                .starts_with(|c: char| c.is_ascii_digit())
+        })
+    };
+    assert!(has_number_after("\"knee_load_mops\""), "no knee found");
+    assert!(
+        has_number_after("\"first_overload_mops\""),
+        "no overload point found"
+    );
+    // Overload points shed explicitly: some point reports a non-zero shed
+    // count alongside a p99 above the 500 us SLO.
+    let overloaded = json.lines().any(|l| {
+        l.contains("\"shed\": ")
+            && !l.contains("\"shed\": 0,")
+            && l.split("\"p99_us\": ")
+                .nth(1)
+                .and_then(|r| r.split(',').next())
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|p99| p99 > 500.0)
+    });
+    assert!(overloaded, "sweep must contain an overloaded point");
+}

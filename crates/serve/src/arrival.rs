@@ -1,0 +1,280 @@
+//! Seeded open-loop arrival processes.
+//!
+//! The client population is open-loop: requests arrive on their own
+//! schedule whether or not the servers keep up (the regime where queueing
+//! delay and shed rate actually mean something). Arrival instants come
+//! from a thinned Poisson process over the in-tree xoshiro PRNG, so the
+//! same seed and config always produce the same stream — the serving
+//! stack's bit-determinism starts here.
+//!
+//! Three shapes cover the interesting traffic regimes:
+//!
+//! * [`ArrivalShape::Poisson`] — constant mean rate, exponential gaps.
+//! * [`ArrivalShape::Bursty`] — an on/off square wave: bursts at
+//!   `mult ×` the mean rate for `duty` of each period, quiet otherwise.
+//!   Mean rate is preserved, so a sweep point stresses tail latency
+//!   without changing offered load.
+//! * [`ArrivalShape::Diurnal`] — a sinusoidal day/night swing around the
+//!   mean rate.
+
+use gpm_sim::rng::Xoshiro256StarStar;
+use gpm_sim::Ns;
+
+use crate::request::{Op, Request};
+
+/// The time-varying shape of the arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalShape {
+    /// Constant-rate Poisson arrivals.
+    Poisson,
+    /// On/off square wave: `mult ×` the mean rate for the first `duty`
+    /// fraction of each `period`, and a compensating lower rate for the
+    /// rest, preserving the mean.
+    Bursty {
+        /// Square-wave period.
+        period: Ns,
+        /// Fraction of the period spent bursting (in `(0, 1)`).
+        duty: f64,
+        /// Burst rate multiplier (≥ 1; `mult × duty ≤ 1` keeps the
+        /// off-phase rate non-negative).
+        mult: f64,
+    },
+    /// Sinusoidal swing: `rate × (1 + amplitude · sin(2πt/period))`.
+    Diurnal {
+        /// Sinusoid period.
+        period: Ns,
+        /// Relative swing amplitude (in `[0, 1]`).
+        amplitude: f64,
+    },
+}
+
+impl ArrivalShape {
+    /// Peak instantaneous rate multiplier (for thinning).
+    fn peak_mult(&self) -> f64 {
+        match *self {
+            ArrivalShape::Poisson => 1.0,
+            ArrivalShape::Bursty { mult, .. } => mult,
+            ArrivalShape::Diurnal { amplitude, .. } => 1.0 + amplitude,
+        }
+    }
+
+    /// Instantaneous rate multiplier at simulated time `t`.
+    fn mult_at(&self, t: Ns) -> f64 {
+        match *self {
+            ArrivalShape::Poisson => 1.0,
+            ArrivalShape::Bursty { period, duty, mult } => {
+                let phase = (t.0 % period.0) / period.0;
+                if phase < duty {
+                    mult
+                } else {
+                    // Preserve the mean over a full period.
+                    (1.0 - mult * duty) / (1.0 - duty)
+                }
+            }
+            ArrivalShape::Diurnal { period, amplitude } => {
+                1.0 + amplitude * (2.0 * std::f64::consts::PI * t.0 / period.0).sin()
+            }
+        }
+    }
+}
+
+/// Configuration of one client traffic stream.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// PRNG seed: same seed + config ⇒ identical stream.
+    pub seed: u64,
+    /// Mean offered load in operations per simulated second.
+    pub rate_ops_per_sec: f64,
+    /// Total requests to emit.
+    pub n_requests: u64,
+    /// Arrival-rate shape.
+    pub shape: ArrivalShape,
+    /// GET fraction per mille (0 = pure PUTs, 950 = the 95:5 mix).
+    pub get_permille: u32,
+    /// Distinct keys the clients touch.
+    pub key_space: u64,
+    /// Key popularity: `None` = uniform, `Some(theta)` = Zipfian.
+    pub key_skew: Option<f64>,
+}
+
+impl TrafficConfig {
+    /// A small deterministic stream for tests.
+    pub fn quick(seed: u64) -> TrafficConfig {
+        TrafficConfig {
+            seed,
+            rate_ops_per_sec: 1.0e6,
+            n_requests: 2_000,
+            shape: ArrivalShape::Poisson,
+            get_permille: 500,
+            key_space: 4_096,
+            key_skew: None,
+        }
+    }
+
+    /// Generates the gpKVS request stream: arrival instants from the
+    /// thinned Poisson process, keys from the configured popularity
+    /// distribution, values derived from key and request id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate or a zero key space.
+    pub fn generate(&self) -> Vec<Request> {
+        let zipf = self
+            .key_skew
+            .map(|theta| gpm_workloads::datagen::Zipf::new(self.key_space, theta));
+        self.stream(|rng, id| {
+            let rank = match &zipf {
+                Some(z) => z.sample(id),
+                None => rng.gen_range_u64(self.key_space),
+            };
+            // Spread ranks over the hash space; `| 1` keeps 0 reserved as
+            // the table's empty-slot marker.
+            let key = gpm_pmkv::hash64(rank.wrapping_mul(0x9E37)) | 1;
+            if rng.gen_f64() * 1000.0 < self.get_permille as f64 {
+                Op::Get { key }
+            } else {
+                let value = key.wrapping_mul(2_654_435_761).wrapping_add(id);
+                Op::Put { key, value }
+            }
+        })
+    }
+
+    /// Generates a gpDB INSERT stream: every request appends
+    /// `rows_per_request` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate.
+    pub fn generate_inserts(&self, rows_per_request: u64) -> Vec<Request> {
+        self.stream(|_, _| Op::Insert {
+            rows: rows_per_request,
+        })
+    }
+
+    fn stream(&self, mut op: impl FnMut(&mut Xoshiro256StarStar, u64) -> Op) -> Vec<Request> {
+        assert!(self.rate_ops_per_sec > 0.0, "offered load must be positive");
+        assert!(self.key_space > 0, "need at least one key");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
+        let peak = self.rate_ops_per_sec * self.shape.peak_mult();
+        let mean_gap_ns = 1e9 / peak;
+        let mut t = Ns::ZERO;
+        let mut out = Vec::with_capacity(self.n_requests as usize);
+        let mut id = 0u64;
+        while (out.len() as u64) < self.n_requests {
+            // Exponential gap at the peak rate…
+            let u = rng.gen_f64();
+            t += Ns(-(1.0 - u).ln() * mean_gap_ns);
+            // …thinned down to the instantaneous rate.
+            if rng.gen_f64() < self.shape.mult_at(t) / self.shape.peak_mult() {
+                out.push(Request {
+                    id,
+                    arrival: t,
+                    op: op(&mut rng, id),
+                });
+                id += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cfg = TrafficConfig::quick(11);
+        assert_eq!(cfg.generate(), cfg.generate());
+        let other = TrafficConfig::quick(12).generate();
+        assert_ne!(cfg.generate(), other);
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_rate_is_close() {
+        let cfg = TrafficConfig {
+            n_requests: 20_000,
+            ..TrafficConfig::quick(5)
+        };
+        let reqs = cfg.generate();
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let span_s = reqs.last().unwrap().arrival.as_secs();
+        let rate = reqs.len() as f64 / span_s;
+        let err = (rate - cfg.rate_ops_per_sec).abs() / cfg.rate_ops_per_sec;
+        assert!(err < 0.05, "observed rate {rate:.0} ops/s, err {err:.3}");
+    }
+
+    #[test]
+    fn bursty_preserves_mean_rate() {
+        let cfg = TrafficConfig {
+            n_requests: 40_000,
+            shape: ArrivalShape::Bursty {
+                period: Ns::from_millis(1.0),
+                duty: 0.2,
+                mult: 4.0,
+            },
+            ..TrafficConfig::quick(9)
+        };
+        let reqs = cfg.generate();
+        let span_s = reqs.last().unwrap().arrival.as_secs();
+        let rate = reqs.len() as f64 / span_s;
+        let err = (rate - cfg.rate_ops_per_sec).abs() / cfg.rate_ops_per_sec;
+        assert!(err < 0.08, "observed rate {rate:.0} ops/s, err {err:.3}");
+        // Bursts concentrate arrivals: the on-phase carries well over its
+        // time share.
+        let period = 1_000_000.0;
+        let in_burst = reqs
+            .iter()
+            .filter(|r| (r.arrival.0 % period) / period < 0.2)
+            .count();
+        let frac = in_burst as f64 / reqs.len() as f64;
+        assert!(frac > 0.6, "burst fraction {frac:.2}");
+    }
+
+    #[test]
+    fn diurnal_rate_swings() {
+        let period = Ns::from_millis(4.0);
+        let cfg = TrafficConfig {
+            n_requests: 40_000,
+            shape: ArrivalShape::Diurnal {
+                period,
+                amplitude: 0.8,
+            },
+            ..TrafficConfig::quick(3)
+        };
+        let reqs = cfg.generate();
+        // First half-period (sin > 0) must out-draw the second.
+        let mut up = 0u64;
+        let mut down = 0u64;
+        for r in &reqs {
+            let phase = (r.arrival.0 % period.0) / period.0;
+            if phase < 0.5 {
+                up += 1;
+            } else {
+                down += 1;
+            }
+        }
+        assert!(
+            up as f64 > 1.5 * down as f64,
+            "day {up} vs night {down} arrivals"
+        );
+    }
+
+    #[test]
+    fn get_mix_tracks_config() {
+        let cfg = TrafficConfig {
+            get_permille: 900,
+            n_requests: 10_000,
+            ..TrafficConfig::quick(2)
+        };
+        let gets = cfg.generate().iter().filter(|r| r.op.is_get()).count();
+        let frac = gets as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "GET fraction {frac:.3}");
+    }
+
+    #[test]
+    fn insert_stream_is_pure_inserts() {
+        let reqs = TrafficConfig::quick(4).generate_inserts(16);
+        assert!(reqs.iter().all(|r| r.op == Op::Insert { rows: 16 }));
+    }
+}

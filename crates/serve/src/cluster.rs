@@ -1,0 +1,217 @@
+//! The sharded serving cluster: router + N shards + merged accounting.
+//!
+//! Shards are fully independent machines (the paper's scale-out story:
+//! each GPU owns its PM image), so the cluster runs them one after the
+//! other and merges their histograms — simulated time makes the result
+//! identical to a concurrent run, and keeps it bit-deterministic.
+
+use gpm_sim::{Ns, SimResult};
+use gpm_workloads::{DbOp, DbParams, KvsParams, LatencyHistogram, Mode};
+
+use crate::request::{Op, Request};
+use crate::router::Router;
+use crate::scheduler::{serve_shard, BatchPolicy, FaultPlan, ShardReport};
+use crate::shard::Shard;
+
+/// Which workload the shards serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// gpKVS shards (PUT/GET).
+    Kvs,
+    /// gpDB shards (INSERT).
+    Db,
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of independent shards.
+    pub shards: u32,
+    /// Persistence mode every shard runs under.
+    pub mode: Mode,
+    /// Per-shard batching policy.
+    pub policy: BatchPolicy,
+    /// Per-shard transient-fault plan.
+    pub faults: FaultPlan,
+    /// Workload kind.
+    pub backend: BackendKind,
+    /// gpKVS sizing (the batch buffer is sized to the policy's
+    /// `max_batch` automatically).
+    pub kvs: KvsParams,
+    /// gpDB sizing (table capacity is sized to the routed stream
+    /// automatically).
+    pub db: DbParams,
+}
+
+impl ClusterConfig {
+    /// A small deterministic cluster for tests and `--quick` runs.
+    pub fn quick() -> ClusterConfig {
+        ClusterConfig {
+            shards: 2,
+            mode: Mode::Gpm,
+            policy: BatchPolicy {
+                max_batch: 256,
+                ..BatchPolicy::default()
+            },
+            faults: FaultPlan::default(),
+            backend: BackendKind::Kvs,
+            kvs: KvsParams::quick(),
+            db: DbParams::quick(),
+        }
+    }
+}
+
+/// Merged outcome of one cluster run.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// Latency distribution merged over all shards.
+    pub hist: LatencyHistogram,
+    /// Requests offered across the cluster.
+    pub offered: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission backpressure.
+    pub shed: u64,
+    /// Transient-crash retries across shards.
+    pub retries: u64,
+    /// Kernel-launch batches across shards.
+    pub batches: u64,
+    /// Slowest shard's finish time (the cluster's makespan).
+    pub makespan: Ns,
+    /// Per-shard reports.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ClusterOutcome {
+    /// Fraction of offered requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+
+    /// Completed requests per simulated second (over the makespan).
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.makespan.as_secs()
+        }
+    }
+
+    /// Fraction of completed requests at or under `slo` end-to-end
+    /// latency.
+    pub fn slo_attainment(&self, slo: Ns) -> f64 {
+        self.hist.fraction_le(slo)
+    }
+}
+
+/// Routes `requests` over the cluster's shards and serves every stream.
+///
+/// # Errors
+///
+/// Propagates shard setup, launch and recovery errors.
+pub fn run_cluster(cfg: &ClusterConfig, requests: &[Request]) -> SimResult<ClusterOutcome> {
+    let router = Router::new(cfg.shards);
+    let streams = router.partition(requests);
+    let mut outcome = ClusterOutcome {
+        hist: LatencyHistogram::new(),
+        offered: 0,
+        completed: 0,
+        shed: 0,
+        retries: 0,
+        batches: 0,
+        makespan: Ns::ZERO,
+        shards: Vec::with_capacity(streams.len()),
+    };
+    for stream in &streams {
+        let mut shard = match cfg.backend {
+            BackendKind::Kvs => {
+                let params = KvsParams {
+                    ops_per_batch: cfg.policy.max_batch,
+                    ..cfg.kvs
+                };
+                Shard::new_kvs(params, cfg.mode)?
+            }
+            BackendKind::Db => {
+                // Size the table for the worst case: every routed INSERT
+                // commits.
+                let routed: u64 = stream
+                    .iter()
+                    .map(|r| match r.op {
+                        Op::Insert { rows } => rows,
+                        _ => 0,
+                    })
+                    .sum();
+                let params = DbParams {
+                    op: DbOp::Insert,
+                    capacity_rows: cfg.db.initial_rows + routed,
+                    ..cfg.db
+                };
+                Shard::new_db(params, cfg.mode)?
+            }
+        };
+        let report = serve_shard(&mut shard, stream, &cfg.policy, &cfg.faults)?;
+        outcome.hist.merge(&report.hist);
+        outcome.offered += report.offered;
+        outcome.completed += report.completed;
+        outcome.shed += report.shed;
+        outcome.retries += report.retries;
+        outcome.batches += report.batches;
+        outcome.makespan = outcome.makespan.max(report.end);
+        outcome.shards.push(report);
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::TrafficConfig;
+
+    #[test]
+    fn cluster_completes_a_moderate_stream() {
+        let cfg = ClusterConfig::quick();
+        let reqs = TrafficConfig::quick(6).generate();
+        let out = run_cluster(&cfg, &reqs).unwrap();
+        assert_eq!(out.offered, reqs.len() as u64);
+        assert_eq!(out.completed + out.shed, out.offered);
+        assert!(out.throughput_ops_per_sec() > 0.0);
+        assert!(out.hist.count() == out.completed);
+        assert!(out.slo_attainment(Ns::from_millis(100.0)) > 0.99);
+    }
+
+    #[test]
+    fn more_shards_do_not_lose_requests() {
+        let reqs = TrafficConfig::quick(6).generate();
+        for shards in [1u32, 3] {
+            let cfg = ClusterConfig {
+                shards,
+                ..ClusterConfig::quick()
+            };
+            let out = run_cluster(&cfg, &reqs).unwrap();
+            assert_eq!(out.offered, reqs.len() as u64);
+            assert_eq!(out.completed + out.shed, out.offered);
+            assert_eq!(out.shards.len(), shards as usize);
+        }
+    }
+
+    #[test]
+    fn db_cluster_serves_insert_stream() {
+        let cfg = ClusterConfig {
+            backend: BackendKind::Db,
+            ..ClusterConfig::quick()
+        };
+        let reqs = TrafficConfig {
+            rate_ops_per_sec: 0.2e6,
+            n_requests: 400,
+            ..TrafficConfig::quick(5)
+        }
+        .generate_inserts(8);
+        let out = run_cluster(&cfg, &reqs).unwrap();
+        assert_eq!(out.completed, 400, "capacity sized to the stream");
+        assert_eq!(out.shed, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Client requests and their outcomes.
+//!
+//! A [`Request`] is what the open-loop arrival process emits: an operation
+//! plus the simulated instant the client issued it. A [`Response`] is what
+//! the serving stack owes back for every single request — either the
+//! operation completed (with its end-to-end latency and, for GETs, the
+//! value read), or the shard's admission queue was full and the request was
+//! shed with an explicit [`Verdict::Overloaded`]. Nothing is ever silently
+//! dropped: `responses.len() == requests.len()` is an invariant the tests
+//! pin.
+
+use gpm_sim::Ns;
+
+/// Monotone client-assigned request identifier (also the tiebreaker that
+/// keeps per-shard streams deterministic).
+pub type RequestId = u64;
+
+/// The operation a request carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// gpKVS SET: durably store `value` under `key`.
+    Put {
+        /// Key to store under.
+        key: u64,
+        /// Value to store.
+        value: u64,
+    },
+    /// gpKVS GET: read the value under `key` from the HBM mirror.
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// gpDB INSERT: durably append `rows` rows to the shard's table.
+    Insert {
+        /// Rows this request appends.
+        rows: u64,
+    },
+}
+
+impl Op {
+    /// The 64-bit routing key the shard router hashes. KVS operations
+    /// route by key (all operations on a key land on one shard, so reads
+    /// observe that shard's writes); INSERTs are append-only and spread by
+    /// request id.
+    pub fn route_key(&self, id: RequestId) -> u64 {
+        match *self {
+            Op::Put { key, .. } | Op::Get { key } => key,
+            Op::Insert { .. } => id,
+        }
+    }
+
+    /// Whether this is a read (GET) operation.
+    pub fn is_get(&self) -> bool {
+        matches!(self, Op::Get { .. })
+    }
+}
+
+/// One client request: an operation issued at a simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Client-assigned identifier.
+    pub id: RequestId,
+    /// The simulated instant the client issued the request.
+    pub arrival: Ns,
+    /// The operation.
+    pub op: Op,
+}
+
+/// The outcome of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// The operation committed. GETs carry the value read; writes carry
+    /// `None`.
+    Done(Option<u64>),
+    /// The shard's bounded admission queue was full at arrival: the
+    /// request was shed without service (the explicit backpressure signal
+    /// — never a silent drop).
+    Overloaded,
+}
+
+/// The serving stack's answer for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Response {
+    /// The request this answers.
+    pub id: RequestId,
+    /// Outcome.
+    pub verdict: Verdict,
+    /// End-to-end latency (arrival to batch commit). `Ns::ZERO` for shed
+    /// requests — they never entered service.
+    pub latency: Ns,
+}
+
+impl Response {
+    /// Whether the request completed (was not shed).
+    pub fn is_done(&self) -> bool {
+        matches!(self.verdict, Verdict::Done(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_key_follows_the_key_for_kvs() {
+        assert_eq!(Op::Put { key: 7, value: 1 }.route_key(99), 7);
+        assert_eq!(Op::Get { key: 7 }.route_key(99), 7);
+        assert_eq!(Op::Insert { rows: 4 }.route_key(99), 99);
+    }
+
+    #[test]
+    fn verdicts_classify() {
+        let done = Response {
+            id: 0,
+            verdict: Verdict::Done(Some(3)),
+            latency: Ns(10.0),
+        };
+        let shed = Response {
+            id: 1,
+            verdict: Verdict::Overloaded,
+            latency: Ns::ZERO,
+        };
+        assert!(done.is_done());
+        assert!(!shed.is_done());
+        assert!(Op::Get { key: 1 }.is_get());
+        assert!(!Op::Put { key: 1, value: 2 }.is_get());
+    }
+}

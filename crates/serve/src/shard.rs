@@ -1,0 +1,369 @@
+//! One serving shard: a private `Machine` running a gpKVS or gpDB
+//! instance.
+//!
+//! A shard owns its machine (its own PM image, HBM, clock and stats) and
+//! the live workload state on it. The scheduler drives it through exactly
+//! the same `apply_batch` kernel-launch path the closed-loop suite uses —
+//! there is no serving-only fork of the launch logic.
+//!
+//! Shards come up in one of two ways:
+//!
+//! * [`Shard::new_kvs`] / [`Shard::new_db`] — a fresh machine with a
+//!   freshly set-up instance.
+//! * [`Shard::boot_kvs`] / [`Shard::boot_db`] — **boot over an existing
+//!   machine image**, possibly one that crashed mid-batch. Boot always
+//!   replays the workload's recovery path (undo/rollback, idempotent on a
+//!   clean image) and rebuilds the volatile HBM mirror *before* the shard
+//!   admits any traffic, so the first admitted GET already observes every
+//!   pre-crash committed PUT.
+
+use gpm_gpu::{FuelGauge, LaunchError};
+use gpm_sim::{Machine, Ns, SimError, SimResult};
+use gpm_workloads::{DbState, DbWorkload, KvsOp, KvsState, KvsWorkload, Mode};
+
+use crate::request::{Op, Request};
+
+/// The workload instance a shard serves.
+#[derive(Debug)]
+enum Backend {
+    Kvs {
+        workload: KvsWorkload,
+        st: KvsState,
+    },
+    Db {
+        workload: DbWorkload,
+        st: DbState,
+        rows: u64,
+    },
+}
+
+/// One serving shard: a machine plus the workload instance on it.
+#[derive(Debug)]
+pub struct Shard {
+    /// The shard's private machine (own clock, PM image, stats).
+    pub machine: Machine,
+    backend: Backend,
+    mode: Mode,
+    seq: u64,
+    recovery: Option<Ns>,
+}
+
+impl Shard {
+    /// A fresh gpKVS shard on a fresh machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup errors.
+    pub fn new_kvs(params: gpm_workloads::KvsParams, mode: Mode) -> SimResult<Shard> {
+        let mut machine = Machine::default();
+        let workload = KvsWorkload::new(params);
+        let st = workload.setup(&mut machine, mode)?;
+        Ok(Shard {
+            machine,
+            backend: Backend::Kvs { workload, st },
+            mode,
+            seq: 0,
+            recovery: None,
+        })
+    }
+
+    /// Boots a gpKVS shard over an existing machine image (e.g. one that
+    /// crashed mid-batch): replays undo recovery and rebuilds the HBM
+    /// mirror before any traffic is admitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery errors.
+    pub fn boot_kvs(
+        mut machine: Machine,
+        workload: KvsWorkload,
+        st: KvsState,
+        mode: Mode,
+    ) -> SimResult<Shard> {
+        let t0 = machine.clock.now();
+        workload.recover(&mut machine, &st)?;
+        workload.rebuild_mirror(&mut machine, &st)?;
+        let recovery = machine.clock.now() - t0;
+        Ok(Shard {
+            machine,
+            backend: Backend::Kvs { workload, st },
+            mode,
+            seq: 0,
+            recovery: Some(recovery),
+        })
+    }
+
+    /// A fresh gpDB shard on a fresh machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup errors.
+    pub fn new_db(params: gpm_workloads::DbParams, mode: Mode) -> SimResult<Shard> {
+        let mut machine = Machine::default();
+        let workload = DbWorkload::new(params);
+        let st = workload.setup(&mut machine, mode)?;
+        let rows = params.initial_rows;
+        Ok(Shard {
+            machine,
+            backend: Backend::Db { workload, st, rows },
+            mode,
+            seq: 0,
+            recovery: None,
+        })
+    }
+
+    /// Boots a gpDB shard over an existing machine image: replays
+    /// recovery (metadata rollback / undo drain) and resumes from the
+    /// durable row count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery errors.
+    pub fn boot_db(
+        mut machine: Machine,
+        workload: DbWorkload,
+        st: DbState,
+        mode: Mode,
+    ) -> SimResult<Shard> {
+        let t0 = machine.clock.now();
+        workload.recover(&mut machine, &st)?;
+        let rows = st.durable_rows(&machine)?;
+        let recovery = machine.clock.now() - t0;
+        Ok(Shard {
+            machine,
+            backend: Backend::Db { workload, st, rows },
+            mode,
+            seq: 0,
+            recovery: Some(recovery),
+        })
+    }
+
+    /// Simulated time recovery took at boot, if this shard booted over an
+    /// existing image.
+    pub fn recovery(&self) -> Option<Ns> {
+        self.recovery
+    }
+
+    /// Current simulated time on this shard's clock.
+    pub fn now(&self) -> Ns {
+        self.machine.clock.now()
+    }
+
+    /// Largest batch (in requests) this shard's buffers can take in one
+    /// launch.
+    pub fn max_batch(&self) -> u64 {
+        match &self.backend {
+            Backend::Kvs { workload, .. } => workload.params.ops_per_batch,
+            Backend::Db { .. } => u64::MAX,
+        }
+    }
+
+    /// Applies one batch through the shared kernel-launch path. The gauge
+    /// lets the scheduler's fault plan cut power mid-kernel; an
+    /// [`FuelGauge::Unlimited`] gauge never crashes.
+    ///
+    /// # Errors
+    ///
+    /// [`LaunchError::Crashed`] if the gauge ran dry mid-kernel (the
+    /// machine is now in its post-crash state — call
+    /// [`recover_in_place`](Shard::recover_in_place) before retrying);
+    /// [`LaunchError::Sim`] on functional errors, including a request kind
+    /// that doesn't match the backend.
+    pub fn apply(&mut self, batch: &[Request], gauge: &mut FuelGauge) -> Result<(), LaunchError> {
+        match &mut self.backend {
+            Backend::Kvs { workload, st } => {
+                let ops: Vec<KvsOp> = batch
+                    .iter()
+                    .map(|r| match r.op {
+                        Op::Put { key, value } => Ok((key, value, false)),
+                        Op::Get { key } => Ok((key, 0, true)),
+                        Op::Insert { .. } => Err(LaunchError::Sim(SimError::Invalid(
+                            "INSERT routed to a gpKVS shard",
+                        ))),
+                    })
+                    .collect::<Result<_, _>>()?;
+                workload.apply_batch_gauged(
+                    &mut self.machine,
+                    st,
+                    self.seq,
+                    &ops,
+                    self.mode,
+                    gauge,
+                )?;
+            }
+            Backend::Db { workload, st, rows } => {
+                let mut total = 0u64;
+                for r in batch {
+                    match r.op {
+                        Op::Insert { rows } => total += rows,
+                        _ => {
+                            return Err(LaunchError::Sim(SimError::Invalid(
+                                "non-INSERT routed to a gpDB shard",
+                            )))
+                        }
+                    }
+                }
+                workload.apply_batch_gauged(
+                    &mut self.machine,
+                    st,
+                    self.seq as u32,
+                    total,
+                    rows,
+                    self.mode,
+                    gauge,
+                )?;
+            }
+        }
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Replays recovery after a mid-batch crash (undo/rollback plus, for
+    /// gpKVS, an HBM mirror rebuild) so the interrupted batch can be
+    /// retried. Returns the simulated time recovery took.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery errors.
+    pub fn recover_in_place(&mut self) -> SimResult<Ns> {
+        let t0 = self.machine.clock.now();
+        match &mut self.backend {
+            Backend::Kvs { workload, st } => {
+                workload.recover(&mut self.machine, st)?;
+                workload.rebuild_mirror(&mut self.machine, st)?;
+            }
+            Backend::Db { workload, st, rows } => {
+                workload.recover(&mut self.machine, st)?;
+                *rows = st.durable_rows(&self.machine)?;
+            }
+        }
+        Ok(self.machine.clock.now() - t0)
+    }
+
+    /// Reads the values the GETs of the just-applied batch returned
+    /// (`None` for writes), index-aligned with `batch`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors; gpDB shards have no GETs to read.
+    pub fn read_gets(&self, batch: &[Request]) -> SimResult<Vec<Option<u64>>> {
+        match &self.backend {
+            Backend::Kvs { workload, st } => batch
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    if r.op.is_get() {
+                        workload.get_result(&self.machine, st, i as u64).map(Some)
+                    } else {
+                        Ok(None)
+                    }
+                })
+                .collect(),
+            Backend::Db { .. } => Ok(vec![None; batch.len()]),
+        }
+    }
+
+    /// Tears the shard down into its parts (machine + kvs state) so a
+    /// test can crash the image and boot a successor over it. Panics on a
+    /// gpDB shard.
+    pub fn into_kvs_parts(self) -> (Machine, KvsWorkload, KvsState) {
+        match self.backend {
+            Backend::Kvs { workload, st } => (self.machine, workload, st),
+            Backend::Db { .. } => panic!("not a gpKVS shard"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_workloads::KvsParams;
+
+    fn put(id: u64, key: u64, value: u64) -> Request {
+        Request {
+            id,
+            arrival: Ns::ZERO,
+            op: Op::Put { key, value },
+        }
+    }
+
+    fn get(id: u64, key: u64) -> Request {
+        Request {
+            id,
+            arrival: Ns::ZERO,
+            op: Op::Get { key },
+        }
+    }
+
+    #[test]
+    fn kvs_shard_serves_puts_then_gets() {
+        let mut s = Shard::new_kvs(KvsParams::quick(), Mode::Gpm).unwrap();
+        let puts = [put(0, 11, 101), put(1, 12, 102)];
+        s.apply(&puts, &mut FuelGauge::Unlimited).unwrap();
+        let gets = [get(2, 11), get(3, 12), get(4, 13)];
+        s.apply(&gets, &mut FuelGauge::Unlimited).unwrap();
+        let vals = s.read_gets(&gets).unwrap();
+        assert_eq!(vals, vec![Some(101), Some(102), Some(0)]);
+        assert!(s.now() > Ns::ZERO, "batches consume simulated time");
+    }
+
+    #[test]
+    fn db_shard_counts_inserted_rows() {
+        let mut p = gpm_workloads::DbParams::quick();
+        p.capacity_rows = p.initial_rows + 1_024;
+        let mut s = Shard::new_db(p, Mode::Gpm).unwrap();
+        let reqs = [
+            Request {
+                id: 0,
+                arrival: Ns::ZERO,
+                op: Op::Insert { rows: 64 },
+            },
+            Request {
+                id: 1,
+                arrival: Ns::ZERO,
+                op: Op::Insert { rows: 32 },
+            },
+        ];
+        s.apply(&reqs, &mut FuelGauge::Unlimited).unwrap();
+        match &s.backend {
+            Backend::Db { rows, st, .. } => {
+                assert_eq!(*rows, p.initial_rows + 96);
+                assert_eq!(st.durable_rows(&s.machine).unwrap(), p.initial_rows + 96);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mismatched_request_kind_is_rejected() {
+        let mut s = Shard::new_kvs(KvsParams::quick(), Mode::Gpm).unwrap();
+        let wrong = [Request {
+            id: 0,
+            arrival: Ns::ZERO,
+            op: Op::Insert { rows: 1 },
+        }];
+        assert!(matches!(
+            s.apply(&wrong, &mut FuelGauge::Unlimited),
+            Err(LaunchError::Sim(SimError::Invalid(_)))
+        ));
+    }
+
+    #[test]
+    fn crash_recover_retry_preserves_data() {
+        let mut s = Shard::new_kvs(KvsParams::quick(), Mode::Gpm).unwrap();
+        let committed = [put(0, 21, 201)];
+        s.apply(&committed, &mut FuelGauge::Unlimited).unwrap();
+        // Cut power mid-batch, then recover in place and retry.
+        let batch = [put(1, 22, 202), put(2, 23, 203)];
+        let err = s.apply(&batch, &mut FuelGauge::crash(4));
+        assert!(matches!(err, Err(LaunchError::Crashed(_))));
+        s.recover_in_place().unwrap();
+        s.apply(&batch, &mut FuelGauge::Unlimited).unwrap();
+        let gets = [get(3, 21), get(4, 22), get(5, 23)];
+        s.apply(&gets, &mut FuelGauge::Unlimited).unwrap();
+        assert_eq!(
+            s.read_gets(&gets).unwrap(),
+            vec![Some(201), Some(202), Some(203)]
+        );
+    }
+}

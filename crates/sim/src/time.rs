@@ -174,6 +174,30 @@ impl SimClock {
         );
         self.now += dt;
     }
+
+    /// Advances the clock to the absolute time `t` and returns the idle
+    /// duration waited. A `t` at or before the current time is a no-op
+    /// (`Ns::ZERO` waited) — an open-loop event source may schedule an
+    /// arrival while the machine was still busy with earlier work.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gpm_sim::{Ns, SimClock};
+    /// let mut clock = SimClock::new();
+    /// clock.advance(Ns(100.0));
+    /// assert_eq!(clock.advance_to(Ns(250.0)), Ns(150.0));
+    /// assert_eq!(clock.advance_to(Ns(200.0)), Ns::ZERO);
+    /// assert_eq!(clock.now(), Ns(250.0));
+    /// ```
+    pub fn advance_to(&mut self, t: Ns) -> Ns {
+        if t <= self.now {
+            return Ns::ZERO;
+        }
+        let waited = t - self.now;
+        self.now = t;
+        waited
+    }
 }
 
 #[cfg(test)]
@@ -231,5 +255,17 @@ mod tests {
     #[should_panic(expected = "negative")]
     fn clock_rejects_negative() {
         SimClock::new().advance(Ns(-1.0));
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut c = SimClock::new();
+        c.advance(Ns(50.0));
+        assert_eq!(c.advance_to(Ns(80.0)), Ns(30.0));
+        assert_eq!(c.now(), Ns(80.0));
+        // Past targets never rewind the clock.
+        assert_eq!(c.advance_to(Ns(10.0)), Ns::ZERO);
+        assert_eq!(c.now(), Ns(80.0));
+        assert_eq!(c.advance_to(Ns(80.0)), Ns::ZERO);
     }
 }

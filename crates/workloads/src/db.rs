@@ -23,7 +23,7 @@ use gpm_sim::{
     Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult, HOST_WRITER,
 };
 
-use crate::metrics::{metered, Mode, RunMetrics};
+use crate::metrics::{metered, BatchMetrics, Mode, RunMetrics};
 use crate::oracle::RecoveryOracle;
 
 /// Valid bytes per row: id u64 + 12 columns u64.
@@ -111,7 +111,11 @@ pub struct DbWorkload {
     pub params: DbParams,
 }
 
-struct DbState {
+/// Live gpDB instance state: the PM table, its HBM mirror, the persistent
+/// row count and the metadata/row undo logs. Created once by
+/// [`DbWorkload::setup`] and reused across batches.
+#[derive(Debug)]
+pub struct DbState {
     pm_table: u64,
     hbm_table: u64,
     row_count: u64, // PM address of the persistent row count
@@ -119,6 +123,18 @@ struct DbState {
     cap_pm: u64,
     meta_log: GpmLog,
     row_log: GpmLog,
+}
+
+impl DbState {
+    /// Reads the durable row count from PM — what a serving frontend
+    /// booting over an existing image must resume from after recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn durable_rows(&self, machine: &Machine) -> SimResult<u64> {
+        machine.read_u64(Addr::pm(self.row_count))
+    }
 }
 
 fn row_value(row: u64, col: u64, batch: u32) -> u64 {
@@ -139,7 +155,13 @@ impl DbWorkload {
         LaunchConfig::for_elements(self.params.capacity_rows, 256)
     }
 
-    fn setup(&self, machine: &mut Machine, mode: Mode) -> SimResult<DbState> {
+    /// Allocates the table, mirror, logs and row count on `machine` and
+    /// populates the initial rows (durable setup, untimed).
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation or PM-file errors.
+    pub fn setup(&self, machine: &mut Machine, mode: Mode) -> SimResult<DbState> {
         let p = &self.params;
         let pm_table = gpm_map(machine, "/pm/gpdb/table", p.table_bytes(), true)?.offset;
         let meta = gpm_map(machine, "/pm/gpdb/meta", 256, true)?;
@@ -199,15 +221,16 @@ impl DbWorkload {
         row
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn insert_kernel(
         &self,
         st: &DbState,
         batch: u32,
         start_row: u64,
+        rows: u64,
         to_pm: bool,
         persist: bool,
     ) -> impl gpm_gpu::Kernel<State = (), Shared = ()> {
-        let rows = self.params.rows_per_insert;
         let (pm_table, hbm_table) = (st.pm_table, st.hbm_table);
         let meta_log = st.meta_log.dev();
         FnKernel(move |ctx: &mut ThreadCtx<'_>| {
@@ -284,127 +307,229 @@ impl DbWorkload {
         Ok(())
     }
 
+    /// Applies one batch through the shared kernel-launch path: an INSERT
+    /// appending `rows` rows, or an UPDATE sweeping the current `*count`
+    /// rows (`rows` is ignored for updates). `count` is the caller's live
+    /// row count and is advanced (and persisted, where the mode requires
+    /// it) by insert batches. This is the single entry point both the
+    /// closed-loop suite and the `gpm-serve` frontend drive — there is no
+    /// second kernel-launch code path.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unsupported modes, inserts past capacity, or platform
+    /// errors.
+    pub fn apply_batch(
+        &self,
+        machine: &mut Machine,
+        st: &DbState,
+        batch: u32,
+        rows: u64,
+        count: &mut u64,
+        mode: Mode,
+    ) -> SimResult<BatchMetrics> {
+        match self.apply_batch_gauged(
+            machine,
+            st,
+            batch,
+            rows,
+            count,
+            mode,
+            &mut FuelGauge::Unlimited,
+        ) {
+            Ok(m) => Ok(m),
+            Err(LaunchError::Crashed(_)) => unreachable!("unlimited gauge never crashes"),
+            Err(LaunchError::Sim(e)) => Err(e),
+        }
+    }
+
+    /// [`apply_batch`](DbWorkload::apply_batch) driven through a
+    /// [`FuelGauge`], so callers can record crash schedules or inject a
+    /// mid-batch crash (the `gpm-serve` retry drill and the campaign both
+    /// ride this).
+    ///
+    /// # Errors
+    ///
+    /// [`LaunchError::Crashed`] when the gauge's fuel runs out mid-kernel;
+    /// [`LaunchError::Sim`] on functional errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_batch_gauged(
+        &self,
+        machine: &mut Machine,
+        st: &DbState,
+        batch: u32,
+        rows: u64,
+        count: &mut u64,
+        mode: Mode,
+        gauge: &mut FuelGauge,
+    ) -> Result<BatchMetrics, LaunchError> {
+        let p = &self.params;
+        let t0 = machine.clock.now();
+        let s0 = machine.stats;
+        let ops;
+        match p.op {
+            DbOp::Insert => {
+                ops = rows;
+                if *count + rows > p.capacity_rows {
+                    return Err(LaunchError::Sim(SimError::Invalid(
+                        "insert batch exceeds table capacity",
+                    )));
+                }
+                let cfg = LaunchConfig::for_elements(rows, 256);
+                match mode {
+                    Mode::Gpm => {
+                        gpm_persist_begin(machine);
+                        launch_with_gauge(
+                            machine,
+                            cfg,
+                            &self.insert_kernel(st, batch, *count, rows, true, true),
+                            gauge,
+                        )?;
+                        gpm_persist_end(machine);
+                        *count += rows;
+                        self.persist_count(machine, st, *count)
+                            .map_err(LaunchError::Sim)?;
+                        st.meta_log
+                            .host_clear(machine)
+                            .map_err(|_| LaunchError::Sim(SimError::Invalid("clear")))?;
+                    }
+                    Mode::GpmNdp => {
+                        launch_with_gauge(
+                            machine,
+                            cfg,
+                            &self.insert_kernel(st, batch, *count, rows, true, false),
+                            gauge,
+                        )?;
+                        let start = st.pm_table + *count * ROW_STRIDE;
+                        flush_from_cpu(machine, start, rows * ROW_STRIDE, p.cap_threads);
+                        *count += rows;
+                        self.persist_count(machine, st, *count)
+                            .map_err(LaunchError::Sim)?;
+                    }
+                    Mode::CapFs | Mode::CapMm => {
+                        launch_with_gauge(
+                            machine,
+                            cfg,
+                            &self.insert_kernel(st, batch, *count, rows, false, false),
+                            gauge,
+                        )?;
+                        // Transfer the appended region at chunk granularity
+                        // plus the metadata page: slight over-transfer
+                        // (WA ≈ 1.27, Table 4).
+                        let begin = *count * ROW_STRIDE;
+                        let end = (*count + rows) * ROW_STRIDE;
+                        let start = begin / CAP_INSERT_CHUNK * CAP_INSERT_CHUNK;
+                        let aligned_end = (end.div_ceil(CAP_INSERT_CHUNK) * CAP_INSERT_CHUNK
+                            + 4096)
+                            .min(p.table_bytes());
+                        let len = aligned_end - start;
+                        let flavor = if mode == Mode::CapFs {
+                            CapFlavor::Fs
+                        } else {
+                            CapFlavor::Mm {
+                                threads: p.cap_threads,
+                            }
+                        };
+                        cap_persist_region(
+                            machine,
+                            flavor,
+                            st.hbm_table + start,
+                            st.staging_dram,
+                            st.cap_pm + start,
+                            len,
+                        )
+                        .map_err(LaunchError::Sim)?;
+                        *count += rows;
+                    }
+                    Mode::Gpufs | Mode::CpuPm => {
+                        return Err(LaunchError::Sim(SimError::Invalid(
+                            "mode unsupported for gpDB",
+                        )));
+                    }
+                }
+            }
+            DbOp::Update => {
+                ops = *count;
+                let cfg = self.update_launch_cfg();
+                match mode {
+                    Mode::Gpm => {
+                        gpm_persist_begin(machine);
+                        launch_with_gauge(
+                            machine,
+                            cfg,
+                            &self.update_kernel(st, batch, *count, true, true),
+                            gauge,
+                        )?;
+                        gpm_persist_end(machine);
+                        st.row_log
+                            .host_clear(machine)
+                            .map_err(|_| LaunchError::Sim(SimError::Invalid("clear")))?;
+                    }
+                    Mode::GpmNdp => {
+                        launch_with_gauge(
+                            machine,
+                            cfg,
+                            &self.update_kernel(st, batch, *count, true, false),
+                            gauge,
+                        )?;
+                        flush_from_cpu(machine, st.pm_table, p.table_bytes(), p.cap_threads);
+                        flush_from_cpu(
+                            machine,
+                            st.row_log.region.offset,
+                            st.row_log.region.len,
+                            p.cap_threads,
+                        );
+                        // Batch committed: truncate the undo log.
+                        st.row_log
+                            .host_clear(machine)
+                            .map_err(|_| LaunchError::Sim(SimError::Invalid("clear")))?;
+                    }
+                    Mode::CapFs | Mode::CapMm => {
+                        launch_with_gauge(
+                            machine,
+                            cfg,
+                            &self.update_kernel(st, batch, *count, false, false),
+                            gauge,
+                        )?;
+                        let flavor = if mode == Mode::CapFs {
+                            CapFlavor::Fs
+                        } else {
+                            CapFlavor::Mm {
+                                threads: p.cap_threads,
+                            }
+                        };
+                        cap_persist_region(
+                            machine,
+                            flavor,
+                            st.hbm_table,
+                            st.staging_dram,
+                            st.cap_pm,
+                            *count * ROW_STRIDE,
+                        )
+                        .map_err(LaunchError::Sim)?;
+                    }
+                    Mode::Gpufs | Mode::CpuPm => {
+                        return Err(LaunchError::Sim(SimError::Invalid(
+                            "mode unsupported for gpDB",
+                        )));
+                    }
+                }
+            }
+        }
+        let d = machine.stats.delta(&s0);
+        Ok(BatchMetrics {
+            ops,
+            elapsed: machine.clock.now() - t0,
+            pm_write_bytes_gpu: d.pm_write_bytes_gpu,
+            bytes_persisted: d.bytes_persisted,
+        })
+    }
+
     fn run_batches(&self, machine: &mut Machine, st: &DbState, mode: Mode) -> SimResult<()> {
         let p = &self.params;
         let mut count = p.initial_rows;
         for b in 0..p.batches {
-            match p.op {
-                DbOp::Insert => {
-                    let cfg = LaunchConfig::for_elements(p.rows_per_insert, 256);
-                    match mode {
-                        Mode::Gpm => {
-                            gpm_persist_begin(machine);
-                            launch(machine, cfg, &self.insert_kernel(st, b, count, true, true))?;
-                            gpm_persist_end(machine);
-                            count += p.rows_per_insert;
-                            self.persist_count(machine, st, count)?;
-                            st.meta_log
-                                .host_clear(machine)
-                                .map_err(|_| SimError::Invalid("clear"))?;
-                        }
-                        Mode::GpmNdp => {
-                            launch(machine, cfg, &self.insert_kernel(st, b, count, true, false))?;
-                            let start = st.pm_table + count * ROW_STRIDE;
-                            flush_from_cpu(
-                                machine,
-                                start,
-                                p.rows_per_insert * ROW_STRIDE,
-                                p.cap_threads,
-                            );
-                            count += p.rows_per_insert;
-                            self.persist_count(machine, st, count)?;
-                        }
-                        Mode::CapFs | Mode::CapMm => {
-                            launch(
-                                machine,
-                                cfg,
-                                &self.insert_kernel(st, b, count, false, false),
-                            )?;
-                            // Transfer the appended region at chunk granularity
-                            // plus the metadata page: slight over-transfer
-                            // (WA ≈ 1.27, Table 4).
-                            let begin = count * ROW_STRIDE;
-                            let end = (count + p.rows_per_insert) * ROW_STRIDE;
-                            let start = begin / CAP_INSERT_CHUNK * CAP_INSERT_CHUNK;
-                            let aligned_end = (end.div_ceil(CAP_INSERT_CHUNK) * CAP_INSERT_CHUNK
-                                + 4096)
-                                .min(p.table_bytes());
-                            let len = aligned_end - start;
-                            let flavor = if mode == Mode::CapFs {
-                                CapFlavor::Fs
-                            } else {
-                                CapFlavor::Mm {
-                                    threads: p.cap_threads,
-                                }
-                            };
-                            cap_persist_region(
-                                machine,
-                                flavor,
-                                st.hbm_table + start,
-                                st.staging_dram,
-                                st.cap_pm + start,
-                                len,
-                            )?;
-                            count += p.rows_per_insert;
-                        }
-                        Mode::Gpufs | Mode::CpuPm => {
-                            return Err(SimError::Invalid("mode unsupported for gpDB"));
-                        }
-                    }
-                }
-                DbOp::Update => {
-                    let cfg = self.update_launch_cfg();
-                    match mode {
-                        Mode::Gpm => {
-                            gpm_persist_begin(machine);
-                            launch(machine, cfg, &self.update_kernel(st, b, count, true, true))?;
-                            gpm_persist_end(machine);
-                            st.row_log
-                                .host_clear(machine)
-                                .map_err(|_| SimError::Invalid("clear"))?;
-                        }
-                        Mode::GpmNdp => {
-                            launch(machine, cfg, &self.update_kernel(st, b, count, true, false))?;
-                            flush_from_cpu(machine, st.pm_table, p.table_bytes(), p.cap_threads);
-                            flush_from_cpu(
-                                machine,
-                                st.row_log.region.offset,
-                                st.row_log.region.len,
-                                p.cap_threads,
-                            );
-                            // Batch committed: truncate the undo log.
-                            st.row_log
-                                .host_clear(machine)
-                                .map_err(|_| SimError::Invalid("clear"))?;
-                        }
-                        Mode::CapFs | Mode::CapMm => {
-                            launch(
-                                machine,
-                                cfg,
-                                &self.update_kernel(st, b, count, false, false),
-                            )?;
-                            let flavor = if mode == Mode::CapFs {
-                                CapFlavor::Fs
-                            } else {
-                                CapFlavor::Mm {
-                                    threads: p.cap_threads,
-                                }
-                            };
-                            cap_persist_region(
-                                machine,
-                                flavor,
-                                st.hbm_table,
-                                st.staging_dram,
-                                st.cap_pm,
-                                count * ROW_STRIDE,
-                            )?;
-                        }
-                        Mode::Gpufs | Mode::CpuPm => {
-                            return Err(SimError::Invalid("mode unsupported for gpDB"));
-                        }
-                    }
-                }
-            }
+            self.apply_batch(machine, st, b, p.rows_per_insert, &mut count, mode)?;
         }
         Ok(())
     }
@@ -619,7 +744,11 @@ impl DbWorkload {
                     DbOp::Insert => {
                         let cfg = LaunchConfig::for_elements(p.rows_per_insert, 256);
                         gpm_persist_begin(m);
-                        launch(m, cfg, &self.insert_kernel(&st, b, count, true, true))?;
+                        launch(
+                            m,
+                            cfg,
+                            &self.insert_kernel(&st, b, count, p.rows_per_insert, true, true),
+                        )?;
                         gpm_persist_end(m);
                         count += p.rows_per_insert;
                         if b + 1 < p.batches {
@@ -678,44 +807,29 @@ impl DbWorkload {
         let p = &self.params;
         let mut count = p.initial_rows;
         for b in 0..p.batches {
-            match p.op {
-                DbOp::Insert => {
-                    let cfg = LaunchConfig::for_elements(p.rows_per_insert, 256);
-                    gpm_persist_begin(machine);
-                    launch_with_gauge(
-                        machine,
-                        cfg,
-                        &self.insert_kernel(st, b, count, true, true),
-                        gauge,
-                    )?;
-                    gpm_persist_end(machine);
-                    count += p.rows_per_insert;
-                    self.persist_count(machine, st, count)
-                        .map_err(LaunchError::Sim)?;
-                    st.meta_log
-                        .host_clear(machine)
-                        .map_err(|_| LaunchError::Sim(SimError::Invalid("clear")))?;
-                }
-                DbOp::Update => {
-                    gpm_persist_begin(machine);
-                    launch_with_gauge(
-                        machine,
-                        self.update_launch_cfg(),
-                        &self.update_kernel(st, b, count, true, true),
-                        gauge,
-                    )?;
-                    gpm_persist_end(machine);
-                    st.row_log
-                        .host_clear(machine)
-                        .map_err(|_| LaunchError::Sim(SimError::Invalid("clear")))?;
-                }
-            }
+            self.apply_batch_gauged(
+                machine,
+                st,
+                b,
+                p.rows_per_insert,
+                &mut count,
+                Mode::Gpm,
+                gauge,
+            )?;
             *committed = b + 1;
         }
         Ok(())
     }
 
-    fn recover(&self, machine: &mut Machine, st: &DbState) -> SimResult<()> {
+    /// Restores the durable image after a crash: metadata rollback for
+    /// INSERTs, HCL undo drain for UPDATEs. Public so a serving frontend
+    /// can replay recovery when it boots a shard over a crashed machine
+    /// image, before admitting traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn recover(&self, machine: &mut Machine, st: &DbState) -> SimResult<()> {
         match self.params.op {
             DbOp::Insert => {
                 // Restore the table size from the metadata log if an insert

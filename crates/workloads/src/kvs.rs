@@ -22,8 +22,12 @@ use gpm_gpu::{
 };
 use gpm_sim::{Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult};
 
-use crate::metrics::{metered, Mode, RunMetrics};
+use crate::metrics::{metered, BatchMetrics, Mode, RunMetrics};
 use crate::oracle::RecoveryOracle;
+
+/// One gpKVS request: `(key, value, is_get)`. GETs ignore the value and
+/// write their result into the state's result buffer at the op's index.
+pub type KvsOp = (u64, u64, bool);
 
 /// Ways per set (MegaKV-style set-associative layout).
 pub const WAYS: u64 = 8;
@@ -108,7 +112,12 @@ pub struct KvsWorkload {
     pub inject_recovery_bug: bool,
 }
 
-struct KvsState {
+/// Live gpKVS instance state: the PM table, its HBM mirror, the batch
+/// buffers, the undo log and the transaction flag. Created once by
+/// [`KvsWorkload::setup`] and reused across batches — the closed-loop suite
+/// owns one per run, a `gpm-serve` shard owns one per shard.
+#[derive(Debug)]
+pub struct KvsState {
     pm_table: u64,
     hbm_table: u64,
     flag: TxnFlag,
@@ -144,7 +153,13 @@ impl KvsWorkload {
         LaunchConfig::for_elements(self.params.ops_per_batch * THREAD_GROUP, 256)
     }
 
-    fn setup(&self, machine: &mut Machine, mode: Mode) -> SimResult<KvsState> {
+    /// Allocates the table, mirror, batch buffers, undo log and transaction
+    /// flag on `machine` (durable setup, untimed).
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation or PM-file errors.
+    pub fn setup(&self, machine: &mut Machine, mode: Mode) -> SimResult<KvsState> {
         let p = &self.params;
         let pm_table = gpm_map(machine, "/pm/gpkvs/table", p.table_bytes(), true)?.offset;
         let flag = TxnFlag::create(machine, "/pm/gpkvs/flag")?;
@@ -244,6 +259,7 @@ impl KvsWorkload {
     fn batch_kernel(
         &self,
         st: &KvsState,
+        n_ops: u64,
         to_pm: bool,
         persist: bool,
     ) -> impl gpm_gpu::Kernel<State = (), Shared = ()> + '_ {
@@ -261,7 +277,7 @@ impl KvsWorkload {
         Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
             let tid = ctx.global_id();
             let op = tid / THREAD_GROUP;
-            if op >= p.ops_per_batch {
+            if op >= n_ops {
                 return Ok(());
             }
             let key = ctx.ld_u64(Addr::hbm(keys + op * 8))?;
@@ -328,72 +344,155 @@ impl KvsWorkload {
         }))
     }
 
-    fn run_batches(&self, machine: &mut Machine, st: &KvsState, mode: Mode) -> SimResult<()> {
+    /// Applies one batch of operations through the shared kernel-launch
+    /// path: upload + launch + persist/commit protocol for `mode`. `seq`
+    /// numbers the transaction (the flag records `seq + 1`). This is the
+    /// single entry point both the closed-loop suite and the `gpm-serve`
+    /// frontend drive — there is no second kernel-launch code path.
+    ///
+    /// Batches may be any size up to [`KvsParams::ops_per_batch`] (the
+    /// buffer capacity).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unsupported modes, oversized batches, or platform errors.
+    pub fn apply_batch(
+        &self,
+        machine: &mut Machine,
+        st: &KvsState,
+        seq: u64,
+        ops: &[KvsOp],
+        mode: Mode,
+    ) -> SimResult<BatchMetrics> {
+        match self.apply_batch_gauged(machine, st, seq, ops, mode, &mut FuelGauge::Unlimited) {
+            Ok(m) => Ok(m),
+            Err(LaunchError::Crashed(_)) => unreachable!("unlimited gauge never crashes"),
+            Err(LaunchError::Sim(e)) => Err(e),
+        }
+    }
+
+    /// [`apply_batch`](KvsWorkload::apply_batch) driven through a
+    /// [`FuelGauge`], so callers can record crash schedules or inject a
+    /// mid-batch crash (the `gpm-serve` retry drill and the campaign both
+    /// ride this).
+    ///
+    /// # Errors
+    ///
+    /// [`LaunchError::Crashed`] when the gauge's fuel runs out mid-kernel;
+    /// [`LaunchError::Sim`] on functional errors.
+    pub fn apply_batch_gauged(
+        &self,
+        machine: &mut Machine,
+        st: &KvsState,
+        seq: u64,
+        ops: &[KvsOp],
+        mode: Mode,
+        gauge: &mut FuelGauge,
+    ) -> Result<BatchMetrics, LaunchError> {
         let p = &self.params;
-        for b in 0..p.batches {
-            let ops = self.gen_batch(b);
-            self.upload_batch(machine, st, &ops)?;
-            match mode {
-                Mode::Gpm => {
-                    st.flag.begin(machine, b as u64 + 1)?;
-                    gpm_persist_begin(machine);
-                    launch(
-                        machine,
-                        self.launch_cfg(),
-                        &self.batch_kernel(st, true, true),
-                    )?;
-                    gpm_persist_end(machine);
-                    st.flag.commit(machine)?;
-                    st.log
-                        .host_clear(machine)
-                        .map_err(|_| SimError::Invalid("log clear failed"))?;
-                }
-                Mode::GpmNdp => {
-                    launch(
-                        machine,
-                        self.launch_cfg(),
-                        &self.batch_kernel(st, true, false),
-                    )?;
-                    // CPU guarantees persistence for the whole table + log.
-                    flush_from_cpu(machine, st.pm_table, p.table_bytes(), p.cap_threads);
-                    flush_from_cpu(
-                        machine,
-                        st.log.region.offset,
-                        st.log.region.len,
-                        p.cap_threads,
-                    );
-                    // Batch committed: truncate the undo log.
-                    st.log
-                        .host_clear(machine)
-                        .map_err(|_| SimError::Invalid("clear"))?;
-                }
-                Mode::CapFs | Mode::CapMm => {
-                    launch(
-                        machine,
-                        self.launch_cfg(),
-                        &self.batch_kernel(st, false, false),
-                    )?;
-                    let flavor = if mode == Mode::CapFs {
-                        CapFlavor::Fs
-                    } else {
-                        CapFlavor::Mm {
-                            threads: p.cap_threads,
-                        }
-                    };
-                    cap_persist_region(
-                        machine,
-                        flavor,
-                        st.hbm_table,
-                        st.staging_dram,
-                        st.cap_pm,
-                        p.table_bytes(),
-                    )?;
-                }
-                Mode::Gpufs | Mode::CpuPm => {
-                    return Err(SimError::Invalid("mode unsupported for gpKVS"));
-                }
+        if ops.len() as u64 > p.ops_per_batch {
+            return Err(LaunchError::Sim(SimError::Invalid(
+                "batch exceeds the ops_per_batch buffer capacity",
+            )));
+        }
+        let t0 = machine.clock.now();
+        let s0 = machine.stats;
+        self.upload_batch(machine, st, ops)
+            .map_err(LaunchError::Sim)?;
+        let n = ops.len() as u64;
+        let cfg = LaunchConfig::for_elements(n * THREAD_GROUP, 256);
+        match mode {
+            Mode::Gpm => {
+                st.flag.begin(machine, seq + 1).map_err(LaunchError::Sim)?;
+                gpm_persist_begin(machine);
+                launch_with_gauge(machine, cfg, &self.batch_kernel(st, n, true, true), gauge)?;
+                gpm_persist_end(machine);
+                st.flag.commit(machine).map_err(LaunchError::Sim)?;
+                st.log
+                    .host_clear(machine)
+                    .map_err(|_| LaunchError::Sim(SimError::Invalid("log clear failed")))?;
+            }
+            Mode::GpmNdp => {
+                launch_with_gauge(machine, cfg, &self.batch_kernel(st, n, true, false), gauge)?;
+                // CPU guarantees persistence for the whole table + log.
+                flush_from_cpu(machine, st.pm_table, p.table_bytes(), p.cap_threads);
+                flush_from_cpu(
+                    machine,
+                    st.log.region.offset,
+                    st.log.region.len,
+                    p.cap_threads,
+                );
+                // Batch committed: truncate the undo log.
+                st.log
+                    .host_clear(machine)
+                    .map_err(|_| LaunchError::Sim(SimError::Invalid("clear")))?;
+            }
+            Mode::CapFs | Mode::CapMm => {
+                launch_with_gauge(machine, cfg, &self.batch_kernel(st, n, false, false), gauge)?;
+                let flavor = if mode == Mode::CapFs {
+                    CapFlavor::Fs
+                } else {
+                    CapFlavor::Mm {
+                        threads: p.cap_threads,
+                    }
+                };
+                cap_persist_region(
+                    machine,
+                    flavor,
+                    st.hbm_table,
+                    st.staging_dram,
+                    st.cap_pm,
+                    p.table_bytes(),
+                )
+                .map_err(LaunchError::Sim)?;
+            }
+            Mode::Gpufs | Mode::CpuPm => {
+                return Err(LaunchError::Sim(SimError::Invalid(
+                    "mode unsupported for gpKVS",
+                )));
             }
         }
+        let d = machine.stats.delta(&s0);
+        Ok(BatchMetrics {
+            ops: n,
+            elapsed: machine.clock.now() - t0,
+            pm_write_bytes_gpu: d.pm_write_bytes_gpu,
+            bytes_persisted: d.bytes_persisted,
+        })
+    }
+
+    fn run_batches(&self, machine: &mut Machine, st: &KvsState, mode: Mode) -> SimResult<()> {
+        for b in 0..self.params.batches {
+            let ops = self.gen_batch(b);
+            self.apply_batch(machine, st, b as u64, &ops, mode)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the result slot a GET at batch index `op_index` wrote (serving
+    /// frontends return this value to the client).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn get_result(&self, machine: &Machine, st: &KvsState, op_index: u64) -> SimResult<u64> {
+        machine.read_u64(Addr::hbm(st.get_results + op_index * 8))
+    }
+
+    /// Rebuilds the volatile HBM mirror from the durable PM table after a
+    /// crash (one PM→GPU sweep over PCIe), so a recovered instance can
+    /// serve GETs out of HBM again. Timed as a bulk DMA.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn rebuild_mirror(&self, machine: &mut Machine, st: &KvsState) -> SimResult<()> {
+        let bytes = self.params.table_bytes();
+        let mut buf = vec![0u8; bytes as usize];
+        machine.read(Addr::pm(st.pm_table), &mut buf)?;
+        machine.host_write(Addr::hbm(st.hbm_table), &buf)?;
+        let t = machine.cfg.dma_init_overhead + Ns(bytes as f64 / machine.cfg.pcie_bw);
+        machine.clock.advance(t);
         Ok(())
     }
 
@@ -481,7 +580,11 @@ impl KvsWorkload {
                 self.upload_batch(m, &st, &ops)?;
                 st.flag.begin(m, b as u64 + 1)?;
                 gpm_persist_begin(m);
-                launch(m, self.launch_cfg(), &self.batch_kernel(&st, true, true))?;
+                launch(
+                    m,
+                    self.launch_cfg(),
+                    &self.batch_kernel(&st, p.ops_per_batch, true, true),
+                )?;
                 gpm_persist_end(m);
                 if b + 1 < p.batches {
                     st.flag.commit(m)?;
@@ -525,7 +628,7 @@ impl KvsWorkload {
         match launch_with_fuel(
             machine,
             self.launch_cfg(),
-            &self.batch_kernel(&st, true, true),
+            &self.batch_kernel(&st, self.params.ops_per_batch, true, true),
             fuel,
         ) {
             Ok(_) => {
@@ -555,7 +658,13 @@ impl KvsWorkload {
 
     /// The recovery kernel (Figure 6b): undo logged insertions, newest
     /// first, removing each entry only after the store is persisted.
-    fn recover(&self, machine: &mut Machine, st: &KvsState) -> SimResult<()> {
+    /// Public so a serving frontend can replay recovery when it boots a
+    /// shard over a crashed machine image, before admitting traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn recover(&self, machine: &mut Machine, st: &KvsState) -> SimResult<()> {
         match self.recover_gauged(machine, st, &mut FuelGauge::Unlimited) {
             Ok(()) => Ok(()),
             Err(LaunchError::Crashed(_)) => unreachable!("unlimited gauge never crashes"),
@@ -639,26 +748,9 @@ impl KvsWorkload {
         gauge: &mut FuelGauge,
         committed: &mut u32,
     ) -> Result<(), LaunchError> {
-        let p = &self.params;
-        for b in 0..p.batches {
+        for b in 0..self.params.batches {
             let ops = self.gen_batch(b);
-            self.upload_batch(machine, st, &ops)
-                .map_err(LaunchError::Sim)?;
-            st.flag
-                .begin(machine, b as u64 + 1)
-                .map_err(LaunchError::Sim)?;
-            gpm_persist_begin(machine);
-            launch_with_gauge(
-                machine,
-                self.launch_cfg(),
-                &self.batch_kernel(st, true, true),
-                gauge,
-            )?;
-            gpm_persist_end(machine);
-            st.flag.commit(machine).map_err(LaunchError::Sim)?;
-            st.log
-                .host_clear(machine)
-                .map_err(|_| LaunchError::Sim(SimError::Invalid("log clear failed")))?;
+            self.apply_batch_gauged(machine, st, b as u64, &ops, Mode::Gpm, gauge)?;
             *committed = b + 1;
         }
         Ok(())
@@ -691,7 +783,7 @@ impl KvsWorkload {
         match launch_with_fuel(
             machine,
             self.launch_cfg(),
-            &self.batch_kernel(&st, true, true),
+            &self.batch_kernel(&st, self.params.ops_per_batch, true, true),
             fuel,
         ) {
             Ok(_) => {

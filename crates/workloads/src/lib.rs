@@ -57,15 +57,15 @@ pub mod suite;
 pub use bfs::{BfsParams, BfsWorkload};
 pub use blackscholes::{BlkParams, BlkWorkload};
 pub use cfd::{CfdParams, CfdWorkload};
-pub use db::{DbOp, DbParams, DbWorkload};
+pub use db::{DbOp, DbParams, DbState, DbWorkload};
 pub use dnn::{DnnParams, DnnWorkload};
 pub use hotspot::{HotspotParams, HotspotWorkload};
 pub use iterative::{
     checkpoint_latency, checkpoint_oracle, run_iterative, run_iterative_with_recovery,
     CheckpointOracle, IterativeApp,
 };
-pub use kvs::{KvsParams, KvsWorkload};
-pub use metrics::{metered, Category, Mode, RunMetrics};
+pub use kvs::{KvsOp, KvsParams, KvsState, KvsWorkload};
+pub use metrics::{metered, BatchMetrics, Category, LatencyHistogram, Mode, RunMetrics};
 pub use oracle::{oracle_suite, RecoveryOracle};
 pub use prefix_sum::{PsParams, PsWorkload};
 pub use srad::{SradParams, SradWorkload};
