@@ -1,0 +1,281 @@
+//! Perf-regression comparison over `BENCH_engine.json` files.
+//!
+//! The enginebench schema (`gpm-enginebench-v2`) writes one bench object
+//! per line, so this module gets away with a line-oriented scanner instead
+//! of a JSON parser — keeping the gate dependency-free. A bench line looks
+//! like:
+//!
+//! ```text
+//!     {"name": "coalesced_store_1m", ..., "ops_per_sec": 12345678.9, ...}
+//! ```
+//!
+//! [`diff`] compares a current run against a committed baseline and flags
+//! every bench whose `ops_per_sec` fell below `baseline * (1 - tolerance)`,
+//! plus benches that vanished outright. Wall-clock throughput is noisy, so
+//! the CI gate runs enginebench twice (warm-up, then measure) and uses a
+//! generous default tolerance; see `.github/workflows/ci.yml`.
+
+use std::fmt::Write as _;
+
+/// Default relative slowdown tolerated before the gate fails (±20%).
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// One bench extracted from a results file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchLine {
+    /// The bench's `"name"` field.
+    pub name: String,
+    /// The bench's `"ops_per_sec"` field (wall-clock throughput).
+    pub ops_per_sec: f64,
+    /// The raw JSON line, for offender reports.
+    pub raw: String,
+}
+
+/// A bench that fell outside the tolerance band.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Bench name.
+    pub name: String,
+    /// Baseline throughput (ops/s).
+    pub baseline: f64,
+    /// Current throughput (ops/s).
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Raw baseline JSON line.
+    pub baseline_line: String,
+    /// Raw current JSON line.
+    pub current_line: String,
+}
+
+/// Outcome of one baseline/current comparison.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Benches present in both files and compared.
+    pub compared: usize,
+    /// Benches slower than the tolerance allows.
+    pub regressions: Vec<Regression>,
+    /// Benches in the baseline but absent from the current run.
+    pub missing: Vec<String>,
+    /// Benches in the current run but absent from the baseline (allowed;
+    /// reported for visibility).
+    pub added: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when no bench regressed or disappeared.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Human-readable summary, one line per compared bench, offenders
+    /// flagged. This is exactly what the `benchdiff` binary prints.
+    #[must_use]
+    pub fn render(&self, tolerance: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "benchdiff: {} compared, {} regressed, {} missing, {} added (tolerance {:.0}%)",
+            self.compared,
+            self.regressions.len(),
+            self.missing.len(),
+            self.added.len(),
+            tolerance * 100.0
+        );
+        for r in &self.regressions {
+            let _ = writeln!(
+                out,
+                "REGRESSION {}: {:.0} -> {:.0} ops/s ({:.1}% of baseline)",
+                r.name,
+                r.baseline,
+                r.current,
+                r.ratio * 100.0
+            );
+            let _ = writeln!(out, "  baseline: {}", r.baseline_line.trim());
+            let _ = writeln!(out, "  current:  {}", r.current_line.trim());
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "MISSING {name}: in baseline but not in current run");
+        }
+        for name in &self.added {
+            let _ = writeln!(out, "added {name}: not in baseline (ignored)");
+        }
+        out
+    }
+}
+
+/// Extracts the value of a `"key": "string"` field from a JSON line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the value of a `"key": number` field from a JSON line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Scans an enginebench JSON document for bench lines.
+///
+/// Lines lacking either a `name` or an `ops_per_sec` field are skipped, so
+/// headers, schema fields and footers fall through harmlessly.
+#[must_use]
+pub fn parse_benches(json: &str) -> Vec<BenchLine> {
+    json.lines()
+        .filter_map(|line| {
+            let name = str_field(line, "name")?;
+            let ops_per_sec = num_field(line, "ops_per_sec")?;
+            Some(BenchLine {
+                name,
+                ops_per_sec,
+                raw: line.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Compares two enginebench JSON documents.
+///
+/// A bench regresses when `current < baseline * (1 - tolerance)`.
+/// Improvements never fail the gate (a faster engine is not a bug); the
+/// baseline is refreshed by committing a new `BENCH_engine.json`.
+///
+/// # Errors
+///
+/// Returns a message when either document contains no bench lines at all —
+/// an empty comparison would vacuously pass and hide a broken harness.
+pub fn diff(baseline: &str, current: &str, tolerance: f64) -> Result<DiffReport, String> {
+    let base = parse_benches(baseline);
+    let cur = parse_benches(current);
+    if base.is_empty() {
+        return Err("baseline contains no bench lines".to_string());
+    }
+    if cur.is_empty() {
+        return Err("current run contains no bench lines".to_string());
+    }
+    let mut report = DiffReport::default();
+    for b in &base {
+        match cur.iter().find(|c| c.name == b.name) {
+            None => report.missing.push(b.name.clone()),
+            Some(c) => {
+                report.compared += 1;
+                if c.ops_per_sec < b.ops_per_sec * (1.0 - tolerance) {
+                    report.regressions.push(Regression {
+                        name: b.name.clone(),
+                        baseline: b.ops_per_sec,
+                        current: c.ops_per_sec,
+                        ratio: if b.ops_per_sec > 0.0 {
+                            c.ops_per_sec / b.ops_per_sec
+                        } else {
+                            0.0
+                        },
+                        baseline_line: b.raw.clone(),
+                        current_line: c.raw.clone(),
+                    });
+                }
+            }
+        }
+    }
+    for c in &cur {
+        if !base.iter().any(|b| b.name == c.name) {
+            report.added.push(c.name.clone());
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(benches: &[(&str, f64)]) -> String {
+        let mut out = String::from(
+            "{\n  \"schema\": \"gpm-enginebench-v2\",\n  \"engine_threads\": 4,\n  \"benches\": [\n",
+        );
+        for (i, (name, ops)) in benches.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{name}\", \"threads\": 64, \"ops\": 100, \"reps\": 3, \
+                 \"best_wall_s\": 0.1, \"ops_per_sec\": {ops:.1}, \"sim_elapsed_ns\": 5.0}}{}",
+                if i + 1 < benches.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    #[test]
+    fn parses_real_shape() {
+        let benches = parse_benches(&doc(&[("a", 1000.0), ("b", 2000.0)]));
+        assert_eq!(benches.len(), 2);
+        assert_eq!(benches[0].name, "a");
+        assert!((benches[1].ops_per_sec - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let d = doc(&[("a", 1000.0)]);
+        let report = diff(&d, &d, DEFAULT_TOLERANCE).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn two_x_slowdown_fails_and_names_the_offender() {
+        let base = doc(&[("a", 1000.0), ("b", 1000.0)]);
+        let cur = doc(&[("a", 1000.0), ("b", 500.0)]);
+        let report = diff(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].name, "b");
+        let rendered = report.render(DEFAULT_TOLERANCE);
+        assert!(rendered.contains("REGRESSION b"));
+        assert!(rendered.contains("\"ops_per_sec\": 500.0"));
+    }
+
+    #[test]
+    fn slowdown_inside_tolerance_passes() {
+        let base = doc(&[("a", 1000.0)]);
+        let cur = doc(&[("a", 850.0)]);
+        assert!(diff(&base, &cur, DEFAULT_TOLERANCE).unwrap().passed());
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let base = doc(&[("a", 1000.0)]);
+        let cur = doc(&[("a", 5000.0)]);
+        assert!(diff(&base, &cur, DEFAULT_TOLERANCE).unwrap().passed());
+    }
+
+    #[test]
+    fn missing_bench_fails() {
+        let base = doc(&[("a", 1000.0), ("b", 1000.0)]);
+        let cur = doc(&[("a", 1000.0)]);
+        let report = diff(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn added_bench_is_tolerated() {
+        let base = doc(&[("a", 1000.0)]);
+        let cur = doc(&[("a", 1000.0), ("new", 1.0)]);
+        let report = diff(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.added, vec!["new".to_string()]);
+    }
+
+    #[test]
+    fn empty_documents_error() {
+        let d = doc(&[("a", 1000.0)]);
+        assert!(diff("{}", &d, DEFAULT_TOLERANCE).is_err());
+        assert!(diff(&d, "{}", DEFAULT_TOLERANCE).is_err());
+    }
+}

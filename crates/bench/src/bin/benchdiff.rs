@@ -1,0 +1,56 @@
+//! CI perf-regression gate: compares a fresh `BENCH_engine.json` against a
+//! committed baseline and exits non-zero when any bench slowed beyond the
+//! tolerance (or disappeared).
+//!
+//! Usage: `benchdiff <baseline.json> <current.json> [--tolerance F]`
+//! where `F` is the allowed relative slowdown (default 0.20 = ±20%).
+//!
+//! Exit codes: 0 pass, 1 regression/missing bench, 2 usage or read error.
+
+use gpm_bench::benchdiff::{diff, DEFAULT_TOLERANCE};
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a value")
+                    .parse()
+                    .expect("--tolerance needs a number in (0, 1)");
+                assert!(
+                    tolerance > 0.0 && tolerance < 1.0,
+                    "--tolerance needs a number in (0, 1)"
+                );
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: benchdiff <baseline.json> <current.json> [--tolerance F]");
+        std::process::exit(2);
+    }
+    let read = |p: &str| -> String {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("benchdiff: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&paths[0]);
+    let current = read(&paths[1]);
+    match diff(&baseline, &current, tolerance) {
+        Ok(report) => {
+            print!("{}", report.render(tolerance));
+            if !report.passed() {
+                std::process::exit(1);
+            }
+        }
+        Err(msg) => {
+            eprintln!("benchdiff: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

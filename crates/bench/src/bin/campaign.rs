@@ -18,13 +18,16 @@
 //! - `--inject-bug`        self-test: run gpKVS with a deliberately broken
 //!   recovery (one undo-log entry dropped); the campaign must FAIL
 //! - `--out PATH`          JSON output path (default `BENCH_campaign.json`)
+//! - `--trace PATH`        write a Chrome trace-event JSON (schema
+//!   `gpm-trace-v1`) of the traced runs: in repro mode the single case,
+//!   otherwise each workload's schedule-recording run
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use gpm_sim::{
-    enumerate_cases, run_campaign, CampaignConfig, CampaignStats, CrashPolicy, CrashSchedule,
-    Machine,
+    chrome_trace_json, enumerate_cases, run_campaign, CampaignConfig, CampaignStats, CrashPolicy,
+    CrashSchedule, Machine, RingSink, TraceData,
 };
 use gpm_workloads::{oracle_suite, KvsParams, KvsWorkload, RecoveryOracle, Scale};
 
@@ -36,6 +39,7 @@ struct Opts {
     max_points: Option<usize>,
     inject_bug: bool,
     out: String,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -47,6 +51,7 @@ fn parse_args() -> Opts {
         max_points: None,
         inject_bug: false,
         out: "BENCH_campaign.json".to_string(),
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -79,6 +84,7 @@ fn parse_args() -> Opts {
                 );
             }
             "--out" => opts.out = args.next().expect("--out needs a path"),
+            "--trace" => opts.trace = Some(args.next().expect("--trace needs a path")),
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -112,6 +118,18 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Writes the collected per-run traces as one Chrome trace-event JSON.
+fn write_trace(path: &str, shards: &[(String, TraceData)], stats_bytes: u64) {
+    let refs: Vec<(String, &TraceData)> = shards.iter().map(|(n, d)| (n.clone(), d)).collect();
+    let json = chrome_trace_json(&refs, stats_bytes);
+    std::fs::write(path, &json).expect("write trace JSON");
+    let events: usize = shards.iter().map(|(_, d)| d.events.len()).sum();
+    println!(
+        "wrote {path} ({events} events over {} traced runs)",
+        shards.len()
+    );
 }
 
 struct WorkloadReport {
@@ -214,11 +232,23 @@ fn main() {
         let policy = opts.policy.expect("--fuel needs --policy");
         assert!(opts.workload.is_some(), "--fuel needs --workload");
         let mut failed = false;
+        let mut traced: Vec<(String, TraceData)> = Vec::new();
+        let mut trace_bytes = 0u64;
         for o in &mut oracles {
             let mut m = Machine::default();
+            if opts.trace.is_some() {
+                m.set_trace_sink(Box::new(RingSink::new(1 << 20)));
+            }
             let v = o.run_case(&mut m, fuel, policy).expect("platform error");
             println!("{}: fuel={fuel} policy={policy} -> {v:?}", o.name());
             failed |= !v.passed();
+            if let Some(data) = m.finish_trace() {
+                trace_bytes += m.stats.bytes_persisted;
+                traced.push((o.name().to_string(), data));
+            }
+        }
+        if let Some(path) = &opts.trace {
+            write_trace(path, &traced, trace_bytes);
         }
         if opts.inject_bug {
             // Self-test: the deliberately broken recovery MUST be caught by
@@ -245,10 +275,19 @@ fn main() {
 
     let t0 = Instant::now();
     let mut reports: Vec<WorkloadReport> = Vec::new();
+    let mut traced: Vec<(String, TraceData)> = Vec::new();
+    let mut trace_bytes = 0u64;
     for o in &mut oracles {
         let name = o.name();
         let mut m = Machine::default();
+        if opts.trace.is_some() {
+            m.set_trace_sink(Box::new(RingSink::new(1 << 20)));
+        }
         let sched: CrashSchedule = o.record(&mut m).expect("schedule recording failed");
+        if let Some(data) = m.finish_trace() {
+            trace_bytes += m.stats.bytes_persisted;
+            traced.push((name.to_string(), data));
+        }
         let cases = enumerate_cases(&sched, &cfg);
         println!(
             "{name:>10}: {} boundaries over {} ops -> {} cases",
@@ -300,6 +339,9 @@ fn main() {
     let json = to_json(&reports, scale, &cfg);
     std::fs::write(&opts.out, &json).expect("write campaign JSON");
     println!("wrote {}", opts.out);
+    if let Some(path) = &opts.trace {
+        write_trace(path, &traced, trace_bytes);
+    }
 
     if opts.inject_bug {
         // Self-test: the broken recovery MUST be caught.

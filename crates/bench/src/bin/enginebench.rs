@@ -13,13 +13,16 @@
 //! simulated counters in the output double as a coarse determinism check.
 //!
 //! Flags: `--filter <substr>` runs only benches whose name contains the
-//! substring; `--reps <n>` overrides the repetition count (default 3).
+//! substring; `--reps <n>` overrides the repetition count (default 3);
+//! `--trace <path>` additionally runs one small untimed kernel with a
+//! trace sink installed and writes a Chrome trace-event JSON (schema
+//! `gpm-trace-v1`) there.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use gpm_gpu::{launch, resolved_engine_threads, FnKernel, LaunchConfig, ThreadCtx};
-use gpm_sim::{Addr, Machine, Ns};
+use gpm_sim::{chrome_trace_json, Addr, Machine, Ns, RingSink};
 use gpm_workloads::{suite, Mode, Scale};
 
 /// Default timed repetitions per bench (the best wall time is reported,
@@ -201,12 +204,14 @@ fn to_json(results: &[BenchResult], engine_threads: u32) -> String {
 struct Opts {
     filter: Option<String>,
     reps: usize,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Opts {
     let mut opts = Opts {
         filter: None,
         reps: DEFAULT_REPS,
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -222,10 +227,39 @@ fn parse_args() -> Opts {
                     .expect("--reps needs a positive integer");
                 assert!(opts.reps > 0, "--reps needs a positive integer");
             }
-            other => panic!("unknown flag {other:?} (expected --filter or --reps)"),
+            "--trace" => opts.trace = Some(args.next().expect("--trace needs a path")),
+            other => panic!("unknown flag {other:?} (expected --filter, --reps or --trace)"),
         }
     }
     opts
+}
+
+/// One small untimed fence-heavy kernel with a trace sink installed; the
+/// timed benches above always run untraced so `--trace` cannot perturb
+/// their wall-clock numbers.
+fn traced_smoke(path: &str) {
+    const GRID: u32 = 8;
+    const BLOCK: u32 = 64;
+    let threads = GRID as u64 * BLOCK as u64;
+    let mut m = Machine::default();
+    m.set_trace_sink(Box::new(RingSink::new(1 << 20)));
+    let pm = m.alloc_pm(threads * 8).unwrap();
+    m.set_ddio(false);
+    let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+        let i = ctx.global_id();
+        ctx.st_u64(Addr::pm(pm + i * 8), i)?;
+        ctx.threadfence_system()
+    });
+    launch(&mut m, LaunchConfig::new(GRID, BLOCK), &k).expect("traced smoke kernel");
+    let stats_bytes = m.stats.bytes_persisted;
+    let data = m.finish_trace().expect("ring sink returns trace data");
+    let json = chrome_trace_json(&[("engine".to_string(), &data)], stats_bytes);
+    std::fs::write(path, &json).expect("write trace JSON");
+    println!(
+        "wrote {path} ({} events, {} bytes persisted)",
+        data.events.len(),
+        stats_bytes
+    );
 }
 
 fn main() {
@@ -263,4 +297,7 @@ fn main() {
     let path = "BENCH_engine.json";
     std::fs::write(path, &json).expect("write BENCH_engine.json");
     println!("wrote {path}");
+    if let Some(trace_path) = &opts.trace {
+        traced_smoke(trace_path);
+    }
 }

@@ -12,6 +12,8 @@
 //! - `--seed N`      traffic seed (default 42)
 //! - `--slo-us F`    p99 SLO in microseconds (default 500)
 //! - `--out PATH`    JSON output path (default `BENCH_serve.json`)
+//! - `--trace PATH`  also run one traced cluster and write a Chrome
+//!   trace-event JSON (schema `gpm-trace-v1`, loadable in Perfetto)
 
 use std::fmt::Write as _;
 
@@ -19,7 +21,7 @@ use gpm_serve::{
     run_cluster, ArrivalShape, BackendKind, BatchPolicy, ClusterConfig, ClusterOutcome, FaultPlan,
     TrafficConfig,
 };
-use gpm_sim::Ns;
+use gpm_sim::{chrome_trace_json, Ns, TraceData};
 use gpm_workloads::{DbParams, KvsParams};
 
 struct Opts {
@@ -27,6 +29,7 @@ struct Opts {
     seed: u64,
     slo_us: f64,
     out: String,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -35,6 +38,7 @@ fn parse_args() -> Opts {
         seed: 42,
         slo_us: 500.0,
         out: "BENCH_serve.json".to_string(),
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,6 +59,7 @@ fn parse_args() -> Opts {
                     .expect("--slo-us needs a number");
             }
             "--out" => opts.out = args.next().expect("--out needs a path"),
+            "--trace" => opts.trace = Some(args.next().expect("--trace needs a path")),
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -268,6 +273,8 @@ fn main() {
     // zero shed, and the first overload point past it.
     let mut knees = String::new();
     let mut first = true;
+    let mut any_knee = false;
+    let mut any_overload = false;
     for &shards in &shard_counts {
         for np in &policies(opts.quick) {
             let line: Vec<&Point> = points
@@ -284,6 +291,8 @@ fn main() {
                 .filter(|p| p.out.hist.percentile(0.99) > slo && p.out.shed > 0)
                 .map(|p| p.load_mops)
                 .fold(None::<f64>, |acc, l| Some(acc.map_or(l, |a: f64| a.min(l))));
+            any_knee |= knee.is_some();
+            any_overload |= overload.is_some();
             let _ = write!(
                 knees,
                 "{}    {{\"shards\": {}, \"policy\": \"{}\", \"knee_load_mops\": {}, \
@@ -370,4 +379,51 @@ fn main() {
 
     std::fs::write(&opts.out, &json).expect("write serve JSON");
     println!("wrote {}", opts.out);
+
+    // Optional traced cluster run: one small deterministic cluster with a
+    // RingSink on every shard, exported as Chrome trace-event JSON. The
+    // sweep above runs untraced so `--trace` cannot perturb its numbers.
+    if let Some(path) = &opts.trace {
+        let cfg = ClusterConfig {
+            shards: 2,
+            kvs: KvsParams::quick(),
+            trace_events: Some(1 << 20),
+            ..ClusterConfig::quick()
+        };
+        let reqs = traffic(opts.seed, 1.0, n_requests.min(3_000), ArrivalShape::Poisson).generate();
+        let traced = run_cluster(&cfg, &reqs).expect("traced run failed");
+        let stats_bytes: u64 = traced.shards.iter().map(|r| r.stats.bytes_persisted).sum();
+        let shard_traces: Vec<(String, &TraceData)> = traced
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let data = r.trace.as_ref().expect("trace sink was installed");
+                (format!("shard{i}"), data)
+            })
+            .collect();
+        let events: usize = shard_traces.iter().map(|(_, d)| d.events.len()).sum();
+        let trace_json = chrome_trace_json(&shard_traces, stats_bytes);
+        std::fs::write(path, &trace_json).expect("write trace JSON");
+        println!(
+            "wrote {path} ({events} events over {} shards, {stats_bytes} bytes persisted)",
+            shard_traces.len()
+        );
+    }
+
+    // A quick sweep that never finds its knee (or never drives the stack
+    // into overload) is a broken benchmark; fail loudly so CI notices
+    // instead of archiving a useless JSON.
+    if !any_knee || !any_overload {
+        eprintln!(
+            "serve: sweep found {} and {} — widen the load grid",
+            if any_knee { "a knee" } else { "NO knee" },
+            if any_overload {
+                "an overload point"
+            } else {
+                "NO overload point"
+            },
+        );
+        std::process::exit(1);
+    }
 }

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod benchdiff;
 pub mod figures;
 pub mod microbench;
 pub mod report;

@@ -110,3 +110,115 @@ fn serve_quick_is_byte_deterministic_and_reports_a_knee() {
     });
     assert!(overloaded, "sweep must contain an overloaded point");
 }
+
+/// `--trace` must write a Perfetto-loadable Chrome trace that is
+/// byte-identical run to run, with a `gpm-trace-v1` footer whose
+/// attributed bytes reconcile (the exporter asserts the per-phase sums
+/// internally; here we check the file-level contract).
+#[test]
+fn serve_trace_is_byte_deterministic_and_well_formed() {
+    let run = |out: &PathBuf, trace: &PathBuf| {
+        let status = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args(["--quick", "--out"])
+            .arg(out)
+            .arg("--trace")
+            .arg(trace)
+            .status()
+            .expect("run serve");
+        assert!(status.success(), "serve --quick --trace must exit zero");
+        std::fs::read_to_string(trace).expect("read trace JSON")
+    };
+    let a = run(&temp_path("serve_t_a.json"), &temp_path("trace_a.json"));
+    let b = run(&temp_path("serve_t_b.json"), &temp_path("trace_b.json"));
+    assert_eq!(a, b, "trace must be byte-identical run to run");
+    assert!(a.starts_with("{\"traceEvents\":["));
+    assert!(a.contains("\"gpmTrace\""));
+    assert!(a.contains("\"schema\":\"gpm-trace-v1\""));
+    assert!(
+        a.contains("\"name\":\"batch\",\"cat\":\"serve\""),
+        "serve batch spans present"
+    );
+    assert!(
+        a.contains("\"dropped_events\":0"),
+        "the quick trace must fit the default ring"
+    );
+}
+
+/// The Makefile's bench/campaign/serve recipes must propagate the
+/// binaries' exit codes: no `|| true`-style swallowing and no make `-`
+/// ignore-error prefix, otherwise CI green-lights broken runs.
+#[test]
+fn makefile_recipes_do_not_swallow_exit_codes() {
+    let makefile =
+        std::fs::read_to_string(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../Makefile"))
+            .expect("read Makefile");
+    let mut in_target = false;
+    let mut recipe_lines = 0;
+    for line in makefile.lines() {
+        if !line.starts_with('\t') {
+            in_target = [
+                "bench-json",
+                "campaign-quick",
+                "serve-quick",
+                "campaign",
+                "serve",
+            ]
+            .iter()
+            .any(|t| line.starts_with(&format!("{t}:")));
+            continue;
+        }
+        if !in_target {
+            continue;
+        }
+        recipe_lines += 1;
+        let cmd = line.trim_start();
+        assert!(
+            !cmd.contains("|| true") && !cmd.contains("|| :"),
+            "recipe swallows exit code: {line:?}"
+        );
+        assert!(
+            !cmd.starts_with('-'),
+            "recipe ignores errors via make's '-' prefix: {line:?}"
+        );
+    }
+    assert!(recipe_lines > 0, "expected bench/campaign/serve recipes");
+}
+
+/// The perf gate: a 2× slowdown on one bench must make `benchdiff` exit
+/// non-zero and name the offending lines; identical runs must pass.
+#[test]
+fn benchdiff_fails_on_two_x_slowdown_and_passes_identical() {
+    let doc = |ops: f64| {
+        format!(
+            "{{\n  \"schema\": \"gpm-enginebench-v2\",\n  \"engine_threads\": 4,\n  \"benches\": [\n    \
+             {{\"name\": \"coalesced_store_1m\", \"threads\": 1048576, \"ops\": 1048576, \"reps\": 3, \
+             \"best_wall_s\": 0.1, \"ops_per_sec\": {ops:.1}, \"sim_elapsed_ns\": 5.0}}\n  ]\n}}\n"
+        )
+    };
+    let base = temp_path("benchdiff_base.json");
+    let same = temp_path("benchdiff_same.json");
+    let slow = temp_path("benchdiff_slow.json");
+    std::fs::write(&base, doc(1_000_000.0)).unwrap();
+    std::fs::write(&same, doc(1_000_000.0)).unwrap();
+    std::fs::write(&slow, doc(500_000.0)).unwrap();
+
+    let run = |cur: &PathBuf| {
+        Command::new(env!("CARGO_BIN_EXE_benchdiff"))
+            .arg(&base)
+            .arg(cur)
+            .output()
+            .expect("run benchdiff")
+    };
+    let ok = run(&same);
+    assert!(ok.status.success(), "identical runs must pass the gate");
+
+    let bad = run(&slow);
+    assert!(!bad.status.success(), "2x slowdown must fail the gate");
+    assert_eq!(bad.status.code(), Some(1));
+    let stdout = String::from_utf8(bad.stdout).unwrap();
+    assert!(stdout.contains("REGRESSION coalesced_store_1m"));
+    assert!(
+        stdout.contains("\"ops_per_sec\": 500000.0"),
+        "offending line must be printed: {stdout}"
+    );
+}

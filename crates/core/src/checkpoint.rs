@@ -15,7 +15,7 @@ use gpm_gpu::{
     launch, launch_with_gauge, FnKernel, FuelGauge, LaunchConfig, LaunchError, ThreadCtx,
 };
 use gpm_sim::cpu::CpuCtx;
-use gpm_sim::{Addr, Machine, Ns, SimError, SimResult, HOST_WRITER};
+use gpm_sim::{Addr, EventKind, Machine, Ns, SimError, SimResult, HOST_WRITER};
 
 use crate::error::{CoreError, CoreResult};
 use crate::map::{gpm_map, with_persist_window, GpmRegion};
@@ -276,9 +276,20 @@ pub fn gpmcp_checkpoint_gauged(
     group: u32,
     gauge: &mut FuelGauge,
 ) -> CoreResult<Ns> {
-    let (_, _, t_copy) = fill_working_gauged(machine, cp, group, true, gauge)?;
-    let t_publish = gpmcp_publish(machine, cp, group)?;
-    Ok(t_copy + t_publish + machine.cfg.ddio_toggle_overhead * 2.0)
+    if machine.trace_enabled() {
+        machine.trace(EventKind::CheckpointBegin { group });
+    }
+    let result = (|| {
+        let (_, _, t_copy) = fill_working_gauged(machine, cp, group, true, gauge)?;
+        let t_publish = gpmcp_publish(machine, cp, group)?;
+        Ok(t_copy + t_publish + machine.cfg.ddio_toggle_overhead * 2.0)
+    })();
+    // A crash mid-checkpoint already cut the span; close it on every other
+    // path (success or a functional error).
+    if machine.trace_enabled() && !matches!(result, Err(CoreError::Sim(SimError::Crashed))) {
+        machine.trace(EventKind::CheckpointEnd { group });
+    }
+    result
 }
 
 /// Like [`gpmcp_checkpoint`], but tracks that the whole group was rewritten
@@ -412,6 +423,9 @@ pub fn gpmcp_checkpoint_incremental(
     let (consistent, _) = cp.consistent(machine, group)?;
     let working = 1 - consistent;
     let dst = cp.buffer_addr(group, working);
+    if machine.trace_enabled() {
+        machine.trace(EventKind::CheckpointBegin { group });
+    }
     let mut total_t = Ns::ZERO;
     with_persist_window(machine, |m| -> CoreResult<()> {
         let mut off = 0u64;
@@ -422,6 +436,9 @@ pub fn gpmcp_checkpoint_incremental(
         Ok(())
     })?;
     let t_pub = gpmcp_publish(machine, cp, group)?;
+    if machine.trace_enabled() {
+        machine.trace(EventKind::CheckpointEnd { group });
+    }
     cp.prev_dirty[group as usize] = Some(dirty.to_vec());
     Ok(total_t + t_pub + machine.cfg.ddio_toggle_overhead * 2.0)
 }
@@ -477,6 +494,9 @@ pub fn gpmcp_publish(machine: &mut Machine, cp: &GpmCheckpoint, group: u32) -> C
     cpu.persist(flag_addr.offset, 8);
     let cpu_t = cpu.elapsed();
     machine.clock.advance(cpu_t);
+    if machine.trace_enabled() {
+        machine.trace(EventKind::CheckpointPublish { group });
+    }
     Ok(cpu_t)
 }
 

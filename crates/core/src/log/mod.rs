@@ -18,7 +18,7 @@ pub mod redo;
 
 use gpm_gpu::ThreadCtx;
 use gpm_sim::cpu::CpuCtx;
-use gpm_sim::{Machine, Ns, SimError, SimResult};
+use gpm_sim::{EventKind, Machine, Ns, SimError, SimResult};
 
 use crate::error::{CoreError, CoreResult};
 use crate::map::{gpm_map, GpmRegion};
@@ -105,6 +105,10 @@ impl GpmLogDev {
         ctx.gpm_persist()?;
         ctx.st_u32(tail_addr, (tail + needed) as u32)?;
         ctx.gpm_persist()?;
+        ctx.trace_marker(EventKind::LogAppend {
+            bytes: entry.len() as u64,
+            hcl: false,
+        });
         // Lock-protected sequential append: inserts to the same partition
         // serialize (lock + two ordered persists + drain of the entry).
         // Lock handoff gets more expensive as more threads spin on the
@@ -149,6 +153,10 @@ impl GpmLogDev {
             ctx.st_bytes(self.pm(l.chunk_offset(tid, tail + k)), &chunk)?;
         }
         ctx.st_u32(tail_addr, (tail + chunks) as u32)?;
+        ctx.trace_marker(EventKind::LogAppend {
+            bytes: entry.len() as u64,
+            hcl: true,
+        });
         Ok(())
     }
 
@@ -178,6 +186,10 @@ impl GpmLogDev {
         ctx.gpm_persist()?;
         ctx.st_u32(tail_addr, (tail + chunks) as u32)?;
         ctx.gpm_persist()?;
+        ctx.trace_marker(EventKind::LogAppend {
+            bytes: entry.len() as u64,
+            hcl: true,
+        });
         Ok(())
     }
 
@@ -371,6 +383,9 @@ impl GpmLog {
         cpu.sfence();
         let t = cpu.elapsed();
         machine.clock.advance(t);
+        if machine.trace_enabled() {
+            machine.trace(EventKind::LogClear { bytes: tails_len });
+        }
         Ok(t)
     }
 }

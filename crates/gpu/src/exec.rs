@@ -49,8 +49,8 @@ use std::fmt;
 use gpm_sim::pattern::PatternTracker;
 use gpm_sim::staged::{BlockStage, LineKey};
 use gpm_sim::{
-    Addr, CrashPolicy, CrashReport, CrashSchedule, Machine, MemSpace, Ns, SimError, SimResult,
-    WriterId, GPU_LINE,
+    Addr, CrashPolicy, CrashReport, CrashSchedule, EventKind, Machine, MemSpace, Ns, SimError,
+    SimResult, WriterId, GPU_LINE,
 };
 
 use crate::dim::{LaunchConfig, ThreadId, WARP_SIZE};
@@ -337,6 +337,9 @@ impl WarpScratch {
             }
             if g.dev_fence {
                 costs.device_fence_events += 1;
+                if mem.trace_enabled() {
+                    mem.trace(EventKind::DeviceFence);
+                }
             }
             g.clear();
         }
@@ -424,12 +427,23 @@ impl EngineMem<'_> {
     /// (issued by the warp drain).
     fn pm_txn(&mut self, offset: u64, len: u64) {
         match self {
-            EngineMem::Live(m) => {
-                m.stats.pcie_write_txns += 1;
-                m.gpu_pm_pattern.record(offset, len);
-                m.note_gpu_pm_txn(offset, len);
-            }
+            EngineMem::Live(m) => m.gpu_pm_txn(offset, len),
             EngineMem::Staged { stage, .. } => stage.pm_txn(offset, len),
+        }
+    }
+
+    /// Whether a trace sink is installed on the underlying machine.
+    fn trace_enabled(&self) -> bool {
+        self.machine().trace_enabled()
+    }
+
+    /// Emits (live) or stages (parallel) one trace event. Callers gate on
+    /// [`EngineMem::trace_enabled`], which keeps both engines' staged state
+    /// identical when tracing is off.
+    fn trace(&mut self, kind: EventKind) {
+        match self {
+            EngineMem::Live(m) => m.trace(kind),
+            EngineMem::Staged { stage, .. } => stage.trace(kind),
         }
     }
 
@@ -735,6 +749,18 @@ impl ThreadCtx<'_> {
     pub fn config(&self) -> &gpm_sim::MachineConfig {
         &self.mem.machine().cfg
     }
+
+    /// Emits a structured trace event at the thread's current machine state
+    /// (no-op unless a sink is installed). Library layers running inside a
+    /// kernel — log appends, checkpoint phases — mark themselves with this;
+    /// under the block-parallel engine the event is staged with the block's
+    /// other effects and replayed in block order, so traces stay identical
+    /// across engine configurations.
+    pub fn trace_marker(&mut self, kind: EventKind) {
+        if self.mem.trace_enabled() {
+            self.mem.trace(kind);
+        }
+    }
 }
 
 /// Launches `kernel` over `cfg`, returning its report. The machine clock
@@ -825,27 +851,54 @@ fn launch_inner<K: Kernel + Sync>(
     gauge: &mut FuelGauge,
 ) -> Result<KernelReport, LaunchError> {
     machine.stats.kernel_launches += 1;
+    let launch_ord = machine.stats.kernel_launches;
+    if machine.trace_enabled() {
+        machine.trace(EventKind::KernelBegin {
+            launch: launch_ord,
+            grid: cfg.grid,
+            block_dim: cfg.block,
+        });
+    }
     let threads = resolve_engine_threads(&cfg);
     // The parallel path needs independent blocks (capability), more than
     // one block to spread, and an inert gauge (fuel and schedule recording
     // draw from a global operation order that only sequential execution
     // defines).
-    let report = if threads > 1
+    let result = if threads > 1
         && cfg.grid > 1
         && gauge.is_inert()
         && kernel.capability() == KernelCapability::BlockParallel
     {
         match launch_parallel(machine, cfg, kernel, threads) {
-            Some(report) => report,
+            Some(report) => Ok(report),
             // A worker erred or a cross-block conflict surfaced: the machine
             // is untouched, so the sequential engine reruns from the same
             // state and produces the canonical outcome (including the
             // canonical error).
-            None => launch_sequential(machine, cfg, kernel, gauge)?,
+            None => launch_sequential(machine, cfg, kernel, gauge),
         }
     } else {
-        launch_sequential(machine, cfg, kernel, gauge)?
+        launch_sequential(machine, cfg, kernel, gauge)
     };
+    let report = match result {
+        Ok(report) => report,
+        Err(LaunchError::Sim(e)) => {
+            if machine.trace_enabled() {
+                machine.trace(EventKind::KernelEnd { launch: launch_ord });
+            }
+            return Err(LaunchError::Sim(e));
+        }
+        // A mid-kernel crash already closed its spans (the sequential
+        // engine emits BlockCommit + KernelEnd before wiping state, and
+        // the Crash event cuts anything still open in the sink).
+        Err(e) => return Err(e),
+    };
+    if machine.trace_enabled() {
+        machine.trace(EventKind::KernelEnd { launch: launch_ord });
+        machine.trace(EventKind::EngineCommit {
+            threads: report.threads_used,
+        });
+    }
     // Launch completion is a commit boundary too: host-side work (log
     // clears, flag flips) between launches lands right after it, and a
     // crash budget equal to this op count fires at the *next* gauged
@@ -864,6 +917,7 @@ fn launch_sequential<K: Kernel>(
     gauge: &mut FuelGauge,
 ) -> Result<KernelReport, LaunchError> {
     let pattern_before = machine.gpu_pm_pattern.clone();
+    let launch_ord = machine.stats.kernel_launches;
     let mut total = KernelCosts::default();
     let mut scratch = WarpScratch::default();
     let mut states: Vec<K::State> = Vec::new();
@@ -871,6 +925,9 @@ fn launch_sequential<K: Kernel>(
     let phases = kernel.phases();
 
     for block in 0..cfg.grid {
+        if machine.trace_enabled() {
+            machine.trace(EventKind::BlockBegin { block });
+        }
         kernel.reset_shared(&mut shared);
         states.clear();
         states.resize_with(cfg.block as usize, K::State::default);
@@ -897,6 +954,12 @@ fn launch_sequential<K: Kernel>(
                     match kernel.run(phase, &mut ctx, &mut states[thread as usize], &mut shared) {
                         Ok(()) => {}
                         Err(SimError::Crashed) => {
+                            // Close the open spans cleanly in the exported
+                            // JSON before the crash event cuts them.
+                            if machine.trace_enabled() {
+                                machine.trace(EventKind::BlockCommit { block });
+                                machine.trace(EventKind::KernelEnd { launch: launch_ord });
+                            }
                             let report = match gauge.policy() {
                                 Some(p) => machine.crash_with_policy(p),
                                 None => machine.crash(),
@@ -910,6 +973,9 @@ fn launch_sequential<K: Kernel>(
             }
         }
         total.merge(&costs);
+        if machine.trace_enabled() {
+            machine.trace(EventKind::BlockCommit { block });
+        }
     }
 
     let pattern_delta: PatternTracker = machine.gpu_pm_pattern.delta(&pattern_before);
@@ -1049,9 +1115,19 @@ fn launch_parallel<K: Kernel + Sync>(
 
     let pattern_before = machine.gpu_pm_pattern.clone();
     let mut total = KernelCosts::default();
-    for (stage, costs) in &stages {
+    for (block, (stage, costs)) in stages.iter().enumerate() {
+        if machine.trace_enabled() {
+            machine.trace(EventKind::BlockBegin {
+                block: block as u32,
+            });
+        }
         stage.commit(machine);
         total.merge(costs);
+        if machine.trace_enabled() {
+            machine.trace(EventKind::BlockCommit {
+                block: block as u32,
+            });
+        }
     }
 
     let pattern_delta: PatternTracker = machine.gpu_pm_pattern.delta(&pattern_before);

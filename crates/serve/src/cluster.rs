@@ -5,7 +5,7 @@
 //! other and merges their histograms — simulated time makes the result
 //! identical to a concurrent run, and keeps it bit-deterministic.
 
-use gpm_sim::{Ns, SimResult};
+use gpm_sim::{Ns, RingSink, SimResult};
 use gpm_workloads::{DbOp, DbParams, KvsParams, LatencyHistogram, Mode};
 
 use crate::request::{Op, Request};
@@ -41,6 +41,10 @@ pub struct ClusterConfig {
     /// gpDB sizing (table capacity is sized to the routed stream
     /// automatically).
     pub db: DbParams,
+    /// When set, install a bounded `RingSink` of this capacity on every
+    /// shard's machine before serving; each `ShardReport` then carries
+    /// the shard's `TraceData`.
+    pub trace_events: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -57,6 +61,7 @@ impl ClusterConfig {
             backend: BackendKind::Kvs,
             kvs: KvsParams::quick(),
             db: DbParams::quick(),
+            trace_events: None,
         }
     }
 }
@@ -153,6 +158,11 @@ pub fn run_cluster(cfg: &ClusterConfig, requests: &[Request]) -> SimResult<Clust
                 Shard::new_db(params, cfg.mode)?
             }
         };
+        if let Some(cap) = cfg.trace_events {
+            // Installed after boot so the traced window (and its stats
+            // delta) covers exactly the serve phase.
+            shard.machine.set_trace_sink(Box::new(RingSink::new(cap)));
+        }
         let report = serve_shard(&mut shard, stream, &cfg.policy, &cfg.faults)?;
         outcome.hist.merge(&report.hist);
         outcome.offered += report.offered;

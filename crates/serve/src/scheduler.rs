@@ -26,7 +26,7 @@
 use std::collections::VecDeque;
 
 use gpm_gpu::{FuelGauge, LaunchError};
-use gpm_sim::{Ns, SimError, SimResult};
+use gpm_sim::{EventKind, Ns, SimError, SimResult, Stats, TraceData};
 use gpm_workloads::LatencyHistogram;
 
 use crate::request::{Request, Response, Verdict};
@@ -103,6 +103,13 @@ pub struct ShardReport {
     pub end: Ns,
     /// Simulated time spent inside batch application (vs idle waiting).
     pub busy: Ns,
+    /// Machine counters accumulated over the serve window (a delta, so a
+    /// trace's attribution sums can be checked against `bytes_persisted`
+    /// exactly — shard setup is excluded from both).
+    pub stats: Stats,
+    /// Structured-event trace, when a sink was installed on the shard's
+    /// machine before serving.
+    pub trace: Option<TraceData>,
 }
 
 impl ShardReport {
@@ -139,6 +146,7 @@ pub fn serve_shard(
         "request stream must be time-ordered"
     );
     let max_batch = policy.max_batch.min(shard.max_batch()) as usize;
+    let stats0 = shard.machine.stats;
     let mut queue: VecDeque<Request> = VecDeque::new();
     let mut next = 0usize;
     let mut report = ShardReport {
@@ -152,6 +160,8 @@ pub fn serve_shard(
         boot_recovery: shard.recovery(),
         end: shard.now(),
         busy: Ns::ZERO,
+        stats: Stats::default(),
+        trace: None,
     };
     loop {
         // Admission: everything that has arrived by now, in order.
@@ -160,12 +170,18 @@ pub fn serve_shard(
             next += 1;
             if queue.len() >= policy.queue_cap {
                 report.shed += 1;
+                if shard.machine.trace_enabled() {
+                    shard.machine.trace(EventKind::ServeShed { req: r.id });
+                }
                 report.responses.push(Response {
                     id: r.id,
                     verdict: Verdict::Overloaded,
                     latency: Ns::ZERO,
                 });
             } else {
+                if shard.machine.trace_enabled() {
+                    shard.machine.trace(EventKind::ServeEnqueue { req: r.id });
+                }
                 queue.push_back(r);
             }
         }
@@ -186,7 +202,11 @@ pub fn serve_shard(
             continue;
         }
         let batch: Vec<Request> = queue.drain(..queue.len().min(max_batch)).collect();
+        let n = batch.len() as u32;
         let t0 = shard.now();
+        if shard.machine.trace_enabled() {
+            shard.machine.trace(EventKind::ServeBatchBegin { n });
+        }
         let mut attempt = 0u32;
         loop {
             let mut gauge = faults.gauge_for(report.batches);
@@ -202,9 +222,17 @@ pub fn serve_shard(
                     }
                     report.retries += 1;
                     shard.recover_in_place()?;
+                    // The crash event cut the batch span; the retry reopens
+                    // it so its persists attribute to the batch again.
+                    if shard.machine.trace_enabled() {
+                        shard.machine.trace(EventKind::ServeBatchBegin { n });
+                    }
                 }
                 Err(LaunchError::Sim(e)) => return Err(e),
             }
+        }
+        if shard.machine.trace_enabled() {
+            shard.machine.trace(EventKind::ServeBatchEnd { n });
         }
         let done = shard.now();
         report.busy += done - t0;
@@ -213,6 +241,12 @@ pub fn serve_shard(
             report.completed += 1;
             let latency = done - r.arrival;
             report.hist.record(latency);
+            if shard.machine.trace_enabled() {
+                shard.machine.trace(EventKind::ServeRespond {
+                    req: r.id,
+                    latency_ns: latency.0,
+                });
+            }
             report.responses.push(Response {
                 id: r.id,
                 verdict: Verdict::Done(v),
@@ -221,6 +255,8 @@ pub fn serve_shard(
         }
     }
     report.end = shard.now();
+    report.stats = shard.machine.stats.delta(&stats0);
+    report.trace = shard.machine.finish_trace();
     debug_assert_eq!(report.responses.len() as u64, report.offered);
     Ok(report)
 }

@@ -70,3 +70,11 @@ pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use staged::{BlockStage, LineKey};
 pub use stats::Stats;
 pub use time::{Ns, SimClock};
+
+// Structured-event tracing (see the `gpm-trace` crate): re-exported here so
+// every layer that holds a `Machine` can install sinks and name event kinds
+// without a separate dependency edge.
+pub use gpm_trace::{
+    chrome_trace_json, Attribution, Event, EventKind, NullSink, Phase, PhaseTotals, RingSink,
+    TraceData, TraceSink,
+};

@@ -15,6 +15,7 @@ use crate::rng::Xoshiro256StarStar;
 use crate::stats::Stats;
 use crate::time::SimClock;
 use crate::volatile::VolatileMem;
+use gpm_trace::{Event, EventKind, TraceData, TraceSink};
 
 /// Number of 256-byte Optane blocks a write of `len` bytes at `offset`
 /// programs.
@@ -56,6 +57,9 @@ pub struct Machine {
     pm_cursor: u64,
     dram_cursor: u64,
     hbm_cursor: u64,
+    /// Structured-event sink. `None` (the default) keeps the hot paths
+    /// branch-only: no event is even constructed.
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Default for Machine {
@@ -81,7 +85,42 @@ impl Machine {
             clock: SimClock::new(),
             stats: Stats::default(),
             gpu_pm_pattern: PatternTracker::new(),
+            trace: None,
             cfg,
+        }
+    }
+
+    // ---- structured-event tracing ------------------------------------------
+
+    /// Installs a [`TraceSink`]; every subsequent platform event is emitted
+    /// to it with the sim clock's current time.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes and returns the installed sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Uninstalls the sink and returns its collected [`TraceData`], if any.
+    pub fn finish_trace(&mut self) -> Option<TraceData> {
+        self.trace.take().and_then(TraceSink::finish)
+    }
+
+    /// Whether a sink is installed (callers use this to skip building event
+    /// payloads entirely on the uninstrumented path).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Emits one event at the current sim time. No-op without a sink.
+    pub fn trace(&mut self, kind: EventKind) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.emit(Event {
+                ts_ns: self.clock.now().0,
+                kind,
+            });
         }
     }
 
@@ -197,6 +236,13 @@ impl Machine {
     /// Toggles DDIO (the `gpm_persist_begin`/`end` mechanism, §5.1). The
     /// caller accounts for [`MachineConfig::ddio_toggle_overhead`].
     pub fn set_ddio(&mut self, enabled: bool) {
+        if self.ddio_enabled != enabled && self.trace_enabled() {
+            self.trace(if enabled {
+                EventKind::PersistEpochEnd
+            } else {
+                EventKind::PersistEpochBegin
+            });
+        }
         self.ddio_enabled = enabled;
     }
 
@@ -219,9 +265,31 @@ impl Machine {
         self.stats.pm_write_bytes_gpu += bytes.len() as u64;
         if self.cfg.persist_mode == PersistMode::Eadr {
             self.stats.bytes_persisted += bytes.len() as u64;
+            if self.trace_enabled() {
+                self.trace(EventKind::EadrPersist {
+                    offset,
+                    bytes: bytes.len() as u64,
+                    gpu: true,
+                });
+            }
             self.pm.write_durable(offset, bytes)
         } else {
             self.pm.write_visible(writer, offset, bytes)
+        }
+    }
+
+    /// One coalesced GPU→PM write transaction on the PCIe bus: bumps the
+    /// transaction counter, classifies the access pattern (Figure 12), and
+    /// accounts Optane block programs. The single chokepoint shared by the
+    /// live (sequential) and staged-commit (block-parallel) engines, so the
+    /// accounting — and the [`EventKind::PcieWriteTxn`] event — can never
+    /// diverge between them.
+    pub fn gpu_pm_txn(&mut self, offset: u64, len: u64) {
+        self.stats.pcie_write_txns += 1;
+        self.gpu_pm_pattern.record(offset, len);
+        self.note_gpu_pm_txn(offset, len);
+        if self.trace_enabled() {
+            self.trace(EventKind::PcieWriteTxn { offset, bytes: len });
         }
     }
 
@@ -238,7 +306,7 @@ impl Machine {
     /// number of lines made durable.
     pub fn gpu_system_fence(&mut self, writer: WriterId) -> u64 {
         self.stats.system_fences += 1;
-        match self.cfg.persist_mode {
+        let lines = match self.cfg.persist_mode {
             PersistMode::Eadr => 0,
             PersistMode::Adr if !self.ddio_enabled => {
                 let lines = self.pm.persist_writer(writer);
@@ -246,7 +314,11 @@ impl Machine {
                 lines
             }
             PersistMode::Adr => 0,
+        };
+        if self.trace_enabled() {
+            self.trace(EventKind::SystemFence { writer, lines });
         }
+        lines
     }
 
     /// A GPU load from PM (overlaying pending data — the system is coherent).
@@ -271,6 +343,13 @@ impl Machine {
         self.stats.pm_write_bytes_cpu += bytes.len() as u64;
         if self.cfg.persist_mode == PersistMode::Eadr {
             self.stats.bytes_persisted += bytes.len() as u64;
+            if self.trace_enabled() {
+                self.trace(EventKind::EadrPersist {
+                    offset,
+                    bytes: bytes.len() as u64,
+                    gpu: false,
+                });
+            }
             self.pm.write_durable(offset, bytes)
         } else {
             self.pm.write_visible(writer, offset, bytes)
@@ -283,6 +362,9 @@ impl Machine {
         let lines = self.pm.persist_range(offset, len);
         self.stats.bytes_persisted += lines * crate::addr::CPU_LINE;
         self.stats.pm_block_programs += lines.div_ceil(OPTANE_BLOCK / crate::addr::CPU_LINE);
+        if self.trace_enabled() {
+            self.trace(EventKind::CpuFlush { offset, lines });
+        }
         lines
     }
 
@@ -298,6 +380,12 @@ impl Machine {
         self.stats.pm_write_bytes_cpu += bytes.len() as u64;
         self.stats.bytes_persisted += bytes.len() as u64;
         self.stats.pm_block_programs += blocks_touched(offset, bytes.len() as u64);
+        if self.trace_enabled() {
+            self.trace(EventKind::CpuPersistStore {
+                offset,
+                bytes: bytes.len() as u64,
+            });
+        }
         self.pm.write_durable(offset, bytes)
     }
 
@@ -402,6 +490,9 @@ impl Machine {
             MemSpace::Pm => self.pm.write_visible(HOST_WRITER, dst.offset, &buf)?,
         }
         self.stats.dma_bytes += len;
+        if self.trace_enabled() {
+            self.trace(EventKind::DmaCopy { bytes: len });
+        }
         Ok(())
     }
 
@@ -416,6 +507,12 @@ impl Machine {
         self.hbm.wipe();
         self.ddio_enabled = true;
         self.stats.crashes += 1;
+        if self.trace_enabled() {
+            self.trace(EventKind::Crash {
+                applied: report.lines_applied,
+                dropped: report.lines_dropped,
+            });
+        }
         report
     }
 
@@ -431,6 +528,12 @@ impl Machine {
         self.hbm.wipe();
         self.ddio_enabled = true;
         self.stats.crashes += 1;
+        if self.trace_enabled() {
+            self.trace(EventKind::Crash {
+                applied: report.lines_applied,
+                dropped: report.lines_dropped,
+            });
+        }
         report
     }
 

@@ -81,6 +81,10 @@ enum Effect {
     PmTxn { offset: u64, len: u64 },
     /// A pattern-tracker barrier (warp-coalesced system fence at drain).
     PatternBarrier,
+    /// A structured trace event (`Machine::trace`). Staged only while a
+    /// sink is installed, so the replay emits exactly the events — in
+    /// exactly the order — the sequential engine would.
+    Trace(gpm_trace::EventKind),
 }
 
 /// Everything one block did, buffered for ordered replay. Fully owned — no
@@ -253,6 +257,12 @@ impl BlockStage {
         self.effects.push(Effect::PatternBarrier);
     }
 
+    /// Stages a trace event. Callers must gate on the base machine's
+    /// `trace_enabled()` so untraced runs stage nothing.
+    pub fn trace(&mut self, kind: gpm_trace::EventKind) {
+        self.effects.push(Effect::Trace(kind));
+    }
+
     /// Whether this block read a line in `written` (a union of write sets of
     /// lower-numbered blocks): committing it would diverge from sequential
     /// execution.
@@ -305,12 +315,13 @@ impl BlockStage {
                     machine.gpu_system_fence(writer);
                 }
                 Effect::PmTxn { offset, len } => {
-                    machine.stats.pcie_write_txns += 1;
-                    machine.gpu_pm_pattern.record(offset, len);
-                    machine.note_gpu_pm_txn(offset, len);
+                    machine.gpu_pm_txn(offset, len);
                 }
                 Effect::PatternBarrier => {
                     machine.gpu_pm_pattern.barrier();
+                }
+                Effect::Trace(kind) => {
+                    machine.trace(kind);
                 }
             }
         }

@@ -20,7 +20,8 @@ use gpm_gpu::{
 };
 use gpm_sim::cpu::CpuCtx;
 use gpm_sim::{
-    Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult, HOST_WRITER,
+    Addr, CrashPolicy, CrashSchedule, EventKind, Machine, Ns, OracleVerdict, SimError, SimResult,
+    HOST_WRITER,
 };
 
 use crate::metrics::{metered, BatchMetrics, Mode, RunMetrics};
@@ -830,6 +831,17 @@ impl DbWorkload {
     ///
     /// Propagates platform errors.
     pub fn recover(&self, machine: &mut Machine, st: &DbState) -> SimResult<()> {
+        if machine.trace_enabled() {
+            machine.trace(EventKind::RecoveryBegin);
+        }
+        let result = self.recover_inner(machine, st);
+        if machine.trace_enabled() {
+            machine.trace(EventKind::RecoveryEnd);
+        }
+        result
+    }
+
+    fn recover_inner(&self, machine: &mut Machine, st: &DbState) -> SimResult<()> {
         match self.params.op {
             DbOp::Insert => {
                 // Restore the table size from the metadata log if an insert

@@ -20,7 +20,9 @@ use gpm_gpu::{
     launch, launch_with_fuel, launch_with_gauge, Communicating, FnKernel, FuelGauge, LaunchConfig,
     LaunchError, ThreadCtx,
 };
-use gpm_sim::{Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult};
+use gpm_sim::{
+    Addr, CrashPolicy, CrashSchedule, EventKind, Machine, Ns, OracleVerdict, SimError, SimResult,
+};
 
 use crate::metrics::{metered, BatchMetrics, Mode, RunMetrics};
 use crate::oracle::RecoveryOracle;
@@ -665,11 +667,18 @@ impl KvsWorkload {
     ///
     /// Propagates platform errors.
     pub fn recover(&self, machine: &mut Machine, st: &KvsState) -> SimResult<()> {
-        match self.recover_gauged(machine, st, &mut FuelGauge::Unlimited) {
+        if machine.trace_enabled() {
+            machine.trace(EventKind::RecoveryBegin);
+        }
+        let result = match self.recover_gauged(machine, st, &mut FuelGauge::Unlimited) {
             Ok(()) => Ok(()),
             Err(LaunchError::Crashed(_)) => unreachable!("unlimited gauge never crashes"),
             Err(LaunchError::Sim(e)) => Err(e),
+        };
+        if machine.trace_enabled() {
+            machine.trace(EventKind::RecoveryEnd);
         }
+        result
     }
 
     /// Gauge-driven recovery. With a crashing gauge the undo kernel itself
