@@ -1,5 +1,7 @@
 //! Launch geometry: grids, threadblocks, warps.
 
+use gpm_sim::PersistencyModel;
+
 /// Threads per warp (lockstep SIMD group).
 pub const WARP_SIZE: u32 = 32;
 
@@ -29,6 +31,14 @@ pub struct LaunchConfig {
     /// a host-side scheduling knob: simulated results and timing are
     /// identical at every setting.
     pub engine_threads: Option<u32>,
+    /// GPU persistency model for this launch (see
+    /// [`PersistencyModel`]). `None` defers to the `GPM_PERSISTENCY`
+    /// environment variable (`strict` / `epoch`), then to
+    /// [`PersistencyModel::Strict`]. Unlike `engine_threads` this is a
+    /// *simulated-semantics* knob: epoch launches defer fence drains to the
+    /// kernel boundary, changing both timing and crash vulnerability
+    /// windows.
+    pub persistency: Option<PersistencyModel>,
 }
 
 impl LaunchConfig {
@@ -46,6 +56,7 @@ impl LaunchConfig {
             grid,
             block,
             engine_threads: None,
+            persistency: None,
         }
     }
 
@@ -56,6 +67,14 @@ impl LaunchConfig {
     pub fn with_engine_threads(mut self, threads: u32) -> LaunchConfig {
         assert!(threads > 0, "engine thread count must be non-zero");
         self.engine_threads = Some(threads);
+        self
+    }
+
+    /// Pins the persistency model for this launch (overriding the
+    /// `GPM_PERSISTENCY` environment variable).
+    #[must_use]
+    pub fn with_persistency(mut self, model: PersistencyModel) -> LaunchConfig {
+        self.persistency = Some(model);
         self
     }
 

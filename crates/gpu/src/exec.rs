@@ -42,15 +42,38 @@
 //! drain is a linear sweep. The observable outcome — transaction counts,
 //! pattern-tracker order, fence events, simulated time — is identical to the
 //! event-buffer design, as the golden-counter tests pin down.
+//!
+//! ## Vectorized lockstep execution
+//!
+//! On top of the per-lane walk sits a warp-granular fast path: kernels that
+//! implement [`Kernel::run_warp`] process all 32 lanes of a warp as slices
+//! through a [`WarpCtx`], so one vector store replaces 32 context-dispatch /
+//! group-lookup round trips and lands in the machine through one batched
+//! call ([`gpm_sim::Machine::gpu_store_pm_lanes`]). The engine only takes
+//! this path when the launch's fuel gauge is inert and no trace sink is
+//! installed — fuel accounting and per-lane trace events both need the
+//! per-lane operation order — and a kernel declines per warp by returning
+//! `Ok(false)`, falling back to 32 [`Kernel::run`] calls. Vector operations
+//! account every counter exactly as the lockstep per-lane walk would (shared
+//! operation sequence number, identical extent merging, identical drain), so
+//! golden counters, simulated time, and normalized traces are unchanged; the
+//! one documented exception is [`gpm_sim::Stats::bytes_persisted`]: the
+//! per-lane walk runs lanes to completion one after another (lane-major), so
+//! one lane's fence can drain a CPU line a later lane re-dirties and
+//! re-drains, while the vector path's operation-major order — the
+//! SIMT-faithful one — fences the whole warp at once and drains each line
+//! once. Timing never consumes `bytes_persisted`, so simulated time is
+//! unaffected.
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 use gpm_sim::pattern::PatternTracker;
 use gpm_sim::staged::{BlockStage, LineKey};
 use gpm_sim::{
-    Addr, CrashPolicy, CrashReport, CrashSchedule, EventKind, Machine, MemSpace, Ns, SimError,
-    SimResult, WriterId, GPU_LINE,
+    Addr, CrashPolicy, CrashReport, CrashSchedule, EventKind, Machine, MemSpace, Ns,
+    PersistencyModel, SimError, SimResult, WriterId, GPU_LINE,
 };
 
 use crate::dim::{LaunchConfig, ThreadId, WARP_SIZE};
@@ -423,6 +446,36 @@ impl EngineMem<'_> {
         }
     }
 
+    /// A warp's contiguous lockstep store, one batched machine call
+    /// (`Machine::gpu_store_pm_lanes`): byte `j` belongs to writer
+    /// `writer0 + j / lane_bytes`.
+    fn store_pm_lanes(
+        &mut self,
+        writer0: WriterId,
+        lane_bytes: u32,
+        offset: u64,
+        bytes: &[u8],
+    ) -> SimResult<()> {
+        match self {
+            EngineMem::Live(m) => m.gpu_store_pm_lanes(writer0, lane_bytes, offset, bytes),
+            EngineMem::Staged { base, stage } => {
+                stage.store_pm_lanes(base, writer0, lane_bytes, offset, bytes)
+            }
+        }
+    }
+
+    /// A warp's lockstep system fences, one batched machine call
+    /// (`Machine::gpu_system_fence_lanes`) for writers
+    /// `writer0..writer0 + lanes`.
+    fn fence_system_lanes(&mut self, writer0: WriterId, lanes: u32) {
+        match self {
+            EngineMem::Live(m) => {
+                m.gpu_system_fence_lanes(writer0, lanes);
+            }
+            EngineMem::Staged { stage, .. } => stage.fence_persist_lanes(writer0, lanes),
+        }
+    }
+
     /// One coalesced PCIe write transaction's machine-side accounting
     /// (issued by the warp drain).
     fn pm_txn(&mut self, offset: u64, len: u64) {
@@ -763,6 +816,301 @@ impl ThreadCtx<'_> {
     }
 }
 
+/// Largest vector operation: a full warp of 8-byte lanes.
+const WARP_BYTES: usize = (WARP_SIZE as usize) * 8;
+
+/// Execution context for one warp executing a phase in lockstep — the
+/// vectorized counterpart of [`ThreadCtx`], handed to
+/// [`Kernel::run_warp`].
+///
+/// Every vector operation is the lockstep-simultaneous issue of one
+/// operation by each active lane: lane `i` (0-based within the warp)
+/// accesses `addr + i * stride` and owns element `i` of the value slice. One
+/// vector operation advances the warp's shared operation sequence number
+/// once, so its accesses coalesce exactly as 32 per-lane operations at the
+/// same program point would, and all cost, fuel-boundary, and
+/// pattern-tracker accounting is identical to the per-lane walk.
+pub struct WarpCtx<'a> {
+    mem: EngineMem<'a>,
+    costs: &'a mut KernelCosts,
+    scratch: &'a mut WarpScratch,
+    launch: LaunchConfig,
+    block: u32,
+    warp: u32,
+    lanes: u32,
+    writer0: WriterId,
+    op_seq: u32,
+}
+
+impl fmt::Debug for WarpCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WarpCtx")
+            .field("block", &self.block)
+            .field("warp", &self.warp)
+            .field("lanes", &self.lanes)
+            .field("op_seq", &self.op_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WarpCtx<'_> {
+    // ---- identity -----------------------------------------------------------
+
+    /// Active lanes in this warp (32, or fewer for the tail warp of a block
+    /// whose dimension is not a multiple of 32).
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Global linear thread index of lane 0; lane `i` is
+    /// `first_global_id() + i`.
+    pub fn first_global_id(&self) -> u64 {
+        self.block as u64 * self.launch.block as u64 + (self.warp * WARP_SIZE) as u64
+    }
+
+    /// Block index within the grid.
+    pub fn block_id(&self) -> u32 {
+        self.block
+    }
+
+    /// Warp index within the block.
+    pub fn warp_in_block(&self) -> u32 {
+        self.warp
+    }
+
+    /// Threads per block of this launch.
+    pub fn block_dim(&self) -> u32 {
+        self.launch.block
+    }
+
+    /// Blocks in this launch's grid.
+    pub fn grid_dim(&self) -> u32 {
+        self.launch.grid
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.launch.total_threads()
+    }
+
+    /// Whether a system fence currently guarantees durability (DDIO disabled
+    /// or eADR) — what `gpm_persist` relies on.
+    pub fn persist_guaranteed(&self) -> bool {
+        self.mem.machine().gpu_persist_guaranteed()
+    }
+
+    /// Read-only access to platform configuration.
+    pub fn config(&self) -> &gpm_sim::MachineConfig {
+        &self.mem.machine().cfg
+    }
+
+    // ---- vector memory operations -------------------------------------------
+
+    /// One lockstep store of `N`-byte values: lane `i` stores `get(i)` at
+    /// `addr + i * stride`. Contiguous PM stores (`stride == N`) take the
+    /// batched single-call path; everything else issues per lane (same
+    /// accounting either way).
+    fn st_lanes<const N: usize>(
+        &mut self,
+        addr: Addr,
+        stride: u64,
+        get: impl Fn(usize) -> [u8; N],
+    ) -> SimResult<()> {
+        self.op_seq += 1;
+        let lanes = self.lanes as usize;
+        let total = (lanes * N) as u64;
+        match addr.space {
+            MemSpace::Pm => {
+                if stride == N as u64 {
+                    let mut buf = [0u8; WARP_BYTES];
+                    for i in 0..lanes {
+                        buf[i * N..(i + 1) * N].copy_from_slice(&get(i));
+                    }
+                    self.mem.store_pm_lanes(
+                        self.writer0,
+                        N as u32,
+                        addr.offset,
+                        &buf[..lanes * N],
+                    )?;
+                    self.scratch
+                        .group(self.op_seq)
+                        .record_write(addr.offset, total);
+                } else {
+                    for i in 0..lanes {
+                        let off = addr.offset + i as u64 * stride;
+                        self.mem
+                            .store_pm(self.writer0 + i as WriterId, off, &get(i))?;
+                        self.scratch.group(self.op_seq).record_write(off, N as u64);
+                    }
+                }
+                self.costs.pm_write_bytes += total;
+            }
+            MemSpace::Hbm | MemSpace::Dram => {
+                for i in 0..lanes {
+                    let a = Addr {
+                        space: addr.space,
+                        offset: addr.offset + i as u64 * stride,
+                    };
+                    self.mem.store_vol(a, &get(i))?;
+                }
+                match addr.space {
+                    MemSpace::Hbm => self.costs.hbm_bytes += total,
+                    _ => self.costs.dram_bytes += total,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One lockstep load of `N`-byte values: lane `i` loads from
+    /// `addr + i * stride` into `put(i, ..)`. Contiguous PM loads read the
+    /// whole span in one call.
+    fn ld_lanes<const N: usize>(
+        &mut self,
+        addr: Addr,
+        stride: u64,
+        mut put: impl FnMut(usize, [u8; N]),
+    ) -> SimResult<()> {
+        self.op_seq += 1;
+        let lanes = self.lanes as usize;
+        let total = (lanes * N) as u64;
+        match addr.space {
+            MemSpace::Pm => {
+                if stride == N as u64 {
+                    let mut buf = [0u8; WARP_BYTES];
+                    self.mem.load_pm(addr.offset, &mut buf[..lanes * N])?;
+                    for i in 0..lanes {
+                        put(i, buf[i * N..(i + 1) * N].try_into().unwrap());
+                    }
+                    self.scratch
+                        .group(self.op_seq)
+                        .record_read(addr.offset, total);
+                } else {
+                    for i in 0..lanes {
+                        let off = addr.offset + i as u64 * stride;
+                        let mut b = [0u8; N];
+                        self.mem.load_pm(off, &mut b)?;
+                        put(i, b);
+                        self.scratch.group(self.op_seq).record_read(off, N as u64);
+                    }
+                }
+                self.costs.pm_read_bytes += total;
+            }
+            MemSpace::Hbm | MemSpace::Dram => {
+                for i in 0..lanes {
+                    let a = Addr {
+                        space: addr.space,
+                        offset: addr.offset + i as u64 * stride,
+                    };
+                    let mut b = [0u8; N];
+                    self.mem.read(a, &mut b)?;
+                    put(i, b);
+                }
+                match addr.space {
+                    MemSpace::Hbm => self.costs.hbm_bytes += total,
+                    _ => self.costs.dram_bytes += total,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lockstep store of little-endian `u64`s: lane `i` stores `vals[i]` at
+    /// `addr + i * stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vals.len()` equals [`WarpCtx::lanes`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses surface as errors (see [`ThreadCtx::st_bytes`]).
+    pub fn st_u64_lanes(&mut self, addr: Addr, stride: u64, vals: &[u64]) -> SimResult<()> {
+        assert_eq!(vals.len(), self.lanes as usize, "one value per active lane");
+        self.st_lanes(addr, stride, |i| vals[i].to_le_bytes())
+    }
+
+    /// Lockstep store of little-endian `u32`s: lane `i` stores `vals[i]` at
+    /// `addr + i * stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vals.len()` equals [`WarpCtx::lanes`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses surface as errors (see [`ThreadCtx::st_bytes`]).
+    pub fn st_u32_lanes(&mut self, addr: Addr, stride: u64, vals: &[u32]) -> SimResult<()> {
+        assert_eq!(vals.len(), self.lanes as usize, "one value per active lane");
+        self.st_lanes(addr, stride, |i| vals[i].to_le_bytes())
+    }
+
+    /// Lockstep load of little-endian `u64`s: lane `i` loads
+    /// `addr + i * stride` into `out[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out.len()` equals [`WarpCtx::lanes`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses surface as errors (see [`ThreadCtx::ld_bytes`]).
+    pub fn ld_u64_lanes(&mut self, addr: Addr, stride: u64, out: &mut [u64]) -> SimResult<()> {
+        assert_eq!(out.len(), self.lanes as usize, "one slot per active lane");
+        self.ld_lanes(addr, stride, |i, b| out[i] = u64::from_le_bytes(b))
+    }
+
+    /// Lockstep load of little-endian `u32`s: lane `i` loads
+    /// `addr + i * stride` into `out[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out.len()` equals [`WarpCtx::lanes`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses surface as errors (see [`ThreadCtx::ld_bytes`]).
+    pub fn ld_u32_lanes(&mut self, addr: Addr, stride: u64, out: &mut [u32]) -> SimResult<()> {
+        assert_eq!(out.len(), self.lanes as usize, "one slot per active lane");
+        self.ld_lanes(addr, stride, |i, b| out[i] = u32::from_le_bytes(b))
+    }
+
+    // ---- fences & modelling hooks ---------------------------------------------
+
+    /// `__threadfence_system()` by every active lane simultaneously — the
+    /// warp-coalesced persist operation. One fence event, like 32 lockstep
+    /// per-lane fences.
+    pub fn threadfence_system(&mut self) {
+        self.op_seq += 1;
+        self.mem.fence_system_lanes(self.writer0, self.lanes);
+        self.scratch.group(self.op_seq).sys_fence = true;
+    }
+
+    /// `__threadfence()` by every active lane simultaneously (device-scope
+    /// ordering).
+    pub fn threadfence(&mut self) {
+        self.op_seq += 1;
+        self.scratch.group(self.op_seq).dev_fence = true;
+    }
+
+    /// Declares `ns` of pure compute by *each* active lane. Summed with one
+    /// addition per lane so the floating-point total matches the per-lane
+    /// walk bit for bit.
+    pub fn compute(&mut self, ns: Ns) {
+        for _ in 0..self.lanes {
+            self.costs.compute += ns;
+        }
+    }
+
+    /// Declares serialized work behind contention key `key` by each active
+    /// lane (one addition per lane, like [`WarpCtx::compute`]).
+    pub fn serialize(&mut self, key: u64, t: Ns) {
+        for _ in 0..self.lanes {
+            self.costs.add_serial(key, t);
+        }
+    }
+}
+
 /// Launches `kernel` over `cfg`, returning its report. The machine clock
 /// advances by the kernel's elapsed time.
 ///
@@ -844,6 +1192,25 @@ pub fn resolved_engine_threads(cfg: &LaunchConfig) -> u32 {
     resolve_engine_threads(cfg)
 }
 
+/// Process-wide default persistency model: `GPM_PERSISTENCY=epoch` (case-
+/// insensitive) selects [`PersistencyModel::Epoch`]; anything else — or the
+/// variable unset — is [`PersistencyModel::Strict`]. Cached on first read.
+fn env_persistency() -> PersistencyModel {
+    static MODEL: OnceLock<PersistencyModel> = OnceLock::new();
+    *MODEL.get_or_init(|| match std::env::var("GPM_PERSISTENCY") {
+        Ok(s) if s.trim().eq_ignore_ascii_case("epoch") => PersistencyModel::Epoch,
+        _ => PersistencyModel::Strict,
+    })
+}
+
+/// The persistency model a launch with `cfg` would run under, after applying
+/// the [`LaunchConfig::persistency`] override and the `GPM_PERSISTENCY`
+/// environment variable. Exposed for harnesses that record the engine
+/// configuration alongside results.
+pub fn resolved_persistency(cfg: &LaunchConfig) -> PersistencyModel {
+    cfg.persistency.unwrap_or_else(env_persistency)
+}
+
 fn launch_inner<K: Kernel + Sync>(
     machine: &mut Machine,
     cfg: LaunchConfig,
@@ -859,6 +1226,11 @@ fn launch_inner<K: Kernel + Sync>(
             block_dim: cfg.block,
         });
     }
+    // The model is machine state for the duration of the launch: fences
+    // consult it ([`Machine::gpu_system_fence`]), and the engines read it
+    // back for the timing model.
+    let model = resolved_persistency(&cfg);
+    machine.set_persistency(model);
     let threads = resolve_engine_threads(&cfg);
     // The parallel path needs independent blocks (capability), more than
     // one block to spread, and an inert gauge (fuel and schedule recording
@@ -890,9 +1262,18 @@ fn launch_inner<K: Kernel + Sync>(
         }
         // A mid-kernel crash already closed its spans (the sequential
         // engine emits BlockCommit + KernelEnd before wiping state, and
-        // the Crash event cuts anything still open in the sink).
+        // the Crash event cuts anything still open in the sink). Closed
+        // epoch lines stay pending: the crash resolves their fate, which is
+        // exactly the crash-vulnerability window epoch persistency buys its
+        // cheap fences with.
         Err(e) => return Err(e),
     };
+    // Kernel completion is the epoch boundary: drain every line the
+    // launch's fences closed. (Error paths skip the drain — an epoch is
+    // only durable once its kernel completes.)
+    if model == PersistencyModel::Epoch {
+        machine.epoch_drain();
+    }
     if machine.trace_enabled() {
         machine.trace(EventKind::KernelEnd { launch: launch_ord });
         machine.trace(EventKind::EngineCommit {
@@ -923,6 +1304,11 @@ fn launch_sequential<K: Kernel>(
     let mut states: Vec<K::State> = Vec::new();
     let mut shared = K::Shared::default();
     let phases = kernel.phases();
+    // Vectorized eligibility is a launch-wide fact: fuel accounting and
+    // per-lane trace events (SystemFence, EadrPersist) both require the
+    // per-lane operation order, so a counting gauge or an installed sink
+    // forces the per-lane walk.
+    let vectorize = gauge.is_inert() && !machine.trace_enabled();
 
     for block in 0..cfg.grid {
         if machine.trace_enabled() {
@@ -934,32 +1320,30 @@ fn launch_sequential<K: Kernel>(
         let mut costs = KernelCosts::default();
         for phase in 0..phases {
             for warp in 0..cfg.warps_per_block() {
-                for lane in 0..WARP_SIZE {
-                    let thread = warp * WARP_SIZE + lane;
-                    if thread >= cfg.block {
-                        break;
-                    }
-                    let id = ThreadId { block, thread };
-                    let writer = id.global(&cfg) as WriterId;
-                    let mut ctx = ThreadCtx {
+                let first = warp * WARP_SIZE;
+                let lanes = (cfg.block - first).min(WARP_SIZE);
+                let mut vectored = false;
+                if vectorize {
+                    let mut ctx = WarpCtx {
                         mem: EngineMem::Live(machine),
                         costs: &mut costs,
                         scratch: &mut scratch,
-                        gauge,
                         launch: cfg,
-                        id,
-                        writer,
+                        block,
+                        warp,
+                        lanes,
+                        writer0: (block as u64 * cfg.block as u64 + first as u64) as WriterId,
                         op_seq: 0,
                     };
-                    match kernel.run(phase, &mut ctx, &mut states[thread as usize], &mut shared) {
-                        Ok(()) => {}
+                    let lo = first as usize;
+                    match kernel.run_warp(
+                        phase,
+                        &mut ctx,
+                        &mut states[lo..lo + lanes as usize],
+                        &mut shared,
+                    ) {
+                        Ok(handled) => vectored = handled,
                         Err(SimError::Crashed) => {
-                            // Close the open spans cleanly in the exported
-                            // JSON before the crash event cuts them.
-                            if machine.trace_enabled() {
-                                machine.trace(EventKind::BlockCommit { block });
-                                machine.trace(EventKind::KernelEnd { launch: launch_ord });
-                            }
                             let report = match gauge.policy() {
                                 Some(p) => machine.crash_with_policy(p),
                                 None => machine.crash(),
@@ -967,6 +1351,44 @@ fn launch_sequential<K: Kernel>(
                             return Err(LaunchError::Crashed(report));
                         }
                         Err(e) => return Err(LaunchError::Sim(e)),
+                    }
+                }
+                if !vectored {
+                    for lane in 0..WARP_SIZE {
+                        let thread = first + lane;
+                        if thread >= cfg.block {
+                            break;
+                        }
+                        let id = ThreadId { block, thread };
+                        let writer = id.global(&cfg) as WriterId;
+                        let mut ctx = ThreadCtx {
+                            mem: EngineMem::Live(machine),
+                            costs: &mut costs,
+                            scratch: &mut scratch,
+                            gauge,
+                            launch: cfg,
+                            id,
+                            writer,
+                            op_seq: 0,
+                        };
+                        match kernel.run(phase, &mut ctx, &mut states[thread as usize], &mut shared)
+                        {
+                            Ok(()) => {}
+                            Err(SimError::Crashed) => {
+                                // Close the open spans cleanly in the exported
+                                // JSON before the crash event cuts them.
+                                if machine.trace_enabled() {
+                                    machine.trace(EventKind::BlockCommit { block });
+                                    machine.trace(EventKind::KernelEnd { launch: launch_ord });
+                                }
+                                let report = match gauge.policy() {
+                                    Some(p) => machine.crash_with_policy(p),
+                                    None => machine.crash(),
+                                };
+                                return Err(LaunchError::Crashed(report));
+                            }
+                            Err(e) => return Err(LaunchError::Sim(e)),
+                        }
                     }
                 }
                 scratch.drain(&mut EngineMem::Live(machine), &mut costs);
@@ -979,7 +1401,8 @@ fn launch_sequential<K: Kernel>(
     }
 
     let pattern_delta: PatternTracker = machine.gpu_pm_pattern.delta(&pattern_before);
-    let elapsed = total.elapsed(&machine.cfg, &cfg, &pattern_delta);
+    let elapsed =
+        total.elapsed_with_model(&machine.cfg, &cfg, &pattern_delta, machine.persistency());
     machine.clock.advance(elapsed);
     Ok(KernelReport {
         elapsed,
@@ -1028,32 +1451,66 @@ fn run_block_staged<K: Kernel>(
     states.clear();
     states.resize_with(cfg.block as usize, K::State::default);
     let mut gauge = FuelGauge::Unlimited;
+    // The parallel path already requires an inert gauge, so staged blocks
+    // vectorize whenever no trace sink is installed — the same launch-wide
+    // rule the sequential engine applies.
+    let vectorize = !base.trace_enabled();
 
     for phase in 0..kernel.phases() {
         for warp in 0..cfg.warps_per_block() {
-            for lane in 0..WARP_SIZE {
-                let thread = warp * WARP_SIZE + lane;
-                if thread >= cfg.block {
-                    break;
-                }
-                let id = ThreadId { block, thread };
-                let writer = id.global(&cfg) as WriterId;
-                let mut ctx = ThreadCtx {
+            let first = warp * WARP_SIZE;
+            let lanes = (cfg.block - first).min(WARP_SIZE);
+            let mut vectored = false;
+            if vectorize {
+                let mut ctx = WarpCtx {
                     mem: EngineMem::Staged {
                         base,
                         stage: &mut stage,
                     },
                     costs: &mut costs,
                     scratch,
-                    gauge: &mut gauge,
                     launch: cfg,
-                    id,
-                    writer,
+                    block,
+                    warp,
+                    lanes,
+                    writer0: (block as u64 * cfg.block as u64 + first as u64) as WriterId,
                     op_seq: 0,
                 };
-                kernel
-                    .run(phase, &mut ctx, &mut states[thread as usize], shared)
+                let lo = first as usize;
+                vectored = kernel
+                    .run_warp(
+                        phase,
+                        &mut ctx,
+                        &mut states[lo..lo + lanes as usize],
+                        shared,
+                    )
                     .map_err(|_| ())?;
+            }
+            if !vectored {
+                for lane in 0..WARP_SIZE {
+                    let thread = first + lane;
+                    if thread >= cfg.block {
+                        break;
+                    }
+                    let id = ThreadId { block, thread };
+                    let writer = id.global(&cfg) as WriterId;
+                    let mut ctx = ThreadCtx {
+                        mem: EngineMem::Staged {
+                            base,
+                            stage: &mut stage,
+                        },
+                        costs: &mut costs,
+                        scratch,
+                        gauge: &mut gauge,
+                        launch: cfg,
+                        id,
+                        writer,
+                        op_seq: 0,
+                    };
+                    kernel
+                        .run(phase, &mut ctx, &mut states[thread as usize], shared)
+                        .map_err(|_| ())?;
+                }
             }
             scratch.drain(
                 &mut EngineMem::Staged {
@@ -1131,7 +1588,8 @@ fn launch_parallel<K: Kernel + Sync>(
     }
 
     let pattern_delta: PatternTracker = machine.gpu_pm_pattern.delta(&pattern_before);
-    let elapsed = total.elapsed(&machine.cfg, &cfg, &pattern_delta);
+    let elapsed =
+        total.elapsed_with_model(&machine.cfg, &cfg, &pattern_delta, machine.persistency());
     machine.clock.advance(elapsed);
     Some(KernelReport {
         elapsed,
@@ -1573,6 +2031,449 @@ mod tests {
         let k = FnKernel(|ctx: &mut ThreadCtx<'_>| ctx.st_u32(Addr::pm(pm), 1));
         let r = launch(&mut m, LaunchConfig::new(1, 32).with_engine_threads(8), &k).unwrap();
         assert_eq!(r.threads_used, 1, "a single block cannot spread");
+    }
+
+    /// A store(+fence) kernel implemented both per-lane and vectorized, for
+    /// engine-equivalence tests. Lane `i` stores `rounds` values at
+    /// `pm + i * stride + j * 8`, optionally fencing each round; `vectorize:
+    /// false` makes `run_warp` decline so the same kernel can drive the
+    /// per-lane walk.
+    struct VecStore {
+        pm: u64,
+        stride: u64,
+        rounds: u64,
+        fence: bool,
+        vectorize: bool,
+    }
+
+    impl Kernel for VecStore {
+        type State = ();
+        type Shared = ();
+
+        fn run(
+            &self,
+            _phase: u32,
+            ctx: &mut ThreadCtx<'_>,
+            _state: &mut (),
+            _shared: &mut (),
+        ) -> SimResult<()> {
+            let i = ctx.global_id();
+            for j in 0..self.rounds {
+                ctx.st_u64(Addr::pm(self.pm + i * self.stride + j * 8), i ^ j)?;
+                if self.fence {
+                    ctx.threadfence_system()?;
+                }
+            }
+            Ok(())
+        }
+
+        fn run_warp(
+            &self,
+            _phase: u32,
+            ctx: &mut WarpCtx<'_>,
+            states: &mut [()],
+            _shared: &mut (),
+        ) -> SimResult<bool> {
+            if !self.vectorize {
+                return Ok(false);
+            }
+            let base = ctx.first_global_id();
+            let lanes = ctx.lanes() as usize;
+            assert_eq!(states.len(), lanes, "one state slot per active lane");
+            let mut vals = [0u64; WARP_SIZE as usize];
+            for j in 0..self.rounds {
+                for (l, v) in vals[..lanes].iter_mut().enumerate() {
+                    *v = (base + l as u64) ^ j;
+                }
+                ctx.st_u64_lanes(
+                    Addr::pm(self.pm + base * self.stride + j * 8),
+                    self.stride,
+                    &vals[..lanes],
+                )?;
+                if self.fence {
+                    ctx.threadfence_system();
+                }
+            }
+            Ok(true)
+        }
+    }
+
+    /// Launches `VecStore` twice — per-lane and vectorized — on twin
+    /// machines and returns both (machine, report) pairs.
+    fn vec_twins(
+        pm_bytes: u64,
+        cfg: LaunchConfig,
+        stride: u64,
+        rounds: u64,
+        fence: bool,
+    ) -> ((Machine, KernelReport), (Machine, KernelReport)) {
+        let (mut lane, mut vec, pm) = twin_machines(pm_bytes);
+        lane.set_ddio(false);
+        vec.set_ddio(false);
+        let mut k = VecStore {
+            pm,
+            stride,
+            rounds,
+            fence,
+            vectorize: false,
+        };
+        let rl = launch(&mut lane, cfg, &k).unwrap();
+        k.vectorize = true;
+        let rv = launch(&mut vec, cfg, &k).unwrap();
+        ((lane, rl), (vec, rv))
+    }
+
+    #[test]
+    fn vectorized_contiguous_store_matches_per_lane_bit_for_bit() {
+        let cfg = LaunchConfig::new(4, 64).with_engine_threads(1);
+        let ((mut lane, rl), (mut vec, rv)) = vec_twins(1 << 20, cfg, 8, 1, true);
+        assert_eq!(rl.costs, rv.costs);
+        assert_eq!(rl.elapsed.0.to_bits(), rv.elapsed.0.to_bits());
+        // bytes_persisted is the documented exception: the lane-major walk
+        // re-drains a CPU line for every lane that re-dirties it (here 8
+        // lanes share each 64-byte line), where the warp-simultaneous fence
+        // drains it once. Everything else must be identical.
+        assert!(vec.stats.bytes_persisted < lane.stats.bytes_persisted);
+        lane.stats.bytes_persisted = 0;
+        vec.stats.bytes_persisted = 0;
+        assert_eq!(format!("{:?}", lane.stats), format!("{:?}", vec.stats));
+        assert_eq!(lane.clock.now(), vec.clock.now());
+        let mut ba = vec![0u8; 4 * 64 * 8];
+        let mut bb = ba.clone();
+        lane.read(Addr::pm(0), &mut ba).unwrap();
+        vec.read(Addr::pm(0), &mut bb).unwrap();
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn vectorized_strided_fence_kernel_matches_costs_and_time() {
+        // The fence_heavy shape: stride 32, 4 rounds, fence per round. The
+        // vector path executes operation-major, so per-round drains touch
+        // each line once where the lane-major walk re-drains lines its
+        // neighbours re-dirty — bytes_persisted is the one documented
+        // divergence; everything the timing model and the golden gates
+        // consume must still match exactly.
+        let cfg = LaunchConfig::new(2, 64).with_engine_threads(1);
+        let ((lane, rl), (vec, rv)) = vec_twins(1 << 20, cfg, 32, 4, true);
+        assert_eq!(rl.costs, rv.costs);
+        assert_eq!(rl.elapsed.0.to_bits(), rv.elapsed.0.to_bits());
+        assert_eq!(lane.stats.system_fences, vec.stats.system_fences);
+        assert_eq!(lane.stats.pm_write_bytes_gpu, vec.stats.pm_write_bytes_gpu);
+        assert_eq!(lane.clock.now(), vec.clock.now());
+        assert!(
+            vec.stats.bytes_persisted < lane.stats.bytes_persisted,
+            "operation-major drains strictly less: {} vs {}",
+            vec.stats.bytes_persisted,
+            lane.stats.bytes_persisted
+        );
+        let mut ba = vec![0u8; 2 * 64 * 32];
+        let mut bb = ba.clone();
+        lane.read(Addr::pm(0), &mut ba).unwrap();
+        vec.read(Addr::pm(0), &mut bb).unwrap();
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn vectorized_partial_tail_warp() {
+        // block = 48: a full warp plus a 16-lane tail. The tail's vector ops
+        // must cover exactly 16 lanes.
+        let cfg = LaunchConfig::new(2, 48).with_engine_threads(1);
+        let ((lane, rl), (vec, rv)) = vec_twins(1 << 20, cfg, 8, 1, false);
+        assert_eq!(rl.costs, rv.costs);
+        assert_eq!(rl.elapsed.0.to_bits(), rv.elapsed.0.to_bits());
+        assert_eq!(format!("{:?}", lane.stats), format!("{:?}", vec.stats));
+        for i in 0..96u64 {
+            assert_eq!(vec.read_u64(Addr::pm(i * 8)).unwrap(), i);
+        }
+    }
+
+    /// Counts `run` invocations to observe which path the engine took.
+    struct CountingKernel {
+        pm: u64,
+        runs: std::sync::atomic::AtomicU64,
+    }
+
+    impl Kernel for CountingKernel {
+        type State = ();
+        type Shared = ();
+
+        fn run(
+            &self,
+            _phase: u32,
+            ctx: &mut ThreadCtx<'_>,
+            _state: &mut (),
+            _shared: &mut (),
+        ) -> SimResult<()> {
+            self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(self.pm + i * 8), i)
+        }
+
+        fn run_warp(
+            &self,
+            _phase: u32,
+            ctx: &mut WarpCtx<'_>,
+            _states: &mut [()],
+            _shared: &mut (),
+        ) -> SimResult<bool> {
+            let base = ctx.first_global_id();
+            let lanes = ctx.lanes() as usize;
+            let mut vals = [0u64; WARP_SIZE as usize];
+            for (l, v) in vals[..lanes].iter_mut().enumerate() {
+                *v = base + l as u64;
+            }
+            ctx.st_u64_lanes(Addr::pm(self.pm + base * 8), 8, &vals[..lanes])?;
+            Ok(true)
+        }
+    }
+
+    fn counting_kernel(m: &mut Machine) -> CountingKernel {
+        CountingKernel {
+            pm: m.alloc_pm(1 << 16).unwrap(),
+            runs: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn vectorized_path_skips_per_lane_run() {
+        let mut m = Machine::default();
+        let k = counting_kernel(&mut m);
+        launch(&mut m, LaunchConfig::new(2, 64).with_engine_threads(1), &k).unwrap();
+        assert_eq!(k.runs.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn trace_sink_forces_per_lane_fallback() {
+        let mut m = Machine::default();
+        let k = counting_kernel(&mut m);
+        m.set_trace_sink(Box::new(gpm_sim::RingSink::new(1 << 16)));
+        launch(&mut m, LaunchConfig::new(2, 64).with_engine_threads(1), &k).unwrap();
+        assert_eq!(
+            k.runs.load(std::sync::atomic::Ordering::Relaxed),
+            128,
+            "per-lane trace events need the per-lane walk"
+        );
+    }
+
+    #[test]
+    fn counting_gauge_forces_per_lane_fallback() {
+        let mut m = Machine::default();
+        let k = counting_kernel(&mut m);
+        launch_with_fuel(
+            &mut m,
+            LaunchConfig::new(2, 64).with_engine_threads(1),
+            &k,
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(
+            k.runs.load(std::sync::atomic::Ordering::Relaxed),
+            128,
+            "fuel draws from the per-lane operation order"
+        );
+    }
+
+    #[test]
+    fn parallel_engine_commits_vectorized_blocks_bit_for_bit() {
+        let (mut seq, mut par, pm) = twin_machines(1 << 20);
+        seq.set_ddio(false);
+        par.set_ddio(false);
+        let k = VecStore {
+            pm,
+            stride: 8,
+            rounds: 1,
+            fence: true,
+            vectorize: true,
+        };
+        let r1 = launch(
+            &mut seq,
+            LaunchConfig::new(8, 64).with_engine_threads(1),
+            &k,
+        )
+        .unwrap();
+        let r4 = launch(
+            &mut par,
+            LaunchConfig::new(8, 64).with_engine_threads(4),
+            &k,
+        )
+        .unwrap();
+        assert_eq!(r4.threads_used, 4, "parallel path must have committed");
+        assert_eq!(r1.costs, r4.costs);
+        assert_eq!(r1.elapsed.0.to_bits(), r4.elapsed.0.to_bits());
+        assert_eq!(format!("{:?}", seq.stats), format!("{:?}", par.stats));
+        assert_eq!(seq.clock.now(), par.clock.now());
+    }
+
+    /// One store then a storm of fences per thread: fence latency dominates
+    /// the timing model, making the strict-vs-epoch gap unambiguous.
+    struct FenceStorm {
+        pm: u64,
+        rounds: u64,
+        vectorize: bool,
+    }
+
+    impl Kernel for FenceStorm {
+        type State = ();
+        type Shared = ();
+
+        fn run(
+            &self,
+            _phase: u32,
+            ctx: &mut ThreadCtx<'_>,
+            _state: &mut (),
+            _shared: &mut (),
+        ) -> SimResult<()> {
+            let i = ctx.global_id();
+            ctx.st_u64(Addr::pm(self.pm + i * 8), i)?;
+            for _ in 0..self.rounds {
+                ctx.threadfence_system()?;
+            }
+            Ok(())
+        }
+
+        fn run_warp(
+            &self,
+            _phase: u32,
+            ctx: &mut WarpCtx<'_>,
+            _states: &mut [()],
+            _shared: &mut (),
+        ) -> SimResult<bool> {
+            if !self.vectorize {
+                return Ok(false);
+            }
+            let base = ctx.first_global_id();
+            let lanes = ctx.lanes() as usize;
+            let mut vals = [0u64; WARP_SIZE as usize];
+            for (l, v) in vals[..lanes].iter_mut().enumerate() {
+                *v = base + l as u64;
+            }
+            ctx.st_u64_lanes(Addr::pm(self.pm + base * 8), 8, &vals[..lanes])?;
+            for _ in 0..self.rounds {
+                ctx.threadfence_system();
+            }
+            Ok(true)
+        }
+    }
+
+    fn epoch_twins(vectorize: bool) -> ((Machine, KernelReport), (Machine, KernelReport), u64) {
+        let (mut strict, mut epoch, pm) = twin_machines(1 << 20);
+        strict.set_ddio(false);
+        epoch.set_ddio(false);
+        let k = FenceStorm {
+            pm,
+            rounds: 64,
+            vectorize,
+        };
+        let cfg = LaunchConfig::new(4, 64).with_engine_threads(1);
+        let rs = launch(
+            &mut strict,
+            cfg.with_persistency(PersistencyModel::Strict),
+            &k,
+        )
+        .unwrap();
+        let re = launch(
+            &mut epoch,
+            cfg.with_persistency(PersistencyModel::Epoch),
+            &k,
+        )
+        .unwrap();
+        ((strict, rs), (epoch, re), pm)
+    }
+
+    #[test]
+    fn epoch_launch_defers_drain_to_kernel_boundary() {
+        let ((strict, rs), (mut epoch, re), pm) = epoch_twins(true);
+        // Same fences issued, far cheaper under epoch: ordering markers plus
+        // one boundary drain instead of per-fence persist round trips.
+        assert_eq!(strict.stats.system_fences, epoch.stats.system_fences);
+        assert_eq!(rs.costs.system_fence_events, re.costs.system_fence_events);
+        assert!(
+            rs.elapsed > re.elapsed * 2.0,
+            "strict {} vs epoch {}",
+            rs.elapsed,
+            re.elapsed
+        );
+        // The boundary drain ran: nothing is pending, and a crash right
+        // after the launch loses nothing.
+        assert_eq!(epoch.pm().pending_line_count(), 0);
+        epoch.crash();
+        for i in 0..(4 * 64u64) {
+            assert_eq!(epoch.read_u64(Addr::pm(pm + i * 8)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn epoch_applies_to_per_lane_walk_too() {
+        // The model is orthogonal to vectorization: a per-lane kernel under
+        // epoch gets the same deferred-drain semantics.
+        let ((_, rs), (mut epoch, re), pm) = epoch_twins(false);
+        assert!(
+            rs.elapsed > re.elapsed * 2.0,
+            "strict {} vs epoch {}",
+            rs.elapsed,
+            re.elapsed
+        );
+        assert_eq!(epoch.pm().pending_line_count(), 0, "boundary drain ran");
+        epoch.crash();
+        assert_eq!(epoch.read_u64(Addr::pm(pm + 8)).unwrap(), 1);
+    }
+
+    // ---- SeqGroup extent merging (the coalescer's core) ---------------------
+
+    #[test]
+    fn seq_group_merges_overlapping_extents() {
+        let mut g = SeqGroup::default();
+        g.record_write(0, 16);
+        g.record_write(8, 16); // overlaps [8, 16)
+        assert_eq!(g.write_lines.len(), 1);
+        assert_eq!(
+            (g.write_lines[0].start, g.write_lines[0].end),
+            (0, 24),
+            "overlapping extents merge to their union"
+        );
+    }
+
+    #[test]
+    fn seq_group_merges_adjacent_extents_within_a_line() {
+        let mut g = SeqGroup::default();
+        g.record_write(0, 8);
+        g.record_write(8, 8);
+        g.record_write(16, 8);
+        assert_eq!(g.write_lines.len(), 1, "one 128-byte line, one extent");
+        assert_eq!((g.write_lines[0].start, g.write_lines[0].end), (0, 24));
+    }
+
+    #[test]
+    fn seq_group_keeps_contained_extent() {
+        let mut g = SeqGroup::default();
+        g.record_write(0, 64);
+        g.record_write(16, 8); // fully contained
+        assert_eq!(g.write_lines.len(), 1);
+        assert_eq!((g.write_lines[0].start, g.write_lines[0].end), (0, 64));
+    }
+
+    #[test]
+    fn seq_group_splits_line_crossing_writes() {
+        let mut g = SeqGroup::default();
+        // [120, 136) crosses the line-0/line-1 boundary at 128.
+        g.record_write(120, 16);
+        assert_eq!(g.write_lines.len(), 2);
+        assert_eq!((g.write_lines[0].line, g.write_lines[0].start), (0, 120));
+        assert_eq!((g.write_lines[1].line, g.write_lines[1].end), (1, 136));
+        // Lines stay sorted when a lower line arrives later.
+        g.record_write(0, 8);
+        assert_eq!(g.write_lines[0].start, 0);
+        assert_eq!(g.write_lines[0].end, 128, "merged with [120, 128)");
+    }
+
+    #[test]
+    fn seq_group_read_lines_dedup() {
+        let mut g = SeqGroup::default();
+        g.record_read(0, 8);
+        g.record_read(64, 8); // same 128-byte line
+        g.record_read(256, 8); // line 2
+        g.record_read(250, 16); // crosses lines 1 and 2; 2 already present
+        assert_eq!(g.read_lines, vec![0, 2, 1]);
     }
 
     #[test]

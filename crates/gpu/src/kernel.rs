@@ -9,7 +9,7 @@
 
 use gpm_sim::SimResult;
 
-use crate::exec::ThreadCtx;
+use crate::exec::{ThreadCtx, WarpCtx};
 
 /// How a kernel's blocks may be scheduled relative to each other.
 ///
@@ -120,6 +120,38 @@ pub trait Kernel {
         state: &mut Self::State,
         shared: &mut Self::Shared,
     ) -> SimResult<()>;
+
+    /// Executes one phase for *all* active lanes of one warp in lockstep —
+    /// the vectorized fast path. `states` holds the warp's per-lane states
+    /// (`states[i]` is lane `i`; fewer than 32 for a partial tail warp).
+    ///
+    /// Return `Ok(true)` after handling the whole phase through the
+    /// [`WarpCtx`] vector operations, or `Ok(false)` — **before issuing any
+    /// context operation** — to fall back to 32 per-lane [`Kernel::run`]
+    /// walks. The default declines, so existing kernels are unaffected.
+    ///
+    /// An implementation must be *semantically equivalent* to running
+    /// [`Kernel::run`] once per lane: same stores, loads, fences, and costs.
+    /// The engine guarantees the equivalence is observable only through
+    /// speed — it invokes `run_warp` solely when no fuel gauge is counting
+    /// individual operations and no trace sink wants per-lane events, and
+    /// vector operations account counters exactly as the per-lane walk
+    /// would. The one documented divergence: a warp's vector operations
+    /// execute *operation-major* (every lane's store, then every lane's
+    /// fence) where the per-lane walk runs each lane to completion in turn,
+    /// so `gpm_sim::Stats::bytes_persisted` can differ whenever several
+    /// lanes dirty one CPU line between fences — the operation-major count
+    /// is the SIMT-faithful one, and nothing in the timing model reads it.
+    fn run_warp(
+        &self,
+        phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        states: &mut [Self::State],
+        shared: &mut Self::Shared,
+    ) -> SimResult<bool> {
+        let _ = (phase, ctx, states, shared);
+        Ok(false)
+    }
 }
 
 /// Wraps a closure as a single-phase, stateless kernel.
@@ -197,5 +229,15 @@ impl<K: Kernel> Kernel for Communicating<K> {
         shared: &mut Self::Shared,
     ) -> SimResult<()> {
         self.0.run(phase, ctx, state, shared)
+    }
+
+    fn run_warp(
+        &self,
+        phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        states: &mut [Self::State],
+        shared: &mut Self::Shared,
+    ) -> SimResult<bool> {
+        self.0.run_warp(phase, ctx, states, shared)
     }
 }

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use gpm_sim::config::MachineConfig;
 use gpm_sim::pattern::PatternTracker;
-use gpm_sim::Ns;
+use gpm_sim::{Ns, PersistencyModel};
 
 use crate::dim::LaunchConfig;
 
@@ -73,12 +73,31 @@ impl KernelCosts {
     }
 
     /// Elapsed kernel time under `cfg` for a launch of shape `launch`, with
-    /// `pattern` describing this kernel's PM write mix.
+    /// `pattern` describing this kernel's PM write mix, assuming strict
+    /// persistency. Equivalent to [`KernelCosts::elapsed_with_model`] with
+    /// [`PersistencyModel::Strict`].
     pub fn elapsed(
         &self,
         cfg: &MachineConfig,
         launch: &LaunchConfig,
         pattern: &PatternTracker,
+    ) -> Ns {
+        self.elapsed_with_model(cfg, launch, pattern, PersistencyModel::Strict)
+    }
+
+    /// Elapsed kernel time under a chosen [`PersistencyModel`]. Under
+    /// [`PersistencyModel::Strict`] every system fence pays the full
+    /// persist round trip ([`MachineConfig::effective_system_fence_latency`]);
+    /// under [`PersistencyModel::Epoch`] fences only order into the open
+    /// epoch ([`MachineConfig::epoch_fence_latency`]) and the launch pays
+    /// one terminal full-latency drain at the epoch boundary (when any
+    /// system fence was issued at all).
+    pub fn elapsed_with_model(
+        &self,
+        cfg: &MachineConfig,
+        launch: &LaunchConfig,
+        pattern: &PatternTracker,
+        model: PersistencyModel,
     ) -> Ns {
         let cores = launch.total_threads().min(cfg.total_cuda_cores() as u64) as f64;
         let warps_overlap = launch
@@ -106,9 +125,28 @@ impl KernelCosts {
         let txn_time = Ns(txn_cost / warps_overlap);
 
         let sys_lat = cfg.effective_system_fence_latency();
-        let fence_time = Ns(self.system_fence_events as f64 * sys_lat.0 / warps_overlap
-            + self.device_fence_events as f64 * cfg.device_fence_latency.0
-                / (launch.total_warps().max(1) as f64));
+        let dev_fence_time = self.device_fence_events as f64 * cfg.device_fence_latency.0
+            / (launch.total_warps().max(1) as f64);
+        let fence_time = match model {
+            PersistencyModel::Strict => {
+                Ns(self.system_fence_events as f64 * sys_lat.0 / warps_overlap + dev_fence_time)
+            }
+            PersistencyModel::Epoch => {
+                // Each fence only posts an epoch-ordering marker; the one
+                // deferred drain at kernel completion pays the full persist
+                // round trip (it cannot overlap — the kernel is over).
+                let drain = if self.system_fence_events > 0 {
+                    sys_lat.0
+                } else {
+                    0.0
+                };
+                Ns(
+                    self.system_fence_events as f64 * cfg.epoch_fence_latency.0 / warps_overlap
+                        + drain
+                        + dev_fence_time,
+                )
+            }
+        };
 
         let overlapped = compute_time
             .max(hbm_time)
@@ -180,6 +218,38 @@ mod tests {
             ..KernelCosts::default()
         };
         assert!(c.elapsed(&cfg, &launch, &pat) > c.elapsed(&eadr, &launch, &pat) * 5.0);
+    }
+
+    #[test]
+    fn epoch_model_cuts_fence_time_but_pays_terminal_drain() {
+        let (cfg, launch, pat) = base();
+        let c = KernelCosts {
+            system_fence_events: 100_000,
+            ..KernelCosts::default()
+        };
+        let strict = c.elapsed_with_model(&cfg, &launch, &pat, PersistencyModel::Strict);
+        let epoch = c.elapsed_with_model(&cfg, &launch, &pat, PersistencyModel::Epoch);
+        assert_eq!(
+            strict,
+            c.elapsed(&cfg, &launch, &pat),
+            "elapsed() is strict"
+        );
+        // epoch_fence_latency / system_fence_latency ≈ 150/1100: large win.
+        assert!(strict > epoch * 5.0, "strict {strict} vs epoch {epoch}");
+        // The terminal drain shows up: one fence under epoch still pays a
+        // full system-fence round trip on top of its cheap ordering cost.
+        let one = KernelCosts {
+            system_fence_events: 1,
+            ..KernelCosts::default()
+        };
+        let one_epoch = one.elapsed_with_model(&cfg, &launch, &pat, PersistencyModel::Epoch);
+        assert!(one_epoch >= cfg.kernel_launch_overhead + cfg.system_fence_latency);
+        // No fences ⇒ no drain: models agree exactly.
+        let none = KernelCosts::default();
+        assert_eq!(
+            none.elapsed_with_model(&cfg, &launch, &pat, PersistencyModel::Epoch),
+            none.elapsed(&cfg, &launch, &pat)
+        );
     }
 
     #[test]

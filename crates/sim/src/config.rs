@@ -26,6 +26,30 @@ pub enum PersistMode {
     Eadr,
 }
 
+/// GPU persistency model: *when* a system-scope fence drains its writer's
+/// pending lines into the persistence domain.
+///
+/// Follows the strict/epoch distinction of "Exploring Memory Persistency
+/// Models for GPUs" (Lin & Solihin): under strict persistency every fence
+/// synchronously waits for its writes to reach the durable WPQ, while under
+/// epoch persistency fences only *order* writes into the current persist
+/// epoch and the drain is deferred to the epoch boundary (here: kernel
+/// completion). The model is selected per launch — see `LaunchConfig` in
+/// `gpm-gpu` — and only changes timing plus *when* pending lines become
+/// durable; visibility and final media contents are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PersistencyModel {
+    /// Every system fence synchronously drains the writer's pending lines
+    /// (the GPM paper's baseline behaviour, §5.1).
+    #[default]
+    Strict,
+    /// Fences mark the writer's pending lines as epoch-ordered; all marked
+    /// lines drain together at the epoch boundary (kernel completion), so a
+    /// fence costs [`MachineConfig::epoch_fence_latency`] instead of a full
+    /// PCIe round trip.
+    Epoch,
+}
+
 /// Timing and topology parameters of the simulated machine.
 ///
 /// Construct with [`MachineConfig::default`] for the paper's testbed, or
@@ -71,6 +95,13 @@ pub struct MachineConfig {
     /// Latency of a system-scoped fence when eADR makes the LLC durable: the
     /// fence completes "as soon as data reaches LLC" `[§6.1]`.
     pub eadr_fence_latency: Ns,
+    /// Latency of a system-scoped fence under [`PersistencyModel::Epoch`]:
+    /// the fence only orders prior writes into the open persist epoch (a
+    /// posted operation, no durable-WPQ round trip), so it costs little more
+    /// than PCIe write acceptance. The deferred drain pays one full
+    /// [`MachineConfig::system_fence_latency`] at the epoch boundary.
+    /// `[Lin & Solihin, epoch persistency]`
+    pub epoch_fence_latency: Ns,
     /// Fixed cost of initiating a DMA transfer (driver, ring setup).
     pub dma_init_overhead: Ns,
 
@@ -159,6 +190,7 @@ impl Default for MachineConfig {
             pcie_max_inflight: 16,
             system_fence_latency: Ns(1_100.0),
             eadr_fence_latency: Ns(80.0),
+            epoch_fence_latency: Ns(150.0),
             dma_init_overhead: Ns::from_micros(10.0),
 
             pm_bw_seq_aligned: 12.5,

@@ -62,7 +62,7 @@ pub use campaign::{
     enumerate_cases, run_campaign, CampaignCase, CampaignConfig, CampaignStats, CaseOutcome,
     CrashSchedule, OracleVerdict,
 };
-pub use config::{MachineConfig, PersistMode};
+pub use config::{MachineConfig, PersistMode, PersistencyModel};
 pub use error::{SimError, SimResult};
 pub use machine::Machine;
 pub use pm::{CrashPolicy, CrashReport, WriterId, HOST_WRITER};

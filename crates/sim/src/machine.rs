@@ -6,7 +6,7 @@
 //! baselines) using the constants in [`MachineConfig`].
 
 use crate::addr::{align_up, Addr, MemSpace, OPTANE_BLOCK};
-use crate::config::{MachineConfig, PersistMode};
+use crate::config::{MachineConfig, PersistMode, PersistencyModel};
 use crate::error::{SimError, SimResult};
 use crate::fs::{extent_size, PmFile, PmFs};
 use crate::pattern::PatternTracker;
@@ -54,6 +54,9 @@ pub struct Machine {
     fs: PmFs,
     rng: Xoshiro256StarStar,
     ddio_enabled: bool,
+    /// Active GPU persistency model. The execution engine sets this per
+    /// launch from `LaunchConfig`; host-side operations ignore it.
+    persistency: PersistencyModel,
     pm_cursor: u64,
     dram_cursor: u64,
     hbm_cursor: u64,
@@ -79,6 +82,7 @@ impl Machine {
             fs: PmFs::new(),
             rng,
             ddio_enabled: true,
+            persistency: PersistencyModel::Strict,
             pm_cursor: 0,
             dram_cursor: 0,
             hbm_cursor: 0,
@@ -252,6 +256,20 @@ impl Machine {
         self.cfg.persist_mode == PersistMode::Eadr || !self.ddio_enabled
     }
 
+    /// The GPU persistency model currently in force (see
+    /// [`PersistencyModel`]). Strict unless a launch selected epoch.
+    pub fn persistency(&self) -> PersistencyModel {
+        self.persistency
+    }
+
+    /// Selects the GPU persistency model. The execution engine calls this at
+    /// launch entry with the launch's resolved model; under
+    /// [`PersistencyModel::Epoch`] it must pair every launch with a
+    /// [`Machine::epoch_drain`] at the epoch boundary.
+    pub fn set_persistency(&mut self, model: PersistencyModel) {
+        self.persistency = model;
+    }
+
     // ---- GPU-side PM access (over PCIe) -------------------------------------
 
     /// A GPU store to PM. Under eADR the LLC is durable, so the write commits
@@ -275,6 +293,41 @@ impl Machine {
             self.pm.write_durable(offset, bytes)
         } else {
             self.pm.write_visible(writer, offset, bytes)
+        }
+    }
+
+    /// Batched [`Machine::gpu_store_pm`] for a warp's lockstep lanes: byte
+    /// `j` of `bytes` belongs to writer `writer0 + j / lane_bytes` (the
+    /// warp's lanes hold consecutive writer ids and store contiguously).
+    /// Counter-identical to the per-lane calls; under eADR it emits a single
+    /// [`EventKind::EadrPersist`] covering the whole range, so callers
+    /// needing per-lane events must store per lane (the execution engine
+    /// falls back to per-lane execution when tracing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range exceeds PM capacity.
+    pub fn gpu_store_pm_lanes(
+        &mut self,
+        writer0: WriterId,
+        lane_bytes: u32,
+        offset: u64,
+        bytes: &[u8],
+    ) -> SimResult<()> {
+        self.stats.pm_write_bytes_gpu += bytes.len() as u64;
+        if self.cfg.persist_mode == PersistMode::Eadr {
+            self.stats.bytes_persisted += bytes.len() as u64;
+            if self.trace_enabled() {
+                self.trace(EventKind::EadrPersist {
+                    offset,
+                    bytes: bytes.len() as u64,
+                    gpu: true,
+                });
+            }
+            self.pm.write_durable(offset, bytes)
+        } else {
+            self.pm
+                .write_visible_lanes(writer0, lane_bytes, offset, bytes)
         }
     }
 
@@ -309,14 +362,69 @@ impl Machine {
         let lines = match self.cfg.persist_mode {
             PersistMode::Eadr => 0,
             PersistMode::Adr if !self.ddio_enabled => {
-                let lines = self.pm.persist_writer(writer);
-                self.stats.bytes_persisted += lines * crate::addr::CPU_LINE;
-                lines
+                if self.persistency == PersistencyModel::Epoch {
+                    // Epoch persistency: the fence only orders the writer's
+                    // lines into the open epoch; the drain happens at the
+                    // epoch boundary ([`Machine::epoch_drain`]).
+                    self.pm.close_writer(writer);
+                    0
+                } else {
+                    let lines = self.pm.persist_writer(writer);
+                    self.stats.bytes_persisted += lines * crate::addr::CPU_LINE;
+                    lines
+                }
             }
             PersistMode::Adr => 0,
         };
         if self.trace_enabled() {
             self.trace(EventKind::SystemFence { writer, lines });
+        }
+        lines
+    }
+
+    /// Batched [`Machine::gpu_system_fence`] for a warp's lockstep lanes:
+    /// `lanes` fences by writers `writer0 .. writer0 + lanes`, counted
+    /// individually but drained (or epoch-closed) in one pending-table scan.
+    /// Lines shared between lanes drain once — exactly what sequential
+    /// per-lane fences would leave behind, reached in one pass.
+    ///
+    /// Emits a single [`EventKind::SystemFence`] carrying the total; callers
+    /// needing per-lane fence events must issue per-lane fences instead (the
+    /// execution engine falls back to per-lane execution when tracing).
+    pub fn gpu_system_fence_lanes(&mut self, writer0: WriterId, lanes: u32) -> u64 {
+        self.stats.system_fences += lanes as u64;
+        let lines = match self.cfg.persist_mode {
+            PersistMode::Eadr => 0,
+            PersistMode::Adr if !self.ddio_enabled => {
+                if self.persistency == PersistencyModel::Epoch {
+                    self.pm.close_writers_range(writer0, lanes);
+                    0
+                } else {
+                    let lines = self.pm.persist_writers_range(writer0, lanes);
+                    self.stats.bytes_persisted += lines * crate::addr::CPU_LINE;
+                    lines
+                }
+            }
+            PersistMode::Adr => 0,
+        };
+        if self.trace_enabled() {
+            self.trace(EventKind::SystemFence {
+                writer: writer0,
+                lines,
+            });
+        }
+        lines
+    }
+
+    /// Epoch boundary under [`PersistencyModel::Epoch`]: drains every
+    /// epoch-closed pending line into media and emits one
+    /// [`EventKind::EpochDrain`]. The execution engine calls this at kernel
+    /// completion. Returns the number of lines made durable.
+    pub fn epoch_drain(&mut self) -> u64 {
+        let lines = self.pm.drain_closed();
+        self.stats.bytes_persisted += lines * crate::addr::CPU_LINE;
+        if self.trace_enabled() {
+            self.trace(EventKind::EpochDrain { lines });
         }
         lines
     }
@@ -691,6 +799,77 @@ mod tests {
             .unwrap();
         assert_eq!(m.read_u32(Addr::pm(p)).unwrap(), 123);
         assert_eq!(m.read_f32(Addr::pm(p + 8)).unwrap(), 9.5);
+    }
+
+    #[test]
+    fn epoch_fence_defers_persist_to_drain() {
+        let mut m = Machine::default();
+        let off = m.alloc_pm(4096).unwrap();
+        m.set_ddio(false);
+        m.set_persistency(PersistencyModel::Epoch);
+        m.gpu_store_pm(1, off, &[5; 8]).unwrap();
+        assert_eq!(m.gpu_system_fence(1), 0, "epoch fence drains nothing");
+        assert_eq!(m.stats.system_fences, 1);
+        assert_eq!(m.stats.bytes_persisted, 0);
+        assert!(m.pm().is_pending(off, 8));
+        assert_eq!(m.pm().closed_line_count(), 1);
+        assert_eq!(m.epoch_drain(), 1);
+        assert_eq!(m.stats.bytes_persisted, 64);
+        assert!(!m.pm().is_pending(off, 8));
+    }
+
+    #[test]
+    fn epoch_and_strict_converge_on_media() {
+        let run = |model: PersistencyModel| {
+            let mut m = Machine::default();
+            let off = m.alloc_pm(4096).unwrap();
+            m.set_ddio(false);
+            m.set_persistency(model);
+            m.gpu_store_pm(1, off, &[7; 64]).unwrap();
+            m.gpu_system_fence(1);
+            if model == PersistencyModel::Epoch {
+                m.epoch_drain();
+            }
+            let mut b = [0u8; 64];
+            m.pm().read_media(off, &mut b).unwrap();
+            (b, m.stats.bytes_persisted, m.stats.system_fences)
+        };
+        assert_eq!(run(PersistencyModel::Strict), run(PersistencyModel::Epoch));
+    }
+
+    #[test]
+    fn lanes_store_and_fence_match_per_lane_counters() {
+        let lanes_path = {
+            let mut m = Machine::default();
+            let off = m.alloc_pm(4096).unwrap();
+            m.set_ddio(false);
+            let data = [3u8; 256];
+            m.gpu_store_pm_lanes(0, 8, off, &data).unwrap();
+            m.gpu_system_fence_lanes(0, 32);
+            (
+                m.stats.pm_write_bytes_gpu,
+                m.stats.system_fences,
+                m.stats.bytes_persisted,
+            )
+        };
+        let per_lane = {
+            let mut m = Machine::default();
+            let off = m.alloc_pm(4096).unwrap();
+            m.set_ddio(false);
+            for lane in 0..32u32 {
+                m.gpu_store_pm(lane, off + lane as u64 * 8, &[3u8; 8])
+                    .unwrap();
+            }
+            for lane in 0..32u32 {
+                m.gpu_system_fence(lane);
+            }
+            (
+                m.stats.pm_write_bytes_gpu,
+                m.stats.system_fences,
+                m.stats.bytes_persisted,
+            )
+        };
+        assert_eq!(lanes_path, per_lane);
     }
 
     #[test]

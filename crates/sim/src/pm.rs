@@ -77,6 +77,16 @@ impl Writers {
         }
     }
 
+    /// Whether any tracked writer falls in `[w0, w0 + n)`. One pass over the
+    /// set, so a warp-wide fence probes each line once instead of 32 times.
+    fn contains_range(&self, w0: WriterId, n: u32) -> bool {
+        let hit = |w: WriterId| w.wrapping_sub(w0) < n;
+        match self {
+            Writers::Inline { ids, len } => ids[..*len as usize].iter().copied().any(hit),
+            Writers::Spill(v) => v.iter().copied().any(hit),
+        }
+    }
+
     fn insert(&mut self, w: WriterId) {
         match self {
             Writers::Inline { ids, len } => {
@@ -126,6 +136,13 @@ impl LineSlot {
 struct PendingPage {
     /// Bit `i` set ⇔ line `page*64 + i` is pending.
     present: u64,
+    /// Bit `i` set ⇔ line `page*64 + i` is pending *and* epoch-ordered: a
+    /// fence under epoch persistency has closed it into the current persist
+    /// epoch, so the epoch-boundary drain will make it durable. A later
+    /// rewrite reopens the line (clears the bit) — the WPQ coalesces the new
+    /// store into the queued entry, deferring it to the next epoch. Always a
+    /// subset of `present`.
+    closed: u64,
     /// Pool index of line `i`'s storage; meaningful only when bit `i` of
     /// `present` is set.
     slots: [u32; LINES_PER_PAGE as usize],
@@ -135,6 +152,7 @@ impl PendingPage {
     fn new() -> PendingPage {
         PendingPage {
             present: 0,
+            closed: 0,
             slots: [0; LINES_PER_PAGE as usize],
         }
     }
@@ -363,6 +381,7 @@ impl PmDevice {
             let lend = (lstart + CPU_LINE).min(self.capacity);
             if offset <= lstart && end >= lend {
                 page.present &= !bit;
+                page.closed &= !bit;
                 self.free_slots.push(idx);
                 self.pending_count -= 1;
             } else {
@@ -406,12 +425,98 @@ impl PmDevice {
                 self.occ_hi = self.occ_hi.max(ppage);
                 idx
             } else {
-                self.pending[ppage].as_deref().expect("page resident").slots[slot]
+                let page = self.pending[ppage].as_deref_mut().expect("page resident");
+                // Rewriting a queued line reopens it: the WPQ coalesces the
+                // new store, deferring durability to the next epoch close.
+                page.closed &= !bit;
+                page.slots[slot]
             };
             let lslot = &mut self.pool[idx as usize];
             lslot.writers.insert(writer);
             let s = offset.max(lstart);
             let e = end.min(lstart + CPU_LINE);
+            lslot.data[(s - lstart) as usize..(e - lstart) as usize]
+                .copy_from_slice(&bytes[(s - offset) as usize..(e - offset) as usize]);
+        }
+        Ok(())
+    }
+
+    /// Batched [`PmDevice::write_visible`] for a warp's lockstep lanes: byte
+    /// `j` of `bytes` was stored by writer `writer0 + j / lane_bytes`, i.e.
+    /// the payload is `bytes.len() / lane_bytes` consecutive writers' stores
+    /// packed contiguously (lane 0 first). Produces exactly the pending-line
+    /// state of the equivalent per-lane `write_visible` calls in lane order,
+    /// but touches each CPU line's directory entry once and skips the
+    /// fill-from-media for lines the write fully covers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range exceeds capacity.
+    pub fn write_visible_lanes(
+        &mut self,
+        writer0: WriterId,
+        lane_bytes: u32,
+        offset: u64,
+        bytes: &[u8],
+    ) -> SimResult<()> {
+        debug_assert!(lane_bytes > 0 && bytes.len().is_multiple_of(lane_bytes as usize));
+        self.check(offset, bytes.len() as u64)?;
+        let end = offset + bytes.len() as u64;
+        for line in line_span(offset, bytes.len() as u64) {
+            let lstart = line * CPU_LINE;
+            let ppage = (line / LINES_PER_PAGE) as usize;
+            let slot = (line % LINES_PER_PAGE) as usize;
+            if ppage >= self.pending.len() {
+                self.pending.resize_with(ppage + 1, || None);
+            }
+            let bit = 1u64 << slot;
+            let absent = match self.pending[ppage].as_deref() {
+                Some(page) => page.present & bit == 0,
+                None => true,
+            };
+            let s = offset.max(lstart);
+            let e = end.min(lstart + CPU_LINE);
+            let idx = if absent {
+                let idx = self.alloc_slot();
+                if e - s < CPU_LINE {
+                    // Partially covered fresh line: expose media for the
+                    // untouched bytes. A fully covered line skips the fill —
+                    // every byte is overwritten below.
+                    self.media.read(lstart, &mut self.pool[idx as usize].data);
+                }
+                let page = self.pending[ppage].get_or_insert_with(|| Box::new(PendingPage::new()));
+                page.present |= bit;
+                page.closed &= !bit;
+                page.slots[slot] = idx;
+                self.pending_count += 1;
+                self.occ_lo = self.occ_lo.min(ppage);
+                self.occ_hi = self.occ_hi.max(ppage);
+                idx
+            } else {
+                let page = self.pending[ppage].as_deref_mut().expect("page resident");
+                page.closed &= !bit;
+                page.slots[slot]
+            };
+            let lslot = &mut self.pool[idx as usize];
+            // Writers covering this line, in ascending (= lane) order.
+            let w_first = writer0 + ((s - offset) / lane_bytes as u64) as WriterId;
+            let w_last = writer0 + ((e - 1 - offset) / lane_bytes as u64) as WriterId;
+            let n = (w_last - w_first + 1) as usize;
+            match &mut lslot.writers {
+                // Fresh slot with few enough lanes: fill the inline set
+                // directly, skipping per-writer membership probes.
+                Writers::Inline { ids, len } if *len == 0 && n <= INLINE_WRITERS => {
+                    for (i, id) in ids[..n].iter_mut().enumerate() {
+                        *id = w_first + i as WriterId;
+                    }
+                    *len = n as u8;
+                }
+                _ => {
+                    for w in w_first..=w_last {
+                        lslot.writers.insert(w);
+                    }
+                }
+            }
             lslot.data[(s - lstart) as usize..(e - lstart) as usize]
                 .copy_from_slice(&bytes[(s - offset) as usize..(e - offset) as usize]);
         }
@@ -462,6 +567,7 @@ impl PmDevice {
             let idx = page.slots[slot];
             buf.copy_from_slice(&self.pool[idx as usize].data);
             page.present &= !(1u64 << slot);
+            page.closed &= !(1u64 << slot);
             self.free_slots.push(idx);
         }
         self.media.write(lstart, &buf[..(end - lstart) as usize]);
@@ -498,6 +604,108 @@ impl PmDevice {
         }
         self.settle_watermarks();
         n
+    }
+
+    /// Drains every pending line tagged with any writer in
+    /// `[writer0, writer0 + lanes)` — the effect of a warp's 32 lockstep
+    /// persist fences, executed as one table scan instead of 32.
+    ///
+    /// Returns the number of lines made durable.
+    pub fn persist_writers_range(&mut self, writer0: WriterId, lanes: u32) -> u64 {
+        let Some(pages) = self.occupied_pages() else {
+            return 0;
+        };
+        let mut n = 0;
+        for ppage in pages {
+            let Some(page) = self.pending[ppage].as_deref() else {
+                continue;
+            };
+            let mut bits = page.present;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let page = self.pending[ppage].as_deref().expect("page resident");
+                if self.pool[page.slots[slot] as usize]
+                    .writers
+                    .contains_range(writer0, lanes)
+                {
+                    self.apply_line_at(ppage, slot);
+                    n += 1;
+                }
+            }
+        }
+        self.settle_watermarks();
+        n
+    }
+
+    /// Epoch-persistency fence: marks every pending line tagged with `writer`
+    /// as *closed* into the current persist epoch. Closed lines stay pending
+    /// (a crash can still drop them) until [`PmDevice::drain_closed`] runs at
+    /// the epoch boundary. Returns the number of lines newly closed.
+    pub fn close_writer(&mut self, writer: WriterId) -> u64 {
+        self.close_where(|writers| writers.contains(writer))
+    }
+
+    /// Batched [`PmDevice::close_writer`] over `[writer0, writer0 + lanes)`:
+    /// one table scan for a warp's lockstep epoch fences.
+    pub fn close_writers_range(&mut self, writer0: WriterId, lanes: u32) -> u64 {
+        self.close_where(|writers| writers.contains_range(writer0, lanes))
+    }
+
+    fn close_where(&mut self, hit: impl Fn(&Writers) -> bool) -> u64 {
+        let Some(pages) = self.occupied_pages() else {
+            return 0;
+        };
+        let mut n = 0;
+        for ppage in pages {
+            let Some(page) = self.pending[ppage].as_deref_mut() else {
+                continue;
+            };
+            let mut bits = page.present & !page.closed;
+            while bits != 0 {
+                let slot = bits.trailing_zeros();
+                bits &= bits - 1;
+                if hit(&self.pool[page.slots[slot as usize] as usize].writers) {
+                    page.closed |= 1u64 << slot;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Epoch boundary: drains every closed pending line into media, in
+    /// ascending address order. Returns the number of lines made durable.
+    pub fn drain_closed(&mut self) -> u64 {
+        let Some(pages) = self.occupied_pages() else {
+            return 0;
+        };
+        let mut n = 0;
+        for ppage in pages {
+            let Some(page) = self.pending[ppage].as_deref() else {
+                continue;
+            };
+            let mut bits = page.present & page.closed;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.apply_line_at(ppage, slot);
+                n += 1;
+            }
+        }
+        self.settle_watermarks();
+        n
+    }
+
+    /// Number of pending lines currently closed into the open persist epoch.
+    pub fn closed_line_count(&self) -> usize {
+        let Some(pages) = self.occupied_pages() else {
+            return 0;
+        };
+        pages
+            .filter_map(|p| self.pending[p].as_deref())
+            .map(|p| (p.present & p.closed).count_ones() as usize)
+            .sum()
     }
 
     /// Drains every pending line intersecting `[offset, offset+len)` into
@@ -591,6 +799,7 @@ impl PmDevice {
                 } else {
                     let page = self.pending[ppage].as_deref_mut().expect("page resident");
                     page.present &= !(1u64 << slot);
+                    page.closed &= !(1u64 << slot);
                     self.free_slots.push(page.slots[slot]);
                     self.pending_count -= 1;
                     report.lines_dropped += 1;
@@ -641,6 +850,7 @@ impl PmDevice {
                 } else {
                     let page = self.pending[ppage].as_deref_mut().expect("page resident");
                     page.present &= !(1u64 << slot);
+                    page.closed &= !(1u64 << slot);
                     self.free_slots.push(page.slots[slot]);
                     self.pending_count -= 1;
                     report.lines_dropped += 1;
@@ -962,6 +1172,136 @@ mod tests {
             assert_eq!(s.parse::<CrashPolicy>().unwrap(), policy, "{s}");
         }
         assert!("bogus".parse::<CrashPolicy>().is_err());
+    }
+
+    #[test]
+    fn lanes_write_matches_per_lane_writes() {
+        // A warp's 32 coalesced 8-byte stores, batched vs lane by lane.
+        let mut batched = PmDevice::new(1 << 16);
+        let mut perlane = PmDevice::new(1 << 16);
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        // Unaligned base so head and tail lines are partially covered.
+        batched.write_visible_lanes(100, 8, 24, &bytes).unwrap();
+        for lane in 0..32u32 {
+            let s = lane as usize * 8;
+            perlane
+                .write_visible(100 + lane, 24 + s as u64, &bytes[s..s + 8])
+                .unwrap();
+        }
+        assert_eq!(batched.pending_line_count(), perlane.pending_line_count());
+        let mut a = vec![0u8; 512];
+        let mut b = vec![0u8; 512];
+        batched.read(0, &mut a).unwrap();
+        perlane.read(0, &mut b).unwrap();
+        assert_eq!(a, b, "visible contents must match");
+        // Each lane's fence drains the same lines in both devices.
+        for lane in 0..32u32 {
+            assert_eq!(
+                batched.persist_writer(100 + lane),
+                perlane.persist_writer(100 + lane),
+                "lane {lane} fence"
+            );
+        }
+        batched.read_media(0, &mut a).unwrap();
+        perlane.read_media(0, &mut b).unwrap();
+        assert_eq!(a, b, "media after fences must match");
+    }
+
+    #[test]
+    fn lanes_write_full_cover_skips_media_fill_correctly() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_durable(0, &[0xAB; 256]).unwrap();
+        // Fully covers lines 0..4: the fill is skipped, and every byte is
+        // still correct because the write overwrites the whole line.
+        pm.write_visible_lanes(0, 8, 0, &[7u8; 256]).unwrap();
+        let mut b = [0u8; 256];
+        pm.read(0, &mut b).unwrap();
+        assert_eq!(b, [7u8; 256]);
+        // Drop the pending lines: media still holds the old durable bytes.
+        pm.crash_with_policy(CrashPolicy::NoneApplied);
+        pm.read(0, &mut b).unwrap();
+        assert_eq!(b, [0xAB; 256]);
+    }
+
+    #[test]
+    fn persist_writers_range_drains_exactly_the_range() {
+        let mut pm = PmDevice::new(1 << 16);
+        for w in 0..8u32 {
+            pm.write_visible(w, w as u64 * 64, &[w as u8 + 1; 8])
+                .unwrap();
+        }
+        assert_eq!(pm.persist_writers_range(2, 3), 3, "writers 2, 3, 4");
+        assert!(!pm.is_pending(2 * 64, 8));
+        assert!(!pm.is_pending(4 * 64, 8));
+        assert!(pm.is_pending(0, 8));
+        assert!(pm.is_pending(5 * 64, 8));
+        assert_eq!(pm.persist_writers_range(0, 8), 5, "the rest");
+    }
+
+    #[test]
+    fn epoch_close_defers_drain_to_boundary() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_visible(1, 0, &[1; 8]).unwrap();
+        pm.write_visible(2, 64, &[2; 8]).unwrap();
+        assert_eq!(pm.close_writer(1), 1);
+        assert_eq!(pm.closed_line_count(), 1);
+        // Closed lines are still pending: nothing durable yet.
+        assert!(pm.is_pending(0, 8));
+        let mut b = [0u8; 8];
+        pm.read_media(0, &mut b).unwrap();
+        assert_eq!(b, [0; 8]);
+        // Boundary: only the closed line drains.
+        assert_eq!(pm.drain_closed(), 1);
+        assert!(!pm.is_pending(0, 8));
+        assert!(pm.is_pending(64, 8));
+        pm.read_media(0, &mut b).unwrap();
+        assert_eq!(b, [1; 8]);
+        assert_eq!(pm.closed_line_count(), 0);
+    }
+
+    #[test]
+    fn epoch_rewrite_reopens_closed_line() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_visible(1, 0, &[1; 8]).unwrap();
+        pm.close_writer(1);
+        assert_eq!(pm.closed_line_count(), 1);
+        // WPQ coalescing: a rewrite folds into the queued entry and defers
+        // the line to the next epoch close.
+        pm.write_visible(1, 0, &[9; 8]).unwrap();
+        assert_eq!(pm.closed_line_count(), 0);
+        assert_eq!(pm.drain_closed(), 0);
+        assert!(pm.is_pending(0, 8));
+        assert_eq!(pm.close_writer(1), 1);
+        assert_eq!(pm.drain_closed(), 1);
+        let mut b = [0u8; 8];
+        pm.read_media(0, &mut b).unwrap();
+        assert_eq!(b, [9; 8]);
+    }
+
+    #[test]
+    fn closed_lines_still_crash_vulnerable() {
+        let mut pm = PmDevice::new(1 << 16);
+        pm.write_visible(1, 0, &[1; 8]).unwrap();
+        pm.close_writer(1);
+        let r = pm.crash_with_policy(CrashPolicy::NoneApplied);
+        assert_eq!(r.lines_dropped, 1, "epoch-closed lines can be lost");
+        let mut b = [0u8; 8];
+        pm.read_media(0, &mut b).unwrap();
+        assert_eq!(b, [0; 8]);
+        assert_eq!(pm.closed_line_count(), 0);
+    }
+
+    #[test]
+    fn close_writers_range_batches_warp_fences() {
+        let mut pm = PmDevice::new(1 << 16);
+        for w in 0..8u32 {
+            pm.write_visible(w, w as u64 * 64, &[1; 8]).unwrap();
+        }
+        assert_eq!(pm.close_writers_range(0, 4), 4);
+        // Already-closed lines are not re-counted.
+        assert_eq!(pm.close_writers_range(0, 8), 4);
+        assert_eq!(pm.drain_closed(), 8);
+        assert_eq!(pm.pending_line_count(), 0);
     }
 
     #[test]

@@ -74,8 +74,18 @@ enum Effect {
         offset: u64,
         arena: (u32, u32),
     },
+    /// A warp's batched lockstep stores (`Machine::gpu_store_pm_lanes`):
+    /// byte `j` of the payload belongs to writer `writer0 + j / lane_bytes`.
+    StorePmLanes {
+        writer0: WriterId,
+        lane_bytes: u32,
+        offset: u64,
+        arena: (u32, u32),
+    },
     /// A system-scope fence (`Machine::gpu_system_fence`).
     FencePersist { writer: WriterId },
+    /// A warp's batched lockstep fences (`Machine::gpu_system_fence_lanes`).
+    FencePersistLanes { writer0: WriterId, lanes: u32 },
     /// One coalesced PCIe write transaction: transaction count, pattern
     /// tracker, and Optane block-program accounting.
     PmTxn { offset: u64, len: u64 },
@@ -183,6 +193,34 @@ impl BlockStage {
         Ok(())
     }
 
+    /// Stages a warp's batched lockstep PM stores (the vectorized engine's
+    /// counterpart of 32 consecutive [`BlockStage::store_pm`] calls: same
+    /// overlay bytes, one effect).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] exactly when the live
+    /// `Machine::gpu_store_pm_lanes` would.
+    pub fn store_pm_lanes(
+        &mut self,
+        base: &Machine,
+        writer0: WriterId,
+        lane_bytes: u32,
+        offset: u64,
+        bytes: &[u8],
+    ) -> SimResult<()> {
+        Self::check(base, Addr::pm(offset), bytes.len() as u64)?;
+        let arena = self.stash(bytes);
+        self.effects.push(Effect::StorePmLanes {
+            writer0,
+            lane_bytes,
+            offset,
+            arena,
+        });
+        self.overlay_write(MemSpace::Pm, offset, bytes);
+        Ok(())
+    }
+
     /// Stages a store to a volatile space.
     ///
     /// # Errors
@@ -245,6 +283,13 @@ impl BlockStage {
     /// Stages a system-scope fence by `writer`.
     pub fn fence_persist(&mut self, writer: WriterId) {
         self.effects.push(Effect::FencePersist { writer });
+    }
+
+    /// Stages a warp's batched lockstep fences by writers
+    /// `writer0 .. writer0 + lanes`.
+    pub fn fence_persist_lanes(&mut self, writer0: WriterId, lanes: u32) {
+        self.effects
+            .push(Effect::FencePersistLanes { writer0, lanes });
     }
 
     /// Stages one coalesced PCIe write transaction's accounting.
@@ -311,8 +356,22 @@ impl BlockStage {
                         .host_write(Addr { space, offset }, bytes)
                         .expect("staged volatile store was bounds-checked at issue");
                 }
+                Effect::StorePmLanes {
+                    writer0,
+                    lane_bytes,
+                    offset,
+                    arena: (start, len),
+                } => {
+                    let bytes = &self.arena[start as usize..(start + len) as usize];
+                    machine
+                        .gpu_store_pm_lanes(writer0, lane_bytes, offset, bytes)
+                        .expect("staged PM store was bounds-checked at issue");
+                }
                 Effect::FencePersist { writer } => {
                     machine.gpu_system_fence(writer);
+                }
+                Effect::FencePersistLanes { writer0, lanes } => {
+                    machine.gpu_system_fence_lanes(writer0, lanes);
                 }
                 Effect::PmTxn { offset, len } => {
                     machine.gpu_pm_txn(offset, len);

@@ -83,6 +83,14 @@ pub enum EventKind {
     },
     /// A GPU device-scope fence (ordering only, nothing persists).
     DeviceFence,
+    /// Epoch-persistency boundary: the deferred drain at kernel completion
+    /// made every epoch-closed pending line durable (under
+    /// `PersistencyModel::Epoch`, fences only order writes into the epoch;
+    /// this event carries the bytes they would have persisted eagerly).
+    EpochDrain {
+        /// Pending lines the boundary drain made durable.
+        lines: u64,
+    },
     /// DDIO was disabled: a `gpm_persist_begin` epoch opened.
     PersistEpochBegin,
     /// DDIO was re-enabled: the persist epoch closed.
@@ -195,6 +203,7 @@ impl EventKind {
             PcieWriteTxn { .. } | DmaCopy { .. } => "pcie",
             SystemFence { .. }
             | DeviceFence
+            | EpochDrain { .. }
             | PersistEpochBegin
             | PersistEpochEnd
             | EadrPersist { .. }
@@ -220,6 +229,7 @@ impl EventKind {
         const CPU_LINE: u64 = 64;
         match *self {
             EventKind::SystemFence { lines, .. } => lines * CPU_LINE,
+            EventKind::EpochDrain { lines } => lines * CPU_LINE,
             EventKind::EadrPersist { bytes, .. } => bytes,
             EventKind::CpuFlush { lines, .. } => lines * CPU_LINE,
             EventKind::CpuPersistStore { bytes, .. } => bytes,
@@ -533,6 +543,9 @@ fn write_args(out: &mut String, kind: &EventKind) {
         SystemFence { writer, lines } => {
             let _ = write!(out, "{{\"writer\":{writer},\"lines\":{lines}}}");
         }
+        EpochDrain { lines } => {
+            let _ = write!(out, "{{\"lines\":{lines}}}");
+        }
         DeviceFence | PersistEpochBegin | PersistEpochEnd | RecoveryBegin | RecoveryEnd => {
             out.push_str("{}");
         }
@@ -585,6 +598,7 @@ fn chrome_shape(kind: &EventKind) -> (&'static str, char, u32) {
         DmaCopy { .. } => ("dma", 'i', 1),
         SystemFence { .. } => ("system_fence", 'i', 2),
         DeviceFence => ("device_fence", 'i', 2),
+        EpochDrain { .. } => ("epoch_drain", 'i', 2),
         PersistEpochBegin => ("persist_epoch", 'B', 2),
         PersistEpochEnd => ("persist_epoch", 'E', 2),
         EadrPersist { .. } => ("eadr_persist", 'i', 2),
