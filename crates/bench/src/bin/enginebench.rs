@@ -27,12 +27,16 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use gpm_core::{gpmcp_checkpoint, gpmcp_create, gpmcp_register};
 use gpm_gpu::{
     launch, resolved_engine_threads, FnKernel, Kernel, LaunchConfig, PersistencyModel, ThreadCtx,
     WarpCtx, WARP_SIZE,
 };
 use gpm_sim::{chrome_trace_json, Addr, Machine, Ns, RingSink, SimResult};
-use gpm_workloads::{suite, Mode, Scale};
+use gpm_workloads::{
+    run_iterative, suite, DbOp, DbParams, DbWorkload, DnnParams, DnnWorkload, KvsParams,
+    KvsWorkload, Mode, Scale,
+};
 
 /// Default timed repetitions per bench (the best wall time is reported,
 /// minimising scheduler noise); one untimed warm-up precedes them.
@@ -444,6 +448,113 @@ fn suite_workload(reps: usize) -> BenchResult {
     })
 }
 
+// ---- workload fleet (the production Figure-3/9 kernels) ---------------------
+//
+// These lines measure the *production* workload kernels end to end —
+// allocator, logging, verification and all — pinned to one engine thread,
+// which is exactly where the vectorized `run_warp` path pays (block-parallel
+// wall-clock scaling is the `parallel_blocks` group's job). The workloads
+// build their own `LaunchConfig`s internally, so the pin rides the
+// documented `GPM_ENGINE_THREADS` override, restored after each call.
+
+fn pinned_single_thread<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::env::var("GPM_ENGINE_THREADS").ok();
+    std::env::set_var("GPM_ENGINE_THREADS", "1");
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var("GPM_ENGINE_THREADS", v),
+        None => std::env::remove_var("GPM_ENGINE_THREADS"),
+    }
+    out
+}
+
+/// The gpmcp persist phase alone: one 32 MiB HBM array streamed into the PM
+/// working buffer and published (the checkpoint-class memcpy kernel; one
+/// copy thread per 512-byte chunk).
+fn workload_checkpoint(reps: usize) -> BenchResult {
+    const BYTES: u64 = 32 << 20;
+    let threads = BYTES / 512;
+    bench("workload_checkpoint_32m", threads, reps, move || {
+        pinned_single_thread(|| {
+            let mut m = Machine::default();
+            let hbm = m.alloc_hbm(BYTES).unwrap();
+            let mut cp = gpmcp_create(&mut m, "/pm/bench/cp", BYTES, 1, 1).unwrap();
+            gpmcp_register(&mut cp, Addr::hbm(hbm), BYTES, 0).unwrap();
+            let ns = gpmcp_checkpoint(&mut m, &cp, 0).unwrap();
+            (threads, ns)
+        })
+    })
+}
+
+/// DNN weight-update at a bench-friendly shape: the paper's 784×1024 model
+/// but few passes and a small batch, so the GPU weight-update kernel (1.2M
+/// params into gpmcp checkpoints) is the measured work rather than the
+/// host-side gradient math (which no engine change can speed up).
+fn workload_dnn(reps: usize) -> BenchResult {
+    bench("workload_dnn", 0, reps, move || {
+        pinned_single_thread(|| {
+            let mut app = DnnWorkload::new(DnnParams {
+                samples: 8,
+                batch: 4,
+                iterations: 6,
+                checkpoint_every: 2,
+                ..DnnParams::default()
+            });
+            let mut m = Machine::default();
+            let metrics = run_iterative(&mut m, &mut app, Mode::Gpm, 32).unwrap();
+            assert!(metrics.verified, "DNN verification failed");
+            (metrics.pm_write_bytes_total() / 8, metrics.elapsed)
+        })
+    })
+}
+
+/// One evaluation-scale fig9 workload end to end under GPM, selected from
+/// the suite by its Figure 9 label. `ops` is the PM write volume in u64s —
+/// deterministic engine output, so the line doubles as a counter check.
+fn fig9_workload(name: &'static str, fig9_name: &'static str, reps: usize) -> BenchResult {
+    bench(name, 0, reps, move || {
+        pinned_single_thread(|| {
+            let mut w = suite(Scale::Full)
+                .into_iter()
+                .find(|w| w.name() == fig9_name)
+                .expect("fig9 workload label");
+            let mut m = Machine::default();
+            let metrics = w.run(&mut m, Mode::Gpm).unwrap();
+            assert!(metrics.verified, "{fig9_name} verification failed");
+            (metrics.pm_write_bytes_total() / 8, metrics.elapsed)
+        })
+    })
+}
+
+/// gpKVS at evaluation scale under an explicitly pinned persistency model
+/// (the Epoch-vs-Strict comparison where HCL commit fences dominate).
+fn workload_kvs(name: &'static str, model: PersistencyModel, reps: usize) -> BenchResult {
+    bench(name, 0, reps, move || {
+        pinned_single_thread(|| {
+            let w = KvsWorkload::new(KvsParams::default().with_persistency(model));
+            let mut m = Machine::default();
+            let metrics = w.run(&mut m, Mode::Gpm).unwrap();
+            assert!(metrics.verified, "gpKVS verification failed");
+            (metrics.pm_write_bytes_total() / 8, metrics.elapsed)
+        })
+    })
+}
+
+/// gpDB at evaluation scale under an explicitly pinned persistency model.
+fn workload_db(name: &'static str, op: DbOp, model: PersistencyModel, reps: usize) -> BenchResult {
+    bench(name, 0, reps, move || {
+        pinned_single_thread(|| {
+            let mut params = DbParams::default().with_persistency(model);
+            params.op = op;
+            let w = DbWorkload::new(params);
+            let mut m = Machine::default();
+            let metrics = w.run(&mut m, Mode::Gpm).unwrap();
+            assert!(metrics.verified, "gpDB verification failed");
+            (metrics.pm_write_bytes_total() / 8, metrics.elapsed)
+        })
+    })
+}
+
 // ---- fence-cost sensitivity -------------------------------------------------
 
 /// One strict/epoch simulated-time pair at a given system-fence latency.
@@ -632,6 +743,61 @@ fn main() {
             parallel_blocks(r, "parallel_blocks", t)
         }),
         ("suite_gpkvs_quick", |r, _| suite_workload(r)),
+        ("workload_checkpoint_32m", |r, _| workload_checkpoint(r)),
+        ("workload_dnn", |r, _| workload_dnn(r)),
+        ("workload_cfd", |r, _| {
+            fig9_workload("workload_cfd", "CFD", r)
+        }),
+        ("workload_blackscholes", |r, _| {
+            fig9_workload("workload_blackscholes", "BLK", r)
+        }),
+        ("workload_hotspot", |r, _| {
+            fig9_workload("workload_hotspot", "HS", r)
+        }),
+        ("workload_srad", |r, _| {
+            fig9_workload("workload_srad", "SRAD", r)
+        }),
+        ("workload_prefix_sum", |r, _| {
+            fig9_workload("workload_prefix_sum", "PS", r)
+        }),
+        ("workload_gpkvs", |r, _| {
+            workload_kvs("workload_gpkvs", PersistencyModel::Strict, r)
+        }),
+        ("workload_gpkvs_epoch", |r, _| {
+            workload_kvs("workload_gpkvs_epoch", PersistencyModel::Epoch, r)
+        }),
+        ("workload_gpdb_insert", |r, _| {
+            workload_db(
+                "workload_gpdb_insert",
+                DbOp::Insert,
+                PersistencyModel::Strict,
+                r,
+            )
+        }),
+        ("workload_gpdb_insert_epoch", |r, _| {
+            workload_db(
+                "workload_gpdb_insert_epoch",
+                DbOp::Insert,
+                PersistencyModel::Epoch,
+                r,
+            )
+        }),
+        ("workload_gpdb_update", |r, _| {
+            workload_db(
+                "workload_gpdb_update",
+                DbOp::Update,
+                PersistencyModel::Strict,
+                r,
+            )
+        }),
+        ("workload_gpdb_update_epoch", |r, _| {
+            workload_db(
+                "workload_gpdb_update_epoch",
+                DbOp::Update,
+                PersistencyModel::Epoch,
+                r,
+            )
+        }),
     ];
     let results: Vec<BenchResult> = table
         .iter()

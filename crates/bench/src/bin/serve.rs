@@ -14,9 +14,12 @@
 //! - `--out PATH`    JSON output path (default `BENCH_serve.json`)
 //! - `--trace PATH`  also run one traced cluster and write a Chrome
 //!   trace-event JSON (schema `gpm-trace-v1`, loadable in Perfetto)
+//! - `--persistency strict|epoch`  pin the GPU persistency model on every
+//!   shard (default: defer to `GPM_PERSISTENCY`, then strict)
 
 use std::fmt::Write as _;
 
+use gpm_gpu::PersistencyModel;
 use gpm_serve::{
     run_cluster, ArrivalShape, BackendKind, BatchPolicy, ClusterConfig, ClusterOutcome, FaultPlan,
     TrafficConfig,
@@ -30,6 +33,7 @@ struct Opts {
     slo_us: f64,
     out: String,
     trace: Option<String>,
+    persistency: Option<PersistencyModel>,
 }
 
 fn parse_args() -> Opts {
@@ -39,6 +43,7 @@ fn parse_args() -> Opts {
         slo_us: 500.0,
         out: "BENCH_serve.json".to_string(),
         trace: None,
+        persistency: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,6 +65,14 @@ fn parse_args() -> Opts {
             }
             "--out" => opts.out = args.next().expect("--out needs a path"),
             "--trace" => opts.trace = Some(args.next().expect("--trace needs a path")),
+            "--persistency" => {
+                let v = args.next().expect("--persistency needs strict|epoch");
+                opts.persistency = Some(match v.as_str() {
+                    "strict" => PersistencyModel::Strict,
+                    "epoch" => PersistencyModel::Epoch,
+                    other => panic!("--persistency must be strict or epoch, got {other:?}"),
+                });
+            }
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -149,6 +162,12 @@ fn point_json(p: &Point, slo: Ns) -> String {
 fn main() {
     let opts = parse_args();
     let slo = Ns(opts.slo_us * 1_000.0);
+    // Every cluster in the sweep inherits the pinned persistency model (if
+    // any); `None` lets each launch resolve `GPM_PERSISTENCY`, then strict.
+    let base = ClusterConfig {
+        persistency: opts.persistency,
+        ..ClusterConfig::quick()
+    };
     let (loads, shard_counts, n_requests): (Vec<f64>, Vec<u32>, u64) = if opts.quick {
         (vec![0.5, 1.0, 2.0, 3.0, 4.5, 6.0], vec![1, 2], 3_000)
     } else {
@@ -176,7 +195,7 @@ fn main() {
                     shards,
                     policy: np.policy,
                     kvs: KvsParams::quick(),
-                    ..ClusterConfig::quick()
+                    ..base
                 };
                 let reqs = traffic(opts.seed, load, n_requests, ArrivalShape::Poisson).generate();
                 let out = run_cluster(&cfg, &reqs).expect("cluster run failed");
@@ -222,7 +241,7 @@ fn main() {
         let cfg = ClusterConfig {
             shards: 2,
             kvs: KvsParams::quick(),
-            ..ClusterConfig::quick()
+            ..base
         };
         let reqs = traffic(opts.seed, shape_load, n_requests, shape).generate();
         let out = run_cluster(&cfg, &reqs).expect("shape run failed");
@@ -242,7 +261,7 @@ fn main() {
             crash_fuel: 2_000,
         },
         kvs: KvsParams::quick(),
-        ..ClusterConfig::quick()
+        ..base
     };
     let fault_reqs =
         traffic(opts.seed, 1.0, n_requests.min(2_000), ArrivalShape::Poisson).generate();
@@ -259,7 +278,7 @@ fn main() {
         shards: 1,
         backend: BackendKind::Db,
         db: DbParams::quick(),
-        ..ClusterConfig::quick()
+        ..base
     };
     let db_reqs = traffic(opts.seed, 0.2, 400, ArrivalShape::Poisson).generate_inserts(8);
     let db_out = run_cluster(&db_cfg, &db_reqs).expect("db run failed");
@@ -320,6 +339,15 @@ fn main() {
         if opts.quick { "quick" } else { "full" }
     );
     let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(
+        json,
+        "  \"persistency\": \"{}\",",
+        match opts.persistency {
+            Some(PersistencyModel::Strict) => "strict",
+            Some(PersistencyModel::Epoch) => "epoch",
+            None => "env",
+        }
+    );
     let _ = writeln!(json, "  \"slo_us\": {:.3},", opts.slo_us);
     let _ = writeln!(json, "  \"n_requests\": {n_requests},");
     json.push_str("  \"points\": [\n");
@@ -388,7 +416,7 @@ fn main() {
             shards: 2,
             kvs: KvsParams::quick(),
             trace_events: Some(1 << 20),
-            ..ClusterConfig::quick()
+            ..base
         };
         let reqs = traffic(opts.seed, 1.0, n_requests.min(3_000), ArrivalShape::Poisson).generate();
         let traced = run_cluster(&cfg, &reqs).expect("traced run failed");

@@ -12,14 +12,15 @@
 //! is why checkpointing reaches peak PM bandwidth in Figure 12.
 
 use gpm_gpu::{
-    launch, launch_with_gauge, FnKernel, FuelGauge, LaunchConfig, LaunchError, ThreadCtx,
+    launch, launch_with_gauge, FnKernel, FuelGauge, Kernel, LaunchConfig, LaunchError, ThreadCtx,
+    WarpCtx,
 };
 use gpm_sim::cpu::CpuCtx;
 use gpm_sim::{Addr, EventKind, Machine, Ns, SimError, SimResult, HOST_WRITER};
 
 use crate::error::{CoreError, CoreResult};
 use crate::map::{gpm_map, with_persist_window, GpmRegion};
-use crate::persist::GpmThreadExt;
+use crate::persist::{GpmThreadExt, GpmWarpExt};
 
 const MAGIC: u32 = 0x5043_5047; // "GPCP"
 const HEADER: u64 = 256;
@@ -214,6 +215,85 @@ pub fn gpmcp_register(cp: &mut GpmCheckpoint, addr: Addr, size: u64, group: u32)
     Ok(())
 }
 
+/// The gpmcp memcpy kernel: thread `i` copies the [`COPY_CHUNK`]-byte chunk
+/// at offset `i × COPY_CHUNK` (shorter at the source's tail), optionally
+/// persisting it. Full warps — every lane owning a whole chunk — vectorize
+/// as two warp-wide byte-span transfers plus one warp persist; tail warps
+/// (partial or missing chunks diverge on operation count) decline to the
+/// per-lane walk.
+struct CopyKernel {
+    src: Addr,
+    dst: Addr,
+    len: u64,
+    persist: bool,
+}
+
+impl Kernel for CopyKernel {
+    type State = ();
+    /// Per-block staging buffer for the warp path (one warp of chunks),
+    /// reused across warps and blocks.
+    type Shared = Vec<u8>;
+
+    fn reset_shared(&self, shared: &mut Vec<u8>) {
+        shared.clear();
+    }
+
+    fn run(
+        &self,
+        _phase: u32,
+        ctx: &mut ThreadCtx<'_>,
+        _state: &mut (),
+        _shared: &mut Vec<u8>,
+    ) -> SimResult<()> {
+        let i = ctx.global_id();
+        let off = i * COPY_CHUNK;
+        if off >= self.len {
+            return Ok(());
+        }
+        let n = COPY_CHUNK.min(self.len - off) as usize;
+        let mut buf = vec![0u8; n];
+        ctx.ld_bytes(self.src.add(off), &mut buf)?;
+        ctx.st_bytes(self.dst.add(off), &buf)?;
+        if self.persist {
+            ctx.gpm_persist()?;
+        }
+        Ok(())
+    }
+
+    fn run_warp(
+        &self,
+        _phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        _states: &mut [()],
+        shared: &mut Vec<u8>,
+    ) -> SimResult<bool> {
+        let lanes = ctx.lanes() as u64;
+        let first = ctx.first_global_id();
+        // Vectorize only when every lane owns a full chunk; otherwise some
+        // lane would copy a short span (or nothing), and the per-lane walk
+        // is the reference for that divergence.
+        if (first + lanes) * COPY_CHUNK > self.len {
+            return Ok(false);
+        }
+        let bytes = (lanes * COPY_CHUNK) as usize;
+        shared.resize(bytes, 0);
+        let off = first * COPY_CHUNK;
+        let chunk = COPY_CHUNK as usize;
+        ctx.ld_bytes_lanes(self.src.add(off), COPY_CHUNK, chunk, &mut shared[..bytes])?;
+        ctx.st_bytes_lanes(self.dst.add(off), COPY_CHUNK, chunk, &shared[..bytes])?;
+        if self.persist {
+            ctx.gpm_persist()?;
+        }
+        Ok(true)
+    }
+
+    fn warp_fuel(&self, _phase: u32) -> Option<u64> {
+        // Load + store (+ persist fence): the exact per-lane operation count
+        // of a full chunk; tail lanes do less and decline anyway.
+        Some(if self.persist { 3 } else { 2 })
+    }
+}
+
 fn copy_kernel(
     machine: &mut Machine,
     src: Addr,
@@ -223,21 +303,12 @@ fn copy_kernel(
     gauge: &mut FuelGauge,
 ) -> SimResult<Ns> {
     let threads = len.div_ceil(COPY_CHUNK);
-    let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
-        let i = ctx.global_id();
-        let off = i * COPY_CHUNK;
-        if off >= len {
-            return Ok(());
-        }
-        let n = COPY_CHUNK.min(len - off) as usize;
-        let mut buf = vec![0u8; n];
-        ctx.ld_bytes(src.add(off), &mut buf)?;
-        ctx.st_bytes(dst.add(off), &buf)?;
-        if persist {
-            ctx.gpm_persist()?;
-        }
-        Ok(())
-    });
+    let k = CopyKernel {
+        src,
+        dst,
+        len,
+        persist,
+    };
     let r = launch_with_gauge(machine, LaunchConfig::for_elements(threads, 256), &k, gauge)
         .map_err(|e| match e {
             LaunchError::Sim(e) => e,

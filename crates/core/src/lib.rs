@@ -78,5 +78,5 @@ pub use map::{
     gpm_map, gpm_persist_begin, gpm_persist_end, gpm_unmap, with_persist_window, GpmRegion,
 };
 pub use mem::{gpm_memcpy, gpm_memset};
-pub use persist::GpmThreadExt;
+pub use persist::{GpmThreadExt, GpmWarpExt};
 pub use txn::TxnFlag;

@@ -1,6 +1,6 @@
 //! The in-kernel persist operation.
 
-use gpm_gpu::ThreadCtx;
+use gpm_gpu::{ThreadCtx, WarpCtx};
 use gpm_sim::{SimError, SimResult};
 
 /// Extends [`ThreadCtx`] with libGPM's `gpm_persist()` (§5.1): prior writes
@@ -30,6 +30,32 @@ impl GpmThreadExt for ThreadCtx<'_> {
             ));
         }
         self.threadfence_system()
+    }
+}
+
+/// Extends [`WarpCtx`] with the vectorized `gpm_persist()`: every active
+/// lane persists simultaneously — one fuel-counted context operation per
+/// lane, like 32 lockstep [`GpmThreadExt::gpm_persist`] calls.
+pub trait GpmWarpExt {
+    /// Ensures prior writes by every active lane are persistent (the
+    /// warp-coalesced form of [`GpmThreadExt::gpm_persist`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PersistenceUnavailable`] when called outside a
+    /// persistence window on a non-eADR platform.
+    fn gpm_persist(&mut self) -> SimResult<()>;
+}
+
+impl GpmWarpExt for WarpCtx<'_> {
+    fn gpm_persist(&mut self) -> SimResult<()> {
+        if !self.persist_guaranteed() {
+            return Err(SimError::PersistenceUnavailable(
+                "gpm_persist outside a gpm_persist_begin/end window (DDIO enabled, no eADR)",
+            ));
+        }
+        self.threadfence_system();
+        Ok(())
     }
 }
 

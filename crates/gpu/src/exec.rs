@@ -238,6 +238,45 @@ impl FuelGauge {
             s.note_boundary();
         }
     }
+
+    /// Whether a warp of `lanes` lanes whose per-lane fuel need is bounded
+    /// by `bound` (the kernel's [`crate::Kernel::warp_fuel`] promise) may
+    /// run vectorized under this gauge: the gauge must provably not expire
+    /// mid-warp, and must not be enumerating per-op boundaries.
+    #[inline]
+    fn covers_warp(&self, bound: Option<u64>, lanes: u32) -> bool {
+        match self {
+            FuelGauge::Unlimited => true,
+            FuelGauge::Crash { remaining, .. } => {
+                bound.is_some_and(|b| *remaining >= b.saturating_mul(lanes as u64))
+            }
+            // Recording counts individual ops and boundary positions; the
+            // schedule (and thus every enumerated crash case) must be
+            // bit-identical to the per-lane walk, so never vectorize.
+            FuelGauge::Record(_) => false,
+        }
+    }
+
+    /// Burns one warp-vector operation: `lanes` fuel, all-or-nothing. Only
+    /// reachable when [`FuelGauge::covers_warp`] admitted the warp, so the
+    /// budget cannot hit zero mid-warp (debug builds assert the kernel's
+    /// `warp_fuel` bound was honest; release builds saturate).
+    #[inline]
+    fn burn_lanes(&mut self, lanes: u32) {
+        match self {
+            FuelGauge::Unlimited => {}
+            FuelGauge::Crash { remaining, .. } => {
+                debug_assert!(
+                    *remaining >= lanes as u64,
+                    "warp_fuel under-estimated a kernel's per-lane operations"
+                );
+                *remaining = remaining.saturating_sub(lanes as u64);
+            }
+            FuelGauge::Record(_) => {
+                debug_assert!(false, "recording gauges never take the vector path");
+            }
+        }
+    }
 }
 
 /// A coalesced write extent within one 128-byte GPU line.
@@ -834,6 +873,7 @@ pub struct WarpCtx<'a> {
     mem: EngineMem<'a>,
     costs: &'a mut KernelCosts,
     scratch: &'a mut WarpScratch,
+    gauge: &'a mut FuelGauge,
     launch: LaunchConfig,
     block: u32,
     warp: u32,
@@ -917,6 +957,7 @@ impl WarpCtx<'_> {
         get: impl Fn(usize) -> [u8; N],
     ) -> SimResult<()> {
         self.op_seq += 1;
+        self.gauge.burn_lanes(self.lanes);
         let lanes = self.lanes as usize;
         let total = (lanes * N) as u64;
         match addr.space {
@@ -946,12 +987,24 @@ impl WarpCtx<'_> {
                 self.costs.pm_write_bytes += total;
             }
             MemSpace::Hbm | MemSpace::Dram => {
-                for i in 0..lanes {
-                    let a = Addr {
-                        space: addr.space,
-                        offset: addr.offset + i as u64 * stride,
-                    };
-                    self.mem.store_vol(a, &get(i))?;
+                if stride == N as u64 {
+                    // Contiguous volatile span: one memory call. The
+                    // per-call `host_write` has no counters, so batching is
+                    // invisible to stats; byte totals are added below
+                    // exactly as the per-lane walk sums them.
+                    let mut buf = [0u8; WARP_BYTES];
+                    for i in 0..lanes {
+                        buf[i * N..(i + 1) * N].copy_from_slice(&get(i));
+                    }
+                    self.mem.store_vol(addr, &buf[..lanes * N])?;
+                } else {
+                    for i in 0..lanes {
+                        let a = Addr {
+                            space: addr.space,
+                            offset: addr.offset + i as u64 * stride,
+                        };
+                        self.mem.store_vol(a, &get(i))?;
+                    }
                 }
                 match addr.space {
                     MemSpace::Hbm => self.costs.hbm_bytes += total,
@@ -972,6 +1025,7 @@ impl WarpCtx<'_> {
         mut put: impl FnMut(usize, [u8; N]),
     ) -> SimResult<()> {
         self.op_seq += 1;
+        self.gauge.burn_lanes(self.lanes);
         let lanes = self.lanes as usize;
         let total = (lanes * N) as u64;
         match addr.space {
@@ -997,14 +1051,22 @@ impl WarpCtx<'_> {
                 self.costs.pm_read_bytes += total;
             }
             MemSpace::Hbm | MemSpace::Dram => {
-                for i in 0..lanes {
-                    let a = Addr {
-                        space: addr.space,
-                        offset: addr.offset + i as u64 * stride,
-                    };
-                    let mut b = [0u8; N];
-                    self.mem.read(a, &mut b)?;
-                    put(i, b);
+                if stride == N as u64 {
+                    let mut buf = [0u8; WARP_BYTES];
+                    self.mem.read(addr, &mut buf[..lanes * N])?;
+                    for i in 0..lanes {
+                        put(i, buf[i * N..(i + 1) * N].try_into().unwrap());
+                    }
+                } else {
+                    for i in 0..lanes {
+                        let a = Addr {
+                            space: addr.space,
+                            offset: addr.offset + i as u64 * stride,
+                        };
+                        let mut b = [0u8; N];
+                        self.mem.read(a, &mut b)?;
+                        put(i, b);
+                    }
                 }
                 match addr.space {
                     MemSpace::Hbm => self.costs.hbm_bytes += total,
@@ -1075,6 +1137,172 @@ impl WarpCtx<'_> {
         self.ld_lanes(addr, stride, |i, b| out[i] = u32::from_le_bytes(b))
     }
 
+    /// Lockstep store of little-endian `f32`s: lane `i` stores `vals[i]` at
+    /// `addr + i * stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vals.len()` equals [`WarpCtx::lanes`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses surface as errors (see [`ThreadCtx::st_bytes`]).
+    pub fn st_f32_lanes(&mut self, addr: Addr, stride: u64, vals: &[f32]) -> SimResult<()> {
+        assert_eq!(vals.len(), self.lanes as usize, "one value per active lane");
+        self.st_lanes(addr, stride, |i| vals[i].to_le_bytes())
+    }
+
+    /// Lockstep load of little-endian `f32`s: lane `i` loads
+    /// `addr + i * stride` into `out[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out.len()` equals [`WarpCtx::lanes`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses surface as errors (see [`ThreadCtx::ld_bytes`]).
+    pub fn ld_f32_lanes(&mut self, addr: Addr, stride: u64, out: &mut [f32]) -> SimResult<()> {
+        assert_eq!(out.len(), self.lanes as usize, "one slot per active lane");
+        self.ld_lanes(addr, stride, |i, b| out[i] = f32::from_le_bytes(b))
+    }
+
+    /// Lockstep store of byte spans: lane `i` stores
+    /// `data[i * lane_bytes ..][.. lane_bytes]` at `addr + i * stride` — the
+    /// vector form of [`ThreadCtx::st_bytes`] for bulk movers (checkpoint
+    /// chunks, table rows). A contiguous span (`stride == lane_bytes`) is
+    /// issued as a single call; counters are identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len()` equals `lanes × lane_bytes` with
+    /// `lane_bytes > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses surface as errors (see [`ThreadCtx::st_bytes`]).
+    pub fn st_bytes_lanes(
+        &mut self,
+        addr: Addr,
+        stride: u64,
+        lane_bytes: usize,
+        data: &[u8],
+    ) -> SimResult<()> {
+        let lanes = self.lanes as usize;
+        assert!(lane_bytes > 0, "lane span must be non-empty");
+        assert_eq!(data.len(), lanes * lane_bytes, "one span per active lane");
+        self.op_seq += 1;
+        self.gauge.burn_lanes(self.lanes);
+        let total = data.len() as u64;
+        match addr.space {
+            MemSpace::Pm => {
+                if stride == lane_bytes as u64 {
+                    self.mem
+                        .store_pm_lanes(self.writer0, lane_bytes as u32, addr.offset, data)?;
+                    self.scratch
+                        .group(self.op_seq)
+                        .record_write(addr.offset, total);
+                } else {
+                    for i in 0..lanes {
+                        let off = addr.offset + i as u64 * stride;
+                        let chunk = &data[i * lane_bytes..(i + 1) * lane_bytes];
+                        self.mem
+                            .store_pm(self.writer0 + i as WriterId, off, chunk)?;
+                        self.scratch
+                            .group(self.op_seq)
+                            .record_write(off, lane_bytes as u64);
+                    }
+                }
+                self.costs.pm_write_bytes += total;
+            }
+            MemSpace::Hbm | MemSpace::Dram => {
+                if stride == lane_bytes as u64 {
+                    self.mem.store_vol(addr, data)?;
+                } else {
+                    for i in 0..lanes {
+                        let a = Addr {
+                            space: addr.space,
+                            offset: addr.offset + i as u64 * stride,
+                        };
+                        self.mem
+                            .store_vol(a, &data[i * lane_bytes..(i + 1) * lane_bytes])?;
+                    }
+                }
+                match addr.space {
+                    MemSpace::Hbm => self.costs.hbm_bytes += total,
+                    _ => self.costs.dram_bytes += total,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lockstep load of byte spans: lane `i` loads `addr + i * stride` into
+    /// `out[i * lane_bytes ..][.. lane_bytes]` — the vector form of
+    /// [`ThreadCtx::ld_bytes`] for bulk movers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out.len()` equals `lanes × lane_bytes` with
+    /// `lane_bytes > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses surface as errors (see [`ThreadCtx::ld_bytes`]).
+    pub fn ld_bytes_lanes(
+        &mut self,
+        addr: Addr,
+        stride: u64,
+        lane_bytes: usize,
+        out: &mut [u8],
+    ) -> SimResult<()> {
+        let lanes = self.lanes as usize;
+        assert!(lane_bytes > 0, "lane span must be non-empty");
+        assert_eq!(out.len(), lanes * lane_bytes, "one span per active lane");
+        self.op_seq += 1;
+        self.gauge.burn_lanes(self.lanes);
+        let total = out.len() as u64;
+        match addr.space {
+            MemSpace::Pm => {
+                if stride == lane_bytes as u64 {
+                    self.mem.load_pm(addr.offset, out)?;
+                    self.scratch
+                        .group(self.op_seq)
+                        .record_read(addr.offset, total);
+                } else {
+                    for i in 0..lanes {
+                        let off = addr.offset + i as u64 * stride;
+                        self.mem
+                            .load_pm(off, &mut out[i * lane_bytes..(i + 1) * lane_bytes])?;
+                        self.scratch
+                            .group(self.op_seq)
+                            .record_read(off, lane_bytes as u64);
+                    }
+                }
+                self.costs.pm_read_bytes += total;
+            }
+            MemSpace::Hbm | MemSpace::Dram => {
+                if stride == lane_bytes as u64 {
+                    self.mem.read(addr, out)?;
+                } else {
+                    for i in 0..lanes {
+                        let a = Addr {
+                            space: addr.space,
+                            offset: addr.offset + i as u64 * stride,
+                        };
+                        self.mem
+                            .read(a, &mut out[i * lane_bytes..(i + 1) * lane_bytes])?;
+                    }
+                }
+                match addr.space {
+                    MemSpace::Hbm => self.costs.hbm_bytes += total,
+                    _ => self.costs.dram_bytes += total,
+                }
+            }
+        }
+        Ok(())
+    }
+
     // ---- fences & modelling hooks ---------------------------------------------
 
     /// `__threadfence_system()` by every active lane simultaneously — the
@@ -1082,6 +1310,7 @@ impl WarpCtx<'_> {
     /// per-lane fences.
     pub fn threadfence_system(&mut self) {
         self.op_seq += 1;
+        self.gauge.burn_lanes(self.lanes);
         self.mem.fence_system_lanes(self.writer0, self.lanes);
         self.scratch.group(self.op_seq).sys_fence = true;
     }
@@ -1090,6 +1319,7 @@ impl WarpCtx<'_> {
     /// ordering).
     pub fn threadfence(&mut self) {
         self.op_seq += 1;
+        self.gauge.burn_lanes(self.lanes);
         self.scratch.group(self.op_seq).dev_fence = true;
     }
 
@@ -1195,12 +1425,25 @@ pub fn resolved_engine_threads(cfg: &LaunchConfig) -> u32 {
 /// Process-wide default persistency model: `GPM_PERSISTENCY=epoch` (case-
 /// insensitive) selects [`PersistencyModel::Epoch`]; anything else — or the
 /// variable unset — is [`PersistencyModel::Strict`]. Cached on first read.
+static ENV_MODEL: OnceLock<PersistencyModel> = OnceLock::new();
+
 fn env_persistency() -> PersistencyModel {
-    static MODEL: OnceLock<PersistencyModel> = OnceLock::new();
-    *MODEL.get_or_init(|| match std::env::var("GPM_PERSISTENCY") {
+    *ENV_MODEL.get_or_init(|| match std::env::var("GPM_PERSISTENCY") {
         Ok(s) if s.trim().eq_ignore_ascii_case("epoch") => PersistencyModel::Epoch,
         _ => PersistencyModel::Strict,
     })
+}
+
+/// Pin the process-wide default persistency model before the first launch
+/// resolves `GPM_PERSISTENCY`. Returns `false` (and changes nothing) when the
+/// default has already been resolved or pinned. Per-launch
+/// [`LaunchConfig::persistency`] overrides still apply. The crash-consistency
+/// campaign uses this: its recovery oracles verify the strict durability
+/// contract, which the epoch model deliberately weakens, so the campaign pins
+/// [`PersistencyModel::Strict`] instead of letting the env knob silently
+/// invalidate its verdicts.
+pub fn pin_default_persistency(model: PersistencyModel) -> bool {
+    ENV_MODEL.set(model).is_ok()
 }
 
 /// The persistency model a launch with `cfg` would run under, after applying
@@ -1304,11 +1547,12 @@ fn launch_sequential<K: Kernel>(
     let mut states: Vec<K::State> = Vec::new();
     let mut shared = K::Shared::default();
     let phases = kernel.phases();
-    // Vectorized eligibility is a launch-wide fact: fuel accounting and
-    // per-lane trace events (SystemFence, EadrPersist) both require the
-    // per-lane operation order, so a counting gauge or an installed sink
-    // forces the per-lane walk.
-    let vectorize = gauge.is_inert() && !machine.trace_enabled();
+    // Per-lane trace events (SystemFence, EadrPersist) require the per-lane
+    // operation order, so an installed sink forces the per-lane walk
+    // launch-wide. Fuel is warp-granular: each warp vectorizes only if the
+    // gauge provably cannot expire inside it (see FuelGauge::covers_warp),
+    // re-checked per warp as the crash budget drains.
+    let trace_blocks = machine.trace_enabled();
 
     for block in 0..cfg.grid {
         if machine.trace_enabled() {
@@ -1319,15 +1563,17 @@ fn launch_sequential<K: Kernel>(
         states.resize_with(cfg.block as usize, K::State::default);
         let mut costs = KernelCosts::default();
         for phase in 0..phases {
+            let warp_fuel = kernel.warp_fuel(phase);
             for warp in 0..cfg.warps_per_block() {
                 let first = warp * WARP_SIZE;
                 let lanes = (cfg.block - first).min(WARP_SIZE);
                 let mut vectored = false;
-                if vectorize {
+                if !trace_blocks && gauge.covers_warp(warp_fuel, lanes) {
                     let mut ctx = WarpCtx {
                         mem: EngineMem::Live(machine),
                         costs: &mut costs,
                         scratch: &mut scratch,
+                        gauge,
                         launch: cfg,
                         block,
                         warp,
@@ -1469,6 +1715,7 @@ fn run_block_staged<K: Kernel>(
                     },
                     costs: &mut costs,
                     scratch,
+                    gauge: &mut gauge,
                     launch: cfg,
                     block,
                     warp,
@@ -2171,6 +2418,27 @@ mod tests {
         lane.read(Addr::pm(0), &mut ba).unwrap();
         vec.read(Addr::pm(0), &mut bb).unwrap();
         assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn bytes_persisted_operation_major_invariant() {
+        // The one counter allowed to differ between the per-lane and vector
+        // paths obeys a precise invariant, not a vague inequality. With each
+        // lane's store on its own CPU line (stride 64) no line is re-dirtied
+        // between fences, so lane-major and operation-major drain exactly the
+        // same bytes: 8 warps × 32 lanes × one 64-byte line each.
+        let cfg = LaunchConfig::new(4, 64).with_engine_threads(1);
+        let ((lane, _), (vec, _)) = vec_twins(1 << 20, cfg, 64, 1, true);
+        assert_eq!(lane.stats.bytes_persisted, vec.stats.bytes_persisted);
+        assert_eq!(vec.stats.bytes_persisted, 8 * 32 * 64);
+
+        // With 8 lanes sharing each 64-byte line (stride 8), the
+        // operation-major fence drains each of a warp's 4 dirty lines exactly
+        // once, while the lane-major walk drains one line per lane because
+        // every later lane re-dirties the line its predecessor just drained.
+        let ((lane, _), (vec, _)) = vec_twins(1 << 20, cfg, 8, 1, true);
+        assert_eq!(vec.stats.bytes_persisted, 8 * 4 * 64);
+        assert_eq!(lane.stats.bytes_persisted, 8 * 32 * 64);
     }
 
     #[test]

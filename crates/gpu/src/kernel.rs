@@ -133,9 +133,10 @@ pub trait Kernel {
     /// An implementation must be *semantically equivalent* to running
     /// [`Kernel::run`] once per lane: same stores, loads, fences, and costs.
     /// The engine guarantees the equivalence is observable only through
-    /// speed — it invokes `run_warp` solely when no fuel gauge is counting
-    /// individual operations and no trace sink wants per-lane events, and
-    /// vector operations account counters exactly as the per-lane walk
+    /// speed — it invokes `run_warp` solely when no trace sink wants
+    /// per-lane events and the fuel gauge (if any) provably cannot expire
+    /// inside the warp (see [`Kernel::warp_fuel`]), and vector operations
+    /// account counters — fuel included — exactly as the per-lane walk
     /// would. The one documented divergence: a warp's vector operations
     /// execute *operation-major* (every lane's store, then every lane's
     /// fence) where the per-lane walk runs each lane to completion in turn,
@@ -151,6 +152,28 @@ pub trait Kernel {
     ) -> SimResult<bool> {
         let _ = (phase, ctx, states, shared);
         Ok(false)
+    }
+
+    /// An upper bound on the fuel (counted context operations: stores,
+    /// loads, atomics, fences) *one lane* issues in `phase` — the contract
+    /// that lets fuel-gauged (crash-injected) launches take the vector path.
+    ///
+    /// When this returns `Some(bound)`, a crash gauge with at least
+    /// `bound × lanes` fuel remaining provably cannot expire inside the
+    /// warp, so the engine may dispatch [`Kernel::run_warp`] and burn fuel
+    /// warp-at-a-time ([`WarpCtx`] operations burn `lanes` fuel each); any
+    /// warp the bound does not cover falls back to the per-lane walk, whose
+    /// fuel accounting is exact. Returning an under-estimate is a contract
+    /// violation (debug builds assert; release builds saturate), so prefer a
+    /// generous bound — precision only affects how close to the crash point
+    /// vectorization stops. The default `None` keeps gauged runs per-lane.
+    ///
+    /// Recording gauges ([`crate::FuelGauge::Record`]) never vectorize —
+    /// boundary enumeration is inherently per-op — so crash schedules and
+    /// their replayed cases stay bit-identical regardless of this hint.
+    fn warp_fuel(&self, phase: u32) -> Option<u64> {
+        let _ = phase;
+        None
     }
 }
 
@@ -239,5 +262,9 @@ impl<K: Kernel> Kernel for Communicating<K> {
         shared: &mut Self::Shared,
     ) -> SimResult<bool> {
         self.0.run_warp(phase, ctx, states, shared)
+    }
+
+    fn warp_fuel(&self, phase: u32) -> Option<u64> {
+        self.0.warp_fuel(phase)
     }
 }

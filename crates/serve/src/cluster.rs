@@ -45,6 +45,11 @@ pub struct ClusterConfig {
     /// shard's machine before serving; each `ShardReport` then carries
     /// the shard's `TraceData`.
     pub trace_events: Option<usize>,
+    /// GPU persistency model every shard's kernels run under. `Some(model)`
+    /// overrides both backends' params; `None` defers to whatever the
+    /// backend params (and ultimately `GPM_PERSISTENCY`, then strict)
+    /// resolve, mirroring [`gpm_gpu::LaunchConfig::persistency`].
+    pub persistency: Option<gpm_gpu::PersistencyModel>,
 }
 
 impl ClusterConfig {
@@ -62,6 +67,7 @@ impl ClusterConfig {
             kvs: KvsParams::quick(),
             db: DbParams::quick(),
             trace_events: None,
+            persistency: None,
         }
     }
 }
@@ -136,6 +142,7 @@ pub fn run_cluster(cfg: &ClusterConfig, requests: &[Request]) -> SimResult<Clust
             BackendKind::Kvs => {
                 let params = KvsParams {
                     ops_per_batch: cfg.policy.max_batch,
+                    persistency: cfg.persistency.or(cfg.kvs.persistency),
                     ..cfg.kvs
                 };
                 Shard::new_kvs(params, cfg.mode)?
@@ -153,6 +160,7 @@ pub fn run_cluster(cfg: &ClusterConfig, requests: &[Request]) -> SimResult<Clust
                 let params = DbParams {
                     op: DbOp::Insert,
                     capacity_rows: cfg.db.initial_rows + routed,
+                    persistency: cfg.persistency.or(cfg.db.persistency),
                     ..cfg.db
                 };
                 Shard::new_db(params, cfg.mode)?
@@ -206,6 +214,25 @@ mod tests {
             assert_eq!(out.completed + out.shed, out.offered);
             assert_eq!(out.shards.len(), shards as usize);
         }
+    }
+
+    #[test]
+    fn epoch_persistency_reaches_the_shards() {
+        // Pinning epoch on the cluster must actually change every shard's
+        // kernel launches: epoch fences are cheaper than strict drains, so
+        // the same request stream finishes at a different simulated time.
+        let reqs = TrafficConfig::quick(6).generate();
+        let strict = run_cluster(&ClusterConfig::quick(), &reqs).unwrap();
+        let epoch_cfg = ClusterConfig {
+            persistency: Some(gpm_gpu::PersistencyModel::Epoch),
+            ..ClusterConfig::quick()
+        };
+        let epoch = run_cluster(&epoch_cfg, &reqs).unwrap();
+        assert_eq!(strict.completed + strict.shed, epoch.completed + epoch.shed);
+        assert_ne!(
+            strict.makespan, epoch.makespan,
+            "epoch model did not reach the shards' launches"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! options and checkpoints 4 GB; we scale the option count down, keeping
 //! the real math).
 
-use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_gpu::{launch, Kernel, LaunchConfig, ThreadCtx, WarpCtx};
 use gpm_sim::{Addr, Machine, Ns, SimResult};
 
 use crate::iterative::IterativeApp;
@@ -99,6 +99,69 @@ impl BlkWorkload {
     }
 }
 
+/// One pricing round: gather each option's (S, K, T) triple, price it under
+/// this round's volatility, scatter the price. The triple loads are strided
+/// (12-byte records), the price store is contiguous; both are uniform across
+/// a full warp, so only the guarded tail warp falls back to per-lane.
+struct BlkPriceKernel {
+    inputs: u64,
+    prices: u64,
+    n: u64,
+    rate: f32,
+    sigma: f32,
+}
+
+impl Kernel for BlkPriceKernel {
+    type State = ();
+    type Shared = ();
+
+    fn run(&self, _phase: u32, ctx: &mut ThreadCtx<'_>, _: &mut (), _: &mut ()) -> SimResult<()> {
+        let i = ctx.global_id();
+        if i >= self.n {
+            return Ok(());
+        }
+        let s = ctx.ld_f32(Addr::hbm(self.inputs + i * 12))?;
+        let strike = ctx.ld_f32(Addr::hbm(self.inputs + i * 12 + 4))?;
+        let t = ctx.ld_f32(Addr::hbm(self.inputs + i * 12 + 8))?;
+        // Effective per-option work: the SDK sample re-prices each
+        // option under multiple vol/rate scenarios per round; calibrated
+        // to measured round times at the paper's 256M-option scale.
+        ctx.compute(Ns(30_000.0));
+        let price = call_price(s, strike, t, self.rate, self.sigma);
+        ctx.st_f32(Addr::hbm(self.prices + i * 4), price)
+    }
+
+    fn run_warp(
+        &self,
+        _phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        _: &mut [()],
+        _: &mut (),
+    ) -> SimResult<bool> {
+        let first = ctx.first_global_id();
+        let lanes = ctx.lanes() as u64;
+        if first + lanes > self.n {
+            return Ok(false); // guard diverges in the tail warp
+        }
+        let mut s = vec![0.0f32; lanes as usize];
+        let mut strike = vec![0.0f32; lanes as usize];
+        let mut t = vec![0.0f32; lanes as usize];
+        ctx.ld_f32_lanes(Addr::hbm(self.inputs + first * 12), 12, &mut s)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.inputs + first * 12 + 4), 12, &mut strike)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.inputs + first * 12 + 8), 12, &mut t)?;
+        ctx.compute(Ns(30_000.0));
+        let prices: Vec<f32> = (0..lanes as usize)
+            .map(|i| call_price(s[i], strike[i], t[i], self.rate, self.sigma))
+            .collect();
+        ctx.st_f32_lanes(Addr::hbm(self.prices + first * 4), 4, &prices)?;
+        Ok(true)
+    }
+
+    fn warp_fuel(&self, _phase: u32) -> Option<u64> {
+        Some(4) // 3 loads + 1 store per lane
+    }
+}
+
 impl IterativeApp for BlkWorkload {
     fn name(&self) -> &'static str {
         "BLK"
@@ -121,23 +184,13 @@ impl IterativeApp for BlkWorkload {
 
     fn iteration(&self, machine: &mut Machine, arrays: &[(u64, u64)], iter: u32) -> SimResult<()> {
         let n = self.params.options;
-        let (inputs, prices, rate) = (self.inputs, arrays[0].0, self.params.rate);
-        let sigma = sigma_for_round(iter);
-        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
-            let i = ctx.global_id();
-            if i >= n {
-                return Ok(());
-            }
-            let s = ctx.ld_f32(Addr::hbm(inputs + i * 12))?;
-            let strike = ctx.ld_f32(Addr::hbm(inputs + i * 12 + 4))?;
-            let t = ctx.ld_f32(Addr::hbm(inputs + i * 12 + 8))?;
-            // Effective per-option work: the SDK sample re-prices each
-            // option under multiple vol/rate scenarios per round; calibrated
-            // to measured round times at the paper's 256M-option scale.
-            ctx.compute(Ns(30_000.0));
-            let price = call_price(s, strike, t, rate, sigma);
-            ctx.st_f32(Addr::hbm(prices + i * 4), price)
-        });
+        let k = BlkPriceKernel {
+            inputs: self.inputs,
+            prices: arrays[0].0,
+            n,
+            rate: self.params.rate,
+            sigma: sigma_for_round(iter),
+        };
         launch(machine, LaunchConfig::for_elements(n, 256), &k)?;
         Ok(())
     }

@@ -7,7 +7,7 @@
 //! experiment's object: three semantically-related arrays checkpointed as
 //! one group.
 
-use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_gpu::{launch, Kernel, LaunchConfig, ThreadCtx, WarpCtx};
 use gpm_sim::{Addr, Machine, Ns, SimResult};
 
 use crate::iterative::IterativeApp;
@@ -70,6 +70,73 @@ impl CfdWorkload {
     }
 }
 
+/// One timestep over all cells: gather the three field values, advance the
+/// coupled system, scatter the results. Uniform across a full warp, so the
+/// interior of the grid runs vectorized; the tail warp (where the `i >= n`
+/// guard diverges) falls back to the per-lane walk.
+struct CfdStepKernel {
+    flux: u64,
+    momentum: u64,
+    density: u64,
+    n: u64,
+}
+
+impl Kernel for CfdStepKernel {
+    type State = ();
+    type Shared = ();
+
+    fn run(&self, _phase: u32, ctx: &mut ThreadCtx<'_>, _: &mut (), _: &mut ()) -> SimResult<()> {
+        let i = ctx.global_id();
+        if i >= self.n {
+            return Ok(());
+        }
+        // Effective per-cell kernel work: Rodinia's euler3d runs a
+        // multi-stage RK solver gathering 3-D tetrahedral neighbours
+        // (thousands of flops + scattered loads); calibrated to its
+        // measured per-iteration time at this grid size.
+        ctx.compute(Ns(9_000.0));
+        let f = ctx.ld_f32(Addr::hbm(self.flux + i * 4))?;
+        let m0 = ctx.ld_f32(Addr::hbm(self.momentum + i * 4))?;
+        let d = ctx.ld_f32(Addr::hbm(self.density + i * 4))?;
+        let (f1, m1, d1) = step(f, m0, d);
+        ctx.st_f32(Addr::hbm(self.flux + i * 4), f1)?;
+        ctx.st_f32(Addr::hbm(self.momentum + i * 4), m1)?;
+        ctx.st_f32(Addr::hbm(self.density + i * 4), d1)
+    }
+
+    fn run_warp(
+        &self,
+        _phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        _: &mut [()],
+        _: &mut (),
+    ) -> SimResult<bool> {
+        let first = ctx.first_global_id();
+        let lanes = ctx.lanes() as u64;
+        if first + lanes > self.n {
+            return Ok(false); // guard diverges in the tail warp
+        }
+        ctx.compute(Ns(9_000.0));
+        let mut f = vec![0.0f32; lanes as usize];
+        let mut m0 = vec![0.0f32; lanes as usize];
+        let mut d = vec![0.0f32; lanes as usize];
+        ctx.ld_f32_lanes(Addr::hbm(self.flux + first * 4), 4, &mut f)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.momentum + first * 4), 4, &mut m0)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.density + first * 4), 4, &mut d)?;
+        for i in 0..lanes as usize {
+            (f[i], m0[i], d[i]) = step(f[i], m0[i], d[i]);
+        }
+        ctx.st_f32_lanes(Addr::hbm(self.flux + first * 4), 4, &f)?;
+        ctx.st_f32_lanes(Addr::hbm(self.momentum + first * 4), 4, &m0)?;
+        ctx.st_f32_lanes(Addr::hbm(self.density + first * 4), 4, &d)?;
+        Ok(true)
+    }
+
+    fn warp_fuel(&self, _phase: u32) -> Option<u64> {
+        Some(6) // 3 loads + 3 stores per lane; compute is not fuel-counted
+    }
+}
+
 impl IterativeApp for CfdWorkload {
     fn name(&self) -> &'static str {
         "CFD"
@@ -92,25 +159,12 @@ impl IterativeApp for CfdWorkload {
 
     fn iteration(&self, machine: &mut Machine, arrays: &[(u64, u64)], _iter: u32) -> SimResult<()> {
         let n = self.params.cells;
-        let (flux, momentum, density) = (arrays[0].0, arrays[1].0, arrays[2].0);
-        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
-            let i = ctx.global_id();
-            if i >= n {
-                return Ok(());
-            }
-            // Effective per-cell kernel work: Rodinia's euler3d runs a
-            // multi-stage RK solver gathering 3-D tetrahedral neighbours
-            // (thousands of flops + scattered loads); calibrated to its
-            // measured per-iteration time at this grid size.
-            ctx.compute(Ns(9_000.0));
-            let f = ctx.ld_f32(Addr::hbm(flux + i * 4))?;
-            let m0 = ctx.ld_f32(Addr::hbm(momentum + i * 4))?;
-            let d = ctx.ld_f32(Addr::hbm(density + i * 4))?;
-            let (f1, m1, d1) = step(f, m0, d);
-            ctx.st_f32(Addr::hbm(flux + i * 4), f1)?;
-            ctx.st_f32(Addr::hbm(momentum + i * 4), m1)?;
-            ctx.st_f32(Addr::hbm(density + i * 4), d1)
-        });
+        let k = CfdStepKernel {
+            flux: arrays[0].0,
+            momentum: arrays[1].0,
+            density: arrays[2].0,
+            n,
+        };
         launch(machine, LaunchConfig::for_elements(n, 256), &k)?;
         Ok(())
     }

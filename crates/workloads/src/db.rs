@@ -12,11 +12,11 @@
 use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
 use gpm_core::{
     gpm_map, gpm_persist_begin, gpm_persist_end, gpmlog_create_conv, gpmlog_create_hcl, GpmLog,
-    GpmThreadExt,
+    GpmLogDev, GpmThreadExt, GpmWarpExt,
 };
 use gpm_gpu::{
-    launch, launch_with_gauge, Communicating, FnKernel, FuelGauge, LaunchConfig, LaunchError,
-    ThreadCtx,
+    launch, launch_with_gauge, Communicating, FnKernel, FuelGauge, Kernel, LaunchConfig,
+    LaunchError, ThreadCtx, WarpCtx,
 };
 use gpm_sim::cpu::CpuCtx;
 use gpm_sim::{
@@ -66,6 +66,11 @@ pub struct DbParams {
     /// Undo-log backend for UPDATEs: `None` = HCL, `Some(p)` = conventional
     /// logging with `p` partitions (the Figure 11 baseline).
     pub conventional_log_partitions: Option<u32>,
+    /// GPU persistency model for every kernel this workload launches.
+    /// `None` defers to `GPM_PERSISTENCY` (then strict), exactly like
+    /// [`LaunchConfig::persistency`]; `Some(model)` pins it, which is how
+    /// harnesses (enginebench, gpm-serve) select epoch explicitly.
+    pub persistency: Option<gpm_gpu::PersistencyModel>,
 }
 
 impl Default for DbParams {
@@ -78,6 +83,7 @@ impl Default for DbParams {
             op: DbOp::Insert,
             cap_threads: 32,
             conventional_log_partitions: None,
+            persistency: None,
         }
     }
 }
@@ -97,6 +103,12 @@ impl DbParams {
     /// Switches to the UPDATE query type.
     pub fn updates(mut self) -> DbParams {
         self.op = DbOp::Update;
+        self
+    }
+
+    /// Pins the GPU persistency model for every launch of this workload.
+    pub fn with_persistency(mut self, model: gpm_gpu::PersistencyModel) -> DbParams {
+        self.persistency = Some(model);
         self
     }
 
@@ -146,14 +158,118 @@ fn updated_col_value(id: u64, batch: u32) -> u64 {
     id.wrapping_mul(31).wrapping_add(batch as u64)
 }
 
+/// One INSERT batch: each thread appends one freshly-encoded row to the end
+/// of the table (HBM always, plus the PM image under GPM). Thread 0
+/// additionally logs the old table size to the conventional metadata log, so
+/// its warp diverges and stays per-lane; every other full warp streams its
+/// 32 rows through strided vector stores.
+struct DbInsertKernel {
+    pm_table: u64,
+    hbm_table: u64,
+    meta_log: GpmLogDev,
+    batch: u32,
+    start_row: u64,
+    rows: u64,
+    to_pm: bool,
+    persist: bool,
+}
+
+impl Kernel for DbInsertKernel {
+    type State = ();
+    type Shared = ();
+
+    fn run(&self, _phase: u32, ctx: &mut ThreadCtx<'_>, _: &mut (), _: &mut ()) -> SimResult<()> {
+        let i = ctx.global_id();
+        if i >= self.rows {
+            return Ok(());
+        }
+        // Thread 0 logs the old table size (metadata, conventional log).
+        if i == 0 && self.to_pm && self.persist {
+            self.meta_log
+                .insert_to(ctx, &self.start_row.to_le_bytes(), 0)?;
+        }
+        let row_id = self.start_row + i;
+        ctx.compute(Ns(60.0)); // query processing per row
+        let row = DbWorkload::encode_row(row_id, self.batch);
+        ctx.st_bytes(Addr::hbm(self.hbm_table + row_id * ROW_STRIDE), &row)?;
+        if self.to_pm {
+            ctx.st_bytes(Addr::pm(self.pm_table + row_id * ROW_STRIDE), &row)?;
+            if self.persist {
+                ctx.gpm_persist()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run_warp(
+        &self,
+        _phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        _: &mut [()],
+        _: &mut (),
+    ) -> SimResult<bool> {
+        let first = ctx.first_global_id();
+        let lanes = ctx.lanes() as u64;
+        if first + lanes > self.rows {
+            return Ok(false); // guard diverges in the tail warp
+        }
+        if first == 0 && self.to_pm && self.persist {
+            return Ok(false); // thread 0's metadata-log append diverges
+        }
+        ctx.compute(Ns(60.0));
+        let mut buf = vec![0u8; (lanes * ROW_BYTES) as usize];
+        for l in 0..lanes {
+            let row = DbWorkload::encode_row(self.start_row + first + l, self.batch);
+            buf[(l * ROW_BYTES) as usize..((l + 1) * ROW_BYTES) as usize].copy_from_slice(&row);
+        }
+        let off = (self.start_row + first) * ROW_STRIDE;
+        ctx.st_bytes_lanes(
+            Addr::hbm(self.hbm_table + off),
+            ROW_STRIDE,
+            ROW_BYTES as usize,
+            &buf,
+        )?;
+        if self.to_pm {
+            ctx.st_bytes_lanes(
+                Addr::pm(self.pm_table + off),
+                ROW_STRIDE,
+                ROW_BYTES as usize,
+                &buf,
+            )?;
+            if self.persist {
+                ctx.gpm_persist()?;
+            }
+        }
+        Ok(true)
+    }
+
+    fn warp_fuel(&self, _phase: u32) -> Option<u64> {
+        // One HBM row store per lane, plus under GPM the PM mirror store and
+        // the persist fence; thread 0's conventional-log append adds six
+        // counted ops (two u32 loads/stores around the entry, the entry
+        // store, and two fences), which the bound must cover even though its
+        // warp always declines to per-lane.
+        let base = 1 + u64::from(self.to_pm) + u64::from(self.to_pm && self.persist);
+        Some(base + if self.to_pm && self.persist { 6 } else { 0 })
+    }
+}
+
 impl DbWorkload {
     /// Creates the workload.
     pub fn new(params: DbParams) -> DbWorkload {
         DbWorkload { params }
     }
 
+    fn cfg_for(&self, elements: u64) -> LaunchConfig {
+        let cfg = LaunchConfig::for_elements(elements, 256);
+        match self.params.persistency {
+            Some(model) => cfg.with_persistency(model),
+            None => cfg,
+        }
+    }
+
     fn update_launch_cfg(&self) -> LaunchConfig {
-        LaunchConfig::for_elements(self.params.capacity_rows, 256)
+        self.cfg_for(self.params.capacity_rows)
     }
 
     /// Allocates the table, mirror, logs and row count on `machine` and
@@ -231,30 +347,17 @@ impl DbWorkload {
         rows: u64,
         to_pm: bool,
         persist: bool,
-    ) -> impl gpm_gpu::Kernel<State = (), Shared = ()> {
-        let (pm_table, hbm_table) = (st.pm_table, st.hbm_table);
-        let meta_log = st.meta_log.dev();
-        FnKernel(move |ctx: &mut ThreadCtx<'_>| {
-            let i = ctx.global_id();
-            if i >= rows {
-                return Ok(());
-            }
-            // Thread 0 logs the old table size (metadata, conventional log).
-            if i == 0 && to_pm && persist {
-                meta_log.insert_to(ctx, &start_row.to_le_bytes(), 0)?;
-            }
-            let row_id = start_row + i;
-            ctx.compute(Ns(60.0)); // query processing per row
-            let row = Self::encode_row(row_id, batch);
-            ctx.st_bytes(Addr::hbm(hbm_table + row_id * ROW_STRIDE), &row)?;
-            if to_pm {
-                ctx.st_bytes(Addr::pm(pm_table + row_id * ROW_STRIDE), &row)?;
-                if persist {
-                    ctx.gpm_persist()?;
-                }
-            }
-            Ok(())
-        })
+    ) -> DbInsertKernel {
+        DbInsertKernel {
+            pm_table: st.pm_table,
+            hbm_table: st.hbm_table,
+            meta_log: st.meta_log.dev(),
+            batch,
+            start_row,
+            rows,
+            to_pm,
+            persist,
+        }
     }
 
     fn update_kernel(
@@ -268,7 +371,9 @@ impl DbWorkload {
         let (pm_table, hbm_table) = (st.pm_table, st.hbm_table);
         let row_log = st.row_log.dev();
         // Matching rows across blocks append to the shared undo log:
-        // cross-block communication.
+        // cross-block communication. The predicate is data-dependent (only
+        // ~1/UPDATE_MOD of lanes match), so warps diverge unpredictably and
+        // the kernel stays on the per-lane path; no `run_warp` is provided.
         Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
             let i = ctx.global_id();
             if i >= row_count {
@@ -376,7 +481,7 @@ impl DbWorkload {
                         "insert batch exceeds table capacity",
                     )));
                 }
-                let cfg = LaunchConfig::for_elements(rows, 256);
+                let cfg = self.cfg_for(rows);
                 match mode {
                     Mode::Gpm => {
                         gpm_persist_begin(machine);
@@ -743,7 +848,7 @@ impl DbWorkload {
             for b in 0..p.batches {
                 match p.op {
                     DbOp::Insert => {
-                        let cfg = LaunchConfig::for_elements(p.rows_per_insert, 256);
+                        let cfg = self.cfg_for(p.rows_per_insert);
                         gpm_persist_begin(m);
                         launch(
                             m,

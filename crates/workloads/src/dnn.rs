@@ -11,7 +11,7 @@
 //! passes vs ≈0.22 ms per checkpoint (§6.1). Training is deterministic, so
 //! recovery is verified bit-exactly and the loss verifiably decreases.
 
-use gpm_gpu::{launch, FnKernel, LaunchConfig, ThreadCtx};
+use gpm_gpu::{launch, Kernel, LaunchConfig, ThreadCtx, WarpCtx};
 use gpm_sim::{Addr, Machine, Ns, SimResult};
 
 use crate::iterative::IterativeApp;
@@ -207,6 +207,114 @@ impl HostModel {
     }
 }
 
+/// The SGD update kernel: each thread owns [`PARAMS_PER_THREAD`] consecutive
+/// parameters of the flattened `[w1 | b1 | w2 | b2]` layout and applies
+/// `w -= lr * g`, moving weights and gradients as byte spans (one load/store
+/// per array segment rather than per scalar — everything lives in HBM, where
+/// byte totals alone drive the timing model). A warp whose combined span
+/// stays inside one parameter array is fully uniform and runs vectorized;
+/// warps straddling an array boundary or the grid tail fall back per-lane.
+struct DnnSgdKernel {
+    /// Per-array `(hbm base, words)`.
+    bases: [(u64, u64); 4],
+    /// First flattened parameter index of each array.
+    starts: [u64; 4],
+    grads_hbm: u64,
+    total_params: u64,
+    threads: u64,
+    lr: f32,
+    pass_compute: Ns,
+}
+
+impl DnnSgdKernel {
+    fn array_of(&self, idx: u64) -> usize {
+        let mut a = 0;
+        while a + 1 < 4 && idx >= self.starts[a + 1] {
+            a += 1;
+        }
+        a
+    }
+
+    fn update_span(&self, wbuf: &mut [u8], gbuf: &[u8]) {
+        for (wc, gc) in wbuf.chunks_exact_mut(4).zip(gbuf.chunks_exact(4)) {
+            let w = f32::from_le_bytes(wc.try_into().unwrap());
+            let g = f32::from_le_bytes(gc.try_into().unwrap());
+            wc.copy_from_slice(&(w - self.lr * g).to_le_bytes());
+        }
+    }
+}
+
+impl Kernel for DnnSgdKernel {
+    type State = ();
+    type Shared = ();
+
+    fn run(&self, _phase: u32, ctx: &mut ThreadCtx<'_>, _: &mut (), _: &mut ()) -> SimResult<()> {
+        let t = ctx.global_id();
+        if t >= self.threads {
+            return Ok(());
+        }
+        ctx.compute(self.pass_compute);
+        let end = (t * PARAMS_PER_THREAD + PARAMS_PER_THREAD).min(self.total_params);
+        let mut idx = t * PARAMS_PER_THREAD;
+        while idx < end {
+            let a = self.array_of(idx);
+            let seg_end = end.min(self.starts[a] + self.bases[a].1);
+            let bytes = ((seg_end - idx) * 4) as usize;
+            let addr = Addr::hbm(self.bases[a].0 + (idx - self.starts[a]) * 4);
+            let mut wbuf = vec![0u8; bytes];
+            ctx.ld_bytes(addr, &mut wbuf)?;
+            let mut gbuf = vec![0u8; bytes];
+            ctx.ld_bytes(Addr::hbm(self.grads_hbm + idx * 4), &mut gbuf)?;
+            self.update_span(&mut wbuf, &gbuf);
+            ctx.st_bytes(addr, &wbuf)?;
+            idx = seg_end;
+        }
+        Ok(())
+    }
+
+    fn run_warp(
+        &self,
+        _phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        _: &mut [()],
+        _: &mut (),
+    ) -> SimResult<bool> {
+        let first = ctx.first_global_id();
+        let lanes = ctx.lanes() as u64;
+        if first + lanes > self.threads {
+            return Ok(false);
+        }
+        let idx0 = first * PARAMS_PER_THREAD;
+        let end = idx0 + lanes * PARAMS_PER_THREAD;
+        let a = self.array_of(idx0);
+        if end > self.total_params || end > self.starts[a] + self.bases[a].1 {
+            return Ok(false); // warp straddles an array boundary
+        }
+        ctx.compute(self.pass_compute);
+        let lane_bytes = (PARAMS_PER_THREAD * 4) as usize;
+        let total = lane_bytes * lanes as usize;
+        let addr = Addr::hbm(self.bases[a].0 + (idx0 - self.starts[a]) * 4);
+        let mut wbuf = vec![0u8; total];
+        ctx.ld_bytes_lanes(addr, lane_bytes as u64, lane_bytes, &mut wbuf)?;
+        let mut gbuf = vec![0u8; total];
+        ctx.ld_bytes_lanes(
+            Addr::hbm(self.grads_hbm + idx0 * 4),
+            lane_bytes as u64,
+            lane_bytes,
+            &mut gbuf,
+        )?;
+        self.update_span(&mut wbuf, &gbuf);
+        ctx.st_bytes_lanes(addr, lane_bytes as u64, lane_bytes, &wbuf)?;
+        Ok(true)
+    }
+
+    fn warp_fuel(&self, _phase: u32) -> Option<u64> {
+        // 3 span operations per array segment; a 64-parameter span can touch
+        // at most all four arrays.
+        Some(12)
+    }
+}
+
 impl DnnWorkload {
     /// Creates the workload.
     pub fn new(params: DnnParams) -> DnnWorkload {
@@ -300,29 +408,15 @@ impl IterativeApp for DnnWorkload {
             starts[j] = acc;
             acc += bytes / 4;
         }
-        let (grads_hbm, lr, per_thread_compute) = (self.grads_hbm, p.lr, p.pass_compute);
-        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
-            let t = ctx.global_id();
-            if t >= threads {
-                return Ok(());
-            }
-            ctx.compute(per_thread_compute);
-            for j in 0..PARAMS_PER_THREAD {
-                let idx = t * PARAMS_PER_THREAD + j;
-                if idx >= total_params {
-                    break;
-                }
-                let mut a = 0;
-                while a + 1 < 4 && idx >= starts[a + 1] {
-                    a += 1;
-                }
-                let addr = Addr::hbm(bases[a].0 + (idx - starts[a]) * 4);
-                let w = ctx.ld_f32(addr)?;
-                let g = ctx.ld_f32(Addr::hbm(grads_hbm + idx * 4))?;
-                ctx.st_f32(addr, w - lr * g)?;
-            }
-            Ok(())
-        });
+        let k = DnnSgdKernel {
+            bases,
+            starts,
+            grads_hbm: self.grads_hbm,
+            total_params,
+            threads,
+            lr: p.lr,
+            pass_compute: p.pass_compute,
+        };
         launch(machine, LaunchConfig::for_elements(threads, 256), &k)?;
         Ok(())
     }

@@ -7,7 +7,7 @@
 //! periodically. The paper's input is a 16K×16K grid (2 GB); scaled down
 //! here, with the paper size driving the GPUfs failure.
 
-use gpm_gpu::{launch, FnKernel, Grid2, ThreadCtx};
+use gpm_gpu::{launch, Grid2, Kernel, ThreadCtx, WarpCtx};
 use gpm_sim::{Addr, Machine, Ns, SimResult};
 
 use crate::iterative::IterativeApp;
@@ -123,6 +123,103 @@ impl HotspotWorkload {
     }
 }
 
+/// One stencil sweep: each thread reads its 5-point neighbourhood and the
+/// power map from the source buffer and writes the relaxed temperature to
+/// the destination buffer. Interior row-aligned warps (the 32×8 tiles put a
+/// warp on one row) are uniform — five strided gathers, one power load, one
+/// store — and run vectorized; warps touching the grid boundary diverge
+/// (edge cells substitute the ambient temperature instead of loading) and
+/// fall back to the per-lane walk.
+struct HsStencilKernel {
+    grid: Grid2,
+    src: u64,
+    dst: u64,
+    power: u64,
+    e: u64,
+}
+
+impl Kernel for HsStencilKernel {
+    type State = ();
+    type Shared = ();
+
+    fn run(&self, _phase: u32, ctx: &mut ThreadCtx<'_>, _: &mut (), _: &mut ()) -> SimResult<()> {
+        let (x, y) = self.grid.coords(ctx.global_id());
+        if !self.grid.in_bounds(x, y) {
+            return Ok(());
+        }
+        let e = self.e;
+        let i = y * e + x;
+        // Effective per-cell work of Rodinia's pyramidal multi-step
+        // kernel, calibrated to its measured iteration times.
+        ctx.compute(Ns(10_000.0));
+        let at = |ctx: &mut ThreadCtx<'_>, xx: i64, yy: i64| -> SimResult<f32> {
+            if xx < 0 || yy < 0 || xx >= e as i64 || yy >= e as i64 {
+                Ok(AMBIENT)
+            } else {
+                ctx.ld_f32(Addr::hbm(self.src + (yy as u64 * e + xx as u64) * 4))
+            }
+        };
+        let (xi, yi) = (x as i64, y as i64);
+        let c = at(ctx, xi, yi)?;
+        let up = at(ctx, xi, yi - 1)?;
+        let down = at(ctx, xi, yi + 1)?;
+        let left = at(ctx, xi - 1, yi)?;
+        let right = at(ctx, xi + 1, yi)?;
+        let pw = ctx.ld_f32(Addr::hbm(self.power + i * 4))?;
+        ctx.st_f32(
+            Addr::hbm(self.dst + i * 4),
+            stencil(c, up, down, left, right, pw),
+        )
+    }
+
+    fn run_warp(
+        &self,
+        _phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        _: &mut [()],
+        _: &mut (),
+    ) -> SimResult<bool> {
+        let e = self.e;
+        let lanes = ctx.lanes() as u64;
+        let first = ctx.first_global_id();
+        let (x0, y) = self.grid.coords(first);
+        let (x_last, y_last) = self.grid.coords(first + lanes - 1);
+        // Vectorize only warps that sit on one row, strictly inside the
+        // grid: boundary lanes skip neighbour loads (ambient substitution),
+        // which diverges from the uniform 6-load shape.
+        if y_last != y || x_last != x0 + lanes - 1 {
+            return Ok(false);
+        }
+        if y == 0 || y + 1 >= e || x0 == 0 || x_last + 1 >= e {
+            return Ok(false);
+        }
+        ctx.compute(Ns(10_000.0));
+        let n = lanes as usize;
+        let row = |yy: u64, xx: u64| (yy * e + xx) * 4;
+        let mut c = vec![0.0f32; n];
+        let mut up = vec![0.0f32; n];
+        let mut down = vec![0.0f32; n];
+        let mut left = vec![0.0f32; n];
+        let mut right = vec![0.0f32; n];
+        let mut pw = vec![0.0f32; n];
+        ctx.ld_f32_lanes(Addr::hbm(self.src + row(y, x0)), 4, &mut c)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.src + row(y - 1, x0)), 4, &mut up)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.src + row(y + 1, x0)), 4, &mut down)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.src + row(y, x0 - 1)), 4, &mut left)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.src + row(y, x0 + 1)), 4, &mut right)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.power + row(y, x0)), 4, &mut pw)?;
+        let out: Vec<f32> = (0..n)
+            .map(|i| stencil(c[i], up[i], down[i], left[i], right[i], pw[i]))
+            .collect();
+        ctx.st_f32_lanes(Addr::hbm(self.dst + row(y, x0)), 4, &out)?;
+        Ok(true)
+    }
+
+    fn warp_fuel(&self, _phase: u32) -> Option<u64> {
+        Some(7) // 5 stencil loads + 1 power load + 1 store per lane
+    }
+}
+
 impl IterativeApp for HotspotWorkload {
     fn name(&self) -> &'static str {
         "HS"
@@ -157,38 +254,17 @@ impl IterativeApp for HotspotWorkload {
         } else {
             (self.temp_b, temp_a)
         };
-        let power = self.power;
-        // Hotspot launches a 2-D grid of 16x16 tiles, as the Rodinia kernel
-        // does.
-        let grid = Grid2::new(e, e, 16, 16);
-        let k = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
-            let (x, y) = grid.coords(ctx.global_id());
-            if !grid.in_bounds(x, y) {
-                return Ok(());
-            }
-            let i = y * e + x;
-            // Effective per-cell work of Rodinia's pyramidal multi-step
-            // kernel, calibrated to its measured iteration times.
-            ctx.compute(Ns(10_000.0));
-            let at = |ctx: &mut ThreadCtx<'_>, xx: i64, yy: i64| -> SimResult<f32> {
-                if xx < 0 || yy < 0 || xx >= e as i64 || yy >= e as i64 {
-                    Ok(AMBIENT)
-                } else {
-                    ctx.ld_f32(Addr::hbm(src + (yy as u64 * e + xx as u64) * 4))
-                }
-            };
-            let (xi, yi) = (x as i64, y as i64);
-            let c = at(ctx, xi, yi)?;
-            let up = at(ctx, xi, yi - 1)?;
-            let down = at(ctx, xi, yi + 1)?;
-            let left = at(ctx, xi - 1, yi)?;
-            let right = at(ctx, xi + 1, yi)?;
-            let pw = ctx.ld_f32(Addr::hbm(power + i * 4))?;
-            ctx.st_f32(
-                Addr::hbm(dst + i * 4),
-                stencil(c, up, down, left, right, pw),
-            )
-        });
+        // Hotspot launches a 2-D grid of 256-thread tiles like the Rodinia
+        // kernel; 32×8 keeps each warp on a single row so interior warps
+        // coalesce into whole-row vector operations.
+        let grid = Grid2::new(e, e, 32, 8);
+        let k = HsStencilKernel {
+            grid,
+            src,
+            dst,
+            power: self.power,
+            e,
+        };
         launch(machine, grid.launch(), &k)?;
         Ok(())
     }

@@ -64,6 +64,11 @@ pub struct KvsParams {
     /// Key skew: `None` = unique uniform keys per batch, `Some(theta)` =
     /// Zipfian key popularity over a bounded key universe (YCSB-style).
     pub key_skew: Option<f64>,
+    /// GPU persistency model for every kernel this workload launches.
+    /// `None` defers to `GPM_PERSISTENCY` (then strict), exactly like
+    /// [`LaunchConfig::persistency`]; `Some(model)` pins it, which is how
+    /// harnesses (enginebench, gpm-serve) select epoch explicitly.
+    pub persistency: Option<gpm_gpu::PersistencyModel>,
 }
 
 impl Default for KvsParams {
@@ -78,6 +83,7 @@ impl Default for KvsParams {
             get_response_ns: 400.0,
             conventional_log_partitions: None,
             key_skew: None,
+            persistency: None,
         }
     }
 }
@@ -96,6 +102,12 @@ impl KvsParams {
     /// The 95% GET / 5% SET mix of Figure 9.
     pub fn with_get_mix(mut self) -> KvsParams {
         self.get_permille = 950;
+        self
+    }
+
+    /// Pins the GPU persistency model for every launch of this workload.
+    pub fn with_persistency(mut self, model: gpm_gpu::PersistencyModel) -> KvsParams {
+        self.persistency = Some(model);
         self
     }
 
@@ -152,7 +164,11 @@ impl KvsWorkload {
     }
 
     fn launch_cfg(&self) -> LaunchConfig {
-        LaunchConfig::for_elements(self.params.ops_per_batch * THREAD_GROUP, 256)
+        let cfg = LaunchConfig::for_elements(self.params.ops_per_batch * THREAD_GROUP, 256);
+        match self.params.persistency {
+            Some(model) => cfg.with_persistency(model),
+            None => cfg,
+        }
     }
 
     /// Allocates the table, mirror, batch buffers, undo log and transaction
@@ -275,7 +291,10 @@ impl KvsWorkload {
         );
         let log = st.log.dev();
         // Threads across blocks append to the shared undo log (atomic tail
-        // bumps on shared partitions): cross-block communication.
+        // bumps on shared partitions): cross-block communication. Within a
+        // warp, 7 of every 8 lanes retire after the cooperative probe and
+        // the survivor's GET/SET work is key-dependent, so warps diverge by
+        // construction and the kernel stays per-lane; no `run_warp`.
         Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
             let tid = ctx.global_id();
             let op = tid / THREAD_GROUP;
@@ -402,7 +421,11 @@ impl KvsWorkload {
         self.upload_batch(machine, st, ops)
             .map_err(LaunchError::Sim)?;
         let n = ops.len() as u64;
-        let cfg = LaunchConfig::for_elements(n * THREAD_GROUP, 256);
+        let base = LaunchConfig::for_elements(n * THREAD_GROUP, 256);
+        let cfg = match p.persistency {
+            Some(model) => base.with_persistency(model),
+            None => base,
+        };
         match mode {
             Mode::Gpm => {
                 st.flag.begin(machine, seq + 1).map_err(LaunchError::Sim)?;

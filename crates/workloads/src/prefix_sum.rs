@@ -10,8 +10,10 @@
 //! prefix array on PM under the same sentinel protocol.
 
 use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
-use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt};
-use gpm_gpu::{launch_with_gauge, FuelGauge, Kernel, LaunchConfig, LaunchError, ThreadCtx};
+use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt, GpmWarpExt};
+use gpm_gpu::{
+    launch_with_gauge, FuelGauge, Kernel, LaunchConfig, LaunchError, ThreadCtx, WarpCtx,
+};
 use gpm_sim::cpu::CpuCtx;
 use gpm_sim::{
     Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult, HOST_WRITER,
@@ -184,6 +186,67 @@ impl Kernel for PartialSumKernel {
             }
         }
     }
+
+    fn run_warp(
+        &self,
+        phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        _states: &mut [()],
+        shared: &mut PsShared,
+    ) -> SimResult<bool> {
+        let lanes = ctx.lanes() as u64;
+        let first = ctx.first_global_id();
+        if first + lanes > self.n {
+            return Ok(false);
+        }
+        let t0 = first - ctx.block_id() as u64 * ctx.block_dim() as u64;
+        // The warp holding the block's last thread runs the divergent
+        // sentinel protocol (phases 2/3 skip or isolate that thread).
+        let holds_last = t0 + lanes == ctx.block_dim() as u64;
+        match phase {
+            0 => {
+                if t0 == 0 && self.to_pm {
+                    return Ok(false); // thread 0 also probes the sentinel
+                }
+                let mut v = vec![0u32; lanes as usize];
+                ctx.ld_u32_lanes(Addr::hbm(self.input + first * 4), 4, &mut v)?;
+                shared.vals.extend(v.iter().map(|&x| x as u64));
+                Ok(true)
+            }
+            1 => {
+                // The block scan runs on thread 0 alone; every other warp
+                // is a uniform no-op.
+                Ok(t0 != 0)
+            }
+            2 => {
+                if shared.done {
+                    return Ok(true); // resumed block: every lane skips
+                }
+                if holds_last {
+                    return Ok(false);
+                }
+                let vals = &shared.vals[t0 as usize..(t0 + lanes) as usize];
+                ctx.st_u64_lanes(Addr::hbm(self.hbm_p_sums + first * 8), 8, vals)?;
+                if self.to_pm {
+                    ctx.st_u64_lanes(Addr::pm(self.pm_p_sums + first * 8), 8, vals)?;
+                    if self.persist {
+                        ctx.gpm_persist()?;
+                    }
+                }
+                Ok(true)
+            }
+            // The sentinel phase touches only the last thread.
+            _ => Ok(!holds_last),
+        }
+    }
+
+    fn warp_fuel(&self, phase: u32) -> Option<u64> {
+        Some(match phase {
+            0 => 2,                                                   // sentinel probe + input load
+            1 => 0,                                                   // scan is pure compute
+            _ => 1 + u64::from(self.to_pm) + u64::from(self.persist), // HBM + PM store + fence
+        })
+    }
 }
 
 /// Stage-3 kernel: final prefix = block offset + partial, same protocol.
@@ -245,6 +308,61 @@ impl Kernel for FinalKernel {
             ctx.st_u64(Addr::hbm(self.hbm_p_sums + gid * 8), offset + partial)?;
         }
         Ok(())
+    }
+
+    fn run_warp(
+        &self,
+        phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        _states: &mut [()],
+        shared: &mut PsShared,
+    ) -> SimResult<bool> {
+        let lanes = ctx.lanes() as u64;
+        let first = ctx.first_global_id();
+        if first + lanes > self.n {
+            return Ok(false);
+        }
+        let t0 = first - ctx.block_id() as u64 * ctx.block_dim() as u64;
+        let holds_last = t0 + lanes == ctx.block_dim() as u64;
+        if phase == 0 {
+            if t0 == 0 && self.to_pm {
+                return Ok(false); // thread 0 also probes the sentinel
+            }
+            if shared.done {
+                return Ok(true); // resumed block: every lane skips
+            }
+            if holds_last {
+                return Ok(false); // the last thread defers to phase 1
+            }
+        } else {
+            // Only the last thread writes in the sentinel phase.
+            return Ok(!holds_last);
+        }
+        let n = lanes as usize;
+        let mut partial = vec![0u64; n];
+        let mut offset = vec![0u64; n];
+        ctx.ld_u64_lanes(Addr::hbm(self.hbm_p_sums + first * 8), 8, &mut partial)?;
+        // Every lane reads the same block offset word (stride 0); the
+        // coalescer dedups it to one transaction, as in the per-lane walk.
+        let block = ctx.block_id() as u64;
+        ctx.ld_u64_lanes(Addr::hbm(self.hbm_offsets + block * 8), 0, &mut offset)?;
+        let out: Vec<u64> = (0..n).map(|i| offset[i] + partial[i]).collect();
+        if self.to_pm {
+            ctx.st_u64_lanes(Addr::pm(self.pm_out + first * 8), 8, &out)?;
+            if self.persist {
+                ctx.gpm_persist()?;
+            }
+        } else {
+            ctx.st_u64_lanes(Addr::hbm(self.hbm_p_sums + first * 8), 8, &out)?;
+        }
+        Ok(true)
+    }
+
+    fn warp_fuel(&self, phase: u32) -> Option<u64> {
+        // Worst lane of phase 0 is thread 0 under GPM: sentinel probe, two
+        // gathers, the store and the persist fence.
+        let _ = phase;
+        Some(3 + u64::from(self.to_pm) + u64::from(self.persist))
     }
 }
 

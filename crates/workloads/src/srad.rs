@@ -9,8 +9,10 @@
 //! results are independent of thread execution order.
 
 use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
-use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt};
-use gpm_gpu::{launch_with_gauge, FnKernel, FuelGauge, LaunchConfig, LaunchError, ThreadCtx};
+use gpm_core::{gpm_map, gpm_persist_begin, gpm_persist_end, GpmThreadExt, GpmWarpExt};
+use gpm_gpu::{
+    launch_with_gauge, FuelGauge, Kernel, LaunchConfig, LaunchError, ThreadCtx, WarpCtx,
+};
 use gpm_sim::cpu::CpuCtx;
 use gpm_sim::{
     Addr, CrashPolicy, CrashSchedule, Machine, Ns, OracleVerdict, SimError, SimResult, HOST_WRITER,
@@ -97,6 +99,131 @@ fn diffuse(center: f32, up: f32, down: f32, left: f32, right: f32, c: f32, lambd
     center + 0.25 * lambda * c * (up + down + left + right - 4.0 * center)
 }
 
+/// One diffusion sweep. Every lane issues the same operation sequence —
+/// the clamped neighbour gathers still load (only the *address* clamps at
+/// the image border), so interior *row-aligned* warps are uniform and run
+/// vectorized; warps touching the border or straddling rows diverge in
+/// address pattern and fall back to the per-lane walk. The kernel runs
+/// under crash gauges (`run_crash_resume`, the recovery oracle), so
+/// `warp_fuel` must bound the per-lane operation count exactly.
+struct SradIterKernel {
+    e: u64,
+    lambda: f32,
+    src: u64,
+    dst: u64,
+    hbm_coeff: u64,
+    pm_coeff: u64,
+    pm_img: u64,
+    to_pm: bool,
+    persist: bool,
+}
+
+impl Kernel for SradIterKernel {
+    type State = ();
+    type Shared = ();
+
+    fn run(&self, _phase: u32, ctx: &mut ThreadCtx<'_>, _: &mut (), _: &mut ()) -> SimResult<()> {
+        let e = self.e;
+        let i = ctx.global_id();
+        if i >= e * e {
+            return Ok(());
+        }
+        let (x, y) = (i % e, i / e);
+        ctx.compute(Ns(35.0));
+        let at = |ctx: &mut ThreadCtx<'_>, xx: i64, yy: i64| -> SimResult<f32> {
+            let xx = xx.clamp(0, e as i64 - 1) as u64;
+            let yy = yy.clamp(0, e as i64 - 1) as u64;
+            ctx.ld_f32(Addr::hbm(self.src + (yy * e + xx) * 4))
+        };
+        let (xi, yi) = (x as i64, y as i64);
+        let ctr = at(ctx, xi, yi)?;
+        let up = at(ctx, xi, yi - 1)?;
+        let down = at(ctx, xi, yi + 1)?;
+        let left = at(ctx, xi - 1, yi)?;
+        let right = at(ctx, xi + 1, yi)?;
+        let c = coeff(ctr, up, down, left, right);
+        let out = diffuse(ctr, up, down, left, right, c, self.lambda);
+        ctx.st_f32(Addr::hbm(self.dst + i * 4), out)?;
+        ctx.st_f32(Addr::hbm(self.hbm_coeff + i * 4), c)?;
+        if self.to_pm {
+            // Native persistence: coefficient and output pixel go to PM
+            // as they are computed.
+            ctx.st_f32(Addr::pm(self.pm_coeff + i * 4), c)?;
+            ctx.st_f32(Addr::pm(self.pm_img + i * 4), out)?;
+            if self.persist {
+                ctx.gpm_persist()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run_warp(
+        &self,
+        _phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        _: &mut [()],
+        _: &mut (),
+    ) -> SimResult<bool> {
+        let e = self.e;
+        let lanes = ctx.lanes() as u64;
+        let first = ctx.first_global_id();
+        let (x0, y) = (first % e, first / e);
+        // Vectorize warps that sit on one interior row: border lanes clamp
+        // neighbour addresses (breaking the uniform stride) and warps that
+        // straddle a row boundary gather from two rows.
+        if x0 + lanes > e || first + lanes > e * e {
+            return Ok(false);
+        }
+        if y == 0 || y + 1 >= e || x0 == 0 || x0 + lanes >= e {
+            return Ok(false);
+        }
+        ctx.compute(Ns(35.0));
+        let n = lanes as usize;
+        let row = |yy: u64, xx: u64| (yy * e + xx) * 4;
+        let mut ctr = vec![0.0f32; n];
+        let mut up = vec![0.0f32; n];
+        let mut down = vec![0.0f32; n];
+        let mut left = vec![0.0f32; n];
+        let mut right = vec![0.0f32; n];
+        ctx.ld_f32_lanes(Addr::hbm(self.src + row(y, x0)), 4, &mut ctr)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.src + row(y - 1, x0)), 4, &mut up)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.src + row(y + 1, x0)), 4, &mut down)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.src + row(y, x0 - 1)), 4, &mut left)?;
+        ctx.ld_f32_lanes(Addr::hbm(self.src + row(y, x0 + 1)), 4, &mut right)?;
+        let mut cs = vec![0.0f32; n];
+        let mut outs = vec![0.0f32; n];
+        for i in 0..n {
+            cs[i] = coeff(ctr[i], up[i], down[i], left[i], right[i]);
+            outs[i] = diffuse(
+                ctr[i],
+                up[i],
+                down[i],
+                left[i],
+                right[i],
+                cs[i],
+                self.lambda,
+            );
+        }
+        ctx.st_f32_lanes(Addr::hbm(self.dst + row(y, x0)), 4, &outs)?;
+        ctx.st_f32_lanes(Addr::hbm(self.hbm_coeff + row(y, x0)), 4, &cs)?;
+        if self.to_pm {
+            ctx.st_f32_lanes(Addr::pm(self.pm_coeff + row(y, x0)), 4, &cs)?;
+            ctx.st_f32_lanes(Addr::pm(self.pm_img + row(y, x0)), 4, &outs)?;
+            if self.persist {
+                ctx.gpm_persist()?;
+            }
+        }
+        Ok(true)
+    }
+
+    fn warp_fuel(&self, _phase: u32) -> Option<u64> {
+        // 5 gathers + 2 HBM stores, plus under GPM 2 PM stores and the
+        // persist fence. Exact, so gauged crash campaigns vectorize right
+        // up to the warp that would expire.
+        Some(7 + if self.to_pm { 2 } else { 0 } + u64::from(self.persist))
+    }
+}
+
 impl SradWorkload {
     /// Creates the workload.
     pub fn new(params: SradParams) -> SradWorkload {
@@ -151,44 +278,18 @@ impl SradWorkload {
         pm_out: u64,
         to_pm: bool,
         persist: bool,
-    ) -> impl gpm_gpu::Kernel<State = (), Shared = ()> {
-        let e = self.params.edge;
-        let lambda = self.params.lambda;
-        let (pm_img, pm_coeff) = (pm_out, st.pm_coeff);
-        let hbm_coeff = st.hbm_coeff;
-        FnKernel(move |ctx: &mut ThreadCtx<'_>| {
-            let i = ctx.global_id();
-            if i >= e * e {
-                return Ok(());
-            }
-            let (x, y) = (i % e, i / e);
-            ctx.compute(Ns(35.0));
-            let at = |ctx: &mut ThreadCtx<'_>, xx: i64, yy: i64| -> SimResult<f32> {
-                let xx = xx.clamp(0, e as i64 - 1) as u64;
-                let yy = yy.clamp(0, e as i64 - 1) as u64;
-                ctx.ld_f32(Addr::hbm(src + (yy * e + xx) * 4))
-            };
-            let (xi, yi) = (x as i64, y as i64);
-            let ctr = at(ctx, xi, yi)?;
-            let up = at(ctx, xi, yi - 1)?;
-            let down = at(ctx, xi, yi + 1)?;
-            let left = at(ctx, xi - 1, yi)?;
-            let right = at(ctx, xi + 1, yi)?;
-            let c = coeff(ctr, up, down, left, right);
-            let out = diffuse(ctr, up, down, left, right, c, lambda);
-            ctx.st_f32(Addr::hbm(dst + i * 4), out)?;
-            ctx.st_f32(Addr::hbm(hbm_coeff + i * 4), c)?;
-            if to_pm {
-                // Native persistence: coefficient and output pixel go to PM
-                // as they are computed.
-                ctx.st_f32(Addr::pm(pm_coeff + i * 4), c)?;
-                ctx.st_f32(Addr::pm(pm_img + i * 4), out)?;
-                if persist {
-                    ctx.gpm_persist()?;
-                }
-            }
-            Ok(())
-        })
+    ) -> SradIterKernel {
+        SradIterKernel {
+            e: self.params.edge,
+            lambda: self.params.lambda,
+            src,
+            dst,
+            hbm_coeff: st.hbm_coeff,
+            pm_coeff: st.pm_coeff,
+            pm_img: pm_out,
+            to_pm,
+            persist,
+        }
     }
 
     fn persist_iter(&self, machine: &mut Machine, st: &SradState, iter: u32) -> SimResult<()> {

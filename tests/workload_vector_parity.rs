@@ -1,0 +1,144 @@
+//! Vectorized == per-lane parity for every workload kernel ported to
+//! `run_warp`.
+//!
+//! The engine takes the vector path only when no trace sink is installed
+//! (per-lane operation order is what traces record), so installing a
+//! bounded `RingSink` on an otherwise identical machine pins the per-lane
+//! reference walk. Each workload below runs twin machines through its
+//! normal entry point and must produce an identical stats fingerprint,
+//! bit-identical simulated time, and a passing functional check on both
+//! paths. `bytes_persisted` is the one documented exception (the per-lane
+//! walk re-drains CPU lines the warp-simultaneous fence drains once — see
+//! `gpm_gpu::exec`), so it is compared as `vector <= per-lane` and then
+//! masked out of the fingerprint.
+
+use gpm_sim::{Machine, RingSink, SimResult};
+use gpm_workloads::{
+    run_iterative, BlkParams, BlkWorkload, CfdParams, CfdWorkload, DbParams, DbWorkload, DnnParams,
+    DnnWorkload, HotspotParams, HotspotWorkload, KvsParams, KvsWorkload, Mode, PsParams,
+    PsWorkload, RunMetrics, SradParams, SradWorkload,
+};
+
+/// Runs `body` on a vector-path machine and a per-lane (traced) machine and
+/// asserts the contract. Returns the vector-path metrics for extra checks.
+fn assert_parity(name: &str, body: impl Fn(&mut Machine) -> SimResult<RunMetrics>) -> RunMetrics {
+    let mut vec_m = Machine::default();
+    let rv = body(&mut vec_m).unwrap();
+    let mut lane_m = Machine::default();
+    lane_m.set_trace_sink(Box::new(RingSink::new(64)));
+    let rl = body(&mut lane_m).unwrap();
+
+    assert!(rv.verified, "{name}: vectorized run failed verification");
+    assert!(rl.verified, "{name}: per-lane run failed verification");
+    assert_eq!(
+        rv.elapsed.0.to_bits(),
+        rl.elapsed.0.to_bits(),
+        "{name}: simulated time diverged ({} vs {})",
+        rv.elapsed,
+        rl.elapsed
+    );
+    assert_eq!(
+        vec_m.clock.now().0.to_bits(),
+        lane_m.clock.now().0.to_bits(),
+        "{name}: machine clocks diverged"
+    );
+    assert!(
+        vec_m.stats.bytes_persisted <= lane_m.stats.bytes_persisted,
+        "{name}: operation-major bytes_persisted must not exceed lane-major"
+    );
+    let mut sv = vec_m.stats;
+    let mut sl = lane_m.stats;
+    sv.bytes_persisted = 0;
+    sl.bytes_persisted = 0;
+    assert_eq!(
+        format!("{sv:?}"),
+        format!("{sl:?}"),
+        "{name}: stats fingerprints diverged"
+    );
+    rv
+}
+
+#[test]
+fn dnn_vector_parity() {
+    assert_parity("DNN", |m| {
+        let mut app = DnnWorkload::new(DnnParams::quick());
+        run_iterative(m, &mut app, Mode::Gpm, 16)
+    });
+}
+
+#[test]
+fn cfd_vector_parity() {
+    assert_parity("CFD", |m| {
+        let mut app = CfdWorkload::new(CfdParams::quick());
+        run_iterative(m, &mut app, Mode::Gpm, 16)
+    });
+}
+
+#[test]
+fn blackscholes_vector_parity() {
+    assert_parity("BLK", |m| {
+        let mut app = BlkWorkload::new(BlkParams::quick());
+        run_iterative(m, &mut app, Mode::Gpm, 16)
+    });
+}
+
+#[test]
+fn hotspot_vector_parity() {
+    assert_parity("HS", |m| {
+        let mut app = HotspotWorkload::new(HotspotParams::quick());
+        run_iterative(m, &mut app, Mode::Gpm, 16)
+    });
+}
+
+#[test]
+fn srad_vector_parity() {
+    assert_parity("SRAD", |m| {
+        SradWorkload::new(SradParams::quick()).run(m, Mode::Gpm)
+    });
+}
+
+#[test]
+fn prefix_sum_vector_parity() {
+    assert_parity("PS", |m| {
+        PsWorkload::new(PsParams::quick()).run(m, Mode::Gpm)
+    });
+}
+
+#[test]
+fn db_insert_vector_parity() {
+    assert_parity("gpDB/insert", |m| {
+        DbWorkload::new(DbParams::quick()).run(m, Mode::Gpm)
+    });
+}
+
+#[test]
+fn db_update_stays_per_lane_and_matches() {
+    // The UPDATE kernel provides no `run_warp` (data-dependent predicate);
+    // the twin run documents that nothing diverges regardless.
+    assert_parity("gpDB/update", |m| {
+        DbWorkload::new(DbParams::quick().updates()).run(m, Mode::Gpm)
+    });
+}
+
+#[test]
+fn kvs_stays_per_lane_and_matches() {
+    // gpKVS's cooperative-probe kernel likewise stays per-lane by design.
+    assert_parity("gpKVS", |m| {
+        KvsWorkload::new(KvsParams::quick()).run(m, Mode::Gpm)
+    });
+}
+
+#[test]
+fn epoch_model_keeps_parity_too() {
+    // The vector path must also be invisible under the epoch persistency
+    // model, where fence draining is deferred to kernel boundaries.
+    use gpm_gpu::PersistencyModel;
+    assert_parity("gpDB/insert/epoch", |m| {
+        DbWorkload::new(DbParams::quick().with_persistency(PersistencyModel::Epoch))
+            .run(m, Mode::Gpm)
+    });
+    assert_parity("gpKVS/epoch", |m| {
+        KvsWorkload::new(KvsParams::quick().with_persistency(PersistencyModel::Epoch))
+            .run(m, Mode::Gpm)
+    });
+}
