@@ -15,8 +15,14 @@
 //! - `--workload NAME`     only the named oracle (e.g. `gpKVS`, `gpDB (U)`)
 //! - `--fuel N --policy P` single-case repro mode (requires `--workload`)
 //! - `--max-points N`      crash points kept per workload (0 = all)
+//! - `--double-recovery`   retry discipline instead of rollback: every case
+//!   runs recovery TWICE, resubmits the in-flight batch, and the oracle
+//!   asserts exactly-once application (no op lands zero or two times).
+//!   Only oracles that support the discipline run (gpKVS, gpDB).
 //! - `--inject-bug`        self-test: run gpKVS with a deliberately broken
-//!   recovery (one undo-log entry dropped); the campaign must FAIL
+//!   recovery (one undo-log entry dropped); the campaign must FAIL. With
+//!   `--double-recovery` the injected bug is a double-applying CAS (the
+//!   detectable-op skip check is bypassed) — it must also be caught
 //! - `--out PATH`          JSON output path (default `BENCH_campaign.json`)
 //! - `--trace PATH`        write a Chrome trace-event JSON (schema
 //!   `gpm-trace-v1`) of the traced runs: in repro mode the single case,
@@ -43,6 +49,7 @@ struct Opts {
     policy: Option<CrashPolicy>,
     max_points: Option<usize>,
     inject_bug: bool,
+    double_recovery: bool,
     out: String,
     trace: Option<String>,
 }
@@ -55,6 +62,7 @@ fn parse_args() -> Opts {
         policy: None,
         max_points: None,
         inject_bug: false,
+        double_recovery: false,
         out: "BENCH_campaign.json".to_string(),
         trace: None,
     };
@@ -63,6 +71,7 @@ fn parse_args() -> Opts {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--inject-bug" => opts.inject_bug = true,
+            "--double-recovery" => opts.double_recovery = true,
             "--workload" => opts.workload = Some(args.next().expect("--workload needs a name")),
             "--fuel" => {
                 opts.fuel = Some(
@@ -105,6 +114,9 @@ fn repro_command(name: &str, fuel: u64, policy: CrashPolicy, opts: &Opts) -> Str
     if opts.inject_bug {
         c.push_str(" --inject-bug");
     }
+    if opts.double_recovery {
+        c.push_str(" --double-recovery");
+    }
     let _ = write!(c, " --workload '{name}' --fuel {fuel} --policy {policy}");
     c
 }
@@ -145,7 +157,12 @@ struct WorkloadReport {
     wall_s: f64,
 }
 
-fn to_json(reports: &[WorkloadReport], scale: Scale, cfg: &CampaignConfig) -> String {
+fn to_json(
+    reports: &[WorkloadReport],
+    scale: Scale,
+    cfg: &CampaignConfig,
+    double_recovery: bool,
+) -> String {
     let mut out = String::from("{\n  \"schema\": \"gpm-campaign-v1\",\n");
     let _ = writeln!(
         out,
@@ -156,6 +173,7 @@ fn to_json(reports: &[WorkloadReport], scale: Scale, cfg: &CampaignConfig) -> St
             "full"
         }
     );
+    let _ = writeln!(out, "  \"double_recovery\": {double_recovery},");
     let _ = writeln!(
         out,
         "  \"max_crash_points\": {},",
@@ -236,7 +254,14 @@ fn main() {
         } else {
             KvsParams::default()
         };
-        vec![Box::new(KvsWorkload::new(params).with_recovery_bug())]
+        let workload = if opts.double_recovery {
+            // The retry-discipline self-test bug: the detectable-op skip
+            // check is bypassed, so a resubmitted SET applies twice.
+            KvsWorkload::new(params).with_double_apply_bug()
+        } else {
+            KvsWorkload::new(params).with_recovery_bug()
+        };
+        vec![Box::new(workload)]
     } else {
         oracle_suite(scale)
     };
@@ -244,6 +269,21 @@ fn main() {
         oracles.retain(|o| o.name().eq_ignore_ascii_case(name));
         if oracles.is_empty() {
             eprintln!("no oracle named {name:?}");
+            std::process::exit(2);
+        }
+    }
+    if opts.double_recovery {
+        let before = oracles.len();
+        oracles.retain(|o| o.supports_double_recovery());
+        if oracles.len() < before {
+            println!(
+                "note: {} oracle(s) skipped — only workloads with resubmittable \
+                 batches support --double-recovery",
+                before - oracles.len()
+            );
+        }
+        if oracles.is_empty() {
+            eprintln!("no selected oracle supports --double-recovery");
             std::process::exit(2);
         }
     }
@@ -260,7 +300,12 @@ fn main() {
             if opts.trace.is_some() {
                 m.set_trace_sink(Box::new(RingSink::new(1 << 20)));
             }
-            let v = o.run_case(&mut m, fuel, policy).expect("platform error");
+            let v = if opts.double_recovery {
+                o.run_case_double_recovery(&mut m, fuel, policy)
+            } else {
+                o.run_case(&mut m, fuel, policy)
+            }
+            .expect("platform error");
             println!("{}: fuel={fuel} policy={policy} -> {v:?}", o.name());
             failed |= !v.passed();
             if let Some(data) = m.finish_trace() {
@@ -319,8 +364,12 @@ fn main() {
         let t = Instant::now();
         let stats = run_campaign(&cases, |case| {
             let mut m = Machine::default();
-            o.run_case(&mut m, case.fuel, case.policy)
-                .expect("platform error")
+            if opts.double_recovery {
+                o.run_case_double_recovery(&mut m, case.fuel, case.policy)
+            } else {
+                o.run_case(&mut m, case.fuel, case.policy)
+            }
+            .expect("platform error")
         });
         let wall_s = t.elapsed().as_secs_f64();
         for f in &stats.failures {
@@ -357,7 +406,7 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    let json = to_json(&reports, scale, &cfg);
+    let json = to_json(&reports, scale, &cfg, opts.double_recovery);
     std::fs::write(&opts.out, &json).expect("write campaign JSON");
     println!("wrote {}", opts.out);
     if let Some(path) = &opts.trace {

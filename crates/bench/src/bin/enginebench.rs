@@ -7,7 +7,11 @@
 //! coalesced-store kernel, a scattered-store kernel that defeats
 //! coalescing, fence-per-store and fence-storm kernels (in strict and
 //! epoch persistency variants), and a block-parallel group that runs the
-//! same grid at 1/2/4 host threads — plus one full GPMbench workload, and
+//! same grid at 1/2/4 host threads — plus one full GPMbench workload, the
+//! production workload fleet pinned to one engine thread, and the
+//! detectable-op scaling groups (`parallel_kvs_*` / `parallel_db_*`) that
+//! run the block-parallel gpKVS batch and gpDB update kernels at 1/2/4
+//! engine threads, and
 //! reports *wall-clock* throughput in simulated thread operations per
 //! second. The hot kernels implement [`gpm_gpu::Kernel::run_warp`], so this
 //! harness exercises the vectorized lockstep path the production layers
@@ -453,19 +457,23 @@ fn suite_workload(reps: usize) -> BenchResult {
 // These lines measure the *production* workload kernels end to end —
 // allocator, logging, verification and all — pinned to one engine thread,
 // which is exactly where the vectorized `run_warp` path pays (block-parallel
-// wall-clock scaling is the `parallel_blocks` group's job). The workloads
-// build their own `LaunchConfig`s internally, so the pin rides the
+// wall-clock scaling is the `parallel_kvs`/`parallel_db` group's job). The
+// workloads build their own `LaunchConfig`s internally, so the pin rides the
 // documented `GPM_ENGINE_THREADS` override, restored after each call.
 
-fn pinned_single_thread<T>(f: impl FnOnce() -> T) -> T {
+fn pinned_engine_threads<T>(threads: u32, f: impl FnOnce() -> T) -> T {
     let prev = std::env::var("GPM_ENGINE_THREADS").ok();
-    std::env::set_var("GPM_ENGINE_THREADS", "1");
+    std::env::set_var("GPM_ENGINE_THREADS", threads.to_string());
     let out = f();
     match prev {
         Some(v) => std::env::set_var("GPM_ENGINE_THREADS", v),
         None => std::env::remove_var("GPM_ENGINE_THREADS"),
     }
     out
+}
+
+fn pinned_single_thread<T>(f: impl FnOnce() -> T) -> T {
+    pinned_engine_threads(1, f)
 }
 
 /// The gpmcp persist phase alone: one 32 MiB HBM array streamed into the PM
@@ -547,6 +555,47 @@ fn workload_db(name: &'static str, op: DbOp, model: PersistencyModel, reps: usiz
             let mut params = DbParams::default().with_persistency(model);
             params.op = op;
             let w = DbWorkload::new(params);
+            let mut m = Machine::default();
+            let metrics = w.run(&mut m, Mode::Gpm).unwrap();
+            assert!(metrics.verified, "gpDB verification failed");
+            (metrics.pm_write_bytes_total() / 8, metrics.elapsed)
+        })
+    })
+}
+
+// ---- detectable-op engine-thread scaling ------------------------------------
+//
+// The gpKVS batch and gpDB update kernels ride the detectable-op layer and
+// run block-parallel (no `Communicating` sequential pin), so their wall
+// clock now responds to `GPM_ENGINE_THREADS`. These groups run the same
+// evaluation-scale workload pinned to 1/2/4 engine threads; every simulated
+// counter (`ops`, `sim_elapsed_ns`) is bit-identical across the three
+// settings, so any divergence inside a group is an engine-determinism bug
+// and the only measured variable is host-side scaling.
+
+/// gpKVS (detectable SET batches) at evaluation scale, pinned to
+/// `engine_threads` host threads.
+fn parallel_kvs(name: &'static str, engine_threads: u32, reps: usize) -> BenchResult {
+    bench(name, 0, reps, move || {
+        pinned_engine_threads(engine_threads, || {
+            let w = KvsWorkload::new(KvsParams::default());
+            let mut m = Machine::default();
+            let metrics = w.run(&mut m, Mode::Gpm).unwrap();
+            assert!(metrics.verified, "gpKVS verification failed");
+            (metrics.pm_write_bytes_total() / 8, metrics.elapsed)
+        })
+    })
+}
+
+/// gpDB UPDATE (detectable redo records) at evaluation scale, pinned to
+/// `engine_threads` host threads.
+fn parallel_db(name: &'static str, engine_threads: u32, reps: usize) -> BenchResult {
+    bench(name, 0, reps, move || {
+        pinned_engine_threads(engine_threads, || {
+            let w = DbWorkload::new(DbParams {
+                op: DbOp::Update,
+                ..DbParams::default()
+            });
             let mut m = Machine::default();
             let metrics = w.run(&mut m, Mode::Gpm).unwrap();
             assert!(metrics.verified, "gpDB verification failed");
@@ -798,6 +847,20 @@ fn main() {
                 r,
             )
         }),
+        ("parallel_kvs_seq", |r, _| {
+            parallel_kvs("parallel_kvs_seq", 1, r)
+        }),
+        ("parallel_kvs_t2", |r, _| {
+            parallel_kvs("parallel_kvs_t2", 2, r)
+        }),
+        ("parallel_kvs_t4", |r, _| {
+            parallel_kvs("parallel_kvs_t4", 4, r)
+        }),
+        ("parallel_db_seq", |r, _| {
+            parallel_db("parallel_db_seq", 1, r)
+        }),
+        ("parallel_db_t2", |r, _| parallel_db("parallel_db_t2", 2, r)),
+        ("parallel_db_t4", |r, _| parallel_db("parallel_db_t4", 4, r)),
     ];
     let results: Vec<BenchResult> = table
         .iter()

@@ -53,6 +53,7 @@
 
 pub mod audit;
 pub mod checkpoint;
+pub mod detect;
 pub mod error;
 pub mod heap;
 pub mod log;
@@ -67,6 +68,7 @@ pub use checkpoint::{
     gpmcp_checkpoint_tracked, gpmcp_close, gpmcp_create, gpmcp_fill_working, gpmcp_open,
     gpmcp_publish, gpmcp_register, gpmcp_restore, GpmCheckpoint, Registration,
 };
+pub use detect::{detect_create, op_tag, DetectArea, DetectDev, DetectableCas};
 pub use error::{CoreError, CoreResult};
 pub use heap::PmHeap;
 pub use log::redo::{redo_create, RedoLog, RedoLogDev};

@@ -20,6 +20,20 @@ pub trait GpmThreadExt {
     /// [`gpm_persist_begin`]: crate::gpm_persist_begin
     /// [`gpm_persist_end`]: crate::gpm_persist_end
     fn gpm_persist(&mut self) -> SimResult<()>;
+
+    /// Like [`GpmThreadExt::gpm_persist`], but drains this thread's pending
+    /// lines into media even under epoch persistency (where `gpm_persist`
+    /// only closes them into the open epoch, deferring the drain to the
+    /// kernel boundary). The detectable-op layer ([`crate::detect`]) needs
+    /// this between publishing an operation's record and marking its
+    /// descriptor: the record must be on media before the mark can become
+    /// durable, under *any* persistency model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PersistenceUnavailable`] when called outside a
+    /// persistence window on a non-eADR platform.
+    fn gpm_persist_sync(&mut self) -> SimResult<()>;
 }
 
 impl GpmThreadExt for ThreadCtx<'_> {
@@ -30,6 +44,15 @@ impl GpmThreadExt for ThreadCtx<'_> {
             ));
         }
         self.threadfence_system()
+    }
+
+    fn gpm_persist_sync(&mut self) -> SimResult<()> {
+        if !self.persist_guaranteed() {
+            return Err(SimError::PersistenceUnavailable(
+                "gpm_persist_sync outside a gpm_persist_begin/end window (DDIO enabled, no eADR)",
+            ));
+        }
+        self.threadfence_system_sync()
     }
 }
 

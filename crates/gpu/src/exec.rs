@@ -485,6 +485,17 @@ impl EngineMem<'_> {
         }
     }
 
+    /// A synchronous drain fence (`Machine::gpu_sync_fence`): drains the
+    /// writer's pending lines into media even under epoch persistency.
+    fn fence_sync(&mut self, writer: WriterId) {
+        match self {
+            EngineMem::Live(m) => {
+                m.gpu_sync_fence(writer);
+            }
+            EngineMem::Staged { stage, .. } => stage.fence_sync(writer),
+        }
+    }
+
     /// A warp's contiguous lockstep store, one batched machine call
     /// (`Machine::gpu_store_pm_lanes`): byte `j` belongs to writer
     /// `writer0 + j / lane_bytes`.
@@ -805,6 +816,27 @@ impl ThreadCtx<'_> {
         // A system fence is where durable state advances: the crash
         // campaign's discovery pass notes the fuel consumed so far as an
         // interesting crash point.
+        self.gauge.note_boundary();
+        Ok(())
+    }
+
+    /// A synchronous drain fence: like [`ThreadCtx::threadfence_system`] but
+    /// drains this writer's pending lines into media even under
+    /// [`gpm_sim::PersistencyModel::Epoch`] (where the ordinary system fence
+    /// only closes lines into the open epoch). The detectable-op layer uses
+    /// this between publishing an operation's record and marking its
+    /// descriptor: without the drain, a crash after the descriptor mark could
+    /// drop the record while keeping the mark, breaking exactly-once
+    /// recovery. Counts as one operation of crash fuel and one fence
+    /// boundary, exactly like the plain system fence.
+    ///
+    /// # Errors
+    ///
+    /// Injected crashes surface as [`SimError::Crashed`].
+    pub fn threadfence_system_sync(&mut self) -> SimResult<()> {
+        self.burn()?;
+        self.mem.fence_sync(self.writer);
+        self.scratch.group(self.op_seq).sys_fence = true;
         self.gauge.note_boundary();
         Ok(())
     }

@@ -228,6 +228,61 @@ where
 #[derive(Debug, Clone, Copy)]
 pub struct Communicating<K>(pub K);
 
+/// Wraps a kernel with an explicitly chosen capability, for kernels whose
+/// cross-block behaviour depends on runtime configuration (e.g. gpKVS is
+/// block-parallel with per-thread HCL undo logging but communicates through
+/// shared partition tails under the conventional-logging baseline):
+///
+/// ```
+/// use gpm_gpu::{Capable, FnKernel, Kernel, KernelCapability, ThreadCtx};
+/// let k = Capable(KernelCapability::Communicating,
+///                 FnKernel(|_: &mut ThreadCtx<'_>| Ok(())));
+/// assert_eq!(k.capability(), KernelCapability::Communicating);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Capable<K>(pub KernelCapability, pub K);
+
+impl<K: Kernel> Kernel for Capable<K> {
+    type State = K::State;
+    type Shared = K::Shared;
+
+    fn phases(&self) -> u32 {
+        self.1.phases()
+    }
+
+    fn capability(&self) -> KernelCapability {
+        self.0
+    }
+
+    fn reset_shared(&self, shared: &mut Self::Shared) {
+        self.1.reset_shared(shared);
+    }
+
+    fn run(
+        &self,
+        phase: u32,
+        ctx: &mut ThreadCtx<'_>,
+        state: &mut Self::State,
+        shared: &mut Self::Shared,
+    ) -> SimResult<()> {
+        self.1.run(phase, ctx, state, shared)
+    }
+
+    fn run_warp(
+        &self,
+        phase: u32,
+        ctx: &mut WarpCtx<'_>,
+        states: &mut [Self::State],
+        shared: &mut Self::Shared,
+    ) -> SimResult<bool> {
+        self.1.run_warp(phase, ctx, states, shared)
+    }
+
+    fn warp_fuel(&self, phase: u32) -> Option<u64> {
+        self.1.warp_fuel(phase)
+    }
+}
+
 impl<K: Kernel> Kernel for Communicating<K> {
     type State = K::State;
     type Shared = K::Shared;

@@ -56,5 +56,5 @@ pub use exec::{
     resolved_persistency, FuelGauge, KernelReport, LaunchError, ThreadCtx, WarpCtx,
 };
 pub use gpm_sim::PersistencyModel;
-pub use kernel::{Communicating, FnKernel, Kernel, KernelCapability};
+pub use kernel::{Capable, Communicating, FnKernel, Kernel, KernelCapability};
 pub use timing::KernelCosts;

@@ -19,7 +19,7 @@
 
 use gpm_gpu::{FuelGauge, LaunchError};
 use gpm_sim::{Machine, Ns, SimError, SimResult};
-use gpm_workloads::{DbState, DbWorkload, KvsOp, KvsState, KvsWorkload, Mode};
+use gpm_workloads::{DbOp, DbState, DbWorkload, KvsOp, KvsState, KvsWorkload, Mode};
 
 use crate::request::{Op, Request};
 
@@ -218,9 +218,18 @@ impl Shard {
         Ok(())
     }
 
-    /// Replays recovery after a mid-batch crash (undo/rollback plus, for
-    /// gpKVS, an HBM mirror rebuild) so the interrupted batch can be
-    /// retried. Returns the simulated time recovery took.
+    /// Prepares the shard for an in-place **retry** of the interrupted
+    /// batch after a mid-kernel crash. Returns the simulated time it took.
+    ///
+    /// This is the detectable-op retry discipline, not rollback: gpKVS
+    /// rebuilds the HBM mirror and leaves the epoch live, so resubmitting
+    /// the same batch lets the kernel's per-op descriptors skip already
+    /// applied SETs (exactly-once even when the crash landed after a
+    /// publish). gpDB insert shards instead replay metadata rollback —
+    /// for inserts, rolling the row count back *is* the retry preparation,
+    /// since re-inserting from the durable count is idempotent. Boot
+    /// ([`Shard::boot_kvs`] / [`Shard::boot_db`]) keeps full rollback
+    /// recovery; the two disciplines are mutually exclusive per crash.
     ///
     /// # Errors
     ///
@@ -229,11 +238,14 @@ impl Shard {
         let t0 = self.machine.clock.now();
         match &mut self.backend {
             Backend::Kvs { workload, st } => {
-                workload.recover(&mut self.machine, st)?;
-                workload.rebuild_mirror(&mut self.machine, st)?;
+                workload.recover_for_retry(&mut self.machine, st)?;
             }
             Backend::Db { workload, st, rows } => {
-                workload.recover(&mut self.machine, st)?;
+                if workload.params.op == DbOp::Update {
+                    workload.recover_for_retry(&mut self.machine, st)?;
+                } else {
+                    workload.recover(&mut self.machine, st)?;
+                }
                 *rows = st.durable_rows(&self.machine)?;
             }
         }
@@ -270,6 +282,16 @@ impl Shard {
         match self.backend {
             Backend::Kvs { workload, st } => (self.machine, workload, st),
             Backend::Db { .. } => panic!("not a gpKVS shard"),
+        }
+    }
+
+    /// Tears the shard down into its parts (machine + db state) so a test
+    /// can inspect or crash the image and boot a successor over it. Panics
+    /// on a gpKVS shard.
+    pub fn into_db_parts(self) -> (Machine, DbWorkload, DbState) {
+        match self.backend {
+            Backend::Db { workload, st, .. } => (self.machine, workload, st),
+            Backend::Kvs { .. } => panic!("not a gpDB shard"),
         }
     }
 }

@@ -416,6 +416,31 @@ impl Machine {
         lines
     }
 
+    /// A GPU synchronous drain fence by `writer`: drains the writer's pending
+    /// lines into media regardless of the persistency model in force. The
+    /// detectable-op layer ([`gpm-core`]'s `detect` module) uses this between
+    /// publishing an operation's record and marking its descriptor — under
+    /// [`PersistencyModel::Epoch`] an ordinary system fence only closes lines
+    /// into the open epoch, which is not enough to make the
+    /// publish-before-mark ordering crash-durable. Counted as a system fence.
+    /// Returns the number of lines made durable.
+    pub fn gpu_sync_fence(&mut self, writer: WriterId) -> u64 {
+        self.stats.system_fences += 1;
+        let lines = match self.cfg.persist_mode {
+            PersistMode::Eadr => 0,
+            PersistMode::Adr if !self.ddio_enabled => {
+                let lines = self.pm.persist_writer(writer);
+                self.stats.bytes_persisted += lines * crate::addr::CPU_LINE;
+                lines
+            }
+            PersistMode::Adr => 0,
+        };
+        if self.trace_enabled() {
+            self.trace(EventKind::SystemFence { writer, lines });
+        }
+        lines
+    }
+
     /// Epoch boundary under [`PersistencyModel::Epoch`]: drains every
     /// epoch-closed pending line into media and emits one
     /// [`EventKind::EpochDrain`]. The execution engine calls this at kernel

@@ -86,6 +86,9 @@ enum Effect {
     FencePersist { writer: WriterId },
     /// A warp's batched lockstep fences (`Machine::gpu_system_fence_lanes`).
     FencePersistLanes { writer0: WriterId, lanes: u32 },
+    /// A synchronous drain fence (`Machine::gpu_sync_fence`): drains the
+    /// writer's pending lines into media even under epoch persistency.
+    FenceSync { writer: WriterId },
     /// One coalesced PCIe write transaction: transaction count, pattern
     /// tracker, and Optane block-program accounting.
     PmTxn { offset: u64, len: u64 },
@@ -292,6 +295,12 @@ impl BlockStage {
             .push(Effect::FencePersistLanes { writer0, lanes });
     }
 
+    /// Stages a synchronous drain fence by `writer` (the detectable-op
+    /// layer's publish-before-mark ordering point).
+    pub fn fence_sync(&mut self, writer: WriterId) {
+        self.effects.push(Effect::FenceSync { writer });
+    }
+
     /// Stages one coalesced PCIe write transaction's accounting.
     pub fn pm_txn(&mut self, offset: u64, len: u64) {
         self.effects.push(Effect::PmTxn { offset, len });
@@ -372,6 +381,9 @@ impl BlockStage {
                 }
                 Effect::FencePersistLanes { writer0, lanes } => {
                     machine.gpu_system_fence_lanes(writer0, lanes);
+                }
+                Effect::FenceSync { writer } => {
+                    machine.gpu_sync_fence(writer);
                 }
                 Effect::PmTxn { offset, len } => {
                     machine.gpu_pm_txn(offset, len);

@@ -3,42 +3,54 @@
 //! Derived from MegaKV as the paper describes: an 8-way set-associative
 //! table, batched SET/GET operations, groups of eight threads cooperating
 //! per operation, and write-ahead undo logging (HCL) for recoverable SETs
-//! (Figure 6). The table lives on PM under GPM; a volatile HBM mirror
-//! serves GETs ("GETs are mostly served out of the GPU's fast HBM", §6.1).
+//! (Figure 6). The table is a detectable hash shard ([`crate::hash_shard`]):
+//! each 32-byte slot carries a version and the [`gpm_core::op_tag`] of the
+//! operation that wrote it, and SETs run the descriptor publish protocol,
+//! so a crashed batch can be *retried in place* — resubmit the identical
+//! batch and every op applies exactly once — instead of rolled back. The
+//! rollback path (undo log, Figure 6b) remains for boot-time recovery.
+//!
+//! The table lives on PM under GPM; a volatile HBM mirror serves GETs
+//! ("GETs are mostly served out of the GPU's fast HBM", §6.1). Batches are
+//! *hash-partitioned* before upload — operations on the same set are packed
+//! into the same threadblock (MegaKV partitions requests the same way) — so
+//! blocks never read each other's table lines and the batch kernel commits
+//! under the block-parallel engine.
 //!
 //! Under CAP the table lives only in HBM and the *entire* table is
 //! transferred and persisted by the CPU after each batch — the
 //! write-amplification of Table 4.
 
-use std::collections::HashMap;
-
 use gpm_cap::{cap_persist_region, flush_from_cpu, CapFlavor};
 use gpm_core::{
-    gpm_map, gpm_persist_begin, gpm_persist_end, gpmlog_create_hcl, GpmLog, GpmThreadExt, TxnFlag,
+    detect_create, gpm_map, gpm_persist_begin, gpm_persist_end, gpmlog_create_hcl, op_tag,
+    DetectArea, GpmLog, GpmThreadExt, TxnFlag,
 };
 use gpm_gpu::{
-    launch, launch_with_fuel, launch_with_gauge, Communicating, FnKernel, FuelGauge, LaunchConfig,
-    LaunchError, ThreadCtx,
+    launch, launch_with_fuel, launch_with_gauge, Capable, Communicating, FnKernel, FuelGauge,
+    KernelCapability, LaunchConfig, LaunchError, ThreadCtx,
 };
 use gpm_sim::{
     Addr, CrashPolicy, CrashSchedule, EventKind, Machine, Ns, OracleVerdict, SimError, SimResult,
 };
 
+use crate::hash_shard::{
+    shard_set_detectable, shard_set_legacy, ShardDev, ShardModel, SLOT_BYTES, UNDO_BYTES,
+};
 use crate::metrics::{metered, BatchMetrics, Mode, RunMetrics};
 use crate::oracle::RecoveryOracle;
 
+pub use crate::hash_shard::WAYS;
+
 /// One gpKVS request: `(key, value, is_get)`. GETs ignore the value and
 /// write their result into the state's result buffer at the op's index.
+/// Key 0 is reserved (the empty-slot / padding sentinel).
 pub type KvsOp = (u64, u64, bool);
 
-/// Ways per set (MegaKV-style set-associative layout).
-pub const WAYS: u64 = 8;
 /// Threads cooperating on one operation (`THRD_GRP_SZ` in Figure 6).
 pub const THREAD_GROUP: u64 = 8;
-/// Bytes per table entry: key u64 + value u64.
-const ENTRY: u64 = 16;
-/// Undo-log record: set u32, way u32, old key u64, old value u64.
-const LOG_ENTRY: usize = 24;
+/// Operations one 256-thread block carries.
+const OPS_PER_BLOCK: u64 = 256 / THREAD_GROUP;
 
 /// Workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -112,7 +124,14 @@ impl KvsParams {
     }
 
     fn table_bytes(&self) -> u64 {
-        self.sets * WAYS * ENTRY
+        crate::hash_shard::shard_bytes(self.sets)
+    }
+
+    /// Batch-buffer capacity in operations: `ops_per_batch` plus headroom
+    /// for the sentinel padding hash-partitioning inserts at block
+    /// boundaries (worst case a straddled 8-op set group per block).
+    fn batch_capacity(&self) -> u64 {
+        self.ops_per_batch + self.ops_per_batch / 3 + OPS_PER_BLOCK
     }
 }
 
@@ -124,6 +143,10 @@ pub struct KvsWorkload {
     /// Campaign self-test knob: recovery deliberately skips the newest
     /// undo-log entry. The campaign oracle must catch this.
     pub inject_recovery_bug: bool,
+    /// Campaign self-test knob: SETs skip the descriptor and record checks
+    /// (a double-applying CAS). Harmless on clean runs; a crash-and-retry
+    /// applies ops twice. The double-recovery oracle must catch this.
+    pub inject_double_apply: bool,
 }
 
 /// Live gpKVS instance state: the PM table, its HBM mirror, the batch
@@ -135,17 +158,56 @@ pub struct KvsState {
     pm_table: u64,
     hbm_table: u64,
     flag: TxnFlag,
+    detect: DetectArea,
     staging_dram: u64,
     cap_pm: u64,
     batch_keys: u64,
     batch_vals: u64,
     batch_is_get: u64,
+    batch_idx: u64,
     get_results: u64,
     log: GpmLog,
 }
 
+impl KvsState {
+    /// The device-side shard handle over this state's table and mirror.
+    pub fn shard(&self, sets: u64) -> ShardDev {
+        ShardDev {
+            pm_base: self.pm_table,
+            hbm_base: self.hbm_table,
+            sets,
+        }
+    }
+}
+
 fn hash_set(key: u64, sets: u64) -> u64 {
     gpm_pmkv::hash64(key) % sets
+}
+
+/// One hash-partitioned batch ready for upload: same-set operations share a
+/// threadblock, block boundaries are padded with key-0 sentinels, and
+/// `idx[i]` maps slot `i` back to the operation's original batch index (so
+/// GET results land where the caller expects them).
+struct PackedBatch {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    gets: Vec<u32>,
+    idx: Vec<u32>,
+    /// Real (unpadded) operation count, for the CPU pipeline cost model.
+    real_ops: usize,
+}
+
+impl PackedBatch {
+    fn len(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    fn push_sentinel(&mut self) {
+        self.keys.push(0);
+        self.vals.push(0);
+        self.gets.push(0);
+        self.idx.push(0);
+    }
 }
 
 impl KvsWorkload {
@@ -154,6 +216,7 @@ impl KvsWorkload {
         KvsWorkload {
             params,
             inject_recovery_bug: false,
+            inject_double_apply: false,
         }
     }
 
@@ -163,12 +226,93 @@ impl KvsWorkload {
         self
     }
 
+    /// Enables the deliberate double-applying CAS (campaign self-test for
+    /// `--double-recovery`).
+    pub fn with_double_apply_bug(mut self) -> KvsWorkload {
+        self.inject_double_apply = true;
+        self
+    }
+
+    /// The launch shape for a full-capacity batch (log geometry and crash
+    /// schedules are sized for this).
     fn launch_cfg(&self) -> LaunchConfig {
-        let cfg = LaunchConfig::for_elements(self.params.ops_per_batch * THREAD_GROUP, 256);
+        self.cfg_for_ops(self.params.batch_capacity())
+    }
+
+    fn cfg_for_ops(&self, n_ops: u64) -> LaunchConfig {
+        let cfg = LaunchConfig::for_elements(n_ops * THREAD_GROUP, 256);
         match self.params.persistency {
             Some(model) => cfg.with_persistency(model),
             None => cfg,
         }
+    }
+
+    /// Hash-partitions a batch: stable-sorts operations by set, then packs
+    /// them into 32-op blocks such that no set group straddles a block
+    /// boundary (padding with sentinels instead). Relative order of
+    /// same-set operations is preserved, so the packed batch applies to the
+    /// exact same table state as the original order. Falls back to the
+    /// identity layout when a set group exceeds one block (extreme skew) —
+    /// the kernel is still correct, the engine just serializes that batch.
+    fn pack_batch(&self, ops: &[KvsOp]) -> PackedBatch {
+        let sets = self.params.sets;
+        let capacity = self.params.batch_capacity() as usize;
+        let mut order: Vec<u32> = (0..ops.len() as u32).collect();
+        order.sort_by_key(|&i| hash_set(ops[i as usize].0, sets));
+        // Group boundaries in the sorted order.
+        let mut packed = PackedBatch {
+            keys: Vec::with_capacity(capacity),
+            vals: Vec::with_capacity(capacity),
+            gets: Vec::with_capacity(capacity),
+            idx: Vec::with_capacity(capacity),
+            real_ops: ops.len(),
+        };
+        let mut identity = false;
+        let mut g = 0usize;
+        while g < order.len() {
+            let set = hash_set(ops[order[g] as usize].0, sets);
+            let mut e = g + 1;
+            while e < order.len() && hash_set(ops[order[e] as usize].0, sets) == set {
+                e += 1;
+            }
+            let group = e - g;
+            let used = packed.keys.len() % OPS_PER_BLOCK as usize;
+            if group > OPS_PER_BLOCK as usize {
+                identity = true;
+                break;
+            }
+            if used + group > OPS_PER_BLOCK as usize {
+                // Pad to the next block so the group stays together.
+                for _ in used..OPS_PER_BLOCK as usize {
+                    packed.push_sentinel();
+                }
+            }
+            if packed.keys.len() + group > capacity {
+                identity = true;
+                break;
+            }
+            for &i in &order[g..e] {
+                let (k, v, get) = ops[i as usize];
+                packed.keys.push(k);
+                packed.vals.push(v);
+                packed.gets.push(get as u32);
+                packed.idx.push(i);
+            }
+            g = e;
+        }
+        if identity {
+            packed.keys.clear();
+            packed.vals.clear();
+            packed.gets.clear();
+            packed.idx.clear();
+            for (i, &(k, v, get)) in ops.iter().enumerate() {
+                packed.keys.push(k);
+                packed.vals.push(v);
+                packed.gets.push(get as u32);
+                packed.idx.push(i as u32);
+            }
+        }
+        packed
     }
 
     /// Allocates the table, mirror, batch buffers, undo log and transaction
@@ -179,8 +323,11 @@ impl KvsWorkload {
     /// Fails on allocation or PM-file errors.
     pub fn setup(&self, machine: &mut Machine, mode: Mode) -> SimResult<KvsState> {
         let p = &self.params;
+        let cap = p.batch_capacity();
         let pm_table = gpm_map(machine, "/pm/gpkvs/table", p.table_bytes(), true)?.offset;
         let flag = TxnFlag::create(machine, "/pm/gpkvs/flag")?;
+        let detect = detect_create(machine, "/pm/gpkvs/detect", cap)
+            .map_err(|_| SimError::Invalid("failed to create gpKVS descriptor area"))?;
         let hbm_table = machine.alloc_hbm(p.table_bytes())?;
         let staging_dram = machine.alloc_dram(p.table_bytes())?;
         let cap_pm = if matches!(mode, Mode::CapFs | Mode::CapMm) {
@@ -188,12 +335,18 @@ impl KvsWorkload {
         } else {
             0
         };
-        let batch_keys = machine.alloc_hbm(p.ops_per_batch * 8)?;
-        let batch_vals = machine.alloc_hbm(p.ops_per_batch * 8)?;
-        let batch_is_get = machine.alloc_hbm(p.ops_per_batch * 4)?;
-        let get_results = machine.alloc_hbm(p.ops_per_batch * 8)?;
+        let batch_keys = machine.alloc_hbm(cap * 8)?;
+        let batch_vals = machine.alloc_hbm(cap * 8)?;
+        let batch_is_get = machine.alloc_hbm(cap * 4)?;
+        let batch_idx = machine.alloc_hbm(cap * 4)?;
+        let get_results = machine.alloc_hbm(cap * 8)?;
         let cfg = self.launch_cfg();
-        let log_size = cfg.total_threads() * LOG_ENTRY as u64 * 2;
+        // 4× headroom per thread: under the in-place-retry discipline the
+        // log is only truncated at commit, so each crashed attempt's undo
+        // entries stay behind while the retry appends fresh ones (one per
+        // not-yet-applied SET). Four entries per thread covers the serving
+        // default of three retries on top of the initial attempt.
+        let log_size = cfg.total_threads() * UNDO_BYTES as u64 * 4;
         let log = match p.conventional_log_partitions {
             None => gpmlog_create_hcl(machine, "/pm/gpkvs/log", log_size, cfg.grid, cfg.block),
             Some(parts) => {
@@ -205,11 +358,13 @@ impl KvsWorkload {
             pm_table,
             hbm_table,
             flag,
+            detect,
             staging_dram,
             cap_pm,
             batch_keys,
             batch_vals,
             batch_is_get,
+            batch_idx,
             get_results,
             log,
         })
@@ -244,125 +399,137 @@ impl KvsWorkload {
         &self,
         machine: &mut Machine,
         st: &KvsState,
-        ops: &[(u64, u64, bool)],
+        pb: &PackedBatch,
     ) -> SimResult<()> {
         let p = &self.params;
-        let mut keys = Vec::with_capacity(ops.len() * 8);
-        let mut vals = Vec::with_capacity(ops.len() * 8);
-        let mut gets = Vec::with_capacity(ops.len() * 4);
-        for (k, v, g) in ops {
-            keys.extend_from_slice(&k.to_le_bytes());
-            vals.extend_from_slice(&v.to_le_bytes());
-            gets.extend_from_slice(&(*g as u32).to_le_bytes());
+        let n = pb.keys.len();
+        let mut keys = Vec::with_capacity(n * 8);
+        let mut vals = Vec::with_capacity(n * 8);
+        let mut gets = Vec::with_capacity(n * 4);
+        let mut idx = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            keys.extend_from_slice(&pb.keys[i].to_le_bytes());
+            vals.extend_from_slice(&pb.vals[i].to_le_bytes());
+            gets.extend_from_slice(&pb.gets[i].to_le_bytes());
+            idx.extend_from_slice(&pb.idx[i].to_le_bytes());
         }
         machine.host_write(Addr::hbm(st.batch_keys), &keys)?;
         machine.host_write(Addr::hbm(st.batch_vals), &vals)?;
         machine.host_write(Addr::hbm(st.batch_is_get), &gets)?;
-        // Request ingestion: MegaKV's CPU-side receive+index pipeline, plus
-        // the DMA of the request batch to the GPU, plus per-GET response
+        machine.host_write(Addr::hbm(st.batch_idx), &idx)?;
+        // Request ingestion: MegaKV's CPU-side receive+index pipeline (real
+        // operations only — sentinels cost nothing on the CPU), plus the
+        // DMA of the request batch to the GPU, plus per-GET response
         // marshalling (the common cost that moderates the 95:5 mix's GPM
         // advantage, §6.1).
-        let n_gets = ops.iter().filter(|o| o.2).count() as f64;
-        let t = Ns(ops.len() as f64 * p.pipeline_ns)
+        let n_gets = pb.gets.iter().filter(|&&g| g != 0).count() as f64;
+        let t = Ns(pb.real_ops as f64 * p.pipeline_ns)
             + Ns(n_gets * p.get_response_ns)
             + machine.cfg.dma_init_overhead
-            + Ns((keys.len() + vals.len() + gets.len()) as f64 / machine.cfg.pcie_bw);
+            + Ns((keys.len() + vals.len() + gets.len() + idx.len()) as f64 / machine.cfg.pcie_bw);
         machine.clock.advance(t);
         Ok(())
     }
 
     /// The batched SET/GET kernel (Figure 6a). `persist=false` is the
-    /// GPM-NDP configuration; `to_pm=false` is CAP (HBM only).
-    #[allow(clippy::too_many_arguments)]
+    /// GPM-NDP configuration; `to_pm=false` is CAP (HBM only). Under GPM
+    /// (`to_pm && persist`) SETs run the detectable publish protocol with
+    /// the tag `op_tag(epoch, slot_index)`.
+    ///
+    /// The kernel is per-thread throughout — the HCL undo log, the
+    /// descriptor area, and (thanks to hash partitioning) the table's set
+    /// lines are all block-local — so it advertises
+    /// [`KernelCapability::BlockParallel`] and commits under the
+    /// block-parallel engine. Only the conventional-log ablation keeps the
+    /// `Communicating` pin (its partition tails are shared across blocks).
     fn batch_kernel(
         &self,
         st: &KvsState,
         n_ops: u64,
+        epoch: u64,
         to_pm: bool,
         persist: bool,
     ) -> impl gpm_gpu::Kernel<State = (), Shared = ()> + '_ {
         let p = self.params;
-        let (pm_table, hbm_table) = (st.pm_table, st.hbm_table);
-        let (keys, vals, gets, results) = (
+        let shard = st.shard(p.sets);
+        let detect = st.detect.dev();
+        let (keys, vals, gets, idx, results) = (
             st.batch_keys,
             st.batch_vals,
             st.batch_is_get,
+            st.batch_idx,
             st.get_results,
         );
         let log = st.log.dev();
-        // Threads across blocks append to the shared undo log (atomic tail
-        // bumps on shared partitions): cross-block communication. Within a
-        // warp, 7 of every 8 lanes retire after the cooperative probe and
-        // the survivor's GET/SET work is key-dependent, so warps diverge by
-        // construction and the kernel stays per-lane; no `run_warp`.
-        Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
-            let tid = ctx.global_id();
-            let op = tid / THREAD_GROUP;
-            if op >= n_ops {
-                return Ok(());
-            }
-            let key = ctx.ld_u64(Addr::hbm(keys + op * 8))?;
-            let set = hash_set(key, p.sets);
-            ctx.compute(Ns(40.0)); // hash + way-probe share of the group
-                                   // One thread of the group is selected to perform the operation
-                                   // (the others assisted the cooperative probe).
-            if tid % THREAD_GROUP != key % THREAD_GROUP {
-                return Ok(());
-            }
-            let is_get = ctx.ld_u32(Addr::hbm(gets + op * 4))? != 0;
-            // Probe the 8 ways in the HBM mirror.
-            let mut way = (key >> 32) % WAYS; // eviction victim by default
-            let mut empty: Option<u64> = None;
-            for w in 0..WAYS {
-                let k = ctx.ld_u64(Addr::hbm(hbm_table + (set * WAYS + w) * ENTRY))?;
-                if k == key {
-                    way = w;
-                    empty = None;
-                    break;
+        let inject = self.inject_double_apply;
+        let detectable = to_pm && persist;
+        let capability = if p.conventional_log_partitions.is_some() {
+            KernelCapability::Communicating
+        } else {
+            KernelCapability::BlockParallel
+        };
+        Capable(
+            capability,
+            FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                let tid = ctx.global_id();
+                let op = tid / THREAD_GROUP;
+                if op >= n_ops {
+                    return Ok(());
                 }
-                if k == 0 && empty.is_none() {
-                    empty = Some(w);
+                let key = ctx.ld_u64(Addr::hbm(keys + op * 8))?;
+                if key == 0 {
+                    return Ok(()); // block-boundary padding sentinel
                 }
-            }
-            if let Some(w) = empty {
-                way = w;
-            }
-            let slot = (set * WAYS + way) * ENTRY;
-            if is_get {
-                let v = ctx.ld_u64(Addr::hbm(hbm_table + slot + 8))?;
-                ctx.st_u64(Addr::hbm(results + op * 8), v)?;
-                return Ok(());
-            }
-            let value = ctx.ld_u64(Addr::hbm(vals + op * 8))?;
-            if to_pm {
-                // Undo-log the pair currently in the selected location.
-                let old_key = ctx.ld_u64(Addr::hbm(hbm_table + slot))?;
-                let old_val = ctx.ld_u64(Addr::hbm(hbm_table + slot + 8))?;
-                let mut entry = [0u8; LOG_ENTRY];
-                entry[0..4].copy_from_slice(&(set as u32).to_le_bytes());
-                entry[4..8].copy_from_slice(&(way as u32).to_le_bytes());
-                entry[8..16].copy_from_slice(&old_key.to_le_bytes());
-                entry[16..24].copy_from_slice(&old_val.to_le_bytes());
-                if persist {
-                    log.insert(ctx, &entry)?;
+                let set = shard.hash_set(key);
+                ctx.compute(Ns(40.0)); // hash + way-probe share of the group
+                                       // One thread of the group is selected to perform the operation
+                                       // (the others assisted the cooperative probe).
+                if tid % THREAD_GROUP != key % THREAD_GROUP {
+                    return Ok(());
+                }
+                let is_get = ctx.ld_u32(Addr::hbm(gets + op * 4))? != 0;
+                if is_get {
+                    let v = shard.lookup(ctx, set, key)?;
+                    let orig = ctx.ld_u32(Addr::hbm(idx + op * 4))? as u64;
+                    ctx.st_u64(Addr::hbm(results + orig * 8), v)?;
+                    return Ok(());
+                }
+                let value = ctx.ld_u64(Addr::hbm(vals + op * 8))?;
+                if detectable {
+                    shard_set_detectable(
+                        ctx,
+                        &shard,
+                        &detect,
+                        &log,
+                        op,
+                        op_tag(epoch, op),
+                        key,
+                        value,
+                        inject,
+                    )
                 } else {
-                    // GPM-NDP: log writes go to PM but are not fenced; the
-                    // CPU flushes the region after the kernel.
-                    log.insert_unfenced(ctx, &entry)?;
+                    shard_set_legacy(ctx, &shard, &log, key, value, to_pm, persist)
                 }
-                let mut pair = [0u8; ENTRY as usize];
-                pair[0..8].copy_from_slice(&key.to_le_bytes());
-                pair[8..16].copy_from_slice(&value.to_le_bytes());
-                ctx.st_bytes(Addr::pm(pm_table + slot), &pair)?;
-                if persist {
-                    ctx.gpm_persist()?;
-                }
-            }
-            // Keep the mirror coherent.
-            ctx.st_u64(Addr::hbm(hbm_table + slot), key)?;
-            ctx.st_u64(Addr::hbm(hbm_table + slot + 8), value)?;
-            Ok(())
-        }))
+            }),
+        )
+    }
+
+    /// Opens (or, on a retry, re-enters) the detect epoch for transaction
+    /// `seq`: a still-armed transaction flag for this very `seq` means the
+    /// caller is resubmitting a crashed batch, so the epoch minted before
+    /// the crash is reused and the descriptors written then keep matching.
+    /// A fresh batch arms the flag and advances the epoch.
+    fn enter_epoch(&self, machine: &mut Machine, st: &KvsState, seq: u64) -> SimResult<u64> {
+        if st.flag.active(machine)? == seq + 1 {
+            st.detect
+                .epoch(machine)
+                .map_err(|_| SimError::Invalid("detect epoch read failed"))
+        } else {
+            st.flag.begin(machine, seq + 1)?;
+            st.detect
+                .begin_epoch(machine)
+                .map_err(|_| SimError::Invalid("detect epoch advance failed"))
+        }
     }
 
     /// Applies one batch of operations through the shared kernel-launch
@@ -418,19 +585,23 @@ impl KvsWorkload {
         }
         let t0 = machine.clock.now();
         let s0 = machine.stats;
-        self.upload_batch(machine, st, ops)
+        let packed = self.pack_batch(ops);
+        self.upload_batch(machine, st, &packed)
             .map_err(LaunchError::Sim)?;
-        let n = ops.len() as u64;
-        let base = LaunchConfig::for_elements(n * THREAD_GROUP, 256);
-        let cfg = match p.persistency {
-            Some(model) => base.with_persistency(model),
-            None => base,
-        };
+        let n = packed.len();
+        let cfg = self.cfg_for_ops(n);
         match mode {
             Mode::Gpm => {
-                st.flag.begin(machine, seq + 1).map_err(LaunchError::Sim)?;
+                let epoch = self
+                    .enter_epoch(machine, st, seq)
+                    .map_err(LaunchError::Sim)?;
                 gpm_persist_begin(machine);
-                launch_with_gauge(machine, cfg, &self.batch_kernel(st, n, true, true), gauge)?;
+                launch_with_gauge(
+                    machine,
+                    cfg,
+                    &self.batch_kernel(st, n, epoch, true, true),
+                    gauge,
+                )?;
                 gpm_persist_end(machine);
                 st.flag.commit(machine).map_err(LaunchError::Sim)?;
                 st.log
@@ -438,7 +609,12 @@ impl KvsWorkload {
                     .map_err(|_| LaunchError::Sim(SimError::Invalid("log clear failed")))?;
             }
             Mode::GpmNdp => {
-                launch_with_gauge(machine, cfg, &self.batch_kernel(st, n, true, false), gauge)?;
+                launch_with_gauge(
+                    machine,
+                    cfg,
+                    &self.batch_kernel(st, n, 0, true, false),
+                    gauge,
+                )?;
                 // CPU guarantees persistence for the whole table + log.
                 flush_from_cpu(machine, st.pm_table, p.table_bytes(), p.cap_threads);
                 flush_from_cpu(
@@ -453,7 +629,12 @@ impl KvsWorkload {
                     .map_err(|_| LaunchError::Sim(SimError::Invalid("clear")))?;
             }
             Mode::CapFs | Mode::CapMm => {
-                launch_with_gauge(machine, cfg, &self.batch_kernel(st, n, false, false), gauge)?;
+                launch_with_gauge(
+                    machine,
+                    cfg,
+                    &self.batch_kernel(st, n, 0, false, false),
+                    gauge,
+                )?;
                 let flavor = if mode == Mode::CapFs {
                     CapFlavor::Fs
                 } else {
@@ -479,7 +660,7 @@ impl KvsWorkload {
         }
         let d = machine.stats.delta(&s0);
         Ok(BatchMetrics {
-            ops: n,
+            ops: ops.len() as u64,
             elapsed: machine.clock.now() - t0,
             pm_write_bytes_gpu: d.pm_write_bytes_gpu,
             bytes_persisted: d.bytes_persisted,
@@ -521,48 +702,68 @@ impl KvsWorkload {
         Ok(())
     }
 
-    /// Reference model: replays the batches in thread order.
-    fn reference_table(&self) -> HashMap<(u64, u64), (u64, u64)> {
-        let p = &self.params;
-        let mut table: HashMap<(u64, u64), (u64, u64)> = HashMap::new();
-        for b in 0..p.batches {
+    /// In-place *retry* recovery: rebuilds the HBM mirror from the durable
+    /// PM table and touches nothing else. The table, the descriptor area
+    /// and the transaction flag stay exactly as the crash left them, so
+    /// resubmitting the in-flight batch (same `seq`, same ops) applies
+    /// precisely the operations that had not yet applied — the detectable
+    /// protocol skips the rest. Idempotent: running it any number of times
+    /// is equivalent to running it once. The alternative strategy,
+    /// [`recover`](KvsWorkload::recover), *rolls the batch back* instead;
+    /// the two are mutually exclusive per crash (rollback clears the flag,
+    /// which retires the epoch a retry would need).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn recover_for_retry(&self, machine: &mut Machine, st: &KvsState) -> SimResult<()> {
+        if machine.trace_enabled() {
+            machine.trace(EventKind::RecoveryBegin);
+        }
+        let result = self.rebuild_mirror(machine, st);
+        if machine.trace_enabled() {
+            machine.trace(EventKind::RecoveryEnd);
+        }
+        result
+    }
+
+    /// Snapshots the durable PM table image (host-side read, no simulated
+    /// cost) so tests can compare store state byte-for-byte across runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn store_image(&self, machine: &Machine, st: &KvsState) -> SimResult<Vec<u8>> {
+        let mut buf = vec![0u8; self.params.table_bytes() as usize];
+        machine.read(Addr::pm(st.pm_table), &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reference model: replays the batches in submission order.
+    fn reference_model(&self) -> ShardModel {
+        let mut model = ShardModel::new(self.params.sets);
+        for b in 0..self.params.batches {
             for (key, val, is_get) in self.gen_batch(b) {
-                if is_get {
-                    continue;
+                if !is_get {
+                    model.set(key, val);
                 }
-                let set = hash_set(key, p.sets);
-                let mut way = (key >> 32) % WAYS;
-                let mut empty = None;
-                for w in 0..WAYS {
-                    let cur = table.get(&(set, w)).map_or(0, |e| e.0);
-                    if cur == key {
-                        way = w;
-                        empty = None;
-                        break;
-                    }
-                    if cur == 0 && empty.is_none() {
-                        empty = Some(w);
-                    }
-                }
-                if let Some(w) = empty {
-                    way = w;
-                }
-                table.insert((set, way), (key, val));
             }
         }
-        table
+        model
     }
 
     fn verify(&self, machine: &Machine, st: &KvsState, mode: Mode) -> SimResult<bool> {
-        let reference = self.reference_table();
+        let model = self.reference_model();
         let base = match mode {
             Mode::Gpm | Mode::GpmNdp => st.pm_table,
             Mode::CapFs | Mode::CapMm => st.cap_pm,
             _ => return Ok(false),
         };
-        for (&(set, way), &(k, v)) in &reference {
-            let slot = base + (set * WAYS + way) * ENTRY;
-            if machine.read_u64(Addr::pm(slot))? != k || machine.read_u64(Addr::pm(slot + 8))? != v
+        for (&(set, way), &(k, v, ver)) in model.entries() {
+            let slot = base + (set * WAYS + way) * SLOT_BYTES;
+            if machine.read_u64(Addr::pm(slot))? != k
+                || machine.read_u64(Addr::pm(slot + 8))? != v
+                || machine.read_u64(Addr::pm(slot + 16))? != ver
             {
                 return Ok(false);
             }
@@ -602,13 +803,14 @@ impl KvsWorkload {
         let mut metrics = metered(machine, |m| {
             for b in 0..p.batches {
                 let ops = self.gen_batch(b);
-                self.upload_batch(m, &st, &ops)?;
-                st.flag.begin(m, b as u64 + 1)?;
+                let packed = self.pack_batch(&ops);
+                self.upload_batch(m, &st, &packed)?;
+                let epoch = self.enter_epoch(m, &st, b as u64)?;
                 gpm_persist_begin(m);
                 launch(
                     m,
-                    self.launch_cfg(),
-                    &self.batch_kernel(&st, p.ops_per_batch, true, true),
+                    self.cfg_for_ops(packed.len()),
+                    &self.batch_kernel(&st, packed.len(), epoch, true, true),
                 )?;
                 gpm_persist_end(m);
                 if b + 1 < p.batches {
@@ -647,13 +849,14 @@ impl KvsWorkload {
         );
         let st = self.setup(machine, Mode::Gpm)?;
         let ops = self.gen_batch(0);
-        self.upload_batch(machine, &st, &ops)?;
-        st.flag.begin(machine, 1)?;
+        let packed = self.pack_batch(&ops);
+        self.upload_batch(machine, &st, &packed)?;
+        let epoch = self.enter_epoch(machine, &st, 0)?;
         gpm_persist_begin(machine);
         match launch_with_fuel(
             machine,
-            self.launch_cfg(),
-            &self.batch_kernel(&st, self.params.ops_per_batch, true, true),
+            self.cfg_for_ops(packed.len()),
+            &self.batch_kernel(&st, packed.len(), epoch, true, true),
             fuel,
         ) {
             Ok(_) => {
@@ -666,16 +869,13 @@ impl KvsWorkload {
         self.recover(machine, &st)?;
         // All of batch 0 was undone: none of its keys may remain in the PM
         // table.
+        let shard = st.shard(self.params.sets);
         for (key, _, is_get) in self.gen_batch(0) {
             if is_get {
                 continue;
             }
-            let set = hash_set(key, self.params.sets);
-            for w in 0..WAYS {
-                let slot = st.pm_table + (set * WAYS + w) * ENTRY;
-                if machine.read_u64(Addr::pm(slot))? == key {
-                    return Ok(false);
-                }
+            if shard.host_find(machine, key)?.is_some() {
+                return Ok(false);
             }
         }
         Ok(true)
@@ -733,7 +933,7 @@ impl KvsWorkload {
                     .log
                     .host_tail(machine, tid)
                     .map_err(|_| LaunchError::Sim(SimError::Invalid("log tail")))?;
-                if tail as usize * 4 >= LOG_ENTRY {
+                if tail as usize * 4 >= UNDO_BYTES {
                     v = Some(tid);
                     break;
                 }
@@ -749,18 +949,18 @@ impl KvsWorkload {
         // read must see other blocks' removals, so this kernel can never run
         // against a frozen snapshot.
         let k = Communicating(FnKernel(move |ctx: &mut ThreadCtx<'_>| {
-            if Some(ctx.global_id()) == victim && log.tail(ctx)? as usize * 4 >= LOG_ENTRY {
-                log.remove(ctx, LOG_ENTRY)?;
+            if Some(ctx.global_id()) == victim && log.tail(ctx)? as usize * 4 >= UNDO_BYTES {
+                log.remove(ctx, UNDO_BYTES)?;
             }
-            while log.tail(ctx)? as usize * 4 >= LOG_ENTRY {
-                let mut entry = [0u8; LOG_ENTRY];
+            while log.tail(ctx)? as usize * 4 >= UNDO_BYTES {
+                let mut entry = [0u8; UNDO_BYTES];
                 log.read_top(ctx, &mut entry)?;
                 let set = u32::from_le_bytes(entry[0..4].try_into().unwrap()) as u64;
                 let way = u32::from_le_bytes(entry[4..8].try_into().unwrap()) as u64;
-                let slot = pm_table + (set * WAYS + way) * ENTRY;
-                ctx.st_bytes(Addr::pm(slot), &entry[8..24])?;
+                let slot = pm_table + (set * WAYS + way) * SLOT_BYTES;
+                ctx.st_bytes(Addr::pm(slot), &entry[8..40])?;
                 ctx.gpm_persist()?;
-                log.remove(ctx, LOG_ENTRY)?;
+                log.remove(ctx, UNDO_BYTES)?;
             }
             Ok(())
         }));
@@ -809,13 +1009,14 @@ impl KvsWorkload {
         );
         let st = self.setup(machine, Mode::Gpm)?;
         let ops = self.gen_batch(0);
-        self.upload_batch(machine, &st, &ops)?;
-        st.flag.begin(machine, 1)?;
+        let packed = self.pack_batch(&ops);
+        self.upload_batch(machine, &st, &packed)?;
+        let epoch = self.enter_epoch(machine, &st, 0)?;
         gpm_persist_begin(machine);
         match launch_with_fuel(
             machine,
-            self.launch_cfg(),
-            &self.batch_kernel(&st, self.params.ops_per_batch, true, true),
+            self.cfg_for_ops(packed.len()),
+            &self.batch_kernel(&st, packed.len(), epoch, true, true),
             fuel,
         ) {
             Ok(_) => {
@@ -833,16 +1034,13 @@ impl KvsWorkload {
         }
         // Second recovery must finish the drain.
         self.recover(machine, &st)?;
+        let shard = st.shard(self.params.sets);
         for (key, _, is_get) in self.gen_batch(0) {
             if is_get {
                 continue;
             }
-            let set = hash_set(key, self.params.sets);
-            for w in 0..WAYS {
-                let slot = st.pm_table + (set * WAYS + w) * ENTRY;
-                if machine.read_u64(Addr::pm(slot))? == key {
-                    return Ok(false);
-                }
+            if shard.host_find(machine, key)?.is_some() {
+                return Ok(false);
             }
         }
         Ok(true)
@@ -899,20 +1097,93 @@ impl RecoveryOracle for KvsWorkload {
         }
         // ...and none of the in-flight batch's keys.
         if committed < self.params.batches {
+            let shard = st.shard(self.params.sets);
             for (key, _, is_get) in self.gen_batch(committed) {
                 if is_get {
                     continue;
                 }
-                let set = hash_set(key, self.params.sets);
-                for w in 0..WAYS {
-                    let slot = st.pm_table + (set * WAYS + w) * ENTRY;
-                    if machine.read_u64(Addr::pm(slot))? == key {
-                        return Ok(OracleVerdict::Fail(format!(
-                            "uncommitted key {key:#x} of batch {committed} survived recovery"
-                        )));
+                if shard.host_find(machine, key)?.is_some() {
+                    return Ok(OracleVerdict::Fail(format!(
+                        "uncommitted key {key:#x} of batch {committed} survived recovery"
+                    )));
+                }
+            }
+        }
+        Ok(OracleVerdict::Pass)
+    }
+
+    fn supports_double_recovery(&self) -> bool {
+        true
+    }
+
+    fn run_case_double_recovery(
+        &mut self,
+        machine: &mut Machine,
+        fuel: u64,
+        policy: CrashPolicy,
+    ) -> SimResult<OracleVerdict> {
+        assert!(
+            self.params.key_skew.is_none(),
+            "exactly-once verification requires unique keys (no skew)"
+        );
+        let model = self.reference_model();
+        assert!(
+            !model.evicted,
+            "exactly-once verification requires an eviction-free batch mix"
+        );
+        let st = self.setup(machine, Mode::Gpm)?;
+        let mut committed = 0u32;
+        let res = self.run_batches_gauged(
+            machine,
+            &st,
+            &mut FuelGauge::crash_with_policy(fuel, policy),
+            &mut committed,
+        );
+        crate::oracle::settle_crash(machine, policy, res)?;
+        // Retry recovery, run TWICE: it must be idempotent (a crash during
+        // recovery itself only means running it again).
+        self.recover_for_retry(machine, &st)?;
+        self.recover_for_retry(machine, &st)?;
+        // Resubmit the in-flight batch verbatim, then the remaining ones.
+        let shard = st.shard(self.params.sets);
+        for b in committed..self.params.batches {
+            let ops = self.gen_batch(b);
+            self.apply_batch(machine, &st, b as u64, &ops, Mode::Gpm)?;
+            if b == committed {
+                // Exactly-once check, immediately after the retried batch
+                // (before later batches can mask a double apply): every SET
+                // key must be present with version exactly 1 — absent means
+                // zero applies, version 2 means two.
+                for (key, val, is_get) in self.gen_batch(b) {
+                    if is_get {
+                        continue;
+                    }
+                    match shard.host_find(machine, key)? {
+                        None => {
+                            return Ok(OracleVerdict::Fail(format!(
+                                "op on key {key:#x} of retried batch {b} applied zero times"
+                            )))
+                        }
+                        Some(rec) if rec[2] != 1 => {
+                            return Ok(OracleVerdict::Fail(format!(
+                                "op on key {key:#x} of retried batch {b} applied {} times",
+                                rec[2]
+                            )))
+                        }
+                        Some(rec) if rec[1] != val => {
+                            return Ok(OracleVerdict::Fail(format!(
+                                "key {key:#x} holds the wrong value after retry"
+                            )))
+                        }
+                        Some(_) => {}
                     }
                 }
             }
+        }
+        if !self.verify(machine, &st, Mode::Gpm)? {
+            return Ok(OracleVerdict::Fail(
+                "table diverges from the uncrashed reference after retry".into(),
+            ));
         }
         Ok(OracleVerdict::Pass)
     }
@@ -1014,5 +1285,93 @@ mod tests {
     fn unsupported_modes_error() {
         let mut m = Machine::default();
         assert!(quick().run(&mut m, Mode::Gpufs).is_err());
+    }
+
+    /// Drives one GPM batch end-to-end (pack, upload, launch, commit) with
+    /// the given engine-thread pin; returns the kernel report plus the PM
+    /// write/persist deltas.
+    fn drive_one_batch(m: &mut Machine, engine_threads: u32) -> (gpm_gpu::KernelReport, u64, u64) {
+        let w = quick();
+        let st = w.setup(m, Mode::Gpm).unwrap();
+        let ops = w.gen_batch(0);
+        let packed = w.pack_batch(&ops);
+        w.upload_batch(m, &st, &packed).unwrap();
+        let epoch = w.enter_epoch(m, &st, 0).unwrap();
+        let s0 = m.stats;
+        gpm_persist_begin(m);
+        let r = launch(
+            m,
+            w.cfg_for_ops(packed.len())
+                .with_engine_threads(engine_threads),
+            &w.batch_kernel(&st, packed.len(), epoch, true, true),
+        )
+        .unwrap();
+        gpm_persist_end(m);
+        st.flag.commit(m).unwrap();
+        let d = m.stats.delta(&s0);
+        (r, d.pm_write_bytes_gpu, d.bytes_persisted)
+    }
+
+    /// The tentpole payoff: with hash-partitioned batches the detectable
+    /// SET kernel carries no cross-block conflicts, so it must *commit*
+    /// under the block-parallel engine (not fall back to sequential).
+    #[test]
+    fn batch_kernel_commits_block_parallel() {
+        let mut m = Machine::default();
+        let (r, _, _) = drive_one_batch(&mut m, 4);
+        assert_eq!(
+            r.threads_used, 4,
+            "hash-partitioned batch must commit block-parallel"
+        );
+    }
+
+    /// Engine threads are a host-side scheduling knob only: counters and
+    /// PM media must be bit-identical across thread counts.
+    #[test]
+    fn engine_threads_do_not_change_counters_or_media() {
+        let mut m1 = Machine::default();
+        let (r1, w1, p1) = drive_one_batch(&mut m1, 1);
+        let mut m4 = Machine::default();
+        let (r4, w4, p4) = drive_one_batch(&mut m4, 4);
+        assert_eq!(r1.threads_used, 1);
+        assert_eq!(r4.threads_used, 4);
+        assert_eq!(w1, w4, "PM write bytes must not depend on engine threads");
+        assert_eq!(p1, p4, "persisted bytes must not depend on engine threads");
+        let bytes = KvsParams::quick().table_bytes() as usize;
+        let (mut t1, mut t4) = (vec![0u8; bytes], vec![0u8; bytes]);
+        // Both tables live at the same offset on identical fresh machines.
+        let w = quick();
+        let st1 = w.setup(&mut Machine::default(), Mode::Gpm).unwrap();
+        m1.read(Addr::pm(st1.pm_table), &mut t1).unwrap();
+        m4.read(Addr::pm(st1.pm_table), &mut t4).unwrap();
+        assert_eq!(t1, t4, "PM media must be bit-identical");
+    }
+
+    /// The double-recovery oracle passes on the correct implementation at
+    /// every recorded crash boundary (subsampled), and the injected
+    /// double-applying CAS is caught at some boundary.
+    #[test]
+    fn double_recovery_exactly_once_and_injected_bug_caught() {
+        let mut w = quick();
+        let mut m = Machine::default();
+        let sched = w.record(&mut m).unwrap();
+        let bounds = sched.boundaries().to_vec();
+        assert!(w.supports_double_recovery());
+        for fuel in bounds.iter().step_by(bounds.len() / 8 + 1) {
+            let mut m = Machine::default();
+            let v = w
+                .run_case_double_recovery(&mut m, *fuel, CrashPolicy::AllApplied)
+                .unwrap();
+            assert!(v.passed(), "fuel={fuel}: {v:?}");
+        }
+        let mut buggy = KvsWorkload::new(KvsParams::quick()).with_double_apply_bug();
+        let caught = bounds.iter().any(|&fuel| {
+            let mut m = Machine::default();
+            !buggy
+                .run_case_double_recovery(&mut m, fuel, CrashPolicy::AllApplied)
+                .unwrap()
+                .passed()
+        });
+        assert!(caught, "deliberate double-apply bug went undetected");
     }
 }

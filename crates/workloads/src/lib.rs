@@ -45,6 +45,7 @@ pub mod cfd;
 pub mod datagen;
 pub mod db;
 pub mod dnn;
+pub mod hash_shard;
 pub mod hotspot;
 pub mod iterative;
 pub mod kvs;
@@ -59,6 +60,10 @@ pub use blackscholes::{BlkParams, BlkWorkload};
 pub use cfd::{CfdParams, CfdWorkload};
 pub use db::{DbOp, DbParams, DbState, DbWorkload};
 pub use dnn::{DnnParams, DnnWorkload};
+pub use hash_shard::{
+    shard_bytes, shard_set_detectable, shard_set_legacy, ShardDev, ShardModel, SLOT_BYTES,
+    UNDO_BYTES, WAYS,
+};
 pub use hotspot::{HotspotParams, HotspotWorkload};
 pub use iterative::{
     checkpoint_latency, checkpoint_oracle, run_iterative, run_iterative_with_recovery,

@@ -69,6 +69,40 @@ pub trait RecoveryOracle {
         fuel: u64,
         policy: CrashPolicy,
     ) -> SimResult<OracleVerdict>;
+
+    /// Whether this oracle implements the double-recovery discipline
+    /// ([`run_case_double_recovery`]): recovery runs *twice*, the in-flight
+    /// batch is resubmitted, and the oracle judges exactly-once application
+    /// (no op lands zero or two times). Workloads whose recovery is a
+    /// whole-run restart (checkpointing and iterative kernels) have nothing
+    /// to resubmit and keep the default `false`.
+    ///
+    /// [`run_case_double_recovery`]: RecoveryOracle::run_case_double_recovery
+    fn supports_double_recovery(&self) -> bool {
+        false
+    }
+
+    /// Like [`run_case`](RecoveryOracle::run_case), but exercises the
+    /// *retry* discipline: crash after `fuel` ops, run the workload's
+    /// recovery path twice back-to-back (it must be idempotent — a crash
+    /// during recovery only means running it again), resubmit the in-flight
+    /// batch verbatim, and judge that every operation applied exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors (an exactly-once violation is a
+    /// [`OracleVerdict::Fail`], not an error).
+    fn run_case_double_recovery(
+        &mut self,
+        machine: &mut Machine,
+        fuel: u64,
+        policy: CrashPolicy,
+    ) -> SimResult<OracleVerdict> {
+        let _ = (machine, fuel, policy);
+        Ok(OracleVerdict::Fail(
+            "oracle does not support double recovery".into(),
+        ))
+    }
 }
 
 /// Settles a fueled drive that was *supposed* to crash: if the region ran

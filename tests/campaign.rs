@@ -99,6 +99,76 @@ fn injected_recovery_bug_is_caught_with_a_repro() {
     assert_eq!(again, f.verdict, "failure not reproducible from its case");
 }
 
+/// The double-recovery discipline: every oracle that supports it passes a
+/// bounded campaign where recovery runs twice and the in-flight batch is
+/// resubmitted — no op may land zero or two times.
+#[test]
+fn bounded_double_recovery_campaign_passes_for_supporting_oracles() {
+    let cfg = bounded();
+    let mut supported = 0;
+    for mut o in oracle_suite(Scale::Quick) {
+        if !o.supports_double_recovery() {
+            continue;
+        }
+        supported += 1;
+        let name = o.name();
+        let mut m = Machine::default();
+        let sched = o.record(&mut m).unwrap();
+        let cases = enumerate_cases(&sched, &cfg);
+        let stats = run_campaign(&cases, |case| {
+            let mut m = Machine::default();
+            o.run_case_double_recovery(&mut m, case.fuel, case.policy)
+                .unwrap()
+        });
+        assert_eq!(
+            stats.failures.len(),
+            0,
+            "{name}: double-recovery failures: {:?}",
+            stats.failures.first()
+        );
+        assert!(stats.cases > 0, "{name}: empty double-recovery campaign");
+    }
+    assert_eq!(
+        supported, 3,
+        "gpKVS and both gpDB oracles must support double recovery"
+    );
+}
+
+/// A deliberately double-applying CAS (the detectable-op skip check is
+/// bypassed) must be caught by the double-recovery campaign, and the
+/// failure must reproduce standalone from its (fuel, policy) pair.
+#[test]
+fn injected_double_apply_bug_is_caught_with_a_repro() {
+    let mut buggy = KvsWorkload::new(KvsParams::quick()).with_double_apply_bug();
+    let mut m = Machine::default();
+    let sched = buggy.record(&mut m).unwrap();
+    let cases = enumerate_cases(
+        &sched,
+        &CampaignConfig {
+            max_crash_points: Some(6),
+            gray_steps: 1,
+            random_subsets: 1,
+            ..CampaignConfig::default()
+        },
+    );
+    let stats = run_campaign(&cases, |case| {
+        let mut m = Machine::default();
+        buggy
+            .run_case_double_recovery(&mut m, case.fuel, case.policy)
+            .unwrap()
+    });
+    assert!(
+        !stats.failures.is_empty(),
+        "a SET that applies twice on resubmission must be caught"
+    );
+    let f = &stats.failures[0];
+    let mut m = Machine::default();
+    let again = buggy
+        .run_case_double_recovery(&mut m, f.case.fuel, f.case.policy)
+        .unwrap();
+    assert_eq!(again, f.verdict, "failure not reproducible from its case");
+}
+
 #[test]
 fn campaign_verdicts_are_deterministic_per_case() {
     let mut o = KvsWorkload::new(KvsParams::quick());

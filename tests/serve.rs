@@ -9,7 +9,7 @@ use gpm_serve::{
     Shard, TrafficConfig, Verdict,
 };
 use gpm_sim::Ns;
-use gpm_workloads::{KvsParams, Mode};
+use gpm_workloads::{DbOp, DbParams, KvsParams, Mode};
 
 /// Every float the outcome exposes, as raw bits, so equality is exact.
 fn fingerprint(out: &ClusterOutcome) -> Vec<u64> {
@@ -128,6 +128,108 @@ fn every_request_gets_exactly_one_response_at_any_shard_count() {
         let expected: Vec<u64> = (0..reqs.len() as u64).collect();
         assert_eq!(ids, expected, "shards={shards}");
     }
+}
+
+/// A mid-kernel power cut followed by in-place retry is invisible to
+/// clients and to the store: the faulted gpKVS run returns byte-identical
+/// responses and ends with a byte-identical persistent table versus an
+/// uncrashed run of the same stream. The retry path is the detectable-op
+/// discipline — no rollback; the resubmitted batch's per-op descriptors
+/// skip already-applied SETs.
+#[test]
+fn kvs_crash_and_in_place_retry_matches_uncrashed_run() {
+    // 64 PUTs then 64 GETs of the same keys, all arriving at t=0 so the
+    // scheduler packs aligned 32-request batches: PUT, PUT, GET, GET.
+    let keys: Vec<(u64, u64)> = (0..64).map(|i| (1_001 + 2 * i, 9_000 + i)).collect();
+    let stream: Vec<Request> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &(key, value))| Request {
+            id: i as u64,
+            arrival: Ns::ZERO,
+            op: Op::Put { key, value },
+        })
+        .chain(keys.iter().enumerate().map(|(i, &(key, _))| Request {
+            id: (64 + i) as u64,
+            arrival: Ns::ZERO,
+            op: Op::Get { key },
+        }))
+        .collect();
+    let policy = BatchPolicy {
+        max_batch: 32,
+        ..BatchPolicy::default()
+    };
+    let run = |faults: &FaultPlan| {
+        let mut shard = Shard::new_kvs(KvsParams::quick(), Mode::Gpm).unwrap();
+        let report = serve_shard(&mut shard, &stream, &policy, faults).unwrap();
+        let (machine, workload, st) = shard.into_kvs_parts();
+        let table = workload.store_image(&machine, &st).unwrap();
+        let responses: Vec<(u64, Verdict)> =
+            report.responses.iter().map(|r| (r.id, r.verdict)).collect();
+        (report.retries, responses, table)
+    };
+
+    let (clean_retries, clean_responses, clean_table) = run(&FaultPlan::default());
+    let (retries, responses, table) = run(&FaultPlan {
+        crash_every: Some(2),
+        crash_fuel: 40,
+    });
+    assert_eq!(clean_retries, 0);
+    assert!(retries > 0, "the fault plan must actually cut power");
+    assert_eq!(responses, clean_responses, "responses must be identical");
+    assert_eq!(table, clean_table, "persistent store must be identical");
+    // And the GETs really observe the PUTs (the comparison is not vacuous).
+    assert!(responses
+        .iter()
+        .skip(64)
+        .zip(&keys)
+        .all(|(&(_, v), &(_, value))| v == Verdict::Done(Some(value))));
+}
+
+/// Same property for a gpDB insert shard: a mid-kernel crash plus
+/// in-place retry (metadata rollback, then re-insert from the durable
+/// count) leaves `durable_rows` and the persistent table byte-identical
+/// to the uncrashed run.
+#[test]
+fn db_crash_and_in_place_retry_matches_uncrashed_run() {
+    let mut p = DbParams {
+        op: DbOp::Insert,
+        ..DbParams::quick()
+    };
+    p.capacity_rows = p.initial_rows + 1_024;
+    let stream: Vec<Request> = (0..64)
+        .map(|i| Request {
+            id: i,
+            arrival: Ns::ZERO,
+            op: Op::Insert { rows: 8 },
+        })
+        .collect();
+    let policy = BatchPolicy {
+        max_batch: 16,
+        ..BatchPolicy::default()
+    };
+    let run = |faults: &FaultPlan| {
+        let mut shard = Shard::new_db(p, Mode::Gpm).unwrap();
+        let report = serve_shard(&mut shard, &stream, &policy, faults).unwrap();
+        let (machine, workload, st) = shard.into_db_parts();
+        let rows = st.durable_rows(&machine).unwrap();
+        let table = workload.store_image(&machine, &st).unwrap();
+        let responses: Vec<(u64, Verdict)> =
+            report.responses.iter().map(|r| (r.id, r.verdict)).collect();
+        (report.retries, responses, rows, table)
+    };
+
+    let (clean_retries, clean_responses, clean_rows, clean_table) = run(&FaultPlan::default());
+    let (retries, responses, rows, table) = run(&FaultPlan {
+        crash_every: Some(2),
+        crash_fuel: 40,
+    });
+    assert_eq!(clean_retries, 0);
+    assert!(retries > 0, "the fault plan must actually cut power");
+    assert_eq!(rows, p.initial_rows + 64 * 8, "every insert lands once");
+    assert_eq!(rows, clean_rows);
+    assert_eq!(responses, clean_responses);
+    assert_eq!(table, clean_table, "persistent store must be identical");
 }
 
 /// A shard booted over a machine image that crashed mid-batch replays
