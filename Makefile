@@ -3,6 +3,7 @@ CARGO ?= cargo
 RUN := $(CARGO) run --release -p gpm-bench --bin
 
 .PHONY: all test bench bench-json campaign campaign-quick serve serve-quick \
+        analytics analytics-quick \
         figure_1 figure_3 figure_9 \
         figure_10 figure_11a figure_11b figure_12 table_4 table_5 checkpoint_frequency \
         recovery_stress sensitivity ycsb future_platforms
@@ -28,6 +29,17 @@ campaign:
 	$(RUN) campaign
 campaign-quick:
 	$(RUN) campaign -- --quick
+
+# gpAnalytics crash-recovery campaign: the behavioral-analytics oracle
+# alone, across every crash point and pending-line policy, then the
+# double-recovery leg (crash during recovery; the second recovery must
+# still land exactly-once). `analytics-quick` bounds the crash points.
+analytics:
+	$(RUN) campaign -- --workload gpAnalytics
+	$(RUN) campaign -- --workload gpAnalytics --double-recovery
+analytics-quick:
+	$(RUN) campaign -- --quick --workload gpAnalytics
+	$(RUN) campaign -- --quick --workload gpAnalytics --double-recovery
 
 # Open-loop serving sweep (gpm-serve): offered load x shard count x batch
 # policy, plus arrival-shape and fault-drill sections; writes

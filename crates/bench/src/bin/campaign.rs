@@ -12,17 +12,22 @@
 //!
 //! Flags:
 //! - `--quick`             scaled-down workloads and fewer crash points
-//! - `--workload NAME`     only the named oracle (e.g. `gpKVS`, `gpDB (U)`)
+//! - `--workload NAME`     only the named oracle; names come from the
+//!   `oracle_names()` registry (run `--list-workloads` to print them — the
+//!   binary never hardcodes the list)
+//! - `--list-workloads`    print every registered workload name and exit
 //! - `--fuel N --policy P` single-case repro mode (requires `--workload`)
 //! - `--max-points N`      crash points kept per workload (0 = all)
 //! - `--double-recovery`   retry discipline instead of rollback: every case
 //!   runs recovery TWICE, resubmits the in-flight batch, and the oracle
 //!   asserts exactly-once application (no op lands zero or two times).
-//!   Only oracles that support the discipline run (gpKVS, gpDB).
-//! - `--inject-bug`        self-test: run gpKVS with a deliberately broken
-//!   recovery (one undo-log entry dropped); the campaign must FAIL. With
-//!   `--double-recovery` the injected bug is a double-applying CAS (the
-//!   detectable-op skip check is bypassed) — it must also be caught
+//!   Only oracles that support the discipline run.
+//! - `--inject-bug`        self-test: run a deliberately broken recovery
+//!   (one undo-log entry dropped); the campaign must FAIL. With
+//!   `--double-recovery` the injected bug is a double-applying publish (the
+//!   detectable-op skip checks are bypassed) — it must also be caught.
+//!   Defaults to gpKVS; combine with `--workload` for any oracle with
+//!   self-test knobs (gpKVS, gpAnalytics, gpDB under `--double-recovery`)
 //! - `--out PATH`          JSON output path (default `BENCH_campaign.json`)
 //! - `--trace PATH`        write a Chrome trace-event JSON (schema
 //!   `gpm-trace-v1`) of the traced runs: in repro mode the single case,
@@ -40,7 +45,8 @@ use gpm_sim::{
     chrome_trace_json, enumerate_cases, run_campaign, CampaignConfig, CampaignStats, CrashPolicy,
     CrashSchedule, Machine, RingSink, TraceData,
 };
-use gpm_workloads::{oracle_suite, KvsParams, KvsWorkload, RecoveryOracle, Scale};
+use gpm_workloads::oracle::{buggy_oracle, oracle_names};
+use gpm_workloads::{oracle_suite, RecoveryOracle, Scale};
 
 struct Opts {
     quick: bool,
@@ -70,6 +76,12 @@ fn parse_args() -> Opts {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--list-workloads" => {
+                for name in oracle_names() {
+                    println!("{name}");
+                }
+                std::process::exit(0);
+            }
             "--inject-bug" => opts.inject_bug = true,
             "--double-recovery" => opts.double_recovery = true,
             "--workload" => opts.workload = Some(args.next().expect("--workload needs a name")),
@@ -249,26 +261,31 @@ fn main() {
     };
 
     let mut oracles: Vec<Box<dyn RecoveryOracle>> = if opts.inject_bug {
-        let params = if opts.quick {
-            KvsParams::quick()
-        } else {
-            KvsParams::default()
-        };
-        let workload = if opts.double_recovery {
-            // The retry-discipline self-test bug: the detectable-op skip
-            // check is bypassed, so a resubmitted SET applies twice.
-            KvsWorkload::new(params).with_double_apply_bug()
-        } else {
-            KvsWorkload::new(params).with_recovery_bug()
-        };
-        vec![Box::new(workload)]
+        // Self-test mode: build the named oracle (default gpKVS) with its
+        // recovery deliberately broken — a dropped undo-log entry, or under
+        // `--double-recovery` a bypassed detectable-op skip check so a
+        // resubmitted op applies twice.
+        let name = opts.workload.as_deref().unwrap_or("gpKVS");
+        match buggy_oracle(name, opts.double_recovery, scale) {
+            Some(o) => vec![o],
+            None => {
+                eprintln!(
+                    "no injectable-bug variant of {name:?} for this mode; workloads: {}",
+                    oracle_names().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
     } else {
         oracle_suite(scale)
     };
     if let Some(name) = &opts.workload {
         oracles.retain(|o| o.name().eq_ignore_ascii_case(name));
         if oracles.is_empty() {
-            eprintln!("no oracle named {name:?}");
+            eprintln!(
+                "no oracle named {name:?}; workloads: {}",
+                oracle_names().join(", ")
+            );
             std::process::exit(2);
         }
     }

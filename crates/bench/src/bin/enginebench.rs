@@ -38,8 +38,8 @@ use gpm_gpu::{
 };
 use gpm_sim::{chrome_trace_json, Addr, Machine, Ns, RingSink, SimResult};
 use gpm_workloads::{
-    run_iterative, suite, DbOp, DbParams, DbWorkload, DnnParams, DnnWorkload, KvsParams,
-    KvsWorkload, Mode, Scale,
+    run_iterative, suite, AnalyticsParams, AnalyticsWorkload, DbOp, DbParams, DbWorkload,
+    DnnParams, DnnWorkload, KvsParams, KvsWorkload, Mode, Scale,
 };
 
 /// Default timed repetitions per bench (the best wall time is reported,
@@ -563,6 +563,22 @@ fn workload_db(name: &'static str, op: DbOp, model: PersistencyModel, reps: usiz
     })
 }
 
+/// gpAnalytics at evaluation scale under an explicitly pinned persistency
+/// model. The event-fold kernel journals every packed event and publishes
+/// 32-byte session slots, so the Epoch leg shows how much of the strict
+/// leg's time is per-slot HCL commit fences on the session store.
+fn workload_analytics(name: &'static str, model: PersistencyModel, reps: usize) -> BenchResult {
+    bench(name, 0, reps, move || {
+        pinned_single_thread(|| {
+            let w = AnalyticsWorkload::new(AnalyticsParams::default().with_persistency(model));
+            let mut m = Machine::default();
+            let metrics = w.run(&mut m, Mode::Gpm).unwrap();
+            assert!(metrics.verified, "gpAnalytics verification failed");
+            (metrics.pm_write_bytes_total() / 8, metrics.elapsed)
+        })
+    })
+}
+
 // ---- detectable-op engine-thread scaling ------------------------------------
 //
 // The gpKVS batch and gpDB update kernels ride the detectable-op layer and
@@ -846,6 +862,12 @@ fn main() {
                 PersistencyModel::Epoch,
                 r,
             )
+        }),
+        ("analytics_strict", |r, _| {
+            workload_analytics("analytics_strict", PersistencyModel::Strict, r)
+        }),
+        ("analytics_epoch", |r, _| {
+            workload_analytics("analytics_epoch", PersistencyModel::Epoch, r)
         }),
         ("parallel_kvs_seq", |r, _| {
             parallel_kvs("parallel_kvs_seq", 1, r)

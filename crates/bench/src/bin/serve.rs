@@ -131,9 +131,12 @@ fn traffic(seed: u64, load_mops: f64, n_requests: u64, shape: ArrivalShape) -> T
     }
 }
 
+/// The reported latency tail, pulled in one histogram pass.
+const REPORT_QS: [f64; 4] = [0.50, 0.95, 0.99, 0.999];
+
 fn point_json(p: &Point, slo: Ns) -> String {
     let o = &p.out;
-    let h = &o.hist;
+    let q = o.hist.quantiles(&REPORT_QS);
     format!(
         "{{\"shards\": {}, \"policy\": \"{}\", \"load_mops\": {:.3}, \
          \"offered\": {}, \"completed\": {}, \"shed\": {}, \"shed_rate\": {:.6}, \
@@ -148,10 +151,10 @@ fn point_json(p: &Point, slo: Ns) -> String {
         o.shed,
         o.shed_rate(),
         o.throughput_ops_per_sec() / 1e6,
-        h.percentile(0.50).as_micros(),
-        h.percentile(0.95).as_micros(),
-        h.percentile(0.99).as_micros(),
-        h.percentile(0.999).as_micros(),
+        q[0].as_micros(),
+        q[1].as_micros(),
+        q[2].as_micros(),
+        q[3].as_micros(),
         o.slo_attainment(slo),
         o.batches,
         o.retries,
@@ -273,6 +276,42 @@ fn main() {
         faults.hist.percentile(0.99)
     );
 
+    // gpAnalytics mixed-tenant scenario: behavioral events and gpKVS OLTP
+    // traffic share one diurnal arrival stream and the same shards; each
+    // shard folds sessions/funnels into its PM session store right next to
+    // the KVS hash table, and the cohort aggregates come back from the
+    // persistent state (all simulated counters, so the section is
+    // byte-deterministic like the rest of the JSON).
+    let an_event_permille = 400;
+    let an_cfg = ClusterConfig {
+        shards: 2,
+        backend: BackendKind::Mixed,
+        kvs: KvsParams::quick(),
+        ..base
+    };
+    let an_reqs = traffic(
+        opts.seed,
+        1.0,
+        n_requests.min(6_000),
+        ArrivalShape::Diurnal {
+            period: Ns::from_millis(4.0),
+            amplitude: 0.8,
+        },
+    )
+    .generate_mixed(6, an_event_permille);
+    let an_out = run_cluster(&an_cfg, &an_reqs).expect("analytics run failed");
+    let cohorts = an_out.cohorts.expect("mixed backend reports cohorts");
+    println!(
+        "  analytics: {} events journaled over {} requests, {} sessions / {} users, \
+         {} funnel completions, p99={}",
+        an_out.journaled_events,
+        an_out.offered,
+        cohorts.sessions,
+        cohorts.users,
+        cohorts.completions,
+        an_out.hist.percentile(0.99)
+    );
+
     // One gpDB INSERT point (the other backend through the same stack).
     let db_cfg = ClusterConfig {
         shards: 1,
@@ -373,6 +412,8 @@ fn main() {
                 retries: out.retries,
                 batches: out.batches,
                 makespan: out.makespan,
+                cohorts: None,
+                journaled_events: 0,
                 shards: Vec::new(),
             },
         };
@@ -401,6 +442,27 @@ fn main() {
         db_out.shed,
         db_out.hist.percentile(0.99).as_micros(),
         db_out.throughput_ops_per_sec() / 1e6
+    );
+    let an_q = an_out.hist.quantiles(&REPORT_QS);
+    let _ = writeln!(
+        json,
+        "  \"analytics\": {{\"shards\": 2, \"shape\": \"diurnal\", \
+         \"event_permille\": {an_event_permille}, \"offered\": {}, \"completed\": {}, \
+         \"shed\": {}, \"journaled_events\": {}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+         \"cohorts\": {{\"users\": {}, \"sessions\": {}, \"retained\": {}, \
+         \"completions\": {}, \"matched\": {}}}, \"makespan_ms\": {:.4}}},",
+        an_out.offered,
+        an_out.completed,
+        an_out.shed,
+        an_out.journaled_events,
+        an_q[0].as_micros(),
+        an_q[2].as_micros(),
+        cohorts.users,
+        cohorts.sessions,
+        cohorts.retained,
+        cohorts.completions,
+        cohorts.matched,
+        an_out.makespan.as_millis(),
     );
     let _ = writeln!(json, "  \"knees\": [\n{knees}\n  ]");
     json.push_str("}\n");

@@ -151,6 +151,72 @@ impl TrafficConfig {
         })
     }
 
+    /// Generates a gpAnalytics behavioral-event stream: arrival instants
+    /// from the configured shape, events from the shared
+    /// [`EventTrace`](gpm_workloads::datagen::EventTrace) model
+    /// (`key_space` users, `key_skew` popularity — defaulting to the
+    /// analytics workload's 0.9 — `types` event types), so the serve
+    /// tenant and the closed-loop analytics kernels fold statistically
+    /// identical traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate, a zero key space or zero `types`.
+    pub fn generate_events(&self, types: u32) -> Vec<Request> {
+        let mut trace = gpm_workloads::datagen::EventTrace::new(
+            self.key_space,
+            self.key_skew.unwrap_or(0.9),
+            types,
+            self.seed,
+        );
+        self.stream(|_, _| {
+            let e = trace.next_event();
+            Op::Event {
+                user: e.user,
+                etype: e.etype,
+                ts: e.ts,
+            }
+        })
+    }
+
+    /// Generates the mixed-tenant stream: one arrival process (so both
+    /// tenants ride the same diurnal/bursty shape), with each request
+    /// drawn as an analytics [`Op::Event`] with probability
+    /// `event_permille`/1000 and a gpKVS PUT/GET otherwise. Event users
+    /// come from the shared behavioral trace; KVS keys from the
+    /// configured key distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate, a zero key space or zero `types`.
+    pub fn generate_mixed(&self, types: u32, event_permille: u32) -> Vec<Request> {
+        let mut trace = gpm_workloads::datagen::EventTrace::new(
+            self.key_space,
+            self.key_skew.unwrap_or(0.9),
+            types,
+            self.seed ^ 0xA11A,
+        );
+        self.stream(|rng, id| {
+            if rng.gen_f64() * 1000.0 < event_permille as f64 {
+                let e = trace.next_event();
+                Op::Event {
+                    user: e.user,
+                    etype: e.etype,
+                    ts: e.ts,
+                }
+            } else {
+                let key =
+                    gpm_pmkv::hash64(rng.gen_range_u64(self.key_space).wrapping_mul(0x9E37)) | 1;
+                if rng.gen_f64() * 1000.0 < self.get_permille as f64 {
+                    Op::Get { key }
+                } else {
+                    let value = key.wrapping_mul(2_654_435_761).wrapping_add(id);
+                    Op::Put { key, value }
+                }
+            }
+        })
+    }
+
     fn stream(&self, mut op: impl FnMut(&mut Xoshiro256StarStar, u64) -> Op) -> Vec<Request> {
         assert!(self.rate_ops_per_sec > 0.0, "offered load must be positive");
         assert!(self.key_space > 0, "need at least one key");
@@ -276,5 +342,49 @@ mod tests {
     fn insert_stream_is_pure_inserts() {
         let reqs = TrafficConfig::quick(4).generate_inserts(16);
         assert!(reqs.iter().all(|r| r.op == Op::Insert { rows: 16 }));
+    }
+
+    #[test]
+    fn event_stream_is_deterministic_and_well_formed() {
+        let cfg = TrafficConfig::quick(13);
+        let reqs = cfg.generate_events(6);
+        assert_eq!(reqs, cfg.generate_events(6), "same seed, same stream");
+        let mut last_ts = std::collections::HashMap::new();
+        for r in &reqs {
+            match r.op {
+                Op::Event { user, etype, ts } => {
+                    assert!(user >= 1 && user <= cfg.key_space);
+                    assert!(etype < 6);
+                    if let Some(&prev) = last_ts.get(&user) {
+                        assert!(ts > prev, "per-user timestamps must be monotone");
+                    }
+                    last_ts.insert(user, ts);
+                }
+                _ => panic!("event stream must be pure events"),
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_stream_carries_both_tenants() {
+        let reqs = TrafficConfig::quick(17).generate_mixed(6, 500);
+        let events = reqs
+            .iter()
+            .filter(|r| matches!(r.op, Op::Event { .. }))
+            .count();
+        let kvs = reqs.len() - events;
+        let frac = events as f64 / reqs.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "event fraction {frac:.3}");
+        assert!(kvs > 0);
+        // Per-user timestamps stay monotone even interleaved with KVS ops.
+        let mut last_ts = std::collections::HashMap::new();
+        for r in &reqs {
+            if let Op::Event { user, ts, .. } = r.op {
+                if let Some(&prev) = last_ts.get(&user) {
+                    assert!(ts > prev);
+                }
+                last_ts.insert(user, ts);
+            }
+        }
     }
 }

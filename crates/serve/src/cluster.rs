@@ -6,7 +6,9 @@
 //! identical to a concurrent run, and keeps it bit-deterministic.
 
 use gpm_sim::{Ns, RingSink, SimResult};
-use gpm_workloads::{DbOp, DbParams, KvsParams, LatencyHistogram, Mode};
+use gpm_workloads::{
+    AnalyticsParams, CohortStats, DbOp, DbParams, KvsParams, LatencyHistogram, Mode,
+};
 
 use crate::request::{Op, Request};
 use crate::router::Router;
@@ -20,6 +22,12 @@ pub enum BackendKind {
     Kvs,
     /// gpDB shards (INSERT).
     Db,
+    /// gpAnalytics shards (behavioral events over a persistent session
+    /// store + PM journal).
+    Analytics,
+    /// Mixed-tenant shards: a gpKVS OLTP instance and a gpAnalytics
+    /// session store sharing every machine, fed from one routed stream.
+    Mixed,
 }
 
 /// Cluster configuration.
@@ -41,6 +49,9 @@ pub struct ClusterConfig {
     /// gpDB sizing (table capacity is sized to the routed stream
     /// automatically).
     pub db: DbParams,
+    /// gpAnalytics sizing (the PM journal is sized to the routed stream
+    /// automatically via `batches`).
+    pub analytics: AnalyticsParams,
     /// When set, install a bounded `RingSink` of this capacity on every
     /// shard's machine before serving; each `ShardReport` then carries
     /// the shard's `TraceData`.
@@ -66,6 +77,7 @@ impl ClusterConfig {
             backend: BackendKind::Kvs,
             kvs: KvsParams::quick(),
             db: DbParams::quick(),
+            analytics: AnalyticsParams::quick(),
             trace_events: None,
             persistency: None,
         }
@@ -89,6 +101,12 @@ pub struct ClusterOutcome {
     pub batches: u64,
     /// Slowest shard's finish time (the cluster's makespan).
     pub makespan: Ns,
+    /// Merged behavioral cohort aggregates read back from the persistent
+    /// session stores (`Some` for analytics/mixed backends). Users are
+    /// partitioned by shard, so summing the per-shard reports is exact.
+    pub cohorts: Option<CohortStats>,
+    /// Events durably journaled across all shards' committed batches.
+    pub journaled_events: u64,
     /// Per-shard reports.
     pub shards: Vec<ShardReport>,
 }
@@ -135,6 +153,8 @@ pub fn run_cluster(cfg: &ClusterConfig, requests: &[Request]) -> SimResult<Clust
         retries: 0,
         batches: 0,
         makespan: Ns::ZERO,
+        cohorts: None,
+        journaled_events: 0,
         shards: Vec::with_capacity(streams.len()),
     };
     for stream in &streams {
@@ -165,6 +185,33 @@ pub fn run_cluster(cfg: &ClusterConfig, requests: &[Request]) -> SimResult<Clust
                 };
                 Shard::new_db(params, cfg.mode)?
             }
+            BackendKind::Analytics | BackendKind::Mixed => {
+                // Size the PM journal for the routed events plus a batch
+                // of headroom: committed batches append exactly their
+                // event count (retries rewrite in place).
+                let routed = stream
+                    .iter()
+                    .filter(|r| matches!(r.op, Op::Event { .. }))
+                    .count() as u64;
+                let epb = cfg.analytics.events_per_batch;
+                let an = AnalyticsParams {
+                    batches: (routed / epb + 2)
+                        .try_into()
+                        .expect("journal batch count fits u32"),
+                    persistency: cfg.persistency.or(cfg.analytics.persistency),
+                    ..cfg.analytics
+                };
+                if cfg.backend == BackendKind::Analytics {
+                    Shard::new_analytics(an, cfg.mode)?
+                } else {
+                    let kvs = KvsParams {
+                        ops_per_batch: cfg.policy.max_batch,
+                        persistency: cfg.persistency.or(cfg.kvs.persistency),
+                        ..cfg.kvs
+                    };
+                    Shard::new_mixed(kvs, an, cfg.mode)?
+                }
+            }
         };
         if let Some(cap) = cfg.trace_events {
             // Installed after boot so the traced window (and its stats
@@ -172,6 +219,15 @@ pub fn run_cluster(cfg: &ClusterConfig, requests: &[Request]) -> SimResult<Clust
             shard.machine.set_trace_sink(Box::new(RingSink::new(cap)));
         }
         let report = serve_shard(&mut shard, stream, &cfg.policy, &cfg.faults)?;
+        if let Some(c) = shard.cohort_stats()? {
+            let agg = outcome.cohorts.get_or_insert(CohortStats::default());
+            agg.users += c.users;
+            agg.sessions += c.sessions;
+            agg.retained += c.retained;
+            agg.completions += c.completions;
+            agg.matched += c.matched;
+        }
+        outcome.journaled_events += shard.journaled_events();
         outcome.hist.merge(&report.hist);
         outcome.offered += report.offered;
         outcome.completed += report.completed;
@@ -233,6 +289,66 @@ mod tests {
             strict.makespan, epoch.makespan,
             "epoch model did not reach the shards' launches"
         );
+    }
+
+    #[test]
+    fn analytics_cluster_folds_the_event_stream() {
+        let cfg = ClusterConfig {
+            backend: BackendKind::Analytics,
+            ..ClusterConfig::quick()
+        };
+        let reqs = TrafficConfig {
+            key_space: 256,
+            ..TrafficConfig::quick(21)
+        }
+        .generate_events(6);
+        let out = run_cluster(&cfg, &reqs).unwrap();
+        assert_eq!(out.completed + out.shed, out.offered);
+        assert_eq!(
+            out.journaled_events, out.completed,
+            "every completed event is durably journaled exactly once"
+        );
+        let stats = out.cohorts.expect("analytics backend reports cohorts");
+        assert!(stats.users > 0 && stats.users <= 256);
+        assert!(stats.sessions >= stats.users, "each user opens a session");
+        assert!(stats.completions > 0, "the trace completes funnels");
+    }
+
+    #[test]
+    fn mixed_cluster_is_deterministic_and_serves_both_tenants() {
+        let cfg = ClusterConfig {
+            backend: BackendKind::Mixed,
+            ..ClusterConfig::quick()
+        };
+        let reqs = TrafficConfig {
+            key_space: 256,
+            ..TrafficConfig::quick(23)
+        }
+        .generate_mixed(6, 400);
+        let out = run_cluster(&cfg, &reqs).unwrap();
+        assert_eq!(out.completed + out.shed, out.offered);
+        let events_offered = reqs
+            .iter()
+            .filter(|r| matches!(r.op, Op::Event { .. }))
+            .count() as u64;
+        assert!(out.journaled_events <= events_offered);
+        assert!(out.journaled_events > 0, "events reached the journal");
+        assert!(out.cohorts.is_some());
+        // GETs are answered from the KVS tenant: some response carries a
+        // value (the stream has PUT-then-GET key reuse).
+        let answered = out
+            .shards
+            .iter()
+            .flat_map(|s| &s.responses)
+            .filter(|r| matches!(r.verdict, crate::request::Verdict::Done(Some(v)) if v != 0))
+            .count();
+        assert!(answered > 0, "no GET observed a PUT");
+        // Bit-determinism: the same stream replays to identical counters.
+        let out2 = run_cluster(&cfg, &reqs).unwrap();
+        assert_eq!(out.completed, out2.completed);
+        assert_eq!(out.makespan, out2.makespan);
+        assert_eq!(out.cohorts, out2.cohorts);
+        assert_eq!(out.journaled_events, out2.journaled_events);
     }
 
     #[test]

@@ -35,17 +35,30 @@ pub enum Op {
         /// Rows this request appends.
         rows: u64,
     },
+    /// gpAnalytics behavioral event: fold one user event into the shard's
+    /// persistent session store (and journal it).
+    Event {
+        /// User identifier (`1..`; 0 is the session-store sentinel).
+        user: u64,
+        /// Event type.
+        etype: u32,
+        /// Client-side timestamp in ticks (monotone per user).
+        ts: u64,
+    },
 }
 
 impl Op {
     /// The 64-bit routing key the shard router hashes. KVS operations
     /// route by key (all operations on a key land on one shard, so reads
-    /// observe that shard's writes); INSERTs are append-only and spread by
+    /// observe that shard's writes); events route by user (a user's
+    /// session state lives on exactly one shard, which keeps the per-user
+    /// fold timestamp-ordered); INSERTs are append-only and spread by
     /// request id.
     pub fn route_key(&self, id: RequestId) -> u64 {
         match *self {
             Op::Put { key, .. } | Op::Get { key } => key,
             Op::Insert { .. } => id,
+            Op::Event { user, .. } => user,
         }
     }
 
@@ -106,6 +119,16 @@ mod tests {
         assert_eq!(Op::Put { key: 7, value: 1 }.route_key(99), 7);
         assert_eq!(Op::Get { key: 7 }.route_key(99), 7);
         assert_eq!(Op::Insert { rows: 4 }.route_key(99), 99);
+        assert_eq!(
+            Op::Event {
+                user: 5,
+                etype: 2,
+                ts: 31,
+            }
+            .route_key(99),
+            5,
+            "a user's events pin to one shard"
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@
 
 use gpm_gpu::{FuelGauge, LaunchError};
 use gpm_sim::{Machine, Ns, SimError, SimResult};
-use gpm_workloads::{DbOp, DbState, DbWorkload, KvsOp, KvsState, KvsWorkload, Mode};
+use gpm_workloads::datagen::UserEvent;
+use gpm_workloads::{
+    AnalyticsState, AnalyticsWorkload, CohortStats, DbOp, DbState, DbWorkload, KvsOp, KvsState,
+    KvsWorkload, Mode,
+};
 
 use crate::request::{Op, Request};
 
@@ -34,6 +38,32 @@ enum Backend {
         workload: DbWorkload,
         st: DbState,
         rows: u64,
+    },
+    Analytics {
+        workload: AnalyticsWorkload,
+        st: AnalyticsState,
+        /// Next free event slot of the PM journal; advances only when a
+        /// batch commits, so a retried batch rewrites its own slots
+        /// (idempotent byte-identical appends).
+        journal_base: u64,
+    },
+    /// Two tenants on one machine (the shared-shard scenario): a gpKVS
+    /// OLTP instance and a gpAnalytics session store, each with its own
+    /// PM namespace, epoch flag and undo log, fed from one mixed batch.
+    Mixed {
+        kvs: KvsWorkload,
+        /// Boxed to keep the enum's variant sizes comparable (`KvsState`
+        /// carries the HBM mirror layout inline).
+        kvs_st: Box<KvsState>,
+        analytics: AnalyticsWorkload,
+        an_st: AnalyticsState,
+        journal_base: u64,
+        /// Volatile marker: the batch sequence number whose KVS leg has
+        /// already committed. A crash in the analytics leg retries the
+        /// batch without relaunching the committed KVS leg (the
+        /// detectable ops would make a rerun exactly-once anyway; the
+        /// marker just skips the wasted launches).
+        kvs_done_for: Option<u64>,
     },
 }
 
@@ -138,6 +168,69 @@ impl Shard {
         })
     }
 
+    /// A fresh gpAnalytics shard on a fresh machine. Analytics shards are
+    /// GPM-only: the session-store fold runs on the detectable-op
+    /// protocol, which needs in-kernel persistence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup errors; rejects non-GPM modes.
+    pub fn new_analytics(params: gpm_workloads::AnalyticsParams, mode: Mode) -> SimResult<Shard> {
+        if mode != Mode::Gpm {
+            return Err(SimError::Invalid("analytics shards are GPM-only"));
+        }
+        let mut machine = Machine::default();
+        let workload = AnalyticsWorkload::new(params);
+        let st = workload.setup(&mut machine)?;
+        Ok(Shard {
+            machine,
+            backend: Backend::Analytics {
+                workload,
+                st,
+                journal_base: 0,
+            },
+            mode,
+            seq: 0,
+            recovery: None,
+        })
+    }
+
+    /// A fresh mixed-tenant shard: a gpKVS instance and a gpAnalytics
+    /// session store sharing one machine (distinct PM namespaces). GPM
+    /// only, like [`new_analytics`](Shard::new_analytics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup errors; rejects non-GPM modes.
+    pub fn new_mixed(
+        kvs_params: gpm_workloads::KvsParams,
+        an_params: gpm_workloads::AnalyticsParams,
+        mode: Mode,
+    ) -> SimResult<Shard> {
+        if mode != Mode::Gpm {
+            return Err(SimError::Invalid("mixed-tenant shards are GPM-only"));
+        }
+        let mut machine = Machine::default();
+        let kvs = KvsWorkload::new(kvs_params);
+        let kvs_st = kvs.setup(&mut machine, mode)?;
+        let analytics = AnalyticsWorkload::new(an_params);
+        let an_st = analytics.setup(&mut machine)?;
+        Ok(Shard {
+            machine,
+            backend: Backend::Mixed {
+                kvs,
+                kvs_st: Box::new(kvs_st),
+                analytics,
+                an_st,
+                journal_base: 0,
+                kvs_done_for: None,
+            },
+            mode,
+            seq: 0,
+            recovery: None,
+        })
+    }
+
     /// Simulated time recovery took at boot, if this shard booted over an
     /// existing image.
     pub fn recovery(&self) -> Option<Ns> {
@@ -155,6 +248,40 @@ impl Shard {
         match &self.backend {
             Backend::Kvs { workload, .. } => workload.params.ops_per_batch,
             Backend::Db { .. } => u64::MAX,
+            Backend::Analytics { workload, .. } => workload.params.events_per_batch,
+            Backend::Mixed { kvs, analytics, .. } => kvs
+                .params
+                .ops_per_batch
+                .min(analytics.params.events_per_batch),
+        }
+    }
+
+    /// Behavioral-cohort aggregates from the shard's persistent session
+    /// store (`Some` on analytics and mixed shards, `None` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn cohort_stats(&self) -> SimResult<Option<CohortStats>> {
+        match &self.backend {
+            Backend::Analytics { workload, st, .. } => {
+                workload.cohort_stats(&self.machine, st).map(Some)
+            }
+            Backend::Mixed {
+                analytics, an_st, ..
+            } => analytics.cohort_stats(&self.machine, an_st).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Events durably journaled by committed batches (0 on non-analytics
+    /// shards).
+    pub fn journaled_events(&self) -> u64 {
+        match &self.backend {
+            Backend::Analytics { journal_base, .. } | Backend::Mixed { journal_base, .. } => {
+                *journal_base
+            }
+            _ => 0,
         }
     }
 
@@ -177,9 +304,9 @@ impl Shard {
                     .map(|r| match r.op {
                         Op::Put { key, value } => Ok((key, value, false)),
                         Op::Get { key } => Ok((key, 0, true)),
-                        Op::Insert { .. } => Err(LaunchError::Sim(SimError::Invalid(
-                            "INSERT routed to a gpKVS shard",
-                        ))),
+                        Op::Insert { .. } | Op::Event { .. } => Err(LaunchError::Sim(
+                            SimError::Invalid("non-KVS op routed to a gpKVS shard"),
+                        )),
                     })
                     .collect::<Result<_, _>>()?;
                 workload.apply_batch_gauged(
@@ -212,6 +339,77 @@ impl Shard {
                     self.mode,
                     gauge,
                 )?;
+            }
+            Backend::Analytics {
+                workload,
+                st,
+                journal_base,
+            } => {
+                let events: Vec<UserEvent> = batch
+                    .iter()
+                    .map(|r| match r.op {
+                        Op::Event { user, etype, ts } => Ok(UserEvent { user, etype, ts }),
+                        _ => Err(LaunchError::Sim(SimError::Invalid(
+                            "non-Event routed to an analytics shard",
+                        ))),
+                    })
+                    .collect::<Result<_, _>>()?;
+                workload.apply_batch_gauged(
+                    &mut self.machine,
+                    st,
+                    self.seq,
+                    *journal_base,
+                    &events,
+                    gauge,
+                )?;
+                *journal_base += events.len() as u64;
+            }
+            Backend::Mixed {
+                kvs,
+                kvs_st,
+                analytics,
+                an_st,
+                journal_base,
+                kvs_done_for,
+            } => {
+                let mut ops: Vec<KvsOp> = Vec::new();
+                let mut events: Vec<UserEvent> = Vec::new();
+                for r in batch {
+                    match r.op {
+                        Op::Put { key, value } => ops.push((key, value, false)),
+                        Op::Get { key } => ops.push((key, 0, true)),
+                        Op::Event { user, etype, ts } => events.push(UserEvent { user, etype, ts }),
+                        Op::Insert { .. } => {
+                            return Err(LaunchError::Sim(SimError::Invalid(
+                                "INSERT routed to a mixed-tenant shard",
+                            )))
+                        }
+                    }
+                }
+                // OLTP leg first; the marker keeps a retry after a crash
+                // in the analytics leg from relaunching a committed leg.
+                if !ops.is_empty() && *kvs_done_for != Some(self.seq) {
+                    kvs.apply_batch_gauged(
+                        &mut self.machine,
+                        kvs_st,
+                        self.seq,
+                        &ops,
+                        self.mode,
+                        gauge,
+                    )?;
+                    *kvs_done_for = Some(self.seq);
+                }
+                if !events.is_empty() {
+                    analytics.apply_batch_gauged(
+                        &mut self.machine,
+                        an_st,
+                        self.seq,
+                        *journal_base,
+                        &events,
+                        gauge,
+                    )?;
+                    *journal_base += events.len() as u64;
+                }
             }
         }
         self.seq += 1;
@@ -248,6 +446,21 @@ impl Shard {
                 }
                 *rows = st.durable_rows(&self.machine)?;
             }
+            Backend::Analytics { workload, st, .. } => {
+                workload.recover_for_retry(&mut self.machine, st)?;
+            }
+            Backend::Mixed {
+                kvs,
+                kvs_st,
+                analytics,
+                an_st,
+                ..
+            } => {
+                // Both tenants prepare for retry; each path is idempotent
+                // on a tenant whose leg never started or already committed.
+                kvs.recover_for_retry(&mut self.machine, kvs_st)?;
+                analytics.recover_for_retry(&mut self.machine, an_st)?;
+            }
         }
         Ok(self.machine.clock.now() - t0)
     }
@@ -271,7 +484,28 @@ impl Shard {
                     }
                 })
                 .collect(),
-            Backend::Db { .. } => Ok(vec![None; batch.len()]),
+            Backend::Db { .. } | Backend::Analytics { .. } => Ok(vec![None; batch.len()]),
+            Backend::Mixed { kvs, kvs_st, .. } => {
+                // GET results index into the KVS leg's ops buffer, which
+                // holds the batch's PUTs and GETs in order (events are
+                // routed to the analytics leg and answer `None`).
+                let mut ki = 0u64;
+                batch
+                    .iter()
+                    .map(|r| match r.op {
+                        Op::Get { .. } => {
+                            let v = kvs.get_result(&self.machine, kvs_st, ki)?;
+                            ki += 1;
+                            Ok(Some(v))
+                        }
+                        Op::Put { .. } => {
+                            ki += 1;
+                            Ok(None)
+                        }
+                        _ => Ok(None),
+                    })
+                    .collect()
+            }
         }
     }
 
@@ -281,7 +515,7 @@ impl Shard {
     pub fn into_kvs_parts(self) -> (Machine, KvsWorkload, KvsState) {
         match self.backend {
             Backend::Kvs { workload, st } => (self.machine, workload, st),
-            Backend::Db { .. } => panic!("not a gpKVS shard"),
+            _ => panic!("not a gpKVS shard"),
         }
     }
 
@@ -291,7 +525,7 @@ impl Shard {
     pub fn into_db_parts(self) -> (Machine, DbWorkload, DbState) {
         match self.backend {
             Backend::Db { workload, st, .. } => (self.machine, workload, st),
-            Backend::Kvs { .. } => panic!("not a gpDB shard"),
+            _ => panic!("not a gpDB shard"),
         }
     }
 }
@@ -368,6 +602,68 @@ mod tests {
             s.apply(&wrong, &mut FuelGauge::Unlimited),
             Err(LaunchError::Sim(SimError::Invalid(_)))
         ));
+    }
+
+    fn event(id: u64, user: u64, etype: u32, ts: u64) -> Request {
+        Request {
+            id,
+            arrival: Ns::ZERO,
+            op: Op::Event { user, etype, ts },
+        }
+    }
+
+    #[test]
+    fn analytics_shard_folds_events_and_journals() {
+        let p = gpm_workloads::AnalyticsParams::quick();
+        let mut s = Shard::new_analytics(p, Mode::Gpm).unwrap();
+        // User 3 completes the 3-step funnel; user 4 shows up once.
+        let batch = [
+            event(0, 3, 0, 10),
+            event(1, 3, 1, 12),
+            event(2, 3, 2, 14),
+            event(3, 4, 0, 20),
+        ];
+        s.apply(&batch, &mut FuelGauge::Unlimited).unwrap();
+        assert_eq!(s.journaled_events(), 4);
+        let stats = s.cohort_stats().unwrap().expect("analytics shard");
+        assert_eq!(stats.users, 2);
+        assert_eq!(stats.completions, 1, "user 3 completed the funnel");
+        assert!(
+            Shard::new_analytics(p, Mode::CapFs).is_err(),
+            "analytics shards are GPM-only"
+        );
+        let mut s2 = Shard::new_analytics(p, Mode::Gpm).unwrap();
+        assert!(
+            s2.apply(&[put(0, 9, 9)], &mut FuelGauge::Unlimited)
+                .is_err(),
+            "non-Event ops are rejected"
+        );
+    }
+
+    #[test]
+    fn mixed_shard_serves_both_tenants_and_retries_after_crash() {
+        let an = gpm_workloads::AnalyticsParams::quick();
+        let mut s = Shard::new_mixed(KvsParams::quick(), an, Mode::Gpm).unwrap();
+        let committed = [put(0, 41, 401), event(1, 7, 0, 5)];
+        s.apply(&committed, &mut FuelGauge::Unlimited).unwrap();
+        // Crash mid-batch, recover in place, retry the same batch: the
+        // KVS value must land exactly once and the journal must advance
+        // by exactly the batch's events.
+        let batch = [
+            put(2, 42, 402),
+            event(3, 7, 1, 8),
+            get(4, 41),
+            event(5, 8, 0, 9),
+        ];
+        let err = s.apply(&batch, &mut FuelGauge::crash(6));
+        assert!(matches!(err, Err(LaunchError::Crashed(_))));
+        s.recover_in_place().unwrap();
+        s.apply(&batch, &mut FuelGauge::Unlimited).unwrap();
+        assert_eq!(s.journaled_events(), 3, "one event, then two committed");
+        let vals = s.read_gets(&batch).unwrap();
+        assert_eq!(vals, vec![None, None, Some(401), None]);
+        let stats = s.cohort_stats().unwrap().expect("mixed shard");
+        assert_eq!(stats.users, 2, "users 7 and 8 hold session state");
     }
 
     #[test]

@@ -1,10 +1,18 @@
-//! Synthetic input generation: deterministic uniform and Zipfian sources.
+//! Synthetic input generation: deterministic uniform and Zipfian sources,
+//! plus the behavioral-analytics user-event trace.
 //!
 //! The paper's KVS batches come from YCSB-style generators; real key-value
 //! traffic is skewed, and skew changes the PM story (hot keys concentrate
 //! updates into fewer cache lines, which coalesce and write-combine better).
 //! [`Zipf`] provides a deterministic Zipfian sampler used by gpKVS's skewed
-//! configuration and the `kvs_throughput` bench.
+//! configuration and the `kvs_throughput` bench. [`EventTrace`] layers a
+//! user-behaviour model on top of it — Zipfian user popularity, a per-user
+//! Markov chain over event types, and per-user inter-arrival gaps — and is
+//! the one event source shared by the gpAnalytics kernels (closed-loop
+//! batches) and the `gpm-serve` analytics tenant (open-loop stream), so the
+//! two paths fold identical traces.
+
+use std::collections::HashMap;
 
 /// A Zipf(θ) sampler over ranks `0..n`, using the cumulative-table method
 /// (exact, O(n) setup, O(log n) per sample, deterministic).
@@ -66,6 +74,121 @@ pub fn uniform01(i: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// One simulated user event: who did what, on the *client's* clock.
+///
+/// `ts` is a logical per-user tick (clients stamp events locally; the
+/// serving arrival instant is a separate, unrelated clock), monotone per
+/// user, bounded to [`EventTrace::TS_BITS`] bits so a whole event packs
+/// into one `u64` PM journal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserEvent {
+    /// User identifier in `1..=users` (0 is reserved as the session-store
+    /// empty/sentinel key).
+    pub user: u64,
+    /// Event type in `0..types`.
+    pub etype: u32,
+    /// Client-side timestamp in ticks (monotone per user).
+    pub ts: u64,
+}
+
+/// A seeded behavioral-analytics event trace: Zipfian user popularity, a
+/// per-user Markov chain over event types, and per-user inter-arrival
+/// gaps. Events are generated in stream order; per-user subsequences are
+/// timestamp-monotone, which is all the sessionize/funnel state machines
+/// require.
+///
+/// The Markov chain is funnel-friendly: from state `s` a user advances to
+/// `s + 1` with probability `advance`, restarts at type 0 with probability
+/// `restart`, and otherwise jumps uniformly — so multi-step funnels
+/// actually complete at a measurable rate instead of almost never.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_workloads::datagen::EventTrace;
+/// let mut a = EventTrace::new(64, 0.9, 6, 7);
+/// let mut b = EventTrace::new(64, 0.9, 6, 7);
+/// assert_eq!(a.next_event(), b.next_event(), "same seed, same trace");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    zipf: Zipf,
+    types: u32,
+    seed: u64,
+    pos: u64,
+    /// Per-user `(markov state, clock ticks)`.
+    state: HashMap<u64, (u32, u64)>,
+}
+
+impl EventTrace {
+    /// Bits of [`UserEvent::ts`]: timestamps saturate at `2^26 - 1` ticks
+    /// so a packed event (user, type, ts) fits one 64-bit journal word.
+    pub const TS_BITS: u32 = 26;
+
+    /// Probability the Markov chain advances to the next event type.
+    const ADVANCE: f64 = 0.55;
+    /// Probability the chain restarts at type 0 (a new visit).
+    const RESTART: f64 = 0.25;
+    /// Mean inter-arrival gap in ticks (geometric, in `1..=2·MEAN - 1`).
+    const MEAN_GAP: u64 = 16;
+
+    /// Builds the trace: `users` distinct users with Zipf(`theta`)
+    /// popularity, `types` event types, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is zero (via [`Zipf::new`]) or `types` is zero.
+    pub fn new(users: u64, theta: f64, types: u32, seed: u64) -> EventTrace {
+        assert!(types > 0, "need at least one event type");
+        EventTrace {
+            zipf: Zipf::new(users, theta),
+            types,
+            seed,
+            pos: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct users.
+    pub fn users(&self) -> u64 {
+        self.zipf.n()
+    }
+
+    fn u01(&self, salt: u64) -> f64 {
+        uniform01(
+            gpm_pmkv::hash64(self.seed ^ salt).wrapping_add(self.pos.wrapping_mul(0x2545_F491)),
+        )
+    }
+
+    /// Emits the next event of the stream.
+    pub fn next_event(&mut self) -> UserEvent {
+        let user = self.zipf.sample(gpm_pmkv::hash64(self.seed) ^ self.pos) + 1;
+        let (mstate, clock) = self.state.get(&user).copied().unwrap_or((0, 0));
+        // Per-user inter-arrival: a uniform gap in [1, 2·MEAN - 1] ticks
+        // (a user's first event lands at its first gap).
+        let gap = 1 + (self.u01(0x6741) * (2 * Self::MEAN_GAP - 1) as f64) as u64;
+        let ts = (clock + gap).min((1 << Self::TS_BITS) - 1);
+        let etype = mstate % self.types;
+        // Markov step for this user's *next* event.
+        let r = self.u01(0xBEEF ^ user);
+        let next = if r < Self::ADVANCE {
+            (etype + 1) % self.types
+        } else if r < Self::ADVANCE + Self::RESTART {
+            0
+        } else {
+            (self.u01(0xC0DE ^ user) * self.types as f64) as u32 % self.types
+        };
+        self.state.insert(user, (next, ts));
+        self.pos += 1;
+        UserEvent { user, etype, ts }
+    }
+
+    /// Emits the next `n` events.
+    pub fn take_events(&mut self, n: u64) -> Vec<UserEvent> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +246,42 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_ranks_rejected() {
         Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn event_trace_is_deterministic_and_seed_sensitive() {
+        let mut a = EventTrace::new(128, 0.9, 6, 42);
+        let mut b = EventTrace::new(128, 0.9, 6, 42);
+        let mut c = EventTrace::new(128, 0.9, 6, 43);
+        let ta = a.take_events(2_000);
+        assert_eq!(ta, b.take_events(2_000), "same seed must replay exactly");
+        assert_ne!(ta, c.take_events(2_000), "a different seed must diverge");
+    }
+
+    #[test]
+    fn event_trace_users_types_and_clocks_are_well_formed() {
+        let mut g = EventTrace::new(100, 0.99, 5, 7);
+        let events = g.take_events(5_000);
+        let mut last_ts: HashMap<u64, u64> = HashMap::new();
+        let mut first_type: HashMap<u64, u32> = HashMap::new();
+        for e in &events {
+            assert!((1..=100).contains(&e.user), "user {}", e.user);
+            assert!(e.etype < 5);
+            assert!(e.ts < 1 << EventTrace::TS_BITS);
+            if let Some(&prev) = last_ts.get(&e.user) {
+                assert!(e.ts > prev, "per-user timestamps must be monotone");
+            }
+            last_ts.insert(e.user, e.ts);
+            first_type.entry(e.user).or_insert(e.etype);
+        }
+        // Every user's first event enters the funnel at type 0.
+        assert!(first_type.values().all(|&t| t == 0));
+        // Zipfian skew: the most popular user out-draws the median user.
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for e in &events {
+            *counts.entry(e.user).or_insert(0) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        assert!(*max > 2 * events.len() as u64 / 100, "skew too weak");
     }
 }

@@ -237,6 +237,46 @@ pub fn shard_set_detectable(
     value: u64,
     inject_double_apply: bool,
 ) -> SimResult<()> {
+    shard_apply_detectable(
+        ctx,
+        shard,
+        detect,
+        log,
+        op,
+        tag,
+        key,
+        |_| value,
+        inject_double_apply,
+    )
+}
+
+/// The detectable read-modify-write: folds `apply` over `key`'s current
+/// value and publishes the result, exactly once per `tag`. The closure
+/// receives `Some(value)` when the probed slot already holds `key` and
+/// `None` when the key is fresh (empty slot or eviction victim); it runs on
+/// host data and must be pure — on a retry that finds the op already
+/// applied (descriptor or record check) it is never re-invoked, which is
+/// precisely what makes non-idempotent folds (counters, state machines)
+/// safe to resubmit. Same seven-step protocol, same `inject_double_apply`
+/// self-test knob as [`shard_set_detectable`] (which is the constant-fold
+/// special case).
+///
+/// # Errors
+///
+/// Propagates platform errors; [`gpm_sim::SimError::Crashed`] under a
+/// crashing fuel gauge.
+#[allow(clippy::too_many_arguments)]
+pub fn shard_apply_detectable(
+    ctx: &mut ThreadCtx<'_>,
+    shard: &ShardDev,
+    detect: &DetectDev,
+    log: &GpmLogDev,
+    op: u64,
+    tag: u64,
+    key: u64,
+    apply: impl FnOnce(Option<u64>) -> u64,
+    inject_double_apply: bool,
+) -> SimResult<()> {
     // 1. Descriptor check: applied and marked.
     if !inject_double_apply && detect.read(ctx, op)? == tag {
         return Ok(());
@@ -254,6 +294,7 @@ pub fn shard_set_detectable(
     // 4. Undo-log the displaced slot (rollback recovery stays possible).
     log.insert(ctx, &undo_entry(set, way, old))?;
     // 5–6. Publish the record durably, then mark the descriptor.
+    let value = apply(if old[0] == key { Some(old[1]) } else { None });
     let version = if old[0] == key { old[2] + 1 } else { 1 };
     DetectableCas::publish(ctx, shard.pm_slot(set, way), key, value, version, tag)?;
     detect.mark(ctx, op, tag)?;
@@ -327,15 +368,22 @@ impl ShardModel {
 
     /// Replays one SET.
     pub fn set(&mut self, key: u64, value: u64) {
+        self.apply(key, |_| value);
+    }
+
+    /// Replays one read-modify-write ([`shard_apply_detectable`]'s host
+    /// twin): the closure sees the current value (`None` when the key is
+    /// fresh) and returns the new one.
+    pub fn apply(&mut self, key: u64, f: impl FnOnce(Option<u64>) -> u64) {
         let set = gpm_pmkv::hash64(key) % self.sets;
         let mut way = (key >> 32) % WAYS;
         let mut empty = None;
-        let mut version = 1;
+        let mut old = None;
         for w in 0..WAYS {
             let cur = self.table.get(&(set, w)).map_or(0, |e| e.0);
             if cur == key {
                 way = w;
-                version = self.table[&(set, w)].2 + 1;
+                old = Some(self.table[&(set, w)]);
                 empty = None;
                 break;
             }
@@ -346,9 +394,11 @@ impl ShardModel {
         if let Some(w) = empty {
             way = w;
         }
-        if version == 1 && self.table.get(&(set, way)).is_some_and(|e| e.0 != 0) {
+        if old.is_none() && self.table.get(&(set, way)).is_some_and(|e| e.0 != 0) {
             self.evicted = true;
         }
+        let version = old.map_or(1, |e| e.2 + 1);
+        let value = f(old.map(|e| e.1));
         self.table.insert((set, way), (key, value, version));
     }
 
@@ -556,6 +606,73 @@ mod tests {
             double_applied,
             "the injected bug must re-apply at least one op on retry"
         );
+    }
+
+    /// The RMW fold sees the prior value exactly once per apply and the
+    /// version counts applies — the contract gpAnalytics' per-user state
+    /// machines build on.
+    #[test]
+    fn model_apply_folds_over_prior_value() {
+        let mut model = ShardModel::new(SETS);
+        let key = gpm_pmkv::hash64(99) | 1;
+        model.apply(key, |old| {
+            assert_eq!(old, None, "fresh key folds from None");
+            5
+        });
+        model.apply(key, |old| old.unwrap() * 10 + 1);
+        assert_eq!(model.find(key), Some((51, 2)));
+    }
+
+    /// A crash-and-retry of an RMW batch must fold each op exactly once:
+    /// a double fold would double-increment the counter value.
+    #[test]
+    fn rmw_crash_and_retry_folds_exactly_once() {
+        for fuel in (1..300).step_by(13) {
+            let mut m = Machine::default();
+            let r = rig(&mut m);
+            let epoch = r.detect.begin_epoch(&mut m).unwrap();
+            let cfg = LaunchConfig::new(1, 32);
+            let (shard, detect, log) = (r.shard, r.detect.dev(), r.log.dev());
+            let kernel = FnKernel(move |ctx: &mut ThreadCtx<'_>| {
+                let i = ctx.global_id();
+                if i >= OPS {
+                    return Ok(());
+                }
+                let k = gpm_pmkv::hash64(i + 1) | 1;
+                shard_apply_detectable(
+                    ctx,
+                    &shard,
+                    &detect,
+                    &log,
+                    i,
+                    op_tag(epoch, i),
+                    k,
+                    |old| old.unwrap_or(100) + 1,
+                    false,
+                )
+            });
+            gpm_persist_begin(&mut m);
+            match launch_with_fuel(&mut m, cfg, &kernel, fuel) {
+                Ok(_) => {
+                    gpm_persist_end(&mut m);
+                    m.crash();
+                }
+                Err(LaunchError::Crashed(_)) => {}
+                Err(LaunchError::Sim(e)) => panic!("{e:?}"),
+            }
+            let mut buf = vec![0u8; shard_bytes(SETS) as usize];
+            m.read(Addr::pm(r.shard.pm_base), &mut buf).unwrap();
+            m.host_write(Addr::hbm(r.shard.hbm_base), &buf).unwrap();
+            gpm_persist_begin(&mut m);
+            launch(&mut m, cfg, &kernel).unwrap();
+            gpm_persist_end(&mut m);
+            for i in 0..OPS {
+                let k = gpm_pmkv::hash64(i + 1) | 1;
+                let rec = r.shard.host_find(&m, k).unwrap().expect("key present");
+                assert_eq!(rec[1], 101, "fuel={fuel}: fold must run exactly once");
+                assert_eq!(rec[2], 1, "fuel={fuel}: version must be 1");
+            }
+        }
     }
 
     #[test]

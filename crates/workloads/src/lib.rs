@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod bfs;
 pub mod blackscholes;
 pub mod cfd;
@@ -55,6 +56,7 @@ pub mod prefix_sum;
 pub mod srad;
 pub mod suite;
 
+pub use analytics::{AnalyticsParams, AnalyticsState, AnalyticsWorkload, CohortStats};
 pub use bfs::{BfsParams, BfsWorkload};
 pub use blackscholes::{BlkParams, BlkWorkload};
 pub use cfd::{CfdParams, CfdWorkload};

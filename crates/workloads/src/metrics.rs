@@ -238,6 +238,56 @@ impl LatencyHistogram {
         Ns(self.max_ns as f64)
     }
 
+    /// The quantiles for every `q` in `qs`, answered in one cumulative
+    /// pass over the buckets — each element equals
+    /// [`percentile`](LatencyHistogram::percentile)`(q)` exactly, but the
+    /// cost is O(buckets + qs·log qs) instead of O(buckets × qs). The
+    /// serve reporting paths pull four or five quantiles per histogram
+    /// across a whole sweep matrix, which is where the repeated walks
+    /// were going.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gpm_sim::Ns;
+    /// use gpm_workloads::metrics::LatencyHistogram;
+    /// let mut h = LatencyHistogram::new();
+    /// for i in 1..=100u64 {
+    ///     h.record(Ns(i as f64 * 1_000.0));
+    /// }
+    /// let q = h.quantiles(&[0.50, 0.99]);
+    /// assert_eq!(q[0], h.percentile(0.50));
+    /// assert_eq!(q[1], h.percentile(0.99));
+    /// ```
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Ns> {
+        let mut out = vec![Ns::ZERO; qs.len()];
+        if self.count == 0 {
+            return out;
+        }
+        let rank =
+            |q: f64| ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // Answer in ascending rank order so one cumulative walk serves
+        // every request; `out` keeps the caller's order.
+        let mut order: Vec<usize> = (0..qs.len()).collect();
+        order.sort_by_key(|&i| rank(qs[i]));
+        let mut seen = 0u64;
+        let mut next = 0usize;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            while next < order.len() && seen >= rank(qs[order[next]]) {
+                out[order[next]] = Ns(hist_upper(idx).min(self.max_ns) as f64);
+                next += 1;
+            }
+            if next == order.len() {
+                break;
+            }
+        }
+        for &i in &order[next..] {
+            out[i] = Ns(self.max_ns as f64);
+        }
+        out
+    }
+
     /// Fraction of samples at or below `bound` — the SLO-attainment metric.
     /// Counts whole buckets whose upper edge fits under the bound, so the
     /// result is a (tight) lower bound. An empty histogram attains every
@@ -391,6 +441,36 @@ mod tests {
             a.fraction_le(Ns(25_000.0)),
             central.fraction_le(Ns(25_000.0))
         );
+    }
+
+    #[test]
+    fn histogram_merge_then_quantiles_matches_percentile() {
+        // Shard-merge first, then pull a whole quantile vector at once:
+        // every element must equal the per-q `percentile` answer on the
+        // merged histogram (including out-of-order and duplicate qs, the
+        // clamped extremes, and q past the last bucket with samples).
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 0..5_000u64 {
+            let v = Ns((i * 131 % 1_000_000) as f64);
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        let qs = [0.99, 0.5, 0.0, 1.0, 0.5, 0.999, -0.5, 1.5];
+        let got = a.quantiles(&qs);
+        assert_eq!(got.len(), qs.len());
+        for (q, g) in qs.iter().zip(&got) {
+            assert_eq!(*g, a.percentile(*q), "q={q}");
+        }
+        assert_eq!(got[1], got[4], "duplicate qs answer identically");
+        // Empty histogram: a zero vector, same as `percentile`.
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.quantiles(&[0.5, 0.99]), vec![Ns::ZERO; 2]);
+        assert!(empty.quantiles(&[]).is_empty());
     }
 
     #[test]

@@ -16,11 +16,15 @@
 //!
 //! [`oracle_suite`] returns the full bench lineup — the same eleven
 //! configurations as Figure 9, minus the GET-mix variant (its crash
-//! behaviour is identical to gpKVS's: GETs never log).
+//! behaviour is identical to gpKVS's: GETs never log), plus the
+//! gpAnalytics session-store workload. It is the single workload registry;
+//! [`oracle_names`] is the derived view that the campaign binary's
+//! `--workload` handling and the EXPERIMENTS.md workload list consume.
 
 use gpm_gpu::LaunchError;
 use gpm_sim::{CrashPolicy, CrashSchedule, Machine, OracleVerdict, SimResult};
 
+use crate::analytics::{AnalyticsParams, AnalyticsWorkload};
 use crate::bfs::{BfsParams, BfsWorkload};
 use crate::blackscholes::{BlkParams, BlkWorkload};
 use crate::cfd::{CfdParams, CfdWorkload};
@@ -142,14 +146,24 @@ pub fn expect_clean(res: Result<(), LaunchError>) -> SimResult<()> {
 }
 
 /// The full oracle lineup at `scale`: gpKVS, gpDB (insert and update),
-/// the four checkpointing apps (DNN, CFD, BLK, HS), and the three
-/// long-running kernels (BFS, SRAD, PS).
+/// gpAnalytics, the four checkpointing apps (DNN, CFD, BLK, HS), and the
+/// three long-running kernels (BFS, SRAD, PS).
+///
+/// This is the *single* workload registry: `campaign --workload` name
+/// resolution, its unknown-name listing, and the EXPERIMENTS.md workload
+/// table all derive from it (via [`oracle_names`]), so a new oracle cannot
+/// be silently omitted from any of them.
 pub fn oracle_suite(scale: Scale) -> Vec<Box<dyn RecoveryOracle>> {
     let quick = scale == Scale::Quick;
     let kvs = if quick {
         KvsParams::quick()
     } else {
         KvsParams::default()
+    };
+    let analytics = if quick {
+        AnalyticsParams::quick()
+    } else {
+        AnalyticsParams::default()
     };
     let db = if quick {
         DbParams::quick()
@@ -181,6 +195,7 @@ pub fn oracle_suite(scale: Scale) -> Vec<Box<dyn RecoveryOracle>> {
             op: DbOp::Update,
             ..db
         })),
+        Box::new(AnalyticsWorkload::new(analytics)),
         Box::new(checkpoint_oracle(DnnWorkload::new(if quick {
             DnnParams::quick()
         } else {
@@ -207,6 +222,73 @@ pub fn oracle_suite(scale: Scale) -> Vec<Box<dyn RecoveryOracle>> {
     ]
 }
 
+/// Display names of every oracle in [`oracle_suite`], in lineup order —
+/// the derived view the campaign binary and documentation checks consume.
+pub fn oracle_names() -> Vec<&'static str> {
+    oracle_suite(Scale::Quick)
+        .iter()
+        .map(|o| o.name())
+        .collect()
+}
+
+/// A deliberately broken variant of the named oracle for the campaign's
+/// `--inject-bug` self-test: with `double_recovery` the bug is a
+/// double-applying publish (the detectable-op skip checks are bypassed),
+/// otherwise a rollback that drops the newest undo entry. Returns `None`
+/// for oracles without self-test knobs (checkpoint/iterative workloads).
+pub fn buggy_oracle(
+    name: &str,
+    double_recovery: bool,
+    scale: Scale,
+) -> Option<Box<dyn RecoveryOracle>> {
+    let quick = scale == Scale::Quick;
+    if name.eq_ignore_ascii_case("gpKVS") {
+        let params = if quick {
+            KvsParams::quick()
+        } else {
+            KvsParams::default()
+        };
+        let w = KvsWorkload::new(params);
+        return Some(Box::new(if double_recovery {
+            w.with_double_apply_bug()
+        } else {
+            w.with_recovery_bug()
+        }));
+    }
+    if name.eq_ignore_ascii_case("gpAnalytics") {
+        let params = if quick {
+            AnalyticsParams::quick()
+        } else {
+            AnalyticsParams::default()
+        };
+        let w = AnalyticsWorkload::new(params);
+        return Some(Box::new(if double_recovery {
+            w.with_double_apply_bug()
+        } else {
+            w.with_recovery_bug()
+        }));
+    }
+    // gpDB's only self-test knob is the double-applying publish.
+    if double_recovery
+        && (name.eq_ignore_ascii_case("gpDB (I)") || name.eq_ignore_ascii_case("gpDB (U)"))
+    {
+        let db = if quick {
+            DbParams::quick()
+        } else {
+            DbParams::default()
+        };
+        let op = if name.eq_ignore_ascii_case("gpDB (I)") {
+            DbOp::Insert
+        } else {
+            DbOp::Update
+        };
+        return Some(Box::new(
+            DbWorkload::new(DbParams { op, ..db }).with_double_apply_bug(),
+        ));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +312,37 @@ mod tests {
                 assert!(v.passed(), "{} fuel={mid} policy={policy}: {v:?}", o.name());
             }
         }
+    }
+
+    /// The workload list in EXPERIMENTS.md derives from the same registry:
+    /// every oracle name must appear verbatim, so a new oracle cannot ship
+    /// undocumented.
+    #[test]
+    fn experiments_doc_lists_every_oracle() {
+        let doc = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md"));
+        for name in oracle_names() {
+            assert!(
+                doc.contains(name),
+                "EXPERIMENTS.md is missing workload {name:?} — the list must cover oracle_names()"
+            );
+        }
+    }
+
+    /// Every oracle that advertises double recovery has an `--inject-bug`
+    /// self-test variant, and the registry resolves names case-insensitively.
+    #[test]
+    fn buggy_oracle_covers_double_recovery_oracles() {
+        for o in oracle_suite(Scale::Quick) {
+            if o.supports_double_recovery() {
+                assert!(
+                    buggy_oracle(o.name(), true, Scale::Quick).is_some(),
+                    "{}: no --inject-bug variant",
+                    o.name()
+                );
+            }
+        }
+        assert!(buggy_oracle("GPANALYTICS", false, Scale::Quick).is_some());
+        assert!(buggy_oracle("no-such-workload", false, Scale::Quick).is_none());
     }
 
     /// The deliberately buggy recovery (skip the newest undo entry) must be

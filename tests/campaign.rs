@@ -129,8 +129,8 @@ fn bounded_double_recovery_campaign_passes_for_supporting_oracles() {
         assert!(stats.cases > 0, "{name}: empty double-recovery campaign");
     }
     assert_eq!(
-        supported, 3,
-        "gpKVS and both gpDB oracles must support double recovery"
+        supported, 4,
+        "gpKVS, both gpDB oracles and gpAnalytics must support double recovery"
     );
 }
 

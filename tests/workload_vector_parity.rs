@@ -14,9 +14,9 @@
 
 use gpm_sim::{Machine, RingSink, SimResult};
 use gpm_workloads::{
-    run_iterative, BlkParams, BlkWorkload, CfdParams, CfdWorkload, DbParams, DbWorkload, DnnParams,
-    DnnWorkload, HotspotParams, HotspotWorkload, KvsParams, KvsWorkload, Mode, PsParams,
-    PsWorkload, RunMetrics, SradParams, SradWorkload,
+    run_iterative, AnalyticsParams, AnalyticsWorkload, BlkParams, BlkWorkload, CfdParams,
+    CfdWorkload, DbParams, DbWorkload, DnnParams, DnnWorkload, HotspotParams, HotspotWorkload,
+    KvsParams, KvsWorkload, Mode, PsParams, PsWorkload, RunMetrics, SradParams, SradWorkload,
 };
 
 /// Runs `body` on a vector-path machine and a per-lane (traced) machine and
@@ -129,6 +129,13 @@ fn kvs_stays_per_lane_and_matches() {
 }
 
 #[test]
+fn analytics_vector_parity() {
+    assert_parity("gpAnalytics", |m| {
+        AnalyticsWorkload::new(AnalyticsParams::quick()).run(m, Mode::Gpm)
+    });
+}
+
+#[test]
 fn epoch_model_keeps_parity_too() {
     // The vector path must also be invisible under the epoch persistency
     // model, where fence draining is deferred to kernel boundaries.
@@ -139,6 +146,10 @@ fn epoch_model_keeps_parity_too() {
     });
     assert_parity("gpKVS/epoch", |m| {
         KvsWorkload::new(KvsParams::quick().with_persistency(PersistencyModel::Epoch))
+            .run(m, Mode::Gpm)
+    });
+    assert_parity("gpAnalytics/epoch", |m| {
+        AnalyticsWorkload::new(AnalyticsParams::quick().with_persistency(PersistencyModel::Epoch))
             .run(m, Mode::Gpm)
     });
 }
