@@ -3,7 +3,7 @@ CARGO ?= cargo
 RUN := $(CARGO) run --release -p gpm-bench --bin
 
 .PHONY: all test bench bench-json campaign campaign-quick serve serve-quick \
-        analytics analytics-quick \
+        serve-scenarios analytics analytics-quick \
         figure_1 figure_3 figure_9 \
         figure_10 figure_11a figure_11b figure_12 table_4 table_5 checkpoint_frequency \
         recovery_stress sensitivity ycsb future_platforms
@@ -48,6 +48,18 @@ serve:
 	$(RUN) serve
 serve-quick:
 	$(RUN) serve -- --quick
+
+# Scenario gate: every registered serve scenario (replication, failover,
+# resharding, and the hostile-traffic quartet) at quick scale, one JSON
+# file each, plus the two --inject-bug self-tests that prove the
+# consistency oracle catches fabric corruption. Mirrors CI's
+# serve-scenarios matrix on one machine.
+serve-scenarios:
+	set -e; for s in $$($(RUN) serve -- --list-scenarios); do \
+	  $(RUN) serve -- --quick --scenario $$s --out scenario_$$s.json; \
+	done
+	$(RUN) serve -- --quick --scenario replication --inject-bug --out scenario_replication_bug.json
+	$(RUN) serve -- --quick --scenario resharding --inject-bug --out scenario_resharding_bug.json
 
 figure_1:
 	$(RUN) fig1a

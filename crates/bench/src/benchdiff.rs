@@ -20,6 +20,12 @@ use std::fmt::Write as _;
 /// Default relative slowdown tolerated before the gate fails (±20%).
 pub const DEFAULT_TOLERANCE: f64 = 0.20;
 
+/// Default tolerance for the `--serve` gate (±10%). Serve numbers are
+/// sim-domain and seed-deterministic, so they carry none of enginebench's
+/// wall-clock noise; the band only absorbs intentional capacity drift
+/// small enough not to warrant a fresh committed baseline.
+pub const DEFAULT_SERVE_TOLERANCE: f64 = 0.10;
+
 /// One bench extracted from a results file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchLine {
@@ -141,6 +147,57 @@ pub fn parse_benches(json: &str) -> Vec<BenchLine> {
         .collect()
 }
 
+/// Scans a `BENCH_serve.json` (schema `gpm-serve-v2`) document for its
+/// capacity-bearing lines and synthesizes stable bench names for them:
+///
+/// - sweep points → `ops/shards{N}/{policy}/load{L}` over `throughput_mops`
+/// - shape points → `ops/shards{N}/{shape}/load{L}` over `throughput_mops`
+/// - the gpDB leg → `ops/db_insert` over `throughput_mops`
+/// - knees        → `knee/shards{N}/{policy}` over `knee_load_mops`
+///
+/// A `null` knee is skipped on parse, so a knee that was measured in the
+/// baseline but vanished in the current run surfaces as a missing bench
+/// (which fails the gate). Latency/shed fields are deliberately not gated
+/// here — the scenario sections own those via the byte-identity CI check.
+#[must_use]
+pub fn parse_serve_benches(json: &str) -> Vec<BenchLine> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        if let Some(knee) = num_field(line, "knee_load_mops") {
+            let (Some(shards), Some(policy)) =
+                (num_field(line, "shards"), str_field(line, "policy"))
+            else {
+                continue;
+            };
+            out.push(BenchLine {
+                name: format!("knee/shards{shards}/{policy}"),
+                ops_per_sec: knee,
+                raw: line.to_string(),
+            });
+            continue;
+        }
+        let Some(tput) = num_field(line, "throughput_mops") else {
+            continue;
+        };
+        let name = match (num_field(line, "shards"), num_field(line, "load_mops")) {
+            (Some(shards), Some(load)) => {
+                let Some(tag) = str_field(line, "policy").or_else(|| str_field(line, "shape"))
+                else {
+                    continue;
+                };
+                format!("ops/shards{shards}/{tag}/load{load:.3}")
+            }
+            _ => "ops/db_insert".to_string(),
+        };
+        out.push(BenchLine {
+            name,
+            ops_per_sec: tput,
+            raw: line.to_string(),
+        });
+    }
+    out
+}
+
 /// Compares two enginebench JSON documents.
 ///
 /// A bench regresses when `current < baseline * (1 - tolerance)`.
@@ -152,8 +209,28 @@ pub fn parse_benches(json: &str) -> Vec<BenchLine> {
 /// Returns a message when either document contains no bench lines at all —
 /// an empty comparison would vacuously pass and hide a broken harness.
 pub fn diff(baseline: &str, current: &str, tolerance: f64) -> Result<DiffReport, String> {
-    let base = parse_benches(baseline);
-    let cur = parse_benches(current);
+    diff_lines(parse_benches(baseline), parse_benches(current), tolerance)
+}
+
+/// Compares two `BENCH_serve.json` documents over their knee and
+/// throughput lines (see [`parse_serve_benches`]).
+///
+/// # Errors
+///
+/// Returns a message when either document yields no serve bench lines.
+pub fn diff_serve(baseline: &str, current: &str, tolerance: f64) -> Result<DiffReport, String> {
+    diff_lines(
+        parse_serve_benches(baseline),
+        parse_serve_benches(current),
+        tolerance,
+    )
+}
+
+fn diff_lines(
+    base: Vec<BenchLine>,
+    cur: Vec<BenchLine>,
+    tolerance: f64,
+) -> Result<DiffReport, String> {
     if base.is_empty() {
         return Err("baseline contains no bench lines".to_string());
     }
@@ -277,5 +354,65 @@ mod tests {
         let d = doc(&[("a", 1000.0)]);
         assert!(diff("{}", &d, DEFAULT_TOLERANCE).is_err());
         assert!(diff(&d, "{}", DEFAULT_TOLERANCE).is_err());
+    }
+
+    /// A minimal serve document in the real `gpm-serve-v2` line shapes.
+    fn serve_doc(point_tput: f64, knee: &str) -> String {
+        format!(
+            "{{\n  \"schema\": \"gpm-serve-v2\",\n  \"points\": [\n    \
+             {{\"shards\": 1, \"policy\": \"b256-l100\", \"load_mops\": 0.500, \
+             \"shed_rate\": 0.000000, \"throughput_mops\": {point_tput:.4}, \
+             \"p99_us\": 120.000}}\n  ],\n  \"shapes\": [\n    \
+             {{\"shards\": 2, \"shape\": \"bursty\", \"load_mops\": 1.500, \
+             \"throughput_mops\": 1.4000}}\n  ],\n  \
+             \"db_insert\": {{\"completed\": 10, \"shed\": 0, \"p99_us\": 50.000, \
+             \"throughput_mops\": 0.9000}},\n  \"knees\": [\n    \
+             {{\"shards\": 1, \"policy\": \"b256-l100\", \"knee_load_mops\": {knee}, \
+             \"first_overload_mops\": 4.500}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn serve_parser_names_points_shapes_db_and_knees() {
+        let names: Vec<String> = parse_serve_benches(&serve_doc(0.5, "3.000"))
+            .into_iter()
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "ops/shards1/b256-l100/load0.500",
+                "ops/shards2/bursty/load1.500",
+                "ops/db_insert",
+                "knee/shards1/b256-l100",
+            ]
+        );
+    }
+
+    #[test]
+    fn serve_knee_regression_fails() {
+        let base = serve_doc(0.5, "3.000");
+        let cur = serve_doc(0.5, "2.000");
+        let report = diff_serve(&base, &cur, DEFAULT_SERVE_TOLERANCE).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].name, "knee/shards1/b256-l100");
+    }
+
+    #[test]
+    fn serve_null_knee_in_current_is_a_missing_bench() {
+        let base = serve_doc(0.5, "3.000");
+        let cur = serve_doc(0.5, "null");
+        let report = diff_serve(&base, &cur, DEFAULT_SERVE_TOLERANCE).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["knee/shards1/b256-l100".to_string()]);
+    }
+
+    #[test]
+    fn serve_identical_runs_pass() {
+        let d = serve_doc(0.5, "3.000");
+        let report = diff_serve(&d, &d, DEFAULT_SERVE_TOLERANCE).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.compared, 4);
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! Everything is simulated time and seed-deterministic: the same seed and
 //! flags produce a byte-identical `BENCH_serve.json` (schema
-//! `gpm-serve-v1`), run to run and across `GPM_ENGINE_THREADS` settings —
+//! `gpm-serve-v2`), run to run and across `GPM_ENGINE_THREADS` settings —
 //! no wall-clock field enters the JSON.
 //!
 //! Flags:
@@ -16,13 +16,19 @@
 //!   trace-event JSON (schema `gpm-trace-v1`, loadable in Perfetto)
 //! - `--persistency strict|epoch`  pin the GPU persistency model on every
 //!   shard (default: defer to `GPM_PERSISTENCY`, then strict)
+//! - `--list-scenarios`  print the scenario registry, one per line
+//! - `--scenario NAME`   run exactly one named scenario and write a
+//!   single-scenario JSON to `--out`; an unknown name exits 2
+//! - `--inject-bug`      with `--scenario replication|resharding`: inject
+//!   the fabric corruption and exit 0 iff the consistency oracle caught
+//!   it (campaign-style self-test semantics)
 
 use std::fmt::Write as _;
 
 use gpm_gpu::PersistencyModel;
 use gpm_serve::{
-    run_cluster, ArrivalShape, BackendKind, BatchPolicy, ClusterConfig, ClusterOutcome, FaultPlan,
-    TrafficConfig,
+    run_cluster, run_scenario, scenario_names, ArrivalShape, BackendKind, BatchPolicy,
+    ClusterConfig, ClusterOutcome, FaultPlan, ScenarioOutcome, TrafficConfig,
 };
 use gpm_sim::{chrome_trace_json, Ns, TraceData};
 use gpm_workloads::{DbParams, KvsParams};
@@ -34,6 +40,9 @@ struct Opts {
     out: String,
     trace: Option<String>,
     persistency: Option<PersistencyModel>,
+    scenario: Option<String>,
+    list_scenarios: bool,
+    inject_bug: bool,
 }
 
 fn parse_args() -> Opts {
@@ -44,6 +53,9 @@ fn parse_args() -> Opts {
         out: "BENCH_serve.json".to_string(),
         trace: None,
         persistency: None,
+        scenario: None,
+        list_scenarios: false,
+        inject_bug: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -73,10 +85,68 @@ fn parse_args() -> Opts {
                     other => panic!("--persistency must be strict or epoch, got {other:?}"),
                 });
             }
+            "--scenario" => opts.scenario = Some(args.next().expect("--scenario needs a name")),
+            "--list-scenarios" => opts.list_scenarios = true,
+            "--inject-bug" => opts.inject_bug = true,
             other => panic!("unknown flag {other:?}"),
         }
     }
     opts
+}
+
+/// Runs one named scenario (the `--scenario` path): writes a
+/// single-scenario `gpm-serve-v2` JSON and exits with the contract CI
+/// keys off — 2 for an unknown name, and under `--inject-bug` 0 iff the
+/// oracle caught the injected corruption.
+fn run_one_scenario(opts: &Opts) -> ! {
+    let name = opts.scenario.as_deref().expect("checked by caller");
+    let out = match run_scenario(name, opts.seed, opts.quick, opts.inject_bug) {
+        Ok(Some(out)) => out,
+        Ok(None) => {
+            eprintln!(
+                "serve: unknown scenario {name:?}; try --list-scenarios (known: {})",
+                scenario_names().join(", ")
+            );
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("serve: scenario {name} failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = format!(
+        "{{\n  \"schema\": \"gpm-serve-v2\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \
+         \"scenario\": \"{}\",\n  \"section\": \"{}\",\n  \"inject_bug\": {},\n  \"data\": {}\n}}\n",
+        if opts.quick { "quick" } else { "full" },
+        opts.seed,
+        out.name,
+        out.section,
+        opts.inject_bug,
+        out.json,
+    );
+    std::fs::write(&opts.out, &json).expect("write scenario JSON");
+    println!("wrote {} (scenario {})", opts.out, out.name);
+    if let Some(v) = &out.oracle {
+        println!("  oracle: {}", if v.passed() { "pass" } else { "FAIL" });
+    }
+    if opts.inject_bug {
+        match out.bug_caught {
+            Some(true) => {
+                println!("  injected bug was caught by the oracle — self-test passes");
+                std::process::exit(0);
+            }
+            _ => {
+                eprintln!("serve: injected bug was NOT caught — the oracle is toothless");
+                std::process::exit(1);
+            }
+        }
+    }
+    // A clean scenario whose oracle failed is a real consistency bug.
+    if out.oracle.as_ref().is_some_and(|v| !v.passed()) {
+        eprintln!("serve: scenario {name} oracle FAILED: {:?}", out.oracle);
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// A named batching policy (one sweep axis).
@@ -97,6 +167,7 @@ fn policies(quick: bool) -> Vec<NamedPolicy> {
                 max_linger: Ns::from_micros(100.0),
                 queue_cap,
                 max_retries: 3,
+                ..BatchPolicy::default()
             },
         },
         NamedPolicy {
@@ -106,6 +177,7 @@ fn policies(quick: bool) -> Vec<NamedPolicy> {
                 max_linger: Ns::from_micros(20.0),
                 queue_cap,
                 max_retries: 3,
+                ..BatchPolicy::default()
             },
         },
     ]
@@ -128,6 +200,7 @@ fn traffic(seed: u64, load_mops: f64, n_requests: u64, shape: ArrivalShape) -> T
         get_permille: 500,
         key_space: 16_384,
         key_skew: None,
+        premium_permille: 0,
     }
 }
 
@@ -164,6 +237,19 @@ fn point_json(p: &Point, slo: Ns) -> String {
 
 fn main() {
     let opts = parse_args();
+    if opts.list_scenarios {
+        for name in scenario_names() {
+            println!("{name}");
+        }
+        return;
+    }
+    if opts.scenario.is_some() {
+        run_one_scenario(&opts);
+    }
+    if opts.inject_bug {
+        eprintln!("serve: --inject-bug requires --scenario replication|resharding");
+        std::process::exit(2);
+    }
     let slo = Ns(opts.slo_us * 1_000.0);
     // Every cluster in the sweep inherits the pinned persistency model (if
     // any); `None` lets each launch resolve `GPM_PERSISTENCY`, then strict.
@@ -371,7 +457,32 @@ fn main() {
         }
     }
 
-    let mut json = String::from("{\n  \"schema\": \"gpm-serve-v1\",\n");
+    // Scenario sections: replication (steady + failover), resharding, and
+    // the hostile-traffic quartet, all at the sweep seed. Grouped by the
+    // registry's section tag so CI can `cmp` each section independently.
+    println!("serve: running {} scenarios", scenario_names().len());
+    let mut by_section: Vec<(&'static str, Vec<ScenarioOutcome>)> = vec![
+        ("replication", Vec::new()),
+        ("resharding", Vec::new()),
+        ("hostile", Vec::new()),
+    ];
+    for name in scenario_names() {
+        let out = run_scenario(name, opts.seed, opts.quick, false)
+            .expect("scenario run failed")
+            .expect("registry name is known");
+        assert!(
+            out.oracle.as_ref().is_none_or(|v| v.passed()),
+            "scenario {name} consistency oracle failed"
+        );
+        println!("  scenario {}: ok", out.name);
+        let slot = by_section
+            .iter_mut()
+            .find(|(s, _)| *s == out.section)
+            .expect("section is registered");
+        slot.1.push(out);
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"gpm-serve-v2\",\n");
     let _ = writeln!(
         json,
         "  \"scale\": \"{}\",",
@@ -464,6 +575,19 @@ fn main() {
         cohorts.matched,
         an_out.makespan.as_millis(),
     );
+    for (section, outs) in &by_section {
+        let _ = writeln!(json, "  \"{section}\": {{");
+        for (i, o) in outs.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    \"{}\": {}{}",
+                o.name,
+                o.json,
+                if i + 1 < outs.len() { "," } else { "" }
+            );
+        }
+        json.push_str("  },\n");
+    }
     let _ = writeln!(json, "  \"knees\": [\n{knees}\n  ]");
     json.push_str("}\n");
 

@@ -82,7 +82,11 @@ fn serve_quick_is_byte_deterministic_and_reports_a_knee() {
     assert_eq!(a, b, "same seed must produce byte-identical JSON");
 
     let json = String::from_utf8(a).expect("utf-8 JSON");
-    assert!(json.contains("\"schema\": \"gpm-serve-v1\""));
+    assert!(json.contains("\"schema\": \"gpm-serve-v2\""));
+    // The scenario sections ride along on the full sweep.
+    for section in ["\"replication\": {", "\"resharding\": {", "\"hostile\": {"] {
+        assert!(json.contains(section), "missing section {section}");
+    }
     // At least one sweep line found a finite knee and a first-overload
     // point (both are numbers, not null).
     let knees = json.split("\"knees\"").nth(1).expect("knees section");
@@ -182,6 +186,86 @@ fn makefile_recipes_do_not_swallow_exit_codes() {
         );
     }
     assert!(recipe_lines > 0, "expected bench/campaign/serve recipes");
+}
+
+/// `--list-scenarios` must print exactly the scenario registry, one name
+/// per line — CI greps this output before keying a matrix leg off a name,
+/// so a drift between the flag and the registry breaks the gate loudly.
+#[test]
+fn serve_list_scenarios_prints_the_registry() {
+    let out = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .arg("--list-scenarios")
+        .output()
+        .expect("run serve");
+    assert!(out.status.success(), "--list-scenarios must exit zero");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let listed: Vec<&str> = stdout.lines().collect();
+    assert_eq!(listed, gpm_serve::scenario_names());
+}
+
+/// An unknown scenario name must exit 2 (usage error, distinct from a
+/// failed gate) and point at `--list-scenarios`.
+#[test]
+fn serve_unknown_scenario_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--quick", "--scenario", "nosuch", "--out"])
+        .arg(temp_path("scenario_nosuch.json"))
+        .output()
+        .expect("run serve");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown scenario"), "stderr: {stderr}");
+    assert!(stderr.contains("--list-scenarios"), "stderr: {stderr}");
+}
+
+/// A single-scenario run is byte-deterministic and tags itself with the
+/// scenario name and section — the unit CI's `cmp` gate depends on both.
+#[test]
+fn serve_single_scenario_is_byte_deterministic() {
+    let run = |path: &PathBuf| {
+        let status = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args(["--quick", "--scenario", "failover", "--out"])
+            .arg(path)
+            .status()
+            .expect("run serve");
+        assert!(status.success(), "scenario failover must exit zero");
+        std::fs::read(path).expect("read scenario JSON")
+    };
+    let a = run(&temp_path("scenario_fo_a.json"));
+    let b = run(&temp_path("scenario_fo_b.json"));
+    assert_eq!(a, b, "same seed must produce byte-identical scenario JSON");
+    let json = String::from_utf8(a).unwrap();
+    assert!(json.contains("\"schema\": \"gpm-serve-v2\""));
+    assert!(json.contains("\"scenario\": \"failover\""));
+    assert!(json.contains("\"section\": \"replication\""));
+    assert!(json.contains("\"failover_gap_us\""));
+}
+
+/// `--inject-bug` has campaign self-test semantics: exit 0 iff the
+/// consistency oracle caught the injected fabric corruption, and a usage
+/// error (2) on scenarios that have no fabric to corrupt.
+#[test]
+fn serve_inject_bug_exit_semantics() {
+    let run = |scenario: &str, file: &str| {
+        Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args(["--quick", "--scenario", scenario, "--inject-bug", "--out"])
+            .arg(temp_path(file))
+            .status()
+            .expect("run serve")
+    };
+    assert!(
+        run("replication", "scenario_rep_bug.json").success(),
+        "a caught dropped-log-batch must exit zero"
+    );
+    assert!(
+        run("resharding", "scenario_rs_bug.json").success(),
+        "a caught dropped-migrated-key must exit zero"
+    );
+    assert_eq!(
+        run("hot_key", "scenario_hk_bug.json").code(),
+        Some(2),
+        "--inject-bug on a scenario without a fabric is a usage error"
+    );
 }
 
 /// The perf gate: a 2× slowdown on one bench must make `benchdiff` exit

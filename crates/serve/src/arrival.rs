@@ -46,6 +46,19 @@ pub enum ArrivalShape {
         /// Relative swing amplitude (in `[0, 1]`).
         amplitude: f64,
     },
+    /// A flash crowd: baseline rate everywhere except one window
+    /// `[at, at + width)` where the rate jumps to `mult ×` baseline (a
+    /// viral link, a retry storm). Unlike [`ArrivalShape::Bursty`] the
+    /// mean is *not* preserved — the crowd is extra load, which is the
+    /// point.
+    FlashCrowd {
+        /// When the crowd hits.
+        at: Ns,
+        /// Rate multiplier inside the window (≥ 1).
+        mult: f64,
+        /// Window length.
+        width: Ns,
+    },
 }
 
 impl ArrivalShape {
@@ -55,6 +68,7 @@ impl ArrivalShape {
             ArrivalShape::Poisson => 1.0,
             ArrivalShape::Bursty { mult, .. } => mult,
             ArrivalShape::Diurnal { amplitude, .. } => 1.0 + amplitude,
+            ArrivalShape::FlashCrowd { mult, .. } => mult.max(1.0),
         }
     }
 
@@ -73,6 +87,13 @@ impl ArrivalShape {
             }
             ArrivalShape::Diurnal { period, amplitude } => {
                 1.0 + amplitude * (2.0 * std::f64::consts::PI * t.0 / period.0).sin()
+            }
+            ArrivalShape::FlashCrowd { at, mult, width } => {
+                if t >= at && t < at + width {
+                    mult.max(1.0)
+                } else {
+                    1.0
+                }
             }
         }
     }
@@ -95,6 +116,11 @@ pub struct TrafficConfig {
     pub key_space: u64,
     /// Key popularity: `None` = uniform, `Some(theta)` = Zipfian.
     pub key_skew: Option<f64>,
+    /// Premium-tenant fraction per mille: each request is independently
+    /// tagged class 1 with this probability (0 = everyone is standard;
+    /// the generators then draw no extra randomness, so streams are
+    /// byte-identical to a config without the field).
+    pub premium_permille: u32,
 }
 
 impl TrafficConfig {
@@ -108,6 +134,7 @@ impl TrafficConfig {
             get_permille: 500,
             key_space: 4_096,
             key_skew: None,
+            premium_permille: 0,
         }
     }
 
@@ -217,6 +244,30 @@ impl TrafficConfig {
         })
     }
 
+    /// Generates a slow-poison gpKVS stream: the usual PUT/GET mix with a
+    /// `poison_permille` fraction of [`Op::HeavyPut`] requests that each
+    /// expand to `work` SETs inside the batch — a few poisoned requests
+    /// starve everyone else's batch budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate, a zero key space or zero `work`.
+    pub fn generate_poison(&self, poison_permille: u32, work: u32) -> Vec<Request> {
+        assert!(work > 0, "a poison request must carry work");
+        self.stream(|rng, id| {
+            let rank = rng.gen_range_u64(self.key_space);
+            let key = gpm_pmkv::hash64(rank.wrapping_mul(0x9E37)) | 1;
+            let value = key.wrapping_mul(2_654_435_761).wrapping_add(id);
+            if rng.gen_f64() * 1000.0 < poison_permille as f64 {
+                Op::HeavyPut { key, value, work }
+            } else if rng.gen_f64() * 1000.0 < self.get_permille as f64 {
+                Op::Get { key }
+            } else {
+                Op::Put { key, value }
+            }
+        })
+    }
+
     fn stream(&self, mut op: impl FnMut(&mut Xoshiro256StarStar, u64) -> Op) -> Vec<Request> {
         assert!(self.rate_ops_per_sec > 0.0, "offered load must be positive");
         assert!(self.key_space > 0, "need at least one key");
@@ -232,10 +283,21 @@ impl TrafficConfig {
             t += Ns(-(1.0 - u).ln() * mean_gap_ns);
             // …thinned down to the instantaneous rate.
             if rng.gen_f64() < self.shape.mult_at(t) / self.shape.peak_mult() {
+                let op = op(&mut rng, id);
+                // Tenant class draws no randomness unless the stream has
+                // premium tenants, keeping legacy streams byte-identical.
+                let class = if self.premium_permille > 0
+                    && rng.gen_f64() * 1000.0 < self.premium_permille as f64
+                {
+                    1
+                } else {
+                    0
+                };
                 out.push(Request {
                     id,
                     arrival: t,
-                    op: op(&mut rng, id),
+                    op,
+                    class,
                 });
                 id += 1;
             }

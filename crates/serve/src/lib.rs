@@ -36,14 +36,23 @@
 
 pub mod arrival;
 pub mod cluster;
+pub mod replica;
 pub mod request;
+pub mod reshard;
 pub mod router;
+pub mod scenario;
 pub mod scheduler;
 pub mod shard;
 
 pub use arrival::{ArrivalShape, TrafficConfig};
 pub use cluster::{run_cluster, BackendKind, ClusterConfig, ClusterOutcome};
+pub use replica::{
+    run_replicated_cluster, FailoverInfo, KillPlan, LogShipStats, ReplicatedOutcome,
+    ReplicatedShard, ReplicationConfig,
+};
 pub use request::{Op, Request, RequestId, Response, Verdict};
+pub use reshard::{run_resharded_cluster, ReshardOutcome, ReshardPlan};
 pub use router::Router;
-pub use scheduler::{serve_shard, BatchPolicy, FaultPlan, ShardReport};
+pub use scenario::{run_scenario, scenario_names, ScenarioOutcome};
+pub use scheduler::{serve_engine, serve_shard, BatchPolicy, FaultPlan, ServeEngine, ShardReport};
 pub use shard::Shard;

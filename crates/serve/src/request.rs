@@ -45,6 +45,19 @@ pub enum Op {
         /// Client-side timestamp in ticks (monotone per user).
         ts: u64,
     },
+    /// A slow-poison gpKVS write: one request that expands to `work`
+    /// dependent SETs inside the kernel batch (a multi-key transaction, or
+    /// an adversarially large value chunked into slots). It occupies
+    /// `work` batch slots, so a few of these starve the batch budget the
+    /// way a slow request starves a real server thread.
+    HeavyPut {
+        /// Base key; the expansion derives `work` keys from it.
+        key: u64,
+        /// Base value.
+        value: u64,
+        /// Batch slots (SETs) this request expands to (≥ 1).
+        work: u32,
+    },
 }
 
 impl Op {
@@ -56,7 +69,7 @@ impl Op {
     /// request id.
     pub fn route_key(&self, id: RequestId) -> u64 {
         match *self {
-            Op::Put { key, .. } | Op::Get { key } => key,
+            Op::Put { key, .. } | Op::Get { key } | Op::HeavyPut { key, .. } => key,
             Op::Insert { .. } => id,
             Op::Event { user, .. } => user,
         }
@@ -65,6 +78,34 @@ impl Op {
     /// Whether this is a read (GET) operation.
     pub fn is_get(&self) -> bool {
         matches!(self, Op::Get { .. })
+    }
+
+    /// Batch slots this operation occupies in a kernel launch. Everything
+    /// is 1 except [`Op::HeavyPut`], which expands to `work` SETs; the
+    /// scheduler budgets batches by summed weight so a poisoned stream
+    /// cannot overflow the shard's op buffers.
+    pub fn weight(&self) -> u64 {
+        match *self {
+            Op::HeavyPut { work, .. } => work.max(1) as u64,
+            _ => 1,
+        }
+    }
+
+    /// The derived keys a [`Op::HeavyPut`] expands to (deterministic in
+    /// the base key). The shard's kernel path and the host-side
+    /// consistency oracle both use this single definition, so neither can
+    /// drift.
+    pub fn heavy_expansion(key: u64, value: u64, work: u32) -> impl Iterator<Item = (u64, u64)> {
+        (0..work.max(1) as u64).map(move |i| {
+            let k = if i == 0 {
+                key
+            } else {
+                // Spread the chunk keys over the hash space; `| 1` keeps 0
+                // reserved as the table's empty-slot marker.
+                gpm_pmkv::hash64(key ^ i.wrapping_mul(0xD1B5_4A32_D192_ED03)) | 1
+            };
+            (k, value.wrapping_add(i))
+        })
     }
 }
 
@@ -77,6 +118,11 @@ pub struct Request {
     pub arrival: Ns,
     /// The operation.
     pub op: Op,
+    /// Tenant class: 0 = standard, 1+ = premium. Premium requests keep
+    /// the full admission queue (standard tenants shed earlier under
+    /// [`priority_low_water`](crate::scheduler::BatchPolicy::priority_low_water))
+    /// and are eligible for one hedged re-admission after a shed.
+    pub class: u8,
 }
 
 /// The outcome of one request.

@@ -1,14 +1,21 @@
 //! The key-hash shard router.
 //!
 //! Requests are partitioned over N independent shards by hashing the
-//! operation's routing key ([`crate::request::Op::route_key`]). All
-//! operations on a key land on the same shard, so a GET always observes
-//! the shard that holds its key's writes; there is no cross-shard
-//! coordination (each shard is its own `Machine` with its own PM image).
+//! operation's routing key ([`crate::request::Op::route_key`]) and
+//! **range-partitioning** the 64-bit hash space: shard `i` owns hashes in
+//! `[i/N, (i+1)/N)` of the space. All operations on a key land on the
+//! same shard, so a GET always observes the shard that holds its key's
+//! writes; there is no cross-shard coordination (each shard is its own
+//! `Machine` with its own PM image).
+//!
+//! Range partitioning (rather than `hash % N`) is what makes elastic
+//! resharding tractable: growing N → M splits each owned range at fixed
+//! boundaries, so only the keys whose hash falls in a split-off slice
+//! migrate, and a migration is literally "ship a key range".
 
 use crate::request::Request;
 
-/// Routes requests onto `shards` independent shards by key hash.
+/// Routes requests onto `shards` independent shards by key-hash range.
 #[derive(Debug, Clone, Copy)]
 pub struct Router {
     shards: u32,
@@ -30,9 +37,21 @@ impl Router {
         self.shards
     }
 
+    /// The shard owning hash `h`: the range partition
+    /// `⌊h · shards / 2⁶⁴⌋`. Resharding uses this directly to decide
+    /// which scanned table entries change owner under a new shard count.
+    pub fn route_hash(&self, h: u64) -> usize {
+        ((h as u128 * self.shards as u128) >> 64) as usize
+    }
+
+    /// The shard owning routing key `key` (hash, then range partition).
+    pub fn route_key(&self, key: u64) -> usize {
+        self.route_hash(gpm_pmkv::hash64(key))
+    }
+
     /// The shard index a request routes to.
     pub fn route(&self, req: &Request) -> usize {
-        (gpm_pmkv::hash64(req.op.route_key(req.id)) % self.shards as u64) as usize
+        self.route_key(req.op.route_key(req.id))
     }
 
     /// Partitions a time-ordered request stream into per-shard streams
@@ -57,11 +76,13 @@ mod tests {
     fn same_key_same_shard() {
         let router = Router::new(4);
         let a = Request {
+            class: 0,
             id: 1,
             arrival: Ns::ZERO,
             op: Op::Put { key: 42, value: 1 },
         };
         let b = Request {
+            class: 0,
             id: 2,
             arrival: Ns(5.0),
             op: Op::Get { key: 42 },

@@ -4,24 +4,37 @@
 //!
 //! 1. **Admission** — every arrival at or before "now" is admitted to the
 //!    shard's bounded FIFO queue, in arrival order. When the queue is at
-//!    [`BatchPolicy::queue_cap`], the request is *shed* with an explicit
+//!    [`BatchPolicy::queue_cap`] (or, for standard-class tenants, at the
+//!    [`BatchPolicy::priority_low_water`] mark), the request is *shed*
+//!    with an explicit
 //!    [`Verdict::Overloaded`](crate::request::Verdict::Overloaded)
 //!    response — backpressure is a first-class outcome, never a silent
-//!    drop.
+//!    drop. A shed premium request may get one *hedged* re-admission
+//!    after [`BatchPolicy::hedge_delay`]; its latency still counts from
+//!    the original arrival.
 //! 2. **Batching** — a kernel launch is triggered when the queue holds
-//!    [`BatchPolicy::max_batch`] requests, when the oldest queued request
-//!    has lingered [`BatchPolicy::max_linger`], or when the arrival
-//!    stream is exhausted (nothing left to wait for). Otherwise the clock
-//!    idles forward to whichever comes first: the linger deadline or the
-//!    next arrival.
-//! 3. **Launch + retry** — the batch goes through the shard's
+//!    [`BatchPolicy::max_batch`] *weight* (slow-poison requests weigh
+//!    their expansion, so a poisoned batch cannot overflow the shard's op
+//!    buffers), when the oldest queued request has lingered
+//!    [`BatchPolicy::max_linger`], or when the arrival stream is
+//!    exhausted (nothing left to wait for). Otherwise the clock idles
+//!    forward to whichever comes first: the linger deadline, the next
+//!    arrival, or the next hedged re-admission.
+//! 3. **Launch + retry** — the batch goes through the engine's
 //!    `apply_batch` path. A transient [`LaunchError::Crashed`] (the fault
 //!    plan cutting power mid-kernel) triggers in-place recovery and a
-//!    bounded number of retries; the retry's queueing delay lands in the
-//!    affected requests' latencies.
+//!    bounded number of retries; on a replicated pair whose primary was
+//!    *killed*, "recovery" is replica promotion and the retry lands on
+//!    the new primary. The retry's queueing delay lands in the affected
+//!    requests' latencies.
 //! 4. **Accounting** — each completed request's end-to-end latency
-//!    (arrival → batch commit) is recorded into the shard's
+//!    (arrival → batch commit) is recorded into the engine's
 //!    [`LatencyHistogram`].
+//!
+//! The loop itself is engine-agnostic: [`serve_engine`] drives anything
+//! implementing [`ServeEngine`] (a plain [`Shard`], a
+//! [`ReplicatedShard`](crate::replica::ReplicatedShard) pair);
+//! [`serve_shard`] is the single-shard entry point existing callers use.
 
 use std::collections::VecDeque;
 
@@ -29,13 +42,17 @@ use gpm_gpu::{FuelGauge, LaunchError};
 use gpm_sim::{EventKind, Ns, SimError, SimResult, Stats, TraceData};
 use gpm_workloads::LatencyHistogram;
 
+use crate::replica::{FailoverInfo, LogShipStats};
 use crate::request::{Request, Response, Verdict};
 use crate::shard::Shard;
 
 /// Batching and admission policy for one shard.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchPolicy {
-    /// Most requests packed into one kernel launch.
+    /// Most request *weight* packed into one kernel launch (every
+    /// operation weighs 1 except
+    /// [`Op::HeavyPut`](crate::request::Op::HeavyPut), which weighs its
+    /// expansion).
     pub max_batch: u64,
     /// Longest the oldest queued request may wait before a launch is
     /// forced, even if the batch is not full.
@@ -45,6 +62,15 @@ pub struct BatchPolicy {
     /// Most recovery + relaunch attempts after a transient mid-batch
     /// crash before the shard gives up.
     pub max_retries: u32,
+    /// Priority admission: when set, *standard-class* (class 0) requests
+    /// are shed once the queue holds this many requests, reserving the
+    /// remaining headroom up to `queue_cap` for premium tenants. `None`
+    /// treats every class alike.
+    pub priority_low_water: Option<usize>,
+    /// Hedged retries: when set, a shed premium (class ≥ 1) request is
+    /// re-offered to admission once, this long after the shed, instead of
+    /// answering `Overloaded` immediately. A second shed is final.
+    pub hedge_delay: Option<Ns>,
 }
 
 impl Default for BatchPolicy {
@@ -54,6 +80,8 @@ impl Default for BatchPolicy {
             max_linger: Ns::from_micros(100.0),
             queue_cap: 4_096,
             max_retries: 3,
+            priority_low_water: None,
+            hedge_delay: None,
         }
     }
 }
@@ -71,11 +99,88 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// The gauge for the `n`-th batch launch (0-based): a crashing gauge
     /// on scheduled batches, unlimited otherwise.
-    fn gauge_for(&self, n: u64) -> FuelGauge {
+    pub fn gauge_for(&self, n: u64) -> FuelGauge {
         match self.crash_every {
             Some(k) if k > 0 && (n + 1).is_multiple_of(k) => FuelGauge::crash(self.crash_fuel),
             _ => FuelGauge::Unlimited,
         }
+    }
+}
+
+/// What the serving loop drives: a clocked engine that applies request
+/// batches through the kernel-launch path. Implemented by a plain
+/// [`Shard`] and by the primary/replica
+/// [`ReplicatedShard`](crate::replica::ReplicatedShard) pair, so the
+/// admission/batching/retry logic exists exactly once.
+pub trait ServeEngine {
+    /// Current simulated time on the engine's (active) clock.
+    fn now(&self) -> Ns;
+
+    /// Idles the active clock forward to `t` (no-op if already past).
+    fn advance_to(&mut self, t: Ns);
+
+    /// Largest batch *weight* the engine's buffers take in one launch.
+    fn max_batch(&self) -> u64;
+
+    /// Simulated boot-recovery time, if the engine booted over a crashed
+    /// image.
+    fn boot_recovery(&self) -> Option<Ns> {
+        None
+    }
+
+    /// Whether a trace sink is installed (events should be emitted).
+    fn trace_enabled(&self) -> bool;
+
+    /// Emits a structured trace event at the active clock.
+    fn trace(&mut self, kind: EventKind);
+
+    /// Snapshot of the engine's machine counters (summed over every
+    /// machine the engine owns, so deltas meter the pair as one unit).
+    fn stats(&self) -> Stats;
+
+    /// Finalizes and returns the trace, if a sink was installed.
+    fn take_trace(&mut self) -> Option<TraceData>;
+
+    /// The fuel gauge for the `n`-th batch launch. The default follows
+    /// the fault plan; a replicated pair substitutes a fatal gauge when
+    /// its kill plan's instant has passed.
+    fn gauge_for(&mut self, faults: &FaultPlan, n: u64) -> FuelGauge {
+        faults.gauge_for(n)
+    }
+
+    /// Applies one batch through the kernel-launch path.
+    ///
+    /// # Errors
+    ///
+    /// [`LaunchError::Crashed`] on a mid-kernel power cut (call
+    /// [`recover_in_place`](ServeEngine::recover_in_place) before
+    /// retrying); [`LaunchError::Sim`] on functional errors.
+    fn apply(&mut self, batch: &[Request], gauge: &mut FuelGauge) -> Result<(), LaunchError>;
+
+    /// Prepares the engine for an in-place retry of the interrupted
+    /// batch; on a killed replicated pair this is replica *promotion*.
+    /// Returns the simulated time it took.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery errors.
+    fn recover_in_place(&mut self) -> SimResult<Ns>;
+
+    /// Reads the values the GETs of the just-applied batch returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    fn read_gets(&self, batch: &[Request]) -> SimResult<Vec<Option<u64>>>;
+
+    /// Failover record, if this engine promoted a replica mid-run.
+    fn failover(&self) -> Option<FailoverInfo> {
+        None
+    }
+
+    /// Log-shipping counters, if this engine replicates.
+    fn log_ship(&self) -> Option<LogShipStats> {
+        None
     }
 }
 
@@ -96,6 +201,8 @@ pub struct ShardReport {
     pub batches: u64,
     /// Recovery + relaunch retries after transient crashes.
     pub retries: u64,
+    /// Hedged re-admissions attempted for shed premium requests.
+    pub hedges: u64,
     /// Simulated time recovery took at boot, if the shard booted over an
     /// existing image.
     pub boot_recovery: Option<Ns>,
@@ -110,6 +217,10 @@ pub struct ShardReport {
     /// Structured-event trace, when a sink was installed on the shard's
     /// machine before serving.
     pub trace: Option<TraceData>,
+    /// Replica promotion record, when the engine failed over mid-run.
+    pub failover: Option<FailoverInfo>,
+    /// Log-shipping counters, when the engine replicates.
+    pub log_ship: Option<LogShipStats>,
 }
 
 impl ShardReport {
@@ -140,14 +251,42 @@ pub fn serve_shard(
     policy: &BatchPolicy,
     faults: &FaultPlan,
 ) -> SimResult<ShardReport> {
+    serve_engine(shard, requests, policy, faults)
+}
+
+/// Runs the serving loop over any [`ServeEngine`] — the one copy of the
+/// admission/batching/retry logic shared by plain shards and replicated
+/// pairs.
+///
+/// # Errors
+///
+/// Fails if a batch still crashes after [`BatchPolicy::max_retries`]
+/// recoveries, or on functional platform errors.
+///
+/// # Panics
+///
+/// Panics if `requests` is not sorted by arrival time, the policy has a
+/// zero batch size, or a single request's weight exceeds the batch
+/// budget.
+pub fn serve_engine<E: ServeEngine>(
+    engine: &mut E,
+    requests: &[Request],
+    policy: &BatchPolicy,
+    faults: &FaultPlan,
+) -> SimResult<ShardReport> {
     assert!(policy.max_batch > 0, "batches must hold at least a request");
     assert!(
         requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
         "request stream must be time-ordered"
     );
-    let max_batch = policy.max_batch.min(shard.max_batch()) as usize;
-    let stats0 = shard.machine.stats;
+    let max_batch = policy.max_batch.min(engine.max_batch());
+    let stats0 = engine.stats();
     let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut queued_weight = 0u64;
+    // Hedged re-admissions, keyed by their retry instant. Pushes happen at
+    // monotone clock instants with a fixed delay, so the queue stays
+    // time-sorted without an explicit sort.
+    let mut hedge_q: VecDeque<(Ns, Request)> = VecDeque::new();
     let mut next = 0usize;
     let mut report = ShardReport {
         hist: LatencyHistogram::new(),
@@ -157,61 +296,125 @@ pub fn serve_shard(
         shed: 0,
         batches: 0,
         retries: 0,
-        boot_recovery: shard.recovery(),
-        end: shard.now(),
+        hedges: 0,
+        boot_recovery: engine.boot_recovery(),
+        end: engine.now(),
         busy: Ns::ZERO,
         stats: Stats::default(),
         trace: None,
+        failover: None,
+        log_ship: None,
     };
     loop {
-        // Admission: everything that has arrived by now, in order.
-        while next < requests.len() && requests[next].arrival <= shard.now() {
-            let r = requests[next];
-            next += 1;
-            if queue.len() >= policy.queue_cap {
-                report.shed += 1;
-                if shard.machine.trace_enabled() {
-                    shard.machine.trace(EventKind::ServeShed { req: r.id });
-                }
-                report.responses.push(Response {
-                    id: r.id,
-                    verdict: Verdict::Overloaded,
-                    latency: Ns::ZERO,
-                });
+        // Admission: everything (fresh arrivals and due hedged retries)
+        // ready by now, merged in time order; the main stream wins ties so
+        // legacy (hedge-free) runs see the exact historical order.
+        loop {
+            let now = engine.now();
+            let main_ready = next < requests.len() && requests[next].arrival <= now;
+            let hedge_ready = hedge_q.front().is_some_and(|&(t, _)| t <= now);
+            let (r, from_hedge) = if main_ready
+                && (!hedge_ready || requests[next].arrival <= hedge_q.front().expect("ready").0)
+            {
+                next += 1;
+                (requests[next - 1], false)
+            } else if hedge_ready {
+                (hedge_q.pop_front().expect("ready").1, true)
             } else {
-                if shard.machine.trace_enabled() {
-                    shard.machine.trace(EventKind::ServeEnqueue { req: r.id });
+                break;
+            };
+            let w = r.op.weight();
+            assert!(
+                w <= max_batch,
+                "request weight {w} exceeds batch budget {max_batch}"
+            );
+            let full = queue.len() >= policy.queue_cap
+                || (r.class == 0
+                    && policy
+                        .priority_low_water
+                        .is_some_and(|lw| queue.len() >= lw));
+            if full {
+                match policy.hedge_delay {
+                    // A shed premium request gets one hedged retry; its
+                    // response stays owed until the hedge resolves.
+                    Some(delay) if r.class >= 1 && !from_hedge => {
+                        report.hedges += 1;
+                        hedge_q.push_back((now + delay, r));
+                    }
+                    _ => {
+                        report.shed += 1;
+                        if engine.trace_enabled() {
+                            engine.trace(EventKind::ServeShed { req: r.id });
+                        }
+                        report.responses.push(Response {
+                            id: r.id,
+                            verdict: Verdict::Overloaded,
+                            latency: Ns::ZERO,
+                        });
+                    }
                 }
+            } else {
+                if engine.trace_enabled() {
+                    engine.trace(EventKind::ServeEnqueue { req: r.id });
+                }
+                queued_weight += w;
                 queue.push_back(r);
             }
         }
-        let drained = next >= requests.len();
+        let drained = next >= requests.len() && hedge_q.is_empty();
+        // Earliest future admission instant (fresh arrival or hedged
+        // retry), if any.
+        let next_offer = match (requests.get(next), hedge_q.front()) {
+            (Some(r), Some(&(t, _))) => Some(r.arrival.min(t)),
+            (Some(r), None) => Some(r.arrival),
+            (None, Some(&(t, _))) => Some(t),
+            (None, None) => None,
+        };
         if queue.is_empty() {
-            if drained {
+            match next_offer {
+                None => break,
+                Some(t) => {
+                    engine.advance_to(t);
+                    continue;
+                }
+            }
+        }
+        // Batching: launch when the queued weight fills the budget, when
+        // the head request's linger budget is spent, or when nothing else
+        // could grow the batch.
+        let deadline = queue.front().expect("non-empty").arrival + policy.max_linger;
+        if queued_weight < max_batch && !drained && engine.now() < deadline {
+            let wake = match next_offer {
+                Some(t) => deadline.min(t),
+                None => deadline,
+            };
+            engine.advance_to(wake);
+            continue;
+        }
+        // Drain by summed weight: the batch takes whole requests while the
+        // budget holds (the head always fits — weights are admission-
+        // checked against the budget).
+        let mut batch: Vec<Request> = Vec::new();
+        let mut batch_weight = 0u64;
+        while let Some(r) = queue.front() {
+            let w = r.op.weight();
+            if !batch.is_empty() && batch_weight + w > max_batch {
                 break;
             }
-            shard.machine.clock.advance_to(requests[next].arrival);
-            continue;
+            batch_weight += w;
+            batch.push(queue.pop_front().expect("non-empty"));
         }
-        // Batching: launch when full, when the head request's linger
-        // budget is spent, or when no future arrival could grow the batch.
-        let deadline = queue.front().expect("non-empty").arrival + policy.max_linger;
-        if queue.len() < max_batch && !drained && shard.now() < deadline {
-            let wake = deadline.min(requests[next].arrival);
-            shard.machine.clock.advance_to(wake);
-            continue;
-        }
-        let batch: Vec<Request> = queue.drain(..queue.len().min(max_batch)).collect();
+        queued_weight -= batch_weight;
         let n = batch.len() as u32;
-        let t0 = shard.now();
-        if shard.machine.trace_enabled() {
-            shard.machine.trace(EventKind::ServeBatchBegin { n });
+        let t0 = engine.now();
+        if engine.trace_enabled() {
+            engine.trace(EventKind::ServeBatchBegin { n });
         }
         let mut attempt = 0u32;
         loop {
-            let mut gauge = faults.gauge_for(report.batches);
+            let mut gauge = engine.gauge_for(faults, report.batches);
             report.batches += 1;
-            match shard.apply(&batch, &mut gauge) {
+            match engine.apply(&batch, &mut gauge) {
                 Ok(()) => break,
                 Err(LaunchError::Crashed(_)) => {
                     attempt += 1;
@@ -221,28 +424,30 @@ pub fn serve_shard(
                         ));
                     }
                     report.retries += 1;
-                    shard.recover_in_place()?;
+                    engine.recover_in_place()?;
                     // The crash event cut the batch span; the retry reopens
                     // it so its persists attribute to the batch again.
-                    if shard.machine.trace_enabled() {
-                        shard.machine.trace(EventKind::ServeBatchBegin { n });
+                    if engine.trace_enabled() {
+                        engine.trace(EventKind::ServeBatchBegin { n });
                     }
                 }
                 Err(LaunchError::Sim(e)) => return Err(e),
             }
         }
-        if shard.machine.trace_enabled() {
-            shard.machine.trace(EventKind::ServeBatchEnd { n });
+        if engine.trace_enabled() {
+            engine.trace(EventKind::ServeBatchEnd { n });
         }
-        let done = shard.now();
+        let done = engine.now();
         report.busy += done - t0;
-        let values = shard.read_gets(&batch)?;
+        let values = engine.read_gets(&batch)?;
         for (r, v) in batch.iter().zip(values) {
             report.completed += 1;
+            // Hedged requests count latency from the *original* arrival:
+            // the client has been waiting since then.
             let latency = done - r.arrival;
             report.hist.record(latency);
-            if shard.machine.trace_enabled() {
-                shard.machine.trace(EventKind::ServeRespond {
+            if engine.trace_enabled() {
+                engine.trace(EventKind::ServeRespond {
                     req: r.id,
                     latency_ns: latency.0,
                 });
@@ -254,9 +459,11 @@ pub fn serve_shard(
             });
         }
     }
-    report.end = shard.now();
-    report.stats = shard.machine.stats.delta(&stats0);
-    report.trace = shard.machine.finish_trace();
+    report.end = engine.now();
+    report.stats = engine.stats().delta(&stats0);
+    report.trace = engine.take_trace();
+    report.failover = engine.failover();
+    report.log_ship = engine.log_ship();
     debug_assert_eq!(report.responses.len() as u64, report.offered);
     Ok(report)
 }
@@ -319,6 +526,7 @@ mod tests {
         // A trickle far below max_batch: only the linger timer fires.
         let reqs: Vec<Request> = (0..8)
             .map(|i| Request {
+                class: 0,
                 id: i,
                 arrival: Ns::from_millis(i as f64),
                 op: Op::Put {

@@ -299,16 +299,26 @@ impl Shard {
     pub fn apply(&mut self, batch: &[Request], gauge: &mut FuelGauge) -> Result<(), LaunchError> {
         match &mut self.backend {
             Backend::Kvs { workload, st } => {
-                let ops: Vec<KvsOp> = batch
-                    .iter()
-                    .map(|r| match r.op {
-                        Op::Put { key, value } => Ok((key, value, false)),
-                        Op::Get { key } => Ok((key, 0, true)),
-                        Op::Insert { .. } | Op::Event { .. } => Err(LaunchError::Sim(
-                            SimError::Invalid("non-KVS op routed to a gpKVS shard"),
-                        )),
-                    })
-                    .collect::<Result<_, _>>()?;
+                let mut ops: Vec<KvsOp> = Vec::with_capacity(batch.len());
+                for r in batch {
+                    match r.op {
+                        Op::Put { key, value } => ops.push((key, value, false)),
+                        Op::Get { key } => ops.push((key, 0, true)),
+                        // A slow-poison request expands to its derived SETs
+                        // inside the same kernel batch; the scheduler's
+                        // weight budgeting guarantees the expansion fits.
+                        Op::HeavyPut { key, value, work } => {
+                            ops.extend(
+                                Op::heavy_expansion(key, value, work).map(|(k, v)| (k, v, false)),
+                            );
+                        }
+                        Op::Insert { .. } | Op::Event { .. } => {
+                            return Err(LaunchError::Sim(SimError::Invalid(
+                                "non-KVS op routed to a gpKVS shard",
+                            )))
+                        }
+                    }
+                }
                 workload.apply_batch_gauged(
                     &mut self.machine,
                     st,
@@ -379,9 +389,9 @@ impl Shard {
                         Op::Put { key, value } => ops.push((key, value, false)),
                         Op::Get { key } => ops.push((key, 0, true)),
                         Op::Event { user, etype, ts } => events.push(UserEvent { user, etype, ts }),
-                        Op::Insert { .. } => {
+                        Op::Insert { .. } | Op::HeavyPut { .. } => {
                             return Err(LaunchError::Sim(SimError::Invalid(
-                                "INSERT routed to a mixed-tenant shard",
+                                "INSERT/HeavyPut routed to a mixed-tenant shard",
                             )))
                         }
                     }
@@ -473,17 +483,24 @@ impl Shard {
     /// Propagates platform errors; gpDB shards have no GETs to read.
     pub fn read_gets(&self, batch: &[Request]) -> SimResult<Vec<Option<u64>>> {
         match &self.backend {
-            Backend::Kvs { workload, st } => batch
-                .iter()
-                .enumerate()
-                .map(|(i, r)| {
-                    if r.op.is_get() {
-                        workload.get_result(&self.machine, st, i as u64).map(Some)
-                    } else {
-                        Ok(None)
-                    }
-                })
-                .collect(),
+            Backend::Kvs { workload, st } => {
+                // GET results index into the kernel's op buffer, where a
+                // HeavyPut occupies `work` slots — walk cumulative weight,
+                // not request position.
+                let mut op_idx = 0u64;
+                batch
+                    .iter()
+                    .map(|r| {
+                        let at = op_idx;
+                        op_idx += r.op.weight();
+                        if r.op.is_get() {
+                            workload.get_result(&self.machine, st, at).map(Some)
+                        } else {
+                            Ok(None)
+                        }
+                    })
+                    .collect()
+            }
             Backend::Db { .. } | Backend::Analytics { .. } => Ok(vec![None; batch.len()]),
             Backend::Mixed { kvs, kvs_st, .. } => {
                 // GET results index into the KVS leg's ops buffer, which
@@ -509,6 +526,25 @@ impl Shard {
         }
     }
 
+    /// The device-side hash-table handle of a gpKVS shard (`None` on
+    /// other backends). Replication's consistency oracle and resharding's
+    /// key-range scan audit the shard's PM table through it.
+    pub fn kvs_dev(&self) -> Option<gpm_workloads::ShardDev> {
+        match &self.backend {
+            Backend::Kvs { workload, st } => Some(st.shard(workload.params.sets)),
+            _ => None,
+        }
+    }
+
+    /// Table sets of a gpKVS shard (`None` on other backends); sizes the
+    /// oracle's host-side model.
+    pub fn kvs_sets(&self) -> Option<u64> {
+        match &self.backend {
+            Backend::Kvs { workload, .. } => Some(workload.params.sets),
+            _ => None,
+        }
+    }
+
     /// Tears the shard down into its parts (machine + kvs state) so a
     /// test can crash the image and boot a successor over it. Panics on a
     /// gpDB shard.
@@ -530,6 +566,52 @@ impl Shard {
     }
 }
 
+impl crate::scheduler::ServeEngine for Shard {
+    fn now(&self) -> Ns {
+        self.machine.clock.now()
+    }
+
+    fn advance_to(&mut self, t: Ns) {
+        self.machine.clock.advance_to(t);
+    }
+
+    fn max_batch(&self) -> u64 {
+        Shard::max_batch(self)
+    }
+
+    fn boot_recovery(&self) -> Option<Ns> {
+        self.recovery
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.machine.trace_enabled()
+    }
+
+    fn trace(&mut self, kind: gpm_sim::EventKind) {
+        self.machine.trace(kind);
+    }
+
+    fn stats(&self) -> gpm_sim::Stats {
+        self.machine.stats
+    }
+
+    fn take_trace(&mut self) -> Option<gpm_sim::TraceData> {
+        self.machine.finish_trace()
+    }
+
+    fn apply(&mut self, batch: &[Request], gauge: &mut FuelGauge) -> Result<(), LaunchError> {
+        Shard::apply(self, batch, gauge)
+    }
+
+    fn recover_in_place(&mut self) -> SimResult<Ns> {
+        Shard::recover_in_place(self)
+    }
+
+    fn read_gets(&self, batch: &[Request]) -> SimResult<Vec<Option<u64>>> {
+        Shard::read_gets(self, batch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,6 +619,7 @@ mod tests {
 
     fn put(id: u64, key: u64, value: u64) -> Request {
         Request {
+            class: 0,
             id,
             arrival: Ns::ZERO,
             op: Op::Put { key, value },
@@ -545,6 +628,7 @@ mod tests {
 
     fn get(id: u64, key: u64) -> Request {
         Request {
+            class: 0,
             id,
             arrival: Ns::ZERO,
             op: Op::Get { key },
@@ -570,11 +654,13 @@ mod tests {
         let mut s = Shard::new_db(p, Mode::Gpm).unwrap();
         let reqs = [
             Request {
+                class: 0,
                 id: 0,
                 arrival: Ns::ZERO,
                 op: Op::Insert { rows: 64 },
             },
             Request {
+                class: 0,
                 id: 1,
                 arrival: Ns::ZERO,
                 op: Op::Insert { rows: 32 },
@@ -594,6 +680,7 @@ mod tests {
     fn mismatched_request_kind_is_rejected() {
         let mut s = Shard::new_kvs(KvsParams::quick(), Mode::Gpm).unwrap();
         let wrong = [Request {
+            class: 0,
             id: 0,
             arrival: Ns::ZERO,
             op: Op::Insert { rows: 1 },
@@ -606,6 +693,7 @@ mod tests {
 
     fn event(id: u64, user: u64, etype: u32, ts: u64) -> Request {
         Request {
+            class: 0,
             id,
             arrival: Ns::ZERO,
             op: Op::Event { user, etype, ts },

@@ -67,6 +67,25 @@ impl Stats {
     pub fn pm_write_bytes_total(&self) -> u64 {
         self.pm_write_bytes_gpu + self.pm_write_bytes_cpu
     }
+
+    /// Counter-wise sum `self + other`; meters a multi-machine engine
+    /// (e.g. a replicated primary/replica pair) as one unit.
+    #[must_use]
+    pub fn merged(&self, other: &Stats) -> Stats {
+        Stats {
+            pm_write_bytes_gpu: self.pm_write_bytes_gpu + other.pm_write_bytes_gpu,
+            pm_write_bytes_cpu: self.pm_write_bytes_cpu + other.pm_write_bytes_cpu,
+            pm_read_bytes_gpu: self.pm_read_bytes_gpu + other.pm_read_bytes_gpu,
+            pcie_write_txns: self.pcie_write_txns + other.pcie_write_txns,
+            dma_bytes: self.dma_bytes + other.dma_bytes,
+            system_fences: self.system_fences + other.system_fences,
+            device_fences: self.device_fences + other.device_fences,
+            bytes_persisted: self.bytes_persisted + other.bytes_persisted,
+            kernel_launches: self.kernel_launches + other.kernel_launches,
+            crashes: self.crashes + other.crashes,
+            pm_block_programs: self.pm_block_programs + other.pm_block_programs,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -188,6 +188,33 @@ pub enum EventKind {
         /// Enqueue-to-response latency in sim nanoseconds.
         latency_ns: f64,
     },
+    /// A primary shipped one committed batch's log record to its replica
+    /// over the simulated PCIe/PM fabric.
+    LogShip {
+        /// Batch sequence number (the one riding the detect-layer tags).
+        seq: u64,
+        /// Log-record bytes shipped.
+        bytes: u64,
+    },
+    /// The replica durably applied a shipped batch (the semi-sync ack
+    /// instant).
+    ReplicaAck {
+        /// Batch sequence number acknowledged.
+        seq: u64,
+    },
+    /// A replica was promoted to primary after FaultPlan killed the
+    /// primary mid-batch.
+    FailoverPromote {
+        /// Promotion gap (primary death → replica serving) in sim ns.
+        gap_ns: f64,
+    },
+    /// Resharding shipped a migrated key range onto its new owner.
+    MigrateKeys {
+        /// Keys moved in this transfer.
+        keys: u64,
+        /// Bytes shipped over the fabric.
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -220,6 +247,9 @@ impl EventKind {
             | ServeBatchBegin { .. }
             | ServeBatchEnd { .. }
             | ServeRespond { .. } => "serve",
+            LogShip { .. } | ReplicaAck { .. } | FailoverPromote { .. } | MigrateKeys { .. } => {
+                "replication"
+            }
         }
     }
 
@@ -582,6 +612,18 @@ fn write_args(out: &mut String, kind: &EventKind) {
         ServeRespond { req, latency_ns } => {
             let _ = write!(out, "{{\"req\":{req},\"latency_ns\":{latency_ns:.1}}}");
         }
+        LogShip { seq, bytes } => {
+            let _ = write!(out, "{{\"seq\":{seq},\"bytes\":{bytes}}}");
+        }
+        ReplicaAck { seq } => {
+            let _ = write!(out, "{{\"seq\":{seq}}}");
+        }
+        FailoverPromote { gap_ns } => {
+            let _ = write!(out, "{{\"gap_ns\":{gap_ns:.1}}}");
+        }
+        MigrateKeys { keys, bytes } => {
+            let _ = write!(out, "{{\"keys\":{keys},\"bytes\":{bytes}}}");
+        }
     }
 }
 
@@ -617,16 +659,21 @@ fn chrome_shape(kind: &EventKind) -> (&'static str, char, u32) {
         ServeBatchBegin { .. } => ("batch", 'B', 5),
         ServeBatchEnd { .. } => ("batch", 'E', 5),
         ServeRespond { .. } => ("respond", 'i', 5),
+        LogShip { .. } => ("log_ship", 'i', 6),
+        ReplicaAck { .. } => ("replica_ack", 'i', 6),
+        FailoverPromote { .. } => ("promote", 'i', 6),
+        MigrateKeys { .. } => ("migrate_keys", 'i', 6),
     }
 }
 
-const THREAD_NAMES: [(u32, &str); 7] = [
+const THREAD_NAMES: [(u32, &str); 8] = [
     (0, "kernel"),
     (1, "pcie"),
     (2, "persist"),
     (3, "libgpm"),
     (4, "faults"),
     (5, "serve"),
+    (6, "replication"),
     (9, "engine"),
 ];
 

@@ -183,6 +183,28 @@ impl ShardDev {
         }
         Ok(None)
     }
+
+    /// Host-side untimed scan of the durable PM table: every live
+    /// `(key, value)` pair in set-major, way-minor order (the order is
+    /// deterministic, which resharding's migration planner relies on).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors.
+    pub fn host_scan(&self, machine: &Machine) -> SimResult<Vec<(u64, u64)>> {
+        let mut out = Vec::new();
+        for set in 0..self.sets {
+            for w in 0..WAYS {
+                let mut b = [0u8; SLOT_BYTES as usize];
+                machine.read(self.pm_slot(set, w), &mut b)?;
+                let rec = slot_words(&b);
+                if rec[0] != 0 {
+                    out.push((rec[0], rec[1]));
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 fn slot_words(b: &[u8; SLOT_BYTES as usize]) -> [u64; 4] {

@@ -81,6 +81,12 @@ pub struct KvsParams {
     /// [`LaunchConfig::persistency`]; `Some(model)` pins it, which is how
     /// harnesses (enginebench, gpm-serve) select epoch explicitly.
     pub persistency: Option<gpm_gpu::PersistencyModel>,
+    /// Engine worker threads for every kernel this workload launches.
+    /// `None` defers to `GPM_ENGINE_THREADS` (then host parallelism),
+    /// exactly like [`LaunchConfig::engine_threads`]; `Some(n)` pins it,
+    /// which is how determinism tests compare thread counts in-process
+    /// without re-execing under a different environment.
+    pub engine_threads: Option<u32>,
 }
 
 impl Default for KvsParams {
@@ -96,6 +102,7 @@ impl Default for KvsParams {
             conventional_log_partitions: None,
             key_skew: None,
             persistency: None,
+            engine_threads: None,
         }
     }
 }
@@ -120,6 +127,13 @@ impl KvsParams {
     /// Pins the GPU persistency model for every launch of this workload.
     pub fn with_persistency(mut self, model: gpm_gpu::PersistencyModel) -> KvsParams {
         self.persistency = Some(model);
+        self
+    }
+
+    /// Pins the engine worker-thread count for every launch of this
+    /// workload (overriding `GPM_ENGINE_THREADS`).
+    pub fn with_engine_threads(mut self, threads: u32) -> KvsParams {
+        self.engine_threads = Some(threads);
         self
     }
 
@@ -240,11 +254,14 @@ impl KvsWorkload {
     }
 
     fn cfg_for_ops(&self, n_ops: u64) -> LaunchConfig {
-        let cfg = LaunchConfig::for_elements(n_ops * THREAD_GROUP, 256);
-        match self.params.persistency {
-            Some(model) => cfg.with_persistency(model),
-            None => cfg,
+        let mut cfg = LaunchConfig::for_elements(n_ops * THREAD_GROUP, 256);
+        if let Some(model) = self.params.persistency {
+            cfg = cfg.with_persistency(model);
         }
+        if let Some(threads) = self.params.engine_threads {
+            cfg = cfg.with_engine_threads(threads);
+        }
+        cfg
     }
 
     /// Hash-partitions a batch: stable-sorts operations by set, then packs

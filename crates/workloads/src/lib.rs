@@ -73,7 +73,7 @@ pub use iterative::{
 };
 pub use kvs::{KvsOp, KvsParams, KvsState, KvsWorkload};
 pub use metrics::{metered, BatchMetrics, Category, LatencyHistogram, Mode, RunMetrics};
-pub use oracle::{oracle_suite, RecoveryOracle};
+pub use oracle::{oracle_suite, RecoveryOracle, ServeConsistency};
 pub use prefix_sum::{PsParams, PsWorkload};
 pub use srad::{SradParams, SradWorkload};
 pub use suite::{suite, Scale, Workload};

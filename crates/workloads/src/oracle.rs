@@ -289,6 +289,108 @@ pub fn buggy_oracle(
     None
 }
 
+/// Replica-consistency judge for the serving stack: zero lost
+/// acknowledged writes.
+///
+/// The serving layers feed it two things, both in **apply order** (the
+/// order SETs reached a shard's kernel, which for the serve scheduler is
+/// admission order — batches launch FIFO and packing preserves per-set
+/// order):
+///
+/// * every SET applied to the judged table (acknowledged client PUTs,
+///   but also unacknowledged work such as resharding's migrated entries),
+///   via [`apply_set`](ServeConsistency::apply_set);
+/// * which of those SETs were *acknowledged* to a client, via
+///   [`acked_set`](ServeConsistency::acked_set).
+///
+/// [`verify`](ServeConsistency::verify) then replays the whole SET
+/// sequence through the host [`ShardModel`] (the kernels' probe-order
+/// twin) and checks that every acknowledged key is present in the durable
+/// PM table with the model's final value. A replica that silently dropped
+/// a shipped log batch, or a migration that lost a key range, fails with
+/// the first missing or stale key named.
+///
+/// The judge deliberately refuses ([`OracleVerdict::Fail`]) when the
+/// replayed mix evicted a live key: an 8-way set-associative store may
+/// legitimately displace an acked write under extreme skew, and "evicted
+/// by design" is indistinguishable from "lost by a bug" at the table. The
+/// serve scenarios size their key spaces to stay eviction-free, so a
+/// refusal there is itself a red flag.
+#[derive(Debug, Clone)]
+pub struct ServeConsistency {
+    model: crate::hash_shard::ShardModel,
+    acked: Vec<u64>,
+}
+
+impl ServeConsistency {
+    /// A judge for one shard table of `sets` sets.
+    pub fn new(sets: u64) -> ServeConsistency {
+        ServeConsistency {
+            model: crate::hash_shard::ShardModel::new(sets),
+            acked: Vec::new(),
+        }
+    }
+
+    /// Records one applied-but-not-client-acknowledged SET (e.g. a
+    /// migrated entry landing on its new owner).
+    pub fn apply_set(&mut self, key: u64, value: u64) {
+        self.model.set(key, value);
+    }
+
+    /// Records one SET that was acknowledged to a client.
+    pub fn acked_set(&mut self, key: u64, value: u64) {
+        self.model.set(key, value);
+        self.acked.push(key);
+    }
+
+    /// Number of acknowledged writes recorded so far.
+    pub fn acked_writes(&self) -> u64 {
+        self.acked.len() as u64
+    }
+
+    /// Judges the durable table behind `shard` on `machine`: every
+    /// acknowledged key present with the model's final value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors (a lost or stale write is an
+    /// [`OracleVerdict::Fail`], not an error).
+    pub fn verify(
+        &self,
+        machine: &Machine,
+        shard: &crate::hash_shard::ShardDev,
+    ) -> SimResult<OracleVerdict> {
+        if self.model.evicted {
+            return Ok(OracleVerdict::Fail(
+                "mix evicted a live key; the judge cannot distinguish \
+                 eviction from loss — size the key space down"
+                    .into(),
+            ));
+        }
+        for &key in &self.acked {
+            let want = self
+                .model
+                .get(key)
+                .expect("eviction-free model holds every acked key");
+            match shard.host_find(machine, key)? {
+                None => {
+                    return Ok(OracleVerdict::Fail(format!(
+                        "acked write lost: key {key:#x} missing from the durable table"
+                    )));
+                }
+                Some(rec) if rec[1] != want => {
+                    return Ok(OracleVerdict::Fail(format!(
+                        "acked write stale: key {key:#x} holds {:#x}, expected {want:#x}",
+                        rec[1]
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(OracleVerdict::Pass)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -145,11 +145,13 @@ fn kvs_crash_and_in_place_retry_matches_uncrashed_run() {
         .iter()
         .enumerate()
         .map(|(i, &(key, value))| Request {
+            class: 0,
             id: i as u64,
             arrival: Ns::ZERO,
             op: Op::Put { key, value },
         })
         .chain(keys.iter().enumerate().map(|(i, &(key, _))| Request {
+            class: 0,
             id: (64 + i) as u64,
             arrival: Ns::ZERO,
             op: Op::Get { key },
@@ -199,6 +201,7 @@ fn db_crash_and_in_place_retry_matches_uncrashed_run() {
     p.capacity_rows = p.initial_rows + 1_024;
     let stream: Vec<Request> = (0..64)
         .map(|i| Request {
+            class: 0,
             id: i,
             arrival: Ns::ZERO,
             op: Op::Insert { rows: 8 },
@@ -290,7 +293,7 @@ fn bursts_longer_than_the_linger_flush_multiple_batches() {
         max_batch: 4_096, // so the linger timer, not the size cap, flushes
         max_linger: Ns::from_micros(50.0),
         queue_cap: 8_192,
-        max_retries: 3,
+        ..BatchPolicy::default()
     };
     let cfg = TrafficConfig {
         rate_ops_per_sec: 2.0e6,
@@ -373,6 +376,7 @@ fn recovery_runs_before_admission_on_a_crashed_image() {
             .iter()
             .enumerate()
             .map(|(i, &(key, value))| Request {
+                class: 0,
                 id: i as u64,
                 arrival: Ns::ZERO,
                 op: Op::Put { key, value },
@@ -382,6 +386,7 @@ fn recovery_runs_before_admission_on_a_crashed_image() {
     }
     let torn: Vec<Request> = (0..24)
         .map(|i| Request {
+            class: 0,
             id: i,
             arrival: Ns::ZERO,
             op: Op::Put {
@@ -409,6 +414,7 @@ fn recovery_runs_before_admission_on_a_crashed_image() {
         .iter()
         .enumerate()
         .map(|(i, &(key, _))| Request {
+            class: 0,
             id: i as u64,
             arrival: Ns::ZERO,
             op: Op::Get { key },
@@ -431,4 +437,81 @@ fn recovery_runs_before_admission_on_a_crashed_image() {
             "key {key:#x} must return its pre-crash committed value"
         );
     }
+}
+
+/// The replicated cluster's failover is a simulated event, so the
+/// promotion instant, the measured gap, and every acked write must be
+/// identical whether the shards run the sequential or the block-parallel
+/// engine — the golden-counter contract extended to the failure path.
+#[test]
+fn failover_gap_is_identical_across_engine_threads() {
+    use gpm_serve::{run_replicated_cluster, KillPlan, ReplicationConfig};
+
+    let reqs = TrafficConfig {
+        n_requests: 3_000,
+        ..TrafficConfig::quick(17)
+    }
+    .generate();
+    let kill_at = reqs[reqs.len() / 2].arrival;
+    let run = |threads: u32| {
+        let mut cfg = ClusterConfig::quick();
+        cfg.policy.max_batch = 128;
+        cfg.kvs = cfg.kvs.with_engine_threads(threads);
+        let rep = ReplicationConfig {
+            kill: Some(KillPlan {
+                shard: 0,
+                at: kill_at,
+                fuel: 40,
+            }),
+            ..ReplicationConfig::default()
+        };
+        run_replicated_cluster(&cfg, &rep, &reqs).expect("replicated cluster run")
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert!(
+        seq.oracle.passed(),
+        "no acked write may be lost: {:?}",
+        seq.oracle
+    );
+    assert_eq!(seq.failovers.len(), 1, "exactly one primary death injected");
+    assert_eq!(
+        seq.failovers, par.failovers,
+        "promotion sim-time and measured gap must not depend on engine threads"
+    );
+    assert_eq!(seq.acked_writes, par.acked_writes);
+    assert_eq!(seq.log_ship, par.log_ship);
+    assert_eq!(fingerprint(&seq.outcome), fingerprint(&par.outcome));
+}
+
+/// A replica silently dropping one shipped log batch is divergence the
+/// serve consistency oracle must catch — this is the in-process face of
+/// the serve binary's `--inject-bug` self-test.
+#[test]
+fn dropped_log_batch_diverges_and_the_oracle_catches_it() {
+    use gpm_serve::{run_replicated_cluster, ReplicationConfig};
+
+    let reqs = TrafficConfig {
+        n_requests: 2_000,
+        get_permille: 0,
+        ..TrafficConfig::quick(19)
+    }
+    .generate();
+    let mut cfg = ClusterConfig::quick();
+    cfg.policy.max_batch = 128;
+    let clean = run_replicated_cluster(&cfg, &ReplicationConfig::default(), &reqs)
+        .expect("clean replicated run");
+    assert!(clean.oracle.passed());
+    assert_eq!(clean.log_ship.dropped, 0);
+
+    let rep = ReplicationConfig {
+        drop_batch: Some(2),
+        ..ReplicationConfig::default()
+    };
+    let broken = run_replicated_cluster(&cfg, &rep, &reqs).expect("lossy replicated run");
+    assert_eq!(broken.log_ship.dropped, 1);
+    assert!(
+        !broken.oracle.passed(),
+        "a dropped log batch must fail the consistency oracle"
+    );
 }
